@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the surrogate substrates: one critic
+//! training pass, one actor training pass, one GP fit — the per-iteration
+//! "modeling time" ingredients of the paper's runtime tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_opt::{Actor, Critic, DnnOptConfig};
+use gp::{GpRegressor, RbfKernel};
+use linalg::Matrix;
+use opt::Fom;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn synth(n: usize, d: usize, m: usize, rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rng.gen()).collect()).collect();
+    let fs: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|x| {
+            (0..m)
+                .map(|k| x.iter().map(|v| (v - 0.1 * k as f64).powi(2)).sum::<f64>())
+                .collect()
+        })
+        .collect();
+    (xs, fs)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let (xs, fs) = synth(150, 20, 30, &mut rng);
+    let cfg = DnnOptConfig::default();
+
+    c.bench_function("critic_train_n150_d20_m30", |b| {
+        b.iter(|| Critic::train(&cfg, &xs, &fs, &mut rng))
+    });
+
+    let critic = Critic::train(&cfg, &xs, &fs, &mut rng);
+    let fom = Fom::uniform(1.0, 29);
+    let elite: Vec<Vec<f64>> = xs[..10].to_vec();
+    c.bench_function("actor_train_elite10", |b| {
+        b.iter(|| {
+            Actor::train(&cfg, &critic, &fom, &elite, &vec![0.0; 20], &vec![1.0; 20], &mut rng)
+        })
+    });
+
+    c.bench_function("gp_fit_n200_d20", |b| {
+        let x = Matrix::from_fn(200, 20, |_, _| rng.gen());
+        let y: Vec<f64> = (0..200).map(|_| rng.gen()).collect();
+        b.iter(|| {
+            GpRegressor::fit(x.clone(), y.clone(), RbfKernel::isotropic(20, 0.5, 1.0), 1e-6)
+                .unwrap()
+        })
+    });
+
+    c.bench_function("gp_predict_n200", |b| {
+        let x = Matrix::from_fn(200, 20, |_, _| rng.gen());
+        let y: Vec<f64> = (0..200).map(|_| rng.gen()).collect();
+        let gp =
+            GpRegressor::fit(x, y, RbfKernel::isotropic(20, 0.5, 1.0), 1e-6).unwrap();
+        let q: Vec<f64> = (0..20).map(|_| rng.gen()).collect();
+        b.iter(|| gp.predict(&q))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmark of whole optimizer iterations on a cheap synthetic
+//! problem: the fixed per-simulation overhead each method adds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_opt::{DnnOpt, DnnOptConfig};
+use opt::{
+    DifferentialEvolution, Fom, Gaspad, Optimizer, SizingProblem, SpecResult, StopPolicy,
+};
+
+struct Cheap;
+impl SizingProblem for Cheap {
+    fn dim(&self) -> usize {
+        10
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.0; 10], vec![1.0; 10])
+    }
+    fn num_constraints(&self) -> usize {
+        3
+    }
+    fn evaluate(&self, x: &[f64]) -> SpecResult {
+        SpecResult {
+            objective: x.iter().map(|v| (v - 0.4).powi(2)).sum(),
+            constraints: vec![0.2 - x[0], 0.2 - x[1], x.iter().sum::<f64>() - 8.0],
+        }
+    }
+}
+
+fn bench_iterations(c: &mut Criterion) {
+    let fom = Fom::uniform(1.0, 3);
+
+    c.bench_function("de_60_sims", |b| {
+        b.iter(|| DifferentialEvolution::default().run(&Cheap, &fom, 60, StopPolicy::Exhaust, 0))
+    });
+
+    c.bench_function("gaspad_60_sims", |b| {
+        b.iter(|| Gaspad::default().run(&Cheap, &fom, 60, StopPolicy::Exhaust, 0))
+    });
+
+    c.bench_function("dnn_opt_30_sims", |b| {
+        let cfg = DnnOptConfig {
+            critic_epochs: 60,
+            actor_epochs: 20,
+            critic_batch: 64,
+            hidden: 24,
+            ..Default::default()
+        };
+        b.iter(|| DnnOpt::new(cfg.clone()).run(&Cheap, &fom, 30, StopPolicy::Exhaust, 0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_iterations
+}
+criterion_main!(benches);

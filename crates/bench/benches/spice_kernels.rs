@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the simulator substrate: the per-analysis
+//! costs that make one "SPICE simulation" expensive.
+
+use circuits::{FoldedCascodeOta, StrongArmLatch};
+use criterion::{criterion_group, criterion_main, Criterion};
+use opt::SizingProblem;
+use spice::{Circuit, SimOptions, Waveform, GND};
+
+fn build_rc_ladder(n: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    c.add_vsource_ac("V1", vin, GND, Waveform::Dc(1.0), 1.0).unwrap();
+    let mut prev = vin;
+    for i in 0..n {
+        let node = c.node(&format!("n{i}"));
+        c.add_resistor(&format!("R{i}"), prev, node, 1e3).unwrap();
+        c.add_capacitor(&format!("C{i}"), node, GND, 1e-12).unwrap();
+        prev = node;
+    }
+    c
+}
+
+fn bench_spice(c: &mut Criterion) {
+    let opts = SimOptions::default();
+
+    c.bench_function("dc_op_rc_ladder_30", |b| {
+        let ckt = build_rc_ladder(30);
+        b.iter(|| spice::op(&ckt, &opts).unwrap())
+    });
+
+    c.bench_function("ac_sweep_rc_ladder_30_x25", |b| {
+        let ckt = build_rc_ladder(30);
+        let op = spice::op(&ckt, &opts).unwrap();
+        let freqs = spice::log_freqs(1e3, 1e8, 5);
+        b.iter(|| spice::ac(&ckt, &opts, &op, &freqs).unwrap())
+    });
+
+    c.bench_function("ota_full_evaluation", |b| {
+        let ota = FoldedCascodeOta::new();
+        let x = ota.nominal();
+        b.iter(|| ota.evaluate(&x))
+    });
+
+    c.bench_function("latch_full_evaluation", |b| {
+        let latch = StrongArmLatch::new();
+        let x = latch.nominal();
+        b.iter(|| latch.evaluate(&x))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spice
+}
+criterion_main!(benches);

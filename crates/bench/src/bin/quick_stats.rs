@@ -1,0 +1,30 @@
+//! Failure-rate and FoM statistics of random OTA samples.
+use circuits::FoldedCascodeOta;
+use opt::sampling::latin_hypercube;
+use opt::{Fom, SizingProblem};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let ota = FoldedCascodeOta::new();
+    let fom = Fom::uniform(100.0, 29);
+    let (lb, ub) = ota.bounds();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut fails = 0;
+    let mut foms = Vec::new();
+    let mut nviol = Vec::new();
+    for x in latin_hypercube(&mut rng, &lb, &ub, 200) {
+        let s = ota.evaluate(&x);
+        if s.is_failure() {
+            fails += 1;
+        } else {
+            foms.push(fom.value(&s));
+            nviol.push(s.constraints.iter().filter(|&&c| c > 0.0).count());
+        }
+    }
+    foms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("fails: {fails}/200");
+    println!("fom quantiles: min={:.3} p25={:.3} p50={:.3} p75={:.3} max={:.3}",
+        foms[0], foms[foms.len()/4], foms[foms.len()/2], foms[3*foms.len()/4], foms[foms.len()-1]);
+    let mean_viol: f64 = nviol.iter().sum::<usize>() as f64 / nviol.len() as f64;
+    println!("mean #violated constraints (non-failed): {mean_viol:.2}");
+}

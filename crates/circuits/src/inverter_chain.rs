@@ -1,0 +1,241 @@
+//! The four-stage inverter chain — paper Table V row 1, "used mainly for
+//! tool development and flow testing".
+//!
+//! Eight devices (an NMOS and a PMOS per stage), all eight widths are
+//! design variables, and there are two specs: propagation delay and energy
+//! per transition (reported as power at the switching rate). Estimated
+//! parasitics are applied before every simulation, mirroring the paper's
+//! MLParest-in-the-loop flow.
+
+use opt::{SizingProblem, SpecResult};
+use spice::{Circuit, SimOptions, SpiceError, Waveform, GND};
+
+use crate::measure;
+use crate::parasitics::{apply_parasitics, ParasiticConfig};
+use crate::tech::{tech_advanced, Technology};
+
+/// The inverter-chain sizing problem (8 variables, 2 constraints).
+///
+/// # Example
+///
+/// ```no_run
+/// use circuits::InverterChain;
+/// use opt::SizingProblem;
+///
+/// let chain = InverterChain::new();
+/// let spec = chain.evaluate(&chain.nominal());
+/// assert_eq!(spec.constraints.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InverterChain {
+    tech: Technology,
+    opts: SimOptions,
+    parasitics: ParasiticConfig,
+    /// Output load \[F\].
+    c_load: f64,
+    /// Delay target \[s\].
+    delay_limit: f64,
+    /// Energy-per-transition target \[J\].
+    energy_limit: f64,
+}
+
+impl Default for InverterChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InverterChain {
+    /// Creates the problem on the generic advanced-node technology.
+    pub fn new() -> Self {
+        InverterChain {
+            tech: tech_advanced(),
+            opts: SimOptions::default(),
+            parasitics: ParasiticConfig::default(),
+            c_load: 40e-15,
+            delay_limit: 35e-12,
+            energy_limit: 80e-15,
+        }
+    }
+
+    /// A near-feasible tapered chain.
+    pub fn nominal(&self) -> Vec<f64> {
+        let u = 1e-6;
+        // [wn1..wn4, wp1..wp4], tapered ~2x per stage.
+        vec![
+            0.5 * u,
+            1.0 * u,
+            2.0 * u,
+            4.0 * u,
+            0.9 * u,
+            1.8 * u,
+            3.6 * u,
+            7.2 * u,
+        ]
+    }
+
+    fn build(&self, x: &[f64]) -> Result<(Circuit, usize, usize), SpiceError> {
+        let t = &self.tech;
+        let l = t.l_min;
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.add_vsource("VDD", vdd, GND, Waveform::Dc(t.vdd))?;
+        let inp = ckt.node("in");
+        // 100 ps period pulse with sharp edges; delays measured on the
+        // second (settled) cycle.
+        ckt.add_vsource(
+            "VIN",
+            inp,
+            GND,
+            Waveform::pulse(0.0, t.vdd, 50e-12, 5e-12, 5e-12, 250e-12, 500e-12),
+        )?;
+        let mut prev = inp;
+        let mut out = inp;
+        for stage in 0..4 {
+            out = ckt.node(&format!("s{stage}"));
+            ckt.add_mosfet(
+                &format!("MN{stage}"),
+                out,
+                prev,
+                GND,
+                GND,
+                &t.nmos,
+                x[stage],
+                l,
+                1.0,
+            )?;
+            ckt.add_mosfet(
+                &format!("MP{stage}"),
+                out,
+                prev,
+                vdd,
+                vdd,
+                &t.pmos,
+                x[4 + stage],
+                l,
+                1.0,
+            )?;
+            prev = out;
+        }
+        ckt.add_capacitor("CL", out, GND, self.c_load)?;
+        apply_parasitics(&mut ckt, &self.parasitics)?;
+        Ok((ckt, inp, out))
+    }
+}
+
+impl SizingProblem for InverterChain {
+    fn dim(&self) -> usize {
+        8
+    }
+
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.1e-6; 8], vec![20e-6; 8])
+    }
+
+    fn num_constraints(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &str {
+        "inverter-chain"
+    }
+
+    fn variable_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = (1..=4).map(|i| format!("WN{i}")).collect();
+        v.extend((1..=4).map(|i| format!("WP{i}")));
+        v
+    }
+
+    fn nominal(&self) -> Vec<f64> {
+        self.nominal()
+    }
+
+    fn evaluate(&self, x: &[f64]) -> SpecResult {
+        let m = self.num_constraints();
+        let Ok((ckt, inp, out)) = self.build(x) else {
+            return SpecResult::failed(m);
+        };
+        let t = &self.tech;
+        let Ok(tr) = spice::transient(&ckt, &self.opts, 1.0e-9, 2e-12) else {
+            return SpecResult::failed(m);
+        };
+        // Second cycle: rising input edge at 550 ps, falling at 805 ps.
+        let w_in = tr.waveform(inp);
+        let w_out = tr.waveform(out);
+        let after = |w: &[(f64, f64)], t0: f64| -> Vec<(f64, f64)> {
+            w.iter().copied().filter(|&(tt, _)| tt >= t0).collect()
+        };
+        let half = 0.5 * t.vdd;
+        // Four inverters: output follows the input polarity.
+        let t_in_rise = measure::crossing_time(&after(&w_in, 500e-12), half, true);
+        let t_out_rise = measure::crossing_time(&after(&w_out, 500e-12), half, true);
+        let t_in_fall = measure::crossing_time(&after(&w_in, 780e-12), half, false);
+        let t_out_fall = measure::crossing_time(&after(&w_out, 780e-12), half, false);
+        let delay = match (t_in_rise, t_out_rise, t_in_fall, t_out_fall) {
+            (Some(ir), Some(or), Some(if_), Some(of)) if or > ir && of > if_ => {
+                (or - ir).max(of - if_)
+            }
+            _ => {
+                return SpecResult {
+                    objective: 1.0,
+                    constraints: vec![3.0; m],
+                }
+            }
+        };
+        // Energy for one full cycle (two transitions), halved.
+        let energy = match tr.delivered_charge(&ckt, "VDD", 500e-12, 1.0e-9) {
+            Ok(q) => (q * t.vdd / 2.0).abs(),
+            Err(_) => return SpecResult::failed(m),
+        };
+
+        // Objective: delay-energy product pressure via energy (power at the
+        // switching rate); the paper lists "delay and power" as the two
+        // specs, with the optimizer driving both to feasibility.
+        let constraints = vec![
+            (delay - self.delay_limit) / self.delay_limit,
+            (energy - self.energy_limit) / self.energy_limit,
+        ];
+        SpecResult { objective: energy * 1e12, constraints }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_chain_is_feasible() {
+        let chain = InverterChain::new();
+        let spec = chain.evaluate(&chain.nominal());
+        assert!(!spec.is_failure());
+        assert!(
+            spec.feasible(),
+            "nominal tapered chain should meet both specs: {:?}",
+            spec.constraints
+        );
+    }
+
+    #[test]
+    fn tiny_devices_are_slow() {
+        let chain = InverterChain::new();
+        let (lb, _) = chain.bounds();
+        let spec = chain.evaluate(&lb);
+        assert!(spec.constraints[0] > 0.0, "minimum widths must miss the delay spec");
+    }
+
+    #[test]
+    fn huge_devices_burn_energy() {
+        let chain = InverterChain::new();
+        let (_, ub) = chain.bounds();
+        let spec = chain.evaluate(&ub);
+        assert!(spec.constraints[1] > 0.0, "maximum widths must miss the energy spec");
+    }
+
+    #[test]
+    fn eight_variables_two_specs() {
+        let chain = InverterChain::new();
+        assert_eq!(chain.dim(), 8);
+        assert_eq!(chain.num_constraints(), 2);
+        assert_eq!(chain.variable_names().len(), 8);
+    }
+}

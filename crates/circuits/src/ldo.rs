@@ -1,0 +1,330 @@
+//! The low-dropout regulator — paper Table V row 3.
+//!
+//! A 5-transistor NMOS-input error amplifier drives a heavily arrayed PMOS
+//! pass device; a resistive divider feeds back half of VOUT against a
+//! fixed reference. Rail decoupling arrays emulate the arrayed instances
+//! behind the paper's 167k device count ("the number of devices is high
+//! due to arrayed instances used by the analog engineer").
+//!
+//! Nine constraints, as in the paper's description (PSRR, gain margin,
+//! phase margin, DC gain, GBW, plus regulation/quiescent specs). Loop-gain
+//! measurements use the two-step break-the-loop method: a closed-loop
+//! operating point pins the feedback voltage, then an open-loop replica is
+//! driven at that bias to sweep the loop transmission.
+
+use opt::{SizingProblem, SpecResult};
+use spice::{Circuit, SimOptions, SpiceError, Waveform, GND};
+
+use crate::measure;
+use crate::parasitics::{apply_parasitics, ParasiticConfig};
+use crate::tech::{tech_advanced, Technology};
+
+/// The LDO sizing problem (10 variables — ~6 critical — and 9 constraints).
+#[derive(Debug, Clone)]
+pub struct Ldo {
+    tech: Technology,
+    opts: SimOptions,
+    parasitics: ParasiticConfig,
+    /// Regulation target \[V\].
+    vout_target: f64,
+    /// Reference voltage \[V\] (half of the target; divider ratio 2).
+    vref: f64,
+    /// Nominal and light load currents \[A\].
+    i_load: (f64, f64),
+    /// Output capacitor \[F\].
+    c_out: f64,
+}
+
+impl Default for Ldo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ldo {
+    /// Creates the problem on the generic advanced-node technology.
+    pub fn new() -> Self {
+        Ldo {
+            tech: tech_advanced(),
+            opts: SimOptions::default(),
+            parasitics: ParasiticConfig::default(),
+            vout_target: 0.55,
+            vref: 0.275,
+            i_load: (5e-3, 0.5e-3),
+            c_out: 100e-12,
+        }
+    }
+
+    /// A hand-tuned near-feasible design.
+    ///
+    /// Layout: `[w_ea, l_ea, w_mir, m_pass, cc, r1, w_tail, w_decap,
+    /// l_decap, w_dummy]`.
+    pub fn nominal(&self) -> Vec<f64> {
+        let u = 1e-6;
+        vec![
+            4.0 * u,  // error-amp input pair width
+            0.1 * u,  // error-amp input pair length
+            2.0 * u,  // error-amp PMOS mirror width
+            2000.0,   // pass-device fingers
+            2.0e-12,  // compensation cap
+            100e3,    // divider top resistor
+            4.0 * u,  // error-amp tail width
+            1.0 * u,  // decap width  (non-critical)
+            0.1 * u,  // decap length (non-critical)
+            0.3 * u,  // dummy width  (non-critical)
+        ]
+    }
+
+    /// Builds the regulator. `fb_drive`: `None` = closed loop; `Some((dc,
+    /// ac))` = loop broken at the error-amp feedback input, driven by a
+    /// source at that bias.
+    fn build(
+        &self,
+        x: &[f64],
+        i_load: f64,
+        fb_drive: Option<(f64, f64)>,
+    ) -> Result<(Circuit, usize, usize), SpiceError> {
+        let t = &self.tech;
+        let l = t.l_min;
+        let (w_ea, l_ea, w_mir, m_pass, cc, r1, w_tail) =
+            (x[0], x[1].max(l), x[2], x[3].round().max(1.0), x[4], x[5], x[6]);
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.add_vsource("VDD", vdd, GND, Waveform::Dc(t.vdd))?;
+        let vref = ckt.node("vref");
+        ckt.add_vsource("VREF", vref, GND, Waveform::Dc(self.vref))?;
+
+        // Error amplifier: NMOS pair (A = feedback side with diode load,
+        // B = reference side with mirror output).
+        let tail = ckt.node("ea_tail");
+        let d_a = ckt.node("ea_da");
+        let ea_out = ckt.node("ea_out");
+        let vbn = ckt.node("vbn");
+        ckt.add_mosfet("MB_n1", vbn, vbn, GND, GND, &t.nmos, 1e-6, 0.1e-6, 1.0)?;
+        ckt.add_isource("IB1", vdd, vbn, Waveform::Dc(20e-6))?;
+        ckt.add_mosfet("M_tail", tail, vbn, GND, GND, &t.nmos, w_tail, 0.1e-6, 2.0)?;
+        let fb_in = match fb_drive {
+            None => ckt.node("vfb"),
+            Some((dc, ac)) => {
+                let n = ckt.node("fb_drive");
+                ckt.add_vsource_ac("VFBDRV", n, GND, Waveform::Dc(dc), ac)?;
+                n
+            }
+        };
+        ckt.add_mosfet("M_eaA", d_a, fb_in, tail, GND, &t.nmos, w_ea, l_ea, 1.0)?;
+        ckt.add_mosfet("M_eaB", ea_out, vref, tail, GND, &t.nmos, w_ea, l_ea, 1.0)?;
+        ckt.add_mosfet("M_mirD", d_a, d_a, vdd, vdd, &t.pmos, w_mir, 0.1e-6, 1.0)?;
+        ckt.add_mosfet("M_mirO", ea_out, d_a, vdd, vdd, &t.pmos, w_mir, 0.1e-6, 1.0)?;
+
+        // Pass device and output network.
+        let vout = ckt.node("vout");
+        ckt.add_mosfet("M_pass", vout, ea_out, vdd, vdd, &t.pmos, 0.3e-6, l, m_pass)?;
+        ckt.add_capacitor("CC", ea_out, vout, cc)?;
+        ckt.add_capacitor("COUT", vout, GND, self.c_out)?;
+        ckt.add_isource("ILOAD", vout, GND, Waveform::Dc(i_load))?;
+        // Divider: vfb node always exists; in open-loop builds it is the
+        // return-signal tap (loaded by the divider exactly as closed loop).
+        let vfb_tap = ckt.node("vfb");
+        ckt.add_resistor("R1", vout, vfb_tap, r1)?;
+        ckt.add_resistor("R2", vfb_tap, GND, 100e3)?;
+
+        // Arrayed decoupling (the device-count emulation) and a dummy.
+        ckt.add_mosfet("M_decap1", GND, vdd, GND, GND, &t.nmos, x[7], x[8].max(l), 82_300.0)?;
+        ckt.add_mosfet("M_decap2", GND, vout, GND, GND, &t.nmos, x[7], x[8].max(l), 82_300.0)?;
+        ckt.add_mosfet("M_dummy", vout, GND, GND, GND, &t.nmos, x[9], l, 1.0)?;
+        apply_parasitics(&mut ckt, &self.parasitics)?;
+        let vout_id = ckt.find_node("vout")?;
+        let vfb_id = ckt.find_node("vfb")?;
+        Ok((ckt, vout_id, vfb_id))
+    }
+
+    /// Expanded MOS count (array-aware), ~167k as in the paper's Table V.
+    pub fn device_count(&self) -> f64 {
+        let x = self.nominal();
+        self.build(&x, self.i_load.0, None)
+            .map(|(c, _, _)| c.expanded_mosfet_count())
+            .unwrap_or(0.0)
+    }
+}
+
+impl SizingProblem for Ldo {
+    fn dim(&self) -> usize {
+        10
+    }
+
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        let u = 1e-6;
+        (
+            vec![0.5 * u, 0.02 * u, 0.5 * u, 200.0, 0.2e-12, 50e3, 0.5 * u, 0.1 * u, 0.02 * u, 0.1 * u],
+            vec![20.0 * u, 0.5 * u, 20.0 * u, 20000.0, 10e-12, 200e3, 20.0 * u, 8.0 * u, 0.5 * u, 8.0 * u],
+        )
+    }
+
+    fn num_constraints(&self) -> usize {
+        9
+    }
+
+    fn name(&self) -> &str {
+        "ldo"
+    }
+
+    fn variable_names(&self) -> Vec<String> {
+        ["w_ea", "l_ea", "w_mir", "m_pass", "cc", "r1", "w_tail", "w_decap", "l_decap", "w_dummy"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    fn nominal(&self) -> Vec<f64> {
+        self.nominal()
+    }
+
+    fn evaluate(&self, x: &[f64]) -> SpecResult {
+        let m = self.num_constraints();
+        // Closed-loop operating points at nominal and light load.
+        let Ok((ckt_nom, vout, vfb)) = self.build(x, self.i_load.0, None) else {
+            return SpecResult::failed(m);
+        };
+        let Ok(op_nom) = spice::op(&ckt_nom, &self.opts) else {
+            return SpecResult::failed(m);
+        };
+        let Ok((ckt_lt, vout_lt, _)) = self.build(x, self.i_load.1, None) else {
+            return SpecResult::failed(m);
+        };
+        let Ok(op_lt) = spice::op(&ckt_lt, &self.opts) else {
+            return SpecResult::failed(m);
+        };
+        let v_nom = op_nom.voltage(vout);
+        let v_lt = op_lt.voltage(vout_lt);
+        let vout_err = (v_nom - self.vout_target).abs();
+        let regulation = (v_nom - v_lt).abs();
+        // Quiescent current: total supply current minus the load.
+        let iq = match op_lt.source_current(&ckt_lt, "VDD") {
+            Ok(i) => (-i - self.i_load.1).abs(),
+            Err(_) => return SpecResult::failed(m),
+        };
+
+        // PSRR (closed loop) at nominal load.
+        let mut ckt_ps = ckt_nom.clone();
+        let _ = ckt_ps.set_ac_mag("VDD", 1.0);
+        let freqs = spice::log_freqs(1e2, 1e9, 4);
+        let Ok(ac_ps) = spice::ac(&ckt_ps, &self.opts, &op_nom, &freqs) else {
+            return SpecResult::failed(m);
+        };
+        let psrr_10k = -measure::db(measure::sample_response(
+            &freqs,
+            &ac_ps.magnitude(vout),
+            10e3,
+        ));
+
+        // Loop gain: break the loop at the error-amp feedback input, hold
+        // the bias, sweep.
+        let vfb_dc = op_nom.voltage(vfb);
+        let Ok((ckt_ol, vout_ol, vfb_ol)) = self.build(x, self.i_load.0, Some((vfb_dc, 1.0))) else {
+            return SpecResult::failed(m);
+        };
+        let Ok(op_ol) = spice::op(&ckt_ol, &self.opts) else {
+            return SpecResult::failed(m);
+        };
+        let _ = vout_ol;
+        let lfreqs = spice::log_freqs(1e2, 1e9, 6);
+        let Ok(ac_l) = spice::ac(&ckt_ol, &self.opts, &op_ol, &lfreqs) else {
+            return SpecResult::failed(m);
+        };
+        // Loop transmission L = v(tap); negate for the standard phase
+        // reference (negative feedback -> arg(-L) starts near 0).
+        let lmag: Vec<f64> = (0..lfreqs.len()).map(|i| ac_l.voltage(i, vfb_ol).abs()).collect();
+        let lphase = measure::unwrap_phases(
+            (0..lfreqs.len()).map(|i| (-ac_l.voltage(i, vfb_ol)).arg()),
+        );
+        let dc_gain_db = measure::db(lmag[0]);
+        let pm = measure::phase_margin(&lfreqs, &lmag, &lphase);
+        let gm_db = measure::gain_margin_db(&lfreqs, &lmag, &lphase);
+        let gbw = measure::unity_gain_frequency(&lfreqs, &lmag);
+
+        // Output noise at vout, closed loop.
+        let noise_rms = spice::noise(
+            &ckt_nom,
+            &self.opts,
+            &op_nom,
+            vout,
+            GND,
+            &spice::log_freqs(1e1, 1e7, 3),
+        )
+        .map(|n| n.total_rms())
+        .unwrap_or(f64::INFINITY);
+
+        let constraints = vec![
+            // 1. Output accuracy < 10 mV.
+            (vout_err - 10e-3) / 10e-3,
+            // 2. Load regulation < 15 mV over the 10:1 load step.
+            (regulation - 15e-3) / 15e-3,
+            // 3. DC loop gain > 40 dB.
+            (40.0 - dc_gain_db) / 20.0,
+            // 4. Phase margin > 50°.
+            match pm {
+                Some(p) => (50.0 - p) / 30.0,
+                None => 2.0,
+            },
+            // 5. Gain margin > 10 dB.
+            match gm_db {
+                Some(g) => (10.0 - g) / 10.0,
+                None => -1.0, // phase never reaches 180°: unconditionally stable
+            },
+            // 6. Loop GBW > 2 MHz.
+            match gbw {
+                Some(f) => (2e6 - f) / 2e6,
+                None => 2.0,
+            },
+            // 7. PSRR at 10 kHz > 30 dB.
+            (30.0 - psrr_10k) / 20.0,
+            // 8. Quiescent current < 200 µA.
+            (iq - 200e-6) / 200e-6,
+            // 9. Output noise < 10 mV rms (flicker-dominated at this
+            // technology card's KF; see EXPERIMENTS.md calibration note).
+            (noise_rms - 10e-3) / 10e-3,
+        ];
+        SpecResult { objective: iq, constraints }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_constraints_ten_vars() {
+        let ldo = Ldo::new();
+        assert_eq!(ldo.dim(), 10);
+        assert_eq!(ldo.num_constraints(), 9);
+    }
+
+    #[test]
+    fn device_count_matches_paper_scale() {
+        let ldo = Ldo::new();
+        let n = ldo.device_count();
+        assert!(n > 150_000.0 && n < 180_000.0, "count {n}");
+    }
+
+    #[test]
+    fn nominal_regulates() {
+        let ldo = Ldo::new();
+        let spec = ldo.evaluate(&ldo.nominal());
+        assert!(!spec.is_failure(), "nominal LDO must simulate");
+        // The regulation constraints are the core function.
+        assert!(spec.constraints[0] <= 0.0, "vout accuracy violated: {}", spec.constraints[0]);
+        assert!(spec.constraints[1] <= 0.0, "load regulation violated: {}", spec.constraints[1]);
+    }
+
+    #[test]
+    fn wrong_divider_cannot_regulate() {
+        let ldo = Ldo::new();
+        let mut x = ldo.nominal();
+        // r1 at its maximum makes the target output 0.275·(1 + 200k/100k)
+        // = 0.825 V — above what the supply can deliver, so the accuracy
+        // constraint must fail.
+        x[5] = 200e3;
+        let spec = ldo.evaluate(&x);
+        assert!(spec.constraints[0] > 0.0, "vout accuracy should fail: {}", spec.constraints[0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Parameterized analog circuits with full measurement extraction — the six
+//! sizing problems of the DNN-Opt paper.
+//!
+//! Small building blocks (180nm-class, paper §III-A):
+//! - [`FoldedCascodeOta`] — Table I / Eq. 9 (20 variables, 29 constraints)
+//!
+//! All problems implement [`opt::SizingProblem`], so every optimizer in the
+//! workspace (including DNN-Opt) runs on them unchanged.
+
+pub mod measure;
+pub mod parasitics;
+pub mod tech;
+
+mod comparator;
+mod ctle;
+mod inverter_chain;
+mod ldo;
+mod level_shifter;
+mod ota;
+
+pub use comparator::{LatchParams, StrongArmLatch};
+pub use ctle::Ctle;
+pub use inverter_chain::InverterChain;
+pub use ldo::Ldo;
+pub use level_shifter::LevelShifter;
+pub use ota::{FoldedCascodeOta, OtaParams, OtaReport};

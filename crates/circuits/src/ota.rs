@@ -1,0 +1,746 @@
+//! The two-stage folded-cascode OTA of paper Fig. 2 / Table I / Eq. 9.
+//!
+//! Topology (reconstructed from the schematic; exact device-to-label
+//! mapping in the figure is ambiguous, the structure below is the standard
+//! fully differential two-stage folded-cascode it depicts):
+//!
+//! - **Stage 1**: PMOS input pair (`W1/L1`, ×N1) with PMOS tail
+//!   (`W1/L1`, ×2N1); folded branch with NMOS sinks (`W3/L3`, ×(N1+N2))
+//!   gated by the CMFB voltage, NMOS cascodes (`W2/L2`, ×N2), PMOS
+//!   cascodes (`W5/L5`, ×N2) and PMOS current sources (`W4/L4`, ×N2).
+//! - **Stage 2**: class-A common-source NMOS drivers (`W6/L6`, ×N9) with
+//!   PMOS current-source loads (`W7/L7`, ×N8), Miller-compensated with
+//!   `MCAP`; each output carries a `Cf` load capacitor.
+//! - **CMFB**: resistive output-CM sensing into a 5-transistor OTA that
+//!   drives the stage-1 sink gates.
+//! - **Bias**: diode-connected mirror branches from a fixed 10 µA
+//!   reference generate `vbp1`, `vbp2`, `vbn2` and the CMFB tail bias.
+//!
+//! The sizing problem is exactly Table I: 20 design variables
+//! (`L1..L7`, `W1..W7`, `N1, N2, N8, N9`, `MCAP`, `Cf`) and Eq. 9's
+//! constraint set — 10 performance constraints plus 19 per-device
+//! saturation-region constraints (29 total).
+//!
+//! Measurements per evaluation: DC operating point (power, margins,
+//! swing), three AC sweeps (differential, common-mode, supply), a noise
+//! integration, and a closed-loop (gain −1) step transient for settling
+//! time and static error.
+
+use opt::{SizingProblem, SpecResult};
+use spice::{Circuit, OpPoint, SimOptions, SpiceError, Waveform, GND};
+
+use crate::measure;
+use crate::tech::{tech_180nm, Technology};
+
+/// Decoded design parameters (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OtaParams {
+    /// Channel lengths `L1..L7` \[m\].
+    pub l: [f64; 7],
+    /// Channel widths `W1..W7` \[m\].
+    pub w: [f64; 7],
+    /// Multipliers `N1, N2, N8, N9` (integers ≥ 1).
+    pub n1: f64,
+    /// Multiplier `N2`.
+    pub n2: f64,
+    /// Multiplier `N8`.
+    pub n8: f64,
+    /// Multiplier `N9`.
+    pub n9: f64,
+    /// Miller compensation capacitor \[F\].
+    pub mcap: f64,
+    /// Output load / feedback capacitor \[F\].
+    pub cf: f64,
+}
+
+impl OtaParams {
+    /// Decodes a raw design vector in Table I ordering
+    /// (`L1..L7, W1..W7, N1, N2, N8, N9, MCAP, Cf`), rounding the
+    /// multipliers to integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 20`.
+    pub fn decode(x: &[f64]) -> Self {
+        assert_eq!(x.len(), 20, "OTA design vector has 20 entries");
+        let mut l = [0.0; 7];
+        let mut w = [0.0; 7];
+        l.copy_from_slice(&x[0..7]);
+        w.copy_from_slice(&x[7..14]);
+        OtaParams {
+            l,
+            w,
+            n1: x[14].round().max(1.0),
+            n2: x[15].round().max(1.0),
+            n8: x[16].round().max(1.0),
+            n9: x[17].round().max(1.0),
+            mcap: x[18],
+            cf: x[19],
+        }
+    }
+}
+
+/// Names of the 19 saturation-checked devices (per Eq. 9's region list).
+const SAT_DEVICES: [&str; 19] = [
+    "M_inP", "M_inN", "M_tail", "MP_srcL", "MP_srcR", "MP_casL", "MP_casR", "MN_casL", "MN_casR",
+    "MN_snkL", "MN_snkR", "MN_drvL", "MN_drvR", "MP_ld2L", "MP_ld2R", "M_cmfbA", "M_cmfbB",
+    "M_cmfbTail", "M_cmfbInj",
+];
+
+/// The folded-cascode OTA sizing problem (paper Table I / Eq. 9).
+///
+/// # Example
+///
+/// ```no_run
+/// use circuits::FoldedCascodeOta;
+/// use opt::SizingProblem;
+///
+/// let ota = FoldedCascodeOta::new();
+/// let x = ota.nominal();
+/// let spec = ota.evaluate(&x);
+/// println!("power = {} W, feasible = {}", spec.objective, spec.feasible());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FoldedCascodeOta {
+    tech: Technology,
+    opts: SimOptions,
+    /// Input/output common-mode voltage \[V\].
+    vcm: f64,
+    /// Bias reference current \[A\].
+    iref: f64,
+}
+
+impl Default for FoldedCascodeOta {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FoldedCascodeOta {
+    /// Creates the problem on the generic 180nm-class technology.
+    pub fn new() -> Self {
+        let mut opts = SimOptions::default();
+        opts.max_nr_iters = 200;
+        FoldedCascodeOta { tech: tech_180nm(), opts, vcm: 0.9, iref: 10e-6 }
+    }
+
+    /// A hand-tuned design that meets (or closely approaches) every Eq. 9
+    /// constraint — the regression anchor for the evaluation pipeline.
+    pub fn nominal(&self) -> Vec<f64> {
+        let u = 1e-6;
+        let f = 1e-15;
+        vec![
+            // L1..L7
+            0.5 * u,
+            0.35 * u,
+            0.5 * u,
+            0.4 * u,
+            0.35 * u,
+            0.5 * u,
+            0.4 * u,
+            // W1..W7
+            30.0 * u,
+            30.0 * u,
+            40.0 * u,
+            40.0 * u,
+            40.0 * u,
+            5.0 * u,
+            60.0 * u,
+            // N1, N2, N8, N9
+            8.0,
+            4.0,
+            8.0,
+            6.0,
+            // MCAP, Cf
+            2000.0 * f,
+            300.0 * f,
+        ]
+    }
+
+    /// Builds the amplifier core into `ckt`. Returns the key node ids:
+    /// `(inp, inn, out_p, out_n)`.
+    fn build_core(&self, ckt: &mut Circuit, p: &OtaParams) -> Result<(usize, usize, usize, usize), SpiceError> {
+        let t = &self.tech;
+        let vdd = ckt.node("vdd");
+        ckt.add_vsource("VDD", vdd, GND, Waveform::Dc(t.vdd))?;
+
+        let inp = ckt.node("inp");
+        let inn = ckt.node("inn");
+        let tail = ckt.node("tail");
+        let fold_l = ckt.node("fold_l");
+        let fold_r = ckt.node("fold_r");
+        let srcp_l = ckt.node("srcp_l");
+        let srcp_r = ckt.node("srcp_r");
+        let out1_l = ckt.node("out1_l");
+        let out1_r = ckt.node("out1_r");
+        let out_p = ckt.node("out_p"); // second stage on the L (inp) side
+        let out_n = ckt.node("out_n");
+        let vsense = ckt.node("vsense");
+        let vbp1 = ckt.node("vbp1");
+        let vbp2 = ckt.node("vbp2");
+        let vbn2 = ckt.node("vbn2");
+        let vbn = ckt.node("vbn");
+
+        // ---- Bias generator (fixed 10 µA reference branches).
+        // vbp1: PMOS mirror gate.
+        ckt.add_mosfet("MB_p1", vbp1, vbp1, vdd, vdd, &t.pmos, p.w[3], p.l[3], 1.0)?;
+        ckt.add_isource("IB1", vbp1, GND, Waveform::Dc(self.iref))?;
+        // vbp2: two stacked PMOS diodes (cascode gate level).
+        let midp = ckt.node("bias_midp");
+        ckt.add_mosfet("MB_p2a", midp, midp, vdd, vdd, &t.pmos, p.w[4], p.l[4], 2.0)?;
+        ckt.add_mosfet("MB_p2b", vbp2, vbp2, midp, vdd, &t.pmos, p.w[4], p.l[4], 2.0)?;
+        ckt.add_isource("IB2", vbp2, GND, Waveform::Dc(self.iref))?;
+        // vbn2: two stacked NMOS diodes (vbn2 ≈ 2·vgs).
+        let midn = ckt.node("bias_midn");
+        ckt.add_mosfet("MB_n2a", midn, midn, GND, GND, &t.nmos, p.w[1], p.l[1], 2.0)?;
+        ckt.add_mosfet("MB_n2b", vbn2, vbn2, midn, GND, &t.nmos, p.w[1], p.l[1], 2.0)?;
+        ckt.add_isource("IB3", vdd, vbn2, Waveform::Dc(self.iref))?;
+        // vbn: NMOS mirror gate for the CMFB tail.
+        ckt.add_mosfet("MB_n1", vbn, vbn, GND, GND, &t.nmos, p.w[1], p.l[1], 1.0)?;
+        ckt.add_isource("IB4", vdd, vbn, Waveform::Dc(self.iref))?;
+
+        // ---- Stage 1: PMOS-input folded cascode.
+        ckt.add_mosfet("M_tail", tail, vbp1, vdd, vdd, &t.pmos, p.w[0], p.l[0], 2.0 * p.n1)?;
+        ckt.add_mosfet("M_inP", fold_l, inp, tail, vdd, &t.pmos, p.w[0], p.l[0], p.n1)?;
+        ckt.add_mosfet("M_inN", fold_r, inn, tail, vdd, &t.pmos, p.w[0], p.l[0], p.n1)?;
+        // Top PMOS current sources and cascodes.
+        ckt.add_mosfet("MP_srcL", srcp_l, vbp1, vdd, vdd, &t.pmos, p.w[3], p.l[3], p.n2)?;
+        ckt.add_mosfet("MP_srcR", srcp_r, vbp1, vdd, vdd, &t.pmos, p.w[3], p.l[3], p.n2)?;
+        ckt.add_mosfet("MP_casL", out1_l, vbp2, srcp_l, vdd, &t.pmos, p.w[4], p.l[4], p.n2)?;
+        ckt.add_mosfet("MP_casR", out1_r, vbp2, srcp_r, vdd, &t.pmos, p.w[4], p.l[4], p.n2)?;
+        // Bottom NMOS cascodes and mirror-biased sinks (gate vbn_snk comes
+        // from the replica + CMFB-injection branch below).
+        let vbn_snk = ckt.node("vbn_snk");
+        ckt.add_mosfet("MN_casL", out1_l, vbn2, fold_l, GND, &t.nmos, p.w[1], p.l[1], p.n2)?;
+        ckt.add_mosfet("MN_casR", out1_r, vbn2, fold_r, GND, &t.nmos, p.w[1], p.l[1], p.n2)?;
+        let snk_m = p.n1 + p.n2;
+        ckt.add_mosfet("MN_snkL", fold_l, vbn_snk, GND, GND, &t.nmos, p.w[2], p.l[2], snk_m)?;
+        ckt.add_mosfet("MN_snkR", fold_r, vbn_snk, GND, GND, &t.nmos, p.w[2], p.l[2], snk_m)?;
+
+        // ---- Stage 2 (inverting common source per side):
+        // left first-stage output drives the *P* output.
+        ckt.add_mosfet("MN_drvL", out_p, out1_l, GND, GND, &t.nmos, p.w[5], p.l[5], p.n9)?;
+        ckt.add_mosfet("MN_drvR", out_n, out1_r, GND, GND, &t.nmos, p.w[5], p.l[5], p.n9)?;
+        ckt.add_mosfet("MP_ld2L", out_p, vbp1, vdd, vdd, &t.pmos, p.w[6], p.l[6], p.n8)?;
+        ckt.add_mosfet("MP_ld2R", out_n, vbp1, vdd, vdd, &t.pmos, p.w[6], p.l[6], p.n8)?;
+        // Miller compensation with a fixed 2 kΩ nulling resistor (pushes
+        // the right-half-plane zero into the left half plane for any
+        // second-stage gm above ~0.5 mS) and output loads.
+        let zc_l = ckt.node("zc_l");
+        let zc_r = ckt.node("zc_r");
+        ckt.add_resistor("RZ_L", out1_l, zc_l, 2e3)?;
+        ckt.add_capacitor("CC_L", zc_l, out_p, p.mcap)?;
+        ckt.add_resistor("RZ_R", out1_r, zc_r, 2e3)?;
+        ckt.add_capacitor("CC_R", zc_r, out_n, p.mcap)?;
+        ckt.add_capacitor("CL_P", out_p, GND, p.cf)?;
+        ckt.add_capacitor("CL_N", out_n, GND, p.cf)?;
+
+        // ---- Sink bias: replica mirror + current-injection CMFB.
+        //
+        // A voltage-mode CMFB driving the sink gates directly latches up:
+        // when it rails, the sinks overpull by orders of magnitude, the
+        // first stage inverts its common-mode sign (top sources in triode)
+        // and the loop sticks at the rail. The textbook fix implemented
+        // here bounds the CMFB authority by *current*: the sink gate
+        // voltage comes from a diode branch carrying (a) a replica of
+        // ~90% of the nominal branch current, mirrored with the same
+        // geometry ratios as the signal path, plus (b) the tail-limited
+        // output current of the CMFB error amplifier.
+        // (a) Replica: 0.95·I_src per branch. Deliberately *excludes* the
+        // input-pair share: if the pair ever cuts off (e.g. the input CM
+        // runs away in a feedback testbench), the commanded sink current
+        // must stay below what the top sources can deliver, otherwise the
+        // first stage latches with the folds on the ground rail. The CMFB
+        // injection below makes up the input-pair share at balance.
+        ckt.add_mosfet("M_repSrc", vbn_snk, vbp1, vdd, vdd, &t.pmos, p.w[3], p.l[3], 0.95 * p.n2)?;
+        // Sink-bias diode, same geometry and multiplier as each sink.
+        ckt.add_mosfet("M_snkDio", vbn_snk, vbn_snk, GND, GND, &t.nmos, p.w[2], p.l[2], snk_m)?;
+        // (b) CMFB error amp: NMOS pair comparing the sensed output CM with
+        // VREF; the VREF-side current is mirrored into the diode branch, so
+        // the correction is bounded by the CMFB tail current.
+        ckt.add_resistor("R_snsP", out_p, vsense, 400e3)?;
+        ckt.add_resistor("R_snsN", out_n, vsense, 400e3)?;
+        let vref = ckt.node("vref");
+        ckt.add_vsource("VREF", vref, GND, Waveform::Dc(self.vcm))?;
+        let cm_tail = ckt.node("cm_tail");
+        let cm_d1 = ckt.node("cm_d1");
+        let cmfb_tail_m = 0.5 * snk_m;
+        ckt.add_mosfet("M_cmfbTail", cm_tail, vbn, GND, GND, &t.nmos, p.w[1], p.l[1], cmfb_tail_m)?;
+        // vsense down => more current in the VREF-side device? No: the
+        // sense-side device steals tail current as vsense rises, so the
+        // VREF-side current *falls* with rising output CM — injected into
+        // the sink diode this lowers the sink current and lets the outputs
+        // come back down through the two inverting stages.
+        ckt.add_mosfet("M_cmfbA", cm_d1, vref, cm_tail, GND, &t.nmos, p.w[1], p.l[1], 1.0)?;
+        let cm_dump = ckt.node("cm_dump");
+        ckt.add_mosfet("M_cmfbB", cm_dump, vsense, cm_tail, GND, &t.nmos, p.w[1], p.l[1], 1.0)?;
+        // Dump side terminates in a diode so the device stays biased.
+        ckt.add_mosfet("M_cmfbDump", cm_dump, cm_dump, vdd, vdd, &t.pmos, p.w[3], p.l[3], 1.0)?;
+        ckt.add_mosfet("M_cmfbMirD", cm_d1, cm_d1, vdd, vdd, &t.pmos, p.w[3], p.l[3], 1.0)?;
+        ckt.add_mosfet("M_cmfbInj", vbn_snk, cm_d1, vdd, vdd, &t.pmos, p.w[3], p.l[3], 1.0)?;
+        // Small stabilizing cap on the sink-bias node.
+        ckt.add_capacitor("C_cmfb", vbn_snk, GND, 50e-15)?;
+
+        Ok((inp, inn, out_p, out_n))
+    }
+
+    /// Builds the open-loop testbench: inputs driven by DC sources at VCM
+    /// (AC magnitudes set later per excitation pattern).
+    fn build_open_loop(&self, p: &OtaParams) -> Result<(Circuit, usize, usize), SpiceError> {
+        let mut ckt = Circuit::new();
+        let (inp, inn, out_p, out_n) = self.build_core(&mut ckt, p)?;
+        ckt.add_vsource("VIP", inp, GND, Waveform::Dc(self.vcm))?;
+        ckt.add_vsource("VIN", inn, GND, Waveform::Dc(self.vcm))?;
+        Ok((ckt, out_p, out_n))
+    }
+
+    /// Builds the closed-loop (resistive gain −1) step testbench.
+    fn build_closed_loop(&self, p: &OtaParams, step: f64) -> Result<(Circuit, usize, usize), SpiceError> {
+        let mut ckt = Circuit::new();
+        let (inp, inn, out_p, out_n) = self.build_core(&mut ckt, p)?;
+        let vin_p = ckt.node("vin_p");
+        let vin_n = ckt.node("vin_n");
+        // Cross-coupled feedback: out_p -> inn, out_n -> inp. The network
+        // is kept low-impedance (5 kΩ) so its pole with the input-pair
+        // gate capacitance stays far above the closed-loop bandwidth.
+        ckt.add_resistor("R1P", vin_p, inn, 5e3)?;
+        ckt.add_resistor("R2P", out_p, inn, 5e3)?;
+        ckt.add_resistor("R1N", vin_n, inp, 5e3)?;
+        ckt.add_resistor("R2N", out_n, inp, 5e3)?;
+        // Differential step at 100 ns with 1 ns edges.
+        ckt.add_vsource(
+            "VSP",
+            vin_p,
+            GND,
+            Waveform::pulse(self.vcm, self.vcm + step / 2.0, 100e-9, 1e-9, 1e-9, 1.0, f64::INFINITY),
+        )?;
+        ckt.add_vsource(
+            "VSN",
+            vin_n,
+            GND,
+            Waveform::pulse(self.vcm, self.vcm - step / 2.0, 100e-9, 1e-9, 1e-9, 1.0, f64::INFINITY),
+        )?;
+        Ok((ckt, out_p, out_n))
+    }
+
+    /// Estimated differential output swing from operating-point headrooms.
+    fn output_swing(&self, op: &OpPoint) -> f64 {
+        let vdsat_p = op.mos_op("MP_ld2L").map(|m| m.vdsat).unwrap_or(1.0)
+            .max(op.mos_op("MP_ld2R").map(|m| m.vdsat).unwrap_or(1.0));
+        let vdsat_n = op.mos_op("MN_drvL").map(|m| m.vdsat).unwrap_or(1.0)
+            .max(op.mos_op("MN_drvR").map(|m| m.vdsat).unwrap_or(1.0));
+        2.0 * (self.tech.vdd - vdsat_p - vdsat_n).max(0.0)
+    }
+}
+
+/// Constraint helper: "value must be at least limit" → `f = (limit − v)/scale`.
+fn at_least(v: f64, limit: f64, scale: f64) -> f64 {
+    (limit - v) / scale
+}
+
+/// Constraint helper: "value must be at most limit" → `f = (v − limit)/scale`.
+fn at_most(v: f64, limit: f64, scale: f64) -> f64 {
+    (v - limit) / scale
+}
+
+impl SizingProblem for FoldedCascodeOta {
+    fn dim(&self) -> usize {
+        20
+    }
+
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        let u = 1e-6;
+        let f = 1e-15;
+        let mut lb = Vec::with_capacity(20);
+        let mut ub = Vec::with_capacity(20);
+        // L1..L7: 0.18–2 µm.
+        for _ in 0..7 {
+            lb.push(0.18 * u);
+            ub.push(2.0 * u);
+        }
+        // W1..W7: 0.24–150 µm.
+        for _ in 0..7 {
+            lb.push(0.24 * u);
+            ub.push(150.0 * u);
+        }
+        // N1, N2, N8, N9: 1–20.
+        for _ in 0..4 {
+            lb.push(1.0);
+            ub.push(20.0);
+        }
+        // MCAP: 100–2000 fF; Cf: 100–10000 fF.
+        lb.push(100.0 * f);
+        ub.push(2000.0 * f);
+        lb.push(100.0 * f);
+        ub.push(10000.0 * f);
+        (lb, ub)
+    }
+
+    fn num_constraints(&self) -> usize {
+        10 + SAT_DEVICES.len()
+    }
+
+    fn name(&self) -> &str {
+        "folded-cascode-ota"
+    }
+
+    fn variable_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = (1..=7).map(|i| format!("L{i}")).collect();
+        names.extend((1..=7).map(|i| format!("W{i}")));
+        names.extend(["N1", "N2", "N8", "N9", "MCAP", "Cf"].map(String::from));
+        names
+    }
+
+    fn nominal(&self) -> Vec<f64> {
+        self.nominal()
+    }
+
+    fn evaluate(&self, x: &[f64]) -> SpecResult {
+        let m = self.num_constraints();
+        let p = OtaParams::decode(x);
+
+        // --- Open-loop testbench: OP + three AC excitations + noise.
+        let Ok((mut ol, out_p, out_n)) = self.build_open_loop(&p) else {
+            return SpecResult::failed(m);
+        };
+        let Ok(op) = spice::op(&ol, &self.opts) else {
+            return SpecResult::failed(m);
+        };
+
+        // Power: total supply current × VDD (battery current is negative).
+        let i_vdd = match op.source_current(&ol, "VDD") {
+            Ok(i) => -i,
+            Err(_) => return SpecResult::failed(m),
+        };
+        // Bias reference branches that terminate at ideal sources also draw
+        // from VDD in a real implementation; IB1/IB2 sink to ground already
+        // through VDD, IB3/IB4 are modeled from the rail. Total power:
+        let power = (i_vdd + 2.0 * self.iref) * self.tech.vdd;
+
+        let freqs = spice::log_freqs(1e3, 1e9, 8);
+        // Differential gain.
+        ol.clear_ac_mags();
+        let _ = ol.set_ac_mag("VIP", 0.5);
+        let _ = ol.set_ac_mag("VIN", -0.5);
+        let Ok(ac_dm) = spice::ac(&ol, &self.opts, &op, &freqs) else {
+            return SpecResult::failed(m);
+        };
+        let mag_dm = ac_dm.diff_magnitude(out_p, out_n);
+        let ph_dm = ac_dm.diff_phase_unwrapped(out_p, out_n);
+        let dc_gain_db = measure::db(mag_dm[0]);
+        let ugf = measure::unity_gain_frequency(&freqs, &mag_dm);
+        let pm = measure::phase_margin(&freqs, &mag_dm, &ph_dm);
+
+        // Common-mode gain (CM in → CM out).
+        ol.clear_ac_mags();
+        let _ = ol.set_ac_mag("VIP", 1.0);
+        let _ = ol.set_ac_mag("VIN", 1.0);
+        let Ok(ac_cm) = spice::ac(&ol, &self.opts, &op, &freqs) else {
+            return SpecResult::failed(m);
+        };
+        let a_cm = (ac_cm.voltage(0, out_p) + ac_cm.voltage(0, out_n)).abs() / 2.0;
+        let cmrr_db = dc_gain_db - measure::db(a_cm);
+
+        // Supply gain (VDD ripple → CM out).
+        ol.clear_ac_mags();
+        let _ = ol.set_ac_mag("VDD", 1.0);
+        let Ok(ac_ps) = spice::ac(&ol, &self.opts, &op, &freqs) else {
+            return SpecResult::failed(m);
+        };
+        let a_ps = (ac_ps.voltage(0, out_p) + ac_ps.voltage(0, out_n)).abs() / 2.0;
+        let psrr_db = dc_gain_db - measure::db(a_ps);
+
+        // Saturation margins.
+        let margins: Vec<f64> = SAT_DEVICES
+            .iter()
+            .map(|name| op.mos_op(name).map(|mo| mo.vsat_margin).unwrap_or(-1.0))
+            .collect();
+        let min_margin = margins.iter().cloned().fold(f64::INFINITY, f64::min);
+        let swing = self.output_swing(&op);
+
+        // --- Closed-loop testbench: output noise (in the configuration the
+        // amplifier is actually used in) and the step response.
+        let step = 0.5;
+        let mut vnoise = f64::INFINITY;
+        let (settle, static_err_pct) = match self.build_closed_loop(&p, step) {
+            Ok((cl, cout_p, cout_n)) => {
+                if let Ok(op_cl) = spice::op(&cl, &self.opts) {
+                    let noise_freqs = spice::log_freqs(1e3, 1e8, 4);
+                    if let Ok(nres) =
+                        spice::noise(&cl, &self.opts, &op_cl, cout_p, cout_n, &noise_freqs)
+                    {
+                        vnoise = nres.total_rms();
+                    }
+                }
+                match spice::transient(&cl, &self.opts, 400e-9, 0.5e-9) {
+                    Ok(tr) => {
+                        let wave: Vec<(f64, f64)> = tr
+                            .times()
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &t)| (t, tr.voltage(i, cout_p) - tr.voltage(i, cout_n)))
+                            .collect();
+                        // Gain −1 with crossed outputs: the differential
+                        // output equals +step in this orientation; measure
+                        // against the actual final value for settling and
+                        // against the ideal target for static error.
+                        let target = step;
+                        let v_final = wave.last().map(|p| p.1).unwrap_or(0.0);
+                        let settle =
+                            measure::settling_time(&wave, 101e-9, v_final, 0.01 * step.abs());
+                        let err = 100.0 * ((v_final.abs() - target.abs()) / target).abs();
+                        (settle, err)
+                    }
+                    Err(_) => (None, 100.0),
+                }
+            }
+            Err(_) => (None, 100.0),
+        };
+
+        // --- Assemble Eq. 9 constraints.
+        let mut constraints = Vec::with_capacity(m);
+        // 1. DC gain > 60 dB.
+        constraints.push(at_least(dc_gain_db, 60.0, 20.0));
+        // 2. Settling time < 30 ns (missing settle = strong violation).
+        constraints.push(match settle {
+            Some(ts) => at_most(ts, 30e-9, 30e-9),
+            None => 3.0,
+        });
+        // 3. CMRR > 80 dB.
+        constraints.push(at_least(cmrr_db, 80.0, 40.0));
+        // 4. Saturation margin > 50 mV (worst device).
+        constraints.push(at_least(min_margin, 0.05, 0.1));
+        // 5. PSRR > 80 dB.
+        constraints.push(at_least(psrr_db, 80.0, 40.0));
+        // 6. Unity-gain frequency > 30 MHz.
+        constraints.push(match ugf {
+            Some(f) => at_least(f, 30e6, 30e6),
+            None => 2.0,
+        });
+        // 7. Output swing > 2.4 V (differential).
+        constraints.push(at_least(swing, 2.4, 1.0));
+        // 8. Output noise < 30 mV rms.
+        constraints.push(at_most(vnoise, 30e-3, 30e-3));
+        // 9. Static error < 0.1 %.
+        constraints.push(at_most(static_err_pct, 0.1, 0.2));
+        // 10. Phase margin > 60°.
+        constraints.push(match pm {
+            Some(deg) => at_least(deg, 60.0, 30.0),
+            None => 2.0,
+        });
+        // 11–29. Per-device saturation-region requirements (margin > 0).
+        for margin in margins {
+            constraints.push(at_most(-margin, 0.0, 0.1));
+        }
+
+        SpecResult { objective: power, constraints }
+    }
+}
+
+/// Measured (not constraint-form) OTA performance, for reports and
+/// examples.
+#[derive(Debug, Clone)]
+pub struct OtaReport {
+    /// Static power \[W\].
+    pub power: f64,
+    /// DC differential gain \[dB\].
+    pub dc_gain_db: f64,
+    /// Unity-gain frequency \[Hz\].
+    pub ugf: Option<f64>,
+    /// Phase margin \[deg\].
+    pub phase_margin: Option<f64>,
+    /// CMRR \[dB\].
+    pub cmrr_db: f64,
+    /// PSRR \[dB\].
+    pub psrr_db: f64,
+    /// Integrated output noise \[V rms\].
+    pub noise_rms: f64,
+    /// Estimated differential output swing \[V\].
+    pub swing: f64,
+    /// Worst saturation margin \[V\].
+    pub min_sat_margin: f64,
+}
+
+impl FoldedCascodeOta {
+    /// Runs the measurement suite and returns raw performance numbers
+    /// (a convenience view over the same analyses `evaluate` runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures instead of encoding them as penalty
+    /// constraints.
+    pub fn report(&self, x: &[f64]) -> Result<OtaReport, SpiceError> {
+        let p = OtaParams::decode(x);
+        let (mut ol, out_p, out_n) = self.build_open_loop(&p)?;
+        let op = spice::op(&ol, &self.opts)?;
+        let i_vdd = -op.source_current(&ol, "VDD")?;
+        let power = (i_vdd + 2.0 * self.iref) * self.tech.vdd;
+        let freqs = spice::log_freqs(1e3, 1e9, 8);
+        ol.clear_ac_mags();
+        ol.set_ac_mag("VIP", 0.5)?;
+        ol.set_ac_mag("VIN", -0.5)?;
+        let ac_dm = spice::ac(&ol, &self.opts, &op, &freqs)?;
+        let mag = ac_dm.diff_magnitude(out_p, out_n);
+        let ph = ac_dm.diff_phase_unwrapped(out_p, out_n);
+        ol.clear_ac_mags();
+        ol.set_ac_mag("VIP", 1.0)?;
+        ol.set_ac_mag("VIN", 1.0)?;
+        let ac_cm = spice::ac(&ol, &self.opts, &op, &freqs)?;
+        ol.clear_ac_mags();
+        ol.set_ac_mag("VDD", 1.0)?;
+        let ac_ps = spice::ac(&ol, &self.opts, &op, &freqs)?;
+        ol.clear_ac_mags();
+        // Closed-loop output noise (the spec's configuration).
+        let (cl, cout_p, cout_n) = self.build_closed_loop(&p, 0.5)?;
+        let op_cl = spice::op(&cl, &self.opts)?;
+        let nres =
+            spice::noise(&cl, &self.opts, &op_cl, cout_p, cout_n, &spice::log_freqs(1e3, 1e8, 4))?;
+        let dc_gain_db = measure::db(mag[0]);
+        let a_cm = (ac_cm.voltage(0, out_p) + ac_cm.voltage(0, out_n)).abs() / 2.0;
+        let a_ps = (ac_ps.voltage(0, out_p) + ac_ps.voltage(0, out_n)).abs() / 2.0;
+        let margins: Vec<f64> = SAT_DEVICES
+            .iter()
+            .map(|name| op.mos_op(name).map(|mo| mo.vsat_margin).unwrap_or(-1.0))
+            .collect();
+        Ok(OtaReport {
+            power,
+            dc_gain_db,
+            ugf: measure::unity_gain_frequency(&freqs, &mag),
+            phase_margin: measure::phase_margin(&freqs, &mag, &ph),
+            cmrr_db: dc_gain_db - measure::db(a_cm),
+            psrr_db: dc_gain_db - measure::db(a_ps),
+            noise_rms: nres.total_rms(),
+            swing: self.output_swing(&op),
+            min_sat_margin: margins.iter().cloned().fold(f64::INFINITY, f64::min),
+        })
+    }
+}
+
+impl FoldedCascodeOta {
+    /// Prints closed-loop step diagnostics (debugging aid).
+    #[doc(hidden)]
+    pub fn debug_closed_loop(&self, x: &[f64]) {
+        let p = OtaParams::decode(x);
+        let (cl, out_p, out_n) = self.build_closed_loop(&p, 0.5).expect("netlist");
+        let inp = cl.find_node("inp").unwrap();
+        let inn = cl.find_node("inn").unwrap();
+        let tr = match spice::transient(&cl, &self.opts, 400e-9, 0.5e-9) {
+            Ok(tr) => tr,
+            Err(e) => {
+                println!("transient failed: {e}");
+                return;
+            }
+        };
+        for &t in &[0.0, 99e-9, 110e-9, 130e-9, 160e-9, 200e-9, 300e-9, 399e-9] {
+            let vd = tr.sample(out_p, t) - tr.sample(out_n, t);
+            let vi = tr.sample(inp, t) - tr.sample(inn, t);
+            let cm = 0.5 * (tr.sample(out_p, t) + tr.sample(out_n, t));
+            println!(
+                "t={:>6.0}ns  out_diff={vd:>9.5}  in_diff={vi:>10.6}  out_cm={cm:>8.5}",
+                t * 1e9
+            );
+        }
+    }
+
+    /// Prints the operating point of a design — a debugging aid kept in the
+    /// public API because sizing failures are far easier to diagnose from
+    /// bias voltages than from constraint values.
+    pub fn debug_op(&self, x: &[f64]) {
+        let p = OtaParams::decode(x);
+        let Ok((ol, _, _)) = self.build_open_loop(&p) else {
+            println!("netlist construction failed");
+            return;
+        };
+        match spice::op(&ol, &self.opts) {
+            Ok(op) => {
+                for node in ["vdd", "tail", "fold_l", "srcp_l", "out1_l", "out1_r", "out_p",
+                             "out_n", "vcmfb", "vsense", "vbp1", "vbp2", "vbn2", "vbn"] {
+                    if let Ok(id) = ol.find_node(node) {
+                        println!("V({node}) = {:.4}", op.voltage(id));
+                    }
+                }
+                let mut names: Vec<&String> = op.mos_ops().keys().collect();
+                names.sort();
+                for name in names {
+                    let m = op.mos_ops()[name];
+                    println!(
+                        "{name:14} id={:>10.3e} vgs={:>7.3} vds={:>7.3} vdsat={:>6.3} margin={:>7.3} {:?}",
+                        m.id, m.vgs, m.vds, m.vdsat, m.vsat_margin, m.region
+                    );
+                }
+            }
+            Err(e) => println!("op failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_match_table_one() {
+        let ota = FoldedCascodeOta::new();
+        let (lb, ub) = ota.bounds();
+        assert_eq!(lb.len(), 20);
+        assert_eq!(ub.len(), 20);
+        assert!((lb[0] - 0.18e-6).abs() < 1e-12); // L lower
+        assert!((ub[0] - 2.0e-6).abs() < 1e-12); // L upper
+        assert!((lb[7] - 0.24e-6).abs() < 1e-12); // W lower
+        assert!((ub[7] - 150e-6).abs() < 1e-12); // W upper
+        assert_eq!(lb[14], 1.0); // N lower
+        assert_eq!(ub[14], 20.0); // N upper
+        assert!((lb[18] - 100e-15).abs() < 1e-24); // MCAP
+        assert!((ub[19] - 10000e-15).abs() < 1e-24); // Cf
+        assert_eq!(ota.num_constraints(), 29);
+        assert_eq!(ota.variable_names()[14], "N1");
+    }
+
+    #[test]
+    fn params_decode_rounds_multipliers() {
+        let ota = FoldedCascodeOta::new();
+        let mut x = ota.nominal();
+        x[14] = 3.4;
+        x[15] = 3.6;
+        let p = OtaParams::decode(&x);
+        assert_eq!(p.n1, 3.0);
+        assert_eq!(p.n2, 4.0);
+    }
+
+    #[test]
+    fn nominal_design_simulates_and_reports() {
+        let ota = FoldedCascodeOta::new();
+        let rep = ota.report(&ota.nominal()).expect("nominal must simulate");
+        assert!(rep.power > 10e-6 && rep.power < 20e-3, "power {}", rep.power);
+        assert!(rep.dc_gain_db > 40.0, "gain {}", rep.dc_gain_db);
+        assert!(rep.ugf.is_some(), "must cross unity");
+        assert!(rep.min_sat_margin > -0.5, "margins {}", rep.min_sat_margin);
+    }
+
+    #[test]
+    fn evaluate_returns_29_constraints() {
+        let ota = FoldedCascodeOta::new();
+        let spec = ota.evaluate(&ota.nominal());
+        assert_eq!(spec.constraints.len(), 29);
+        assert!(spec.objective > 0.0);
+        assert!(!spec.is_failure());
+    }
+
+    #[test]
+    fn bad_design_is_penalized_not_crashing() {
+        let ota = FoldedCascodeOta::new();
+        let (lb, _) = ota.bounds();
+        // Everything at the lower bound: minimum-size devices, starved amp.
+        let spec = ota.evaluate(&lb);
+        assert_eq!(spec.constraints.len(), 29);
+        assert!(!spec.feasible(), "minimum-size design cannot meet Eq. 9");
+    }
+
+    #[test]
+    fn constraint_helpers_signs() {
+        assert!(at_least(10.0, 5.0, 1.0) < 0.0); // satisfied
+        assert!(at_least(3.0, 5.0, 1.0) > 0.0); // violated
+        assert!(at_most(3.0, 5.0, 1.0) < 0.0);
+        assert!(at_most(7.0, 5.0, 1.0) > 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Estimated-parasitic loading — the MLParest stand-in.
+//!
+//! The paper runs MLParest (Shook et al., DAC 2020), a machine-learning
+//! pre-layout parasitic estimator, inside the DNN-Opt loop for the
+//! industrial circuits so that sizing decisions see post-layout-like
+//! loading. MLParest is proprietary; this module substitutes a
+//! deterministic geometry-driven estimator with the same role and the same
+//! qualitative effect — every node gains wiring capacitance that grows
+//! with the devices attached to it, so "just make it wider" stops being
+//! free:
+//!
+//! - each MOSFET terminal contributes wire capacitance proportional to the
+//!   device width (routing tracks scale with the device footprint);
+//! - each connected terminal adds a fixed via/stub capacitance;
+//! - the estimate is applied as lumped node-to-ground capacitors, the
+//!   dominant first-order effect of layout on these circuits.
+
+use spice::{Circuit, Device, SpiceError};
+
+/// Parasitic-estimation coefficients.
+#[derive(Debug, Clone)]
+pub struct ParasiticConfig {
+    /// Fixed capacitance per device terminal \[F\] (vias, stubs).
+    pub cap_per_terminal: f64,
+    /// Capacitance per meter of attached device width \[F/m\]
+    /// (width-proportional routing).
+    pub cap_per_width: f64,
+}
+
+impl Default for ParasiticConfig {
+    fn default() -> Self {
+        // Advanced-node-like numbers: ~0.2 fF per terminal, 0.15 fF/µm.
+        ParasiticConfig { cap_per_terminal: 0.2e-15, cap_per_width: 0.15e-9 }
+    }
+}
+
+/// Estimates wiring parasitics for every non-ground node of `circuit` and
+/// inserts them as grounded capacitors named `CPAR_<node>`.
+///
+/// Returns the number of capacitors added.
+///
+/// # Errors
+///
+/// Propagates netlist errors (duplicate names if called twice on the same
+/// circuit).
+pub fn apply_parasitics(circuit: &mut Circuit, cfg: &ParasiticConfig) -> Result<usize, SpiceError> {
+    let n = circuit.num_nodes();
+    let mut cap = vec![0.0_f64; n];
+    for dev in circuit.devices() {
+        match dev {
+            Device::Mosfet { d, g, s, b, w, m, .. } => {
+                for &t in &[*d, *g, *s, *b] {
+                    cap[t] += cfg.cap_per_terminal + cfg.cap_per_width * w * m;
+                }
+            }
+            Device::Resistor { a, b, .. } | Device::Capacitor { a, b, .. } => {
+                cap[*a] += cfg.cap_per_terminal;
+                cap[*b] += cfg.cap_per_terminal;
+            }
+            _ => {}
+        }
+    }
+    let mut added = 0;
+    for (node, c) in cap.iter().enumerate().skip(1) {
+        if *c > 0.0 {
+            let name = format!("CPAR_{}", circuit.node_name(node));
+            circuit.add_capacitor(&name, node, spice::GND, *c)?;
+            added += 1;
+        }
+    }
+    Ok(added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::tech_advanced;
+    use spice::{SimOptions, Waveform, GND};
+
+    fn small_inverter() -> Circuit {
+        let t = tech_advanced();
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("VDD", vdd, GND, Waveform::Dc(t.vdd)).unwrap();
+        c.add_vsource("VIN", inp, GND, Waveform::Dc(0.0)).unwrap();
+        c.add_mosfet("MN", out, inp, GND, GND, &t.nmos, 1e-6, 0.02e-6, 1.0).unwrap();
+        c.add_mosfet("MP", out, inp, vdd, vdd, &t.pmos, 2e-6, 0.02e-6, 1.0).unwrap();
+        c
+    }
+
+    #[test]
+    fn adds_caps_to_touched_nodes() {
+        let mut c = small_inverter();
+        let before = c.devices().len();
+        let added = apply_parasitics(&mut c, &ParasiticConfig::default()).unwrap();
+        assert!(added >= 3); // vdd, in, out at least
+        assert_eq!(c.devices().len(), before + added);
+    }
+
+    #[test]
+    fn wider_devices_mean_more_parasitics() {
+        let cfg = ParasiticConfig::default();
+        let t = tech_advanced();
+        let total_cap = |w: f64| {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            c.add_mosfet("M1", a, a, GND, GND, &t.nmos, w, 0.02e-6, 1.0).unwrap();
+            apply_parasitics(&mut c, &cfg).unwrap();
+            c.capacitive_elements().iter().map(|&(_, _, cc)| cc).sum::<f64>()
+        };
+        assert!(total_cap(10e-6) > total_cap(1e-6));
+    }
+
+    #[test]
+    fn circuit_still_simulates_with_parasitics() {
+        let mut c = small_inverter();
+        apply_parasitics(&mut c, &ParasiticConfig::default()).unwrap();
+        let op = spice::op(&c, &SimOptions::default()).unwrap();
+        let out = c.find_node("out").unwrap();
+        assert!(op.voltage(out) > 0.7); // input low -> output high
+    }
+
+    #[test]
+    fn multipliers_scale_parasitics() {
+        let cfg = ParasiticConfig::default();
+        let t = tech_advanced();
+        let cap_of = |m: f64| {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            c.add_mosfet("M1", a, a, GND, GND, &t.nmos, 1e-6, 0.02e-6, m).unwrap();
+            apply_parasitics(&mut c, &cfg).unwrap();
+            c.capacitive_elements().iter().map(|&(_, _, cc)| cc).sum::<f64>()
+        };
+        assert!(cap_of(100.0) > cap_of(1.0) * 10.0);
+    }
+}

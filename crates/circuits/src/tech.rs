@@ -1,0 +1,125 @@
+//! Technology parameter sets.
+//!
+//! The paper's building blocks use a 180 nm CMOS process and its industrial
+//! circuits "a very advanced technology node". Both PDKs are proprietary, so
+//! this module provides generic Level-1+ parameter sets with representative
+//! magnitudes: a 180nm-class card (1.8 V) and a FinFET-era-class card
+//! (0.75 V, higher drive, stronger channel-length modulation). These are the
+//! documented SPICE/PDK substitutions from DESIGN.md — absolute performance
+//! numbers differ from silicon, but the optimization landscape (headroom,
+//! gain/speed/power/noise trade-offs) is preserved.
+
+use spice::{MosModel, MosPolarity};
+
+/// A process card: device models plus the nominal supply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Display name.
+    pub name: &'static str,
+    /// NMOS model card.
+    pub nmos: MosModel,
+    /// PMOS model card.
+    pub pmos: MosModel,
+    /// Nominal supply voltage \[V\].
+    pub vdd: f64,
+    /// Minimum drawn channel length \[m\].
+    pub l_min: f64,
+}
+
+/// Generic 180nm-class process (1.8 V) used by the folded-cascode OTA and
+/// the StrongARM latch experiments.
+pub fn tech_180nm() -> Technology {
+    let nmos = MosModel {
+        polarity: MosPolarity::Nmos,
+        vth0: 0.45,
+        kp: 300e-6,
+        clm: 0.03e-6,
+        gamma: 0.40,
+        phi: 0.80,
+        nsub: 1.4,
+        cox: 8.5e-3,
+        cov: 3.0e-10,
+        cj: 1.0e-3,
+        ldiff: 0.5e-6,
+        kf: 4.0e-25,
+        af: 1.0,
+        noise_gamma: 2.0 / 3.0,
+    };
+    let pmos = MosModel {
+        polarity: MosPolarity::Pmos,
+        vth0: 0.45,
+        kp: 80e-6,
+        kf: 1.5e-25,
+        ..nmos.clone()
+    };
+    Technology { name: "generic-180nm", nmos, pmos, vdd: 1.8, l_min: 0.18e-6 }
+}
+
+/// Generic advanced-node-class process (0.75 V) used by the industrial
+/// circuits (inverter chain, level shifter, LDO, CTLE).
+pub fn tech_advanced() -> Technology {
+    let nmos = MosModel {
+        polarity: MosPolarity::Nmos,
+        vth0: 0.30,
+        kp: 650e-6,
+        clm: 0.012e-6,
+        gamma: 0.25,
+        phi: 0.85,
+        nsub: 1.35,
+        cox: 2.4e-2,
+        cov: 6.0e-10,
+        cj: 2.0e-3,
+        ldiff: 0.06e-6,
+        kf: 8.0e-25,
+        af: 1.0,
+        noise_gamma: 1.0,
+    };
+    let pmos = MosModel {
+        polarity: MosPolarity::Pmos,
+        vth0: 0.30,
+        kp: 500e-6,
+        kf: 3.0e-25,
+        ..nmos.clone()
+    };
+    Technology { name: "generic-advanced", nmos, pmos, vdd: 0.75, l_min: 0.02e-6 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice::mos::eval_mos;
+
+    #[test]
+    fn cards_are_physical() {
+        for t in [tech_180nm(), tech_advanced()] {
+            assert!(t.vdd > 0.0);
+            assert!(t.l_min > 0.0);
+            assert!(t.nmos.vth0 < t.vdd, "{}: vth must leave headroom", t.name);
+            assert!(t.pmos.kp <= t.nmos.kp, "{}: holes are slower", t.name);
+            assert_eq!(t.nmos.polarity, MosPolarity::Nmos);
+            assert_eq!(t.pmos.polarity, MosPolarity::Pmos);
+        }
+    }
+
+    #[test]
+    fn drive_current_magnitudes_are_sane() {
+        // A 10/0.18 µm NMOS at full gate drive in 180nm should carry
+        // hundreds of µA to a few mA.
+        let t = tech_180nm();
+        let e = eval_mos(&t.nmos, 10e-6, 0.18e-6, 1.0, t.vdd, t.vdd, 0.0);
+        assert!(e.id > 100e-6 && e.id < 50e-3, "id = {}", e.id);
+        // Advanced node: stronger per-µm drive at a lower supply.
+        let ta = tech_advanced();
+        let ea = eval_mos(&ta.nmos, 1e-6, 0.02e-6, 1.0, ta.vdd, ta.vdd, 0.0);
+        assert!(ea.id > 100e-6, "advanced id = {}", ea.id);
+    }
+
+    #[test]
+    fn advanced_node_has_more_clm() {
+        let t180 = tech_180nm();
+        let tadv = tech_advanced();
+        // At the respective minimum lengths, the advanced node's lambda is
+        // larger (worse intrinsic gain), as in real scaled processes.
+        assert!(tadv.nmos.lambda(tadv.l_min) > t180.nmos.lambda(t180.l_min));
+    }
+}

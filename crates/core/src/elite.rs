@@ -1,0 +1,74 @@
+//! Elite-population bookkeeping (paper §II-B, Alg. 1 lines 7–8).
+
+/// Selects the indices of the `n_elite` designs with the smallest FoM.
+///
+/// # Panics
+///
+/// Panics if any FoM is NaN.
+pub fn elite_indices(foms: &[f64], n_elite: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..foms.len()).collect();
+    idx.sort_by(|&a, &b| foms[a].partial_cmp(&foms[b]).expect("NaN FoM"));
+    idx.truncate(n_elite.min(foms.len()));
+    idx
+}
+
+/// Restricted search-region bounds (paper Eq. 6): the per-coordinate
+/// bounding box of the elite population,
+///
+/// ```text
+/// lb_rest_i = min_k x_k[i],   ub_rest_i = max_k x_k[i]
+/// ```
+///
+/// # Panics
+///
+/// Panics on an empty elite set.
+pub fn restricted_bounds(elite: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+    assert!(!elite.is_empty(), "elite population cannot be empty");
+    let d = elite[0].len();
+    let mut lb = vec![f64::INFINITY; d];
+    let mut ub = vec![f64::NEG_INFINITY; d];
+    for x in elite {
+        for j in 0..d {
+            lb[j] = lb[j].min(x[j]);
+            ub[j] = ub[j].max(x[j]);
+        }
+    }
+    (lb, ub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_lowest_fom() {
+        let foms = [3.0, 1.0, 2.0, 0.5];
+        let e = elite_indices(&foms, 2);
+        assert_eq!(e, vec![3, 1]);
+    }
+
+    #[test]
+    fn elite_larger_than_population_is_clamped() {
+        let foms = [1.0, 2.0];
+        assert_eq!(elite_indices(&foms, 10).len(), 2);
+    }
+
+    #[test]
+    fn bounds_contain_every_elite_point() {
+        let elite = vec![vec![0.2, 0.9], vec![0.5, 0.1], vec![0.3, 0.4]];
+        let (lb, ub) = restricted_bounds(&elite);
+        assert_eq!(lb, vec![0.2, 0.1]);
+        assert_eq!(ub, vec![0.5, 0.9]);
+        for x in &elite {
+            for j in 0..2 {
+                assert!(x[j] >= lb[j] && x[j] <= ub[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_member_box_is_degenerate() {
+        let (lb, ub) = restricted_bounds(&[vec![0.7, 0.7]]);
+        assert_eq!(lb, ub);
+    }
+}

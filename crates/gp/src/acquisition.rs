@@ -1,0 +1,147 @@
+//! Bayesian-optimization acquisition functions.
+
+/// Standard normal probability density.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution, via the Abramowitz–Stegun
+/// 7.1.26 erf approximation (absolute error < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Expected improvement for *minimization*: `E[max(best − f, 0)]` under
+/// `f ~ N(mean, var)`.
+///
+/// # Example
+///
+/// ```
+/// // A point predicted far below the incumbent has EI close to the gap.
+/// let ei = gp::expected_improvement(0.0, 1e-9, 10.0);
+/// assert!((ei - 10.0).abs() < 1e-3);
+/// ```
+pub fn expected_improvement(mean: f64, var: f64, best: f64) -> f64 {
+    let sigma = var.max(0.0).sqrt();
+    if sigma < 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let u = (best - mean) / sigma;
+    sigma * (u * normal_cdf(u) + normal_pdf(u))
+}
+
+/// Weighted expected improvement (Lyu et al., DAC 2018): balances the
+/// exploitation term `u·Φ(u)` against the exploration term `φ(u)` with
+/// weight `w ∈ [0, 1]` (`w = 0.5` recovers standard EI up to a factor 2).
+pub fn weighted_expected_improvement(mean: f64, var: f64, best: f64, w: f64) -> f64 {
+    let sigma = var.max(0.0).sqrt();
+    if sigma < 1e-12 {
+        return w * (best - mean).max(0.0);
+    }
+    let u = (best - mean) / sigma;
+    sigma * (w * u * normal_cdf(u) + (1.0 - w) * normal_pdf(u))
+}
+
+/// Probability that a constraint value `f ~ N(mean, var)` satisfies
+/// `f ≤ 0`.
+pub fn probability_of_feasibility(mean: f64, var: f64) -> f64 {
+    let sigma = var.max(0.0).sqrt();
+    if sigma < 1e-12 {
+        return if mean <= 0.0 { 1.0 } else { 0.0 };
+    }
+    normal_cdf(-mean / sigma)
+}
+
+/// Lower confidence bound `mean − κ·σ` (used by GASPAD prescreening).
+pub fn lower_confidence_bound(mean: f64, var: f64, kappa: f64) -> f64 {
+    mean - kappa * var.max(0.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.841344746).abs() < 1e-6);
+        assert!((normal_cdf(-1.0) - 0.158655254).abs() < 1e-6);
+        assert!((normal_cdf(3.0) - 0.998650102).abs() < 1e-6);
+        assert!(normal_cdf(8.0) > 1.0 - 1e-9);
+        assert!(normal_cdf(-8.0) < 1e-9);
+    }
+
+    #[test]
+    fn pdf_properties() {
+        assert!((normal_pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert_eq!(normal_pdf(2.0), normal_pdf(-2.0));
+    }
+
+    #[test]
+    fn ei_is_nonnegative_and_monotone_in_best_gap() {
+        let ei_small = expected_improvement(1.0, 0.25, 0.5);
+        let ei_large = expected_improvement(0.0, 0.25, 0.5);
+        assert!(ei_small >= 0.0);
+        assert!(ei_large > ei_small);
+    }
+
+    #[test]
+    fn ei_vanishes_for_hopeless_points() {
+        let ei = expected_improvement(100.0, 1e-6, 0.0);
+        assert!(ei < 1e-12);
+    }
+
+    #[test]
+    fn ei_zero_variance_limit() {
+        assert_eq!(expected_improvement(2.0, 0.0, 5.0), 3.0);
+        assert_eq!(expected_improvement(9.0, 0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn ei_grows_with_uncertainty_at_parity() {
+        // At mean == best, EI = σ·φ(0).
+        let e1 = expected_improvement(1.0, 1.0, 1.0);
+        let e2 = expected_improvement(1.0, 4.0, 1.0);
+        assert!((e1 - normal_pdf(0.0)).abs() < 1e-9);
+        assert!((e2 - 2.0 * normal_pdf(0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_ei_interpolates() {
+        // w=1: pure exploitation term; w=0: pure exploration term.
+        let (mean, var, best) = (0.5, 0.04, 1.0);
+        let sigma = 0.2;
+        let u = (best - mean) / sigma;
+        let exploit = sigma * u * normal_cdf(u);
+        let explore = sigma * normal_pdf(u);
+        assert!((weighted_expected_improvement(mean, var, best, 1.0) - exploit).abs() < 1e-12);
+        assert!((weighted_expected_improvement(mean, var, best, 0.0) - explore).abs() < 1e-12);
+        let mid = weighted_expected_improvement(mean, var, best, 0.5);
+        assert!((mid - 0.5 * (exploit + explore)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pof_reference_points() {
+        assert!((probability_of_feasibility(0.0, 1.0) - 0.5).abs() < 1e-7);
+        assert!(probability_of_feasibility(-3.0, 1.0) > 0.99);
+        assert!(probability_of_feasibility(3.0, 1.0) < 0.01);
+        assert_eq!(probability_of_feasibility(-1.0, 0.0), 1.0);
+        assert_eq!(probability_of_feasibility(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn lcb_reduces_with_confidence() {
+        assert_eq!(lower_confidence_bound(1.0, 4.0, 2.0), -3.0);
+        assert_eq!(lower_confidence_bound(1.0, 0.0, 2.0), 1.0);
+    }
+}

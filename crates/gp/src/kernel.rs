@@ -1,0 +1,121 @@
+//! Covariance kernels.
+
+/// Squared-exponential (RBF) kernel with per-dimension (ARD) lengthscales:
+///
+/// `k(a, b) = σ² · exp(−½ Σ_d ((a_d − b_d)/ℓ_d)²)`
+///
+/// # Example
+///
+/// ```
+/// use gp::RbfKernel;
+///
+/// let k = RbfKernel::isotropic(2, 1.0, 2.0);
+/// assert_eq!(k.eval(&[0.0, 0.0], &[0.0, 0.0]), 2.0); // σ² at zero distance
+/// assert!(k.eval(&[0.0, 0.0], &[3.0, 3.0]) < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RbfKernel {
+    /// Signal variance σ².
+    variance: f64,
+    /// Per-dimension lengthscales ℓ_d.
+    lengthscales: Vec<f64>,
+}
+
+impl RbfKernel {
+    /// Creates a kernel with one lengthscale per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance` or any lengthscale is not positive and finite.
+    pub fn new(variance: f64, lengthscales: Vec<f64>) -> Self {
+        assert!(variance.is_finite() && variance > 0.0, "variance must be positive");
+        assert!(
+            lengthscales.iter().all(|l| l.is_finite() && *l > 0.0),
+            "lengthscales must be positive"
+        );
+        RbfKernel { variance, lengthscales }
+    }
+
+    /// Creates a kernel with the same lengthscale in every dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive parameters or zero dimensionality.
+    pub fn isotropic(dim: usize, lengthscale: f64, variance: f64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self::new(variance, vec![lengthscale; dim])
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.lengthscales.len()
+    }
+
+    /// Signal variance σ² (the prior variance at any point).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Evaluates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point dimensions disagree with the kernel.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), self.dim(), "point dimension mismatch");
+        assert_eq!(b.len(), self.dim(), "point dimension mismatch");
+        let mut s = 0.0;
+        for ((x, y), l) in a.iter().zip(b).zip(&self.lengthscales) {
+            let d = (x - y) / l;
+            s += d * d;
+        }
+        self.variance * (-0.5 * s).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_symmetric_and_bounded() {
+        let k = RbfKernel::new(1.5, vec![0.3, 2.0]);
+        let a = [0.1, 0.9];
+        let b = [0.4, 0.2];
+        assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+        assert!(k.eval(&a, &b) <= k.variance());
+        assert!(k.eval(&a, &b) > 0.0);
+        assert_eq!(k.eval(&a, &a), 1.5);
+    }
+
+    #[test]
+    fn ard_lengthscales_weight_dimensions() {
+        // A long lengthscale in dim 0 makes distance there cheap.
+        let k = RbfKernel::new(1.0, vec![10.0, 0.1]);
+        let base = [0.0, 0.0];
+        let far_d0 = k.eval(&base, &[1.0, 0.0]);
+        let far_d1 = k.eval(&base, &[0.0, 1.0]);
+        assert!(far_d0 > 0.99);
+        assert!(far_d1 < 1e-10);
+    }
+
+    #[test]
+    fn decays_with_distance() {
+        let k = RbfKernel::isotropic(1, 1.0, 1.0);
+        let v1 = k.eval(&[0.0], &[0.5]);
+        let v2 = k.eval(&[0.0], &[1.5]);
+        assert!(v1 > v2);
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be positive")]
+    fn rejects_bad_variance() {
+        let _ = RbfKernel::isotropic(1, 1.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengthscales must be positive")]
+    fn rejects_bad_lengthscale() {
+        let _ = RbfKernel::new(1.0, vec![0.0]);
+    }
+}

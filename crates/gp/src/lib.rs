@@ -1,0 +1,41 @@
+//! Gaussian-process regression and Bayesian-optimization acquisition
+//! functions.
+//!
+//! This crate is the substrate for the paper's two GP-based baselines:
+//!
+//! - **BO-wEI** (Lyu et al., DAC 2018): Bayesian optimization with a
+//!   weighted-Expected-Improvement acquisition blended with the probability
+//!   of feasibility for each constraint;
+//! - **GASPAD** (Liu et al., TCAD 2014): a GP-assisted evolutionary
+//!   algorithm that prescreens DE offspring with a lower-confidence-bound
+//!   rule.
+//!
+//! Exact GP regression with an RBF-ARD kernel, Cholesky solves, and
+//! log-marginal-likelihood hyperparameter search over a multi-start grid.
+//!
+//! # Example
+//!
+//! ```
+//! use gp::{GpRegressor, RbfKernel};
+//! use linalg::Matrix;
+//!
+//! // Noise-free observations of f(x) = x².
+//! let x = Matrix::from_rows(&[&[0.0], &[0.5], &[1.0]]);
+//! let y = vec![0.0, 0.25, 1.0];
+//! let gp = GpRegressor::fit(x, y, RbfKernel::isotropic(1, 0.5, 1.0), 1e-8)?;
+//! let (mean, var) = gp.predict(&[0.25]);
+//! assert!((mean - 0.0625).abs() < 0.1); // 3 points: coarse interpolation
+//! assert!(var >= 0.0);
+//! # Ok::<(), gp::GpError>(())
+//! ```
+
+mod acquisition;
+mod kernel;
+mod regressor;
+
+pub use acquisition::{
+    expected_improvement, lower_confidence_bound, normal_cdf, normal_pdf,
+    probability_of_feasibility, weighted_expected_improvement,
+};
+pub use kernel::RbfKernel;
+pub use regressor::{GpError, GpRegressor};

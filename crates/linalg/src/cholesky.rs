@@ -1,0 +1,203 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::{FactorError, Matrix};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Used by Gaussian-process regression, where `A` is a kernel Gram matrix
+/// plus noise jitter; [`Cholesky::log_det`] feeds the log marginal
+/// likelihood.
+///
+/// # Example
+///
+/// ```
+/// use linalg::{Cholesky, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = Cholesky::factor(&a).expect("SPD");
+/// let x = ch.solve(&[2.0, 1.0]);
+/// let r = a.matvec(&x);
+/// assert!((r[0] - 2.0).abs() < 1e-12 && (r[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (upper part is garbage and never read).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry is assumed, not
+    /// checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] for non-square input, or
+    /// [`FactorError::NotPositiveDefinite`] if a diagonal entry becomes
+    /// non-positive during elimination.
+    pub fn factor(a: &Matrix) -> Result<Self, FactorError> {
+        if a.rows() != a.cols() {
+            return Err(FactorError::Shape { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut l = a.clone();
+        for j in 0..n {
+            let mut d = l[(j, j)];
+            for k in 0..j {
+                let v = l[(j, k)];
+                d -= v * v;
+            }
+            if !(d > 0.0) {
+                return Err(FactorError::NotPositiveDefinite { order: j + 1 });
+            }
+            let d = d.sqrt();
+            l[(j, j)] = d;
+            for i in (j + 1)..n {
+                let mut s = l[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / d;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A·x = b` via two triangular solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = self.solve_lower(b);
+        self.solve_upper(&y)
+    }
+
+    /// Solves `L·y = b` (forward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `Lᵀ·x = y` (back substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the factored dimension.
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "rhs length must equal matrix dimension");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Log-determinant of `A`: `2·Σ log L[i,i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Borrow the lower-triangular factor (entries above the diagonal are
+    /// unspecified).
+    pub fn lower(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_known_matrix() {
+        // A = [[4, 12, -16], [12, 37, -43], [-16, -43, 98]] has
+        // L = [[2,0,0],[6,1,0],[-8,5,3]] (classic textbook example).
+        let a = Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.lower();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = [2.0, 1.0];
+        let x = ch.solve(&b);
+        let r = a.matvec(&x);
+        assert!((r[0] - b[0]).abs() < 1e-12);
+        assert!((r[1] - b[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_matches() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let det = 4.0 * 3.0 - 2.0 * 2.0;
+        assert!((ch.log_det() - (det as f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(FactorError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            Cholesky::factor(&Matrix::zeros(2, 3)),
+            Err(FactorError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn triangular_solves_compose() {
+        let a = Matrix::from_rows(&[&[9.0, 3.0, 1.0], &[3.0, 5.0, 2.0], &[1.0, 2.0, 6.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let y = ch.solve_lower(&b);
+        let x = ch.solve_upper(&y);
+        let direct = ch.solve(&b);
+        for (u, v) in x.iter().zip(&direct) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Minimal complex arithmetic and a complex LU solver for AC analysis.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use linalg::C64;
+///
+/// let a = C64::new(1.0, 2.0);
+/// let b = C64::new(3.0, -1.0);
+/// let p = a * b;
+/// assert_eq!(p, C64::new(5.0, 5.0));
+/// assert!((a.abs() - 5.0_f64.sqrt()).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> C64 {
+        C64 { re: self.re, im: -self.im }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// Returns infinities when `self` is zero, mirroring `f64` division.
+    pub fn recip(self) -> C64 {
+        let d = self.abs_sq();
+        C64 { re: self.re / d, im: -self.im / d }
+    }
+
+    /// True if either component is NaN or infinite.
+    pub fn is_non_finite(self) -> bool {
+        !self.re.is_finite() || !self.im.is_finite()
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, r: C64) -> C64 {
+        C64::new(self.re + r.re, self.im + r.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, r: C64) -> C64 {
+        C64::new(self.re - r.re, self.im - r.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, r: C64) -> C64 {
+        C64::new(self.re * r.re - self.im * r.im, self.re * r.im + self.im * r.re)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    fn mul(self, s: f64) -> C64 {
+        C64::new(self.re * s, self.im * s)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    fn div(self, r: C64) -> C64 {
+        self * r.recip()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, r: C64) {
+        self.re += r.re;
+        self.im += r.im;
+    }
+}
+
+impl SubAssign for C64 {
+    fn sub_assign(&mut self, r: C64) {
+        self.re -= r.re;
+        self.im -= r.im;
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl std::fmt::Display for C64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// Dense complex LU factorization with partial pivoting, used for the AC
+/// small-signal MNA system `(G + jωC)·x = b`.
+///
+/// # Example
+///
+/// ```
+/// use linalg::{C64, ComplexLu};
+///
+/// // [[1, i], [0, 2]] x = [1+i, 2] -> x = [1, 1]
+/// let a = vec![
+///     vec![C64::new(1.0, 0.0), C64::new(0.0, 1.0)],
+///     vec![C64::new(0.0, 0.0), C64::new(2.0, 0.0)],
+/// ];
+/// let lu = ComplexLu::factor(a).expect("non-singular");
+/// let x = lu.solve(&[C64::new(1.0, 1.0), C64::new(2.0, 0.0)]);
+/// assert!((x[0] - C64::new(1.0, 0.0)).abs() < 1e-12);
+/// assert!((x[1] - C64::new(1.0, 0.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComplexLu {
+    lu: Vec<Vec<C64>>,
+    perm: Vec<usize>,
+}
+
+impl ComplexLu {
+    /// Factors a square complex matrix given as rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::FactorError::Singular`] when a pivot is numerically
+    /// zero, and [`crate::FactorError::Shape`] for ragged or non-square
+    /// input.
+    pub fn factor(mut a: Vec<Vec<C64>>) -> Result<Self, crate::FactorError> {
+        let n = a.len();
+        if a.iter().any(|row| row.len() != n) {
+            let cols = a.first().map_or(0, |r| r.len());
+            return Err(crate::FactorError::Shape { rows: n, cols });
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let mut p = k;
+            let mut max = a[k][k].abs();
+            for (i, row) in a.iter().enumerate().skip(k + 1) {
+                let v = row[k].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if !(max > 1e-300) {
+                return Err(crate::FactorError::Singular { pivot: k });
+            }
+            if p != k {
+                a.swap(p, k);
+                perm.swap(p, k);
+            }
+            let pivot = a[k][k];
+            for i in (k + 1)..n {
+                let m = a[i][k] / pivot;
+                a[i][k] = m;
+                if m != C64::ZERO {
+                    for j in (k + 1)..n {
+                        let u = a[k][j];
+                        a[i][j] -= m * u;
+                    }
+                }
+            }
+        }
+        Ok(ComplexLu { lu: a, perm })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.len()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve(&self, b: &[C64]) -> Vec<C64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
+        let mut x: Vec<C64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[i][j] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[i][j] * x[j];
+            }
+            x[i] = s / self.lu[i][i];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(2.0, -3.0);
+        assert_eq!(a + C64::ZERO, a);
+        assert_eq!(a * C64::ONE, a);
+        assert_eq!(a - a, C64::ZERO);
+        assert_eq!(C64::I * C64::I, C64::new(-1.0, 0.0));
+        let r = a * a.recip();
+        assert!((r - C64::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conj_and_arg() {
+        let a = C64::new(0.0, 1.0);
+        assert_eq!(a.conj(), C64::new(0.0, -1.0));
+        assert!((a.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn complex_solve_roundtrip() {
+        let a = vec![
+            vec![C64::new(2.0, 1.0), C64::new(-1.0, 0.5)],
+            vec![C64::new(0.0, -1.0), C64::new(3.0, 2.0)],
+        ];
+        let b = [C64::new(1.0, 0.0), C64::new(0.0, 1.0)];
+        let lu = ComplexLu::factor(a.clone()).unwrap();
+        let x = lu.solve(&b);
+        // Verify A x == b.
+        for i in 0..2 {
+            let mut s = C64::ZERO;
+            for j in 0..2 {
+                s += a[i][j] * x[j];
+            }
+            assert!((s - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn complex_singular_detected() {
+        let a = vec![
+            vec![C64::new(1.0, 1.0), C64::new(2.0, 2.0)],
+            vec![C64::new(2.0, 2.0), C64::new(4.0, 4.0)],
+        ];
+        assert!(ComplexLu::factor(a).is_err());
+    }
+
+    #[test]
+    fn pivoting_in_complex_solver() {
+        let a = vec![
+            vec![C64::ZERO, C64::ONE],
+            vec![C64::ONE, C64::ZERO],
+        ];
+        let lu = ComplexLu::factor(a).unwrap();
+        let x = lu.solve(&[C64::real(3.0), C64::real(4.0)]);
+        assert!((x[0] - C64::real(4.0)).abs() < 1e-15);
+        assert!((x[1] - C64::real(3.0)).abs() < 1e-15);
+    }
+}

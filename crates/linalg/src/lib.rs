@@ -1,0 +1,68 @@
+//! Dense linear-algebra kernels for the DNN-Opt reproduction.
+//!
+//! Everything here is written from scratch on top of `Vec<f64>` so that the
+//! workspace carries no external numeric dependencies. The crate provides
+//! exactly the operations the rest of the system needs:
+//!
+//! - [`Matrix`]: a row-major dense matrix with the usual arithmetic,
+//!   used by the neural-network and Gaussian-process crates.
+//! - [`Lu`]: partially pivoted LU factorization for the real MNA systems of
+//!   the circuit simulator and as a general linear solver.
+//! - [`Cholesky`]: factorization of symmetric positive-definite matrices,
+//!   used by Gaussian-process regression (with log-determinants for the
+//!   marginal likelihood).
+//! - [`C64`] and [`ComplexLu`]: minimal complex arithmetic and a complex LU
+//!   solver for AC small-signal analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use linalg::{Matrix, Lu};
+//!
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let lu = Lu::factor(&a).expect("non-singular");
+//! let x = lu.solve(&[1.0, 2.0]);
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-12);
+//! ```
+
+mod cholesky;
+mod complex;
+mod lu;
+mod matrix;
+pub mod vecops;
+
+pub use cholesky::Cholesky;
+pub use complex::{C64, ComplexLu};
+pub use lu::Lu;
+pub use matrix::Matrix;
+
+/// Error produced by factorizations when the input matrix is unusable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorError {
+    /// The matrix is singular (or numerically so) at the given pivot index.
+    Singular { pivot: usize },
+    /// The matrix is not positive definite (Cholesky only); the leading
+    /// minor of the given order failed.
+    NotPositiveDefinite { order: usize },
+    /// The matrix is not square or dimensions disagree.
+    Shape { rows: usize, cols: usize },
+}
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            FactorError::NotPositiveDefinite { order } => {
+                write!(f, "matrix is not positive definite (leading minor {order})")
+            }
+            FactorError::Shape { rows, cols } => {
+                write!(f, "matrix shape {rows}x{cols} is invalid for this operation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}

@@ -1,0 +1,227 @@
+//! Partially pivoted LU factorization.
+
+use crate::{FactorError, Matrix};
+
+/// LU factorization with partial pivoting: `P·A = L·U`.
+///
+/// This is the workhorse solver for the circuit simulator's MNA systems,
+/// which are square, generally non-symmetric, and small (tens to a few
+/// hundred unknowns).
+///
+/// # Example
+///
+/// ```
+/// use linalg::{Lu, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]); // needs pivoting
+/// let lu = Lu::factor(&a).expect("non-singular");
+/// let x = lu.solve(&[2.0, 2.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    sign: f64,
+}
+
+/// Pivots smaller than this (relative to the largest pivot seen) are treated
+/// as singular.
+const PIVOT_EPS: f64 = 1e-300;
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] for non-square input and
+    /// [`FactorError::Singular`] when a pivot collapses to (near) zero.
+    pub fn factor(a: &Matrix) -> Result<Self, FactorError> {
+        if a.rows() != a.cols() {
+            return Err(FactorError::Shape { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Find pivot in column k.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if !(max > PIVOT_EPS) {
+                return Err(FactorError::Singular { pivot: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                sign = -sign;
+                for j in 0..n {
+                    let t = lu[(p, j)];
+                    lu[(p, j)] = lu[(k, j)];
+                    lu[(k, j)] = t;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let u = lu[(k, j)];
+                        lu[(i, j)] -= m * u;
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution with unit lower factor.
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution with upper factor.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows()` differs from the factored dimension.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.dim(), "rhs rows must equal matrix dimension");
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col: Vec<f64> = (0..b.rows()).map(|i| b[(i, j)]).collect();
+            let x = self.solve(&col);
+            for i in 0..b.rows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.matvec(x).iter().zip(b).map(|(ax, bb)| (ax - bb).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_simple_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let b = [3.0, 5.0];
+        let x = lu.solve(&b);
+        assert!(residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[5.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(FactorError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::factor(&a), Err(FactorError::Shape { .. })));
+    }
+
+    #[test]
+    fn determinant_matches_formula() {
+        let a = Matrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - (3.0 * 6.0 - 8.0 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_with_pivot() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_inverts() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let inv = lu.solve_matrix(&Matrix::identity(2));
+        let prod = a.matmul(&inv);
+        assert!((&prod - &Matrix::identity(2)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_diagonally_dominant_system() {
+        let n = 40;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                10.0 + i as f64
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&b);
+        assert!(residual(&a, &x, &b) < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Small vector helpers shared across the workspace.
+//!
+//! These are free functions on slices rather than a vector newtype: the
+//! optimization crates pass design points around as `Vec<f64>`/`&[f64]`, and
+//! keeping them as plain slices avoids conversion churn at every API
+//! boundary.
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(linalg::vecops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Element-wise `a - b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise `a + b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Scales a vector.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// Clamps each element of `x` into `[lb[i], ub[i]]`.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn clamp_to(x: &[f64], lb: &[f64], ub: &[f64]) -> Vec<f64> {
+    assert!(x.len() == lb.len() && x.len() == ub.len(), "clamp_to: length mismatch");
+    x.iter()
+        .zip(lb.iter().zip(ub))
+        .map(|(&v, (&lo, &hi))| v.clamp(lo, hi))
+        .collect()
+}
+
+/// Maximum absolute difference between two vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for slices shorter than 2.
+pub fn std_dev(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    (a.iter().map(|x| (x - m).powi(2)).sum::<f64>() / a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[3.0, 4.0], &[1.0, 2.0]), vec![2.0, 2.0]);
+        assert_eq!(scale(&[1.0, -2.0], -2.0), vec![-2.0, 4.0]);
+    }
+
+    #[test]
+    fn clamp_respects_bounds() {
+        let out = clamp_to(&[-1.0, 0.5, 2.0], &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(out, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn stats() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diffs() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[2.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests on the factorization kernels.
+
+use linalg::{Cholesky, Lu, Matrix, C64, ComplexLu};
+use proptest::prelude::*;
+
+/// Random diagonally dominant matrix (guaranteed non-singular).
+fn dominant_matrix(n: usize, seed: &[f64]) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        let v = seed[(i * n + j) % seed.len()];
+        if i == j {
+            n as f64 + 1.0 + v.abs()
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LU solve residual is tiny for diagonally dominant systems.
+    #[test]
+    fn lu_solves_dominant_systems(
+        n in 1usize..12,
+        seed in proptest::collection::vec(-1.0..1.0f64, 16..200),
+        rhs in proptest::collection::vec(-10.0..10.0f64, 12),
+    ) {
+        let a = dominant_matrix(n, &seed);
+        let b = &rhs[..n];
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(b);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(b) {
+            prop_assert!((ri - bi).abs() < 1e-8);
+        }
+    }
+
+    /// det(A·A) = det(A)² through the LU determinant.
+    #[test]
+    fn lu_det_is_multiplicative(
+        n in 1usize..6,
+        seed in proptest::collection::vec(-1.0..1.0f64, 16..80),
+    ) {
+        let a = dominant_matrix(n, &seed);
+        let aa = a.matmul(&a);
+        let da = Lu::factor(&a).unwrap().det();
+        let daa = Lu::factor(&aa).unwrap().det();
+        prop_assert!((daa - da * da).abs() < 1e-6 * da.abs().max(1.0) * da.abs().max(1.0));
+    }
+
+    /// Cholesky of GᵀG + I always succeeds and solves correctly.
+    #[test]
+    fn cholesky_solves_gram_systems(
+        n in 1usize..10,
+        seed in proptest::collection::vec(-2.0..2.0f64, 16..150),
+        rhs in proptest::collection::vec(-5.0..5.0f64, 10),
+    ) {
+        let g = Matrix::from_fn(n, n, |i, j| seed[(i * n + j) % seed.len()]);
+        let mut a = g.transpose().matmul(&g);
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let b = &rhs[..n];
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(b);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(b) {
+            prop_assert!((ri - bi).abs() < 1e-7);
+        }
+        // log|A| finite and consistent with the LU determinant.
+        let det_lu = Lu::factor(&a).unwrap().det();
+        prop_assert!((ch.log_det() - det_lu.ln()).abs() < 1e-6);
+    }
+
+    /// Matrix transpose is an involution and matmul distributes over it.
+    #[test]
+    fn transpose_involution(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in proptest::collection::vec(-3.0..3.0f64, 64),
+    ) {
+        let a = Matrix::from_fn(rows, cols, |i, j| seed[(i * cols + j) % seed.len()]);
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        // (A·Aᵀ)ᵀ = A·Aᵀ (symmetry of Gram matrices).
+        let g = a.matmul(&a.transpose());
+        let gt = g.transpose();
+        prop_assert!((&g - &gt).max_abs() < 1e-12);
+    }
+
+    /// Complex LU solves diagonally dominant complex systems.
+    #[test]
+    fn complex_lu_solves(
+        n in 1usize..8,
+        seed in proptest::collection::vec(-1.0..1.0f64, 32..200),
+    ) {
+        let a: Vec<Vec<C64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        let re = seed[(i * n + j) % seed.len()];
+                        let im = seed[(i + j * n + 7) % seed.len()];
+                        if i == j {
+                            C64::new(re + n as f64 + 2.0, im)
+                        } else {
+                            C64::new(re * 0.3, im * 0.3)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let b: Vec<C64> =
+            (0..n).map(|i| C64::new(seed[i % seed.len()], seed[(i + 3) % seed.len()])).collect();
+        let lu = ComplexLu::factor(a.clone()).unwrap();
+        let x = lu.solve(&b);
+        for i in 0..n {
+            let mut s = C64::ZERO;
+            for j in 0..n {
+                s += a[i][j] * x[j];
+            }
+            prop_assert!((s - b[i]).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Multi-layer perceptron with explicit reverse-mode differentiation.
+
+use linalg::Matrix;
+use rand::Rng;
+
+/// Hidden-layer activation function (the output layer is always linear).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the pre-activation value.
+    fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+        }
+    }
+}
+
+/// One dense layer: `y = x·Wᵀ + b` with `W` of shape `out×in`.
+#[derive(Debug, Clone)]
+struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+}
+
+/// Parameter gradients for a whole network, shaped like the network itself.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    pub(crate) dw: Vec<Matrix>,
+    pub(crate) db: Vec<Vec<f64>>,
+}
+
+impl Gradients {
+    /// Sum of squared gradient entries (for monitoring/clipping).
+    pub fn norm_sq(&self) -> f64 {
+        let w: f64 = self.dw.iter().map(|m| m.as_slice().iter().map(|v| v * v).sum::<f64>()).sum();
+        let b: f64 = self.db.iter().map(|v| v.iter().map(|x| x * x).sum::<f64>()).sum();
+        w + b
+    }
+
+    /// Scales all gradients in place (gradient clipping).
+    pub fn scale(&mut self, s: f64) {
+        for m in &mut self.dw {
+            m.scale_inplace(s);
+        }
+        for v in &mut self.db {
+            for x in v {
+                *x *= s;
+            }
+        }
+    }
+}
+
+/// Cached intermediate values of a forward pass, needed by
+/// [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// Layer inputs: `inputs[0]` is the batch, `inputs[k]` the activation
+    /// entering layer `k`.
+    inputs: Vec<Matrix>,
+    /// Pre-activation values per hidden layer.
+    zs: Vec<Matrix>,
+}
+
+/// A fully connected network with a linear output layer.
+///
+/// See the [crate docs](crate) for an end-to-end training example.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    hidden_act: Activation,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes, e.g. `[4, 64, 64, 2]`
+    /// for 4 inputs, two hidden layers of 64, and 2 outputs. Weights use
+    /// He initialization for ReLU and Xavier for Tanh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new<R: Rng + ?Sized>(sizes: &[usize], hidden_act: Activation, rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "zero-width layer");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for win in sizes.windows(2) {
+            let (fan_in, fan_out) = (win[0], win[1]);
+            let scale = match hidden_act {
+                Activation::Relu => (2.0 / fan_in as f64).sqrt(),
+                Activation::Tanh => (2.0 / (fan_in + fan_out) as f64).sqrt(),
+            };
+            let w = Matrix::from_fn(fan_out, fan_in, |_, _| crate::gaussian(rng) * scale);
+            layers.push(Dense { w, b: vec![0.0; fan_out] });
+        }
+        Mlp { layers, hidden_act }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].w.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].w.rows()
+    }
+
+    /// Number of layers (weight matrices).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.rows() * l.w.cols() + l.b.len()).sum()
+    }
+
+    fn layer_forward(layer: &Dense, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&layer.w.transpose());
+        for i in 0..y.rows() {
+            let row = y.row_mut(i);
+            for (v, b) in row.iter_mut().zip(&layer.b) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    /// Forward pass on a batch (rows are samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the input dimensionality.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
+        let mut a = x.clone();
+        let last = self.layers.len() - 1;
+        for (k, layer) in self.layers.iter().enumerate() {
+            let z = Self::layer_forward(layer, &a);
+            a = if k < last { z.map(|v| self.hidden_act.apply(v)) } else { z };
+        }
+        a
+    }
+
+    /// Forward pass that also returns the cache required by
+    /// [`Mlp::backward`].
+    pub fn forward_cached(&self, x: &Matrix) -> (Matrix, ForwardCache) {
+        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
+        let last = self.layers.len() - 1;
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut zs = Vec::with_capacity(last);
+        let mut a = x.clone();
+        for (k, layer) in self.layers.iter().enumerate() {
+            inputs.push(a.clone());
+            let z = Self::layer_forward(layer, &a);
+            if k < last {
+                zs.push(z.clone());
+                a = z.map(|v| self.hidden_act.apply(v));
+            } else {
+                a = z;
+            }
+        }
+        (a, ForwardCache { inputs, zs })
+    }
+
+    /// Reverse-mode pass: given `∂L/∂output` for the batch, returns the
+    /// parameter gradients and `∂L/∂input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape does not match the cached batch.
+    pub fn backward(&self, cache: &ForwardCache, grad_out: &Matrix) -> (Gradients, Matrix) {
+        let last = self.layers.len() - 1;
+        assert_eq!(grad_out.cols(), self.output_dim(), "gradient width mismatch");
+        assert_eq!(grad_out.rows(), cache.inputs[0].rows(), "gradient batch mismatch");
+
+        let mut dw = vec![Matrix::zeros(1, 1); self.layers.len()];
+        let mut db = vec![Vec::new(); self.layers.len()];
+        let mut delta = grad_out.clone(); // ∂L/∂z for the current layer
+
+        for k in (0..=last).rev() {
+            if k < last {
+                // Pass through the activation derivative.
+                let z = &cache.zs[k];
+                delta = Matrix::from_fn(delta.rows(), delta.cols(), |i, j| {
+                    delta[(i, j)] * self.hidden_act.derivative(z[(i, j)])
+                });
+            }
+            let x_in = &cache.inputs[k];
+            dw[k] = delta.transpose().matmul(x_in);
+            db[k] = (0..delta.cols())
+                .map(|j| (0..delta.rows()).map(|i| delta[(i, j)]).sum())
+                .collect();
+            // Propagate to the layer input.
+            delta = delta.matmul(&self.layers[k].w);
+        }
+        (Gradients { dw, db }, delta)
+    }
+
+    /// Gradient of the outputs with respect to the inputs only (parameters
+    /// untouched) — the critic-to-actor path of DNN-Opt.
+    pub fn input_gradient(&self, cache: &ForwardCache, grad_out: &Matrix) -> Matrix {
+        self.backward(cache, grad_out).1
+    }
+
+    /// Applies a parameter update: `θ ← θ + scale·delta` for every
+    /// parameter, with `delta` shaped like [`Gradients`]. Used by the
+    /// optimizers.
+    pub(crate) fn apply_update(&mut self, delta: &Gradients, scale: f64) {
+        for (layer, (dwk, dbk)) in self.layers.iter_mut().zip(delta.dw.iter().zip(&delta.db)) {
+            for i in 0..layer.w.rows() {
+                for j in 0..layer.w.cols() {
+                    layer.w[(i, j)] += scale * dwk[(i, j)];
+                }
+            }
+            for (b, d) in layer.b.iter_mut().zip(dbk) {
+                *b += scale * d;
+            }
+        }
+    }
+
+    /// Scales the final layer's weights and biases by `s`. With a small
+    /// `s` the network initially outputs near-zero values — the DDPG trick
+    /// for actor networks whose outputs are corrections.
+    pub fn scale_output_layer(&mut self, s: f64) {
+        let last = self.layers.len() - 1;
+        self.layers[last].w.scale_inplace(s);
+        for b in &mut self.layers[last].b {
+            *b *= s;
+        }
+    }
+
+    /// Shapes of all weight matrices, for optimizer state allocation.
+    pub(crate) fn shapes(&self) -> Vec<(usize, usize)> {
+        self.layers.iter().map(|l| (l.w.rows(), l.w.cols())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn small_net(act: Activation) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(3);
+        Mlp::new(&[3, 5, 4, 2], act, &mut rng)
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let net = small_net(Activation::Relu);
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 2);
+        assert_eq!(net.num_layers(), 3);
+        assert_eq!(net.num_params(), (5 * 3 + 5) + (4 * 5 + 4) + (2 * 4 + 2));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let net = small_net(Activation::Tanh);
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3]]);
+        let y1 = net.forward(&x);
+        let y2 = net.forward(&x);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn forward_cached_matches_forward() {
+        let net = small_net(Activation::Relu);
+        let x = Matrix::from_rows(&[&[0.5, 0.1, -0.7], &[1.0, -1.0, 0.0]]);
+        let y = net.forward(&x);
+        let (yc, _) = net.forward_cached(&x);
+        assert_eq!(y, yc);
+    }
+
+    /// Scalar loss L = Σ w_l·y_l over the batch, with fixed output weights,
+    /// checked against finite differences for every parameter.
+    #[test]
+    fn parameter_gradients_match_finite_differences() {
+        for act in [Activation::Tanh, Activation::Relu] {
+            let net = small_net(act);
+            let x = Matrix::from_rows(&[&[0.3, -0.1, 0.8], &[-0.5, 0.2, 0.4]]);
+            let wsum = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 1.5]]);
+            let loss = |n: &Mlp| -> f64 {
+                let y = n.forward(&x);
+                y.hadamard(&wsum).as_slice().iter().sum()
+            };
+            let (_, cache) = net.forward_cached(&x);
+            let (grads, _) = net.backward(&cache, &wsum);
+
+            let h = 1e-6;
+            for k in 0..net.num_layers() {
+                for i in 0..net.layers[k].w.rows() {
+                    for j in 0..net.layers[k].w.cols() {
+                        let mut np = net.clone();
+                        np.layers[k].w[(i, j)] += h;
+                        let mut nm = net.clone();
+                        nm.layers[k].w[(i, j)] -= h;
+                        let fd = (loss(&np) - loss(&nm)) / (2.0 * h);
+                        assert!(
+                            (grads.dw[k][(i, j)] - fd).abs() < 1e-5,
+                            "dW[{k}][{i},{j}] {act:?}: {} vs {}",
+                            grads.dw[k][(i, j)],
+                            fd
+                        );
+                    }
+                    let mut np = net.clone();
+                    np.layers[k].b[i] += h;
+                    let mut nm = net.clone();
+                    nm.layers[k].b[i] -= h;
+                    let fd = (loss(&np) - loss(&nm)) / (2.0 * h);
+                    assert!(
+                        (grads.db[k][i] - fd).abs() < 1e-5,
+                        "db[{k}][{i}] {act:?}: {} vs {}",
+                        grads.db[k][i],
+                        fd
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradients_match_finite_differences() {
+        for act in [Activation::Tanh, Activation::Relu] {
+            let net = small_net(act);
+            let x = Matrix::from_rows(&[&[0.3, -0.1, 0.8]]);
+            let wsum = Matrix::from_rows(&[&[1.0, -2.0]]);
+            let (_, cache) = net.forward_cached(&x);
+            let gin = net.input_gradient(&cache, &wsum);
+            let h = 1e-6;
+            for j in 0..3 {
+                let mut xp = x.clone();
+                xp[(0, j)] += h;
+                let mut xm = x.clone();
+                xm[(0, j)] -= h;
+                let lp: f64 = net.forward(&xp).hadamard(&wsum).as_slice().iter().sum();
+                let lm: f64 = net.forward(&xm).hadamard(&wsum).as_slice().iter().sum();
+                let fd = (lp - lm) / (2.0 * h);
+                assert!(
+                    (gin[(0, j)] - fd).abs() < 1e-5,
+                    "dX[{j}] {act:?}: {} vs {}",
+                    gin[(0, j)],
+                    fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_norm_and_scaling() {
+        let net = small_net(Activation::Tanh);
+        let x = Matrix::from_rows(&[&[0.3, -0.1, 0.8]]);
+        let (_, cache) = net.forward_cached(&x);
+        let (mut g, _) = net.backward(&cache, &Matrix::from_rows(&[&[1.0, 1.0]]));
+        let n0 = g.norm_sq();
+        assert!(n0 > 0.0);
+        g.scale(0.5);
+        assert!((g.norm_sq() - 0.25 * n0).abs() < 1e-10 * n0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn forward_rejects_wrong_width() {
+        let net = small_net(Activation::Relu);
+        let x = Matrix::zeros(1, 4);
+        net.forward(&x);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least input and output sizes")]
+    fn constructor_rejects_single_size() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Mlp::new(&[3], Activation::Relu, &mut rng);
+    }
+}

@@ -1,0 +1,337 @@
+//! Bayesian Optimization with weighted Expected Improvement (BO-wEI),
+//! after Lyu et al., "Multi-objective Bayesian optimization for analog/RF
+//! circuit synthesis", DAC 2018 — the paper's constrained-BO baseline.
+//!
+//! Per iteration the method fits one GP to the objective and one GP to each
+//! constraint (on inputs normalized to the unit cube), then maximizes the
+//! acquisition
+//!
+//! ```text
+//! α(x) = wEI(x) · Π_i PoF_i(x)        (a feasible design is known)
+//! α(x) = Π_i PoF_i(x)                 (no feasible design yet)
+//! ```
+//!
+//! with an inner DE on the cheap surrogate. Fidelity/cost trade-offs versus
+//! the original (documented in DESIGN.md): training inputs are windowed to
+//! the best `max_train` points, and kernel hyperparameters are re-tuned
+//! every `refit_every` iterations instead of every iteration.
+
+use std::time::{Duration, Instant};
+
+use gp::{
+    probability_of_feasibility, weighted_expected_improvement, GpRegressor, RbfKernel,
+};
+use linalg::Matrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::de::finish_with_model_time;
+use crate::fom::Fom;
+use crate::history::{Evaluation, Evaluator, RunResult, StopPolicy};
+use crate::problem::{to_unit, SizingProblem};
+use crate::sampling::latin_hypercube;
+use crate::Optimizer;
+
+/// Configuration for [`BoWei`].
+#[derive(Debug, Clone)]
+pub struct BoWei {
+    /// Initial LHS samples; 0 means `max(2·d, 20)`.
+    pub n_init: usize,
+    /// Exploitation weight `w` of the weighted EI.
+    pub w: f64,
+    /// Maximum training points per GP (best-FoM window).
+    pub max_train: usize,
+    /// Re-tune kernel hyperparameters every this many iterations.
+    pub refit_every: usize,
+    /// Inner-DE population for acquisition maximization.
+    pub acq_pop: usize,
+    /// Inner-DE generations for acquisition maximization.
+    pub acq_gens: usize,
+}
+
+impl Default for BoWei {
+    fn default() -> Self {
+        BoWei { n_init: 0, w: 0.5, max_train: 220, refit_every: 20, acq_pop: 24, acq_gens: 25 }
+    }
+}
+
+/// Selects up to `cap` training indices: all points if they fit, otherwise
+/// the best-FoM points (they shape the region BO should refine).
+fn training_window(history: &[Evaluation], cap: usize) -> Vec<usize> {
+    if history.len() <= cap {
+        return (0..history.len()).collect();
+    }
+    let mut idx: Vec<usize> = (0..history.len()).collect();
+    idx.sort_by(|&a, &b| history[a].fom.partial_cmp(&history[b].fom).unwrap());
+    idx.truncate(cap);
+    idx
+}
+
+impl Optimizer for BoWei {
+    fn name(&self) -> &'static str {
+        "BO-wEI"
+    }
+
+    fn run(
+        &self,
+        problem: &dyn SizingProblem,
+        fom: &Fom,
+        budget: usize,
+        stop: StopPolicy,
+        seed: u64,
+    ) -> RunResult {
+        let t0 = Instant::now();
+        let mut model_time = Duration::ZERO;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (lb, ub) = problem.bounds();
+        let d = problem.dim();
+        let m = problem.num_constraints();
+        let n_init = if self.n_init > 0 { self.n_init } else { (2 * d).max(20) }.min(budget);
+        let mut ev = Evaluator::new(problem, fom, budget);
+
+        for x in latin_hypercube(&mut rng, &lb, &ub, n_init) {
+            if ev.exhausted() {
+                break;
+            }
+            let e = ev.evaluate(&x);
+            if stop == StopPolicy::FirstFeasible && e.feasible {
+                return finish_with_model_time(self.name(), ev, t0, model_time);
+            }
+        }
+
+        let mut lengthscale = 0.5;
+        let mut iter = 0usize;
+        while !ev.exhausted() {
+            let history = ev.history().entries().to_vec();
+            let idx = training_window(&history, self.max_train);
+            let n = idx.len();
+            let xs = Matrix::from_fn(n, d, |i, j| {
+                to_unit(&history[idx[i]].x, &lb, &ub)[j]
+            });
+
+            let tm = Instant::now();
+            // Objective GP: hyper-tuned periodically, cached lengthscale
+            // otherwise.
+            let y_obj: Vec<f64> = {
+                let raw: Vec<f64> = idx.iter().map(|&i| history[i].spec.objective).collect();
+                let (clo, chi) = crate::problem::robust_clip_bounds(&raw);
+                raw.iter().map(|y| y.clamp(clo, chi)).collect()
+            };
+            let obj_gp = if iter % self.refit_every == 0 {
+                let g = GpRegressor::fit_hyperopt(xs.clone(), y_obj.clone());
+                if let Ok(ref gg) = g {
+                    // Probe the chosen lengthscale through a 1-point predict
+                    // is not possible; track via LML re-fit instead: keep a
+                    // small grid ourselves.
+                    lengthscale = best_lengthscale(&xs, &y_obj).unwrap_or(lengthscale);
+                    let _ = gg;
+                }
+                g.ok()
+            } else {
+                fit_plain(&xs, &y_obj, lengthscale)
+            };
+            // Constraint GPs share the cached lengthscale.
+            let mut con_gps: Vec<Option<GpRegressor>> = Vec::with_capacity(m);
+            for c in 0..m {
+                let raw: Vec<f64> =
+                    idx.iter().map(|&i| history[i].spec.constraints[c]).collect();
+                let (clo, chi) = crate::problem::robust_clip_bounds(&raw);
+                let yc: Vec<f64> = raw.iter().map(|y| y.clamp(clo, chi)).collect();
+                con_gps.push(fit_plain(&xs, &yc, lengthscale));
+            }
+            model_time += tm.elapsed();
+
+            let best_feasible_obj = history
+                .iter()
+                .filter(|e| e.feasible)
+                .map(|e| e.spec.objective)
+                .fold(f64::INFINITY, f64::min);
+
+            // Acquisition (to maximize).
+            let acq = |u: &[f64]| -> f64 {
+                let mut pof = 1.0;
+                for g in con_gps.iter().flatten() {
+                    let (mean, var) = g.predict(u);
+                    pof *= probability_of_feasibility(mean, var);
+                }
+                if best_feasible_obj.is_finite() {
+                    let wei = obj_gp
+                        .as_ref()
+                        .map(|g| {
+                            let (mean, var) = g.predict(u);
+                            weighted_expected_improvement(mean, var, best_feasible_obj, self.w)
+                        })
+                        .unwrap_or(1.0);
+                    wei * pof
+                } else {
+                    pof
+                }
+            };
+
+            // Inner DE in the unit cube on the surrogate.
+            let next_u = maximize_with_de(
+                &acq,
+                d,
+                self.acq_pop,
+                self.acq_gens,
+                &mut rng,
+            );
+            let next: Vec<f64> = next_u
+                .iter()
+                .enumerate()
+                .map(|(j, &u)| lb[j] + u * (ub[j] - lb[j]))
+                .collect();
+            let e = ev.evaluate(&next);
+            if stop == StopPolicy::FirstFeasible && e.feasible {
+                break;
+            }
+            iter += 1;
+        }
+        finish_with_model_time(self.name(), ev, t0, model_time)
+    }
+}
+
+/// Fits a plain GP with a fixed isotropic lengthscale and data-scaled
+/// variance; `None` when the fit fails (degenerate data).
+pub(crate) fn fit_plain(x: &Matrix, y: &[f64], lengthscale: f64) -> Option<GpRegressor> {
+    let n = y.len().max(1) as f64;
+    let mean = y.iter().sum::<f64>() / n;
+    let var = (y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).max(1e-12);
+    let kernel = RbfKernel::isotropic(x.cols().max(1), lengthscale, var);
+    GpRegressor::fit(x.clone(), y.to_vec(), kernel, 1e-6 * var).ok()
+}
+
+/// Small lengthscale grid search by log marginal likelihood.
+pub(crate) fn best_lengthscale(x: &Matrix, y: &[f64]) -> Option<f64> {
+    let mut best = None;
+    for &ls in &[0.1, 0.2, 0.5, 1.0, 2.0] {
+        if let Some(gp) = fit_plain(x, y, ls) {
+            let lml = gp.log_marginal_likelihood();
+            if best.map_or(true, |(_, b)| lml > b) {
+                best = Some((ls, lml));
+            }
+        }
+    }
+    best.map(|(ls, _)| ls)
+}
+
+/// Maximizes a cheap function over the unit cube with a small DE.
+pub(crate) fn maximize_with_de<R: Rng + ?Sized>(
+    f: &dyn Fn(&[f64]) -> f64,
+    d: usize,
+    pop: usize,
+    gens: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let np = pop.max(4);
+    let mut xs: Vec<Vec<f64>> = (0..np)
+        .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let mut fit: Vec<f64> = xs.iter().map(|x| f(x)).collect();
+    for _ in 0..gens {
+        for i in 0..np {
+            let mut pick = || loop {
+                let k = rng.gen_range(0..np);
+                if k != i {
+                    return k;
+                }
+            };
+            let (r1, r2, r3) = {
+                let a = pick();
+                let b = loop {
+                    let k = pick();
+                    if k != a {
+                        break k;
+                    }
+                };
+                let c = loop {
+                    let k = pick();
+                    if k != a && k != b {
+                        break k;
+                    }
+                };
+                (a, b, c)
+            };
+            let jrand = rng.gen_range(0..d);
+            let mut trial = xs[i].clone();
+            for j in 0..d {
+                if j == jrand || rng.gen::<f64>() < 0.9 {
+                    trial[j] = (xs[r1][j] + 0.6 * (xs[r2][j] - xs[r3][j])).clamp(0.0, 1.0);
+                }
+            }
+            let ft = f(&trial);
+            if ft >= fit[i] {
+                xs[i] = trial;
+                fit[i] = ft;
+            }
+        }
+    }
+    let best = (0..np).max_by(|&a, &b| fit[a].partial_cmp(&fit[b]).unwrap()).unwrap_or(0);
+    xs[best].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::test_problems::Sphere;
+
+    #[test]
+    fn beats_random_on_sphere() {
+        let p = Sphere { d: 4 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let bo = BoWei::default();
+        let run = bo.run(&p, &fom, 80, StopPolicy::Exhaust, 3);
+        let best = run.history.best().unwrap().fom;
+        let rnd = crate::random::RandomSearch.run(&p, &fom, 80, StopPolicy::Exhaust, 3);
+        let rnd_best = rnd.history.best().unwrap().fom;
+        assert!(
+            best <= rnd_best * 1.2,
+            "BO {best} should be competitive with random {rnd_best}"
+        );
+        assert!(run.model_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn finds_feasible_quickly_on_easy_problem() {
+        let p = Sphere { d: 3 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let bo = BoWei::default();
+        let run = bo.run(&p, &fom, 120, StopPolicy::FirstFeasible, 1);
+        assert!(run.sims_to_feasible().is_some());
+    }
+
+    #[test]
+    fn respects_budget() {
+        let p = Sphere { d: 2 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let bo = BoWei { acq_pop: 8, acq_gens: 5, ..Default::default() };
+        let run = bo.run(&p, &fom, 45, StopPolicy::Exhaust, 2);
+        assert_eq!(run.history.len(), 45);
+    }
+
+    #[test]
+    fn training_window_caps_and_keeps_best() {
+        let history: Vec<Evaluation> = (0..10)
+            .map(|i| Evaluation {
+                x: vec![i as f64],
+                spec: crate::problem::SpecResult { objective: 0.0, constraints: vec![] },
+                fom: (10 - i) as f64,
+                feasible: false,
+            })
+            .collect();
+        let idx = training_window(&history, 3);
+        assert_eq!(idx.len(), 3);
+        // Best FoMs are the last entries (fom 1, 2, 3).
+        assert!(idx.contains(&9) && idx.contains(&8) && idx.contains(&7));
+        let all = training_window(&history, 100);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn inner_de_finds_peak() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let peak = |x: &[f64]| -(x[0] - 0.73).powi(2) - (x[1] - 0.21).powi(2);
+        let best = maximize_with_de(&peak, 2, 16, 40, &mut rng);
+        assert!((best[0] - 0.73).abs() < 0.05);
+        assert!((best[1] - 0.21).abs() < 0.05);
+    }
+}

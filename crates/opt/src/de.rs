@@ -1,0 +1,249 @@
+//! Differential Evolution (the paper's model-free baseline).
+
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::fom::Fom;
+use crate::history::{Evaluator, RunResult, StopPolicy};
+use crate::problem::SizingProblem;
+use crate::sampling::latin_hypercube;
+use crate::Optimizer;
+
+/// DE/rand/1/bin with FoM-based selection (constraint handling comes from
+/// Eq. 4's violation terms, matching how the paper compares methods on the
+/// same FoM scale).
+///
+/// # Example
+///
+/// ```
+/// use opt::{DifferentialEvolution, Fom, Optimizer, StopPolicy};
+/// # use opt::{SizingProblem, SpecResult};
+/// # struct P;
+/// # impl SizingProblem for P {
+/// #     fn dim(&self) -> usize { 2 }
+/// #     fn bounds(&self) -> (Vec<f64>, Vec<f64>) { (vec![0.0; 2], vec![1.0; 2]) }
+/// #     fn num_constraints(&self) -> usize { 0 }
+/// #     fn evaluate(&self, x: &[f64]) -> SpecResult {
+/// #         SpecResult { objective: x.iter().map(|v| v * v).sum(), constraints: vec![] }
+/// #     }
+/// # }
+/// let de = DifferentialEvolution::default();
+/// let fom = Fom::uniform(1.0, 0);
+/// let run = de.run(&P, &fom, 300, StopPolicy::Exhaust, 42);
+/// assert!(run.history.best().unwrap().fom < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DifferentialEvolution {
+    /// Population size; 0 means `max(20, 4·d)` chosen automatically.
+    pub population: usize,
+    /// Differential weight F.
+    pub f: f64,
+    /// Crossover rate CR.
+    pub cr: f64,
+}
+
+impl Default for DifferentialEvolution {
+    fn default() -> Self {
+        DifferentialEvolution { population: 0, f: 0.6, cr: 0.4 }
+    }
+}
+
+impl DifferentialEvolution {
+    fn pop_size(&self, dim: usize) -> usize {
+        if self.population > 0 {
+            self.population
+        } else {
+            (4 * dim).max(20)
+        }
+    }
+}
+
+impl Optimizer for DifferentialEvolution {
+    fn name(&self) -> &'static str {
+        "DE"
+    }
+
+    fn run(
+        &self,
+        problem: &dyn SizingProblem,
+        fom: &Fom,
+        budget: usize,
+        stop: StopPolicy,
+        seed: u64,
+    ) -> RunResult {
+        let t0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (lb, ub) = problem.bounds();
+        let d = problem.dim();
+        let np = self.pop_size(d).min(budget.max(1));
+        let mut ev = Evaluator::new(problem, fom, budget);
+
+        // Initial population.
+        let mut pop = latin_hypercube(&mut rng, &lb, &ub, np);
+        let mut fit: Vec<f64> = Vec::with_capacity(np);
+        for x in &pop {
+            if ev.exhausted() {
+                break;
+            }
+            let e = ev.evaluate(x);
+            fit.push(e.fom);
+            if stop == StopPolicy::FirstFeasible && e.feasible {
+                return finish(self.name(), ev, t0);
+            }
+        }
+        // Budget smaller than the population: return what we have.
+        if fit.len() < np {
+            return finish(self.name(), ev, t0);
+        }
+
+        while !ev.exhausted() {
+            for i in 0..np {
+                if ev.exhausted() {
+                    break;
+                }
+                // Three distinct donors, all different from i.
+                let mut pick = || loop {
+                    let k = rng.gen_range(0..np);
+                    if k != i {
+                        return k;
+                    }
+                };
+                let (r1, r2, r3) = {
+                    let a = pick();
+                    let b = loop {
+                        let k = pick();
+                        if k != a {
+                            break k;
+                        }
+                    };
+                    let c = loop {
+                        let k = pick();
+                        if k != a && k != b {
+                            break k;
+                        }
+                    };
+                    (a, b, c)
+                };
+                // Mutation + binomial crossover.
+                let jrand = rng.gen_range(0..d);
+                let mut trial = pop[i].clone();
+                for j in 0..d {
+                    if j == jrand || rng.gen::<f64>() < self.cr {
+                        let v = pop[r1][j] + self.f * (pop[r2][j] - pop[r3][j]);
+                        trial[j] = v.clamp(lb[j], ub[j]);
+                    }
+                }
+                let e = ev.evaluate(&trial);
+                if e.fom <= fit[i] {
+                    pop[i] = trial;
+                    fit[i] = e.fom;
+                }
+                if stop == StopPolicy::FirstFeasible && e.feasible {
+                    return finish(self.name(), ev, t0);
+                }
+            }
+        }
+        finish(self.name(), ev, t0)
+    }
+}
+
+pub(crate) fn finish(name: &str, ev: Evaluator<'_>, t0: Instant) -> RunResult {
+    finish_with_model_time(name, ev, t0, Duration::ZERO)
+}
+
+pub(crate) fn finish_with_model_time(
+    name: &str,
+    ev: Evaluator<'_>,
+    t0: Instant,
+    model_time: Duration,
+) -> RunResult {
+    let (history, sim_time) = ev.into_parts();
+    RunResult {
+        optimizer: name.to_string(),
+        history,
+        model_time,
+        sim_time,
+        total_time: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::test_problems::{NarrowBand, Sphere};
+
+    #[test]
+    fn solves_constrained_sphere() {
+        let p = Sphere { d: 5 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let de = DifferentialEvolution::default();
+        let run = de.run(&p, &fom, 2000, StopPolicy::Exhaust, 1);
+        let best = run.history.best_feasible().expect("should find feasible");
+        assert!(best.spec.objective < 0.05, "objective {}", best.spec.objective);
+        assert_eq!(run.history.len(), 2000);
+    }
+
+    #[test]
+    fn first_feasible_stops_early() {
+        let p = Sphere { d: 3 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let de = DifferentialEvolution::default();
+        let run = de.run(&p, &fom, 5000, StopPolicy::FirstFeasible, 3);
+        assert!(run.history.len() < 5000);
+        assert!(run.sims_to_feasible().is_some());
+    }
+
+    #[test]
+    fn finds_narrow_band_eventually() {
+        let p = NarrowBand { d: 2 };
+        let fom = Fom::uniform(0.1, p.num_constraints());
+        let de = DifferentialEvolution::default();
+        let run = de.run(&p, &fom, 3000, StopPolicy::FirstFeasible, 7);
+        assert!(
+            run.sims_to_feasible().is_some(),
+            "DE should locate the 0.05-wide band in 3000 sims"
+        );
+    }
+
+    #[test]
+    fn respects_budget_exactly() {
+        let p = Sphere { d: 4 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let de = DifferentialEvolution::default();
+        let run = de.run(&p, &fom, 137, StopPolicy::Exhaust, 5);
+        assert_eq!(run.history.len(), 137);
+    }
+
+    #[test]
+    fn tiny_budget_does_not_panic() {
+        let p = Sphere { d: 4 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let de = DifferentialEvolution::default();
+        let run = de.run(&p, &fom, 3, StopPolicy::Exhaust, 5);
+        assert_eq!(run.history.len(), 3);
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let p = Sphere { d: 3 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let de = DifferentialEvolution::default();
+        let a = de.run(&p, &fom, 200, StopPolicy::Exhaust, 11);
+        let b = de.run(&p, &fom, 200, StopPolicy::Exhaust, 11);
+        assert_eq!(a.history.best_trace(), b.history.best_trace());
+    }
+
+    #[test]
+    fn population_stays_in_bounds() {
+        let p = Sphere { d: 3 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let de = DifferentialEvolution { population: 10, f: 0.9, cr: 1.0 };
+        let run = de.run(&p, &fom, 300, StopPolicy::Exhaust, 2);
+        for e in run.history.entries() {
+            for &v in &e.x {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Run bookkeeping: evaluation history, budgets and timing.
+
+use std::time::{Duration, Instant};
+
+use crate::fom::Fom;
+use crate::problem::{SizingProblem, SpecResult};
+
+/// One recorded evaluation.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The design point.
+    pub x: Vec<f64>,
+    /// The raw simulation outcome.
+    pub spec: SpecResult,
+    /// Figure of merit (Eq. 4) of this design.
+    pub fom: f64,
+    /// Whether all constraints were met.
+    pub feasible: bool,
+}
+
+/// Full history of a run: every evaluation in order, plus derived
+/// statistics the paper reports (first-feasible index, best-FoM trace).
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    entries: Vec<Evaluation>,
+    best_trace: Vec<f64>,
+    first_feasible: Option<usize>,
+    best_index: Option<usize>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an evaluation, updating the derived statistics.
+    pub fn push(&mut self, eval: Evaluation) {
+        let idx = self.entries.len();
+        if eval.feasible && self.first_feasible.is_none() {
+            self.first_feasible = Some(idx + 1); // 1-based "number of sims"
+        }
+        let better = match self.best_index {
+            None => true,
+            Some(b) => eval.fom < self.entries[b].fom,
+        };
+        let best_fom = if better {
+            self.best_index = Some(idx);
+            eval.fom
+        } else {
+            self.entries[self.best_index.expect("best_index set whenever entries exist")].fom
+        };
+        self.best_trace.push(best_fom);
+        self.entries.push(eval);
+    }
+
+    /// All evaluations in order.
+    pub fn entries(&self) -> &[Evaluation] {
+        &self.entries
+    }
+
+    /// Number of evaluations so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Best-FoM-so-far trace, one entry per evaluation (the series plotted
+    /// in the paper's Figures 3 and 4).
+    pub fn best_trace(&self) -> &[f64] {
+        &self.best_trace
+    }
+
+    /// 1-based index of the first feasible evaluation ("# of simulations"
+    /// in the paper's tables), if any.
+    pub fn first_feasible(&self) -> Option<usize> {
+        self.first_feasible
+    }
+
+    /// The best evaluation so far (lowest FoM).
+    pub fn best(&self) -> Option<&Evaluation> {
+        self.best_index.map(|i| &self.entries[i])
+    }
+
+    /// The best *feasible* evaluation (lowest objective among feasible).
+    pub fn best_feasible(&self) -> Option<&Evaluation> {
+        self.entries
+            .iter()
+            .filter(|e| e.feasible)
+            .min_by(|a, b| a.spec.objective.partial_cmp(&b.spec.objective).unwrap())
+    }
+}
+
+/// Budgeted, history-recording wrapper around a [`SizingProblem`]: the one
+/// object optimizers call to spend simulations.
+pub struct Evaluator<'a> {
+    problem: &'a dyn SizingProblem,
+    fom: &'a Fom,
+    budget: usize,
+    history: History,
+    sim_time: Duration,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with a simulation budget.
+    pub fn new(problem: &'a dyn SizingProblem, fom: &'a Fom, budget: usize) -> Self {
+        Evaluator { problem, fom, budget, history: History::new(), sim_time: Duration::ZERO }
+    }
+
+    /// Runs (and records) one expensive evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is already exhausted; optimizers must check
+    /// [`Evaluator::exhausted`] first.
+    pub fn evaluate(&mut self, x: &[f64]) -> Evaluation {
+        assert!(!self.exhausted(), "simulation budget exhausted");
+        let t0 = Instant::now();
+        let spec = self.problem.evaluate(x);
+        self.sim_time += t0.elapsed();
+        let fom = self.fom.value(&spec);
+        let eval = Evaluation { x: x.to_vec(), feasible: spec.feasible(), fom, spec };
+        self.history.push(eval.clone());
+        eval
+    }
+
+    /// True when no budget remains.
+    pub fn exhausted(&self) -> bool {
+        self.history.len() >= self.budget
+    }
+
+    /// Simulations remaining.
+    pub fn remaining(&self) -> usize {
+        self.budget.saturating_sub(self.history.len())
+    }
+
+    /// Simulations used.
+    pub fn used(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &dyn SizingProblem {
+        self.problem
+    }
+
+    /// The FoM in use.
+    pub fn fom(&self) -> &Fom {
+        self.fom
+    }
+
+    /// Recorded history so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Wall-clock time spent inside [`SizingProblem::evaluate`].
+    pub fn sim_time(&self) -> Duration {
+        self.sim_time
+    }
+
+    /// Consumes the evaluator, returning the history and simulation time.
+    pub fn into_parts(self) -> (History, Duration) {
+        (self.history, self.sim_time)
+    }
+}
+
+/// Completed run: what an [`crate::Optimizer`] returns.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Name of the optimizer that produced the run.
+    pub optimizer: String,
+    /// Full evaluation history.
+    pub history: History,
+    /// Wall-clock time spent in surrogate-model fitting (the paper's
+    /// "modeling time").
+    pub model_time: Duration,
+    /// Wall-clock time spent in simulations.
+    pub sim_time: Duration,
+    /// Total run wall-clock time.
+    pub total_time: Duration,
+}
+
+impl RunResult {
+    /// Best feasible objective, if a feasible design was found.
+    pub fn best_feasible_objective(&self) -> Option<f64> {
+        self.history.best_feasible().map(|e| e.spec.objective)
+    }
+
+    /// 1-based simulation count at which the first feasible design
+    /// appeared.
+    pub fn sims_to_feasible(&self) -> Option<usize> {
+        self.history.first_feasible()
+    }
+}
+
+/// When an optimizer should stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopPolicy {
+    /// Use the whole simulation budget (needed for FoM-curve figures).
+    Exhaust,
+    /// Return as soon as a feasible design is simulated (paper Alg. 1
+    /// line 11, and the industrial Table V protocol).
+    FirstFeasible,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::test_problems::Sphere;
+
+    fn eval(fom: f64, feasible: bool) -> Evaluation {
+        Evaluation {
+            x: vec![0.0],
+            spec: SpecResult { objective: fom, constraints: vec![] },
+            fom,
+            feasible,
+        }
+    }
+
+    #[test]
+    fn best_trace_is_monotone() {
+        let mut h = History::new();
+        for f in [5.0, 3.0, 4.0, 1.0, 2.0] {
+            h.push(eval(f, false));
+        }
+        assert_eq!(h.best_trace(), &[5.0, 3.0, 3.0, 1.0, 1.0]);
+        assert_eq!(h.best().unwrap().fom, 1.0);
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn first_feasible_is_one_based_and_sticky() {
+        let mut h = History::new();
+        h.push(eval(5.0, false));
+        h.push(eval(4.0, true));
+        h.push(eval(3.0, true));
+        assert_eq!(h.first_feasible(), Some(2));
+    }
+
+    #[test]
+    fn best_feasible_prefers_objective() {
+        let mut h = History::new();
+        // Feasible but worse objective…
+        let mut a = eval(0.5, true);
+        a.spec.objective = 10.0;
+        h.push(a);
+        // Infeasible with great objective must be ignored…
+        let mut b = eval(0.1, false);
+        b.spec.objective = 0.1;
+        h.push(b);
+        // Feasible with better objective wins.
+        let mut c = eval(0.6, true);
+        c.spec.objective = 3.0;
+        h.push(c);
+        assert_eq!(h.best_feasible().unwrap().spec.objective, 3.0);
+    }
+
+    #[test]
+    fn evaluator_enforces_budget() {
+        let p = Sphere { d: 2 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let mut ev = Evaluator::new(&p, &fom, 3);
+        assert_eq!(ev.remaining(), 3);
+        ev.evaluate(&[0.3, 0.3]);
+        ev.evaluate(&[0.5, 0.5]);
+        assert!(!ev.exhausted());
+        ev.evaluate(&[0.1, 0.1]);
+        assert!(ev.exhausted());
+        assert_eq!(ev.used(), 3);
+        assert_eq!(ev.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget exhausted")]
+    fn evaluator_panics_past_budget() {
+        let p = Sphere { d: 1 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let mut ev = Evaluator::new(&p, &fom, 1);
+        ev.evaluate(&[0.3]);
+        ev.evaluate(&[0.4]);
+    }
+
+    #[test]
+    fn evaluator_records_feasibility() {
+        let p = Sphere { d: 2 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let mut ev = Evaluator::new(&p, &fom, 10);
+        let good = ev.evaluate(&[0.3, 0.3]);
+        assert!(good.feasible);
+        let bad = ev.evaluate(&[0.0, 0.0]);
+        assert!(!bad.feasible);
+        assert_eq!(ev.history().first_feasible(), Some(1));
+    }
+}

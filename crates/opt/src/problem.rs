@@ -1,0 +1,275 @@
+//! The constrained sizing-problem abstraction (paper Eq. 1).
+
+/// Result of one expensive evaluation: the objective and the constraint
+/// values in `fi(x) ≤ 0` form (negative/zero = satisfied).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecResult {
+    /// Objective value `f0(x)` to minimize.
+    pub objective: f64,
+    /// Constraint values `fi(x)`; feasible when all are `≤ 0`.
+    pub constraints: Vec<f64>,
+}
+
+impl SpecResult {
+    /// True if every constraint is satisfied.
+    pub fn feasible(&self) -> bool {
+        self.constraints.iter().all(|&c| c <= 0.0)
+    }
+
+    /// The full spec vector `[f0, f1, …, fm]` as the critic network sees it.
+    pub fn as_vector(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(1 + self.constraints.len());
+        v.push(self.objective);
+        v.extend_from_slice(&self.constraints);
+        v
+    }
+
+    /// Builds a result from the `[f0, f1, …, fm]` vector layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn from_vector(v: &[f64]) -> Self {
+        assert!(!v.is_empty(), "spec vector needs at least the objective");
+        SpecResult { objective: v[0], constraints: v[1..].to_vec() }
+    }
+
+    /// A deliberately terrible result used when a simulation fails: large
+    /// objective and every constraint maximally violated. Keeps optimizer
+    /// loops total (no `Result` plumbing through every algorithm) while
+    /// making failed regions strongly repellent.
+    pub fn failed(num_constraints: usize) -> Self {
+        SpecResult { objective: 1e12, constraints: vec![1e12; num_constraints] }
+    }
+
+    /// True if this is a failure placeholder (any non-finite or huge entry).
+    pub fn is_failure(&self) -> bool {
+        !self.objective.is_finite()
+            || self.objective >= 1e12
+            || self.constraints.iter().any(|c| !c.is_finite() || *c >= 1e12)
+    }
+}
+
+/// A constrained black-box sizing problem (paper Eq. 1):
+///
+/// ```text
+/// minimize f0(x)   subject to fi(x) ≤ 0,  i = 1..m,   x ∈ [lb, ub]
+/// ```
+///
+/// Implementations wrap a circuit testbench; `evaluate` is the expensive
+/// "SPICE simulation" every optimizer counts.
+pub trait SizingProblem {
+    /// Number of design variables `d`.
+    fn dim(&self) -> usize;
+
+    /// Box bounds `(lb, ub)`, each of length [`SizingProblem::dim`].
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>);
+
+    /// Number of constraints `m`.
+    fn num_constraints(&self) -> usize;
+
+    /// Runs the expensive evaluation.
+    ///
+    /// Implementations must return [`SpecResult::failed`] (rather than
+    /// panicking) when the underlying simulation does not converge.
+    fn evaluate(&self, x: &[f64]) -> SpecResult;
+
+    /// Human-readable problem name.
+    fn name(&self) -> &str {
+        "problem"
+    }
+
+    /// Names of the design variables (defaults to `x0`, `x1`, …).
+    fn variable_names(&self) -> Vec<String> {
+        (0..self.dim()).map(|i| format!("x{i}")).collect()
+    }
+
+    /// A nominal starting design; defaults to the center of the box. Used
+    /// by sensitivity analysis.
+    fn nominal(&self) -> Vec<f64> {
+        let (lb, ub) = self.bounds();
+        lb.iter().zip(&ub).map(|(l, u)| 0.5 * (l + u)).collect()
+    }
+}
+
+/// Robust clipping bounds for surrogate-model targets: `(lo, hi)` such
+/// that values inside the bulk of the distribution pass through unchanged
+/// while failure-penalty cliffs (e.g. the 1e12 placeholders of
+/// [`SpecResult::failed`]) are pulled close enough to carry gradient
+/// information without destroying the target scaling.
+///
+/// Uses the 10th/90th percentiles `p10`, `p90` and returns
+/// `(p10 − 3·r, p90 + 3·r)` with `r = max(p90 − p10, ε)`.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn robust_clip_bounds(values: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty(), "cannot clip an empty column");
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return (-1.0, 1.0);
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| v[((v.len() - 1) as f64 * p).round() as usize];
+    let (p10, p90) = (q(0.1), q(0.9));
+    let r = (p90 - p10).max(1e-9 * (1.0 + p90.abs()));
+    (p10 - 3.0 * r, p90 + 3.0 * r)
+}
+
+/// Maps a design point into the unit cube given problem bounds.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn to_unit(x: &[f64], lb: &[f64], ub: &[f64]) -> Vec<f64> {
+    assert!(x.len() == lb.len() && x.len() == ub.len(), "to_unit: length mismatch");
+    x.iter()
+        .zip(lb.iter().zip(ub))
+        .map(|(&v, (&l, &u))| if u > l { (v - l) / (u - l) } else { 0.5 })
+        .collect()
+}
+
+/// Inverse of [`to_unit`].
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn from_unit(u: &[f64], lb: &[f64], ub: &[f64]) -> Vec<f64> {
+    assert!(u.len() == lb.len() && u.len() == ub.len(), "from_unit: length mismatch");
+    u.iter()
+        .zip(lb.iter().zip(ub))
+        .map(|(&t, (&l, &h))| l + t * (h - l))
+        .collect()
+}
+
+#[cfg(test)]
+pub(crate) mod test_problems {
+    use super::*;
+
+    /// A cheap analytic stand-in for a circuit: minimize Σ(x−0.3)² with
+    /// constraints requiring each coordinate ≥ 0.1 (written as 0.1 − x ≤ 0)
+    /// and the sum ≤ d·0.8.
+    pub struct Sphere {
+        pub d: usize,
+    }
+
+    impl SizingProblem for Sphere {
+        fn dim(&self) -> usize {
+            self.d
+        }
+
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            (vec![0.0; self.d], vec![1.0; self.d])
+        }
+
+        fn num_constraints(&self) -> usize {
+            self.d + 1
+        }
+
+        fn evaluate(&self, x: &[f64]) -> SpecResult {
+            let objective = x.iter().map(|v| (v - 0.3).powi(2)).sum();
+            let mut constraints: Vec<f64> = x.iter().map(|v| 0.1 - v).collect();
+            constraints.push(x.iter().sum::<f64>() - 0.8 * self.d as f64);
+            SpecResult { objective, constraints }
+        }
+
+        fn name(&self) -> &str {
+            "sphere"
+        }
+    }
+
+    /// A problem with a narrow feasible region, for exercising
+    /// first-feasible statistics: feasible only when ‖x − 0.7‖∞ ≤ 0.05.
+    pub struct NarrowBand {
+        pub d: usize,
+    }
+
+    impl SizingProblem for NarrowBand {
+        fn dim(&self) -> usize {
+            self.d
+        }
+
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            (vec![0.0; self.d], vec![1.0; self.d])
+        }
+
+        fn num_constraints(&self) -> usize {
+            self.d
+        }
+
+        fn evaluate(&self, x: &[f64]) -> SpecResult {
+            let objective = x.iter().sum::<f64>();
+            let constraints = x.iter().map(|v| (v - 0.7).abs() - 0.05).collect();
+            SpecResult { objective, constraints }
+        }
+
+        fn name(&self) -> &str {
+            "narrow-band"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_problems::Sphere;
+    use super::*;
+
+    #[test]
+    fn feasibility_detection() {
+        let ok = SpecResult { objective: 1.0, constraints: vec![-0.1, 0.0] };
+        assert!(ok.feasible());
+        let bad = SpecResult { objective: 1.0, constraints: vec![-0.1, 0.01] };
+        assert!(!bad.feasible());
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let s = SpecResult { objective: 2.0, constraints: vec![1.0, -1.0] };
+        let v = s.as_vector();
+        assert_eq!(v, vec![2.0, 1.0, -1.0]);
+        assert_eq!(SpecResult::from_vector(&v), s);
+    }
+
+    #[test]
+    fn failed_results_are_infeasible_and_flagged() {
+        let f = SpecResult::failed(3);
+        assert!(!f.feasible());
+        assert!(f.is_failure());
+        let ok = SpecResult { objective: 1.0, constraints: vec![0.0] };
+        assert!(!ok.is_failure());
+    }
+
+    #[test]
+    fn unit_mapping_roundtrip() {
+        let lb = vec![-1.0, 0.0, 10.0];
+        let ub = vec![1.0, 5.0, 20.0];
+        let x = vec![0.0, 2.5, 15.0];
+        let u = to_unit(&x, &lb, &ub);
+        assert_eq!(u, vec![0.5, 0.5, 0.5]);
+        let back = from_unit(&u, &lb, &ub);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_bounds_do_not_divide_by_zero() {
+        let u = to_unit(&[3.0], &[3.0], &[3.0]);
+        assert_eq!(u, vec![0.5]);
+    }
+
+    #[test]
+    fn sphere_problem_basics() {
+        let p = Sphere { d: 3 };
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.num_constraints(), 4);
+        let r = p.evaluate(&[0.3, 0.3, 0.3]);
+        assert!(r.objective < 1e-12);
+        assert!(r.feasible());
+        let r2 = p.evaluate(&[0.05, 0.3, 0.3]);
+        assert!(!r2.feasible());
+        assert_eq!(p.nominal(), vec![0.5, 0.5, 0.5]);
+        assert_eq!(p.variable_names().len(), 3);
+    }
+}

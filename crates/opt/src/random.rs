@@ -1,0 +1,78 @@
+//! Pure random search — the sanity-floor baseline.
+
+use std::time::Instant;
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::de::finish;
+use crate::fom::Fom;
+use crate::history::{Evaluator, RunResult, StopPolicy};
+use crate::problem::SizingProblem;
+use crate::sampling::sample_uniform;
+use crate::Optimizer;
+
+/// Uniform random sampling of the design box. Any serious optimizer must
+/// beat this; it also provides the paper's "random RL agent" intuition
+/// floor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSearch;
+
+impl Optimizer for RandomSearch {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn run(
+        &self,
+        problem: &dyn SizingProblem,
+        fom: &Fom,
+        budget: usize,
+        stop: StopPolicy,
+        seed: u64,
+    ) -> RunResult {
+        let t0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (lb, ub) = problem.bounds();
+        let mut ev = Evaluator::new(problem, fom, budget);
+        while !ev.exhausted() {
+            let x = &sample_uniform(&mut rng, &lb, &ub, 1)[0];
+            let e = ev.evaluate(x);
+            if stop == StopPolicy::FirstFeasible && e.feasible {
+                break;
+            }
+        }
+        finish(self.name(), ev, t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::test_problems::Sphere;
+
+    #[test]
+    fn uses_exact_budget() {
+        let p = Sphere { d: 2 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let run = RandomSearch.run(&p, &fom, 50, StopPolicy::Exhaust, 0);
+        assert_eq!(run.history.len(), 50);
+    }
+
+    #[test]
+    fn eventually_hits_generous_feasible_region() {
+        let p = Sphere { d: 2 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let run = RandomSearch.run(&p, &fom, 500, StopPolicy::FirstFeasible, 123);
+        assert!(run.sims_to_feasible().is_some());
+    }
+
+    #[test]
+    fn best_trace_never_increases() {
+        let p = Sphere { d: 3 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let run = RandomSearch.run(&p, &fom, 200, StopPolicy::Exhaust, 5);
+        for w in run.history.best_trace().windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Design-space sampling helpers shared by every optimizer.
+
+use rand::Rng;
+
+/// Draws `n` uniform samples inside the box `[lb, ub]`.
+///
+/// # Panics
+///
+/// Panics if `lb.len() != ub.len()`.
+pub fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lb: &[f64], ub: &[f64], n: usize) -> Vec<Vec<f64>> {
+    assert_eq!(lb.len(), ub.len(), "bound length mismatch");
+    (0..n)
+        .map(|_| {
+            lb.iter()
+                .zip(ub)
+                .map(|(&l, &u)| if u > l { rng.gen_range(l..u) } else { l })
+                .collect()
+        })
+        .collect()
+}
+
+/// Latin-hypercube sampling: `n` points, one per axis stratum in each
+/// dimension, uniformly jittered within strata. Gives better coverage than
+/// plain uniform sampling for the small initial populations DNN-Opt uses.
+///
+/// # Panics
+///
+/// Panics if `lb.len() != ub.len()` or `n == 0`.
+pub fn latin_hypercube<R: Rng + ?Sized>(rng: &mut R, lb: &[f64], ub: &[f64], n: usize) -> Vec<Vec<f64>> {
+    assert_eq!(lb.len(), ub.len(), "bound length mismatch");
+    assert!(n > 0, "need at least one sample");
+    let d = lb.len();
+    let mut out = vec![vec![0.0; d]; n];
+    for j in 0..d {
+        // A random permutation of strata for this dimension.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let k = rng.gen_range(0..=i);
+            perm.swap(i, k);
+        }
+        for (i, &stratum) in perm.iter().enumerate() {
+            let u = (stratum as f64 + rng.gen::<f64>()) / n as f64;
+            out[i][j] = if ub[j] > lb[j] { lb[j] + u * (ub[j] - lb[j]) } else { lb[j] };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lb = vec![-1.0, 10.0];
+        let ub = vec![1.0, 20.0];
+        for x in sample_uniform(&mut rng, &lb, &ub, 100) {
+            assert!(x[0] >= -1.0 && x[0] < 1.0);
+            assert!(x[1] >= 10.0 && x[1] < 20.0);
+        }
+    }
+
+    #[test]
+    fn lhs_stratifies_each_dimension() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 10;
+        let pts = latin_hypercube(&mut rng, &[0.0], &[1.0], n);
+        // Exactly one point per [k/n, (k+1)/n) stratum.
+        let mut seen = vec![false; n];
+        for p in &pts {
+            let k = ((p[0] * n as f64) as usize).min(n - 1);
+            assert!(!seen[k], "stratum {k} hit twice");
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn lhs_multidimensional_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lb = vec![0.0, -5.0, 100.0];
+        let ub = vec![1.0, 5.0, 200.0];
+        for x in latin_hypercube(&mut rng, &lb, &ub, 17) {
+            for j in 0..3 {
+                assert!(x[j] >= lb[j] && x[j] <= ub[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_bounds_collapse() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = sample_uniform(&mut rng, &[2.0], &[2.0], 5);
+        assert!(pts.iter().all(|p| p[0] == 2.0));
+        let pts = latin_hypercube(&mut rng, &[2.0], &[2.0], 5);
+        assert!(pts.iter().all(|p| p[0] == 2.0));
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let a = sample_uniform(&mut StdRng::seed_from_u64(9), &[0.0], &[1.0], 5);
+        let b = sample_uniform(&mut StdRng::seed_from_u64(9), &[0.0], &[1.0], 5);
+        assert_eq!(a, b);
+    }
+}

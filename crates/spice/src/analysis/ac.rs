@@ -1,0 +1,270 @@
+//! AC small-signal analysis.
+//!
+//! The circuit is linearized at a DC operating point; at each frequency the
+//! complex system `(G + jωC)·x = b` is solved, where `G` holds the
+//! small-signal conductances (gm/gds/gmb of each MOSFET plus resistors and
+//! controlled sources), `C` the constant capacitances, and `b` the AC
+//! magnitudes of the independent sources.
+
+use linalg::{C64, ComplexLu};
+
+use crate::analysis::dc::OpPoint;
+use crate::error::SpiceError;
+use crate::netlist::{Circuit, Device, NodeId};
+use crate::options::SimOptions;
+use crate::stamp::ComplexStamper;
+
+/// Result of an AC sweep: complex node voltages per frequency.
+#[derive(Debug, Clone)]
+pub struct AcSweep {
+    freqs: Vec<f64>,
+    /// `v[f][node]` — complex node voltage; index 0 is ground (always 0).
+    v: Vec<Vec<C64>>,
+}
+
+impl AcSweep {
+    /// The frequency grid \[Hz\].
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Complex voltage of `node` at frequency index `fi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn voltage(&self, fi: usize, node: NodeId) -> C64 {
+        self.v[fi][node]
+    }
+
+    /// Differential voltage `v(p) − v(n)` at frequency index `fi`.
+    pub fn diff_voltage(&self, fi: usize, p: NodeId, n: NodeId) -> C64 {
+        self.v[fi][p] - self.v[fi][n]
+    }
+
+    /// Magnitude response of a node over the whole sweep.
+    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
+        self.v.iter().map(|vf| vf[node].abs()).collect()
+    }
+
+    /// Magnitude response of `v(p) − v(n)` over the whole sweep.
+    pub fn diff_magnitude(&self, p: NodeId, n: NodeId) -> Vec<f64> {
+        self.v.iter().map(|vf| (vf[p] - vf[n]).abs()).collect()
+    }
+
+    /// Phase (radians, unwrapped) of `v(p) − v(n)` over the whole sweep.
+    ///
+    /// Unwrapping removes 2π jumps so phase-margin computations can
+    /// interpolate safely.
+    pub fn diff_phase_unwrapped(&self, p: NodeId, n: NodeId) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.v.len());
+        let mut prev = 0.0;
+        let mut offset = 0.0;
+        for (i, vf) in self.v.iter().enumerate() {
+            let raw = (vf[p] - vf[n]).arg();
+            if i > 0 {
+                let mut d = raw + offset - prev;
+                while d > std::f64::consts::PI {
+                    offset -= 2.0 * std::f64::consts::PI;
+                    d = raw + offset - prev;
+                }
+                while d < -std::f64::consts::PI {
+                    offset += 2.0 * std::f64::consts::PI;
+                    d = raw + offset - prev;
+                }
+            }
+            prev = raw + offset;
+            out.push(prev);
+        }
+        out
+    }
+}
+
+/// Builds a log-spaced frequency grid from `f_start` to `f_stop` with
+/// `points_per_decade` points per decade (endpoints included).
+///
+/// # Panics
+///
+/// Panics if the range or density is non-positive.
+pub fn log_freqs(f_start: f64, f_stop: f64, points_per_decade: usize) -> Vec<f64> {
+    assert!(f_start > 0.0 && f_stop > f_start, "invalid frequency range");
+    assert!(points_per_decade > 0, "need at least one point per decade");
+    let decades = (f_stop / f_start).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize + 1;
+    (0..n)
+        .map(|i| f_start * 10f64.powf(decades * i as f64 / (n - 1) as f64))
+        .collect()
+}
+
+/// Assembles the small-signal system at angular frequency `omega` with
+/// source excitation taken from the devices' `ac_mag` fields (or zeroed when
+/// `zero_sources` — used by the noise adjoint solver).
+pub(crate) fn assemble_small_signal(
+    circuit: &Circuit,
+    op: &OpPoint,
+    opts: &SimOptions,
+    omega: f64,
+    zero_sources: bool,
+    st: &mut ComplexStamper,
+) {
+    st.clear();
+    st.load_gmin(opts.gmin);
+    for dev in circuit.devices() {
+        match dev {
+            Device::Resistor { a, b, g, .. } => st.admittance(*a, *b, C64::real(*g)),
+            Device::Capacitor { a, b, c, .. } => st.admittance(*a, *b, C64::new(0.0, omega * c)),
+            Device::VSource { p, n, ac_mag, branch, .. } => {
+                let v = if zero_sources { 0.0 } else { *ac_mag };
+                st.vsource(*branch, *p, *n, C64::real(v));
+            }
+            Device::ISource { p, n, ac_mag, .. } => {
+                let i = if zero_sources { 0.0 } else { *ac_mag };
+                st.current_source(*p, *n, C64::real(i));
+            }
+            Device::Vcvs { p, n, cp, cn, gain, branch, .. } => {
+                st.vcvs(*branch, *p, *n, *cp, *cn, *gain);
+            }
+            Device::Vccs { p, n, cp, cn, gm, .. } => st.vccs(*p, *n, *cp, *cn, *gm),
+            Device::Mosfet { name, d, g, s, b, caps, .. } => {
+                let mop = op
+                    .mos_op(name)
+                    .expect("operating point must cover every MOSFET");
+                st.vccs(*d, *s, *g, *s, mop.gm);
+                st.admittance(*d, *s, C64::real(mop.gds));
+                st.vccs(*d, *s, *b, *s, mop.gmb);
+                st.admittance(*g, *s, C64::new(0.0, omega * caps.cgs));
+                st.admittance(*g, *d, C64::new(0.0, omega * caps.cgd));
+                st.admittance(*g, *b, C64::new(0.0, omega * caps.cgb));
+                st.admittance(*d, *b, C64::new(0.0, omega * caps.cdb));
+                st.admittance(*s, *b, C64::new(0.0, omega * caps.csb));
+            }
+        }
+    }
+}
+
+/// Runs an AC sweep over the given frequency grid, linearized at `op`.
+///
+/// Sources excite the circuit through their `ac_mag` values (set via
+/// [`Circuit::add_vsource_ac`] / [`Circuit::add_isource_ac`]).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::SingularMatrix`] if the linearized system is
+/// singular at some frequency, or [`SpiceError::BadAnalysis`] for an empty
+/// grid.
+pub fn ac(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    op: &OpPoint,
+    freqs: &[f64],
+) -> Result<AcSweep, SpiceError> {
+    if freqs.is_empty() {
+        return Err(SpiceError::BadAnalysis { reason: "empty frequency grid".to_string() });
+    }
+    let n_nodes = circuit.num_nodes();
+    let mut st = ComplexStamper::new(circuit);
+    let mut v = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        assemble_small_signal(circuit, op, opts, omega, false, &mut st);
+        let lu = ComplexLu::factor(st.a.clone())
+            .map_err(|_| SpiceError::SingularMatrix { analysis: "ac" })?;
+        let x = lu.solve(&st.z);
+        let mut vf = vec![C64::ZERO; n_nodes];
+        for (node, vn) in vf.iter_mut().enumerate().skip(1) {
+            *vn = x[node - 1];
+        }
+        v.push(vf);
+    }
+    Ok(AcSweep { freqs: freqs.to_vec(), v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GND;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_lowpass_magnitude_and_phase() {
+        // R = 1k, C = 1uF -> f3dB = 1/(2πRC) ≈ 159.15 Hz.
+        let mut c = Circuit::new();
+        let a = c.node("in");
+        let b = c.node("out");
+        c.add_vsource_ac("V1", a, GND, Waveform::Dc(0.0), 1.0).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_capacitor("C1", b, GND, 1e-6).unwrap();
+        let opts = SimOptions::default();
+        let op = crate::analysis::dc::op(&c, &opts).unwrap();
+        let f3 = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-6);
+        let sweep = ac(&c, &opts, &op, &[f3 / 100.0, f3, f3 * 100.0]).unwrap();
+        let mag = sweep.magnitude(b);
+        assert!((mag[0] - 1.0).abs() < 1e-3, "passband {}", mag[0]);
+        assert!((mag[1] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3, "-3dB {}", mag[1]);
+        assert!((mag[2] - 0.01).abs() < 2e-4, "stopband {}", mag[2]);
+        // Phase at f3dB is -45 degrees.
+        let ph = sweep.voltage(1, b).arg().to_degrees();
+        assert!((ph + 45.0).abs() < 0.5, "phase {ph}");
+    }
+
+    #[test]
+    fn vcvs_gain_is_flat() {
+        let mut c = Circuit::new();
+        let a = c.node("in");
+        let b = c.node("out");
+        c.add_vsource_ac("V1", a, GND, Waveform::Dc(0.0), 1.0).unwrap();
+        c.add_vcvs("E1", b, GND, a, GND, 42.0).unwrap();
+        c.add_resistor("RL", b, GND, 1e3).unwrap();
+        let opts = SimOptions::default();
+        let op = crate::analysis::dc::op(&c, &opts).unwrap();
+        let sweep = ac(&c, &opts, &op, &log_freqs(1.0, 1e6, 2)).unwrap();
+        for m in sweep.magnitude(b) {
+            assert!((m - 42.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_freqs_spacing() {
+        let f = log_freqs(1.0, 1000.0, 10);
+        assert_eq!(f.len(), 31);
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f[30] - 1000.0).abs() < 1e-9);
+        // Uniform ratio between consecutive points.
+        let r0 = f[1] / f[0];
+        let r1 = f[16] / f[15];
+        assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unwrapped_phase_has_no_jumps() {
+        // Two-pole RC ladder: phase goes to -180°, which wraps in atan2.
+        let mut c = Circuit::new();
+        let a = c.node("in");
+        let m = c.node("mid");
+        let b = c.node("out");
+        c.add_vsource_ac("V1", a, GND, Waveform::Dc(0.0), 1.0).unwrap();
+        c.add_resistor("R1", a, m, 1e3).unwrap();
+        c.add_capacitor("C1", m, GND, 1e-6).unwrap();
+        c.add_resistor("R2", m, b, 10e3).unwrap();
+        c.add_capacitor("C2", b, GND, 1e-6).unwrap();
+        let opts = SimOptions::default();
+        let op = crate::analysis::dc::op(&c, &opts).unwrap();
+        let sweep = ac(&c, &opts, &op, &log_freqs(1.0, 1e6, 20)).unwrap();
+        let ph = sweep.diff_phase_unwrapped(b, GND);
+        for w in ph.windows(2) {
+            assert!((w[1] - w[0]).abs() < 1.0, "phase jump: {} -> {}", w[0], w[1]);
+        }
+        assert!(ph.last().unwrap().to_degrees() < -150.0);
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("R1", a, GND, 1e3).unwrap();
+        c.add_vsource("V1", a, GND, Waveform::Dc(1.0)).unwrap();
+        let opts = SimOptions::default();
+        let op = crate::analysis::dc::op(&c, &opts).unwrap();
+        assert!(ac(&c, &opts, &op, &[]).is_err());
+    }
+}

@@ -1,0 +1,554 @@
+//! DC operating point and DC sweeps.
+//!
+//! The operating point is found by damped Newton-Raphson on the resistive
+//! MNA system (capacitors open). When plain NR fails, the solver falls back
+//! to gmin stepping (continuation in the diagonal loading conductance) and
+//! then to source stepping (continuation in the source scale factor), the
+//! same strategies production SPICE engines use.
+
+use std::collections::HashMap;
+
+use linalg::Lu;
+
+use crate::error::SpiceError;
+use crate::mos::{MosEval, MosRegion};
+use crate::netlist::{Circuit, Device, NodeId};
+use crate::options::SimOptions;
+use crate::stamp::{node_voltage, stamp_resistive, RealStamper, SourceEval};
+
+/// Per-MOSFET operating-point report.
+#[derive(Debug, Clone, Copy)]
+pub struct MosOp {
+    /// Drain current (into the drain) \[A\].
+    pub id: f64,
+    /// Gate-source voltage \[V\].
+    pub vgs: f64,
+    /// Drain-source voltage \[V\].
+    pub vds: f64,
+    /// Bulk-source voltage \[V\].
+    pub vbs: f64,
+    /// Effective threshold magnitude \[V\].
+    pub vth: f64,
+    /// Saturation voltage \[V\].
+    pub vdsat: f64,
+    /// Saturation margin `|vds| − vdsat` \[V\].
+    pub vsat_margin: f64,
+    /// Transconductance \[S\].
+    pub gm: f64,
+    /// Output conductance \[S\].
+    pub gds: f64,
+    /// Bulk transconductance \[S\].
+    pub gmb: f64,
+    /// Operating region.
+    pub region: MosRegion,
+}
+
+impl MosOp {
+    /// True if the device operates in saturation with at least `margin`
+    /// volts of headroom (the paper's "saturation margin" constraints).
+    pub fn saturated_with_margin(&self, margin: f64) -> bool {
+        self.vsat_margin >= margin
+    }
+}
+
+/// Solved DC operating point.
+#[derive(Debug, Clone)]
+pub struct OpPoint {
+    /// Node voltages indexed by [`NodeId`] (entry 0 is ground).
+    v: Vec<f64>,
+    /// Branch currents in branch order.
+    branch_currents: Vec<f64>,
+    /// Per-MOSFET operating data, keyed by instance name.
+    mos: HashMap<String, MosOp>,
+    /// Raw unknown vector (for warm starts).
+    x: Vec<f64>,
+    /// NR iterations used by the successful solve.
+    pub iterations: usize,
+}
+
+impl OpPoint {
+    /// Voltage of a node \[V\].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn voltage(&self, n: NodeId) -> f64 {
+        self.v[n]
+    }
+
+    /// All node voltages (index = [`NodeId`]).
+    pub fn voltages(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// Current through a voltage source, positive flowing from its `p`
+    /// terminal into the source (SPICE convention: a battery delivering
+    /// power reports negative current).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownDevice`] if the name does not refer to a
+    /// voltage source or VCVS in `circuit`.
+    pub fn source_current(&self, circuit: &Circuit, name: &str) -> Result<f64, SpiceError> {
+        let idx = circuit
+            .device_index(name)
+            .ok_or_else(|| SpiceError::UnknownDevice { name: name.to_string() })?;
+        match &circuit.devices()[idx] {
+            Device::VSource { branch, .. } | Device::Vcvs { branch, .. } => {
+                Ok(self.branch_currents[*branch])
+            }
+            _ => Err(SpiceError::UnknownDevice { name: name.to_string() }),
+        }
+    }
+
+    /// Operating-point data of a MOSFET by instance name.
+    pub fn mos_op(&self, name: &str) -> Option<&MosOp> {
+        self.mos.get(name)
+    }
+
+    /// All MOSFET operating points, keyed by instance name.
+    pub fn mos_ops(&self) -> &HashMap<String, MosOp> {
+        &self.mos
+    }
+
+    /// Raw unknown vector (node voltages then branch currents), usable as a
+    /// warm start for subsequent solves.
+    pub fn raw(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Generic damped Newton loop shared by the DC and transient engines.
+///
+/// `assemble` must fill the (cleared) stamper with the full linearized
+/// system at the given unknown vector. Two robustness devices on top of
+/// plain Newton:
+///
+/// - a per-iteration voltage limiter (`opts.v_limit`), the classic SPICE
+///   damping;
+/// - adaptive relaxation: when `max_dv` stops shrinking (a 2-cycle between
+///   two linearizations, common with piecewise device models), the applied
+///   fraction of the Newton step is reduced, which provably breaks period-2
+///   oscillations; it recovers geometrically once progress resumes.
+pub(crate) fn newton_loop(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    max_iters: usize,
+    x0: &[f64],
+    mut assemble: impl FnMut(&[f64], &mut RealStamper),
+) -> Option<(Vec<f64>, usize)> {
+    let trace = std::env::var_os("SPICE_DEBUG").is_some();
+    let n = circuit.num_unknowns();
+    let n_v = circuit.num_nodes() - 1;
+    let mut x = x0.to_vec();
+    let mut st = RealStamper::new(circuit);
+    let mut converged_once = false;
+    let mut relax = 1.0_f64;
+    let mut prev_dv = f64::INFINITY;
+    let mut prev_damp = 1.0_f64;
+    for iter in 0..max_iters {
+        st.clear();
+        assemble(&x, &mut st);
+        let lu = Lu::factor(&st.a).ok()?;
+        let x_new = lu.solve(&st.z);
+        if x_new.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        // Raw Newton step size on node voltages.
+        let mut max_dv = 0.0_f64;
+        for i in 0..n_v {
+            max_dv = max_dv.max((x_new[i] - x[i]).abs());
+        }
+        let vmax = x[..n_v].iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let tol = opts.vabstol + opts.reltol * vmax;
+        // Converged: the full Newton step is already below tolerance.
+        if max_dv < tol {
+            if converged_once {
+                for i in 0..n {
+                    x[i] = x_new[i];
+                }
+                return Some((x, iter + 1));
+            }
+            converged_once = true;
+        } else {
+            converged_once = false;
+        }
+        // Relaxation adaptation. A damped iteration on a locally linear
+        // system shrinks the step by about (1 − damp) per pass, so judge
+        // progress against that yardstick: clearly growing steps and steps
+        // shrinking much slower than the damping allows both indicate
+        // cycling between linearizations.
+        let ratio = max_dv / prev_dv;
+        if ratio > 1.05 {
+            relax = (relax * 0.5).max(0.02);
+        } else if ratio > 1.0 - 0.3 * prev_damp {
+            relax = (relax * 0.7).max(0.02);
+        } else {
+            relax = (relax * 1.4).min(1.0);
+        }
+        prev_dv = max_dv;
+        let damp = relax * if max_dv > opts.v_limit { opts.v_limit / max_dv } else { 1.0 };
+        prev_damp = damp;
+        for i in 0..n {
+            x[i] += damp * (x_new[i] - x[i]);
+        }
+        if trace && iter >= max_iters.saturating_sub(6) {
+            eprintln!("nr iter={iter} max_dv={max_dv:.3e} damp={damp:.3} relax={relax:.3}");
+        }
+    }
+    if trace {
+        eprintln!("nr FAILED after {max_iters} iters, last_dv={prev_dv:.3e}");
+    }
+    None
+}
+
+/// Newton-Raphson solve at fixed source scale and gmin. Returns the unknown
+/// vector and iterations, or `None` when it fails to converge.
+fn nr_solve(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    gmin: f64,
+    scale: f64,
+    x0: &[f64],
+    max_iters: usize,
+) -> Option<(Vec<f64>, usize)> {
+    newton_loop(circuit, opts, max_iters, x0, |x, st| {
+        st.load_gmin(gmin);
+        stamp_resistive(circuit, x, SourceEval::Dc { scale }, st);
+    })
+}
+
+/// Builds the [`OpPoint`] report from a converged unknown vector.
+fn build_op(circuit: &Circuit, x: Vec<f64>, iterations: usize) -> OpPoint {
+    let n_nodes = circuit.num_nodes();
+    let mut v = vec![0.0; n_nodes];
+    for (i, vi) in v.iter_mut().enumerate().skip(1) {
+        *vi = x[i - 1];
+    }
+    let branch_currents = x[(n_nodes - 1)..].to_vec();
+    let mut mos = HashMap::new();
+    for dev in circuit.devices() {
+        if let Device::Mosfet { name, d, g, s, b, model, w, l, m, .. } = dev {
+            let vgs = node_voltage(&x, *g) - node_voltage(&x, *s);
+            let vds = node_voltage(&x, *d) - node_voltage(&x, *s);
+            let vbs = node_voltage(&x, *b) - node_voltage(&x, *s);
+            let e: MosEval = crate::mos::eval_mos(model, *w, *l, *m, vgs, vds, vbs);
+            mos.insert(
+                name.clone(),
+                MosOp {
+                    id: e.id,
+                    vgs,
+                    vds,
+                    vbs,
+                    vth: e.vth,
+                    vdsat: e.vdsat,
+                    vsat_margin: e.vsat_margin,
+                    gm: e.gm,
+                    gds: e.gds,
+                    gmb: e.gmb,
+                    region: e.region,
+                },
+            );
+        }
+    }
+    OpPoint { v, branch_currents, mos, x, iterations }
+}
+
+/// Computes the DC operating point.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::NoConvergence`] when NR, gmin stepping and source
+/// stepping all fail, or [`SpiceError::SingularMatrix`] if the topology is
+/// structurally singular even with gmin loading.
+pub fn op(circuit: &Circuit, opts: &SimOptions) -> Result<OpPoint, SpiceError> {
+    op_with_guess(circuit, opts, None)
+}
+
+/// Computes the DC operating point starting from a warm-start guess
+/// (the raw unknown vector of a previous, nearby solution).
+///
+/// # Errors
+///
+/// Same failure modes as [`op`].
+pub fn op_with_guess(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    guess: Option<&[f64]>,
+) -> Result<OpPoint, SpiceError> {
+    let n = circuit.num_unknowns();
+    if n == 0 {
+        return Err(SpiceError::BadAnalysis { reason: "empty circuit".to_string() });
+    }
+    let x0 = guess.map(<[f64]>::to_vec).unwrap_or_else(|| vec![0.0; n]);
+
+    // 1. Plain NR.
+    if let Some((x, iters)) = nr_solve(circuit, opts, opts.gmin, 1.0, &x0, opts.max_nr_iters) {
+        return Ok(build_op(circuit, x, iters));
+    }
+
+    // 2. Gmin stepping: heavy loading pulls every node toward ground,
+    //    making the first solves nearly linear; relax it gradually.
+    let mut x = x0.clone();
+    let mut ok = true;
+    let mut total = 0;
+    for exp in 2..=12 {
+        let gmin = 10f64.powi(-exp);
+        match nr_solve(circuit, opts, gmin, 1.0, &x, opts.max_nr_iters) {
+            Some((xn, it)) => {
+                x = xn;
+                total += it;
+            }
+            None => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        if let Some((xf, it)) = nr_solve(circuit, opts, opts.gmin, 1.0, &x, opts.max_nr_iters) {
+            return Ok(build_op(circuit, xf, total + it));
+        }
+    }
+
+    // 3. Source stepping: ramp all independent sources from 10% to 100%.
+    let mut x = vec![0.0; n];
+    let mut total = 0;
+    let mut ok = true;
+    for step in 1..=10 {
+        let scale = step as f64 / 10.0;
+        match nr_solve(circuit, opts, opts.gmin, scale, &x, opts.max_nr_iters) {
+            Some((xn, it)) => {
+                x = xn;
+                total += it;
+            }
+            None => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        return Ok(build_op(circuit, x, total));
+    }
+
+    Err(SpiceError::NoConvergence { analysis: "dc operating point", iterations: opts.max_nr_iters })
+}
+
+/// Sweeps the DC value of one voltage source, warm-starting each point from
+/// the previous solution. Returns one operating point per sweep value.
+///
+/// # Errors
+///
+/// Fails if the source is unknown or any point fails to converge.
+pub fn dc_sweep(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    source: &str,
+    values: &[f64],
+) -> Result<Vec<OpPoint>, SpiceError> {
+    let idx = circuit
+        .device_index(source)
+        .ok_or_else(|| SpiceError::UnknownDevice { name: source.to_string() })?;
+    if !matches!(circuit.devices()[idx], Device::VSource { .. }) {
+        return Err(SpiceError::UnknownDevice { name: source.to_string() });
+    }
+    if values.is_empty() {
+        return Err(SpiceError::BadAnalysis { reason: "empty dc sweep".to_string() });
+    }
+    let mut ckt = circuit.clone();
+    let mut out = Vec::with_capacity(values.len());
+    let mut guess: Option<Vec<f64>> = None;
+    for &val in values {
+        if let Device::VSource { wave, .. } = &mut ckt.devices_mut()[idx] {
+            *wave = crate::waveform::Waveform::Dc(val);
+        }
+        let op = op_with_guess(&ckt, opts, guess.as_deref())?;
+        guess = Some(op.raw().to_vec());
+        out.push(op);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mos::{MosModel, MosPolarity};
+    use crate::netlist::GND;
+    use crate::waveform::Waveform;
+
+    fn nmos() -> MosModel {
+        MosModel {
+            polarity: MosPolarity::Nmos,
+            vth0: 0.45,
+            kp: 300e-6,
+            clm: 0.02e-6,
+            gamma: 0.4,
+            phi: 0.8,
+            nsub: 1.4,
+            cox: 8.5e-3,
+            cov: 3e-10,
+            cj: 1e-3,
+            ldiff: 0.4e-6,
+            kf: 1e-26,
+            af: 1.0,
+            noise_gamma: 2.0 / 3.0,
+        }
+    }
+
+    fn pmos() -> MosModel {
+        MosModel { polarity: MosPolarity::Pmos, vth0: 0.45, kp: 80e-6, ..nmos() }
+    }
+
+    #[test]
+    fn voltage_divider() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, GND, Waveform::Dc(2.0)).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_resistor("R2", b, GND, 3e3).unwrap();
+        let op = op(&c, &SimOptions::default()).unwrap();
+        assert!((op.voltage(b) - 1.5).abs() < 1e-6);
+        // Battery delivers 2V/4k = 0.5 mA; reported current is negative.
+        let i = op.source_current(&c, "V1").unwrap();
+        assert!((i + 0.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_isource("I1", GND, a, Waveform::Dc(1e-3)).unwrap();
+        c.add_resistor("R1", a, GND, 2e3).unwrap();
+        let op = op(&c, &SimOptions::default()).unwrap();
+        assert!((op.voltage(a) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vcvs_amplifies() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", inp, GND, Waveform::Dc(0.1)).unwrap();
+        c.add_vcvs("E1", out, GND, inp, GND, 10.0).unwrap();
+        c.add_resistor("RL", out, GND, 1e3).unwrap();
+        let op = op(&c, &SimOptions::default()).unwrap();
+        assert!((op.voltage(out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vccs_drives_current() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", inp, GND, Waveform::Dc(0.5)).unwrap();
+        c.add_vccs("G1", GND, out, inp, GND, 1e-3).unwrap(); // 0.5 mA into out
+        c.add_resistor("RL", out, GND, 1e3).unwrap();
+        let op = op(&c, &SimOptions::default()).unwrap();
+        assert!((op.voltage(out) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_connected_nmos_bias() {
+        // VDD -> R -> diode-connected NMOS to ground. The gate voltage must
+        // settle a bit above Vth and KCL must hold: (VDD - v)/R = Id(v).
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
+        c.add_resistor("R1", vdd, d, 10e3).unwrap();
+        let m = nmos();
+        c.add_mosfet("M1", d, d, GND, GND, &m, 10e-6, 1e-6, 1.0).unwrap();
+        let op = op(&c, &SimOptions::default()).unwrap();
+        let v = op.voltage(d);
+        assert!(v > 0.45 && v < 1.2, "diode voltage {v}");
+        let mop = op.mos_op("M1").unwrap();
+        let ir = (1.8 - v) / 10e3;
+        assert!((mop.id - ir).abs() / ir < 1e-3, "KCL violated: id={} ir={}", mop.id, ir);
+        assert_eq!(mop.region, MosRegion::Saturation);
+    }
+
+    #[test]
+    fn cmos_inverter_transfer_extremes() {
+        let build = |vin: f64| {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
+            c.add_vsource("VIN", inp, GND, Waveform::Dc(vin)).unwrap();
+            c.add_mosfet("MN", out, inp, GND, GND, &nmos(), 2e-6, 0.18e-6, 1.0).unwrap();
+            c.add_mosfet("MP", out, inp, vdd, vdd, &pmos(), 4e-6, 0.18e-6, 1.0).unwrap();
+            let op = op(&c, &SimOptions::default()).unwrap();
+            op.voltage(out)
+        };
+        assert!(build(0.0) > 1.75, "out-high failed: {}", build(0.0));
+        assert!(build(1.8) < 0.05, "out-low failed: {}", build(1.8));
+        let mid = build(0.9);
+        assert!(mid > 0.1 && mid < 1.7, "mid transfer: {mid}");
+    }
+
+    #[test]
+    fn nmos_common_source_gain_stage() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
+        c.add_vsource("VG", g, GND, Waveform::Dc(0.7)).unwrap();
+        c.add_resistor("RD", vdd, d, 8e3).unwrap();
+        c.add_mosfet("M1", d, g, GND, GND, &nmos(), 10e-6, 1e-6, 1.0).unwrap();
+        let op = op(&c, &SimOptions::default()).unwrap();
+        let mop = op.mos_op("M1").unwrap();
+        assert_eq!(mop.region, MosRegion::Saturation);
+        assert!(mop.gm > 0.0);
+        // Drain voltage consistent with id·RD drop.
+        assert!((op.voltage(d) - (1.8 - mop.id * 8e3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dc_sweep_inverter_is_monotonic() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
+        c.add_vsource("VIN", inp, GND, Waveform::Dc(0.0)).unwrap();
+        c.add_mosfet("MN", out, inp, GND, GND, &nmos(), 2e-6, 0.18e-6, 1.0).unwrap();
+        c.add_mosfet("MP", out, inp, vdd, vdd, &pmos(), 4e-6, 0.18e-6, 1.0).unwrap();
+        let values: Vec<f64> = (0..=18).map(|i| i as f64 * 0.1).collect();
+        let sweep = dc_sweep(&c, &SimOptions::default(), "VIN", &values).unwrap();
+        let vout: Vec<f64> = sweep.iter().map(|o| o.voltage(out)).collect();
+        for w in vout.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "inverter VTC must be non-increasing: {vout:?}");
+        }
+    }
+
+    #[test]
+    fn floating_node_recovers_via_gmin() {
+        // A node connected only through a capacitor is floating in DC; gmin
+        // loading defines it instead of failing.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let f = c.node("floating");
+        c.add_vsource("V1", a, GND, Waveform::Dc(1.0)).unwrap();
+        c.add_capacitor("C1", a, f, 1e-12).unwrap();
+        let op = op(&c, &SimOptions::default()).unwrap();
+        assert!(op.voltage(f).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_circuit_is_rejected() {
+        let c = Circuit::new();
+        assert!(matches!(op(&c, &SimOptions::default()), Err(SpiceError::BadAnalysis { .. })));
+    }
+
+    #[test]
+    fn sweep_unknown_source_is_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("R1", a, GND, 1e3).unwrap();
+        assert!(dc_sweep(&c, &SimOptions::default(), "VX", &[0.0]).is_err());
+    }
+}

@@ -1,0 +1,6 @@
+//! Circuit analyses: DC operating point/sweep, AC, transient, and noise.
+
+pub mod ac;
+pub mod dc;
+pub mod noise;
+pub mod tran;

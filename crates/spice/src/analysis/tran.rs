@@ -1,0 +1,473 @@
+//! Transient analysis with trapezoidal integration.
+//!
+//! Capacitors (explicit and MOSFET-intrinsic) are replaced by their
+//! trapezoidal companion models; the resulting resistive system is solved by
+//! the same damped Newton-Raphson used for the operating point. The step
+//! size is the user-supplied base step, clipped at source-waveform
+//! breakpoints; when a step refuses to converge it is halved (up to
+//! [`crate::SimOptions::max_step_halvings`] times) and grown back
+//! afterwards.
+
+use crate::analysis::dc;
+use crate::error::SpiceError;
+use crate::netlist::{Circuit, NodeId};
+use crate::options::SimOptions;
+use crate::stamp::{node_voltage, stamp_resistive, RealStamper, SourceEval};
+
+/// Result of a transient run: node voltages (and source branch currents)
+/// over time.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    t: Vec<f64>,
+    /// `v[step][node]`; index 0 is ground.
+    v: Vec<Vec<f64>>,
+    /// `branch[step][branch_index]` — currents of voltage-source-like
+    /// devices, for power measurements.
+    branch: Vec<Vec<f64>>,
+}
+
+impl TranResult {
+    /// Time points \[s\].
+    pub fn times(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Number of accepted time points.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// True if the run produced no points (never happens for a successful
+    /// analysis, which always stores the initial point).
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Voltage of `node` at step index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn voltage(&self, i: usize, node: NodeId) -> f64 {
+        self.v[i][node]
+    }
+
+    /// Full waveform of one node as `(t, v)` pairs.
+    pub fn waveform(&self, node: NodeId) -> Vec<(f64, f64)> {
+        self.t.iter().zip(&self.v).map(|(&t, vs)| (t, vs[node])).collect()
+    }
+
+    /// Linearly interpolated voltage of `node` at an arbitrary time
+    /// (clamped to the simulated range).
+    pub fn sample(&self, node: NodeId, time: f64) -> f64 {
+        if self.t.is_empty() {
+            return 0.0;
+        }
+        if time <= self.t[0] {
+            return self.v[0][node];
+        }
+        if time >= *self.t.last().unwrap() {
+            return self.v.last().unwrap()[node];
+        }
+        // Binary search for the bracketing interval.
+        let mut lo = 0;
+        let mut hi = self.t.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.t[mid] <= time {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (t0, t1) = (self.t[lo], self.t[hi]);
+        let (v0, v1) = (self.v[lo][node], self.v[hi][node]);
+        if t1 == t0 {
+            v1
+        } else {
+            v0 + (v1 - v0) * (time - t0) / (t1 - t0)
+        }
+    }
+
+    /// Final voltage of a node.
+    pub fn final_voltage(&self, node: NodeId) -> f64 {
+        self.v.last().map_or(0.0, |vs| vs[node])
+    }
+
+    /// Current through a voltage source at step `i` (SPICE sign convention,
+    /// matching [`crate::OpPoint::source_current`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownDevice`] if `name` is not a voltage
+    /// source or VCVS of `circuit`.
+    pub fn source_current(
+        &self,
+        circuit: &Circuit,
+        name: &str,
+        i: usize,
+    ) -> Result<f64, SpiceError> {
+        let idx = circuit
+            .device_index(name)
+            .ok_or_else(|| SpiceError::UnknownDevice { name: name.to_string() })?;
+        match &circuit.devices()[idx] {
+            crate::netlist::Device::VSource { branch, .. }
+            | crate::netlist::Device::Vcvs { branch, .. } => Ok(self.branch[i][*branch]),
+            _ => Err(SpiceError::UnknownDevice { name: name.to_string() }),
+        }
+    }
+
+    /// Charge delivered *by* a voltage source over `[t_from, t_to]`
+    /// (trapezoidal integral of `−i(t)`, positive when the source sources
+    /// current). Multiply by the source voltage for energy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TranResult::source_current`].
+    pub fn delivered_charge(
+        &self,
+        circuit: &Circuit,
+        name: &str,
+        t_from: f64,
+        t_to: f64,
+    ) -> Result<f64, SpiceError> {
+        let mut q = 0.0;
+        for i in 1..self.t.len() {
+            let (t0, t1) = (self.t[i - 1], self.t[i]);
+            if t1 <= t_from || t0 >= t_to {
+                continue;
+            }
+            let i0 = -self.source_current(circuit, name, i - 1)?;
+            let i1 = -self.source_current(circuit, name, i)?;
+            q += 0.5 * (i0 + i1) * (t1 - t0);
+        }
+        Ok(q)
+    }
+}
+
+/// One capacitive element with its trapezoidal state.
+struct CapState {
+    a: NodeId,
+    b: NodeId,
+    c: f64,
+    /// Capacitor voltage at the previous accepted step.
+    v_prev: f64,
+    /// Capacitor current at the previous accepted step (a → b).
+    i_prev: f64,
+}
+
+/// NR solve of one timestep. `x` enters as the previous solution and leaves
+/// as the new one on success.
+fn solve_step(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    caps: &[CapState],
+    t: f64,
+    h: f64,
+    x: &mut Vec<f64>,
+    _st: &mut RealStamper,
+) -> bool {
+    let solved = crate::analysis::dc::newton_loop(circuit, opts, opts.max_nr_iters, x, |xk, st| {
+        st.load_gmin(opts.gmin);
+        stamp_resistive(circuit, xk, SourceEval::Time { t }, st);
+        // Trapezoidal companion for each capacitor:
+        //   i_{n+1} = (2C/h)(v_{n+1} − v_n) − i_n
+        // = geq·v_{n+1} + i0 with geq = 2C/h, i0 = −geq·v_n − i_n.
+        for cap in caps {
+            let geq = 2.0 * cap.c / h;
+            let i0 = -geq * cap.v_prev - cap.i_prev;
+            st.conductance(cap.a, cap.b, geq);
+            st.current_source(cap.a, cap.b, i0);
+        }
+    });
+    match solved {
+        Some((xn, _)) => {
+            *x = xn;
+            true
+        }
+        None => false,
+    }
+}
+
+/// Runs a transient analysis from `t = 0` to `t_stop` with base step
+/// `t_step`. The initial condition is the DC operating point with sources at
+/// their `t = 0` values.
+///
+/// # Errors
+///
+/// Fails if the initial operating point cannot be found, if parameters are
+/// invalid, or if some timestep refuses to converge even at the minimum
+/// step size.
+pub fn transient(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    t_stop: f64,
+    t_step: f64,
+) -> Result<TranResult, SpiceError> {
+    if !(t_stop > 0.0) || !(t_step > 0.0) || t_step > t_stop {
+        return Err(SpiceError::BadAnalysis {
+            reason: format!("invalid transient window: stop={t_stop}, step={t_step}"),
+        });
+    }
+    // Initial condition.
+    let op0 = dc::op(circuit, opts)?;
+    let mut x = op0.raw().to_vec();
+
+    // Collect waveform breakpoints, sorted and deduplicated.
+    let mut breakpoints: Vec<f64> = Vec::new();
+    for dev in circuit.devices() {
+        match dev {
+            crate::netlist::Device::VSource { wave, .. }
+            | crate::netlist::Device::ISource { wave, .. } => {
+                breakpoints.extend(wave.breakpoints(t_stop));
+            }
+            _ => {}
+        }
+    }
+    breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+
+    // Capacitive elements with initial state (v from OP, i = 0: DC steady
+    // state has no capacitor current).
+    let mut caps: Vec<CapState> = circuit
+        .capacitive_elements()
+        .into_iter()
+        .filter(|&(_, _, c)| c > 0.0)
+        .map(|(a, b, c)| CapState {
+            a,
+            b,
+            c,
+            v_prev: node_voltage(&x, a) - node_voltage(&x, b),
+            i_prev: 0.0,
+        })
+        .collect();
+
+    let mut st = RealStamper::new(circuit);
+    let mut t = 0.0;
+    let mut result = TranResult {
+        t: vec![0.0],
+        v: vec![unknowns_to_voltages(circuit, &x)],
+        branch: vec![unknowns_to_branches(circuit, &x)],
+    };
+    let mut h = t_step;
+    let mut bp_iter = breakpoints.into_iter().peekable();
+    let mut easy_steps = 0usize;
+
+    while t < t_stop - 1e-18 {
+        // Clip the step at the next breakpoint and at t_stop.
+        let mut h_eff = h.min(t_stop - t);
+        if let Some(&bp) = bp_iter.peek() {
+            if bp > t + 1e-18 && bp < t + h_eff {
+                h_eff = bp - t;
+            }
+        }
+
+        let mut halvings = 0;
+        let mut x_try = x.clone();
+        loop {
+            let t_new = t + h_eff;
+            if solve_step(circuit, opts, &caps, t_new, h_eff, &mut x_try, &mut st) {
+                break;
+            }
+            halvings += 1;
+            if halvings > opts.max_step_halvings {
+                return Err(SpiceError::NoConvergence {
+                    analysis: "transient",
+                    iterations: opts.max_nr_iters,
+                });
+            }
+            h_eff *= 0.5;
+            x_try = x.clone();
+        }
+
+        let t_new = t + h_eff;
+        // Update capacitor states (trapezoidal).
+        for cap in &mut caps {
+            let v_new = node_voltage(&x_try, cap.a) - node_voltage(&x_try, cap.b);
+            let i_new = 2.0 * cap.c / h_eff * (v_new - cap.v_prev) - cap.i_prev;
+            cap.v_prev = v_new;
+            cap.i_prev = i_new;
+        }
+        x = x_try;
+        t = t_new;
+        result.t.push(t);
+        result.v.push(unknowns_to_voltages(circuit, &x));
+        result.branch.push(unknowns_to_branches(circuit, &x));
+        // Consume passed breakpoints.
+        while matches!(bp_iter.peek(), Some(&bp) if bp <= t + 1e-18) {
+            bp_iter.next();
+        }
+        // Step-size recovery after halvings.
+        if halvings == 0 {
+            easy_steps += 1;
+            if easy_steps >= 4 && h < t_step {
+                h = (h * 2.0).min(t_step);
+                easy_steps = 0;
+            }
+        } else {
+            h = h_eff.max(t_step / 2f64.powi(opts.max_step_halvings as i32));
+            easy_steps = 0;
+        }
+    }
+    Ok(result)
+}
+
+fn unknowns_to_voltages(circuit: &Circuit, x: &[f64]) -> Vec<f64> {
+    let mut v = vec![0.0; circuit.num_nodes()];
+    for (node, vn) in v.iter_mut().enumerate().skip(1) {
+        *vn = x[node - 1];
+    }
+    v
+}
+
+fn unknowns_to_branches(circuit: &Circuit, x: &[f64]) -> Vec<f64> {
+    x[(circuit.num_nodes() - 1)..].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GND;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_step_response() {
+        // Series R=1k into C=1u, step 0 -> 1 V at t=1ms. τ = 1 ms.
+        let mut c = Circuit::new();
+        let a = c.node("in");
+        let b = c.node("out");
+        c.add_vsource("V1", a, GND, Waveform::pulse(0.0, 1.0, 1e-3, 1e-9, 1e-9, 1.0, f64::INFINITY))
+            .unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_capacitor("C1", b, GND, 1e-6).unwrap();
+        let r = transient(&c, &SimOptions::default(), 6e-3, 20e-6).unwrap();
+        // One τ after the step: 1 - e^-1 ≈ 0.6321.
+        let v_tau = r.sample(b, 2e-3);
+        assert!((v_tau - 0.6321).abs() < 0.01, "v(τ) = {v_tau}");
+        // Five τ: essentially settled.
+        let v_5tau = r.sample(b, 6e-3);
+        assert!((v_5tau - 1.0).abs() < 0.01, "v(5τ) = {v_5tau}");
+        // Before the step: zero.
+        assert!(r.sample(b, 0.5e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trapezoidal_beats_large_error() {
+        // Accuracy check: RC with only 20 steps per τ should still be
+        // within 1% thanks to second-order integration.
+        let mut c = Circuit::new();
+        let a = c.node("in");
+        let b = c.node("out");
+        c.add_vsource("V1", a, GND, Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, f64::INFINITY))
+            .unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_capacitor("C1", b, GND, 1e-6).unwrap();
+        let r = transient(&c, &SimOptions::default(), 2e-3, 50e-6).unwrap();
+        let expect = 1.0 - (-2.0_f64).exp();
+        assert!((r.final_voltage(b) - expect).abs() < 0.01);
+    }
+
+    #[test]
+    fn inverter_switches_on_pulse() {
+        use crate::mos::{MosModel, MosPolarity};
+        let nmos = MosModel {
+            polarity: MosPolarity::Nmos,
+            vth0: 0.45,
+            kp: 300e-6,
+            clm: 0.02e-6,
+            gamma: 0.4,
+            phi: 0.8,
+            nsub: 1.4,
+            cox: 8.5e-3,
+            cov: 3e-10,
+            cj: 1e-3,
+            ldiff: 0.4e-6,
+            kf: 1e-26,
+            af: 1.0,
+            noise_gamma: 2.0 / 3.0,
+        };
+        let pmos = MosModel { polarity: MosPolarity::Pmos, kp: 80e-6, ..nmos.clone() };
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
+        c.add_vsource(
+            "VIN",
+            inp,
+            GND,
+            Waveform::pulse(0.0, 1.8, 1e-9, 50e-12, 50e-12, 5e-9, f64::INFINITY),
+        )
+        .unwrap();
+        c.add_mosfet("MN", out, inp, GND, GND, &nmos, 2e-6, 0.18e-6, 1.0).unwrap();
+        c.add_mosfet("MP", out, inp, vdd, vdd, &pmos, 4e-6, 0.18e-6, 1.0).unwrap();
+        c.add_capacitor("CL", out, GND, 10e-15).unwrap();
+        let r = transient(&c, &SimOptions::default(), 10e-9, 25e-12).unwrap();
+        // Before the pulse, output is high; during the pulse, low.
+        assert!(r.sample(out, 0.5e-9) > 1.7);
+        assert!(r.sample(out, 4e-9) < 0.1);
+        // After the input falls, the output recovers.
+        assert!(r.sample(out, 9.5e-9) > 1.6);
+    }
+
+    #[test]
+    fn vdd_current_and_charge_in_rc_charge() {
+        // Charging C through R from a step source: total delivered charge
+        // must equal C·ΔV.
+        let mut c = Circuit::new();
+        let a = c.node("in");
+        let b = c.node("out");
+        c.add_vsource("V1", a, GND, Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, f64::INFINITY))
+            .unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_capacitor("C1", b, GND, 1e-6).unwrap();
+        let r = transient(&c, &SimOptions::default(), 10e-3, 50e-6).unwrap();
+        let q = r.delivered_charge(&c, "V1", 0.0, 10e-3).unwrap();
+        assert!((q - 1e-6).abs() < 0.02e-6, "charge {q}");
+    }
+
+    #[test]
+    fn sample_interpolates_and_clamps() {
+        let r = TranResult {
+            t: vec![0.0, 1.0, 2.0],
+            v: vec![vec![0.0, 0.0], vec![0.0, 2.0], vec![0.0, 4.0]],
+            branch: vec![vec![], vec![], vec![]],
+        };
+        assert_eq!(r.sample(1, 0.5), 1.0);
+        assert_eq!(r.sample(1, -1.0), 0.0);
+        assert_eq!(r.sample(1, 3.0), 4.0);
+        assert_eq!(r.final_voltage(1), 4.0);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, GND, Waveform::Dc(1.0)).unwrap();
+        c.add_resistor("R1", a, GND, 1e3).unwrap();
+        let opts = SimOptions::default();
+        assert!(transient(&c, &opts, 0.0, 1e-9).is_err());
+        assert!(transient(&c, &opts, 1e-9, 1e-6).is_err());
+    }
+
+    #[test]
+    fn breakpoints_are_not_skipped() {
+        // A 1 ns pulse inside a 1 ms window with a 100 µs base step would be
+        // invisible without breakpoint clipping.
+        let mut c = Circuit::new();
+        let a = c.node("in");
+        c.add_vsource(
+            "V1",
+            a,
+            GND,
+            Waveform::pulse(0.0, 1.0, 0.5e-3, 1e-9, 1e-9, 1e-9, f64::INFINITY),
+        )
+        .unwrap();
+        c.add_resistor("R1", a, GND, 1e3).unwrap();
+        let r = transient(&c, &SimOptions::default(), 1e-3, 100e-6).unwrap();
+        let peak = r.waveform(a).iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        assert!(peak > 0.99, "pulse was skipped: peak {peak}");
+    }
+}

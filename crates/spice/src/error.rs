@@ -1,0 +1,84 @@
+//! Simulator error type.
+
+/// Error returned by netlist construction and analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// The MNA matrix was singular — usually a floating node or a loop of
+    /// voltage sources.
+    SingularMatrix {
+        /// Analysis that hit the singularity.
+        analysis: &'static str,
+    },
+    /// Newton-Raphson failed to converge even with gmin/source stepping.
+    NoConvergence {
+        /// Analysis that failed to converge.
+        analysis: &'static str,
+        /// Iterations used before giving up.
+        iterations: usize,
+    },
+    /// A device was given a non-physical value (negative resistance,
+    /// zero-width transistor, NaN, ...).
+    BadValue {
+        /// Device name.
+        device: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A device references a node name that does not exist (lookup API).
+    UnknownNode {
+        /// The offending node name.
+        name: String,
+    },
+    /// A device name was used twice.
+    DuplicateDevice {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A device with this name does not exist (OP queries).
+    UnknownDevice {
+        /// The unknown name.
+        name: String,
+    },
+    /// Analysis parameters are invalid (empty sweep, non-positive timestep…).
+    BadAnalysis {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpiceError::SingularMatrix { analysis } => {
+                write!(f, "singular MNA matrix during {analysis} (floating node or source loop?)")
+            }
+            SpiceError::NoConvergence { analysis, iterations } => {
+                write!(f, "{analysis} failed to converge after {iterations} iterations")
+            }
+            SpiceError::BadValue { device, reason } => {
+                write!(f, "bad value on device {device}: {reason}")
+            }
+            SpiceError::UnknownNode { name } => write!(f, "unknown node {name}"),
+            SpiceError::DuplicateDevice { name } => write!(f, "duplicate device name {name}"),
+            SpiceError::UnknownDevice { name } => write!(f, "unknown device {name}"),
+            SpiceError::BadAnalysis { reason } => write!(f, "bad analysis setup: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SpiceError::SingularMatrix { analysis: "dc" };
+        assert!(e.to_string().contains("dc"));
+        let e = SpiceError::NoConvergence { analysis: "tran", iterations: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = SpiceError::BadValue { device: "R1".into(), reason: "negative".into() };
+        assert!(e.to_string().contains("R1"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Simulator tuning knobs.
+
+/// Tolerances and iteration limits shared by all analyses.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Relative convergence tolerance on node voltages.
+    pub reltol: f64,
+    /// Absolute voltage tolerance \[V\].
+    pub vabstol: f64,
+    /// Maximum Newton-Raphson iterations per solve.
+    pub max_nr_iters: usize,
+    /// Baseline conductance from every node to ground \[S\].
+    pub gmin: f64,
+    /// Maximum node-voltage change per NR iteration \[V\] (damping).
+    pub v_limit: f64,
+    /// Simulation temperature \[K\].
+    pub temp: f64,
+    /// Maximum number of times the transient engine may halve the timestep
+    /// when a step refuses to converge.
+    pub max_step_halvings: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            reltol: 1e-4,
+            vabstol: 1e-7,
+            max_nr_iters: 150,
+            gmin: 1e-12,
+            v_limit: 0.5,
+            temp: 300.0,
+            max_step_halvings: 14,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = SimOptions::default();
+        assert!(o.reltol > 0.0 && o.reltol < 1.0);
+        assert!(o.vabstol > 0.0);
+        assert!(o.max_nr_iters >= 50);
+        assert!(o.gmin > 0.0 && o.gmin < 1e-9);
+        assert!(o.v_limit > 0.0);
+        assert!(o.temp > 0.0);
+    }
+}

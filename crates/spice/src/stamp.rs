@@ -1,0 +1,439 @@
+//! MNA stamping infrastructure shared by all analyses.
+//!
+//! Unknown ordering: the first `num_nodes − 1` unknowns are the voltages of
+//! nodes `1..num_nodes` (ground is eliminated); the remaining unknowns are
+//! branch currents of voltage-source-like devices in registration order.
+//!
+//! Sign conventions (KCL written as "sum of currents leaving each node = 0",
+//! moved sources to the right-hand side):
+//!
+//! - conductance `g` between `a`,`b`: classic 4-point stamp;
+//! - current `i` flowing `p → n` *through a device*: `z[p] -= i`, `z[n] += i`;
+//! - voltage source branch current is defined flowing from `p` into the
+//!   source and out of `n`.
+
+use linalg::{C64, Matrix};
+
+use crate::mos::MosEval;
+use crate::netlist::{Circuit, Device, NodeId};
+use crate::waveform::Waveform;
+
+/// Dense real MNA system `A·x = z` under assembly.
+#[derive(Debug, Clone)]
+pub struct RealStamper {
+    /// Number of nodes including ground.
+    n_nodes: usize,
+    /// System matrix.
+    pub a: Matrix,
+    /// Right-hand side.
+    pub z: Vec<f64>,
+}
+
+impl RealStamper {
+    /// Creates a zeroed system for the circuit.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.num_unknowns();
+        RealStamper { n_nodes: circuit.num_nodes(), a: Matrix::zeros(n, n), z: vec![0.0; n] }
+    }
+
+    /// Zeroes the system for re-assembly.
+    pub fn clear(&mut self) {
+        self.a.as_mut_slice().fill(0.0);
+        self.z.fill(0.0);
+    }
+
+    /// Matrix row/column of a node, or `None` for ground.
+    #[inline]
+    pub fn node_idx(&self, n: NodeId) -> Option<usize> {
+        if n == 0 { None } else { Some(n - 1) }
+    }
+
+    /// Matrix row/column of a branch current.
+    #[inline]
+    pub fn branch_idx(&self, branch: usize) -> usize {
+        self.n_nodes - 1 + branch
+    }
+
+    /// Stamps a conductance between two nodes.
+    pub fn conductance(&mut self, a: NodeId, b: NodeId, g: f64) {
+        let (ia, ib) = (self.node_idx(a), self.node_idx(b));
+        if let Some(i) = ia {
+            self.a[(i, i)] += g;
+        }
+        if let Some(j) = ib {
+            self.a[(j, j)] += g;
+        }
+        if let (Some(i), Some(j)) = (ia, ib) {
+            self.a[(i, j)] -= g;
+            self.a[(j, i)] -= g;
+        }
+    }
+
+    /// Stamps a fixed current `i` flowing from `p` through the device to `n`.
+    pub fn current_source(&mut self, p: NodeId, n: NodeId, i: f64) {
+        if let Some(ip) = self.node_idx(p) {
+            self.z[ip] -= i;
+        }
+        if let Some(inn) = self.node_idx(n) {
+            self.z[inn] += i;
+        }
+    }
+
+    /// Stamps a VCCS: current `gm·v(cp,cn)` flowing `p → n`.
+    pub fn vccs(&mut self, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64) {
+        let (ip, inn) = (self.node_idx(p), self.node_idx(n));
+        let (icp, icn) = (self.node_idx(cp), self.node_idx(cn));
+        if let Some(i) = ip {
+            if let Some(j) = icp {
+                self.a[(i, j)] += gm;
+            }
+            if let Some(j) = icn {
+                self.a[(i, j)] -= gm;
+            }
+        }
+        if let Some(i) = inn {
+            if let Some(j) = icp {
+                self.a[(i, j)] -= gm;
+            }
+            if let Some(j) = icn {
+                self.a[(i, j)] += gm;
+            }
+        }
+    }
+
+    /// Stamps a voltage source of value `v` with the given branch.
+    pub fn vsource(&mut self, branch: usize, p: NodeId, n: NodeId, v: f64) {
+        let br = self.branch_idx(branch);
+        if let Some(i) = self.node_idx(p) {
+            self.a[(i, br)] += 1.0;
+            self.a[(br, i)] += 1.0;
+        }
+        if let Some(i) = self.node_idx(n) {
+            self.a[(i, br)] -= 1.0;
+            self.a[(br, i)] -= 1.0;
+        }
+        self.z[br] += v;
+    }
+
+    /// Stamps a VCVS `v(p,n) = gain·v(cp,cn)` with the given branch.
+    pub fn vcvs(&mut self, branch: usize, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gain: f64) {
+        let br = self.branch_idx(branch);
+        if let Some(i) = self.node_idx(p) {
+            self.a[(i, br)] += 1.0;
+            self.a[(br, i)] += 1.0;
+        }
+        if let Some(i) = self.node_idx(n) {
+            self.a[(i, br)] -= 1.0;
+            self.a[(br, i)] -= 1.0;
+        }
+        if let Some(j) = self.node_idx(cp) {
+            self.a[(br, j)] -= gain;
+        }
+        if let Some(j) = self.node_idx(cn) {
+            self.a[(br, j)] += gain;
+        }
+    }
+
+    /// Adds `gmin` from every non-ground node to ground (diagonal loading).
+    pub fn load_gmin(&mut self, gmin: f64) {
+        for i in 0..(self.n_nodes - 1) {
+            self.a[(i, i)] += gmin;
+        }
+    }
+}
+
+/// How source values are sampled during resistive assembly.
+#[derive(Debug, Clone, Copy)]
+pub enum SourceEval {
+    /// DC values (waveform at its `dc_value`), scaled by the factor
+    /// (source stepping uses scale < 1).
+    Dc {
+        /// Source scale factor in `[0, 1]`.
+        scale: f64,
+    },
+    /// Transient values at time `t`.
+    Time {
+        /// Simulation time \[s\].
+        t: f64,
+    },
+}
+
+impl SourceEval {
+    fn value(self, wave: &Waveform) -> f64 {
+        match self {
+            SourceEval::Dc { scale } => wave.dc_value() * scale,
+            SourceEval::Time { t } => wave.value(t),
+        }
+    }
+}
+
+/// Extracts node voltage from an unknown vector (`x[node-1]`, ground = 0).
+#[inline]
+pub fn node_voltage(x: &[f64], n: NodeId) -> f64 {
+    if n == 0 { 0.0 } else { x[n - 1] }
+}
+
+/// Stamps the *resistive* (memoryless) part of every device, linearized at
+/// the unknown vector `x`. Returns the MOSFET evaluations in device order
+/// (`None` for non-MOS devices) so callers can check convergence and build
+/// operating-point reports.
+pub fn stamp_resistive(
+    circuit: &Circuit,
+    x: &[f64],
+    sources: SourceEval,
+    st: &mut RealStamper,
+) -> Vec<Option<MosEval>> {
+    let mut evals = Vec::with_capacity(circuit.devices().len());
+    for dev in circuit.devices() {
+        match dev {
+            Device::Resistor { a, b, g, .. } => {
+                st.conductance(*a, *b, *g);
+                evals.push(None);
+            }
+            Device::Capacitor { .. } => {
+                // Open circuit in DC; handled by the transient/AC engines.
+                evals.push(None);
+            }
+            Device::VSource { p, n, wave, branch, .. } => {
+                st.vsource(*branch, *p, *n, sources.value(wave));
+                evals.push(None);
+            }
+            Device::ISource { p, n, wave, .. } => {
+                st.current_source(*p, *n, sources.value(wave));
+                evals.push(None);
+            }
+            Device::Vcvs { p, n, cp, cn, gain, branch, .. } => {
+                st.vcvs(*branch, *p, *n, *cp, *cn, *gain);
+                evals.push(None);
+            }
+            Device::Vccs { p, n, cp, cn, gm, .. } => {
+                st.vccs(*p, *n, *cp, *cn, *gm);
+                evals.push(None);
+            }
+            Device::Mosfet { d, g, s, b, model, w, l, m, .. } => {
+                let vd = node_voltage(x, *d);
+                let vg = node_voltage(x, *g);
+                let vs = node_voltage(x, *s);
+                let vb = node_voltage(x, *b);
+                let e = crate::mos::eval_mos(model, *w, *l, *m, vg - vs, vd - vs, vb - vs);
+                // Norton companion: i(v) ≈ ieq + gm·vgs + gds·vds + gmb·vbs.
+                let vgs = vg - vs;
+                let vds = vd - vs;
+                let vbs = vb - vs;
+                let ieq = e.id - e.gm * vgs - e.gds * vds - e.gmb * vbs;
+                st.vccs(*d, *s, *g, *s, e.gm);
+                st.conductance(*d, *s, e.gds);
+                st.vccs(*d, *s, *b, *s, e.gmb);
+                st.current_source(*d, *s, ieq);
+                evals.push(Some(e));
+            }
+        }
+    }
+    evals
+}
+
+/// Dense complex MNA system for AC/noise analyses.
+#[derive(Debug, Clone)]
+pub struct ComplexStamper {
+    n_nodes: usize,
+    /// System matrix rows.
+    pub a: Vec<Vec<C64>>,
+    /// Right-hand side.
+    pub z: Vec<C64>,
+}
+
+impl ComplexStamper {
+    /// Creates a zeroed system for the circuit.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.num_unknowns();
+        ComplexStamper {
+            n_nodes: circuit.num_nodes(),
+            a: vec![vec![C64::ZERO; n]; n],
+            z: vec![C64::ZERO; n],
+        }
+    }
+
+    /// Zeroes the system for re-assembly.
+    pub fn clear(&mut self) {
+        for row in &mut self.a {
+            row.fill(C64::ZERO);
+        }
+        self.z.fill(C64::ZERO);
+    }
+
+    /// Matrix row/column of a node, or `None` for ground.
+    #[inline]
+    pub fn node_idx(&self, n: NodeId) -> Option<usize> {
+        if n == 0 { None } else { Some(n - 1) }
+    }
+
+    /// Matrix row/column of a branch current.
+    #[inline]
+    pub fn branch_idx(&self, branch: usize) -> usize {
+        self.n_nodes - 1 + branch
+    }
+
+    /// Stamps a complex admittance between two nodes.
+    pub fn admittance(&mut self, a: NodeId, b: NodeId, y: C64) {
+        let (ia, ib) = (self.node_idx(a), self.node_idx(b));
+        if let Some(i) = ia {
+            self.a[i][i] += y;
+        }
+        if let Some(j) = ib {
+            self.a[j][j] += y;
+        }
+        if let (Some(i), Some(j)) = (ia, ib) {
+            self.a[i][j] -= y;
+            self.a[j][i] -= y;
+        }
+    }
+
+    /// Stamps a real VCCS.
+    pub fn vccs(&mut self, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64) {
+        let g = C64::real(gm);
+        let (ip, inn) = (self.node_idx(p), self.node_idx(n));
+        let (icp, icn) = (self.node_idx(cp), self.node_idx(cn));
+        if let Some(i) = ip {
+            if let Some(j) = icp {
+                self.a[i][j] += g;
+            }
+            if let Some(j) = icn {
+                self.a[i][j] -= g;
+            }
+        }
+        if let Some(i) = inn {
+            if let Some(j) = icp {
+                self.a[i][j] -= g;
+            }
+            if let Some(j) = icn {
+                self.a[i][j] += g;
+            }
+        }
+    }
+
+    /// Stamps a voltage source with complex value `v`.
+    pub fn vsource(&mut self, branch: usize, p: NodeId, n: NodeId, v: C64) {
+        let br = self.branch_idx(branch);
+        if let Some(i) = self.node_idx(p) {
+            self.a[i][br] += C64::ONE;
+            self.a[br][i] += C64::ONE;
+        }
+        if let Some(i) = self.node_idx(n) {
+            self.a[i][br] -= C64::ONE;
+            self.a[br][i] -= C64::ONE;
+        }
+        self.z[br] += v;
+    }
+
+    /// Stamps a VCVS.
+    pub fn vcvs(&mut self, branch: usize, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gain: f64) {
+        let br = self.branch_idx(branch);
+        if let Some(i) = self.node_idx(p) {
+            self.a[i][br] += C64::ONE;
+            self.a[br][i] += C64::ONE;
+        }
+        if let Some(i) = self.node_idx(n) {
+            self.a[i][br] -= C64::ONE;
+            self.a[br][i] -= C64::ONE;
+        }
+        if let Some(j) = self.node_idx(cp) {
+            self.a[br][j] -= C64::real(gain);
+        }
+        if let Some(j) = self.node_idx(cn) {
+            self.a[br][j] += C64::real(gain);
+        }
+    }
+
+    /// Stamps an AC current source `i` flowing `p → n`.
+    pub fn current_source(&mut self, p: NodeId, n: NodeId, i: C64) {
+        if let Some(ip) = self.node_idx(p) {
+            self.z[ip] -= i;
+        }
+        if let Some(inn) = self.node_idx(n) {
+            self.z[inn] += i;
+        }
+    }
+
+    /// Adds `gmin` diagonal loading on node rows.
+    pub fn load_gmin(&mut self, gmin: f64) {
+        for i in 0..(self.n_nodes - 1) {
+            self.a[i][i] += C64::real(gmin);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GND;
+
+    #[test]
+    fn conductance_stamp_pattern() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("R", a, b, 0.5).unwrap(); // g = 2
+        let mut st = RealStamper::new(&c);
+        stamp_resistive(&c, &[0.0, 0.0], SourceEval::Dc { scale: 1.0 }, &mut st);
+        assert_eq!(st.a[(0, 0)], 2.0);
+        assert_eq!(st.a[(1, 1)], 2.0);
+        assert_eq!(st.a[(0, 1)], -2.0);
+        assert_eq!(st.a[(1, 0)], -2.0);
+    }
+
+    #[test]
+    fn grounded_conductance_stamps_diagonal_only() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("R", a, GND, 1.0).unwrap();
+        let mut st = RealStamper::new(&c);
+        stamp_resistive(&c, &[0.0], SourceEval::Dc { scale: 1.0 }, &mut st);
+        assert_eq!(st.a[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn vsource_branch_rows() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V", a, GND, Waveform::Dc(3.0)).unwrap();
+        let mut st = RealStamper::new(&c);
+        stamp_resistive(&c, &[0.0, 0.0], SourceEval::Dc { scale: 1.0 }, &mut st);
+        // node row gets +1 on branch column; branch row +1 on node column.
+        assert_eq!(st.a[(0, 1)], 1.0);
+        assert_eq!(st.a[(1, 0)], 1.0);
+        assert_eq!(st.z[1], 3.0);
+    }
+
+    #[test]
+    fn source_scaling() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V", a, GND, Waveform::Dc(2.0)).unwrap();
+        let mut st = RealStamper::new(&c);
+        stamp_resistive(&c, &[0.0, 0.0], SourceEval::Dc { scale: 0.25 }, &mut st);
+        assert_eq!(st.z[1], 0.5);
+    }
+
+    #[test]
+    fn isource_rhs_signs() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_isource("I", a, b, Waveform::Dc(1e-3)).unwrap();
+        let mut st = RealStamper::new(&c);
+        stamp_resistive(&c, &[0.0, 0.0], SourceEval::Dc { scale: 1.0 }, &mut st);
+        assert_eq!(st.z[0], -1e-3);
+        assert_eq!(st.z[1], 1e-3);
+    }
+
+    #[test]
+    fn gmin_loading_touches_node_rows_only() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V", a, GND, Waveform::Dc(1.0)).unwrap();
+        let mut st = RealStamper::new(&c);
+        st.load_gmin(1e-9);
+        assert_eq!(st.a[(0, 0)], 1e-9);
+        assert_eq!(st.a[(1, 1)], 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Source waveforms for DC, transient and AC excitation.
+
+/// Time-domain waveform of an independent source.
+///
+/// # Example
+///
+/// ```
+/// use spice::Waveform;
+///
+/// let clk = Waveform::pulse(0.0, 1.8, 1e-9, 50e-12, 50e-12, 4e-9, 10e-9);
+/// assert_eq!(clk.value(0.0), 0.0);
+/// assert!((clk.value(2e-9) - 1.8).abs() < 1e-12);
+/// assert_eq!(clk.dc_value(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style pulse.
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge.
+        delay: f64,
+        /// Rise time (0 is snapped to a tiny nonzero ramp).
+        rise: f64,
+        /// Fall time.
+        fall: f64,
+        /// Pulse width at `v1`.
+        width: f64,
+        /// Repetition period; `f64::INFINITY` for a single pulse.
+        period: f64,
+    },
+    /// Sinusoid `offset + ampl*sin(2πf(t-delay))` for `t >= delay`.
+    Sin {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        ampl: f64,
+        /// Frequency in Hz.
+        freq: f64,
+        /// Start delay.
+        delay: f64,
+    },
+    /// Piece-wise linear interpolation through `(t, v)` points; clamped at
+    /// the end values outside the range.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// Convenience constructor for [`Waveform::Pulse`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn pulse(v0: f64, v1: f64, delay: f64, rise: f64, fall: f64, width: f64, period: f64) -> Self {
+        Waveform::Pulse { v0, v1, delay, rise, fall, width, period }
+    }
+
+    /// Value at the start of time, used as the operating-point value.
+    pub fn dc_value(&self) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse { v0, .. } => *v0,
+            Waveform::Sin { offset, .. } => *offset,
+            Waveform::Pwl(points) => points.first().map_or(0.0, |p| p.1),
+        }
+    }
+
+    /// Value at time `t` (seconds).
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse { v0, v1, delay, rise, fall, width, period } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let mut tau = t - delay;
+                if period.is_finite() && *period > 0.0 {
+                    tau %= period;
+                }
+                // Snap degenerate edges to a 1 ps ramp so derivatives stay finite.
+                let rise = rise.max(1e-12);
+                let fall = fall.max(1e-12);
+                if tau < rise {
+                    v0 + (v1 - v0) * tau / rise
+                } else if tau < rise + width {
+                    *v1
+                } else if tau < rise + width + fall {
+                    v1 + (v0 - v1) * (tau - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Sin { offset, ampl, freq, delay } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + ampl * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t >= t0 && t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// Times at which the waveform has corners inside `(0, t_stop)`;
+    /// the transient engine shrinks steps around these to avoid skipping
+    /// edges.
+    pub fn breakpoints(&self, t_stop: f64) -> Vec<f64> {
+        let mut bp = Vec::new();
+        match self {
+            Waveform::Dc(_) | Waveform::Sin { .. } => {}
+            Waveform::Pulse { delay, rise, fall, width, period, .. } => {
+                let rise = rise.max(1e-12);
+                let fall = fall.max(1e-12);
+                let mut t0 = *delay;
+                loop {
+                    for c in [t0, t0 + rise, t0 + rise + width, t0 + rise + width + fall] {
+                        if c > 0.0 && c < t_stop {
+                            bp.push(c);
+                        }
+                    }
+                    if !(period.is_finite() && *period > 0.0) {
+                        break;
+                    }
+                    t0 += period;
+                    if t0 >= t_stop {
+                        break;
+                    }
+                }
+            }
+            Waveform::Pwl(points) => {
+                bp.extend(points.iter().map(|p| p.0).filter(|&t| t > 0.0 && t < t_stop));
+            }
+        }
+        bp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc(1.5);
+        assert_eq!(w.value(0.0), 1.5);
+        assert_eq!(w.value(1e9), 1.5);
+        assert_eq!(w.dc_value(), 1.5);
+        assert!(w.breakpoints(1.0).is_empty());
+    }
+
+    #[test]
+    fn pulse_edges() {
+        let w = Waveform::pulse(0.0, 1.0, 1.0, 0.1, 0.2, 2.0, f64::INFINITY);
+        assert_eq!(w.value(0.5), 0.0);
+        assert!((w.value(1.05) - 0.5).abs() < 1e-12); // mid-rise
+        assert_eq!(w.value(2.0), 1.0); // flat top
+        assert!((w.value(3.2) - 0.5).abs() < 1e-12); // mid-fall
+        assert_eq!(w.value(5.0), 0.0); // back to v0
+    }
+
+    #[test]
+    fn pulse_periodicity() {
+        let w = Waveform::pulse(0.0, 1.0, 0.0, 0.1, 0.1, 0.3, 1.0);
+        assert!((w.value(0.2) - 1.0).abs() < 1e-12);
+        assert!((w.value(1.2) - 1.0).abs() < 1e-12);
+        assert!((w.value(2.2) - 1.0).abs() < 1e-12);
+        assert_eq!(w.value(0.9), 0.0);
+    }
+
+    #[test]
+    fn sin_waveform() {
+        let w = Waveform::Sin { offset: 1.0, ampl: 0.5, freq: 1.0, delay: 0.0 };
+        assert!((w.value(0.0) - 1.0).abs() < 1e-12);
+        assert!((w.value(0.25) - 1.5).abs() < 1e-12);
+        assert!((w.value(0.75) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sin_delay_holds_offset() {
+        let w = Waveform::Sin { offset: 0.9, ampl: 0.5, freq: 10.0, delay: 1.0 };
+        assert_eq!(w.value(0.5), 0.9);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (3.0, 2.0)]);
+        assert_eq!(w.value(-1.0), 0.0);
+        assert!((w.value(0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(w.value(2.0), 2.0);
+        assert_eq!(w.value(10.0), 2.0);
+    }
+
+    #[test]
+    fn breakpoints_respect_stop_time() {
+        let w = Waveform::pulse(0.0, 1.0, 1.0, 0.1, 0.1, 0.5, f64::INFINITY);
+        let bp = w.breakpoints(1.3);
+        assert!(bp.iter().all(|&t| t > 0.0 && t < 1.3));
+        assert!(bp.contains(&1.0));
+        assert!(bp.iter().any(|&t| (t - 1.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zero_rise_time_is_snapped() {
+        let w = Waveform::pulse(0.0, 1.0, 0.0, 0.0, 0.0, 1.0, f64::INFINITY);
+        assert!((w.value(1e-12) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! Sensitivity analysis on the level shifter: the 16-variable superset is
+//! pruned to the critical set (paper §II-C / Table V).
+//!
+//! Run with `cargo run --release --example sensitivity_pruning`.
+
+use circuits::LevelShifter;
+use dnn_opt::SensitivityReport;
+use opt::SizingProblem;
+
+fn main() {
+    let ls = LevelShifter::new();
+    println!(
+        "level shifter: {} variables, {} specs over 6 supply corners",
+        ls.dim(),
+        ls.num_constraints()
+    );
+    let report = SensitivityReport::compute(&ls, &ls.nominal(), 0.05);
+    println!("\n{}", report.table());
+    let critical = report.critical_variables(0.1);
+    let names = ls.variable_names();
+    println!("critical ({}):", critical.len());
+    for &j in &critical {
+        println!("  {}", names[j]);
+    }
+    println!("\npruned ({}):", ls.dim() - critical.len());
+    for j in 0..ls.dim() {
+        if !critical.contains(&j) {
+            println!("  {}", names[j]);
+        }
+    }
+}

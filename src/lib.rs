@@ -1,0 +1,22 @@
+//! Umbrella crate for the DNN-Opt reproduction workspace.
+//!
+//! This package exists to host the repository-level `examples/` and `tests/`
+//! directories; it re-exports every workspace crate under one roof so that
+//! examples and integration tests can `use dnnopt_suite::...` or the
+//! individual crates directly.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! - [`dnn_opt`] — the paper's algorithm (actor-critic surrogate optimizer)
+//! - [`circuits`] — six parameterized analog circuits with measurements
+//! - [`spice`] — the MNA circuit-simulator substrate
+//! - [`opt`] — the sizing-problem abstraction and the baseline optimizers
+//! - [`nn`], [`gp`], [`linalg`] — numeric substrates
+
+pub use circuits;
+pub use dnn_opt;
+pub use gp;
+pub use linalg;
+pub use nn;
+pub use opt;
+pub use spice;

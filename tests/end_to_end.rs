@@ -1,0 +1,97 @@
+//! Cross-crate integration tests: the full pipeline from circuits through
+//! optimizers, exercised at small budgets.
+
+use circuits::{FoldedCascodeOta, InverterChain, LevelShifter, StrongArmLatch};
+use dnn_opt::{DnnOpt, DnnOptConfig, ReducedProblem, SensitivityReport};
+use opt::{DifferentialEvolution, Fom, Optimizer, SizingProblem, StopPolicy};
+
+fn quick_cfg() -> DnnOptConfig {
+    DnnOptConfig {
+        critic_epochs: 120,
+        actor_epochs: 40,
+        critic_batch: 96,
+        hidden: 32,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn ota_nominal_is_feasible_and_deterministic() {
+    let ota = FoldedCascodeOta::new();
+    let a = ota.evaluate(&ota.nominal());
+    let b = ota.evaluate(&ota.nominal());
+    assert!(a.feasible(), "shipped OTA design must meet Eq. 9: {:?}", a.constraints);
+    assert_eq!(a, b, "evaluations must be deterministic");
+}
+
+#[test]
+fn latch_nominal_is_feasible() {
+    let latch = StrongArmLatch::new();
+    let spec = latch.evaluate(&latch.nominal());
+    assert!(spec.feasible(), "shipped latch design must meet Eq. 10: {:?}", spec.constraints);
+}
+
+#[test]
+fn dnn_opt_runs_on_the_real_ota() {
+    let ota = FoldedCascodeOta::new();
+    let fom = Fom::new(100.0, vec![0.25; ota.num_constraints()]);
+    let run = DnnOpt::new(quick_cfg()).run(&ota, &fom, 30, StopPolicy::Exhaust, 0);
+    assert_eq!(run.history.len(), 30);
+    // Every recorded evaluation carries the full Eq. 9 constraint vector.
+    for e in run.history.entries() {
+        assert_eq!(e.spec.constraints.len(), 29);
+    }
+    // The budget is split between LHS initialization and surrogate steps.
+    assert!(run.model_time.as_secs_f64() > 0.0);
+}
+
+#[test]
+fn de_runs_on_the_real_latch() {
+    let latch = StrongArmLatch::new();
+    let fom = Fom::new(3e4, vec![0.25; latch.num_constraints()]);
+    let run = DifferentialEvolution::default().run(&latch, &fom, 40, StopPolicy::Exhaust, 1);
+    assert_eq!(run.history.len(), 40);
+    assert!(run.history.best().is_some());
+}
+
+#[test]
+fn sensitivity_prunes_level_shifter_decaps() {
+    let ls = LevelShifter::new();
+    let report = SensitivityReport::compute(&ls, &ls.nominal(), 0.05);
+    let critical = report.critical_variables(0.1);
+    let names = ls.variable_names();
+    // The rail decap geometry is near-inert by construction; it must be
+    // pruned. The pull-downs are load-bearing; they must be kept.
+    let kept: Vec<&str> = critical.iter().map(|&j| names[j].as_str()).collect();
+    assert!(!kept.contains(&"w_decl"), "decap width must be pruned, kept: {kept:?}");
+    assert!(!kept.contains(&"l_decl"), "decap length must be pruned, kept: {kept:?}");
+    assert!(kept.contains(&"w_pd1") || kept.contains(&"w_pd2"),
+        "pull-downs are critical, kept: {kept:?}");
+    assert!(critical.len() < ls.dim(), "pruning must remove something");
+}
+
+#[test]
+fn reduced_problem_optimizes_inverter_chain() {
+    let inv = InverterChain::new();
+    let report = SensitivityReport::compute(&inv, &inv.nominal(), 0.05);
+    let critical = report.critical_variables(0.1);
+    assert!(!critical.is_empty());
+    let reduced = ReducedProblem::new(&inv, inv.nominal(), critical);
+    let fom = Fom::uniform(1.0, reduced.num_constraints());
+    let run = DnnOpt::new(quick_cfg()).run(&reduced, &fom, 25, StopPolicy::FirstFeasible, 0);
+    // The nominal-centered reduced problem starts near feasibility, so a
+    // tiny budget suffices.
+    assert!(run.sims_to_feasible().is_some(), "inverter chain should be easy");
+}
+
+#[test]
+fn fom_traces_are_monotone_for_all_methods() {
+    let ota = FoldedCascodeOta::new();
+    let fom = Fom::new(100.0, vec![0.25; ota.num_constraints()]);
+    for method in [&DifferentialEvolution::default() as &dyn Optimizer] {
+        let run = method.run(&ota, &fom, 25, StopPolicy::Exhaust, 2);
+        for w in run.history.best_trace().windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "{} trace not monotone", method.name());
+        }
+    }
+}

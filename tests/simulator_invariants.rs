@@ -1,0 +1,80 @@
+//! Property-style integration tests on the simulator substrate, driven
+//! through the public crate APIs.
+
+use proptest::prelude::*;
+use spice::{Circuit, SimOptions, Waveform, GND};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Voltage dividers solve exactly for any positive resistor pair.
+    #[test]
+    fn divider_solves(r1 in 10.0..1e6f64, r2 in 10.0..1e6f64, v in 0.1..10.0f64) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, GND, Waveform::Dc(v)).unwrap();
+        c.add_resistor("R1", a, b, r1).unwrap();
+        c.add_resistor("R2", b, GND, r2).unwrap();
+        let op = spice::op(&c, &SimOptions::default()).unwrap();
+        let expect = v * r2 / (r1 + r2);
+        prop_assert!((op.voltage(b) - expect).abs() < 1e-6 * v.max(1.0));
+    }
+
+    /// Superposition holds on a linear two-source network.
+    #[test]
+    fn linear_superposition(v1 in -5.0..5.0f64, v2 in -5.0..5.0f64) {
+        let build = |va: f64, vb: f64| {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let b = c.node("b");
+            let m = c.node("m");
+            c.add_vsource("V1", a, GND, Waveform::Dc(va)).unwrap();
+            c.add_vsource("V2", b, GND, Waveform::Dc(vb)).unwrap();
+            c.add_resistor("R1", a, m, 1e3).unwrap();
+            c.add_resistor("R2", b, m, 2e3).unwrap();
+            c.add_resistor("R3", m, GND, 3e3).unwrap();
+            let op = spice::op(&c, &SimOptions::default()).unwrap();
+            op.voltage(m)
+        };
+        let both = build(v1, v2);
+        let sum = build(v1, 0.0) + build(0.0, v2);
+        prop_assert!((both - sum).abs() < 1e-6);
+    }
+
+    /// RC step responses settle to the source value from any RC in range.
+    #[test]
+    fn rc_always_settles(r_exp in 2.0..5.0f64, c_exp in -13.0..-9.0f64) {
+        let r = 10f64.powf(r_exp);
+        let cap = 10f64.powf(c_exp);
+        let tau = r * cap;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, GND, Waveform::pulse(0.0, 1.0, 0.0, tau / 100.0, tau / 100.0, 1e3, f64::INFINITY)).unwrap();
+        c.add_resistor("R1", a, b, r).unwrap();
+        c.add_capacitor("C1", b, GND, cap).unwrap();
+        let tr = spice::transient(&c, &SimOptions::default(), 8.0 * tau, tau / 25.0).unwrap();
+        prop_assert!((tr.final_voltage(b) - 1.0).abs() < 0.01);
+    }
+}
+
+/// KCL at a converged MOSFET operating point: branch currents into every
+/// internal node sum to ~zero (checked through device currents).
+#[test]
+fn kcl_holds_at_mosfet_op() {
+    use circuits::tech::tech_180nm;
+    let t = tech_180nm();
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let g = c.node("g");
+    let d = c.node("d");
+    c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
+    c.add_vsource("VG", g, GND, Waveform::Dc(0.8)).unwrap();
+    c.add_resistor("RD", vdd, d, 10e3).unwrap();
+    c.add_mosfet("M1", d, g, GND, GND, &t.nmos, 10e-6, 0.5e-6, 1.0).unwrap();
+    let op = spice::op(&c, &SimOptions::default()).unwrap();
+    let i_r = (op.voltage(vdd) - op.voltage(d)) / 10e3;
+    let i_m = op.mos_op("M1").unwrap().id;
+    assert!((i_r - i_m).abs() < 1e-9, "KCL at drain: {i_r} vs {i_m}");
+}
