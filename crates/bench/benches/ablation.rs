@@ -9,10 +9,12 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn bench_ablation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
-    let xs: Vec<Vec<f64>> =
-        (0..120).map(|_| (0..20).map(|_| rng.gen()).collect()).collect();
-    let fs: Vec<Vec<f64>> =
-        (0..120).map(|_| (0..30).map(|_| rng.gen()).collect()).collect();
+    let xs: Vec<Vec<f64>> = (0..120)
+        .map(|_| (0..20).map(|_| rng.gen()).collect())
+        .collect();
+    let fs: Vec<Vec<f64>> = (0..120)
+        .map(|_| (0..30).map(|_| rng.gen()).collect())
+        .collect();
 
     c.bench_function("pseudo_full_14400_pairs", |b| {
         b.iter(|| all_pseudo_samples(&xs, &fs))

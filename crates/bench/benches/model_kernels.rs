@@ -6,11 +6,36 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dnn_opt::{Actor, Critic, DnnOptConfig};
 use gp::{GpRegressor, RbfKernel};
 use linalg::Matrix;
+use nn::{Activation, Adam, Mlp, TrainWorkspace};
 use opt::Fom;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
+/// One MSE gradient step, allocating path vs preallocated workspace path:
+/// the kernel repeated `critic_epochs + actor_epochs` times per DNN-Opt
+/// iteration.
+fn bench_train_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Matrix::from_fn(128, 40, |_, _| rng.gen::<f64>());
+    let y = Matrix::from_fn(128, 30, |_, _| rng.gen::<f64>());
+
+    c.bench_function("mlp_train_step_alloc_b128", |b| {
+        let mut net = Mlp::new(&[40, 48, 48, 30], Activation::Relu, &mut rng);
+        let mut adam = Adam::new(3e-3);
+        b.iter(|| nn::train_step_mse(&mut net, &mut adam, &x, &y))
+    });
+
+    c.bench_function("mlp_train_step_workspace_b128", |b| {
+        let mut net = Mlp::new(&[40, 48, 48, 30], Activation::Relu, &mut rng);
+        let mut adam = Adam::new(3e-3);
+        let mut ws = TrainWorkspace::new();
+        b.iter(|| nn::train_step_mse_ws(&mut net, &mut adam, &x, &y, &mut ws))
+    });
+}
+
 fn synth(n: usize, d: usize, m: usize, rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
-    let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rng.gen()).collect()).collect();
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen()).collect())
+        .collect();
     let fs: Vec<Vec<f64>> = xs
         .iter()
         .map(|x| {
@@ -36,7 +61,9 @@ fn bench_models(c: &mut Criterion) {
     let elite: Vec<Vec<f64>> = xs[..10].to_vec();
     c.bench_function("actor_train_elite10", |b| {
         b.iter(|| {
-            Actor::train(&cfg, &critic, &fom, &elite, &vec![0.0; 20], &vec![1.0; 20], &mut rng)
+            Actor::train(
+                &cfg, &critic, &fom, &elite, &[0.0; 20], &[1.0; 20], &mut rng,
+            )
         })
     });
 
@@ -44,16 +71,20 @@ fn bench_models(c: &mut Criterion) {
         let x = Matrix::from_fn(200, 20, |_, _| rng.gen());
         let y: Vec<f64> = (0..200).map(|_| rng.gen()).collect();
         b.iter(|| {
-            GpRegressor::fit(x.clone(), y.clone(), RbfKernel::isotropic(20, 0.5, 1.0), 1e-6)
-                .unwrap()
+            GpRegressor::fit(
+                x.clone(),
+                y.clone(),
+                RbfKernel::isotropic(20, 0.5, 1.0),
+                1e-6,
+            )
+            .unwrap()
         })
     });
 
     c.bench_function("gp_predict_n200", |b| {
         let x = Matrix::from_fn(200, 20, |_, _| rng.gen());
         let y: Vec<f64> = (0..200).map(|_| rng.gen()).collect();
-        let gp =
-            GpRegressor::fit(x, y, RbfKernel::isotropic(20, 0.5, 1.0), 1e-6).unwrap();
+        let gp = GpRegressor::fit(x, y, RbfKernel::isotropic(20, 0.5, 1.0), 1e-6).unwrap();
         let q: Vec<f64> = (0..20).map(|_| rng.gen()).collect();
         b.iter(|| gp.predict(&q))
     });
@@ -62,6 +93,6 @@ fn bench_models(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_models
+    targets = bench_train_step, bench_models
 }
 criterion_main!(benches);

@@ -1,15 +1,21 @@
 //! Criterion micro-benchmarks of the simulator substrate: the per-analysis
-//! costs that make one "SPICE simulation" expensive.
+//! costs that make one "SPICE simulation" expensive, plus the
+//! allocating-vs-workspace comparison for the DC Newton-solve kernel that
+//! motivated the zero-allocation refactor (`BENCH_baseline.json` records
+//! the reference numbers).
 
 use circuits::{FoldedCascodeOta, StrongArmLatch};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use linalg::{Lu, LuWorkspace};
 use opt::SizingProblem;
+use spice::stamp::{stamp_resistive_system, RealStamper, SourceEval};
 use spice::{Circuit, SimOptions, Waveform, GND};
 
 fn build_rc_ladder(n: usize) -> Circuit {
     let mut c = Circuit::new();
     let vin = c.node("in");
-    c.add_vsource_ac("V1", vin, GND, Waveform::Dc(1.0), 1.0).unwrap();
+    c.add_vsource_ac("V1", vin, GND, Waveform::Dc(1.0), 1.0)
+        .unwrap();
     let mut prev = vin;
     for i in 0..n {
         let node = c.node(&format!("n{i}"));
@@ -20,8 +26,200 @@ fn build_rc_ladder(n: usize) -> Circuit {
     c
 }
 
+/// A MOS-loaded ladder whose linearized MNA system is representative of
+/// the circuits crate's testbenches (~2·n unknowns, MOSFET stamps).
+fn build_mos_ladder(n: usize) -> Circuit {
+    let nmos = bench::bench_nmos();
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
+    let mut prev = vdd;
+    for i in 0..n {
+        let d = c.node(&format!("d{i}"));
+        c.add_resistor(&format!("R{i}"), prev, d, 5e3).unwrap();
+        c.add_mosfet(&format!("M{i}"), d, d, GND, GND, &nmos, 4e-6, 0.5e-6, 1.0)
+            .unwrap();
+        prev = d;
+    }
+    c
+}
+
+/// Verbatim copy of the seed's LU factor + solve (index-op elimination, a
+/// fresh matrix clone and solution vector per call). The live `Lu::factor`
+/// now shares the optimized workspace kernel, so the historical allocating
+/// baseline is preserved here for the before/after comparison that
+/// `BENCH_baseline.json` records.
+mod seed_baseline {
+    use linalg::Matrix;
+
+    pub struct SeedLu {
+        lu: Matrix,
+        perm: Vec<usize>,
+    }
+
+    pub fn factor(a: &Matrix) -> SeedLu {
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            assert!(max > 1e-300, "singular");
+            if p != k {
+                perm.swap(p, k);
+                for j in 0..n {
+                    let t = lu[(p, j)];
+                    lu[(p, j)] = lu[(k, j)];
+                    lu[(k, j)] = t;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let u = lu[(k, j)];
+                        lu[(i, j)] -= m * u;
+                    }
+                }
+            }
+        }
+        SeedLu { lu, perm }
+    }
+
+    impl SeedLu {
+        pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+            let n = self.lu.rows();
+            let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+            for i in 1..n {
+                let mut s = x[i];
+                for j in 0..i {
+                    s -= self.lu[(i, j)] * x[j];
+                }
+                x[i] = s;
+            }
+            for i in (0..n).rev() {
+                let mut s = x[i];
+                for j in (i + 1)..n {
+                    s -= self.lu[(i, j)] * x[j];
+                }
+                x[i] = s / self.lu[(i, i)];
+            }
+            x
+        }
+    }
+}
+
+/// The DC Newton-solve kernel in isolation: factor + solve of the stamped
+/// MNA system, comparing the seed's allocating path with the workspace
+/// path the simulator now uses (acceptance target: ≥2×). Run on the
+/// 60-stage RC interconnect ladder (n = 62) and the 30-stage MOS ladder
+/// (n = 32).
+fn bench_newton_kernel(c: &mut Criterion) {
+    for (label_seed, label_ws, ckt, x_guess) in [
+        (
+            "newton_dc_kernel_alloc_n62",
+            "newton_dc_kernel_workspace_n62",
+            build_rc_ladder(60),
+            0.0,
+        ),
+        (
+            "newton_dc_kernel_alloc_n32",
+            "newton_dc_kernel_workspace_n32",
+            build_mos_ladder(30),
+            0.4,
+        ),
+    ] {
+        let n = ckt.num_unknowns();
+        let mut st = RealStamper::new(&ckt);
+        let x0 = vec![x_guess; n];
+        st.clear();
+        st.load_gmin(1e-12);
+        stamp_resistive_system(&ckt, &x0, SourceEval::Dc { scale: 1.0 }, &mut st);
+
+        // The two kernels must agree before their times mean anything.
+        {
+            let expect = seed_baseline::factor(&st.a).solve(&st.z);
+            let mut ws = LuWorkspace::new(n);
+            Lu::factor_into(&st.a, &mut ws).unwrap();
+            let mut x = Vec::new();
+            ws.solve_into(&st.z, &mut x).unwrap();
+            for (a, b) in expect.iter().zip(&x) {
+                assert!((a - b).abs() <= 1e-10 * a.abs().max(1.0), "kernel mismatch");
+            }
+        }
+
+        c.bench_function(label_seed, |b| {
+            b.iter(|| {
+                let lu = seed_baseline::factor(black_box(&st.a));
+                black_box(lu.solve(&st.z))
+            })
+        });
+
+        c.bench_function(label_ws, |b| {
+            let mut ws = LuWorkspace::new(n);
+            let mut x = vec![0.0; n];
+            b.iter(|| {
+                Lu::factor_into(black_box(&st.a), &mut ws).unwrap();
+                ws.solve_into(&st.z, &mut x).unwrap();
+                black_box(x[0])
+            })
+        });
+    }
+
+    // The same comparison over a *complete* NR iteration (assembly
+    // included), exactly as the two engine generations execute it —
+    // including the storage-donating `factor_in_place` the simulator now
+    // uses, which the isolated kernel above cannot express.
+    let ckt = build_mos_ladder(30);
+    let n = ckt.num_unknowns();
+    let x0 = vec![0.4; n];
+    c.bench_function("newton_dc_iteration_alloc_n32", |b| {
+        let mut st = RealStamper::new(&ckt);
+        b.iter(|| {
+            st.clear();
+            st.load_gmin(1e-12);
+            black_box(spice::stamp::stamp_resistive(
+                &ckt,
+                &x0,
+                SourceEval::Dc { scale: 1.0 },
+                &mut st,
+            ));
+            let lu = seed_baseline::factor(&st.a);
+            black_box(lu.solve(&st.z))
+        })
+    });
+
+    c.bench_function("newton_dc_iteration_workspace_n32", |b| {
+        let mut st = RealStamper::new(&ckt);
+        let mut ws = LuWorkspace::new(n);
+        let mut x = vec![0.0; n];
+        b.iter(|| {
+            st.clear();
+            st.load_gmin(1e-12);
+            stamp_resistive_system(&ckt, &x0, SourceEval::Dc { scale: 1.0 }, &mut st);
+            Lu::factor_in_place(&mut st.a, &mut ws).unwrap();
+            ws.solve_into(&st.z, &mut x).unwrap();
+            black_box(x[0])
+        })
+    });
+}
+
 fn bench_spice(c: &mut Criterion) {
     let opts = SimOptions::default();
+
+    c.bench_function("dc_op_mos_ladder_30", |b| {
+        let ckt = build_mos_ladder(30);
+        b.iter(|| spice::op(&ckt, &opts).unwrap())
+    });
 
     c.bench_function("dc_op_rc_ladder_30", |b| {
         let ckt = build_rc_ladder(30);
@@ -51,6 +249,6 @@ fn bench_spice(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_spice
+    targets = bench_newton_kernel, bench_spice
 }
 criterion_main!(benches);

@@ -23,8 +23,14 @@ fn main() {
     }
     foms.sort_by(|a, b| a.partial_cmp(b).unwrap());
     println!("fails: {fails}/200");
-    println!("fom quantiles: min={:.3} p25={:.3} p50={:.3} p75={:.3} max={:.3}",
-        foms[0], foms[foms.len()/4], foms[foms.len()/2], foms[3*foms.len()/4], foms[foms.len()-1]);
+    println!(
+        "fom quantiles: min={:.3} p25={:.3} p50={:.3} p75={:.3} max={:.3}",
+        foms[0],
+        foms[foms.len() / 4],
+        foms[foms.len() / 2],
+        foms[3 * foms.len() / 4],
+        foms[foms.len() - 1]
+    );
     let mean_viol: f64 = nviol.iter().sum::<usize>() as f64 / nviol.len() as f64;
     println!("mean #violated constraints (non-failed): {mean_viol:.2}");
 }

@@ -27,22 +27,33 @@ fn print_bounds_table(title: &str, problem: &dyn SizingProblem) {
     for i in 0..problem.dim() {
         println!("{:<10} {:>14.4e} {:>14.4e}", names[i], lb[i], ub[i]);
     }
-    println!("variables: {}, constraints: {}", problem.dim(), problem.num_constraints());
+    println!(
+        "variables: {}, constraints: {}",
+        problem.dim(),
+        problem.num_constraints()
+    );
 }
 
 fn print_stats_table(title: &str, methods: &[MethodRuns], scale: &Scale, obj_unit: (&str, f64)) {
     println!("\n=== {title} (repeats = {}) ===", scale.repeats);
     println!(
         "{:<10} {:>12} {:>10} {:>12} {:>12} {:>12} {:>11} {:>10}",
-        "Algorithm", "success", "#sims", &format!("min {}", obj_unit.0),
-        &format!("max {}", obj_unit.0), &format!("mean {}", obj_unit.0),
-        "model(s)", "sim(s)"
+        "Algorithm",
+        "success",
+        "#sims",
+        &format!("min {}", obj_unit.0),
+        &format!("max {}", obj_unit.0),
+        &format!("mean {}", obj_unit.0),
+        "model(s)",
+        "sim(s)"
     );
     for m in methods {
         let sims = m
             .mean_sims_to_feasible()
             .map(|v| format!("{v:.0}"))
-            .unwrap_or_else(|| format!(">{}", m.runs.first().map(|r| r.history.len()).unwrap_or(0)));
+            .unwrap_or_else(|| {
+                format!(">{}", m.runs.first().map(|r| r.history.len()).unwrap_or(0))
+            });
         let (mn, mx, mean) = m
             .objective_stats()
             .map(|(a, b, c)| {
@@ -76,9 +87,17 @@ fn run_ota(scale: &Scale) {
     let fom = Fom::new(100.0, vec![0.25; ota.num_constraints()]);
     eprintln!("[ota] running Table II / Fig. 3 suite...");
     let methods = building_block_suite(&ota, &fom, scale, StopPolicy::Exhaust);
-    print_stats_table("Table II — folded-cascode OTA", &methods, scale, ("mW", 1e3));
+    print_stats_table(
+        "Table II — folded-cascode OTA",
+        &methods,
+        scale,
+        ("mW", 1e3),
+    );
     write_traces_csv("results/fig3.csv", &methods, scale.budget).expect("write fig3.csv");
-    println!("\n{}", ascii_plot(&methods, scale.budget, "Figure 3 — OTA mean FoM"));
+    println!(
+        "\n{}",
+        ascii_plot(&methods, scale.budget, "Figure 3 — OTA mean FoM")
+    );
     println!("series written to results/fig3.csv");
 }
 
@@ -90,7 +109,10 @@ fn run_latch(scale: &Scale) {
     let methods = building_block_suite(&latch, &fom, scale, StopPolicy::Exhaust);
     print_stats_table("Table IV — StrongARM latch", &methods, scale, ("uW", 1e6));
     write_traces_csv("results/fig4.csv", &methods, scale.budget).expect("write fig4.csv");
-    println!("\n{}", ascii_plot(&methods, scale.budget, "Figure 4 — latch mean FoM"));
+    println!(
+        "\n{}",
+        ascii_plot(&methods, scale.budget, "Figure 4 — latch mean FoM")
+    );
     println!("series written to results/fig4.csv");
 }
 
@@ -108,16 +130,32 @@ fn industrial_row(
     let rep = SensitivityReport::compute(problem, &nominal, 0.05);
     let critical = rep.critical_variables(0.1);
     let reduced = ReducedProblem::new(problem, nominal, critical.clone());
-    eprintln!("[{name}] {} -> {} critical variables", problem.dim(), critical.len());
+    eprintln!(
+        "[{name}] {} -> {} critical variables",
+        problem.dim(),
+        critical.len()
+    );
 
     let sa = SimulatedAnnealing::default();
     let dnn = DnnOpt::new(DnnOptConfig::default());
     let mut sa_sims = Vec::new();
     let mut dnn_sims = Vec::new();
     for rep_i in 0..scale.repeats {
-        let r = sa.run(&reduced, fom, sa_budget, StopPolicy::FirstFeasible, rep_i as u64);
+        let r = sa.run(
+            &reduced,
+            fom,
+            sa_budget,
+            StopPolicy::FirstFeasible,
+            rep_i as u64,
+        );
         sa_sims.push(r.sims_to_feasible());
-        let r = dnn.run(&reduced, fom, dnn_budget, StopPolicy::FirstFeasible, rep_i as u64);
+        let r = dnn.run(
+            &reduced,
+            fom,
+            dnn_budget,
+            StopPolicy::FirstFeasible,
+            rep_i as u64,
+        );
         dnn_sims.push(r.sims_to_feasible());
     }
     let fmt = |v: &[Option<usize>], budget: usize| {
@@ -125,7 +163,12 @@ fn industrial_row(
         if ok.is_empty() {
             format!(">{budget}")
         } else if ok.len() < v.len() {
-            format!("{:.0} ({}/{} ok)", ok.iter().sum::<f64>() / ok.len() as f64, ok.len(), v.len())
+            format!(
+                "{:.0} ({}/{} ok)",
+                ok.iter().sum::<f64>() / ok.len() as f64,
+                ok.len(),
+                v.len()
+            )
         } else {
             format!("{:.0}", ok.iter().sum::<f64>() / ok.len() as f64)
         }
@@ -141,7 +184,10 @@ fn industrial_row(
 }
 
 fn run_table5(scale: &Scale) {
-    println!("\n=== Table V — industrial circuits (sims to meet constraints; repeats = {}) ===", scale.repeats);
+    println!(
+        "\n=== Table V — industrial circuits (sims to meet constraints; repeats = {}) ===",
+        scale.repeats
+    );
     println!(
         "{:<15} {:>9} {:>8} {:>14} {:>14}",
         "Circuit", "MOS", "critical", "SA", "DNN-Opt"
@@ -151,19 +197,51 @@ fn run_table5(scale: &Scale) {
 
     let inv = InverterChain::new();
     let fom = Fom::new(1.0, vec![0.5; inv.num_constraints()]);
-    industrial_row("Inverter Chain", &inv, 8.0, &fom, scale, sa_budget, dnn_budget);
+    industrial_row(
+        "Inverter Chain",
+        &inv,
+        8.0,
+        &fom,
+        scale,
+        sa_budget,
+        dnn_budget,
+    );
 
     let ls = LevelShifter::new();
     let fom = Fom::new(1.0, vec![0.5; ls.num_constraints()]);
-    industrial_row("Level Shifter", &ls, ls.device_count(), &fom, scale, sa_budget, dnn_budget);
+    industrial_row(
+        "Level Shifter",
+        &ls,
+        ls.device_count(),
+        &fom,
+        scale,
+        sa_budget,
+        dnn_budget,
+    );
 
     let ldo = Ldo::new();
     let fom = Fom::new(1e3, vec![0.5; ldo.num_constraints()]);
-    industrial_row("LDO", &ldo, ldo.device_count(), &fom, scale, sa_budget, dnn_budget);
+    industrial_row(
+        "LDO",
+        &ldo,
+        ldo.device_count(),
+        &fom,
+        scale,
+        sa_budget,
+        dnn_budget,
+    );
 
     let ctle = Ctle::new();
     let fom = Fom::new(100.0, vec![0.5; ctle.num_constraints()]);
-    industrial_row("CTLE", &ctle, ctle.device_count(), &fom, scale, sa_budget, dnn_budget);
+    industrial_row(
+        "CTLE",
+        &ctle,
+        ctle.device_count(),
+        &fom,
+        scale,
+        sa_budget,
+        dnn_budget,
+    );
 }
 
 /// §II-B ablation: critic with (x, Δx) pseudo-samples vs a d-input network
@@ -176,20 +254,31 @@ fn run_ablation() {
     println!("\n=== Ablation — critic input representation (paper §II-B) ===");
     println!("test-RMSE of spec prediction, mean over 3 landscapes (lower is better)\n");
     let mut rng = StdRng::seed_from_u64(0);
-    let landscapes: Vec<(&str, Box<dyn Fn(&[f64]) -> f64>)> = vec![
-        ("quadratic", Box::new(|x: &[f64]| x.iter().map(|v| (v - 0.4) * (v - 0.4)).sum())),
-        ("rosenbrock", Box::new(|x: &[f64]| {
-            (0..x.len() - 1)
-                .map(|i| 1.0 * (x[i + 1] - x[i] * x[i]).powi(2) + (1.0 - x[i]).powi(2))
-                .sum()
-        })),
-        ("rastrigin-ish", Box::new(|x: &[f64]| {
-            x.iter().map(|v| v * v - 0.3 * (6.0 * v).cos() + 0.3).sum()
-        })),
+    type Landscape<'a> = (&'a str, Box<dyn Fn(&[f64]) -> f64>);
+    let landscapes: Vec<Landscape> = vec![
+        (
+            "quadratic",
+            Box::new(|x: &[f64]| x.iter().map(|v| (v - 0.4) * (v - 0.4)).sum()),
+        ),
+        (
+            "rosenbrock",
+            Box::new(|x: &[f64]| {
+                (0..x.len() - 1)
+                    .map(|i| 1.0 * (x[i + 1] - x[i] * x[i]).powi(2) + (1.0 - x[i]).powi(2))
+                    .sum()
+            }),
+        ),
+        (
+            "rastrigin-ish",
+            Box::new(|x: &[f64]| x.iter().map(|v| v * v - 0.3 * (6.0 * v).cos() + 0.3).sum()),
+        ),
     ];
     let d = 5;
     let n_train = 60;
-    println!("{:<14} {:>16} {:>16}", "landscape", "2d pseudo-sample", "d-input raw");
+    println!(
+        "{:<14} {:>16} {:>16}",
+        "landscape", "2d pseudo-sample", "d-input raw"
+    );
     for (name, f) in &landscapes {
         // Training designs.
         let xs: Vec<Vec<f64>> = (0..n_train)
@@ -197,15 +286,18 @@ fn run_ablation() {
             .collect();
         let fs: Vec<Vec<f64>> = xs.iter().map(|x| vec![f(x)]).collect();
         // (a) DNN-Opt critic (2d input, pseudo-samples).
-        let cfg = DnnOptConfig { critic_epochs: 800, critic_batch: 256, ..Default::default() };
+        let cfg = DnnOptConfig {
+            critic_epochs: 800,
+            critic_batch: 256,
+            ..Default::default()
+        };
         let critic = dnn_opt::Critic::train(&cfg, &xs, &fs, &mut rng);
         // (b) d-input network on raw samples, matched step budget.
         let mut raw_net = Mlp::new(&[d, cfg.hidden, cfg.hidden, 1], Activation::Relu, &mut rng);
         let mut adam = Adam::new(cfg.critic_lr);
         let x_mat = Matrix::from_fn(n_train, d, |i, j| xs[i][j]);
         let y_mean: f64 = fs.iter().map(|v| v[0]).sum::<f64>() / n_train as f64;
-        let y_std: f64 = (fs.iter().map(|v| (v[0] - y_mean).powi(2)).sum::<f64>()
-            / n_train as f64)
+        let y_std: f64 = (fs.iter().map(|v| (v[0] - y_mean).powi(2)).sum::<f64>() / n_train as f64)
             .sqrt()
             .max(1e-12);
         let y_mat = Matrix::from_fn(n_train, 1, |i, _| (fs[i][0] - y_mean) / y_std);
@@ -254,15 +346,27 @@ fn main() {
         scale.repeats, scale.budget, scale.de_budget
     );
     match cmd.as_str() {
-        "table1" => print_bounds_table("Table I — folded-cascode OTA parameters", &FoldedCascodeOta::new()),
-        "table3" => print_bounds_table("Table III — StrongARM latch parameters", &StrongArmLatch::new()),
+        "table1" => print_bounds_table(
+            "Table I — folded-cascode OTA parameters",
+            &FoldedCascodeOta::new(),
+        ),
+        "table3" => print_bounds_table(
+            "Table III — StrongARM latch parameters",
+            &StrongArmLatch::new(),
+        ),
         "ota" | "table2" | "fig3" => run_ota(&scale),
         "latch" | "table4" | "fig4" => run_latch(&scale),
         "table5" => run_table5(&scale),
         "ablation" => run_ablation(),
         "all" => {
-            print_bounds_table("Table I — folded-cascode OTA parameters", &FoldedCascodeOta::new());
-            print_bounds_table("Table III — StrongARM latch parameters", &StrongArmLatch::new());
+            print_bounds_table(
+                "Table I — folded-cascode OTA parameters",
+                &FoldedCascodeOta::new(),
+            );
+            print_bounds_table(
+                "Table III — StrongARM latch parameters",
+                &StrongArmLatch::new(),
+            );
             run_ota(&scale);
             run_latch(&scale);
             run_table5(&scale);

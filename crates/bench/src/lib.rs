@@ -12,6 +12,27 @@ use opt::{
     BoWei, DifferentialEvolution, Fom, Gaspad, Optimizer, RunResult, SizingProblem, StopPolicy,
 };
 
+/// The generic 180nm-class NMOS used by the micro-benchmarks' hand-built
+/// ladder circuits (one definition so the benches cannot drift apart).
+pub fn bench_nmos() -> spice::MosModel {
+    spice::MosModel {
+        polarity: spice::MosPolarity::Nmos,
+        vth0: 0.45,
+        kp: 300e-6,
+        clm: 0.02e-6,
+        gamma: 0.4,
+        phi: 0.8,
+        nsub: 1.4,
+        cox: 8.5e-3,
+        cov: 3e-10,
+        cj: 1e-3,
+        ldiff: 0.4e-6,
+        kf: 1e-26,
+        af: 1.0,
+        noise_gamma: 2.0 / 3.0,
+    }
+}
+
 /// Experiment-scale knobs, read from the environment so the default run is
 /// laptop-sized while `REPEATS=10 DE_BUDGET=10000` reproduces the paper's
 /// protocol exactly.
@@ -30,7 +51,10 @@ impl Scale {
     /// laptop-scale defaults (3 / 500 / 2000).
     pub fn from_env() -> Self {
         let get = |k: &str, d: usize| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         Scale {
             repeats: get("REPEATS", 3),
@@ -52,7 +76,10 @@ pub struct MethodRuns {
 impl MethodRuns {
     /// Success rate: runs that found any feasible design.
     pub fn successes(&self) -> usize {
-        self.runs.iter().filter(|r| r.sims_to_feasible().is_some()).count()
+        self.runs
+            .iter()
+            .filter(|r| r.sims_to_feasible().is_some())
+            .count()
     }
 
     /// Mean simulations-to-first-feasible over the *successful* runs.
@@ -71,8 +98,11 @@ impl MethodRuns {
 
     /// Min / max / mean best-feasible objective across successful runs.
     pub fn objective_stats(&self) -> Option<(f64, f64, f64)> {
-        let v: Vec<f64> =
-            self.runs.iter().filter_map(RunResult::best_feasible_objective).collect();
+        let v: Vec<f64> = self
+            .runs
+            .iter()
+            .filter_map(RunResult::best_feasible_objective)
+            .collect();
         if v.is_empty() {
             return None;
         }
@@ -128,10 +158,18 @@ pub fn building_block_suite(
     for (method, budget) in methods {
         let mut runs = Vec::new();
         for rep in 0..scale.repeats {
-            eprintln!("  [{}] run {}/{} (budget {budget})", method.name(), rep + 1, scale.repeats);
+            eprintln!(
+                "  [{}] run {}/{} (budget {budget})",
+                method.name(),
+                rep + 1,
+                scale.repeats
+            );
             runs.push(method.run(problem, fom, budget, stop, rep as u64));
         }
-        out.push(MethodRuns { name: method.name().to_string(), runs });
+        out.push(MethodRuns {
+            name: method.name().to_string(),
+            runs,
+        });
     }
     out
 }
@@ -147,11 +185,7 @@ pub fn secs(d: Duration) -> String {
 /// # Errors
 ///
 /// Propagates file-system errors.
-pub fn write_traces_csv(
-    path: &str,
-    methods: &[MethodRuns],
-    len: usize,
-) -> std::io::Result<()> {
+pub fn write_traces_csv(path: &str, methods: &[MethodRuns], len: usize) -> std::io::Result<()> {
     use std::io::Write;
     if let Some(dir) = std::path::Path::new(path).parent() {
         std::fs::create_dir_all(dir)?;
@@ -176,8 +210,10 @@ pub fn write_traces_csv(
 /// Renders a coarse ASCII plot of the mean FoM curves, so figure shapes
 /// are visible without leaving the terminal.
 pub fn ascii_plot(methods: &[MethodRuns], len: usize, title: &str) -> String {
-    let traces: Vec<(String, Vec<f64>)> =
-        methods.iter().map(|m| (m.name.clone(), m.mean_trace(len))).collect();
+    let traces: Vec<(String, Vec<f64>)> = methods
+        .iter()
+        .map(|m| (m.name.clone(), m.mean_trace(len)))
+        .collect();
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for (_, t) in &traces {
@@ -235,7 +271,10 @@ mod tests {
             1
         }
         fn evaluate(&self, x: &[f64]) -> SpecResult {
-            SpecResult { objective: x[0], constraints: vec![0.2 - x[1]] }
+            SpecResult {
+                objective: x[0],
+                constraints: vec![0.2 - x[1]],
+            }
         }
     }
 
@@ -244,7 +283,10 @@ mod tests {
         let runs = (0..3)
             .map(|s| RandomSearch.run(&Toy, &fom, 30, StopPolicy::Exhaust, s))
             .collect();
-        MethodRuns { name: "Random".into(), runs }
+        MethodRuns {
+            name: "Random".into(),
+            runs,
+        }
     }
 
     #[test]

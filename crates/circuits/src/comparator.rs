@@ -50,7 +50,11 @@ impl LatchParams {
         let mut w = [0.0; 6];
         l.copy_from_slice(&x[0..6]);
         w.copy_from_slice(&x[6..12]);
-        LatchParams { l, w, cl_fingers: x[12].round().max(1.0) }
+        LatchParams {
+            l,
+            w,
+            cl_fingers: x[12].round().max(1.0),
+        }
     }
 
     /// Load capacitance \[F\] (1 fF per finger).
@@ -108,9 +112,17 @@ impl Default for StrongArmLatch {
 impl StrongArmLatch {
     /// Creates the problem on the generic 180nm-class technology.
     pub fn new() -> Self {
-        let mut opts = SimOptions::default();
-        opts.max_nr_iters = 200;
-        StrongArmLatch { tech: tech_180nm(), opts, vcm: 0.7, vin_diff: 10e-3, period: 40e-9 }
+        let opts = SimOptions {
+            max_nr_iters: 200,
+            ..Default::default()
+        };
+        StrongArmLatch {
+            tech: tech_180nm(),
+            opts,
+            vcm: 0.7,
+            vin_diff: 10e-3,
+            period: 40e-9,
+        }
     }
 
     /// A hand-tuned near-feasible design (the regression anchor).
@@ -140,7 +152,10 @@ impl StrongArmLatch {
     /// di_p, di_n)` where `di_*` are the latch-internal output nodes and
     /// `x*` the integration nodes.
     #[allow(clippy::type_complexity)]
-    fn build(&self, p: &LatchParams) -> Result<(Circuit, usize, usize, usize, usize, usize, usize), SpiceError> {
+    fn build(
+        &self,
+        p: &LatchParams,
+    ) -> Result<(Circuit, usize, usize, usize, usize, usize, usize), SpiceError> {
         let t = &self.tech;
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
@@ -148,8 +163,18 @@ impl StrongArmLatch {
 
         let inp = ckt.node("inp");
         let inn = ckt.node("inn");
-        ckt.add_vsource("VIP", inp, GND, Waveform::Dc(self.vcm + self.vin_diff / 2.0))?;
-        ckt.add_vsource("VIN", inn, GND, Waveform::Dc(self.vcm - self.vin_diff / 2.0))?;
+        ckt.add_vsource(
+            "VIP",
+            inp,
+            GND,
+            Waveform::Dc(self.vcm + self.vin_diff / 2.0),
+        )?;
+        ckt.add_vsource(
+            "VIN",
+            inn,
+            GND,
+            Waveform::Dc(self.vcm - self.vin_diff / 2.0),
+        )?;
 
         let clk = ckt.node("clk");
         let quarter = self.period / 4.0;
@@ -157,7 +182,15 @@ impl StrongArmLatch {
             "VCLK",
             clk,
             GND,
-            Waveform::pulse(0.0, t.vdd, quarter, 100e-12, 100e-12, 2.0 * quarter, f64::INFINITY),
+            Waveform::pulse(
+                0.0,
+                t.vdd,
+                quarter,
+                100e-12,
+                100e-12,
+                2.0 * quarter,
+                f64::INFINITY,
+            ),
         )?;
 
         let tail = ckt.node("tail");
@@ -191,9 +224,29 @@ impl StrongArmLatch {
         let outp = ckt.node("outp");
         let outn = ckt.node("outn");
         ckt.add_mosfet("M_bnP", outp, di_n, GND, GND, &t.nmos, p.w[5], p.l[5], 1.0)?;
-        ckt.add_mosfet("M_bpP", outp, di_n, vdd, vdd, &t.pmos, 2.5 * p.w[5], p.l[5], 1.0)?;
+        ckt.add_mosfet(
+            "M_bpP",
+            outp,
+            di_n,
+            vdd,
+            vdd,
+            &t.pmos,
+            2.5 * p.w[5],
+            p.l[5],
+            1.0,
+        )?;
         ckt.add_mosfet("M_bnN", outn, di_p, GND, GND, &t.nmos, p.w[5], p.l[5], 1.0)?;
-        ckt.add_mosfet("M_bpN", outn, di_p, vdd, vdd, &t.pmos, 2.5 * p.w[5], p.l[5], 1.0)?;
+        ckt.add_mosfet(
+            "M_bpN",
+            outn,
+            di_p,
+            vdd,
+            vdd,
+            &t.pmos,
+            2.5 * p.w[5],
+            p.l[5],
+            1.0,
+        )?;
         ckt.add_capacitor("CL_P", outp, GND, p.cl())?;
         ckt.add_capacitor("CL_N", outn, GND, p.cl())?;
 
@@ -224,8 +277,15 @@ impl StrongArmLatch {
             + spice::mos::mos_caps(&t.nmos, p.w[1], p.l[1], 1.0).csb
             + spice::mos::mos_caps(&t.nmos, p.w[1], p.l[1], 1.0).cgs
             + spice::mos::mos_caps(&t.pmos, p.w[4], p.l[4], 1.0).cdb;
-        let ein =
-            spice::mos::eval_mos(&t.nmos, p.w[0], p.l[0], 1.0, self.vcm - 0.12, t.vdd / 2.0, 0.0);
+        let ein = spice::mos::eval_mos(
+            &t.nmos,
+            p.w[0],
+            p.l[0],
+            1.0,
+            self.vcm - 0.12,
+            t.vdd / 2.0,
+            0.0,
+        );
         let gm_over_id = (ein.gm / ein.id.max(1e-12)).clamp(1.0, 30.0);
         let gain = gm_over_id * t.nmos.vth0;
         (BOLTZMANN * self.opts.temp * t.nmos.noise_gamma / cx).sqrt()
@@ -263,7 +323,11 @@ impl StrongArmLatch {
             );
         }
         let q = tr.delivered_charge(&ckt, "VDD", 0.0, self.period).unwrap();
-        println!("cycle energy = {:.3e} J, power = {:.3e} W", q * self.tech.vdd, q * self.tech.vdd / self.period);
+        println!(
+            "cycle energy = {:.3e} J, power = {:.3e} W",
+            q * self.tech.vdd,
+            q * self.tech.vdd / self.period
+        );
         println!("input noise est = {:.3e} V", self.input_noise(&p));
         println!("area = {:.3e} um^2", p.area() * 1e12);
     }
@@ -354,9 +418,9 @@ impl SizingProblem for StrongArmLatch {
             .map(|(i, &t)| (t, (tr.voltage(i, outp) - tr.voltage(i, outn)).abs()))
             .collect();
         // Differential set voltage at the end of the evaluation phase.
-        let v_set_diff = (tr.sample(outp, t_fall - 0.2e-9) - tr.sample(outn, t_fall - 0.2e-9)).abs();
-        let set_delay =
-            measure::crossing_time(&set_diff, 0.9 * t.vdd, true).map(|tc| tc - t_rise);
+        let v_set_diff =
+            (tr.sample(outp, t_fall - 0.2e-9) - tr.sample(outn, t_fall - 0.2e-9)).abs();
+        let set_delay = measure::crossing_time(&set_diff, 0.9 * t.vdd, true).map(|tc| tc - t_rise);
 
         // Reset delay: falling clock edge to both outputs back within 10%
         // of their precharge levels. The buffers invert: when the latch
@@ -436,7 +500,10 @@ impl SizingProblem for StrongArmLatch {
         constraints.push(at_most(vout_p_resid, 0.35e-6, 3.5e-5));
         constraints.push(at_most(vout_n_resid, 0.35e-6, 3.5e-5));
 
-        SpecResult { objective: power, constraints }
+        SpecResult {
+            objective: power,
+            constraints,
+        }
     }
 }
 
@@ -482,11 +549,27 @@ mod tests {
         // Set/reset delays and the regenerated differential voltage are the
         // core of the decision behaviour: they must be satisfied (the
         // residual-voltage constraints are the genuinely hard ones).
-        assert!(spec.constraints[0] <= 0.0, "set delay violated: {}", spec.constraints[0]);
-        assert!(spec.constraints[1] <= 0.0, "reset delay violated: {}", spec.constraints[1]);
-        assert!(spec.constraints[5] <= 0.0, "set voltage violated: {}", spec.constraints[5]);
+        assert!(
+            spec.constraints[0] <= 0.0,
+            "set delay violated: {}",
+            spec.constraints[0]
+        );
+        assert!(
+            spec.constraints[1] <= 0.0,
+            "reset delay violated: {}",
+            spec.constraints[1]
+        );
+        assert!(
+            spec.constraints[5] <= 0.0,
+            "set voltage violated: {}",
+            spec.constraints[5]
+        );
         // Power in the µW range at 25 MHz.
-        assert!(spec.objective > 0.1e-6 && spec.objective < 500e-6, "power {}", spec.objective);
+        assert!(
+            spec.objective > 0.1e-6 && spec.objective < 500e-6,
+            "power {}",
+            spec.objective
+        );
     }
 
     #[test]

@@ -56,18 +56,18 @@ impl Ctle {
     pub fn nominal(&self) -> Vec<f64> {
         let u = 1e-6;
         vec![
-            8.0 * u,   // input pair width
-            0.03 * u,  // input pair length
-            400.0,     // degeneration resistor
-            100e-15,   // degeneration capacitor
-            200.0,     // load resistor
-            500.0,     // sink array fingers
-            6.0 * u,   // buffer follower width
-            5e-15,     // extra load-node cap
-            1.0 * u,   // decap width  (non-critical)
-            0.1 * u,   // decap length (non-critical)
-            0.3 * u,   // dummy width  (non-critical)
-            55.0,      // input termination (non-critical with ideal drive)
+            8.0 * u,  // input pair width
+            0.03 * u, // input pair length
+            400.0,    // degeneration resistor
+            100e-15,  // degeneration capacitor
+            200.0,    // load resistor
+            500.0,    // sink array fingers
+            6.0 * u,  // buffer follower width
+            5e-15,    // extra load-node cap
+            1.0 * u,  // decap width  (non-critical)
+            0.1 * u,  // decap length (non-critical)
+            0.3 * u,  // dummy width  (non-critical)
+            55.0,     // input termination (non-critical with ideal drive)
         ]
     }
 
@@ -75,8 +75,16 @@ impl Ctle {
     fn build(&self, x: &[f64]) -> Result<(Circuit, usize, usize), SpiceError> {
         let t = &self.tech;
         let l = t.l_min;
-        let (w_in, l_in, rs, cs, rl, m_sink, w_buf, c_par) =
-            (x[0], x[1].max(l), x[2], x[3], x[4], x[5].round().max(1.0), x[6], x[7]);
+        let (w_in, l_in, rs, cs, rl, m_sink, w_buf, c_par) = (
+            x[0],
+            x[1].max(l),
+            x[2],
+            x[3],
+            x[4],
+            x[5].round().max(1.0),
+            x[6],
+            x[7],
+        );
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         ckt.add_vsource("VDD", vdd, GND, Waveform::Dc(t.vdd))?;
@@ -103,8 +111,12 @@ impl Ctle {
         ckt.add_resistor("RS", sp, sn, rs)?;
         ckt.add_capacitor("CS", sp, sn, cs)?;
         // Arrayed current sinks (0.5 µm fingers off the bias mirror).
-        ckt.add_mosfet("M_snkP", sp, vbn, GND, GND, &t.nmos, 0.5e-6, 0.05e-6, m_sink)?;
-        ckt.add_mosfet("M_snkN", sn, vbn, GND, GND, &t.nmos, 0.5e-6, 0.05e-6, m_sink)?;
+        ckt.add_mosfet(
+            "M_snkP", sp, vbn, GND, GND, &t.nmos, 0.5e-6, 0.05e-6, m_sink,
+        )?;
+        ckt.add_mosfet(
+            "M_snkN", sn, vbn, GND, GND, &t.nmos, 0.5e-6, 0.05e-6, m_sink,
+        )?;
         ckt.add_resistor("RL_P", vdd, dp, rl)?;
         ckt.add_resistor("RL_N", vdd, dn, rl)?;
         ckt.add_capacitor("CP_P", dp, GND, c_par)?;
@@ -115,14 +127,54 @@ impl Ctle {
         let on = ckt.node("on");
         ckt.add_mosfet("M_bufP", vdd, dp, op, GND, &t.nmos, w_buf, l, 2.0)?;
         ckt.add_mosfet("M_bufN", vdd, dn, on, GND, &t.nmos, w_buf, l, 2.0)?;
-        ckt.add_mosfet("M_bsnkP", op, vbn, GND, GND, &t.nmos, 0.5e-6, 0.05e-6, m_sink / 2.0)?;
-        ckt.add_mosfet("M_bsnkN", on, vbn, GND, GND, &t.nmos, 0.5e-6, 0.05e-6, m_sink / 2.0)?;
+        ckt.add_mosfet(
+            "M_bsnkP",
+            op,
+            vbn,
+            GND,
+            GND,
+            &t.nmos,
+            0.5e-6,
+            0.05e-6,
+            m_sink / 2.0,
+        )?;
+        ckt.add_mosfet(
+            "M_bsnkN",
+            on,
+            vbn,
+            GND,
+            GND,
+            &t.nmos,
+            0.5e-6,
+            0.05e-6,
+            m_sink / 2.0,
+        )?;
         ckt.add_capacitor("CL_P", op, GND, 30e-15)?;
         ckt.add_capacitor("CL_N", on, GND, 30e-15)?;
 
         // Device-count emulation: rail decap arrays.
-        ckt.add_mosfet("M_decap1", GND, vdd, GND, GND, &t.nmos, x[8], x[9].max(l), 85_500.0)?;
-        ckt.add_mosfet("M_decap2", GND, vdd, GND, GND, &t.nmos, x[8], x[9].max(l), 85_500.0)?;
+        ckt.add_mosfet(
+            "M_decap1",
+            GND,
+            vdd,
+            GND,
+            GND,
+            &t.nmos,
+            x[8],
+            x[9].max(l),
+            85_500.0,
+        )?;
+        ckt.add_mosfet(
+            "M_decap2",
+            GND,
+            vdd,
+            GND,
+            GND,
+            &t.nmos,
+            x[8],
+            x[9].max(l),
+            85_500.0,
+        )?;
         ckt.add_mosfet("M_dummy", dp, GND, GND, GND, &t.nmos, x[10], l, 1.0)?;
         apply_parasitics(&mut ckt, &self.parasitics)?;
         let op_id = ckt.find_node("op")?;
@@ -133,7 +185,9 @@ impl Ctle {
     /// Expanded MOS count (array-aware), ~173k as in the paper's Table V.
     pub fn device_count(&self) -> f64 {
         let x = self.nominal();
-        self.build(&x).map(|(c, _, _)| c.expanded_mosfet_count()).unwrap_or(0.0)
+        self.build(&x)
+            .map(|(c, _, _)| c.expanded_mosfet_count())
+            .unwrap_or(0.0)
     }
 }
 
@@ -145,8 +199,34 @@ impl SizingProblem for Ctle {
     fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
         let u = 1e-6;
         (
-            vec![1.0 * u, 0.02 * u, 50.0, 10e-15, 50.0, 100.0, 1.0 * u, 0.0, 0.1 * u, 0.02 * u, 0.1 * u, 40.0],
-            vec![40.0 * u, 0.2 * u, 2000.0, 500e-15, 1000.0, 3000.0, 30.0 * u, 50e-15, 8.0 * u, 0.5 * u, 8.0 * u, 70.0],
+            vec![
+                1.0 * u,
+                0.02 * u,
+                50.0,
+                10e-15,
+                50.0,
+                100.0,
+                1.0 * u,
+                0.0,
+                0.1 * u,
+                0.02 * u,
+                0.1 * u,
+                40.0,
+            ],
+            vec![
+                40.0 * u,
+                0.2 * u,
+                2000.0,
+                500e-15,
+                1000.0,
+                3000.0,
+                30.0 * u,
+                50e-15,
+                8.0 * u,
+                0.5 * u,
+                8.0 * u,
+                70.0,
+            ],
         )
     }
 
@@ -159,10 +239,13 @@ impl SizingProblem for Ctle {
     }
 
     fn variable_names(&self) -> Vec<String> {
-        ["w_in", "l_in", "rs", "cs", "rl", "m_sink", "w_buf", "c_par", "w_decap", "l_decap", "w_dummy", "r_term"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "w_in", "l_in", "rs", "cs", "rl", "m_sink", "w_buf", "c_par", "w_decap", "l_decap",
+            "w_dummy", "r_term",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     }
 
     fn nominal(&self) -> Vec<f64> {
@@ -237,7 +320,10 @@ impl SizingProblem for Ctle {
             // 14. Nyquist gain above −6 dB absolute.
             (-6.0 - nyq_gain_db) / 6.0,
         ];
-        SpecResult { objective: power, constraints }
+        SpecResult {
+            objective: power,
+            constraints,
+        }
     }
 }
 
@@ -265,8 +351,16 @@ mod tests {
         let spec = ctle.evaluate(&ctle.nominal());
         assert!(!spec.is_failure(), "nominal CTLE must simulate");
         // The equalization shape must be present: peaking above 2 dB.
-        assert!(spec.constraints[2] <= 0.0, "peaking-min violated: {}", spec.constraints[2]);
-        assert!(spec.constraints[3] <= 0.0, "peaking-max violated: {}", spec.constraints[3]);
+        assert!(
+            spec.constraints[2] <= 0.0,
+            "peaking-min violated: {}",
+            spec.constraints[2]
+        );
+        assert!(
+            spec.constraints[3] <= 0.0,
+            "peaking-max violated: {}",
+            spec.constraints[3]
+        );
     }
 
     #[test]

@@ -195,7 +195,10 @@ impl SizingProblem for InverterChain {
             (delay - self.delay_limit) / self.delay_limit,
             (energy - self.energy_limit) / self.energy_limit,
         ];
-        SpecResult { objective: energy * 1e12, constraints }
+        SpecResult {
+            objective: energy * 1e12,
+            constraints,
+        }
     }
 }
 
@@ -220,7 +223,10 @@ mod tests {
         let chain = InverterChain::new();
         let (lb, _) = chain.bounds();
         let spec = chain.evaluate(&lb);
-        assert!(spec.constraints[0] > 0.0, "minimum widths must miss the delay spec");
+        assert!(
+            spec.constraints[0] > 0.0,
+            "minimum widths must miss the delay spec"
+        );
     }
 
     #[test]
@@ -228,7 +234,10 @@ mod tests {
         let chain = InverterChain::new();
         let (_, ub) = chain.bounds();
         let spec = chain.evaluate(&ub);
-        assert!(spec.constraints[1] > 0.0, "maximum widths must miss the energy spec");
+        assert!(
+            spec.constraints[1] > 0.0,
+            "maximum widths must miss the energy spec"
+        );
     }
 
     #[test]

@@ -62,16 +62,16 @@ impl Ldo {
     pub fn nominal(&self) -> Vec<f64> {
         let u = 1e-6;
         vec![
-            4.0 * u,  // error-amp input pair width
-            0.1 * u,  // error-amp input pair length
-            2.0 * u,  // error-amp PMOS mirror width
-            2000.0,   // pass-device fingers
-            2.0e-12,  // compensation cap
-            100e3,    // divider top resistor
-            4.0 * u,  // error-amp tail width
-            1.0 * u,  // decap width  (non-critical)
-            0.1 * u,  // decap length (non-critical)
-            0.3 * u,  // dummy width  (non-critical)
+            4.0 * u, // error-amp input pair width
+            0.1 * u, // error-amp input pair length
+            2.0 * u, // error-amp PMOS mirror width
+            2000.0,  // pass-device fingers
+            2.0e-12, // compensation cap
+            100e3,   // divider top resistor
+            4.0 * u, // error-amp tail width
+            1.0 * u, // decap width  (non-critical)
+            0.1 * u, // decap length (non-critical)
+            0.3 * u, // dummy width  (non-critical)
         ]
     }
 
@@ -86,8 +86,15 @@ impl Ldo {
     ) -> Result<(Circuit, usize, usize), SpiceError> {
         let t = &self.tech;
         let l = t.l_min;
-        let (w_ea, l_ea, w_mir, m_pass, cc, r1, w_tail) =
-            (x[0], x[1].max(l), x[2], x[3].round().max(1.0), x[4], x[5], x[6]);
+        let (w_ea, l_ea, w_mir, m_pass, cc, r1, w_tail) = (
+            x[0],
+            x[1].max(l),
+            x[2],
+            x[3].round().max(1.0),
+            x[4],
+            x[5],
+            x[6],
+        );
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         ckt.add_vsource("VDD", vdd, GND, Waveform::Dc(t.vdd))?;
@@ -129,8 +136,28 @@ impl Ldo {
         ckt.add_resistor("R2", vfb_tap, GND, 100e3)?;
 
         // Arrayed decoupling (the device-count emulation) and a dummy.
-        ckt.add_mosfet("M_decap1", GND, vdd, GND, GND, &t.nmos, x[7], x[8].max(l), 82_300.0)?;
-        ckt.add_mosfet("M_decap2", GND, vout, GND, GND, &t.nmos, x[7], x[8].max(l), 82_300.0)?;
+        ckt.add_mosfet(
+            "M_decap1",
+            GND,
+            vdd,
+            GND,
+            GND,
+            &t.nmos,
+            x[7],
+            x[8].max(l),
+            82_300.0,
+        )?;
+        ckt.add_mosfet(
+            "M_decap2",
+            GND,
+            vout,
+            GND,
+            GND,
+            &t.nmos,
+            x[7],
+            x[8].max(l),
+            82_300.0,
+        )?;
         ckt.add_mosfet("M_dummy", vout, GND, GND, GND, &t.nmos, x[9], l, 1.0)?;
         apply_parasitics(&mut ckt, &self.parasitics)?;
         let vout_id = ckt.find_node("vout")?;
@@ -155,8 +182,30 @@ impl SizingProblem for Ldo {
     fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
         let u = 1e-6;
         (
-            vec![0.5 * u, 0.02 * u, 0.5 * u, 200.0, 0.2e-12, 50e3, 0.5 * u, 0.1 * u, 0.02 * u, 0.1 * u],
-            vec![20.0 * u, 0.5 * u, 20.0 * u, 20000.0, 10e-12, 200e3, 20.0 * u, 8.0 * u, 0.5 * u, 8.0 * u],
+            vec![
+                0.5 * u,
+                0.02 * u,
+                0.5 * u,
+                200.0,
+                0.2e-12,
+                50e3,
+                0.5 * u,
+                0.1 * u,
+                0.02 * u,
+                0.1 * u,
+            ],
+            vec![
+                20.0 * u,
+                0.5 * u,
+                20.0 * u,
+                20000.0,
+                10e-12,
+                200e3,
+                20.0 * u,
+                8.0 * u,
+                0.5 * u,
+                8.0 * u,
+            ],
         )
     }
 
@@ -169,10 +218,13 @@ impl SizingProblem for Ldo {
     }
 
     fn variable_names(&self) -> Vec<String> {
-        ["w_ea", "l_ea", "w_mir", "m_pass", "cc", "r1", "w_tail", "w_decap", "l_decap", "w_dummy"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "w_ea", "l_ea", "w_mir", "m_pass", "cc", "r1", "w_tail", "w_decap", "l_decap",
+            "w_dummy",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     }
 
     fn nominal(&self) -> Vec<f64> {
@@ -220,7 +272,8 @@ impl SizingProblem for Ldo {
         // Loop gain: break the loop at the error-amp feedback input, hold
         // the bias, sweep.
         let vfb_dc = op_nom.voltage(vfb);
-        let Ok((ckt_ol, vout_ol, vfb_ol)) = self.build(x, self.i_load.0, Some((vfb_dc, 1.0))) else {
+        let Ok((ckt_ol, vout_ol, vfb_ol)) = self.build(x, self.i_load.0, Some((vfb_dc, 1.0)))
+        else {
             return SpecResult::failed(m);
         };
         let Ok(op_ol) = spice::op(&ckt_ol, &self.opts) else {
@@ -233,10 +286,11 @@ impl SizingProblem for Ldo {
         };
         // Loop transmission L = v(tap); negate for the standard phase
         // reference (negative feedback -> arg(-L) starts near 0).
-        let lmag: Vec<f64> = (0..lfreqs.len()).map(|i| ac_l.voltage(i, vfb_ol).abs()).collect();
-        let lphase = measure::unwrap_phases(
-            (0..lfreqs.len()).map(|i| (-ac_l.voltage(i, vfb_ol)).arg()),
-        );
+        let lmag: Vec<f64> = (0..lfreqs.len())
+            .map(|i| ac_l.voltage(i, vfb_ol).abs())
+            .collect();
+        let lphase =
+            measure::unwrap_phases((0..lfreqs.len()).map(|i| (-ac_l.voltage(i, vfb_ol)).arg()));
         let dc_gain_db = measure::db(lmag[0]);
         let pm = measure::phase_margin(&lfreqs, &lmag, &lphase);
         let gm_db = measure::gain_margin_db(&lfreqs, &lmag, &lphase);
@@ -284,7 +338,10 @@ impl SizingProblem for Ldo {
             // technology card's KF; see EXPERIMENTS.md calibration note).
             (noise_rms - 10e-3) / 10e-3,
         ];
-        SpecResult { objective: iq, constraints }
+        SpecResult {
+            objective: iq,
+            constraints,
+        }
     }
 }
 
@@ -312,8 +369,16 @@ mod tests {
         let spec = ldo.evaluate(&ldo.nominal());
         assert!(!spec.is_failure(), "nominal LDO must simulate");
         // The regulation constraints are the core function.
-        assert!(spec.constraints[0] <= 0.0, "vout accuracy violated: {}", spec.constraints[0]);
-        assert!(spec.constraints[1] <= 0.0, "load regulation violated: {}", spec.constraints[1]);
+        assert!(
+            spec.constraints[0] <= 0.0,
+            "vout accuracy violated: {}",
+            spec.constraints[0]
+        );
+        assert!(
+            spec.constraints[1] <= 0.0,
+            "load regulation violated: {}",
+            spec.constraints[1]
+        );
     }
 
     #[test]
@@ -325,6 +390,10 @@ mod tests {
         // constraint must fail.
         x[5] = 200e3;
         let spec = ldo.evaluate(&x);
-        assert!(spec.constraints[0] > 0.0, "vout accuracy should fail: {}", spec.constraints[0]);
+        assert!(
+            spec.constraints[0] > 0.0,
+            "vout accuracy should fail: {}",
+            spec.constraints[0]
+        );
     }
 }

@@ -50,11 +50,18 @@ impl Default for LevelShifter {
 impl LevelShifter {
     /// Creates the problem on the generic advanced-node technology.
     pub fn new() -> Self {
-        let mut opts = SimOptions::default();
         // Cross-coupled (bistable) circuits need gentler Newton steps.
-        opts.max_nr_iters = 400;
-        opts.v_limit = 0.25;
-        LevelShifter { tech: tech_advanced(), opts, parasitics: ParasiticConfig::default(), c_load: 10e-15 }
+        let opts = SimOptions {
+            max_nr_iters: 400,
+            v_limit: 0.25,
+            ..Default::default()
+        };
+        LevelShifter {
+            tech: tech_advanced(),
+            opts,
+            parasitics: ParasiticConfig::default(),
+            c_load: 10e-15,
+        }
     }
 
     /// A hand-tuned near-feasible design.
@@ -64,26 +71,31 @@ impl LevelShifter {
     pub fn nominal(&self) -> Vec<f64> {
         let u = 1e-6;
         vec![
-            0.4 * u,  // input inverter NMOS
-            0.8 * u,  // input inverter PMOS
-            4.0 * u,  // pull-down 1
-            4.0 * u,  // pull-down 2
-            0.2 * u,  // cross PMOS 1
-            0.2 * u,  // cross PMOS 2
-            0.5 * u,  // buffer1 NMOS
-            1.0 * u,  // buffer1 PMOS
-            1.0 * u,  // buffer2 NMOS
-            2.0 * u,  // buffer2 PMOS
-            1.0 * u,  // decap-L width      (non-critical)
-            0.1e-6,   // decap-L length     (non-critical)
-            1.0 * u,  // decap-H width      (non-critical)
-            0.1e-6,   // decap-H length     (non-critical)
-            0.3 * u,  // dummy load width   (non-critical)
-            0.02e-6,  // pull-down length   (critical)
+            0.4 * u, // input inverter NMOS
+            0.8 * u, // input inverter PMOS
+            4.0 * u, // pull-down 1
+            4.0 * u, // pull-down 2
+            0.2 * u, // cross PMOS 1
+            0.2 * u, // cross PMOS 2
+            0.5 * u, // buffer1 NMOS
+            1.0 * u, // buffer1 PMOS
+            1.0 * u, // buffer2 NMOS
+            2.0 * u, // buffer2 PMOS
+            1.0 * u, // decap-L width      (non-critical)
+            0.1e-6,  // decap-L length     (non-critical)
+            1.0 * u, // decap-H width      (non-critical)
+            0.1e-6,  // decap-H length     (non-critical)
+            0.3 * u, // dummy load width   (non-critical)
+            0.02e-6, // pull-down length   (critical)
         ]
     }
 
-    fn build(&self, x: &[f64], vddl_v: f64, vddh_v: f64) -> Result<(Circuit, usize, usize), SpiceError> {
+    fn build(
+        &self,
+        x: &[f64],
+        vddl_v: f64,
+        vddh_v: f64,
+    ) -> Result<(Circuit, usize, usize), SpiceError> {
         let t = &self.tech;
         let l = t.l_min;
         let l_pd = x[15].max(t.l_min);
@@ -123,8 +135,28 @@ impl LevelShifter {
         ckt.add_mosfet("M_dummy", out, GND, GND, GND, &t.nmos, x[14], l, 1.0)?;
         // Rail decap arrays: the "arrayed instances" that dominate the
         // expanded device count (~600 each).
-        ckt.add_mosfet("M_decL", GND, vddl, GND, GND, &t.nmos, x[10], x[11].max(l), 595.0)?;
-        ckt.add_mosfet("M_decH", GND, vddh, GND, GND, &t.nmos, x[12], x[13].max(l), 595.0)?;
+        ckt.add_mosfet(
+            "M_decL",
+            GND,
+            vddl,
+            GND,
+            GND,
+            &t.nmos,
+            x[10],
+            x[11].max(l),
+            595.0,
+        )?;
+        ckt.add_mosfet(
+            "M_decH",
+            GND,
+            vddh,
+            GND,
+            GND,
+            &t.nmos,
+            x[12],
+            x[13].max(l),
+            595.0,
+        )?;
         apply_parasitics(&mut ckt, &self.parasitics)?;
         Ok((ckt, inp, out))
     }
@@ -133,7 +165,9 @@ impl LevelShifter {
     /// paper's Table V.
     pub fn device_count(&self) -> f64 {
         let x = self.nominal();
-        self.build(&x, 0.45, 0.75).map(|(c, _, _)| c.expanded_mosfet_count()).unwrap_or(0.0)
+        self.build(&x, 0.45, 0.75)
+            .map(|(c, _, _)| c.expanded_mosfet_count())
+            .unwrap_or(0.0)
     }
 }
 
@@ -204,7 +238,7 @@ impl SizingProblem for LevelShifter {
                 _ => {
                     // Functional failure at this corner: all ten corner
                     // constraints heavily violated.
-                    constraints.extend(std::iter::repeat(3.0).take(10));
+                    constraints.extend(std::iter::repeat_n(3.0, 10));
                     continue;
                 }
             };
@@ -266,7 +300,10 @@ impl SizingProblem for LevelShifter {
             constraints.push((i_peak - 4e-3) / 4e-3); // contention peak
             constraints.push((energy - 150e-15) / 150e-15); // energy per cycle
         }
-        SpecResult { objective: energy_total * 1e12, constraints }
+        SpecResult {
+            objective: energy_total * 1e12,
+            constraints,
+        }
     }
 }
 

@@ -31,7 +31,11 @@ pub fn crossing_frequency(freqs: &[f64], mags: &[f64], level: f64) -> Option<f64
         if m0 >= level && m1 < level {
             // Interpolate in log-frequency / log-magnitude space.
             let (l0, l1) = (m0.max(1e-30).ln(), m1.max(1e-30).ln());
-            let t = if (l1 - l0).abs() < 1e-30 { 0.0 } else { (level.ln() - l0) / (l1 - l0) };
+            let t = if (l1 - l0).abs() < 1e-30 {
+                0.0
+            } else {
+                (level.ln() - l0) / (l1 - l0)
+            };
             let (f0, f1) = (freqs[i - 1].ln(), freqs[i].ln());
             return Some((f0 + t * (f1 - f0)).exp());
         }
@@ -95,9 +99,17 @@ pub fn gain_margin_db(freqs: &[f64], mags: &[f64], phases: &[f64]) -> Option<f64
 pub fn crossing_time(wave: &[(f64, f64)], level: f64, rising: bool) -> Option<f64> {
     for w in wave.windows(2) {
         let ((t0, v0), (t1, v1)) = (w[0], w[1]);
-        let crossed = if rising { v0 < level && v1 >= level } else { v0 > level && v1 <= level };
+        let crossed = if rising {
+            v0 < level && v1 >= level
+        } else {
+            v0 > level && v1 <= level
+        };
         if crossed {
-            let t = if (v1 - v0).abs() < 1e-300 { 0.0 } else { (level - v0) / (v1 - v0) };
+            let t = if (v1 - v0).abs() < 1e-300 {
+                0.0
+            } else {
+                (level - v0) / (v1 - v0)
+            };
             return Some(t0 + t * (t1 - t0));
         }
     }
@@ -198,7 +210,9 @@ mod tests {
     #[test]
     fn ugf_of_one_pole_system() {
         // A0 = 1000, fp = 1 kHz → UGF ≈ 1 MHz.
-        let freqs: Vec<f64> = (0..140).map(|i| 10f64.powf(1.0 + i as f64 * 0.05)).collect();
+        let freqs: Vec<f64> = (0..140)
+            .map(|i| 10f64.powf(1.0 + i as f64 * 0.05))
+            .collect();
         let mags: Vec<f64> = freqs.iter().map(|&f| one_pole(f, 1000.0, 1e3).0).collect();
         let ugf = unity_gain_frequency(&freqs, &mags).unwrap();
         assert!((ugf / 1e6 - 1.0).abs() < 0.02, "ugf {ugf}");
@@ -206,7 +220,9 @@ mod tests {
 
     #[test]
     fn phase_margin_of_one_pole_is_ninety() {
-        let freqs: Vec<f64> = (0..160).map(|i| 10f64.powf(1.0 + i as f64 * 0.05)).collect();
+        let freqs: Vec<f64> = (0..160)
+            .map(|i| 10f64.powf(1.0 + i as f64 * 0.05))
+            .collect();
         let mags: Vec<f64> = freqs.iter().map(|&f| one_pole(f, 1000.0, 1e3).0).collect();
         let phases: Vec<f64> = freqs.iter().map(|&f| one_pole(f, 1000.0, 1e3).1).collect();
         let pm = phase_margin(&freqs, &mags, &phases).unwrap();
@@ -218,7 +234,9 @@ mod tests {
         // Three identical poles at 1 kHz: phase hits -180° at √3·fp where
         // each pole contributes 60°; |H| there = a0/8.
         let a0 = 100.0;
-        let freqs: Vec<f64> = (0..200).map(|i| 10f64.powf(1.0 + i as f64 * 0.03)).collect();
+        let freqs: Vec<f64> = (0..200)
+            .map(|i| 10f64.powf(1.0 + i as f64 * 0.03))
+            .collect();
         let resp = |f: f64| {
             let w: f64 = f / 1e3;
             let mag = a0 / (1.0 + w * w).powf(1.5);
@@ -244,8 +262,9 @@ mod tests {
     #[test]
     fn settling_time_of_exponential() {
         // v(t) = 1 - e^-t, tol 0.01 → settles at t = ln(100) ≈ 4.605.
-        let wave: Vec<(f64, f64)> =
-            (0..1000).map(|i| (i as f64 * 0.01, 1.0 - (-i as f64 * 0.01).exp())).collect();
+        let wave: Vec<(f64, f64)> = (0..1000)
+            .map(|i| (i as f64 * 0.01, 1.0 - (-i as f64 * 0.01).exp()))
+            .collect();
         let ts = settling_time(&wave, 0.0, 1.0, 0.01).unwrap();
         assert!((ts - 4.605).abs() < 0.02, "ts {ts}");
     }

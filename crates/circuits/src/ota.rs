@@ -82,9 +82,25 @@ impl OtaParams {
 
 /// Names of the 19 saturation-checked devices (per Eq. 9's region list).
 const SAT_DEVICES: [&str; 19] = [
-    "M_inP", "M_inN", "M_tail", "MP_srcL", "MP_srcR", "MP_casL", "MP_casR", "MN_casL", "MN_casR",
-    "MN_snkL", "MN_snkR", "MN_drvL", "MN_drvR", "MP_ld2L", "MP_ld2R", "M_cmfbA", "M_cmfbB",
-    "M_cmfbTail", "M_cmfbInj",
+    "M_inP",
+    "M_inN",
+    "M_tail",
+    "MP_srcL",
+    "MP_srcR",
+    "MP_casL",
+    "MP_casR",
+    "MN_casL",
+    "MN_casR",
+    "MN_snkL",
+    "MN_snkR",
+    "MN_drvL",
+    "MN_drvR",
+    "MP_ld2L",
+    "MP_ld2R",
+    "M_cmfbA",
+    "M_cmfbB",
+    "M_cmfbTail",
+    "M_cmfbInj",
 ];
 
 /// The folded-cascode OTA sizing problem (paper Table I / Eq. 9).
@@ -119,9 +135,16 @@ impl Default for FoldedCascodeOta {
 impl FoldedCascodeOta {
     /// Creates the problem on the generic 180nm-class technology.
     pub fn new() -> Self {
-        let mut opts = SimOptions::default();
-        opts.max_nr_iters = 200;
-        FoldedCascodeOta { tech: tech_180nm(), opts, vcm: 0.9, iref: 10e-6 }
+        let opts = SimOptions {
+            max_nr_iters: 200,
+            ..Default::default()
+        };
+        FoldedCascodeOta {
+            tech: tech_180nm(),
+            opts,
+            vcm: 0.9,
+            iref: 10e-6,
+        }
     }
 
     /// A hand-tuned design that meets (or closely approaches) every Eq. 9
@@ -159,7 +182,11 @@ impl FoldedCascodeOta {
 
     /// Builds the amplifier core into `ckt`. Returns the key node ids:
     /// `(inp, inn, out_p, out_n)`.
-    fn build_core(&self, ckt: &mut Circuit, p: &OtaParams) -> Result<(usize, usize, usize, usize), SpiceError> {
+    fn build_core(
+        &self,
+        ckt: &mut Circuit,
+        p: &OtaParams,
+    ) -> Result<(usize, usize, usize, usize), SpiceError> {
         let t = &self.tech;
         let vdd = ckt.node("vdd");
         ckt.add_vsource("VDD", vdd, GND, Waveform::Dc(t.vdd))?;
@@ -188,41 +215,83 @@ impl FoldedCascodeOta {
         // vbp2: two stacked PMOS diodes (cascode gate level).
         let midp = ckt.node("bias_midp");
         ckt.add_mosfet("MB_p2a", midp, midp, vdd, vdd, &t.pmos, p.w[4], p.l[4], 2.0)?;
-        ckt.add_mosfet("MB_p2b", vbp2, vbp2, midp, vdd, &t.pmos, p.w[4], p.l[4], 2.0)?;
+        ckt.add_mosfet(
+            "MB_p2b", vbp2, vbp2, midp, vdd, &t.pmos, p.w[4], p.l[4], 2.0,
+        )?;
         ckt.add_isource("IB2", vbp2, GND, Waveform::Dc(self.iref))?;
         // vbn2: two stacked NMOS diodes (vbn2 ≈ 2·vgs).
         let midn = ckt.node("bias_midn");
         ckt.add_mosfet("MB_n2a", midn, midn, GND, GND, &t.nmos, p.w[1], p.l[1], 2.0)?;
-        ckt.add_mosfet("MB_n2b", vbn2, vbn2, midn, GND, &t.nmos, p.w[1], p.l[1], 2.0)?;
+        ckt.add_mosfet(
+            "MB_n2b", vbn2, vbn2, midn, GND, &t.nmos, p.w[1], p.l[1], 2.0,
+        )?;
         ckt.add_isource("IB3", vdd, vbn2, Waveform::Dc(self.iref))?;
         // vbn: NMOS mirror gate for the CMFB tail.
         ckt.add_mosfet("MB_n1", vbn, vbn, GND, GND, &t.nmos, p.w[1], p.l[1], 1.0)?;
         ckt.add_isource("IB4", vdd, vbn, Waveform::Dc(self.iref))?;
 
         // ---- Stage 1: PMOS-input folded cascode.
-        ckt.add_mosfet("M_tail", tail, vbp1, vdd, vdd, &t.pmos, p.w[0], p.l[0], 2.0 * p.n1)?;
-        ckt.add_mosfet("M_inP", fold_l, inp, tail, vdd, &t.pmos, p.w[0], p.l[0], p.n1)?;
-        ckt.add_mosfet("M_inN", fold_r, inn, tail, vdd, &t.pmos, p.w[0], p.l[0], p.n1)?;
+        ckt.add_mosfet(
+            "M_tail",
+            tail,
+            vbp1,
+            vdd,
+            vdd,
+            &t.pmos,
+            p.w[0],
+            p.l[0],
+            2.0 * p.n1,
+        )?;
+        ckt.add_mosfet(
+            "M_inP", fold_l, inp, tail, vdd, &t.pmos, p.w[0], p.l[0], p.n1,
+        )?;
+        ckt.add_mosfet(
+            "M_inN", fold_r, inn, tail, vdd, &t.pmos, p.w[0], p.l[0], p.n1,
+        )?;
         // Top PMOS current sources and cascodes.
-        ckt.add_mosfet("MP_srcL", srcp_l, vbp1, vdd, vdd, &t.pmos, p.w[3], p.l[3], p.n2)?;
-        ckt.add_mosfet("MP_srcR", srcp_r, vbp1, vdd, vdd, &t.pmos, p.w[3], p.l[3], p.n2)?;
-        ckt.add_mosfet("MP_casL", out1_l, vbp2, srcp_l, vdd, &t.pmos, p.w[4], p.l[4], p.n2)?;
-        ckt.add_mosfet("MP_casR", out1_r, vbp2, srcp_r, vdd, &t.pmos, p.w[4], p.l[4], p.n2)?;
+        ckt.add_mosfet(
+            "MP_srcL", srcp_l, vbp1, vdd, vdd, &t.pmos, p.w[3], p.l[3], p.n2,
+        )?;
+        ckt.add_mosfet(
+            "MP_srcR", srcp_r, vbp1, vdd, vdd, &t.pmos, p.w[3], p.l[3], p.n2,
+        )?;
+        ckt.add_mosfet(
+            "MP_casL", out1_l, vbp2, srcp_l, vdd, &t.pmos, p.w[4], p.l[4], p.n2,
+        )?;
+        ckt.add_mosfet(
+            "MP_casR", out1_r, vbp2, srcp_r, vdd, &t.pmos, p.w[4], p.l[4], p.n2,
+        )?;
         // Bottom NMOS cascodes and mirror-biased sinks (gate vbn_snk comes
         // from the replica + CMFB-injection branch below).
         let vbn_snk = ckt.node("vbn_snk");
-        ckt.add_mosfet("MN_casL", out1_l, vbn2, fold_l, GND, &t.nmos, p.w[1], p.l[1], p.n2)?;
-        ckt.add_mosfet("MN_casR", out1_r, vbn2, fold_r, GND, &t.nmos, p.w[1], p.l[1], p.n2)?;
+        ckt.add_mosfet(
+            "MN_casL", out1_l, vbn2, fold_l, GND, &t.nmos, p.w[1], p.l[1], p.n2,
+        )?;
+        ckt.add_mosfet(
+            "MN_casR", out1_r, vbn2, fold_r, GND, &t.nmos, p.w[1], p.l[1], p.n2,
+        )?;
         let snk_m = p.n1 + p.n2;
-        ckt.add_mosfet("MN_snkL", fold_l, vbn_snk, GND, GND, &t.nmos, p.w[2], p.l[2], snk_m)?;
-        ckt.add_mosfet("MN_snkR", fold_r, vbn_snk, GND, GND, &t.nmos, p.w[2], p.l[2], snk_m)?;
+        ckt.add_mosfet(
+            "MN_snkL", fold_l, vbn_snk, GND, GND, &t.nmos, p.w[2], p.l[2], snk_m,
+        )?;
+        ckt.add_mosfet(
+            "MN_snkR", fold_r, vbn_snk, GND, GND, &t.nmos, p.w[2], p.l[2], snk_m,
+        )?;
 
         // ---- Stage 2 (inverting common source per side):
         // left first-stage output drives the *P* output.
-        ckt.add_mosfet("MN_drvL", out_p, out1_l, GND, GND, &t.nmos, p.w[5], p.l[5], p.n9)?;
-        ckt.add_mosfet("MN_drvR", out_n, out1_r, GND, GND, &t.nmos, p.w[5], p.l[5], p.n9)?;
-        ckt.add_mosfet("MP_ld2L", out_p, vbp1, vdd, vdd, &t.pmos, p.w[6], p.l[6], p.n8)?;
-        ckt.add_mosfet("MP_ld2R", out_n, vbp1, vdd, vdd, &t.pmos, p.w[6], p.l[6], p.n8)?;
+        ckt.add_mosfet(
+            "MN_drvL", out_p, out1_l, GND, GND, &t.nmos, p.w[5], p.l[5], p.n9,
+        )?;
+        ckt.add_mosfet(
+            "MN_drvR", out_n, out1_r, GND, GND, &t.nmos, p.w[5], p.l[5], p.n9,
+        )?;
+        ckt.add_mosfet(
+            "MP_ld2L", out_p, vbp1, vdd, vdd, &t.pmos, p.w[6], p.l[6], p.n8,
+        )?;
+        ckt.add_mosfet(
+            "MP_ld2R", out_n, vbp1, vdd, vdd, &t.pmos, p.w[6], p.l[6], p.n8,
+        )?;
         // Miller compensation with a fixed 2 kΩ nulling resistor (pushes
         // the right-half-plane zero into the left half plane for any
         // second-stage gm above ~0.5 mS) and output loads.
@@ -252,9 +321,21 @@ impl FoldedCascodeOta {
         // must stay below what the top sources can deliver, otherwise the
         // first stage latches with the folds on the ground rail. The CMFB
         // injection below makes up the input-pair share at balance.
-        ckt.add_mosfet("M_repSrc", vbn_snk, vbp1, vdd, vdd, &t.pmos, p.w[3], p.l[3], 0.95 * p.n2)?;
+        ckt.add_mosfet(
+            "M_repSrc",
+            vbn_snk,
+            vbp1,
+            vdd,
+            vdd,
+            &t.pmos,
+            p.w[3],
+            p.l[3],
+            0.95 * p.n2,
+        )?;
         // Sink-bias diode, same geometry and multiplier as each sink.
-        ckt.add_mosfet("M_snkDio", vbn_snk, vbn_snk, GND, GND, &t.nmos, p.w[2], p.l[2], snk_m)?;
+        ckt.add_mosfet(
+            "M_snkDio", vbn_snk, vbn_snk, GND, GND, &t.nmos, p.w[2], p.l[2], snk_m,
+        )?;
         // (b) CMFB error amp: NMOS pair comparing the sensed output CM with
         // VREF; the VREF-side current is mirrored into the diode branch, so
         // the correction is bounded by the CMFB tail current.
@@ -265,19 +346,63 @@ impl FoldedCascodeOta {
         let cm_tail = ckt.node("cm_tail");
         let cm_d1 = ckt.node("cm_d1");
         let cmfb_tail_m = 0.5 * snk_m;
-        ckt.add_mosfet("M_cmfbTail", cm_tail, vbn, GND, GND, &t.nmos, p.w[1], p.l[1], cmfb_tail_m)?;
+        ckt.add_mosfet(
+            "M_cmfbTail",
+            cm_tail,
+            vbn,
+            GND,
+            GND,
+            &t.nmos,
+            p.w[1],
+            p.l[1],
+            cmfb_tail_m,
+        )?;
         // vsense down => more current in the VREF-side device? No: the
         // sense-side device steals tail current as vsense rises, so the
         // VREF-side current *falls* with rising output CM — injected into
         // the sink diode this lowers the sink current and lets the outputs
         // come back down through the two inverting stages.
-        ckt.add_mosfet("M_cmfbA", cm_d1, vref, cm_tail, GND, &t.nmos, p.w[1], p.l[1], 1.0)?;
+        ckt.add_mosfet(
+            "M_cmfbA", cm_d1, vref, cm_tail, GND, &t.nmos, p.w[1], p.l[1], 1.0,
+        )?;
         let cm_dump = ckt.node("cm_dump");
-        ckt.add_mosfet("M_cmfbB", cm_dump, vsense, cm_tail, GND, &t.nmos, p.w[1], p.l[1], 1.0)?;
+        ckt.add_mosfet(
+            "M_cmfbB", cm_dump, vsense, cm_tail, GND, &t.nmos, p.w[1], p.l[1], 1.0,
+        )?;
         // Dump side terminates in a diode so the device stays biased.
-        ckt.add_mosfet("M_cmfbDump", cm_dump, cm_dump, vdd, vdd, &t.pmos, p.w[3], p.l[3], 1.0)?;
-        ckt.add_mosfet("M_cmfbMirD", cm_d1, cm_d1, vdd, vdd, &t.pmos, p.w[3], p.l[3], 1.0)?;
-        ckt.add_mosfet("M_cmfbInj", vbn_snk, cm_d1, vdd, vdd, &t.pmos, p.w[3], p.l[3], 1.0)?;
+        ckt.add_mosfet(
+            "M_cmfbDump",
+            cm_dump,
+            cm_dump,
+            vdd,
+            vdd,
+            &t.pmos,
+            p.w[3],
+            p.l[3],
+            1.0,
+        )?;
+        ckt.add_mosfet(
+            "M_cmfbMirD",
+            cm_d1,
+            cm_d1,
+            vdd,
+            vdd,
+            &t.pmos,
+            p.w[3],
+            p.l[3],
+            1.0,
+        )?;
+        ckt.add_mosfet(
+            "M_cmfbInj",
+            vbn_snk,
+            cm_d1,
+            vdd,
+            vdd,
+            &t.pmos,
+            p.w[3],
+            p.l[3],
+            1.0,
+        )?;
         // Small stabilizing cap on the sink-bias node.
         ckt.add_capacitor("C_cmfb", vbn_snk, GND, 50e-15)?;
 
@@ -295,7 +420,11 @@ impl FoldedCascodeOta {
     }
 
     /// Builds the closed-loop (resistive gain −1) step testbench.
-    fn build_closed_loop(&self, p: &OtaParams, step: f64) -> Result<(Circuit, usize, usize), SpiceError> {
+    fn build_closed_loop(
+        &self,
+        p: &OtaParams,
+        step: f64,
+    ) -> Result<(Circuit, usize, usize), SpiceError> {
         let mut ckt = Circuit::new();
         let (inp, inn, out_p, out_n) = self.build_core(&mut ckt, p)?;
         let vin_p = ckt.node("vin_p");
@@ -312,22 +441,44 @@ impl FoldedCascodeOta {
             "VSP",
             vin_p,
             GND,
-            Waveform::pulse(self.vcm, self.vcm + step / 2.0, 100e-9, 1e-9, 1e-9, 1.0, f64::INFINITY),
+            Waveform::pulse(
+                self.vcm,
+                self.vcm + step / 2.0,
+                100e-9,
+                1e-9,
+                1e-9,
+                1.0,
+                f64::INFINITY,
+            ),
         )?;
         ckt.add_vsource(
             "VSN",
             vin_n,
             GND,
-            Waveform::pulse(self.vcm, self.vcm - step / 2.0, 100e-9, 1e-9, 1e-9, 1.0, f64::INFINITY),
+            Waveform::pulse(
+                self.vcm,
+                self.vcm - step / 2.0,
+                100e-9,
+                1e-9,
+                1e-9,
+                1.0,
+                f64::INFINITY,
+            ),
         )?;
         Ok((ckt, out_p, out_n))
     }
 
     /// Estimated differential output swing from operating-point headrooms.
     fn output_swing(&self, op: &OpPoint) -> f64 {
-        let vdsat_p = op.mos_op("MP_ld2L").map(|m| m.vdsat).unwrap_or(1.0)
+        let vdsat_p = op
+            .mos_op("MP_ld2L")
+            .map(|m| m.vdsat)
+            .unwrap_or(1.0)
             .max(op.mos_op("MP_ld2R").map(|m| m.vdsat).unwrap_or(1.0));
-        let vdsat_n = op.mos_op("MN_drvL").map(|m| m.vdsat).unwrap_or(1.0)
+        let vdsat_n = op
+            .mos_op("MN_drvL")
+            .map(|m| m.vdsat)
+            .unwrap_or(1.0)
             .max(op.mos_op("MN_drvR").map(|m| m.vdsat).unwrap_or(1.0));
         2.0 * (self.tech.vdd - vdsat_p - vdsat_n).max(0.0)
     }
@@ -533,7 +684,10 @@ impl SizingProblem for FoldedCascodeOta {
             constraints.push(at_most(-margin, 0.0, 0.1));
         }
 
-        SpecResult { objective: power, constraints }
+        SpecResult {
+            objective: power,
+            constraints,
+        }
     }
 }
 
@@ -593,8 +747,14 @@ impl FoldedCascodeOta {
         // Closed-loop output noise (the spec's configuration).
         let (cl, cout_p, cout_n) = self.build_closed_loop(&p, 0.5)?;
         let op_cl = spice::op(&cl, &self.opts)?;
-        let nres =
-            spice::noise(&cl, &self.opts, &op_cl, cout_p, cout_n, &spice::log_freqs(1e3, 1e8, 4))?;
+        let nres = spice::noise(
+            &cl,
+            &self.opts,
+            &op_cl,
+            cout_p,
+            cout_n,
+            &spice::log_freqs(1e3, 1e8, 4),
+        )?;
         let dc_gain_db = measure::db(mag[0]);
         let a_cm = (ac_cm.voltage(0, out_p) + ac_cm.voltage(0, out_n)).abs() / 2.0;
         let a_ps = (ac_ps.voltage(0, out_p) + ac_ps.voltage(0, out_n)).abs() / 2.0;
@@ -653,8 +813,10 @@ impl FoldedCascodeOta {
         };
         match spice::op(&ol, &self.opts) {
             Ok(op) => {
-                for node in ["vdd", "tail", "fold_l", "srcp_l", "out1_l", "out1_r", "out_p",
-                             "out_n", "vcmfb", "vsense", "vbp1", "vbp2", "vbn2", "vbn"] {
+                for node in [
+                    "vdd", "tail", "fold_l", "srcp_l", "out1_l", "out1_r", "out_p", "out_n",
+                    "vcmfb", "vsense", "vbp1", "vbp2", "vbn2", "vbn",
+                ] {
                     if let Ok(id) = ol.find_node(node) {
                         println!("V({node}) = {:.4}", op.voltage(id));
                     }
@@ -711,7 +873,11 @@ mod tests {
     fn nominal_design_simulates_and_reports() {
         let ota = FoldedCascodeOta::new();
         let rep = ota.report(&ota.nominal()).expect("nominal must simulate");
-        assert!(rep.power > 10e-6 && rep.power < 20e-3, "power {}", rep.power);
+        assert!(
+            rep.power > 10e-6 && rep.power < 20e-3,
+            "power {}",
+            rep.power
+        );
         assert!(rep.dc_gain_db > 40.0, "gain {}", rep.dc_gain_db);
         assert!(rep.ugf.is_some(), "must cross unity");
         assert!(rep.min_sat_margin > -0.5, "margins {}", rep.min_sat_margin);

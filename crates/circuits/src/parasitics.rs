@@ -30,7 +30,10 @@ pub struct ParasiticConfig {
 impl Default for ParasiticConfig {
     fn default() -> Self {
         // Advanced-node-like numbers: ~0.2 fF per terminal, 0.15 fF/µm.
-        ParasiticConfig { cap_per_terminal: 0.2e-15, cap_per_width: 0.15e-9 }
+        ParasiticConfig {
+            cap_per_terminal: 0.2e-15,
+            cap_per_width: 0.15e-9,
+        }
     }
 }
 
@@ -48,7 +51,9 @@ pub fn apply_parasitics(circuit: &mut Circuit, cfg: &ParasiticConfig) -> Result<
     let mut cap = vec![0.0_f64; n];
     for dev in circuit.devices() {
         match dev {
-            Device::Mosfet { d, g, s, b, w, m, .. } => {
+            Device::Mosfet {
+                d, g, s, b, w, m, ..
+            } => {
                 for &t in &[*d, *g, *s, *b] {
                     cap[t] += cfg.cap_per_terminal + cfg.cap_per_width * w * m;
                 }
@@ -85,8 +90,10 @@ mod tests {
         let out = c.node("out");
         c.add_vsource("VDD", vdd, GND, Waveform::Dc(t.vdd)).unwrap();
         c.add_vsource("VIN", inp, GND, Waveform::Dc(0.0)).unwrap();
-        c.add_mosfet("MN", out, inp, GND, GND, &t.nmos, 1e-6, 0.02e-6, 1.0).unwrap();
-        c.add_mosfet("MP", out, inp, vdd, vdd, &t.pmos, 2e-6, 0.02e-6, 1.0).unwrap();
+        c.add_mosfet("MN", out, inp, GND, GND, &t.nmos, 1e-6, 0.02e-6, 1.0)
+            .unwrap();
+        c.add_mosfet("MP", out, inp, vdd, vdd, &t.pmos, 2e-6, 0.02e-6, 1.0)
+            .unwrap();
         c
     }
 
@@ -106,9 +113,13 @@ mod tests {
         let total_cap = |w: f64| {
             let mut c = Circuit::new();
             let a = c.node("a");
-            c.add_mosfet("M1", a, a, GND, GND, &t.nmos, w, 0.02e-6, 1.0).unwrap();
+            c.add_mosfet("M1", a, a, GND, GND, &t.nmos, w, 0.02e-6, 1.0)
+                .unwrap();
             apply_parasitics(&mut c, &cfg).unwrap();
-            c.capacitive_elements().iter().map(|&(_, _, cc)| cc).sum::<f64>()
+            c.capacitive_elements()
+                .iter()
+                .map(|&(_, _, cc)| cc)
+                .sum::<f64>()
         };
         assert!(total_cap(10e-6) > total_cap(1e-6));
     }
@@ -129,9 +140,13 @@ mod tests {
         let cap_of = |m: f64| {
             let mut c = Circuit::new();
             let a = c.node("a");
-            c.add_mosfet("M1", a, a, GND, GND, &t.nmos, 1e-6, 0.02e-6, m).unwrap();
+            c.add_mosfet("M1", a, a, GND, GND, &t.nmos, 1e-6, 0.02e-6, m)
+                .unwrap();
             apply_parasitics(&mut c, &cfg).unwrap();
-            c.capacitive_elements().iter().map(|&(_, _, cc)| cc).sum::<f64>()
+            c.capacitive_elements()
+                .iter()
+                .map(|&(_, _, cc)| cc)
+                .sum::<f64>()
         };
         assert!(cap_of(100.0) > cap_of(1.0) * 10.0);
     }

@@ -52,7 +52,13 @@ pub fn tech_180nm() -> Technology {
         kf: 1.5e-25,
         ..nmos.clone()
     };
-    Technology { name: "generic-180nm", nmos, pmos, vdd: 1.8, l_min: 0.18e-6 }
+    Technology {
+        name: "generic-180nm",
+        nmos,
+        pmos,
+        vdd: 1.8,
+        l_min: 0.18e-6,
+    }
 }
 
 /// Generic advanced-node-class process (0.75 V) used by the industrial
@@ -81,7 +87,13 @@ pub fn tech_advanced() -> Technology {
         kf: 3.0e-25,
         ..nmos.clone()
     };
-    Technology { name: "generic-advanced", nmos, pmos, vdd: 0.75, l_min: 0.02e-6 }
+    Technology {
+        name: "generic-advanced",
+        nmos,
+        pmos,
+        vdd: 0.75,
+        l_min: 0.02e-6,
+    }
 }
 
 #[cfg(test)]

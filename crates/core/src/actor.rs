@@ -2,7 +2,7 @@
 //! critic (paper Eq. 5 and Eq. 6).
 
 use linalg::Matrix;
-use nn::{Activation, Adam, Mlp};
+use nn::{Activation, Adam, Mlp, TrainWorkspace};
 use opt::Fom;
 use rand::Rng;
 
@@ -41,7 +41,10 @@ impl Actor {
         assert!(!batch.is_empty(), "cannot train an actor without a batch");
         let d = critic.dim();
         assert_eq!(batch[0].len(), d, "batch dimension mismatch");
-        assert!(lb_rest.len() == d && ub_rest.len() == d, "bounds dimension mismatch");
+        assert!(
+            lb_rest.len() == d && ub_rest.len() == d,
+            "bounds dimension mismatch"
+        );
 
         let mut sizes = vec![d];
         for _ in 0..cfg.depth {
@@ -59,49 +62,63 @@ impl Actor {
         let nb = batch.len();
         let x_mat = Matrix::from_fn(nb, d, |i, j| batch[i][j]);
 
+        // Every per-epoch buffer — the actor's and critic's forward/backward
+        // state, the (x, Δx) batch, raw specs, and all gradient matrices —
+        // is allocated once here and reused for all `actor_epochs` steps.
+        let mut actor_ws = TrainWorkspace::new();
+        let mut critic_ws = TrainWorkspace::new();
+        let mut xdx = Matrix::default();
+        let mut raw = Matrix::default();
+        let mut grad_raw = Matrix::default();
+        let mut grad_scaled = Matrix::default();
+        let mut grad_dx = Matrix::default();
+        let mut fom_grad = vec![0.0; critic.num_specs()];
+
         for _ in 0..cfg.actor_epochs {
             // Forward: actor proposes Δx; critic evaluates (x, Δx).
-            let (dx, actor_cache) = net.forward_cached(&x_mat);
-            let mut xdx = Matrix::zeros(nb, 2 * d);
+            net.forward_ws(&x_mat, &mut actor_ws);
+            let dx = actor_ws.output();
+            xdx.reshape_zeroed(nb, 2 * d);
             for i in 0..nb {
-                for j in 0..d {
-                    xdx[(i, j)] = x_mat[(i, j)];
-                    xdx[(i, d + j)] = dx[(i, j)];
-                }
+                let row = xdx.row_mut(i);
+                row[..d].copy_from_slice(x_mat.row(i));
+                row[d..].copy_from_slice(dx.row(i));
             }
-            let (scaled_out, view) = critic.forward_scaled_cached(&xdx);
-            let raw = critic.unscale(&scaled_out);
+            critic.forward_scaled_ws(&xdx, &mut critic_ws, &mut raw);
 
             // dL/d(raw specs): FoM subgradient per row, averaged.
-            let mut grad_raw = Matrix::zeros(nb, raw.cols());
+            grad_raw.reshape_zeroed(nb, raw.cols());
             for i in 0..nb {
-                let (_, g) = fom.value_and_grad(raw.row(i));
-                for (j, gj) in g.iter().enumerate() {
-                    grad_raw[(i, j)] = gj / nb as f64;
+                fom.value_and_grad_into(raw.row(i), &mut fom_grad);
+                for (g, &gj) in grad_raw.row_mut(i).iter_mut().zip(&fom_grad) {
+                    *g = gj / nb as f64;
                 }
             }
             // Back through the critic to its inputs; keep the Δx half.
-            let grad_inputs = critic.input_gradient_raw(&view, &grad_raw);
-            let mut grad_dx = Matrix::zeros(nb, d);
+            let grad_inputs =
+                critic.backward_to_inputs_ws(&mut critic_ws, &grad_raw, &mut grad_scaled);
+            grad_dx.reshape_zeroed(nb, d);
             for i in 0..nb {
-                for j in 0..d {
-                    grad_dx[(i, j)] = grad_inputs[(i, d + j)];
-                }
+                grad_dx.row_mut(i).copy_from_slice(&grad_inputs.row(i)[d..]);
             }
             // Boundary-violation penalty (Eq. 6): viol = max(0, lb−(x+Δx))
             // + max(0, (x+Δx)−ub); L += ‖λ·viol‖² (mean over batch).
+            let dx = actor_ws.output();
             for i in 0..nb {
+                let grow = grad_dx.row_mut(i);
+                let xrow = x_mat.row(i);
+                let dxrow = dx.row(i);
                 for j in 0..d {
-                    let xn = x_mat[(i, j)] + dx[(i, j)];
+                    let xn = xrow[j] + dxrow[j];
                     let v_lb = (lb_rest[j] - xn).max(0.0);
                     let v_ub = (xn - ub_rest[j]).max(0.0);
                     let lam2 = cfg.lambda * cfg.lambda;
-                    grad_dx[(i, j)] += 2.0 * lam2 * (v_ub - v_lb) / nb as f64;
+                    grow[j] += 2.0 * lam2 * (v_ub - v_lb) / nb as f64;
                 }
             }
             // Backpropagate into the actor parameters only.
-            let (grads, _) = net.backward(&actor_cache, &grad_dx);
-            adam.step(&mut net, &grads);
+            net.backward_ws(&mut actor_ws, &grad_dx);
+            adam.step(&mut net, actor_ws.gradients());
         }
         Actor { net, dim: d }
     }
@@ -140,7 +157,11 @@ mod tests {
             fs.push(vec![f0]);
             xs.push(x);
         }
-        let cfg = DnnOptConfig { critic_epochs: 800, critic_batch: 256, ..Default::default() };
+        let cfg = DnnOptConfig {
+            critic_epochs: 800,
+            critic_batch: 256,
+            ..Default::default()
+        };
         let critic = Critic::train(&cfg, &xs, &fs, rng);
         (critic, xs, fs)
     }
@@ -150,13 +171,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let (critic, xs, fs) = bowl_setup(&mut rng);
         let fom = Fom::uniform(1.0, 0);
-        let cfg = DnnOptConfig { actor_epochs: 150, ..Default::default() };
+        let cfg = DnnOptConfig {
+            actor_epochs: 150,
+            ..Default::default()
+        };
         // Elite = best 10 designs by f0.
         let mut idx: Vec<usize> = (0..xs.len()).collect();
         idx.sort_by(|&a, &b| fs[a][0].partial_cmp(&fs[b][0]).unwrap());
         let elite: Vec<Vec<f64>> = idx[..10].iter().map(|&i| xs[i].clone()).collect();
-        let actor =
-            Actor::train(&cfg, &critic, &fom, &elite, &[0.0, 0.0], &[1.0, 1.0], &mut rng);
+        let actor = Actor::train(
+            &cfg,
+            &critic,
+            &fom,
+            &elite,
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            &mut rng,
+        );
         // Proposed steps should reduce the *true* objective for most of the
         // elite designs.
         let mut improved = 0;
@@ -183,7 +214,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         let (critic, xs, _) = bowl_setup(&mut rng);
         let fom = Fom::uniform(1.0, 0);
-        let cfg = DnnOptConfig { actor_epochs: 200, lambda: 100.0, ..Default::default() };
+        let cfg = DnnOptConfig {
+            actor_epochs: 200,
+            lambda: 100.0,
+            ..Default::default()
+        };
         // A tight restricted box around 0.6: the bowl minimum (0.3) lies
         // outside, so the unpenalized actor would walk out.
         let lb = [0.55, 0.55];
@@ -212,12 +247,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let (critic, xs, _) = bowl_setup(&mut rng);
         let fom = Fom::uniform(1.0, 0);
-        let cfg = DnnOptConfig { actor_epochs: 2, ..Default::default() };
+        let cfg = DnnOptConfig {
+            actor_epochs: 2,
+            ..Default::default()
+        };
         let actor = Actor::train(
             &cfg,
             &critic,
             &fom,
-            &xs[..5].to_vec(),
+            &xs[..5],
             &[0.0, 0.0],
             &[1.0, 1.0],
             &mut rng,

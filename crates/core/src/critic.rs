@@ -1,11 +1,11 @@
 //! The critic network: a SPICE proxy trained on pseudo-samples (Eq. 3).
 
 use linalg::Matrix;
-use nn::{Activation, Adam, Mlp, Scaler};
+use nn::{Activation, Adam, Mlp, Scaler, TrainWorkspace};
 use rand::Rng;
 
 use crate::config::DnnOptConfig;
-use crate::pseudo::{all_pseudo_samples, sample_pseudo_batch};
+use crate::pseudo::{all_pseudo_samples_into, sample_pseudo_batch_into};
 
 /// A trained critic: predicts the full spec vector `[f0, f1, …, fm]` of a
 /// design step `(x, Δx)` in unit-cube coordinates.
@@ -57,17 +57,33 @@ impl Critic {
         let mut net = Mlp::new(&sizes, Activation::Relu, rng);
         let mut adam = Adam::new(cfg.critic_lr);
 
+        // Every per-epoch buffer — pseudo-sample batch, scaled targets, and
+        // the network's forward/backward state — is allocated once here and
+        // reused for all `critic_epochs` gradient steps.
+        let mut inp = Matrix::default();
+        let mut raw_out = Matrix::default();
+        let mut out = Matrix::default();
+        let mut ws = TrainWorkspace::new();
         let full_pairs = n * n;
-        for _ in 0..cfg.critic_epochs {
-            let (inp, raw_out) = if full_pairs <= cfg.critic_batch {
-                all_pseudo_samples(xs, fs)
-            } else {
-                sample_pseudo_batch(xs, fs, cfg.critic_batch, rng)
-            };
-            let out = y_scaler.transform(&raw_out);
-            nn::train_step_mse(&mut net, &mut adam, &inp, &out);
+        let use_full_set = full_pairs <= cfg.critic_batch;
+        if use_full_set {
+            // The full N² Cartesian set is deterministic: build it once.
+            all_pseudo_samples_into(xs, fs, &mut inp, &mut raw_out);
+            y_scaler.transform_into(&raw_out, &mut out);
         }
-        Critic { net, y_scaler, dim: d, num_specs: mo }
+        for _ in 0..cfg.critic_epochs {
+            if !use_full_set {
+                sample_pseudo_batch_into(xs, fs, cfg.critic_batch, rng, &mut inp, &mut raw_out);
+                y_scaler.transform_into(&raw_out, &mut out);
+            }
+            nn::train_step_mse_ws(&mut net, &mut adam, &inp, &out, &mut ws);
+        }
+        Critic {
+            net,
+            y_scaler,
+            dim: d,
+            num_specs: mo,
+        }
     }
 
     /// Design dimensionality `d`.
@@ -101,39 +117,40 @@ impl Critic {
         self.predict(&m).row(0).to_vec()
     }
 
-    /// Forward pass returning the *scaled* outputs plus the cache needed to
-    /// backpropagate to the inputs — the critic-to-actor gradient path.
-    pub(crate) fn forward_scaled_cached(&self, xdx: &Matrix) -> (Matrix, ScaledView) {
-        let (out, cache) = self.net.forward_cached(xdx);
-        (out, ScaledView { cache, scales: self.y_scaler.scales().to_vec() })
+    /// Workspace forward pass: runs the critic on `xdx`, leaving the
+    /// *scaled* outputs and the backward-pass state in `ws`, and writes the
+    /// raw (unscaled) specs into `raw_out`. Allocation free once the
+    /// buffers are warm — the critic-to-actor gradient path.
+    pub(crate) fn forward_scaled_ws(
+        &self,
+        xdx: &Matrix,
+        ws: &mut TrainWorkspace,
+        raw_out: &mut Matrix,
+    ) {
+        self.net.forward_ws(xdx, ws);
+        self.y_scaler.inverse_transform_into(ws.output(), raw_out);
     }
 
     /// Gradient of a loss with respect to the critic *inputs*, given the
     /// loss gradient with respect to the critic's raw (unscaled) outputs.
-    pub(crate) fn input_gradient_raw(
+    /// Consumes the forward state left in `ws` by
+    /// [`Critic::forward_scaled_ws`]; the result is `ws.input_gradient()`.
+    pub(crate) fn backward_to_inputs_ws<'w>(
         &self,
-        view: &ScaledView,
+        ws: &'w mut TrainWorkspace,
         grad_raw_out: &Matrix,
-    ) -> Matrix {
+        grad_scaled: &mut Matrix,
+    ) -> &'w Matrix {
         // raw = scaled·σ + µ  =>  ∂L/∂scaled = ∂L/∂raw · σ.
-        let grad_scaled = Matrix::from_fn(grad_raw_out.rows(), grad_raw_out.cols(), |i, j| {
-            grad_raw_out[(i, j)] * view.scales[j]
-        });
-        self.net.input_gradient(&view.cache, &grad_scaled)
+        grad_scaled.copy_from(grad_raw_out);
+        let scales = self.y_scaler.scales();
+        let cols = grad_scaled.cols();
+        for (idx, g) in grad_scaled.as_mut_slice().iter_mut().enumerate() {
+            *g *= scales[idx % cols];
+        }
+        self.net.backward_ws(ws, grad_scaled);
+        ws.input_gradient()
     }
-
-    /// Inverse-transforms scaled outputs to raw specs (for use with
-    /// [`Critic::forward_scaled_cached`]).
-    pub(crate) fn unscale(&self, scaled: &Matrix) -> Matrix {
-        self.y_scaler.inverse_transform(scaled)
-    }
-}
-
-/// Opaque forward-pass state used by the actor trainer.
-#[derive(Debug, Clone)]
-pub(crate) struct ScaledView {
-    pub(crate) cache: nn::ForwardCache,
-    pub(crate) scales: Vec<f64>,
 }
 
 #[cfg(test)]
@@ -160,7 +177,11 @@ mod tests {
     fn critic_learns_quadratic_landscape() {
         let mut rng = StdRng::seed_from_u64(9);
         let (xs, fs) = synth_data(60, &mut rng);
-        let cfg = DnnOptConfig { critic_epochs: 600, critic_batch: 256, ..Default::default() };
+        let cfg = DnnOptConfig {
+            critic_epochs: 600,
+            critic_batch: 256,
+            ..Default::default()
+        };
         let critic = Critic::train(&cfg, &xs, &fs, &mut rng);
         // Predict at known designs with zero delta: should match own specs.
         let mut err = 0.0;
@@ -175,20 +196,37 @@ mod tests {
     fn critic_predicts_step_destinations() {
         let mut rng = StdRng::seed_from_u64(10);
         let (xs, fs) = synth_data(60, &mut rng);
-        let cfg = DnnOptConfig { critic_epochs: 600, critic_batch: 256, ..Default::default() };
+        let cfg = DnnOptConfig {
+            critic_epochs: 600,
+            critic_batch: 256,
+            ..Default::default()
+        };
         let critic = Critic::train(&cfg, &xs, &fs, &mut rng);
         // Predict a *step* from x0 to x1: must be close to f(x1).
         let dx: Vec<f64> = xs[1].iter().zip(&xs[0]).map(|(a, b)| a - b).collect();
         let pred = critic.predict_one(&xs[0], &dx);
-        assert!((pred[0] - fs[1][0]).abs() < 0.15, "{} vs {}", pred[0], fs[1][0]);
-        assert!((pred[1] - fs[1][1]).abs() < 0.15, "{} vs {}", pred[1], fs[1][1]);
+        assert!(
+            (pred[0] - fs[1][0]).abs() < 0.15,
+            "{} vs {}",
+            pred[0],
+            fs[1][0]
+        );
+        assert!(
+            (pred[1] - fs[1][1]).abs() < 0.15,
+            "{} vs {}",
+            pred[1],
+            fs[1][1]
+        );
     }
 
     #[test]
     fn shapes_are_enforced() {
         let mut rng = StdRng::seed_from_u64(11);
         let (xs, fs) = synth_data(10, &mut rng);
-        let cfg = DnnOptConfig { critic_epochs: 2, ..Default::default() };
+        let cfg = DnnOptConfig {
+            critic_epochs: 2,
+            ..Default::default()
+        };
         let critic = Critic::train(&cfg, &xs, &fs, &mut rng);
         assert_eq!(critic.dim(), 3);
         assert_eq!(critic.num_specs(), 2);

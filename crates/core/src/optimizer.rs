@@ -78,16 +78,16 @@ impl Optimizer for DnnOpt {
         let d = problem.dim();
         let mut ev = Evaluator::new(problem, fom, budget);
 
-        // Line 1: initial population.
+        // Line 1: initial population, evaluated as one parallel batch.
+        // Results are recorded in candidate order, so runs are identical
+        // for any thread count. Under FirstFeasible the whole batch is
+        // still simulated and recorded (batch semantics), unlike the old
+        // serial loop which returned mid-population.
         let n_init = cfg.n_init.min(budget);
-        for x in latin_hypercube(&mut rng, &lb, &ub, n_init) {
-            if ev.exhausted() {
-                break;
-            }
-            let e = ev.evaluate(&x);
-            if stop == StopPolicy::FirstFeasible && e.feasible {
-                return finish(self.name(), ev, t0, model_time);
-            }
+        let init = latin_hypercube(&mut rng, &lb, &ub, n_init);
+        let init_evals = ev.evaluate_batch(&init);
+        if stop == StopPolicy::FirstFeasible && init_evals.iter().any(|e| e.feasible) {
+            return finish(self.name(), ev, t0, model_time);
         }
 
         // Main loop (lines 2–16): one simulation per iteration.
@@ -98,10 +98,8 @@ impl Optimizer for DnnOpt {
             // failed-simulation placeholders are cliffs of ~1e12 that would
             // otherwise dominate the critic's target standardization and
             // flatten every real spec to numerical zero.
-            let xs: Vec<Vec<f64>> =
-                history.iter().map(|e| to_unit(&e.x, &lb, &ub)).collect();
-            let mut fs: Vec<Vec<f64>> =
-                history.iter().map(|e| e.spec.as_vector()).collect();
+            let xs: Vec<Vec<f64>> = history.iter().map(|e| to_unit(&e.x, &lb, &ub)).collect();
+            let mut fs: Vec<Vec<f64>> = history.iter().map(|e| e.spec.as_vector()).collect();
             let n_specs = fs[0].len();
             for c in 0..n_specs {
                 let col: Vec<f64> = fs.iter().map(|f| f[c]).collect();
@@ -165,8 +163,11 @@ impl Optimizer for DnnOpt {
                     let jrand = rng.gen_range(0..d);
                     for j in 0..d {
                         let active = j == jrand || rng.gen::<f64>() < 0.3;
-                        let noise =
-                            if active { box_sigma[j] * nn::gaussian(&mut rng) } else { 0.0 };
+                        let noise = if active {
+                            box_sigma[j] * nn::gaussian(&mut rng)
+                        } else {
+                            0.0
+                        };
                         cand[j] = (cand[j] + dx[j] + noise).clamp(0.0, 1.0);
                     }
                     for j in 0..d {
@@ -193,7 +194,7 @@ impl Optimizer for DnnOpt {
                 // outputs doubles their noise, and uncapped optimistic
                 // outliers would dominate the argmin (winner's curse).
                 let g = elite_fom[ei] + (g_step - g_base).max(-0.25);
-                if best.as_ref().map_or(true, |(_, bg)| g < *bg) {
+                if best.as_ref().is_none_or(|(_, bg)| g < *bg) {
                     best = Some((cand, g));
                 }
             }
@@ -262,7 +263,10 @@ mod tests {
             let objective = x.iter().map(|v| (v - 0.3).powi(2)).sum();
             let mut constraints: Vec<f64> = x.iter().map(|v| 0.1 - v).collect();
             constraints.push(x.iter().sum::<f64>() - 0.8 * self.d as f64);
-            SpecResult { objective, constraints }
+            SpecResult {
+                objective,
+                constraints,
+            }
         }
     }
 

@@ -26,26 +26,42 @@ use rand::Rng;
 ///
 /// Panics if `xs` and `fs` lengths differ or are empty.
 pub fn all_pseudo_samples(xs: &[Vec<f64>], fs: &[Vec<f64>]) -> (Matrix, Matrix) {
+    let mut inp = Matrix::default();
+    let mut out = Matrix::default();
+    all_pseudo_samples_into(xs, fs, &mut inp, &mut out);
+    (inp, out)
+}
+
+/// [`all_pseudo_samples`] into caller-owned buffers (reshaped to fit,
+/// reusing their allocations) — the per-epoch path of the critic trainer.
+///
+/// # Panics
+///
+/// Panics if `xs` and `fs` lengths differ or are empty.
+pub fn all_pseudo_samples_into(
+    xs: &[Vec<f64>],
+    fs: &[Vec<f64>],
+    inp: &mut Matrix,
+    out: &mut Matrix,
+) {
     assert_eq!(xs.len(), fs.len(), "design/spec count mismatch");
     assert!(!xs.is_empty(), "need at least one design");
     let n = xs.len();
     let d = xs[0].len();
     let mo = fs[0].len();
-    let mut inp = Matrix::zeros(n * n, 2 * d);
-    let mut out = Matrix::zeros(n * n, mo);
+    inp.reshape_zeroed(n * n, 2 * d);
+    out.reshape_zeroed(n * n, mo);
     for i in 0..n {
         for j in 0..n {
             let r = i * n + j;
+            let row = inp.row_mut(r);
             for k in 0..d {
-                inp[(r, k)] = xs[i][k];
-                inp[(r, d + k)] = xs[j][k] - xs[i][k];
+                row[k] = xs[i][k];
+                row[d + k] = xs[j][k] - xs[i][k];
             }
-            for (k, &v) in fs[j].iter().enumerate() {
-                out[(r, k)] = v;
-            }
+            out.row_mut(r).copy_from_slice(&fs[j]);
         }
     }
-    (inp, out)
 }
 
 /// Draws `count` random pseudo-samples — the subsampled variant used once
@@ -65,16 +81,36 @@ pub fn sample_pseudo_batch<R: Rng + ?Sized>(
     count: usize,
     rng: &mut R,
 ) -> (Matrix, Matrix) {
+    let mut inp = Matrix::default();
+    let mut out = Matrix::default();
+    sample_pseudo_batch_into(xs, fs, count, rng, &mut inp, &mut out);
+    (inp, out)
+}
+
+/// [`sample_pseudo_batch`] into caller-owned buffers (reshaped to fit,
+/// reusing their allocations). Draws the identical sample sequence as the
+/// allocating variant for the same RNG state.
+///
+/// # Panics
+///
+/// Panics if `xs` and `fs` lengths differ or are empty.
+pub fn sample_pseudo_batch_into<R: Rng + ?Sized>(
+    xs: &[Vec<f64>],
+    fs: &[Vec<f64>],
+    count: usize,
+    rng: &mut R,
+    inp: &mut Matrix,
+    out: &mut Matrix,
+) {
     assert_eq!(xs.len(), fs.len(), "design/spec count mismatch");
     assert!(!xs.is_empty(), "need at least one design");
     let n = xs.len();
     let d = xs[0].len();
     let mo = fs[0].len();
-    let mut inp = Matrix::zeros(count, 2 * d);
-    let mut out = Matrix::zeros(count, mo);
-    let dist_sq = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum()
-    };
+    inp.reshape_zeroed(count, 2 * d);
+    out.reshape_zeroed(count, mo);
+    let dist_sq =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum() };
     for r in 0..count {
         let i = rng.gen_range(0..n);
         let j = if r % 2 == 0 {
@@ -93,15 +129,13 @@ pub fn sample_pseudo_batch<R: Rng + ?Sized>(
             }
             best
         };
+        let row = inp.row_mut(r);
         for k in 0..d {
-            inp[(r, k)] = xs[i][k];
-            inp[(r, d + k)] = xs[j][k] - xs[i][k];
+            row[k] = xs[i][k];
+            row[d + k] = xs[j][k] - xs[i][k];
         }
-        for (k, &v) in fs[j].iter().enumerate() {
-            out[(r, k)] = v;
-        }
+        out.row_mut(r).copy_from_slice(&fs[j]);
     }
-    (inp, out)
 }
 
 #[cfg(test)]

@@ -33,7 +33,10 @@ impl SensitivityReport {
     pub fn compute(problem: &dyn SizingProblem, x0: &[f64], step: f64) -> Self {
         let d = problem.dim();
         assert_eq!(x0.len(), d, "nominal dimension mismatch");
-        assert!(step > 0.0 && step < 0.5, "step must be a small range fraction");
+        assert!(
+            step > 0.0 && step < 0.5,
+            "step must be a small range fraction"
+        );
         let (lb, ub) = problem.bounds();
         let m = problem.num_constraints();
         let mut s = Matrix::zeros(m + 1, d);
@@ -52,7 +55,10 @@ impl SensitivityReport {
                 s[(i, j)] = if du > 0.0 { diff / du } else { 0.0 };
             }
         }
-        SensitivityReport { s, names: problem.variable_names() }
+        SensitivityReport {
+            s,
+            names: problem.variable_names(),
+        }
     }
 
     /// The raw sensitivity matrix (rows: objective then constraints).
@@ -101,8 +107,7 @@ impl SensitivityReport {
     /// (the paper's user-defined threshold), sorted by decreasing score.
     pub fn critical_variables(&self, thresh: f64) -> Vec<usize> {
         let scores = self.scores();
-        let mut idx: Vec<usize> =
-            (0..scores.len()).filter(|&j| scores[j] > thresh).collect();
+        let mut idx: Vec<usize> = (0..scores.len()).filter(|&j| scores[j] > thresh).collect();
         idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
         idx
     }
@@ -121,7 +126,10 @@ impl SensitivityReport {
 }
 
 fn clip_spec(spec: SpecResult) -> Vec<f64> {
-    spec.as_vector().iter().map(|v| v.clamp(-1e6, 1e6)).collect()
+    spec.as_vector()
+        .iter()
+        .map(|v| v.clamp(-1e6, 1e6))
+        .collect()
 }
 
 /// A pruned view of a large problem: only the `active` variables move; the
@@ -147,7 +155,11 @@ impl<'a> ReducedProblem<'a> {
             assert!(!seen[j], "duplicate active index");
             seen[j] = true;
         }
-        ReducedProblem { inner, base, active }
+        ReducedProblem {
+            inner,
+            base,
+            active,
+        }
     }
 
     /// Expands a reduced design vector into the full space.
@@ -235,7 +247,10 @@ mod tests {
         // both earn full scores under per-spec normalization.
         assert!(scores[0] > 0.9, "x0 dominates the objective: {scores:?}");
         assert!(scores[2] > 0.9, "x2 dominates the constraint: {scores:?}");
-        assert!(scores[1] < 1e-9 && scores[3] < 1e-9, "inert vars: {scores:?}");
+        assert!(
+            scores[1] < 1e-9 && scores[3] < 1e-9,
+            "inert vars: {scores:?}"
+        );
     }
 
     #[test]
@@ -262,7 +277,10 @@ mod tests {
         let a = red.evaluate(&[0.1, 0.9]);
         let b = p.evaluate(&full);
         assert_eq!(a, b);
-        assert_eq!(red.variable_names(), vec!["x0".to_string(), "x2".to_string()]);
+        assert_eq!(
+            red.variable_names(),
+            vec!["x0".to_string(), "x2".to_string()]
+        );
     }
 
     #[test]

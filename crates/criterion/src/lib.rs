@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's benches
+//! use — [`Criterion::bench_function`], [`Bencher::iter`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros and [`black_box`] — with
+//! a simple but honest measurement loop: a calibration phase picks a batch
+//! size so one sample lasts ≳2 ms, then `sample_size` samples are timed and
+//! min/median/mean are reported.
+//!
+//! Results are printed to stdout in a `name  time: [...]` format, and when
+//! the `CRITERION_JSON` environment variable names a file, one JSON object
+//! per benchmark is appended to it (used to record `BENCH_baseline.json`).
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to group target functions.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target wall-clock per sample during measurement.
+    sample_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            sample_target: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Timing loop handle passed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher<'a> {
+    cfg: &'a Criterion,
+    /// Per-iteration nanoseconds of each measured sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, keeping its return value alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count whose batch lasts about the
+        // per-sample target.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= self.cfg.sample_target || iters_per_sample >= 1 << 30 {
+                break;
+            }
+            // Grow geometrically toward the target.
+            let grow = if elapsed.is_zero() {
+                8.0
+            } else {
+                (self.cfg.sample_target.as_secs_f64() / elapsed.as_secs_f64()).clamp(1.5, 8.0)
+            };
+            iters_per_sample =
+                ((iters_per_sample as f64 * grow).ceil() as u64).max(iters_per_sample + 1);
+        }
+        // Measure.
+        self.samples.clear();
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples.push(ns);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark (builder style, as
+    /// criterion's `Criterion::sample_size`).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            cfg: self,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut s = b.samples;
+        if s.is_empty() {
+            println!("{id:<40} (no samples — Bencher::iter never called)");
+            return self;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = s[0];
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        println!(
+            "{id:<40} time: [{} {} {}]  (min median mean, {} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            s.len()
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"name\":\"{id}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"mean_ns\":{mean:.1}}}"
+                );
+            }
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        // Keep the target tiny so the test is fast.
+        c.sample_target = Duration::from_micros(50);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(3u64).wrapping_mul(7));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5.0e3).ends_with("µs"));
+        assert!(fmt_ns(5.0e6).ends_with("ms"));
+        assert!(fmt_ns(5.0e9).ends_with('s'));
+    }
+}

@@ -28,12 +28,18 @@ impl RbfKernel {
     ///
     /// Panics if `variance` or any lengthscale is not positive and finite.
     pub fn new(variance: f64, lengthscales: Vec<f64>) -> Self {
-        assert!(variance.is_finite() && variance > 0.0, "variance must be positive");
+        assert!(
+            variance.is_finite() && variance > 0.0,
+            "variance must be positive"
+        );
         assert!(
             lengthscales.iter().all(|l| l.is_finite() && *l > 0.0),
             "lengthscales must be positive"
         );
-        RbfKernel { variance, lengthscales }
+        RbfKernel {
+            variance,
+            lengthscales,
+        }
     }
 
     /// Creates a kernel with the same lengthscale in every dimension.

@@ -21,7 +21,10 @@ impl std::fmt::Display for GpError {
         match self {
             GpError::Shape { reason } => write!(f, "bad training data: {reason}"),
             GpError::NotPositiveDefinite => {
-                write!(f, "kernel matrix is not positive definite (duplicate points?)")
+                write!(
+                    f,
+                    "kernel matrix is not positive definite (duplicate points?)"
+                )
             }
         }
     }
@@ -59,7 +62,9 @@ impl GpRegressor {
     pub fn fit(x: Matrix, y: Vec<f64>, kernel: RbfKernel, noise: f64) -> Result<Self, GpError> {
         let n = x.rows();
         if n == 0 {
-            return Err(GpError::Shape { reason: "empty training set".to_string() });
+            return Err(GpError::Shape {
+                reason: "empty training set".to_string(),
+            });
         }
         if y.len() != n {
             return Err(GpError::Shape {
@@ -97,12 +102,19 @@ impl GpRegressor {
 
         // log p(y|X) = −½ yᵀα − ½ log|K| − n/2 log 2π
         let fit_term: f64 = -0.5 * yc.iter().zip(&alpha).map(|(a, b)| a * b).sum::<f64>();
-        let lml = fit_term
-            - 0.5 * chol.log_det()
-            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        let lml =
+            fit_term - 0.5 * chol.log_det() - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
 
         let _ = gram; // Gram matrix no longer needed after factorization.
-        Ok(GpRegressor { kernel, noise: jitter, x, alpha, chol, y_mean, lml })
+        Ok(GpRegressor {
+            kernel,
+            noise: jitter,
+            x,
+            alpha,
+            chol,
+            y_mean,
+            lml,
+        })
     }
 
     /// Number of training points.
@@ -126,7 +138,11 @@ impl GpRegressor {
         let n = self.len();
         let kstar: Vec<f64> = (0..n).map(|i| self.kernel.eval(self.x.row(i), q)).collect();
         let mean = self.y_mean
-            + kstar.iter().zip(&self.alpha).map(|(a, b)| a * b).sum::<f64>();
+            + kstar
+                .iter()
+                .zip(&self.alpha)
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
         // var = k(q,q) − k*ᵀ (K+σ²I)⁻¹ k*, via the triangular solve L v = k*.
         let v = self.chol.solve_lower(&kstar);
         let var = self.kernel.eval(q, q) - v.iter().map(|x| x * x).sum::<f64>();
@@ -165,7 +181,7 @@ impl GpRegressor {
                 if let Ok(gp) = GpRegressor::fit(x.clone(), y.clone(), kernel, 1e-6 * y_var) {
                     let better = best
                         .as_ref()
-                        .map_or(true, |b| gp.log_marginal_likelihood() > b.log_marginal_likelihood());
+                        .is_none_or(|b| gp.log_marginal_likelihood() > b.log_marginal_likelihood());
                     if better {
                         best = Some(gp);
                     }
@@ -189,11 +205,20 @@ mod tests {
     #[test]
     fn interpolates_training_points() {
         let (x, y) = training_1d();
-        let gp = GpRegressor::fit(x.clone(), y.clone(), RbfKernel::isotropic(1, 0.3, 1.0), 1e-9)
-            .unwrap();
+        let gp = GpRegressor::fit(
+            x.clone(),
+            y.clone(),
+            RbfKernel::isotropic(1, 0.3, 1.0),
+            1e-9,
+        )
+        .unwrap();
         for i in 0..x.rows() {
             let (mean, var) = gp.predict(x.row(i));
-            assert!((mean - y[i]).abs() < 1e-3, "mean at train pt {i}: {mean} vs {}", y[i]);
+            assert!(
+                (mean - y[i]).abs() < 1e-3,
+                "mean at train pt {i}: {mean} vs {}",
+                y[i]
+            );
             assert!(var < 1e-4, "var at train pt {i}: {var}");
         }
     }
@@ -273,8 +298,16 @@ mod tests {
             Err(GpError::Shape { .. })
         ));
         let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
-        assert!(GpRegressor::fit(x.clone(), vec![1.0], RbfKernel::isotropic(1, 1.0, 1.0), 1e-6).is_err());
-        assert!(GpRegressor::fit(x, vec![1.0, 2.0], RbfKernel::isotropic(2, 1.0, 1.0), 1e-6).is_err());
+        assert!(GpRegressor::fit(
+            x.clone(),
+            vec![1.0],
+            RbfKernel::isotropic(1, 1.0, 1.0),
+            1e-6
+        )
+        .is_err());
+        assert!(
+            GpRegressor::fit(x, vec![1.0, 2.0], RbfKernel::isotropic(2, 1.0, 1.0), 1e-6).is_err()
+        );
     }
 
     #[test]

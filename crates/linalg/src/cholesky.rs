@@ -25,7 +25,146 @@ pub struct Cholesky {
     l: Matrix,
 }
 
+/// Caller-owned storage for a Cholesky factorization — the allocation-free
+/// analogue of [`Cholesky`] for loops that refactor same-sized SPD systems
+/// repeatedly (GP refits, covariance updates).
+///
+/// # Example
+///
+/// ```
+/// use linalg::{Cholesky, CholeskyWorkspace, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let mut ws = CholeskyWorkspace::new(2);
+/// Cholesky::factor_into(&a, &mut ws).expect("SPD");
+/// let mut x = Vec::new();
+/// ws.solve_into(&[2.0, 1.0], &mut x).unwrap();
+/// let r = a.matvec(&x);
+/// assert!((r[0] - 2.0).abs() < 1e-12 && (r[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyWorkspace {
+    /// Lower-triangular factor, row-major `n×n` (upper part unspecified).
+    l: Vec<f64>,
+    n: usize,
+    factored: bool,
+}
+
+impl CholeskyWorkspace {
+    /// Creates a workspace sized for `n×n` systems; it grows automatically
+    /// when factoring larger matrices.
+    pub fn new(n: usize) -> Self {
+        CholeskyWorkspace {
+            l: vec![0.0; n * n],
+            n,
+            factored: false,
+        }
+    }
+
+    /// Dimension of the (last) factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` via the two triangular solves, writing into `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] if `b.len()` differs from the
+    /// factored dimension or no successful factorization is stored.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), FactorError> {
+        let n = self.n;
+        if !self.factored || b.len() != n {
+            return Err(FactorError::Shape {
+                rows: b.len(),
+                cols: n,
+            });
+        }
+        x.clear();
+        x.extend_from_slice(b);
+        // Forward substitution L·y = b.
+        for i in 0..n {
+            let (head, tail) = x.split_at_mut(i);
+            let row = &self.l[i * n..i * n + i];
+            let mut s = tail[0];
+            for (l, y) in row.iter().zip(head.iter()) {
+                s -= l * y;
+            }
+            tail[0] = s / self.l[i * n + i];
+        }
+        // Back substitution Lᵀ·x = y (column access on the row-major L).
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.l[j * n + i] * x[j];
+            }
+            x[i] = s / self.l[i * n + i];
+        }
+        Ok(())
+    }
+
+    /// Log-determinant of `A`: `2·Σ log L[i,i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no successful factorization is stored.
+    pub fn log_det(&self) -> f64 {
+        assert!(self.factored, "no factorization stored");
+        (0..self.n)
+            .map(|i| self.l[i * self.n + i].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
 impl Cholesky {
+    /// Factors a symmetric positive-definite matrix into caller-owned
+    /// storage without allocating (once the workspace has capacity). Same
+    /// operations in the same order as [`Cholesky::factor`], so the factors
+    /// are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Cholesky::factor`]. A failed factorization
+    /// invalidates the workspace until the next successful one.
+    pub fn factor_into(a: &Matrix, ws: &mut CholeskyWorkspace) -> Result<(), FactorError> {
+        if a.rows() != a.cols() {
+            return Err(FactorError::Shape {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        ws.n = n;
+        ws.factored = false;
+        ws.l.clear();
+        ws.l.extend_from_slice(a.as_slice());
+        let l = &mut ws.l[..n * n];
+        for j in 0..n {
+            let mut d = l[j * n + j];
+            for k in 0..j {
+                let v = l[j * n + k];
+                d -= v * v;
+            }
+            if !(d > 0.0) {
+                return Err(FactorError::NotPositiveDefinite { order: j + 1 });
+            }
+            let d = d.sqrt();
+            l[j * n + j] = d;
+            let (top, bottom) = l.split_at_mut((j + 1) * n);
+            let row_j = &top[j * n..j * n + j];
+            for i in (j + 1)..n {
+                let row_i = &mut bottom[(i - j - 1) * n..(i - j) * n];
+                let mut s = row_i[j];
+                for (lik, ljk) in row_i[..j].iter().zip(row_j) {
+                    s -= lik * ljk;
+                }
+                row_i[j] = s / d;
+            }
+        }
+        ws.factored = true;
+        Ok(())
+    }
     /// Factors a symmetric positive-definite matrix.
     ///
     /// Only the lower triangle of `a` is read; symmetry is assumed, not
@@ -38,7 +177,10 @@ impl Cholesky {
     /// non-positive during elimination.
     pub fn factor(a: &Matrix) -> Result<Self, FactorError> {
         if a.rows() != a.cols() {
-            return Err(FactorError::Shape { rows: a.rows(), cols: a.cols() });
+            return Err(FactorError::Shape {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut l = a.clone();
@@ -167,8 +309,8 @@ mod tests {
     fn log_det_matches() {
         let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
         let ch = Cholesky::factor(&a).unwrap();
-        let det = 4.0 * 3.0 - 2.0 * 2.0;
-        assert!((ch.log_det() - (det as f64).ln()).abs() < 1e-12);
+        let det: f64 = 4.0 * 3.0 - 2.0 * 2.0;
+        assert!((ch.log_det() - det.ln()).abs() < 1e-12);
     }
 
     #[test]
@@ -186,6 +328,39 @@ mod tests {
             Cholesky::factor(&Matrix::zeros(2, 3)),
             Err(FactorError::Shape { .. })
         ));
+    }
+
+    #[test]
+    fn workspace_matches_owning_path_exactly() {
+        let a = Matrix::from_rows(&[&[9.0, 3.0, 1.0], &[3.0, 5.0, 2.0], &[1.0, 2.0, 6.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let mut ws = CholeskyWorkspace::new(3);
+        Cholesky::factor_into(&a, &mut ws).unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let x_owned = ch.solve(&b);
+        let mut x_ws = Vec::new();
+        ws.solve_into(&b, &mut x_ws).unwrap();
+        assert_eq!(x_owned, x_ws);
+        assert_eq!(ch.log_det().to_bits(), ws.log_det().to_bits());
+    }
+
+    #[test]
+    fn workspace_rejects_bad_shapes_and_indefinite() {
+        let mut ws = CholeskyWorkspace::new(2);
+        assert!(matches!(
+            Cholesky::factor_into(&Matrix::zeros(2, 3), &mut ws),
+            Err(FactorError::Shape { .. })
+        ));
+        let indefinite = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            Cholesky::factor_into(&indefinite, &mut ws),
+            Err(FactorError::NotPositiveDefinite { .. })
+        ));
+        assert!(ws.solve_into(&[1.0, 1.0], &mut Vec::new()).is_err());
+        let spd = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        Cholesky::factor_into(&spd, &mut ws).unwrap();
+        assert!(ws.solve_into(&[1.0, 1.0, 1.0], &mut Vec::new()).is_err());
+        assert!(ws.solve_into(&[1.0, 1.0], &mut Vec::new()).is_ok());
     }
 
     #[test]

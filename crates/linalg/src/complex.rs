@@ -58,7 +58,10 @@ impl C64 {
 
     /// Complex conjugate.
     pub fn conj(self) -> C64 {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Multiplicative inverse.
@@ -66,7 +69,10 @@ impl C64 {
     /// Returns infinities when `self` is zero, mirroring `f64` division.
     pub fn recip(self) -> C64 {
         let d = self.abs_sq();
-        C64 { re: self.re / d, im: -self.im / d }
+        C64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// True if either component is NaN or infinite.
@@ -92,7 +98,10 @@ impl Sub for C64 {
 impl Mul for C64 {
     type Output = C64;
     fn mul(self, r: C64) -> C64 {
-        C64::new(self.re * r.re - self.im * r.im, self.re * r.im + self.im * r.re)
+        C64::new(
+            self.re * r.re - self.im * r.im,
+            self.re * r.im + self.im * r.re,
+        )
     }
 }
 
@@ -302,10 +311,7 @@ mod tests {
 
     #[test]
     fn pivoting_in_complex_solver() {
-        let a = vec![
-            vec![C64::ZERO, C64::ONE],
-            vec![C64::ONE, C64::ZERO],
-        ];
+        let a = vec![vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]];
         let lu = ComplexLu::factor(a).unwrap();
         let x = lu.solve(&[C64::real(3.0), C64::real(4.0)]);
         assert!((x[0] - C64::real(4.0)).abs() < 1e-15);

@@ -32,9 +32,9 @@ mod lu;
 mod matrix;
 pub mod vecops;
 
-pub use cholesky::Cholesky;
-pub use complex::{C64, ComplexLu};
-pub use lu::Lu;
+pub use cholesky::{Cholesky, CholeskyWorkspace};
+pub use complex::{ComplexLu, C64};
+pub use lu::{Lu, LuWorkspace};
 pub use matrix::Matrix;
 
 /// Error produced by factorizations when the input matrix is unusable.
@@ -59,7 +59,10 @@ impl std::fmt::Display for FactorError {
                 write!(f, "matrix is not positive definite (leading minor {order})")
             }
             FactorError::Shape { rows, cols } => {
-                write!(f, "matrix shape {rows}x{cols} is invalid for this operation")
+                write!(
+                    f,
+                    "matrix shape {rows}x{cols} is invalid for this operation"
+                )
             }
         }
     }

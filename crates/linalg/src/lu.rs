@@ -1,6 +1,157 @@
-//! Partially pivoted LU factorization.
+//! Partially pivoted LU factorization, with both an owning API ([`Lu`])
+//! and a zero-allocation workspace API ([`LuWorkspace`]) for hot loops
+//! that factor and solve the same-sized system thousands of times (the
+//! circuit simulator's Newton iterations).
 
 use crate::{FactorError, Matrix};
+
+/// Caller-owned storage for an LU factorization: the combined `L`/`U`
+/// factors, the row permutation, and scratch space. Designed for reuse —
+/// [`Lu::factor_into`] refactors into the same buffers without allocating,
+/// and [`LuWorkspace::solve_into`] solves into a caller-owned vector.
+///
+/// # Example
+///
+/// ```
+/// use linalg::{Lu, LuWorkspace, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+/// let mut ws = LuWorkspace::new(2);
+/// let mut x = Vec::new();
+/// for _ in 0..3 {
+///     Lu::factor_into(&a, &mut ws).expect("non-singular");
+///     ws.solve_into(&[2.0, 2.0], &mut x).unwrap(); // no allocation after the first pass
+/// }
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuWorkspace {
+    /// Combined factors, row-major `n×n`.
+    lu: Vec<f64>,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation.
+    sign: f64,
+    /// Factored dimension.
+    n: usize,
+    /// True once `factor_into` has succeeded at the current dimension.
+    factored: bool,
+    /// Scratch: rows with a nonzero entry in the current pivot column.
+    nonzero_rows: Vec<usize>,
+    /// Reciprocals of the pivots, computed once during factorization so
+    /// neither the elimination nor the solves pay a division per entry.
+    inv_diag: Vec<f64>,
+    /// Per row, the first column holding a multiplier (`L` entry); `i` when
+    /// the row has none. Lets forward substitution skip the structural
+    /// zeros of the sparse `L` factor.
+    row_start: Vec<usize>,
+}
+
+impl LuWorkspace {
+    /// Creates a workspace sized for `n×n` systems. The workspace grows
+    /// automatically if later used with a larger matrix.
+    pub fn new(n: usize) -> Self {
+        LuWorkspace {
+            lu: vec![0.0; n * n],
+            perm: (0..n).collect(),
+            sign: 1.0,
+            n,
+            factored: false,
+            nonzero_rows: Vec::with_capacity(n),
+            inv_diag: vec![0.0; n],
+            row_start: (0..n).collect(),
+        }
+    }
+
+    /// Dimension of the (last) factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Resizes the internal buffers for an `n×n` system without shrinking
+    /// capacity, invalidating any previous factorization.
+    fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.factored = false;
+        self.lu.clear();
+        self.lu.resize(n * n, 0.0);
+        self.perm.clear();
+        self.perm.extend(0..n);
+        self.sign = 1.0;
+        self.inv_diag.clear();
+        self.inv_diag.resize(n, 0.0);
+        self.row_start.clear();
+        self.row_start.extend(0..n);
+    }
+
+    /// Solves `A·x = b` using the stored factorization, writing into `x`
+    /// (which is resized, reusing its capacity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] if `b.len()` differs from the
+    /// factored dimension, or if no successful factorization is stored.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), FactorError> {
+        let n = self.n;
+        if !self.factored || b.len() != n {
+            return Err(FactorError::Shape {
+                rows: b.len(),
+                cols: n,
+            });
+        }
+        x.clear();
+        x.extend(self.perm.iter().map(|&i| b[i]));
+        self.solve_permuted_in_place(x);
+        Ok(())
+    }
+
+    /// Solves `A·x = b` where `x` enters holding `b` *already permuted* by
+    /// the row permutation. Forward then backward substitution, allocation
+    /// free.
+    fn solve_permuted_in_place(&self, x: &mut [f64]) {
+        let n = self.n;
+        // Forward substitution with the unit lower factor. `row_start`
+        // bounds each row's multipliers, so the structural zeros of the
+        // sparse `L` factor cost nothing.
+        for i in 1..n {
+            let start = self.row_start[i];
+            if start >= i {
+                continue;
+            }
+            let (head, tail) = x.split_at_mut(i);
+            let row = &self.lu[i * n + start..i * n + i];
+            let mut s = tail[0];
+            for (&l, xv) in row.iter().zip(head[start..].iter()) {
+                s -= l * xv;
+            }
+            tail[0] = s;
+        }
+        // Back substitution with the upper factor.
+        for i in (0..n).rev() {
+            let (head, tail) = x.split_at_mut(i + 1);
+            let row = &self.lu[i * n + i + 1..(i + 1) * n];
+            let mut s = head[i];
+            for (&u, xv) in row.iter().zip(tail.iter()) {
+                s -= u * xv;
+            }
+            head[i] = s * self.inv_diag[i];
+        }
+    }
+
+    /// Determinant of the factored matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no successful factorization is stored.
+    pub fn det(&self) -> f64 {
+        assert!(self.factored, "no factorization stored");
+        let mut d = self.sign;
+        for i in 0..self.n {
+            d *= self.lu[i * self.n + i];
+        }
+        d
+    }
+}
 
 /// LU factorization with partial pivoting: `P·A = L·U`.
 ///
@@ -40,65 +191,205 @@ impl Lu {
     /// Returns [`FactorError::Shape`] for non-square input and
     /// [`FactorError::Singular`] when a pivot collapses to (near) zero.
     pub fn factor(a: &Matrix) -> Result<Self, FactorError> {
+        let mut ws = LuWorkspace::new(a.rows());
+        Lu::factor_into(a, &mut ws)?;
+        Ok(Lu {
+            lu: Matrix::from_vec(ws.n, ws.n, ws.lu),
+            perm: ws.perm,
+            sign: ws.sign,
+        })
+    }
+
+    /// Factors a square matrix into caller-owned storage, allocating
+    /// nothing once the workspace has the right capacity. This is the hot
+    /// path of the circuit simulator's Newton loop, which refactors a
+    /// same-sized system every iteration.
+    ///
+    /// The elimination performs the same operations in the same order as
+    /// [`Lu::factor`], so the two paths produce bit-identical factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] for non-square input and
+    /// [`FactorError::Singular`] when a pivot collapses to (near) zero.
+    pub fn factor_into(a: &Matrix, ws: &mut LuWorkspace) -> Result<(), FactorError> {
         if a.rows() != a.cols() {
-            return Err(FactorError::Shape { rows: a.rows(), cols: a.cols() });
+            return Err(FactorError::Shape {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
+        ws.reset(n);
+        ws.lu.copy_from_slice(a.as_slice());
+        ws.eliminate()
+    }
+
+    /// Like [`Lu::factor_into`], but *consumes the matrix storage*: `a`'s
+    /// buffer becomes the factor storage (no `n²` copy at all) and `a` is
+    /// handed the workspace's previous buffer, reshaped to the same size
+    /// and zero-filled. The intended rhythm is the Newton loop's: the
+    /// caller re-assembles `a` from scratch every iteration anyway, so
+    /// donating its storage costs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Lu::factor_into`].
+    pub fn factor_in_place(a: &mut Matrix, ws: &mut LuWorkspace) -> Result<(), FactorError> {
+        if a.rows() != a.cols() {
+            return Err(FactorError::Shape {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        ws.reset(n);
+        // O(1) storage swap: the stamped values become ws.lu, and the old
+        // factor buffer (already n²-sized and zeroed by `reset`) goes back
+        // to the caller.
+        let buf = std::mem::take(&mut ws.lu);
+        let stamped = std::mem::replace(a, Matrix::from_vec(n, n, buf));
+        ws.lu = stamped.into_vec();
+        ws.eliminate()
+    }
+}
+
+impl LuWorkspace {
+    /// Partial-pivoting elimination over the dimension-`n` system already
+    /// loaded into `self.lu`.
+    fn eliminate(&mut self) -> Result<(), FactorError> {
+        let ws = self;
+        let n = ws.n;
+        let lu = &mut ws.lu[..n * n];
+        let nonzero_rows = &mut ws.nonzero_rows;
 
         for k in 0..n {
-            // Find pivot in column k.
+            // One strided pass over column k does double duty: it finds the
+            // pivot *and* records which rows have a nonzero entry. Column
+            // access in a row-major layout is the cache-hostile part of
+            // dense LU, and MNA systems are sparse — eliminating only the
+            // recorded rows afterwards skips both the second column scan
+            // and the per-zero-row division of the textbook loop.
+            nonzero_rows.clear();
+            let diag = lu[k * n + k];
             let mut p = k;
-            let mut max = lu[(k, k)].abs();
+            let mut max = diag.abs();
             for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > max {
-                    max = v;
-                    p = i;
+                let v = lu[i * n + k];
+                if v != 0.0 {
+                    nonzero_rows.push(i);
+                    if v.abs() > max {
+                        max = v.abs();
+                        p = i;
+                    }
                 }
             }
             if !(max > PIVOT_EPS) {
                 return Err(FactorError::Singular { pivot: k });
             }
             if p != k {
-                perm.swap(p, k);
-                sign = -sign;
-                for j in 0..n {
-                    let t = lu[(p, j)];
-                    lu[(p, j)] = lu[(k, j)];
-                    lu[(k, j)] = t;
+                ws.perm.swap(p, k);
+                ws.sign = -ws.sign;
+                // p > k always, so the two row slices are disjoint.
+                let (top, bottom) = lu.split_at_mut(p * n);
+                top[k * n..k * n + n].swap_with_slice(&mut bottom[..n]);
+                // The accumulated multipliers swap along with the rows.
+                ws.row_start.swap(p, k);
+                // Row p now holds the old row k, whose column-k entry was
+                // `diag`; drop it from the elimination set if that is zero.
+                if diag == 0.0 {
+                    nonzero_rows.retain(|&i| i != p);
                 }
             }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let m = lu[(i, k)] / pivot;
-                lu[(i, k)] = m;
-                if m != 0.0 {
-                    for j in (k + 1)..n {
-                        let u = lu[(k, j)];
-                        lu[(i, j)] -= m * u;
-                    }
+            let inv_pivot = 1.0 / lu[k * n + k];
+            ws.inv_diag[k] = inv_pivot;
+            let (top, bottom) = lu.split_at_mut((k + 1) * n);
+            let row_k = &top[k * n + k + 1..k * n + n];
+            for &i in nonzero_rows.iter() {
+                let row_i = &mut bottom[(i - k - 1) * n..(i - k) * n];
+                let aik = row_i[k];
+                // A swap may have zeroed an entry recorded as nonzero.
+                if aik == 0.0 {
+                    continue;
+                }
+                let m = aik * inv_pivot;
+                row_i[k] = m;
+                if ws.row_start[i] > k {
+                    ws.row_start[i] = k;
+                }
+                for (x, &u) in row_i[k + 1..].iter_mut().zip(row_k) {
+                    *x -= m * u;
                 }
             }
         }
-        Ok(Lu { lu, perm, sign })
+        ws.factored = true;
+        Ok(())
     }
+}
 
+impl Lu {
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.lu.rows()
+    }
+
+    /// Solves `A·x = b`, validating the right-hand side first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] if `b.len()` differs from the
+    /// factored dimension.
+    pub fn try_solve(&self, b: &[f64]) -> Result<Vec<f64>, FactorError> {
+        if b.len() != self.dim() {
+            return Err(FactorError::Shape {
+                rows: b.len(),
+                cols: self.dim(),
+            });
+        }
+        Ok(self.solve_unchecked(b))
+    }
+
+    /// Solves `A·X = B` column by column, validating the shape first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] if `b.rows()` differs from the
+    /// factored dimension.
+    pub fn try_solve_matrix(&self, b: &Matrix) -> Result<Matrix, FactorError> {
+        if b.rows() != self.dim() {
+            return Err(FactorError::Shape {
+                rows: b.rows(),
+                cols: b.cols(),
+            });
+        }
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col: Vec<f64> = (0..b.rows()).map(|i| b[(i, j)]).collect();
+            let x = self.solve_unchecked(&col);
+            for i in 0..b.rows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
     }
 
     /// Solves `A·x = b`.
     ///
     /// # Panics
     ///
-    /// Panics if `b.len()` differs from the factored dimension.
+    /// Panics if `b.len()` differs from the factored dimension; use
+    /// [`Lu::try_solve`] for a checked variant.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            b.len(),
+            self.dim(),
+            "rhs length must equal matrix dimension"
+        );
+        self.solve_unchecked(b)
+    }
+
+    fn solve_unchecked(&self, b: &[f64]) -> Vec<f64> {
         let n = self.dim();
-        assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
         // Apply permutation.
         let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
         // Forward substitution with unit lower factor.
@@ -124,18 +415,11 @@ impl Lu {
     ///
     /// # Panics
     ///
-    /// Panics if `b.rows()` differs from the factored dimension.
+    /// Panics if `b.rows()` differs from the factored dimension; use
+    /// [`Lu::try_solve_matrix`] for a checked variant.
     pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
-        assert_eq!(b.rows(), self.dim(), "rhs rows must equal matrix dimension");
-        let mut out = Matrix::zeros(b.rows(), b.cols());
-        for j in 0..b.cols() {
-            let col: Vec<f64> = (0..b.rows()).map(|i| b[(i, j)]).collect();
-            let x = self.solve(&col);
-            for i in 0..b.rows() {
-                out[(i, j)] = x[i];
-            }
-        }
-        out
+        self.try_solve_matrix(b)
+            .expect("rhs rows must equal matrix dimension")
     }
 
     /// Determinant of the original matrix.
@@ -153,7 +437,11 @@ mod tests {
     use super::*;
 
     fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
-        a.matvec(x).iter().zip(b).map(|(ax, bb)| (ax - bb).abs()).fold(0.0, f64::max)
+        a.matvec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -207,6 +495,118 @@ mod tests {
         let inv = lu.solve_matrix(&Matrix::identity(2));
         let prod = a.matmul(&inv);
         assert!((&prod - &Matrix::identity(2)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn workspace_factor_matches_owning_path_exactly() {
+        let n = 23;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                0.5 + (i as f64).sin()
+            } else {
+                ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.5
+            }
+        });
+        let lu = Lu::factor(&a).unwrap();
+        let mut ws = LuWorkspace::new(n);
+        Lu::factor_into(&a, &mut ws).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x_owned = lu.solve(&b);
+        let mut x_ws = Vec::new();
+        ws.solve_into(&b, &mut x_ws).unwrap();
+        // The factors are bit-identical (shared elimination); the solves
+        // differ only by the workspace's reciprocal-pivot multiply.
+        for (a, c) in x_owned.iter().zip(&x_ws) {
+            assert!((a - c).abs() <= 1e-13 * a.abs().max(1.0), "{a} vs {c}");
+        }
+        assert_eq!(lu.det().to_bits(), ws.det().to_bits());
+    }
+
+    #[test]
+    fn factor_in_place_matches_factor_into_and_returns_buffer() {
+        let n = 17;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                3.0 + (j as f64).cos()
+            } else if i.abs_diff(j) <= 2 {
+                ((i * 7 + j) % 5) as f64 - 2.0
+            } else {
+                0.0
+            }
+        });
+        let mut ws_ref = LuWorkspace::new(n);
+        Lu::factor_into(&a, &mut ws_ref).unwrap();
+        let mut ws = LuWorkspace::new(n);
+        let mut donated = a.clone();
+        Lu::factor_in_place(&mut donated, &mut ws).unwrap();
+        // The donated matrix comes back zeroed at the same shape.
+        assert_eq!((donated.rows(), donated.cols()), (n, n));
+        assert!(donated.as_slice().iter().all(|&v| v == 0.0));
+        // Identical factorization.
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let (mut x1, mut x2) = (Vec::new(), Vec::new());
+        ws_ref.solve_into(&b, &mut x1).unwrap();
+        ws.solve_into(&b, &mut x2).unwrap();
+        assert_eq!(x1, x2);
+        // Non-square input is rejected without touching the buffers.
+        let mut bad = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::factor_in_place(&mut bad, &mut ws),
+            Err(FactorError::Shape { .. })
+        ));
+        assert_eq!((bad.rows(), bad.cols()), (2, 3));
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_sizes() {
+        let mut ws = LuWorkspace::new(2);
+        let mut x = Vec::new();
+        for n in [2usize, 5, 3] {
+            let a = Matrix::from_fn(n, n, |i, j| if i == j { n as f64 } else { 0.5 });
+            Lu::factor_into(&a, &mut ws).unwrap();
+            let b = vec![1.0; n];
+            ws.solve_into(&b, &mut x).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn workspace_rejects_bad_shapes() {
+        let mut ws = LuWorkspace::new(3);
+        // Solving before factoring is a shape error, not UB.
+        assert!(matches!(
+            ws.solve_into(&[1.0; 3], &mut Vec::new()),
+            Err(FactorError::Shape { .. })
+        ));
+        let a = Matrix::identity(3);
+        Lu::factor_into(&a, &mut ws).unwrap();
+        assert!(matches!(
+            ws.solve_into(&[1.0; 4], &mut Vec::new()),
+            Err(FactorError::Shape { .. })
+        ));
+        assert!(matches!(
+            Lu::factor_into(&Matrix::zeros(2, 3), &mut ws),
+            Err(FactorError::Shape { .. })
+        ));
+        // A failed factorization invalidates the previous one.
+        let singular = Matrix::zeros(3, 3);
+        assert!(Lu::factor_into(&singular, &mut ws).is_err());
+        assert!(ws.solve_into(&[1.0; 3], &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn try_solve_reports_dimension_mismatch() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!(matches!(
+            lu.try_solve(&[1.0, 2.0, 3.0]),
+            Err(FactorError::Shape { .. })
+        ));
+        assert!(matches!(
+            lu.try_solve_matrix(&Matrix::zeros(3, 2)),
+            Err(FactorError::Shape { .. })
+        ));
+        assert!(lu.try_solve(&[1.0, 2.0]).is_ok());
     }
 
     #[test]

@@ -26,12 +26,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -56,7 +64,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -167,6 +179,100 @@ impl Matrix {
         out
     }
 
+    /// Reshapes this matrix to `rows×cols`, zero-filling every entry and
+    /// reusing the existing allocation when capacity allows. The workhorse
+    /// of the workspace-reuse APIs.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Matrix product `self * other` written into `out` (reshaped to fit),
+    /// with no intermediate allocation. Produces the same accumulation
+    /// order — hence bit-identical results — as [`Matrix::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        out.reshape_zeroed(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Product with the transposed right factor, `self * otherᵀ`, written
+    /// into `out`. Equivalent to `self.matmul(&other.transpose())` without
+    /// materializing the transpose — the shape of every dense-layer forward
+    /// pass (`y = x·Wᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "inner dimensions must agree");
+        out.reshape_zeroed(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (o, j) in orow.iter_mut().zip(0..other.rows) {
+                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
+                let mut s = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    s += a * b;
+                }
+                *o = s;
+            }
+        }
+    }
+
+    /// Product with the transposed left factor, `selfᵀ * other`, written
+    /// into `out`. Equivalent to `self.transpose().matmul(other)` without
+    /// materializing the transpose — the shape of every dense-layer weight
+    /// gradient (`dW = δᵀ·x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "inner dimensions must agree");
+        out.reshape_zeroed(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = &self.data[k * self.cols..(k + 1) * self.cols];
+            let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Copies `src` into this matrix, reshaping and reusing the allocation.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Matrix-vector product `self * v`.
     ///
     /// # Panics
@@ -217,9 +323,22 @@ impl Matrix {
     ///
     /// Panics if the shapes disagree.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scales every element by `s` in place.
@@ -245,6 +364,13 @@ impl Matrix {
     }
 }
 
+impl Default for Matrix {
+    /// An empty `0×0` matrix — the natural seed for `*_into` buffers.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
@@ -265,9 +391,22 @@ impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -275,15 +414,32 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
 impl AddAssign<&Matrix> for Matrix {
     fn add_assign(&mut self, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b;
         }
@@ -389,7 +545,10 @@ mod tests {
         assert_eq!(&a + &b, Matrix::filled(2, 2, 5.0));
         assert_eq!(&a - &a, Matrix::zeros(2, 2));
         assert_eq!(&a * 2.0, Matrix::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]));
-        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[4.0, 6.0], &[6.0, 4.0]]));
+        assert_eq!(
+            a.hadamard(&b),
+            Matrix::from_rows(&[&[4.0, 6.0], &[6.0, 4.0]])
+        );
     }
 
     #[test]
@@ -401,6 +560,34 @@ mod tests {
         let mut b = a.clone();
         b[(0, 0)] = f64::NAN;
         assert!(b.has_non_finite());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_products() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64 * 0.3 - 1.0);
+        let b = Matrix::from_fn(4, 2, |i, j| (i as f64 - j as f64) * 0.7);
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let c = Matrix::from_fn(5, 4, |i, j| (i + 2 * j) as f64 * 0.1);
+        a.matmul_nt_into(&c, &mut out);
+        assert_eq!(out, a.matmul(&c.transpose()));
+
+        let d = Matrix::from_fn(3, 6, |i, j| ((i * j) as f64).sin());
+        a.matmul_tn_into(&d, &mut out);
+        assert_eq!(out, a.transpose().matmul(&d));
+    }
+
+    #[test]
+    fn reshape_and_copy_reuse_storage() {
+        let mut m = Matrix::zeros(4, 4);
+        m.reshape_zeroed(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
     }
 
     #[test]

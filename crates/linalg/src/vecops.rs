@@ -57,7 +57,10 @@ pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
 ///
 /// Panics if lengths disagree.
 pub fn clamp_to(x: &[f64], lb: &[f64], ub: &[f64]) -> Vec<f64> {
-    assert!(x.len() == lb.len() && x.len() == ub.len(), "clamp_to: length mismatch");
+    assert!(
+        x.len() == lb.len() && x.len() == ub.len(),
+        "clamp_to: length mismatch"
+    );
     x.iter()
         .zip(lb.iter().zip(ub))
         .map(|(&v, (&lo, &hi))| v.clamp(lo, hi))
@@ -71,7 +74,10 @@ pub fn clamp_to(x: &[f64], lb: &[f64], ub: &[f64]) -> Vec<f64> {
 /// Panics if the slices have different lengths.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Arithmetic mean; 0 for an empty slice.

@@ -1,6 +1,6 @@
 //! Property-based tests on the factorization kernels.
 
-use linalg::{Cholesky, Lu, Matrix, C64, ComplexLu};
+use linalg::{Cholesky, CholeskyWorkspace, ComplexLu, Lu, LuWorkspace, Matrix, C64};
 use proptest::prelude::*;
 
 /// Random diagonally dominant matrix (guaranteed non-singular).
@@ -33,6 +33,70 @@ proptest! {
         for (ri, bi) in r.iter().zip(b) {
             prop_assert!((ri - bi).abs() < 1e-8);
         }
+    }
+
+    /// The in-place workspace kernels agree with the allocating `Lu` path
+    /// far below 1e-12 (they perform identical operations).
+    #[test]
+    fn lu_factor_into_agrees_with_factor(
+        n in 1usize..12,
+        seed in proptest::collection::vec(-1.0..1.0f64, 16..200),
+        rhs in proptest::collection::vec(-10.0..10.0f64, 12),
+    ) {
+        let a = dominant_matrix(n, &seed);
+        let b = &rhs[..n];
+        let x_owned = Lu::factor(&a).unwrap().solve(b);
+        let mut ws = LuWorkspace::new(n);
+        Lu::factor_into(&a, &mut ws).unwrap();
+        let mut x_ws = Vec::new();
+        ws.solve_into(b, &mut x_ws).unwrap();
+        for (u, v) in x_owned.iter().zip(&x_ws) {
+            prop_assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    /// Workspace reuse across differently sized systems stays correct.
+    #[test]
+    fn lu_workspace_reuse_is_sound(
+        sizes in proptest::collection::vec(1usize..10, 2..6),
+        seed in proptest::collection::vec(-1.0..1.0f64, 32..200),
+    ) {
+        let mut ws = LuWorkspace::new(1);
+        let mut x = Vec::new();
+        for &n in &sizes {
+            let a = dominant_matrix(n, &seed);
+            let b: Vec<f64> = (0..n).map(|i| seed[i % seed.len()] * 3.0).collect();
+            Lu::factor_into(&a, &mut ws).unwrap();
+            ws.solve_into(&b, &mut x).unwrap();
+            let r = a.matvec(&x);
+            for (ri, bi) in r.iter().zip(&b) {
+                prop_assert!((ri - bi).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// The in-place Cholesky kernels agree with the allocating path.
+    #[test]
+    fn cholesky_factor_into_agrees_with_factor(
+        n in 1usize..10,
+        seed in proptest::collection::vec(-2.0..2.0f64, 16..150),
+        rhs in proptest::collection::vec(-5.0..5.0f64, 10),
+    ) {
+        let g = Matrix::from_fn(n, n, |i, j| seed[(i * n + j) % seed.len()]);
+        let mut a = g.transpose().matmul(&g);
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let b = &rhs[..n];
+        let ch = Cholesky::factor(&a).unwrap();
+        let mut ws = CholeskyWorkspace::new(n);
+        Cholesky::factor_into(&a, &mut ws).unwrap();
+        let mut x_ws = Vec::new();
+        ws.solve_into(b, &mut x_ws).unwrap();
+        for (u, v) in ch.solve(b).iter().zip(&x_ws) {
+            prop_assert!((u - v).abs() < 1e-12);
+        }
+        prop_assert!((ch.log_det() - ws.log_det()).abs() < 1e-12);
     }
 
     /// det(A·A) = det(A)² through the LU determinant.

@@ -29,7 +29,17 @@ impl Adam {
     /// Creates an optimizer with the given learning rate and standard
     /// hyperparameters (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
     pub fn new(lr: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m_w: Vec::new(), v_w: Vec::new(), m_b: Vec::new(), v_b: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m_w: Vec::new(),
+            v_w: Vec::new(),
+            m_b: Vec::new(),
+            v_b: Vec::new(),
+        }
     }
 
     fn ensure_state(&mut self, net: &Mlp, grads: &Gradients) {
@@ -46,7 +56,8 @@ impl Adam {
         }
     }
 
-    /// Applies one Adam update of `net` along `-grads`.
+    /// Applies one Adam update of `net` along `-grads`, writing the update
+    /// directly into the parameters — no per-step allocation.
     ///
     /// # Panics
     ///
@@ -58,40 +69,59 @@ impl Adam {
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
 
-        // Build the update in Gradients shape, then apply in one pass.
-        let mut upd_w = Vec::with_capacity(grads.dw.len());
-        let mut upd_b = Vec::with_capacity(grads.db.len());
         for k in 0..grads.dw.len() {
+            let (w, b) = net.layer_params_mut(k);
             let g = &grads.dw[k];
-            let m = &mut self.m_w[k];
-            let v = &mut self.v_w[k];
-            let mut u = Matrix::zeros(g.rows(), g.cols());
-            for i in 0..g.rows() {
-                for j in 0..g.cols() {
-                    let gij = g[(i, j)];
-                    m[(i, j)] = self.beta1 * m[(i, j)] + (1.0 - self.beta1) * gij;
-                    v[(i, j)] = self.beta2 * v[(i, j)] + (1.0 - self.beta2) * gij * gij;
-                    let mhat = m[(i, j)] / b1t;
-                    let vhat = v[(i, j)] / b2t;
-                    u[(i, j)] = -self.lr * mhat / (vhat.sqrt() + self.eps);
-                }
+            assert_eq!(
+                (g.rows(), g.cols()),
+                (w.rows(), w.cols()),
+                "gradient shape does not match layer {k}"
+            );
+            let m = self.m_w[k].as_mut_slice();
+            let v = self.v_w[k].as_mut_slice();
+            assert_eq!(
+                m.len(),
+                g.as_slice().len(),
+                "optimizer state does not match layer {k}; call reset() before \
+                 stepping a differently shaped network"
+            );
+            for (((wx, &gx), mx), vx) in w
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                *mx = self.beta1 * *mx + (1.0 - self.beta1) * gx;
+                *vx = self.beta2 * *vx + (1.0 - self.beta2) * gx * gx;
+                let mhat = *mx / b1t;
+                let vhat = *vx / b2t;
+                *wx += -self.lr * mhat / (vhat.sqrt() + self.eps);
             }
-            upd_w.push(u);
 
             let gb = &grads.db[k];
+            assert_eq!(
+                gb.len(),
+                b.len(),
+                "bias gradient length mismatch at layer {k}"
+            );
             let mb = &mut self.m_b[k];
             let vb = &mut self.v_b[k];
-            let mut ub = vec![0.0; gb.len()];
-            for i in 0..gb.len() {
-                mb[i] = self.beta1 * mb[i] + (1.0 - self.beta1) * gb[i];
-                vb[i] = self.beta2 * vb[i] + (1.0 - self.beta2) * gb[i] * gb[i];
-                let mhat = mb[i] / b1t;
-                let vhat = vb[i] / b2t;
-                ub[i] = -self.lr * mhat / (vhat.sqrt() + self.eps);
+            assert_eq!(
+                mb.len(),
+                gb.len(),
+                "optimizer state does not match layer {k}; call reset() before \
+                 stepping a differently shaped network"
+            );
+            for (((bx, &gx), mx), vx) in b.iter_mut().zip(gb).zip(mb.iter_mut()).zip(vb.iter_mut())
+            {
+                *mx = self.beta1 * *mx + (1.0 - self.beta1) * gx;
+                *vx = self.beta2 * *vx + (1.0 - self.beta2) * gx * gx;
+                let mhat = *mx / b1t;
+                let vhat = *vx / b2t;
+                *bx += -self.lr * mhat / (vhat.sqrt() + self.eps);
             }
-            upd_b.push(ub);
         }
-        net.apply_update(&Gradients { dw: upd_w, db: upd_b }, 1.0);
     }
 
     /// Number of steps taken so far.

@@ -36,10 +36,12 @@
 mod adam;
 mod mlp;
 mod scaler;
+mod workspace;
 
 pub use adam::Adam;
 pub use mlp::{Activation, ForwardCache, Gradients, Mlp};
 pub use scaler::Scaler;
+pub use workspace::{train_step_mse_ws, TrainWorkspace};
 
 use linalg::Matrix;
 

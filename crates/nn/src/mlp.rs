@@ -13,7 +13,7 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, x: f64) -> f64 {
+    pub(crate) fn apply(self, x: f64) -> f64 {
         match self {
             Activation::Relu => x.max(0.0),
             Activation::Tanh => x.tanh(),
@@ -21,7 +21,7 @@ impl Activation {
     }
 
     /// Derivative expressed in terms of the pre-activation value.
-    fn derivative(self, x: f64) -> f64 {
+    pub(crate) fn derivative(self, x: f64) -> f64 {
         match self {
             Activation::Relu => {
                 if x > 0.0 {
@@ -46,7 +46,7 @@ struct Dense {
 }
 
 /// Parameter gradients for a whole network, shaped like the network itself.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Gradients {
     pub(crate) dw: Vec<Matrix>,
     pub(crate) db: Vec<Vec<f64>>,
@@ -55,8 +55,16 @@ pub struct Gradients {
 impl Gradients {
     /// Sum of squared gradient entries (for monitoring/clipping).
     pub fn norm_sq(&self) -> f64 {
-        let w: f64 = self.dw.iter().map(|m| m.as_slice().iter().map(|v| v * v).sum::<f64>()).sum();
-        let b: f64 = self.db.iter().map(|v| v.iter().map(|x| x * x).sum::<f64>()).sum();
+        let w: f64 = self
+            .dw
+            .iter()
+            .map(|m| m.as_slice().iter().map(|v| v * v).sum::<f64>())
+            .sum();
+        let b: f64 = self
+            .db
+            .iter()
+            .map(|v| v.iter().map(|x| x * x).sum::<f64>())
+            .sum();
         w + b
     }
 
@@ -112,7 +120,10 @@ impl Mlp {
                 Activation::Tanh => (2.0 / (fan_in + fan_out) as f64).sqrt(),
             };
             let w = Matrix::from_fn(fan_out, fan_in, |_, _| crate::gaussian(rng) * scale);
-            layers.push(Dense { w, b: vec![0.0; fan_out] });
+            layers.push(Dense {
+                w,
+                b: vec![0.0; fan_out],
+            });
         }
         Mlp { layers, hidden_act }
     }
@@ -134,11 +145,16 @@ impl Mlp {
 
     /// Total number of trainable parameters.
     pub fn num_params(&self) -> usize {
-        self.layers.iter().map(|l| l.w.rows() * l.w.cols() + l.b.len()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.w.rows() * l.w.cols() + l.b.len())
+            .sum()
     }
 
     fn layer_forward(layer: &Dense, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&layer.w.transpose());
+        // y = x·Wᵀ + b without materializing the transpose.
+        let mut y = Matrix::zeros(0, 0);
+        x.matmul_nt_into(&layer.w, &mut y);
         for i in 0..y.rows() {
             let row = y.row_mut(i);
             for (v, b) in row.iter_mut().zip(&layer.b) {
@@ -146,6 +162,24 @@ impl Mlp {
             }
         }
         y
+    }
+
+    /// Borrow of layer `k`'s weights and biases (for the workspace kernels).
+    pub(crate) fn layer(&self, k: usize) -> (&Matrix, &[f64]) {
+        let l = &self.layers[k];
+        (&l.w, &l.b)
+    }
+
+    /// Mutable borrow of layer `k`'s weights and biases (for in-place
+    /// optimizer updates).
+    pub(crate) fn layer_params_mut(&mut self, k: usize) -> (&mut Matrix, &mut Vec<f64>) {
+        let l = &mut self.layers[k];
+        (&mut l.w, &mut l.b)
+    }
+
+    /// The hidden activation function.
+    pub(crate) fn activation(&self) -> Activation {
+        self.hidden_act
     }
 
     /// Forward pass on a batch (rows are samples).
@@ -159,7 +193,11 @@ impl Mlp {
         let last = self.layers.len() - 1;
         for (k, layer) in self.layers.iter().enumerate() {
             let z = Self::layer_forward(layer, &a);
-            a = if k < last { z.map(|v| self.hidden_act.apply(v)) } else { z };
+            a = if k < last {
+                z.map(|v| self.hidden_act.apply(v))
+            } else {
+                z
+            };
         }
         a
     }
@@ -193,8 +231,16 @@ impl Mlp {
     /// Panics if the gradient shape does not match the cached batch.
     pub fn backward(&self, cache: &ForwardCache, grad_out: &Matrix) -> (Gradients, Matrix) {
         let last = self.layers.len() - 1;
-        assert_eq!(grad_out.cols(), self.output_dim(), "gradient width mismatch");
-        assert_eq!(grad_out.rows(), cache.inputs[0].rows(), "gradient batch mismatch");
+        assert_eq!(
+            grad_out.cols(),
+            self.output_dim(),
+            "gradient width mismatch"
+        );
+        assert_eq!(
+            grad_out.rows(),
+            cache.inputs[0].rows(),
+            "gradient batch mismatch"
+        );
 
         let mut dw = vec![Matrix::zeros(1, 1); self.layers.len()];
         let mut db = vec![Vec::new(); self.layers.len()];
@@ -225,22 +271,6 @@ impl Mlp {
         self.backward(cache, grad_out).1
     }
 
-    /// Applies a parameter update: `θ ← θ + scale·delta` for every
-    /// parameter, with `delta` shaped like [`Gradients`]. Used by the
-    /// optimizers.
-    pub(crate) fn apply_update(&mut self, delta: &Gradients, scale: f64) {
-        for (layer, (dwk, dbk)) in self.layers.iter_mut().zip(delta.dw.iter().zip(&delta.db)) {
-            for i in 0..layer.w.rows() {
-                for j in 0..layer.w.cols() {
-                    layer.w[(i, j)] += scale * dwk[(i, j)];
-                }
-            }
-            for (b, d) in layer.b.iter_mut().zip(dbk) {
-                *b += scale * d;
-            }
-        }
-    }
-
     /// Scales the final layer's weights and biases by `s`. With a small
     /// `s` the network initially outputs near-zero values — the DDPG trick
     /// for actor networks whose outputs are corrections.
@@ -254,7 +284,10 @@ impl Mlp {
 
     /// Shapes of all weight matrices, for optimizer state allocation.
     pub(crate) fn shapes(&self) -> Vec<(usize, usize)> {
-        self.layers.iter().map(|l| (l.w.rows(), l.w.cols())).collect()
+        self.layers
+            .iter()
+            .map(|l| (l.w.rows(), l.w.cols()))
+            .collect()
     }
 }
 

@@ -73,7 +73,25 @@ impl Scaler {
     /// Panics if the column count differs from the fitted data.
     pub fn transform(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.dim(), "column mismatch");
-        Matrix::from_fn(x.rows(), x.cols(), |i, j| (x[(i, j)] - self.mean[j]) / self.std[j])
+        Matrix::from_fn(x.rows(), x.cols(), |i, j| {
+            (x[(i, j)] - self.mean[j]) / self.std[j]
+        })
+    }
+
+    /// Standardizes a matrix into a caller-owned buffer (reshaped to fit,
+    /// reusing its allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted data.
+    pub fn transform_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.dim(), "column mismatch");
+        out.copy_from(x);
+        let cols = self.dim();
+        for (idx, v) in out.as_mut_slice().iter_mut().enumerate() {
+            let j = idx % cols;
+            *v = (*v - self.mean[j]) / self.std[j];
+        }
     }
 
     /// Inverts [`Scaler::transform`].
@@ -83,7 +101,24 @@ impl Scaler {
     /// Panics if the column count differs from the fitted data.
     pub fn inverse_transform(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.dim(), "column mismatch");
-        Matrix::from_fn(x.rows(), x.cols(), |i, j| x[(i, j)] * self.std[j] + self.mean[j])
+        Matrix::from_fn(x.rows(), x.cols(), |i, j| {
+            x[(i, j)] * self.std[j] + self.mean[j]
+        })
+    }
+
+    /// Inverts [`Scaler::transform`] into a caller-owned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted data.
+    pub fn inverse_transform_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.dim(), "column mismatch");
+        out.copy_from(x);
+        let cols = self.dim();
+        for (idx, v) in out.as_mut_slice().iter_mut().enumerate() {
+            let j = idx % cols;
+            *v = *v * self.std[j] + self.mean[j];
+        }
     }
 
     /// Standardizes a single row vector.

@@ -18,9 +18,7 @@
 
 use std::time::{Duration, Instant};
 
-use gp::{
-    probability_of_feasibility, weighted_expected_improvement, GpRegressor, RbfKernel,
-};
+use gp::{probability_of_feasibility, weighted_expected_improvement, GpRegressor, RbfKernel};
 use linalg::Matrix;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -50,7 +48,14 @@ pub struct BoWei {
 
 impl Default for BoWei {
     fn default() -> Self {
-        BoWei { n_init: 0, w: 0.5, max_train: 220, refit_every: 20, acq_pop: 24, acq_gens: 25 }
+        BoWei {
+            n_init: 0,
+            w: 0.5,
+            max_train: 220,
+            refit_every: 20,
+            acq_pop: 24,
+            acq_gens: 25,
+        }
     }
 }
 
@@ -85,7 +90,12 @@ impl Optimizer for BoWei {
         let (lb, ub) = problem.bounds();
         let d = problem.dim();
         let m = problem.num_constraints();
-        let n_init = if self.n_init > 0 { self.n_init } else { (2 * d).max(20) }.min(budget);
+        let n_init = if self.n_init > 0 {
+            self.n_init
+        } else {
+            (2 * d).max(20)
+        }
+        .min(budget);
         let mut ev = Evaluator::new(problem, fom, budget);
 
         for x in latin_hypercube(&mut rng, &lb, &ub, n_init) {
@@ -104,9 +114,7 @@ impl Optimizer for BoWei {
             let history = ev.history().entries().to_vec();
             let idx = training_window(&history, self.max_train);
             let n = idx.len();
-            let xs = Matrix::from_fn(n, d, |i, j| {
-                to_unit(&history[idx[i]].x, &lb, &ub)[j]
-            });
+            let xs = Matrix::from_fn(n, d, |i, j| to_unit(&history[idx[i]].x, &lb, &ub)[j]);
 
             let tm = Instant::now();
             // Objective GP: hyper-tuned periodically, cached lengthscale
@@ -116,7 +124,7 @@ impl Optimizer for BoWei {
                 let (clo, chi) = crate::problem::robust_clip_bounds(&raw);
                 raw.iter().map(|y| y.clamp(clo, chi)).collect()
             };
-            let obj_gp = if iter % self.refit_every == 0 {
+            let obj_gp = if iter.is_multiple_of(self.refit_every) {
                 let g = GpRegressor::fit_hyperopt(xs.clone(), y_obj.clone());
                 if let Ok(ref gg) = g {
                     // Probe the chosen lengthscale through a 1-point predict
@@ -132,8 +140,10 @@ impl Optimizer for BoWei {
             // Constraint GPs share the cached lengthscale.
             let mut con_gps: Vec<Option<GpRegressor>> = Vec::with_capacity(m);
             for c in 0..m {
-                let raw: Vec<f64> =
-                    idx.iter().map(|&i| history[i].spec.constraints[c]).collect();
+                let raw: Vec<f64> = idx
+                    .iter()
+                    .map(|&i| history[i].spec.constraints[c])
+                    .collect();
                 let (clo, chi) = crate::problem::robust_clip_bounds(&raw);
                 let yc: Vec<f64> = raw.iter().map(|y| y.clamp(clo, chi)).collect();
                 con_gps.push(fit_plain(&xs, &yc, lengthscale));
@@ -168,13 +178,7 @@ impl Optimizer for BoWei {
             };
 
             // Inner DE in the unit cube on the surrogate.
-            let next_u = maximize_with_de(
-                &acq,
-                d,
-                self.acq_pop,
-                self.acq_gens,
-                &mut rng,
-            );
+            let next_u = maximize_with_de(&acq, d, self.acq_pop, self.acq_gens, &mut rng);
             let next: Vec<f64> = next_u
                 .iter()
                 .enumerate()
@@ -206,7 +210,7 @@ pub(crate) fn best_lengthscale(x: &Matrix, y: &[f64]) -> Option<f64> {
     for &ls in &[0.1, 0.2, 0.5, 1.0, 2.0] {
         if let Some(gp) = fit_plain(x, y, ls) {
             let lml = gp.log_marginal_likelihood();
-            if best.map_or(true, |(_, b)| lml > b) {
+            if best.is_none_or(|(_, b)| lml > b) {
                 best = Some((ls, lml));
             }
         }
@@ -265,7 +269,9 @@ pub(crate) fn maximize_with_de<R: Rng + ?Sized>(
             }
         }
     }
-    let best = (0..np).max_by(|&a, &b| fit[a].partial_cmp(&fit[b]).unwrap()).unwrap_or(0);
+    let best = (0..np)
+        .max_by(|&a, &b| fit[a].partial_cmp(&fit[b]).unwrap())
+        .unwrap_or(0);
     xs[best].clone()
 }
 
@@ -303,7 +309,11 @@ mod tests {
     fn respects_budget() {
         let p = Sphere { d: 2 };
         let fom = Fom::uniform(1.0, p.num_constraints());
-        let bo = BoWei { acq_pop: 8, acq_gens: 5, ..Default::default() };
+        let bo = BoWei {
+            acq_pop: 8,
+            acq_gens: 5,
+            ..Default::default()
+        };
         let run = bo.run(&p, &fom, 45, StopPolicy::Exhaust, 2);
         assert_eq!(run.history.len(), 45);
     }
@@ -313,7 +323,10 @@ mod tests {
         let history: Vec<Evaluation> = (0..10)
             .map(|i| Evaluation {
                 x: vec![i as f64],
-                spec: crate::problem::SpecResult { objective: 0.0, constraints: vec![] },
+                spec: crate::problem::SpecResult {
+                    objective: 0.0,
+                    constraints: vec![],
+                },
                 fom: (10 - i) as f64,
                 feasible: false,
             })

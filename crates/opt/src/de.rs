@@ -14,6 +14,14 @@ use crate::Optimizer;
 /// Eq. 4's violation terms, matching how the paper compares methods on the
 /// same FoM scale).
 ///
+/// Uses the *synchronous* (generational) update: every generation breeds a
+/// full trial population from the current population snapshot, evaluates
+/// all trials as one batch — in parallel across worker threads via
+/// [`Evaluator::evaluate_batch`] — and then applies one-to-one selection.
+/// Each trial is bred with its own RNG seeded from `(seed, generation,
+/// index)` ([`crate::parallel::candidate_seed`]), so runs are bit-identical
+/// regardless of thread count.
+///
 /// # Example
 ///
 /// ```
@@ -45,7 +53,11 @@ pub struct DifferentialEvolution {
 
 impl Default for DifferentialEvolution {
     fn default() -> Self {
-        DifferentialEvolution { population: 0, f: 0.6, cr: 0.4 }
+        DifferentialEvolution {
+            population: 0,
+            f: 0.6,
+            cr: 0.4,
+        }
     }
 }
 
@@ -79,69 +91,76 @@ impl Optimizer for DifferentialEvolution {
         let np = self.pop_size(d).min(budget.max(1));
         let mut ev = Evaluator::new(problem, fom, budget);
 
-        // Initial population.
+        // Initial population, evaluated as one parallel batch.
         let mut pop = latin_hypercube(&mut rng, &lb, &ub, np);
-        let mut fit: Vec<f64> = Vec::with_capacity(np);
-        for x in &pop {
-            if ev.exhausted() {
-                break;
-            }
-            let e = ev.evaluate(x);
-            fit.push(e.fom);
-            if stop == StopPolicy::FirstFeasible && e.feasible {
-                return finish(self.name(), ev, t0);
-            }
-        }
-        // Budget smaller than the population: return what we have.
-        if fit.len() < np {
+        let evals = ev.evaluate_batch(&pop);
+        if stop == StopPolicy::FirstFeasible && evals.iter().any(|e| e.feasible) {
             return finish(self.name(), ev, t0);
         }
+        // Budget smaller than the population: return what we have.
+        if evals.len() < np {
+            return finish(self.name(), ev, t0);
+        }
+        let mut fit: Vec<f64> = evals.iter().map(|e| e.fom).collect();
 
+        let mut generation: u64 = 0;
         while !ev.exhausted() {
-            for i in 0..np {
-                if ev.exhausted() {
-                    break;
-                }
-                // Three distinct donors, all different from i.
-                let mut pick = || loop {
-                    let k = rng.gen_range(0..np);
-                    if k != i {
-                        return k;
-                    }
-                };
-                let (r1, r2, r3) = {
-                    let a = pick();
-                    let b = loop {
-                        let k = pick();
-                        if k != a {
-                            break k;
+            generation += 1;
+            // Breed a full trial generation from the current population
+            // snapshot. Each trial uses its own deterministic RNG, so the
+            // generation is independent of evaluation order.
+            let trials: Vec<Vec<f64>> = (0..np)
+                .map(|i| {
+                    let mut crng = StdRng::seed_from_u64(crate::parallel::candidate_seed(
+                        seed, generation, i as u64,
+                    ));
+                    // Three distinct donors, all different from i.
+                    let mut pick = || loop {
+                        let k = crng.gen_range(0..np);
+                        if k != i {
+                            return k;
                         }
                     };
-                    let c = loop {
-                        let k = pick();
-                        if k != a && k != b {
-                            break k;
-                        }
+                    let (r1, r2, r3) = {
+                        let a = pick();
+                        let b = loop {
+                            let k = pick();
+                            if k != a {
+                                break k;
+                            }
+                        };
+                        let c = loop {
+                            let k = pick();
+                            if k != a && k != b {
+                                break k;
+                            }
+                        };
+                        (a, b, c)
                     };
-                    (a, b, c)
-                };
-                // Mutation + binomial crossover.
-                let jrand = rng.gen_range(0..d);
-                let mut trial = pop[i].clone();
-                for j in 0..d {
-                    if j == jrand || rng.gen::<f64>() < self.cr {
-                        let v = pop[r1][j] + self.f * (pop[r2][j] - pop[r3][j]);
-                        trial[j] = v.clamp(lb[j], ub[j]);
+                    // Mutation + binomial crossover.
+                    let jrand = crng.gen_range(0..d);
+                    let mut trial = pop[i].clone();
+                    for j in 0..d {
+                        if j == jrand || crng.gen::<f64>() < self.cr {
+                            let v = pop[r1][j] + self.f * (pop[r2][j] - pop[r3][j]);
+                            trial[j] = v.clamp(lb[j], ub[j]);
+                        }
                     }
-                }
-                let e = ev.evaluate(&trial);
+                    trial
+                })
+                .collect();
+            // Parallel batch evaluation, then one-to-one selection.
+            let evals = ev.evaluate_batch(&trials);
+            let mut saw_feasible = false;
+            for (i, e) in evals.iter().enumerate() {
                 if e.fom <= fit[i] {
-                    pop[i] = trial;
+                    pop[i].copy_from_slice(&trials[i]);
                     fit[i] = e.fom;
                 }
-                if stop == StopPolicy::FirstFeasible && e.feasible {
-                    return finish(self.name(), ev, t0);
-                }
+                saw_feasible |= e.feasible;
+            }
+            if stop == StopPolicy::FirstFeasible && saw_feasible {
+                break;
             }
         }
         finish(self.name(), ev, t0)
@@ -180,7 +199,11 @@ mod tests {
         let de = DifferentialEvolution::default();
         let run = de.run(&p, &fom, 2000, StopPolicy::Exhaust, 1);
         let best = run.history.best_feasible().expect("should find feasible");
-        assert!(best.spec.objective < 0.05, "objective {}", best.spec.objective);
+        assert!(
+            best.spec.objective < 0.05,
+            "objective {}",
+            best.spec.objective
+        );
         assert_eq!(run.history.len(), 2000);
     }
 
@@ -238,7 +261,11 @@ mod tests {
     fn population_stays_in_bounds() {
         let p = Sphere { d: 3 };
         let fom = Fom::uniform(1.0, p.num_constraints());
-        let de = DifferentialEvolution { population: 10, f: 0.9, cr: 1.0 };
+        let de = DifferentialEvolution {
+            population: 10,
+            f: 0.9,
+            cr: 1.0,
+        };
         let run = de.run(&p, &fom, 300, StopPolicy::Exhaust, 2);
         for e in run.history.entries() {
             for &v in &e.x {

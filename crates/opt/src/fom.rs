@@ -82,7 +82,11 @@ impl Fom {
     ///
     /// Panics if `f.len() != 1 + num_constraints`.
     pub fn value_of_vector(&self, f: &[f64]) -> f64 {
-        assert_eq!(f.len(), 1 + self.weights.len(), "spec vector length mismatch");
+        assert_eq!(
+            f.len(),
+            1 + self.weights.len(),
+            "spec vector length mismatch"
+        );
         let mut g = self.w0 * f[0];
         for (c, w) in f[1..].iter().zip(&self.weights) {
             g += (w * c).clamp(0.0, 1.0);
@@ -95,16 +99,33 @@ impl Fom {
     /// backpropagates through the critic. At the clip corners the
     /// zero-branch subgradient is chosen.
     pub fn value_and_grad(&self, f: &[f64]) -> (f64, Vec<f64>) {
-        assert_eq!(f.len(), 1 + self.weights.len(), "spec vector length mismatch");
-        let mut g = self.w0 * f[0];
         let mut grad = vec![0.0; f.len()];
+        let g = self.value_and_grad_into(f, &mut grad);
+        (g, grad)
+    }
+
+    /// [`Fom::value_and_grad`] writing the gradient into a caller-owned
+    /// slice — the allocation-free path of the actor's training loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f.len()` or `grad.len()` differs from
+    /// `1 + num_constraints`.
+    pub fn value_and_grad_into(&self, f: &[f64], grad: &mut [f64]) -> f64 {
+        assert_eq!(
+            f.len(),
+            1 + self.weights.len(),
+            "spec vector length mismatch"
+        );
+        assert_eq!(grad.len(), f.len(), "gradient length mismatch");
+        let mut g = self.w0 * f[0];
         grad[0] = self.w0;
         for (i, (c, w)) in f[1..].iter().zip(&self.weights).enumerate() {
             let u = w * c;
             g += u.clamp(0.0, 1.0);
             grad[i + 1] = if u > 0.0 && u < 1.0 { *w } else { 0.0 };
         }
-        (g, grad)
+        g
     }
 }
 
@@ -113,7 +134,10 @@ mod tests {
     use super::*;
 
     fn spec(obj: f64, cons: &[f64]) -> SpecResult {
-        SpecResult { objective: obj, constraints: cons.to_vec() }
+        SpecResult {
+            objective: obj,
+            constraints: cons.to_vec(),
+        }
     }
 
     #[test]
@@ -156,7 +180,12 @@ mod tests {
             let mut fm = f.clone();
             fm[i] -= h;
             let fd = (fom.value_of_vector(&fp) - fom.value_of_vector(&fm)) / (2.0 * h);
-            assert!((grad[i] - fd).abs() < 1e-6, "grad[{i}]: {} vs {}", grad[i], fd);
+            assert!(
+                (grad[i] - fd).abs() < 1e-6,
+                "grad[{i}]: {} vs {}",
+                grad[i],
+                fd
+            );
         }
     }
 

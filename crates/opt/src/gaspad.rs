@@ -74,8 +74,17 @@ impl Optimizer for Gaspad {
         let mut rng = StdRng::seed_from_u64(seed);
         let (lb, ub) = problem.bounds();
         let d = problem.dim();
-        let np = if self.population > 0 { self.population } else { (3 * d).max(20) };
-        let n_init = if self.n_init > 0 { self.n_init } else { (2 * d).max(20) }.min(budget);
+        let np = if self.population > 0 {
+            self.population
+        } else {
+            (3 * d).max(20)
+        };
+        let n_init = if self.n_init > 0 {
+            self.n_init
+        } else {
+            (2 * d).max(20)
+        }
+        .min(budget);
         let mut ev = Evaluator::new(problem, fom, budget);
 
         for x in latin_hypercube(&mut rng, &lb, &ub, n_init) {
@@ -108,7 +117,7 @@ impl Optimizer for Gaspad {
             let (clo, chi) = crate::problem::robust_clip_bounds(&raw_ys);
             let ys: Vec<f64> = raw_ys.iter().map(|y| y.clamp(clo, chi)).collect();
             let tm = Instant::now();
-            if iter % self.refit_every == 0 {
+            if iter.is_multiple_of(self.refit_every) {
                 lengthscale = best_lengthscale(&xs, &ys).unwrap_or(lengthscale);
             }
             let gp = fit_plain(&xs, &ys, lengthscale);
@@ -136,7 +145,7 @@ impl Optimizer for Gaspad {
                     }
                     None => rng.gen::<f64>(), // degenerate GP: random pick
                 };
-                if best_child.as_ref().map_or(true, |(_, s)| score < *s) {
+                if best_child.as_ref().is_none_or(|(_, s)| score < *s) {
                     best_child = Some((child, score));
                 }
             }
@@ -175,7 +184,10 @@ mod tests {
     fn spends_one_sim_per_iteration_after_init() {
         let p = Sphere { d: 3 };
         let fom = Fom::uniform(1.0, p.num_constraints());
-        let g = Gaspad { n_init: 20, ..Default::default() };
+        let g = Gaspad {
+            n_init: 20,
+            ..Default::default()
+        };
         let run = g.run(&p, &fom, 50, StopPolicy::Exhaust, 7);
         // 20 init + 30 iterations = exactly the budget.
         assert_eq!(run.history.len(), 50);

@@ -48,7 +48,10 @@ impl History {
             self.best_index = Some(idx);
             eval.fom
         } else {
-            self.entries[self.best_index.expect("best_index set whenever entries exist")].fom
+            self.entries[self
+                .best_index
+                .expect("best_index set whenever entries exist")]
+            .fom
         };
         self.best_trace.push(best_fom);
         self.entries.push(eval);
@@ -108,7 +111,13 @@ pub struct Evaluator<'a> {
 impl<'a> Evaluator<'a> {
     /// Creates an evaluator with a simulation budget.
     pub fn new(problem: &'a dyn SizingProblem, fom: &'a Fom, budget: usize) -> Self {
-        Evaluator { problem, fom, budget, history: History::new(), sim_time: Duration::ZERO }
+        Evaluator {
+            problem,
+            fom,
+            budget,
+            history: History::new(),
+            sim_time: Duration::ZERO,
+        }
     }
 
     /// Runs (and records) one expensive evaluation.
@@ -123,9 +132,52 @@ impl<'a> Evaluator<'a> {
         let spec = self.problem.evaluate(x);
         self.sim_time += t0.elapsed();
         let fom = self.fom.value(&spec);
-        let eval = Evaluation { x: x.to_vec(), feasible: spec.feasible(), fom, spec };
+        let eval = Evaluation {
+            x: x.to_vec(),
+            feasible: spec.feasible(),
+            fom,
+            spec,
+        };
         self.history.push(eval.clone());
         eval
+    }
+
+    /// Evaluates a whole candidate population, fanning the expensive
+    /// simulations out over worker threads (see [`crate::parallel`]), and
+    /// records the results **in candidate order** — so histories, best
+    /// traces and first-feasible indices are bit-identical to evaluating
+    /// the same candidates serially, regardless of thread count.
+    ///
+    /// At most [`Evaluator::remaining`] candidates are evaluated; the rest
+    /// are silently dropped, which keeps optimizers' budget accounting a
+    /// non-event. Returns the recorded evaluations.
+    pub fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
+        let take = xs.len().min(self.remaining());
+        let batch = &xs[..take];
+        let problem = self.problem;
+        // Per-call durations are timed inside the workers and summed, so
+        // `sim_time` keeps the same meaning as the serial `evaluate` path
+        // (total simulator time, not batch wall-clock) for any thread
+        // count.
+        let specs = crate::parallel::par_map(batch, |x| {
+            let t0 = Instant::now();
+            let spec = problem.evaluate(x);
+            (spec, t0.elapsed())
+        });
+        let mut out = Vec::with_capacity(take);
+        for (x, (spec, dt)) in batch.iter().zip(specs) {
+            self.sim_time += dt;
+            let fom = self.fom.value(&spec);
+            let eval = Evaluation {
+                x: x.clone(),
+                feasible: spec.feasible(),
+                fom,
+                spec,
+            };
+            self.history.push(eval.clone());
+            out.push(eval);
+        }
+        out
     }
 
     /// True when no budget remains.
@@ -216,7 +268,10 @@ mod tests {
     fn eval(fom: f64, feasible: bool) -> Evaluation {
         Evaluation {
             x: vec![0.0],
-            spec: SpecResult { objective: fom, constraints: vec![] },
+            spec: SpecResult {
+                objective: fom,
+                constraints: vec![],
+            },
             fom,
             feasible,
         }

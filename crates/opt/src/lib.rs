@@ -47,6 +47,7 @@ mod de;
 mod fom;
 mod gaspad;
 mod history;
+pub mod parallel;
 mod problem;
 mod random;
 mod sa;
@@ -94,7 +95,11 @@ mod tests {
             Box::new(DifferentialEvolution::default()),
             Box::new(SimulatedAnnealing::default()),
             Box::new(RandomSearch),
-            Box::new(BoWei { acq_pop: 8, acq_gens: 4, ..Default::default() }),
+            Box::new(BoWei {
+                acq_pop: 8,
+                acq_gens: 4,
+                ..Default::default()
+            }),
             Box::new(Gaspad::default()),
         ];
         for o in &opts {
@@ -118,7 +123,12 @@ mod tests {
         for o in &opts {
             let a = o.run(&p, &fom, 40, StopPolicy::Exhaust, 17);
             let b = o.run(&p, &fom, 40, StopPolicy::Exhaust, 17);
-            assert_eq!(a.history.best_trace(), b.history.best_trace(), "{}", o.name());
+            assert_eq!(
+                a.history.best_trace(),
+                b.history.best_trace(),
+                "{}",
+                o.name()
+            );
         }
     }
 }

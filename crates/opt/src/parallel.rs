@@ -1,0 +1,143 @@
+//! Deterministic data parallelism for population evaluation.
+//!
+//! Optimizers evaluate candidate populations through
+//! [`crate::Evaluator::evaluate_batch`], which fans the expensive
+//! simulations out over scoped worker threads via [`par_map`]. Parallelism
+//! changes **wall-clock time only**, never results:
+//!
+//! - candidates are generated *before* evaluation (with per-candidate
+//!   seeded RNGs where generation is stochastic, see [`candidate_seed`]),
+//! - each worker owns a contiguous chunk and returns results in order, so
+//!   the assembled output vector is independent of thread count and
+//!   scheduling,
+//! - evaluations are recorded into the history in the original candidate
+//!   order.
+//!
+//! The worker count defaults to the machine's available parallelism,
+//! clamped by the `DNNOPT_THREADS` environment variable and overridable
+//! programmatically with [`set_max_threads`] (used by the determinism
+//! tests to compare serial and parallel runs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = "not set, use the environment/hardware default".
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread cap for subsequent [`par_map`] calls.
+/// `1` forces fully serial evaluation; `0` restores the default.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The worker-thread cap currently in effect: [`set_max_threads`] if set,
+/// else `DNNOPT_THREADS`, else the machine's available parallelism.
+pub fn max_threads() -> usize {
+    let forced = MAX_THREADS.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("DNNOPT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Mixes a run seed, a round index, and a candidate index into an
+/// independent per-candidate RNG seed (SplitMix64 finalizer). Candidate
+/// generation seeded this way is identical no matter how work is split
+/// across threads — the keystone of bit-identical parallel evaluation.
+pub fn candidate_seed(seed: u64, round: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Applies `f` to every item, in parallel when it pays off, returning the
+/// results **in input order**. Items are split into one contiguous chunk
+/// per worker; each worker maps its chunk independently, so `f` must be
+/// pure with respect to ordering (it sees only its item).
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = max_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Contiguous chunks, sized to cover all items with the first
+    // `remainder` chunks one longer.
+    let base = items.len() / threads;
+    let remainder = items.len() % threads;
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut start = 0;
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let len = base + usize::from(t < remainder);
+            let chunk = &items[start..start + len];
+            start += len;
+            handles.push(scope.spawn(move || chunk.iter().map(f).collect::<Vec<U>>()));
+        }
+        for h in handles {
+            results.push(h.join().expect("population evaluation worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<f64> = (0..57).map(|i| i as f64 * 0.37).collect();
+        set_max_threads(1);
+        let serial = par_map(&items, |&x| (x.sin() * 1e6).to_bits());
+        set_max_threads(8);
+        let parallel = par_map(&items, |&x| (x.sin() * 1e6).to_bits());
+        set_max_threads(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn candidate_seeds_are_decorrelated() {
+        let a = candidate_seed(1, 0, 0);
+        let b = candidate_seed(1, 0, 1);
+        let c = candidate_seed(1, 1, 0);
+        let d = candidate_seed(2, 0, 0);
+        let all = [a, b, c, d];
+        for (i, x) in all.iter().enumerate() {
+            for y in &all[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+    }
+}

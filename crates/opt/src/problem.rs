@@ -31,7 +31,10 @@ impl SpecResult {
     /// Panics on an empty slice.
     pub fn from_vector(v: &[f64]) -> Self {
         assert!(!v.is_empty(), "spec vector needs at least the objective");
-        SpecResult { objective: v[0], constraints: v[1..].to_vec() }
+        SpecResult {
+            objective: v[0],
+            constraints: v[1..].to_vec(),
+        }
     }
 
     /// A deliberately terrible result used when a simulation fails: large
@@ -39,14 +42,20 @@ impl SpecResult {
     /// loops total (no `Result` plumbing through every algorithm) while
     /// making failed regions strongly repellent.
     pub fn failed(num_constraints: usize) -> Self {
-        SpecResult { objective: 1e12, constraints: vec![1e12; num_constraints] }
+        SpecResult {
+            objective: 1e12,
+            constraints: vec![1e12; num_constraints],
+        }
     }
 
     /// True if this is a failure placeholder (any non-finite or huge entry).
     pub fn is_failure(&self) -> bool {
         !self.objective.is_finite()
             || self.objective >= 1e12
-            || self.constraints.iter().any(|c| !c.is_finite() || *c >= 1e12)
+            || self
+                .constraints
+                .iter()
+                .any(|c| !c.is_finite() || *c >= 1e12)
     }
 }
 
@@ -58,7 +67,11 @@ impl SpecResult {
 ///
 /// Implementations wrap a circuit testbench; `evaluate` is the expensive
 /// "SPICE simulation" every optimizer counts.
-pub trait SizingProblem {
+///
+/// The `Sync` supertrait lets [`crate::Evaluator::evaluate_batch`] fan
+/// candidate populations out across worker threads; implementations are
+/// plain data plus pure computation, so this costs nothing in practice.
+pub trait SizingProblem: Sync {
     /// Number of design variables `d`.
     fn dim(&self) -> usize;
 
@@ -123,7 +136,10 @@ pub fn robust_clip_bounds(values: &[f64]) -> (f64, f64) {
 ///
 /// Panics if lengths disagree.
 pub fn to_unit(x: &[f64], lb: &[f64], ub: &[f64]) -> Vec<f64> {
-    assert!(x.len() == lb.len() && x.len() == ub.len(), "to_unit: length mismatch");
+    assert!(
+        x.len() == lb.len() && x.len() == ub.len(),
+        "to_unit: length mismatch"
+    );
     x.iter()
         .zip(lb.iter().zip(ub))
         .map(|(&v, (&l, &u))| if u > l { (v - l) / (u - l) } else { 0.5 })
@@ -136,7 +152,10 @@ pub fn to_unit(x: &[f64], lb: &[f64], ub: &[f64]) -> Vec<f64> {
 ///
 /// Panics if lengths disagree.
 pub fn from_unit(u: &[f64], lb: &[f64], ub: &[f64]) -> Vec<f64> {
-    assert!(u.len() == lb.len() && u.len() == ub.len(), "from_unit: length mismatch");
+    assert!(
+        u.len() == lb.len() && u.len() == ub.len(),
+        "from_unit: length mismatch"
+    );
     u.iter()
         .zip(lb.iter().zip(ub))
         .map(|(&t, (&l, &h))| l + t * (h - l))
@@ -171,7 +190,10 @@ pub(crate) mod test_problems {
             let objective = x.iter().map(|v| (v - 0.3).powi(2)).sum();
             let mut constraints: Vec<f64> = x.iter().map(|v| 0.1 - v).collect();
             constraints.push(x.iter().sum::<f64>() - 0.8 * self.d as f64);
-            SpecResult { objective, constraints }
+            SpecResult {
+                objective,
+                constraints,
+            }
         }
 
         fn name(&self) -> &str {
@@ -201,7 +223,10 @@ pub(crate) mod test_problems {
         fn evaluate(&self, x: &[f64]) -> SpecResult {
             let objective = x.iter().sum::<f64>();
             let constraints = x.iter().map(|v| (v - 0.7).abs() - 0.05).collect();
-            SpecResult { objective, constraints }
+            SpecResult {
+                objective,
+                constraints,
+            }
         }
 
         fn name(&self) -> &str {
@@ -217,15 +242,24 @@ mod tests {
 
     #[test]
     fn feasibility_detection() {
-        let ok = SpecResult { objective: 1.0, constraints: vec![-0.1, 0.0] };
+        let ok = SpecResult {
+            objective: 1.0,
+            constraints: vec![-0.1, 0.0],
+        };
         assert!(ok.feasible());
-        let bad = SpecResult { objective: 1.0, constraints: vec![-0.1, 0.01] };
+        let bad = SpecResult {
+            objective: 1.0,
+            constraints: vec![-0.1, 0.01],
+        };
         assert!(!bad.feasible());
     }
 
     #[test]
     fn vector_roundtrip() {
-        let s = SpecResult { objective: 2.0, constraints: vec![1.0, -1.0] };
+        let s = SpecResult {
+            objective: 2.0,
+            constraints: vec![1.0, -1.0],
+        };
         let v = s.as_vector();
         assert_eq!(v, vec![2.0, 1.0, -1.0]);
         assert_eq!(SpecResult::from_vector(&v), s);
@@ -236,7 +270,10 @@ mod tests {
         let f = SpecResult::failed(3);
         assert!(!f.feasible());
         assert!(f.is_failure());
-        let ok = SpecResult { objective: 1.0, constraints: vec![0.0] };
+        let ok = SpecResult {
+            objective: 1.0,
+            constraints: vec![0.0],
+        };
         assert!(!ok.is_failure());
     }
 

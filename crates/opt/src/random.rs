@@ -14,8 +14,18 @@ use crate::Optimizer;
 /// Uniform random sampling of the design box. Any serious optimizer must
 /// beat this; it also provides the paper's "random RL agent" intuition
 /// floor.
+///
+/// Candidates are drawn (serially, from the seeded master RNG) in batches
+/// of [`RandomSearch::BATCH`] and evaluated in parallel via
+/// [`Evaluator::evaluate_batch`]; the batch size is a fixed constant so
+/// recorded histories never depend on the machine's thread count.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RandomSearch;
+
+impl RandomSearch {
+    /// Candidates evaluated per parallel batch.
+    pub const BATCH: usize = 32;
+}
 
 impl Optimizer for RandomSearch {
     fn name(&self) -> &'static str {
@@ -35,9 +45,10 @@ impl Optimizer for RandomSearch {
         let (lb, ub) = problem.bounds();
         let mut ev = Evaluator::new(problem, fom, budget);
         while !ev.exhausted() {
-            let x = &sample_uniform(&mut rng, &lb, &ub, 1)[0];
-            let e = ev.evaluate(x);
-            if stop == StopPolicy::FirstFeasible && e.feasible {
+            let n = ev.remaining().min(Self::BATCH);
+            let xs = sample_uniform(&mut rng, &lb, &ub, n);
+            let evals = ev.evaluate_batch(&xs);
+            if stop == StopPolicy::FirstFeasible && evals.iter().any(|e| e.feasible) {
                 break;
             }
         }

@@ -28,7 +28,12 @@ pub struct SimulatedAnnealing {
 
 impl Default for SimulatedAnnealing {
     fn default() -> Self {
-        SimulatedAnnealing { t_initial: 1.0, t_final: 1e-3, step_fraction: 0.25, restarts: 1 }
+        SimulatedAnnealing {
+            t_initial: 1.0,
+            t_final: 1e-3,
+            step_fraction: 0.25,
+            restarts: 1,
+        }
     }
 }
 
@@ -213,7 +218,10 @@ mod tests {
     fn restarts_are_supported() {
         let p = Sphere { d: 3 };
         let fom = Fom::uniform(1.0, p.num_constraints());
-        let sa = SimulatedAnnealing { restarts: 4, ..Default::default() };
+        let sa = SimulatedAnnealing {
+            restarts: 4,
+            ..Default::default()
+        };
         let run = sa.run(&p, &fom, 400, StopPolicy::Exhaust, 8);
         assert_eq!(run.history.len(), 400);
     }

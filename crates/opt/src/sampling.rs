@@ -7,7 +7,12 @@ use rand::Rng;
 /// # Panics
 ///
 /// Panics if `lb.len() != ub.len()`.
-pub fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lb: &[f64], ub: &[f64], n: usize) -> Vec<Vec<f64>> {
+pub fn sample_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    lb: &[f64],
+    ub: &[f64],
+    n: usize,
+) -> Vec<Vec<f64>> {
     assert_eq!(lb.len(), ub.len(), "bound length mismatch");
     (0..n)
         .map(|_| {
@@ -26,7 +31,12 @@ pub fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lb: &[f64], ub: &[f64], n: u
 /// # Panics
 ///
 /// Panics if `lb.len() != ub.len()` or `n == 0`.
-pub fn latin_hypercube<R: Rng + ?Sized>(rng: &mut R, lb: &[f64], ub: &[f64], n: usize) -> Vec<Vec<f64>> {
+pub fn latin_hypercube<R: Rng + ?Sized>(
+    rng: &mut R,
+    lb: &[f64],
+    ub: &[f64],
+    n: usize,
+) -> Vec<Vec<f64>> {
     assert_eq!(lb.len(), ub.len(), "bound length mismatch");
     assert!(n > 0, "need at least one sample");
     let d = lb.len();
@@ -40,7 +50,11 @@ pub fn latin_hypercube<R: Rng + ?Sized>(rng: &mut R, lb: &[f64], ub: &[f64], n: 
         }
         for (i, &stratum) in perm.iter().enumerate() {
             let u = (stratum as f64 + rng.gen::<f64>()) / n as f64;
-            out[i][j] = if ub[j] > lb[j] { lb[j] + u * (ub[j] - lb[j]) } else { lb[j] };
+            out[i][j] = if ub[j] > lb[j] {
+                lb[j] + u * (ub[j] - lb[j])
+            } else {
+                lb[j]
+            };
         }
     }
     out

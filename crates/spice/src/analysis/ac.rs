@@ -6,7 +6,7 @@
 //! controlled sources), `C` the constant capacitances, and `b` the AC
 //! magnitudes of the independent sources.
 
-use linalg::{C64, ComplexLu};
+use linalg::{ComplexLu, C64};
 
 use crate::analysis::dc::OpPoint;
 use crate::error::SpiceError;
@@ -113,7 +113,13 @@ pub(crate) fn assemble_small_signal(
         match dev {
             Device::Resistor { a, b, g, .. } => st.admittance(*a, *b, C64::real(*g)),
             Device::Capacitor { a, b, c, .. } => st.admittance(*a, *b, C64::new(0.0, omega * c)),
-            Device::VSource { p, n, ac_mag, branch, .. } => {
+            Device::VSource {
+                p,
+                n,
+                ac_mag,
+                branch,
+                ..
+            } => {
                 let v = if zero_sources { 0.0 } else { *ac_mag };
                 st.vsource(*branch, *p, *n, C64::real(v));
             }
@@ -121,11 +127,29 @@ pub(crate) fn assemble_small_signal(
                 let i = if zero_sources { 0.0 } else { *ac_mag };
                 st.current_source(*p, *n, C64::real(i));
             }
-            Device::Vcvs { p, n, cp, cn, gain, branch, .. } => {
+            Device::Vcvs {
+                p,
+                n,
+                cp,
+                cn,
+                gain,
+                branch,
+                ..
+            } => {
                 st.vcvs(*branch, *p, *n, *cp, *cn, *gain);
             }
-            Device::Vccs { p, n, cp, cn, gm, .. } => st.vccs(*p, *n, *cp, *cn, *gm),
-            Device::Mosfet { name, d, g, s, b, caps, .. } => {
+            Device::Vccs {
+                p, n, cp, cn, gm, ..
+            } => st.vccs(*p, *n, *cp, *cn, *gm),
+            Device::Mosfet {
+                name,
+                d,
+                g,
+                s,
+                b,
+                caps,
+                ..
+            } => {
                 let mop = op
                     .mos_op(name)
                     .expect("operating point must cover every MOSFET");
@@ -159,7 +183,9 @@ pub fn ac(
     freqs: &[f64],
 ) -> Result<AcSweep, SpiceError> {
     if freqs.is_empty() {
-        return Err(SpiceError::BadAnalysis { reason: "empty frequency grid".to_string() });
+        return Err(SpiceError::BadAnalysis {
+            reason: "empty frequency grid".to_string(),
+        });
     }
     let n_nodes = circuit.num_nodes();
     let mut st = ComplexStamper::new(circuit);
@@ -176,7 +202,10 @@ pub fn ac(
         }
         v.push(vf);
     }
-    Ok(AcSweep { freqs: freqs.to_vec(), v })
+    Ok(AcSweep {
+        freqs: freqs.to_vec(),
+        v,
+    })
 }
 
 #[cfg(test)]
@@ -191,7 +220,8 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("in");
         let b = c.node("out");
-        c.add_vsource_ac("V1", a, GND, Waveform::Dc(0.0), 1.0).unwrap();
+        c.add_vsource_ac("V1", a, GND, Waveform::Dc(0.0), 1.0)
+            .unwrap();
         c.add_resistor("R1", a, b, 1e3).unwrap();
         c.add_capacitor("C1", b, GND, 1e-6).unwrap();
         let opts = SimOptions::default();
@@ -200,7 +230,11 @@ mod tests {
         let sweep = ac(&c, &opts, &op, &[f3 / 100.0, f3, f3 * 100.0]).unwrap();
         let mag = sweep.magnitude(b);
         assert!((mag[0] - 1.0).abs() < 1e-3, "passband {}", mag[0]);
-        assert!((mag[1] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3, "-3dB {}", mag[1]);
+        assert!(
+            (mag[1] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3,
+            "-3dB {}",
+            mag[1]
+        );
         assert!((mag[2] - 0.01).abs() < 2e-4, "stopband {}", mag[2]);
         // Phase at f3dB is -45 degrees.
         let ph = sweep.voltage(1, b).arg().to_degrees();
@@ -212,7 +246,8 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("in");
         let b = c.node("out");
-        c.add_vsource_ac("V1", a, GND, Waveform::Dc(0.0), 1.0).unwrap();
+        c.add_vsource_ac("V1", a, GND, Waveform::Dc(0.0), 1.0)
+            .unwrap();
         c.add_vcvs("E1", b, GND, a, GND, 42.0).unwrap();
         c.add_resistor("RL", b, GND, 1e3).unwrap();
         let opts = SimOptions::default();
@@ -242,7 +277,8 @@ mod tests {
         let a = c.node("in");
         let m = c.node("mid");
         let b = c.node("out");
-        c.add_vsource_ac("V1", a, GND, Waveform::Dc(0.0), 1.0).unwrap();
+        c.add_vsource_ac("V1", a, GND, Waveform::Dc(0.0), 1.0)
+            .unwrap();
         c.add_resistor("R1", a, m, 1e3).unwrap();
         c.add_capacitor("C1", m, GND, 1e-6).unwrap();
         c.add_resistor("R2", m, b, 10e3).unwrap();
@@ -252,7 +288,12 @@ mod tests {
         let sweep = ac(&c, &opts, &op, &log_freqs(1.0, 1e6, 20)).unwrap();
         let ph = sweep.diff_phase_unwrapped(b, GND);
         for w in ph.windows(2) {
-            assert!((w[1] - w[0]).abs() < 1.0, "phase jump: {} -> {}", w[0], w[1]);
+            assert!(
+                (w[1] - w[0]).abs() < 1.0,
+                "phase jump: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
         assert!(ph.last().unwrap().to_degrees() < -150.0);
     }

@@ -14,7 +14,8 @@ use crate::error::SpiceError;
 use crate::mos::{MosEval, MosRegion};
 use crate::netlist::{Circuit, Device, NodeId};
 use crate::options::SimOptions;
-use crate::stamp::{node_voltage, stamp_resistive, RealStamper, SourceEval};
+use crate::stamp::{node_voltage, stamp_resistive_system, RealStamper, SourceEval};
+use crate::workspace::NewtonWorkspace;
 
 /// Per-MOSFET operating-point report.
 #[derive(Debug, Clone, Copy)]
@@ -92,12 +93,16 @@ impl OpPoint {
     pub fn source_current(&self, circuit: &Circuit, name: &str) -> Result<f64, SpiceError> {
         let idx = circuit
             .device_index(name)
-            .ok_or_else(|| SpiceError::UnknownDevice { name: name.to_string() })?;
+            .ok_or_else(|| SpiceError::UnknownDevice {
+                name: name.to_string(),
+            })?;
         match &circuit.devices()[idx] {
             Device::VSource { branch, .. } | Device::Vcvs { branch, .. } => {
                 Ok(self.branch_currents[*branch])
             }
-            _ => Err(SpiceError::UnknownDevice { name: name.to_string() }),
+            _ => Err(SpiceError::UnknownDevice {
+                name: name.to_string(),
+            }),
         }
     }
 
@@ -130,27 +135,35 @@ impl OpPoint {
 ///   two linearizations, common with piecewise device models), the applied
 ///   fraction of the Newton step is reduced, which provably breaks period-2
 ///   oscillations; it recovers geometrically once progress resumes.
+///
+/// All solver state lives in `ws`, so one iteration performs no heap
+/// allocation: the stamper, LU factors, and step vector are reused across
+/// iterations, retries, and (for the transient engine) timesteps.
 pub(crate) fn newton_loop(
     circuit: &Circuit,
     opts: &SimOptions,
     max_iters: usize,
     x0: &[f64],
+    ws: &mut NewtonWorkspace,
     mut assemble: impl FnMut(&[f64], &mut RealStamper),
 ) -> Option<(Vec<f64>, usize)> {
     let trace = std::env::var_os("SPICE_DEBUG").is_some();
     let n = circuit.num_unknowns();
     let n_v = circuit.num_nodes() - 1;
     let mut x = x0.to_vec();
-    let mut st = RealStamper::new(circuit);
     let mut converged_once = false;
     let mut relax = 1.0_f64;
     let mut prev_dv = f64::INFINITY;
     let mut prev_damp = 1.0_f64;
     for iter in 0..max_iters {
-        st.clear();
-        assemble(&x, &mut st);
-        let lu = Lu::factor(&st.a).ok()?;
-        let x_new = lu.solve(&st.z);
+        ws.st.clear();
+        assemble(&x, &mut ws.st);
+        // `factor_in_place` steals the stamped matrix's storage (an O(1)
+        // buffer swap) — the next iteration's `clear` + `assemble` rebuild
+        // it from scratch anyway.
+        Lu::factor_in_place(&mut ws.st.a, &mut ws.lu).ok()?;
+        ws.lu.solve_into(&ws.st.z, &mut ws.x_new).ok()?;
+        let x_new = &ws.x_new;
         if x_new.iter().any(|v| !v.is_finite()) {
             return None;
         }
@@ -164,9 +177,7 @@ pub(crate) fn newton_loop(
         // Converged: the full Newton step is already below tolerance.
         if max_dv < tol {
             if converged_once {
-                for i in 0..n {
-                    x[i] = x_new[i];
-                }
+                x[..n].copy_from_slice(&x_new[..n]);
                 return Some((x, iter + 1));
             }
             converged_once = true;
@@ -187,7 +198,12 @@ pub(crate) fn newton_loop(
             relax = (relax * 1.4).min(1.0);
         }
         prev_dv = max_dv;
-        let damp = relax * if max_dv > opts.v_limit { opts.v_limit / max_dv } else { 1.0 };
+        let damp = relax
+            * if max_dv > opts.v_limit {
+                opts.v_limit / max_dv
+            } else {
+                1.0
+            };
         prev_damp = damp;
         for i in 0..n {
             x[i] += damp * (x_new[i] - x[i]);
@@ -211,10 +227,11 @@ fn nr_solve(
     scale: f64,
     x0: &[f64],
     max_iters: usize,
+    ws: &mut NewtonWorkspace,
 ) -> Option<(Vec<f64>, usize)> {
-    newton_loop(circuit, opts, max_iters, x0, |x, st| {
+    newton_loop(circuit, opts, max_iters, x0, ws, |x, st| {
         st.load_gmin(gmin);
-        stamp_resistive(circuit, x, SourceEval::Dc { scale }, st);
+        stamp_resistive_system(circuit, x, SourceEval::Dc { scale }, st);
     })
 }
 
@@ -228,7 +245,19 @@ fn build_op(circuit: &Circuit, x: Vec<f64>, iterations: usize) -> OpPoint {
     let branch_currents = x[(n_nodes - 1)..].to_vec();
     let mut mos = HashMap::new();
     for dev in circuit.devices() {
-        if let Device::Mosfet { name, d, g, s, b, model, w, l, m, .. } = dev {
+        if let Device::Mosfet {
+            name,
+            d,
+            g,
+            s,
+            b,
+            model,
+            w,
+            l,
+            m,
+            ..
+        } = dev
+        {
             let vgs = node_voltage(&x, *g) - node_voltage(&x, *s);
             let vds = node_voltage(&x, *d) - node_voltage(&x, *s);
             let vbs = node_voltage(&x, *b) - node_voltage(&x, *s);
@@ -251,7 +280,13 @@ fn build_op(circuit: &Circuit, x: Vec<f64>, iterations: usize) -> OpPoint {
             );
         }
     }
-    OpPoint { v, branch_currents, mos, x, iterations }
+    OpPoint {
+        v,
+        branch_currents,
+        mos,
+        x,
+        iterations,
+    }
 }
 
 /// Computes the DC operating point.
@@ -276,14 +311,38 @@ pub fn op_with_guess(
     opts: &SimOptions,
     guess: Option<&[f64]>,
 ) -> Result<OpPoint, SpiceError> {
+    let mut ws = NewtonWorkspace::new(circuit);
+    op_with_workspace(circuit, opts, guess, &mut ws)
+}
+
+/// Computes the DC operating point using caller-owned solver state.
+///
+/// The workspace (stamper, LU factors, step buffers) is reused across every
+/// Newton iteration and every gmin/source-stepping retry, so the solve
+/// performs no per-iteration allocation. Reuse one workspace across many
+/// solves of the same topology (sweeps, optimizer populations) for the full
+/// benefit; it resizes itself if the circuit's unknown count changes.
+///
+/// # Errors
+///
+/// Same failure modes as [`op`].
+pub fn op_with_workspace(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    guess: Option<&[f64]>,
+    ws: &mut NewtonWorkspace,
+) -> Result<OpPoint, SpiceError> {
     let n = circuit.num_unknowns();
     if n == 0 {
-        return Err(SpiceError::BadAnalysis { reason: "empty circuit".to_string() });
+        return Err(SpiceError::BadAnalysis {
+            reason: "empty circuit".to_string(),
+        });
     }
+    ws.ensure(circuit);
     let x0 = guess.map(<[f64]>::to_vec).unwrap_or_else(|| vec![0.0; n]);
 
     // 1. Plain NR.
-    if let Some((x, iters)) = nr_solve(circuit, opts, opts.gmin, 1.0, &x0, opts.max_nr_iters) {
+    if let Some((x, iters)) = nr_solve(circuit, opts, opts.gmin, 1.0, &x0, opts.max_nr_iters, ws) {
         return Ok(build_op(circuit, x, iters));
     }
 
@@ -294,7 +353,7 @@ pub fn op_with_guess(
     let mut total = 0;
     for exp in 2..=12 {
         let gmin = 10f64.powi(-exp);
-        match nr_solve(circuit, opts, gmin, 1.0, &x, opts.max_nr_iters) {
+        match nr_solve(circuit, opts, gmin, 1.0, &x, opts.max_nr_iters, ws) {
             Some((xn, it)) => {
                 x = xn;
                 total += it;
@@ -306,7 +365,7 @@ pub fn op_with_guess(
         }
     }
     if ok {
-        if let Some((xf, it)) = nr_solve(circuit, opts, opts.gmin, 1.0, &x, opts.max_nr_iters) {
+        if let Some((xf, it)) = nr_solve(circuit, opts, opts.gmin, 1.0, &x, opts.max_nr_iters, ws) {
             return Ok(build_op(circuit, xf, total + it));
         }
     }
@@ -317,7 +376,7 @@ pub fn op_with_guess(
     let mut ok = true;
     for step in 1..=10 {
         let scale = step as f64 / 10.0;
-        match nr_solve(circuit, opts, opts.gmin, scale, &x, opts.max_nr_iters) {
+        match nr_solve(circuit, opts, opts.gmin, scale, &x, opts.max_nr_iters, ws) {
             Some((xn, it)) => {
                 x = xn;
                 total += it;
@@ -332,7 +391,10 @@ pub fn op_with_guess(
         return Ok(build_op(circuit, x, total));
     }
 
-    Err(SpiceError::NoConvergence { analysis: "dc operating point", iterations: opts.max_nr_iters })
+    Err(SpiceError::NoConvergence {
+        analysis: "dc operating point",
+        iterations: opts.max_nr_iters,
+    })
 }
 
 /// Sweeps the DC value of one voltage source, warm-starting each point from
@@ -349,21 +411,30 @@ pub fn dc_sweep(
 ) -> Result<Vec<OpPoint>, SpiceError> {
     let idx = circuit
         .device_index(source)
-        .ok_or_else(|| SpiceError::UnknownDevice { name: source.to_string() })?;
+        .ok_or_else(|| SpiceError::UnknownDevice {
+            name: source.to_string(),
+        })?;
     if !matches!(circuit.devices()[idx], Device::VSource { .. }) {
-        return Err(SpiceError::UnknownDevice { name: source.to_string() });
+        return Err(SpiceError::UnknownDevice {
+            name: source.to_string(),
+        });
     }
     if values.is_empty() {
-        return Err(SpiceError::BadAnalysis { reason: "empty dc sweep".to_string() });
+        return Err(SpiceError::BadAnalysis {
+            reason: "empty dc sweep".to_string(),
+        });
     }
     let mut ckt = circuit.clone();
     let mut out = Vec::with_capacity(values.len());
     let mut guess: Option<Vec<f64>> = None;
+    // One workspace for the whole sweep: every point reuses the stamper and
+    // LU storage.
+    let mut ws = NewtonWorkspace::new(&ckt);
     for &val in values {
         if let Device::VSource { wave, .. } = &mut ckt.devices_mut()[idx] {
             *wave = crate::waveform::Waveform::Dc(val);
         }
-        let op = op_with_guess(&ckt, opts, guess.as_deref())?;
+        let op = op_with_workspace(&ckt, opts, guess.as_deref(), &mut ws)?;
         guess = Some(op.raw().to_vec());
         out.push(op);
     }
@@ -397,7 +468,12 @@ mod tests {
     }
 
     fn pmos() -> MosModel {
-        MosModel { polarity: MosPolarity::Pmos, vth0: 0.45, kp: 80e-6, ..nmos() }
+        MosModel {
+            polarity: MosPolarity::Pmos,
+            vth0: 0.45,
+            kp: 80e-6,
+            ..nmos()
+        }
     }
 
     #[test]
@@ -459,13 +535,19 @@ mod tests {
         c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
         c.add_resistor("R1", vdd, d, 10e3).unwrap();
         let m = nmos();
-        c.add_mosfet("M1", d, d, GND, GND, &m, 10e-6, 1e-6, 1.0).unwrap();
+        c.add_mosfet("M1", d, d, GND, GND, &m, 10e-6, 1e-6, 1.0)
+            .unwrap();
         let op = op(&c, &SimOptions::default()).unwrap();
         let v = op.voltage(d);
         assert!(v > 0.45 && v < 1.2, "diode voltage {v}");
         let mop = op.mos_op("M1").unwrap();
         let ir = (1.8 - v) / 10e3;
-        assert!((mop.id - ir).abs() / ir < 1e-3, "KCL violated: id={} ir={}", mop.id, ir);
+        assert!(
+            (mop.id - ir).abs() / ir < 1e-3,
+            "KCL violated: id={} ir={}",
+            mop.id,
+            ir
+        );
         assert_eq!(mop.region, MosRegion::Saturation);
     }
 
@@ -478,8 +560,10 @@ mod tests {
             let out = c.node("out");
             c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
             c.add_vsource("VIN", inp, GND, Waveform::Dc(vin)).unwrap();
-            c.add_mosfet("MN", out, inp, GND, GND, &nmos(), 2e-6, 0.18e-6, 1.0).unwrap();
-            c.add_mosfet("MP", out, inp, vdd, vdd, &pmos(), 4e-6, 0.18e-6, 1.0).unwrap();
+            c.add_mosfet("MN", out, inp, GND, GND, &nmos(), 2e-6, 0.18e-6, 1.0)
+                .unwrap();
+            c.add_mosfet("MP", out, inp, vdd, vdd, &pmos(), 4e-6, 0.18e-6, 1.0)
+                .unwrap();
             let op = op(&c, &SimOptions::default()).unwrap();
             op.voltage(out)
         };
@@ -498,7 +582,8 @@ mod tests {
         c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
         c.add_vsource("VG", g, GND, Waveform::Dc(0.7)).unwrap();
         c.add_resistor("RD", vdd, d, 8e3).unwrap();
-        c.add_mosfet("M1", d, g, GND, GND, &nmos(), 10e-6, 1e-6, 1.0).unwrap();
+        c.add_mosfet("M1", d, g, GND, GND, &nmos(), 10e-6, 1e-6, 1.0)
+            .unwrap();
         let op = op(&c, &SimOptions::default()).unwrap();
         let mop = op.mos_op("M1").unwrap();
         assert_eq!(mop.region, MosRegion::Saturation);
@@ -515,13 +600,18 @@ mod tests {
         let out = c.node("out");
         c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
         c.add_vsource("VIN", inp, GND, Waveform::Dc(0.0)).unwrap();
-        c.add_mosfet("MN", out, inp, GND, GND, &nmos(), 2e-6, 0.18e-6, 1.0).unwrap();
-        c.add_mosfet("MP", out, inp, vdd, vdd, &pmos(), 4e-6, 0.18e-6, 1.0).unwrap();
+        c.add_mosfet("MN", out, inp, GND, GND, &nmos(), 2e-6, 0.18e-6, 1.0)
+            .unwrap();
+        c.add_mosfet("MP", out, inp, vdd, vdd, &pmos(), 4e-6, 0.18e-6, 1.0)
+            .unwrap();
         let values: Vec<f64> = (0..=18).map(|i| i as f64 * 0.1).collect();
         let sweep = dc_sweep(&c, &SimOptions::default(), "VIN", &values).unwrap();
         let vout: Vec<f64> = sweep.iter().map(|o| o.voltage(out)).collect();
         for w in vout.windows(2) {
-            assert!(w[1] <= w[0] + 1e-6, "inverter VTC must be non-increasing: {vout:?}");
+            assert!(
+                w[1] <= w[0] + 1e-6,
+                "inverter VTC must be non-increasing: {vout:?}"
+            );
         }
     }
 
@@ -541,7 +631,10 @@ mod tests {
     #[test]
     fn empty_circuit_is_rejected() {
         let c = Circuit::new();
-        assert!(matches!(op(&c, &SimOptions::default()), Err(SpiceError::BadAnalysis { .. })));
+        assert!(matches!(
+            op(&c, &SimOptions::default()),
+            Err(SpiceError::BadAnalysis { .. })
+        ));
     }
 
     #[test]

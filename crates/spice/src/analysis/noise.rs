@@ -8,7 +8,7 @@
 //! thermal + flicker), and the integrated RMS noise is a trapezoidal
 //! integral of the PSD over the analysis band.
 
-use linalg::{C64, ComplexLu};
+use linalg::{ComplexLu, C64};
 
 use crate::analysis::ac::assemble_small_signal;
 use crate::analysis::dc::OpPoint;
@@ -63,7 +63,9 @@ pub fn noise(
     freqs: &[f64],
 ) -> Result<NoiseResult, SpiceError> {
     if freqs.is_empty() {
-        return Err(SpiceError::BadAnalysis { reason: "empty frequency grid".to_string() });
+        return Err(SpiceError::BadAnalysis {
+            reason: "empty frequency grid".to_string(),
+        });
     }
     let n = circuit.num_unknowns();
     let mut st = ComplexStamper::new(circuit);
@@ -79,8 +81,8 @@ pub fn noise(
                 at[j][i] = v;
             }
         }
-        let lu = ComplexLu::factor(at)
-            .map_err(|_| SpiceError::SingularMatrix { analysis: "noise" })?;
+        let lu =
+            ComplexLu::factor(at).map_err(|_| SpiceError::SingularMatrix { analysis: "noise" })?;
         let mut e_out = vec![C64::ZERO; n];
         if out_p != 0 {
             e_out[out_p - 1] = C64::ONE;
@@ -103,7 +105,14 @@ pub fn noise(
                     let s_i = 4.0 * BOLTZMANN * opts.temp * g;
                     s_out += transfer_sq(*a, *b) * s_i;
                 }
-                Device::Mosfet { name, d, s, model, l, .. } => {
+                Device::Mosfet {
+                    name,
+                    d,
+                    s,
+                    model,
+                    l,
+                    ..
+                } => {
                     let mop = op
                         .mos_op(name)
                         .expect("operating point must cover every MOSFET");
@@ -121,7 +130,11 @@ pub fn noise(
     for i in 1..freqs.len() {
         total += 0.5 * (psd[i] + psd[i - 1]) * (freqs[i] - freqs[i - 1]);
     }
-    Ok(NoiseResult { freqs: freqs.to_vec(), psd, total_rms: total.sqrt() })
+    Ok(NoiseResult {
+        freqs: freqs.to_vec(),
+        psd,
+        total_rms: total.sqrt(),
+    })
 }
 
 #[cfg(test)]
@@ -216,11 +229,15 @@ mod tests {
         c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
         c.add_vsource("VG", g, GND, Waveform::Dc(0.7)).unwrap();
         c.add_resistor("RD", vdd, d, 20e3).unwrap();
-        c.add_mosfet("M1", d, g, GND, GND, &nmos, 10e-6, 1e-6, 1.0).unwrap();
+        c.add_mosfet("M1", d, g, GND, GND, &nmos, 10e-6, 1e-6, 1.0)
+            .unwrap();
         let opts = SimOptions::default();
         let op = crate::analysis::dc::op(&c, &opts).unwrap();
         let nr = noise(&c, &opts, &op, d, GND, &[1.0, 1e6]).unwrap();
-        assert!(nr.psd()[0] > 10.0 * nr.psd()[1], "flicker should dominate at 1 Hz");
+        assert!(
+            nr.psd()[0] > 10.0 * nr.psd()[1],
+            "flicker should dominate at 1 Hz"
+        );
     }
 
     #[test]

@@ -12,7 +12,8 @@ use crate::analysis::dc;
 use crate::error::SpiceError;
 use crate::netlist::{Circuit, NodeId};
 use crate::options::SimOptions;
-use crate::stamp::{node_voltage, stamp_resistive, RealStamper, SourceEval};
+use crate::stamp::{node_voltage, stamp_resistive_system, SourceEval};
+use crate::workspace::NewtonWorkspace;
 
 /// Result of a transient run: node voltages (and source branch currents)
 /// over time.
@@ -54,7 +55,11 @@ impl TranResult {
 
     /// Full waveform of one node as `(t, v)` pairs.
     pub fn waveform(&self, node: NodeId) -> Vec<(f64, f64)> {
-        self.t.iter().zip(&self.v).map(|(&t, vs)| (t, vs[node])).collect()
+        self.t
+            .iter()
+            .zip(&self.v)
+            .map(|(&t, vs)| (t, vs[node]))
+            .collect()
     }
 
     /// Linearly interpolated voltage of `node` at an arbitrary time
@@ -109,11 +114,15 @@ impl TranResult {
     ) -> Result<f64, SpiceError> {
         let idx = circuit
             .device_index(name)
-            .ok_or_else(|| SpiceError::UnknownDevice { name: name.to_string() })?;
+            .ok_or_else(|| SpiceError::UnknownDevice {
+                name: name.to_string(),
+            })?;
         match &circuit.devices()[idx] {
             crate::netlist::Device::VSource { branch, .. }
             | crate::netlist::Device::Vcvs { branch, .. } => Ok(self.branch[i][*branch]),
-            _ => Err(SpiceError::UnknownDevice { name: name.to_string() }),
+            _ => Err(SpiceError::UnknownDevice {
+                name: name.to_string(),
+            }),
         }
     }
 
@@ -157,7 +166,8 @@ struct CapState {
 }
 
 /// NR solve of one timestep. `x` enters as the previous solution and leaves
-/// as the new one on success.
+/// as the new one on success. All solver buffers come from `ws`, which is
+/// shared across every timestep (and step-halving retry) of the run.
 fn solve_step(
     circuit: &Circuit,
     opts: &SimOptions,
@@ -165,21 +175,22 @@ fn solve_step(
     t: f64,
     h: f64,
     x: &mut Vec<f64>,
-    _st: &mut RealStamper,
+    ws: &mut NewtonWorkspace,
 ) -> bool {
-    let solved = crate::analysis::dc::newton_loop(circuit, opts, opts.max_nr_iters, x, |xk, st| {
-        st.load_gmin(opts.gmin);
-        stamp_resistive(circuit, xk, SourceEval::Time { t }, st);
-        // Trapezoidal companion for each capacitor:
-        //   i_{n+1} = (2C/h)(v_{n+1} − v_n) − i_n
-        // = geq·v_{n+1} + i0 with geq = 2C/h, i0 = −geq·v_n − i_n.
-        for cap in caps {
-            let geq = 2.0 * cap.c / h;
-            let i0 = -geq * cap.v_prev - cap.i_prev;
-            st.conductance(cap.a, cap.b, geq);
-            st.current_source(cap.a, cap.b, i0);
-        }
-    });
+    let solved =
+        crate::analysis::dc::newton_loop(circuit, opts, opts.max_nr_iters, x, ws, |xk, st| {
+            st.load_gmin(opts.gmin);
+            stamp_resistive_system(circuit, xk, SourceEval::Time { t }, st);
+            // Trapezoidal companion for each capacitor:
+            //   i_{n+1} = (2C/h)(v_{n+1} − v_n) − i_n
+            // = geq·v_{n+1} + i0 with geq = 2C/h, i0 = −geq·v_n − i_n.
+            for cap in caps {
+                let geq = 2.0 * cap.c / h;
+                let i0 = -geq * cap.v_prev - cap.i_prev;
+                st.conductance(cap.a, cap.b, geq);
+                st.current_source(cap.a, cap.b, i0);
+            }
+        });
     match solved {
         Some((xn, _)) => {
             *x = xn;
@@ -209,8 +220,12 @@ pub fn transient(
             reason: format!("invalid transient window: stop={t_stop}, step={t_step}"),
         });
     }
+    // One workspace for the whole run: the initial operating point and
+    // every timestep share the same stamper and LU storage.
+    let mut ws = NewtonWorkspace::new(circuit);
+
     // Initial condition.
-    let op0 = dc::op(circuit, opts)?;
+    let op0 = dc::op_with_workspace(circuit, opts, None, &mut ws)?;
     let mut x = op0.raw().to_vec();
 
     // Collect waveform breakpoints, sorted and deduplicated.
@@ -242,7 +257,6 @@ pub fn transient(
         })
         .collect();
 
-    let mut st = RealStamper::new(circuit);
     let mut t = 0.0;
     let mut result = TranResult {
         t: vec![0.0],
@@ -266,7 +280,7 @@ pub fn transient(
         let mut x_try = x.clone();
         loop {
             let t_new = t + h_eff;
-            if solve_step(circuit, opts, &caps, t_new, h_eff, &mut x_try, &mut st) {
+            if solve_step(circuit, opts, &caps, t_new, h_eff, &mut x_try, &mut ws) {
                 break;
             }
             halvings += 1;
@@ -336,8 +350,13 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("in");
         let b = c.node("out");
-        c.add_vsource("V1", a, GND, Waveform::pulse(0.0, 1.0, 1e-3, 1e-9, 1e-9, 1.0, f64::INFINITY))
-            .unwrap();
+        c.add_vsource(
+            "V1",
+            a,
+            GND,
+            Waveform::pulse(0.0, 1.0, 1e-3, 1e-9, 1e-9, 1.0, f64::INFINITY),
+        )
+        .unwrap();
         c.add_resistor("R1", a, b, 1e3).unwrap();
         c.add_capacitor("C1", b, GND, 1e-6).unwrap();
         let r = transient(&c, &SimOptions::default(), 6e-3, 20e-6).unwrap();
@@ -358,8 +377,13 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("in");
         let b = c.node("out");
-        c.add_vsource("V1", a, GND, Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, f64::INFINITY))
-            .unwrap();
+        c.add_vsource(
+            "V1",
+            a,
+            GND,
+            Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, f64::INFINITY),
+        )
+        .unwrap();
         c.add_resistor("R1", a, b, 1e3).unwrap();
         c.add_capacitor("C1", b, GND, 1e-6).unwrap();
         let r = transient(&c, &SimOptions::default(), 2e-3, 50e-6).unwrap();
@@ -386,7 +410,11 @@ mod tests {
             af: 1.0,
             noise_gamma: 2.0 / 3.0,
         };
-        let pmos = MosModel { polarity: MosPolarity::Pmos, kp: 80e-6, ..nmos.clone() };
+        let pmos = MosModel {
+            polarity: MosPolarity::Pmos,
+            kp: 80e-6,
+            ..nmos.clone()
+        };
         let mut c = Circuit::new();
         let vdd = c.node("vdd");
         let inp = c.node("in");
@@ -399,8 +427,10 @@ mod tests {
             Waveform::pulse(0.0, 1.8, 1e-9, 50e-12, 50e-12, 5e-9, f64::INFINITY),
         )
         .unwrap();
-        c.add_mosfet("MN", out, inp, GND, GND, &nmos, 2e-6, 0.18e-6, 1.0).unwrap();
-        c.add_mosfet("MP", out, inp, vdd, vdd, &pmos, 4e-6, 0.18e-6, 1.0).unwrap();
+        c.add_mosfet("MN", out, inp, GND, GND, &nmos, 2e-6, 0.18e-6, 1.0)
+            .unwrap();
+        c.add_mosfet("MP", out, inp, vdd, vdd, &pmos, 4e-6, 0.18e-6, 1.0)
+            .unwrap();
         c.add_capacitor("CL", out, GND, 10e-15).unwrap();
         let r = transient(&c, &SimOptions::default(), 10e-9, 25e-12).unwrap();
         // Before the pulse, output is high; during the pulse, low.
@@ -417,8 +447,13 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("in");
         let b = c.node("out");
-        c.add_vsource("V1", a, GND, Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, f64::INFINITY))
-            .unwrap();
+        c.add_vsource(
+            "V1",
+            a,
+            GND,
+            Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, f64::INFINITY),
+        )
+        .unwrap();
         c.add_resistor("R1", a, b, 1e3).unwrap();
         c.add_capacitor("C1", b, GND, 1e-6).unwrap();
         let r = transient(&c, &SimOptions::default(), 10e-3, 50e-6).unwrap();

@@ -50,10 +50,19 @@ impl std::fmt::Display for SpiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SpiceError::SingularMatrix { analysis } => {
-                write!(f, "singular MNA matrix during {analysis} (floating node or source loop?)")
+                write!(
+                    f,
+                    "singular MNA matrix during {analysis} (floating node or source loop?)"
+                )
             }
-            SpiceError::NoConvergence { analysis, iterations } => {
-                write!(f, "{analysis} failed to converge after {iterations} iterations")
+            SpiceError::NoConvergence {
+                analysis,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{analysis} failed to converge after {iterations} iterations"
+                )
             }
             SpiceError::BadValue { device, reason } => {
                 write!(f, "bad value on device {device}: {reason}")
@@ -76,9 +85,15 @@ mod tests {
     fn display_messages_are_informative() {
         let e = SpiceError::SingularMatrix { analysis: "dc" };
         assert!(e.to_string().contains("dc"));
-        let e = SpiceError::NoConvergence { analysis: "tran", iterations: 42 };
+        let e = SpiceError::NoConvergence {
+            analysis: "tran",
+            iterations: 42,
+        };
         assert!(e.to_string().contains("42"));
-        let e = SpiceError::BadValue { device: "R1".into(), reason: "negative".into() };
+        let e = SpiceError::BadValue {
+            device: "R1".into(),
+            reason: "negative".into(),
+        };
         assert!(e.to_string().contains("R1"));
     }
 }

@@ -42,9 +42,10 @@ mod netlist;
 mod options;
 pub mod stamp;
 mod waveform;
+mod workspace;
 
 pub use analysis::ac::{ac, log_freqs, AcSweep};
-pub use analysis::dc::{dc_sweep, op, op_with_guess, MosOp, OpPoint};
+pub use analysis::dc::{dc_sweep, op, op_with_guess, op_with_workspace, MosOp, OpPoint};
 pub use analysis::noise::{noise, NoiseResult};
 pub use analysis::tran::{transient, TranResult};
 pub use error::SpiceError;
@@ -52,3 +53,4 @@ pub use mos::{MosModel, MosPolarity, MosRegion};
 pub use netlist::{Circuit, Device, NodeId, GND};
 pub use options::SimOptions;
 pub use waveform::Waveform;
+pub use workspace::NewtonWorkspace;

@@ -173,7 +173,11 @@ fn normal_mode(
             MosRegion::Triode,
         )
     };
-    let region = if vov < 1.5e-3 { MosRegion::Cutoff } else { region };
+    let region = if vov < 1.5e-3 {
+        MosRegion::Cutoff
+    } else {
+        region
+    };
 
     let f1 = did_dvov * dvov_dvgs;
     let f2 = did_dvds;
@@ -292,7 +296,12 @@ mod tests {
     }
 
     fn pmos() -> MosModel {
-        MosModel { polarity: MosPolarity::Pmos, vth0: 0.45, kp: 80e-6, ..nmos() }
+        MosModel {
+            polarity: MosPolarity::Pmos,
+            vth0: 0.45,
+            kp: 80e-6,
+            ..nmos()
+        }
     }
 
     #[test]
@@ -306,7 +315,12 @@ mod tests {
         let beta = m.kp * w / l;
         let lambda = m.clm / l;
         let expect = 0.5 * beta * 0.55_f64.powi(2) * (1.0 + lambda * 1.5);
-        assert!((e.id - expect).abs() / expect < 0.01, "id={} expect={}", e.id, expect);
+        assert!(
+            (e.id - expect).abs() / expect < 0.01,
+            "id={} expect={}",
+            e.id,
+            expect
+        );
         assert!(e.vsat_margin > 0.9);
     }
 
@@ -340,7 +354,10 @@ mod tests {
         let decades = (e2.id / e1.id).log10();
         // Expected slope: 0.1 V / (n·Vt·ln10) ≈ 0.1/0.0833 ≈ 1.2 decades.
         let expected = 0.1 / (m.nsub * VT_300K * std::f64::consts::LN_10);
-        assert!((decades - expected).abs() < 0.08, "decades={decades} expected={expected}");
+        assert!(
+            (decades - expected).abs() < 0.08,
+            "decades={decades} expected={expected}"
+        );
     }
 
     #[test]

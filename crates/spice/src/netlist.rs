@@ -209,7 +209,9 @@ impl Circuit {
         self.node_lookup
             .get(name)
             .copied()
-            .ok_or_else(|| SpiceError::UnknownNode { name: name.to_string() })
+            .ok_or_else(|| SpiceError::UnknownNode {
+                name: name.to_string(),
+            })
     }
 
     /// Name of a node.
@@ -255,13 +257,21 @@ impl Circuit {
 
     fn register(&mut self, name: &str) -> Result<(), SpiceError> {
         if self.device_lookup.contains_key(name) {
-            return Err(SpiceError::DuplicateDevice { name: name.to_string() });
+            return Err(SpiceError::DuplicateDevice {
+                name: name.to_string(),
+            });
         }
-        self.device_lookup.insert(name.to_string(), self.devices.len());
+        self.device_lookup
+            .insert(name.to_string(), self.devices.len());
         Ok(())
     }
 
-    fn check_value(name: &str, what: &str, v: f64, must_be_positive: bool) -> Result<(), SpiceError> {
+    fn check_value(
+        name: &str,
+        what: &str,
+        v: f64,
+        must_be_positive: bool,
+    ) -> Result<(), SpiceError> {
         if !v.is_finite() || (must_be_positive && v <= 0.0) {
             return Err(SpiceError::BadValue {
                 device: name.to_string(),
@@ -276,10 +286,21 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects non-positive or non-finite resistance and duplicate names.
-    pub fn add_resistor(&mut self, name: &str, a: NodeId, b: NodeId, r: f64) -> Result<(), SpiceError> {
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        r: f64,
+    ) -> Result<(), SpiceError> {
         Self::check_value(name, "resistance", r, true)?;
         self.register(name)?;
-        self.devices.push(Device::Resistor { name: name.to_string(), a, b, g: 1.0 / r });
+        self.devices.push(Device::Resistor {
+            name: name.to_string(),
+            a,
+            b,
+            g: 1.0 / r,
+        });
         Ok(())
     }
 
@@ -288,7 +309,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects negative or non-finite capacitance and duplicate names.
-    pub fn add_capacitor(&mut self, name: &str, a: NodeId, b: NodeId, c: f64) -> Result<(), SpiceError> {
+    pub fn add_capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        c: f64,
+    ) -> Result<(), SpiceError> {
         if !c.is_finite() || c < 0.0 {
             return Err(SpiceError::BadValue {
                 device: name.to_string(),
@@ -296,7 +323,12 @@ impl Circuit {
             });
         }
         self.register(name)?;
-        self.devices.push(Device::Capacitor { name: name.to_string(), a, b, c });
+        self.devices.push(Device::Capacitor {
+            name: name.to_string(),
+            a,
+            b,
+            c,
+        });
         Ok(())
     }
 
@@ -305,7 +337,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects duplicate names.
-    pub fn add_vsource(&mut self, name: &str, p: NodeId, n: NodeId, wave: Waveform) -> Result<(), SpiceError> {
+    pub fn add_vsource(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        wave: Waveform,
+    ) -> Result<(), SpiceError> {
         self.add_vsource_ac(name, p, n, wave, 0.0)
     }
 
@@ -326,7 +364,14 @@ impl Circuit {
         self.register(name)?;
         let branch = self.nbranches;
         self.nbranches += 1;
-        self.devices.push(Device::VSource { name: name.to_string(), p, n, wave, ac_mag, branch });
+        self.devices.push(Device::VSource {
+            name: name.to_string(),
+            p,
+            n,
+            wave,
+            ac_mag,
+            branch,
+        });
         Ok(())
     }
 
@@ -335,7 +380,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects duplicate names.
-    pub fn add_isource(&mut self, name: &str, p: NodeId, n: NodeId, wave: Waveform) -> Result<(), SpiceError> {
+    pub fn add_isource(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        wave: Waveform,
+    ) -> Result<(), SpiceError> {
         self.add_isource_ac(name, p, n, wave, 0.0)
     }
 
@@ -353,7 +404,13 @@ impl Circuit {
         ac_mag: f64,
     ) -> Result<(), SpiceError> {
         self.register(name)?;
-        self.devices.push(Device::ISource { name: name.to_string(), p, n, wave, ac_mag });
+        self.devices.push(Device::ISource {
+            name: name.to_string(),
+            p,
+            n,
+            wave,
+            ac_mag,
+        });
         Ok(())
     }
 
@@ -375,7 +432,15 @@ impl Circuit {
         self.register(name)?;
         let branch = self.nbranches;
         self.nbranches += 1;
-        self.devices.push(Device::Vcvs { name: name.to_string(), p, n, cp, cn, gain, branch });
+        self.devices.push(Device::Vcvs {
+            name: name.to_string(),
+            p,
+            n,
+            cp,
+            cn,
+            gain,
+            branch,
+        });
         Ok(())
     }
 
@@ -395,7 +460,14 @@ impl Circuit {
     ) -> Result<(), SpiceError> {
         Self::check_value(name, "gm", gm, false)?;
         self.register(name)?;
-        self.devices.push(Device::Vccs { name: name.to_string(), p, n, cp, cn, gm });
+        self.devices.push(Device::Vccs {
+            name: name.to_string(),
+            p,
+            n,
+            cp,
+            cn,
+            gm,
+        });
         Ok(())
     }
 
@@ -446,17 +518,21 @@ impl Circuit {
     /// Returns [`SpiceError::UnknownDevice`] if the name is not an
     /// independent V/I source.
     pub fn set_ac_mag(&mut self, name: &str, mag: f64) -> Result<(), SpiceError> {
-        let idx = self
-            .device_lookup
-            .get(name)
-            .copied()
-            .ok_or_else(|| SpiceError::UnknownDevice { name: name.to_string() })?;
+        let idx =
+            self.device_lookup
+                .get(name)
+                .copied()
+                .ok_or_else(|| SpiceError::UnknownDevice {
+                    name: name.to_string(),
+                })?;
         match &mut self.devices[idx] {
             Device::VSource { ac_mag, .. } | Device::ISource { ac_mag, .. } => {
                 *ac_mag = mag;
                 Ok(())
             }
-            _ => Err(SpiceError::UnknownDevice { name: name.to_string() }),
+            _ => Err(SpiceError::UnknownDevice {
+                name: name.to_string(),
+            }),
         }
     }
 
@@ -477,7 +553,9 @@ impl Circuit {
         for dev in &self.devices {
             match dev {
                 Device::Capacitor { a, b, c, .. } => out.push((*a, *b, *c)),
-                Device::Mosfet { d, g, s, b, caps, .. } => {
+                Device::Mosfet {
+                    d, g, s, b, caps, ..
+                } => {
                     out.push((*g, *s, caps.cgs));
                     out.push((*g, *d, caps.cgd));
                     out.push((*g, *b, caps.cgb));
@@ -492,7 +570,10 @@ impl Circuit {
 
     /// Total number of MOSFET devices (counting multipliers as one instance).
     pub fn num_mosfets(&self) -> usize {
-        self.devices.iter().filter(|d| matches!(d, Device::Mosfet { .. })).count()
+        self.devices
+            .iter()
+            .filter(|d| matches!(d, Device::Mosfet { .. }))
+            .count()
     }
 
     /// Sum of MOSFET multipliers — the "expanded" device count an extraction
@@ -564,7 +645,9 @@ mod tests {
         assert!(c.add_resistor("R2", a, GND, f64::NAN).is_err());
         assert!(c.add_capacitor("C1", a, GND, -1e-12).is_err());
         let m = model();
-        assert!(c.add_mosfet("M1", a, a, GND, GND, &m, 0.0, 1e-6, 1.0).is_err());
+        assert!(c
+            .add_mosfet("M1", a, a, GND, GND, &m, 0.0, 1e-6, 1.0)
+            .is_err());
     }
 
     #[test]
@@ -585,7 +668,8 @@ mod tests {
         let g = c.node("g");
         c.add_capacitor("CL", d, GND, 1e-12).unwrap();
         let m = model();
-        c.add_mosfet("M1", d, g, GND, GND, &m, 10e-6, 1e-6, 1.0).unwrap();
+        c.add_mosfet("M1", d, g, GND, GND, &m, 10e-6, 1e-6, 1.0)
+            .unwrap();
         let caps = c.capacitive_elements();
         assert_eq!(caps.len(), 6); // 1 explicit + 5 intrinsic
         assert!(caps.iter().all(|&(_, _, c)| c >= 0.0));
@@ -596,8 +680,10 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         let m = model();
-        c.add_mosfet("M1", a, a, GND, GND, &m, 1e-6, 1e-6, 8.0).unwrap();
-        c.add_mosfet("M2", a, a, GND, GND, &m, 1e-6, 1e-6, 24.0).unwrap();
+        c.add_mosfet("M1", a, a, GND, GND, &m, 1e-6, 1e-6, 8.0)
+            .unwrap();
+        c.add_mosfet("M2", a, a, GND, GND, &m, 1e-6, 1e-6, 24.0)
+            .unwrap();
         assert_eq!(c.num_mosfets(), 2);
         assert_eq!(c.expanded_mosfet_count(), 32.0);
     }

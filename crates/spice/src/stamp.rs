@@ -12,7 +12,7 @@
 //! - voltage source branch current is defined flowing from `p` into the
 //!   source and out of `n`.
 
-use linalg::{C64, Matrix};
+use linalg::{Matrix, C64};
 
 use crate::mos::MosEval;
 use crate::netlist::{Circuit, Device, NodeId};
@@ -33,7 +33,11 @@ impl RealStamper {
     /// Creates a zeroed system for the circuit.
     pub fn new(circuit: &Circuit) -> Self {
         let n = circuit.num_unknowns();
-        RealStamper { n_nodes: circuit.num_nodes(), a: Matrix::zeros(n, n), z: vec![0.0; n] }
+        RealStamper {
+            n_nodes: circuit.num_nodes(),
+            a: Matrix::zeros(n, n),
+            z: vec![0.0; n],
+        }
     }
 
     /// Zeroes the system for re-assembly.
@@ -42,10 +46,20 @@ impl RealStamper {
         self.z.fill(0.0);
     }
 
+    /// Number of nodes (including ground) the stamper was built for.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
     /// Matrix row/column of a node, or `None` for ground.
     #[inline]
     pub fn node_idx(&self, n: NodeId) -> Option<usize> {
-        if n == 0 { None } else { Some(n - 1) }
+        if n == 0 {
+            None
+        } else {
+            Some(n - 1)
+        }
     }
 
     /// Matrix row/column of a branch current.
@@ -170,47 +184,72 @@ impl SourceEval {
 /// Extracts node voltage from an unknown vector (`x[node-1]`, ground = 0).
 #[inline]
 pub fn node_voltage(x: &[f64], n: NodeId) -> f64 {
-    if n == 0 { 0.0 } else { x[n - 1] }
+    if n == 0 {
+        0.0
+    } else {
+        x[n - 1]
+    }
 }
 
-/// Stamps the *resistive* (memoryless) part of every device, linearized at
-/// the unknown vector `x`. Returns the MOSFET evaluations in device order
-/// (`None` for non-MOS devices) so callers can check convergence and build
-/// operating-point reports.
-pub fn stamp_resistive(
+/// Shared assembly walk: stamps every device and hands each device's
+/// MOSFET evaluation (or `None`) to `sink`, letting callers choose whether
+/// to collect them.
+fn stamp_resistive_impl(
     circuit: &Circuit,
     x: &[f64],
     sources: SourceEval,
     st: &mut RealStamper,
-) -> Vec<Option<MosEval>> {
-    let mut evals = Vec::with_capacity(circuit.devices().len());
+    mut sink: impl FnMut(Option<MosEval>),
+) {
     for dev in circuit.devices() {
         match dev {
             Device::Resistor { a, b, g, .. } => {
                 st.conductance(*a, *b, *g);
-                evals.push(None);
+                sink(None);
             }
             Device::Capacitor { .. } => {
                 // Open circuit in DC; handled by the transient/AC engines.
-                evals.push(None);
+                sink(None);
             }
-            Device::VSource { p, n, wave, branch, .. } => {
+            Device::VSource {
+                p, n, wave, branch, ..
+            } => {
                 st.vsource(*branch, *p, *n, sources.value(wave));
-                evals.push(None);
+                sink(None);
             }
             Device::ISource { p, n, wave, .. } => {
                 st.current_source(*p, *n, sources.value(wave));
-                evals.push(None);
+                sink(None);
             }
-            Device::Vcvs { p, n, cp, cn, gain, branch, .. } => {
+            Device::Vcvs {
+                p,
+                n,
+                cp,
+                cn,
+                gain,
+                branch,
+                ..
+            } => {
                 st.vcvs(*branch, *p, *n, *cp, *cn, *gain);
-                evals.push(None);
+                sink(None);
             }
-            Device::Vccs { p, n, cp, cn, gm, .. } => {
+            Device::Vccs {
+                p, n, cp, cn, gm, ..
+            } => {
                 st.vccs(*p, *n, *cp, *cn, *gm);
-                evals.push(None);
+                sink(None);
             }
-            Device::Mosfet { d, g, s, b, model, w, l, m, .. } => {
+            Device::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                model,
+                w,
+                l,
+                m,
+                ..
+            } => {
                 let vd = node_voltage(x, *d);
                 let vg = node_voltage(x, *g);
                 let vs = node_voltage(x, *s);
@@ -225,11 +264,36 @@ pub fn stamp_resistive(
                 st.conductance(*d, *s, e.gds);
                 st.vccs(*d, *s, *b, *s, e.gmb);
                 st.current_source(*d, *s, ieq);
-                evals.push(Some(e));
+                sink(Some(e));
             }
         }
     }
+}
+
+/// Stamps the *resistive* (memoryless) part of every device, linearized at
+/// the unknown vector `x`. Returns the MOSFET evaluations in device order
+/// (`None` for non-MOS devices) so callers can check convergence and build
+/// operating-point reports.
+pub fn stamp_resistive(
+    circuit: &Circuit,
+    x: &[f64],
+    sources: SourceEval,
+    st: &mut RealStamper,
+) -> Vec<Option<MosEval>> {
+    let mut evals = Vec::with_capacity(circuit.devices().len());
+    stamp_resistive_impl(circuit, x, sources, st, |e| evals.push(e));
     evals
+}
+
+/// Allocation-free variant of [`stamp_resistive`] for the Newton hot loop,
+/// which only needs the assembled system, not the per-device evaluations.
+pub fn stamp_resistive_system(
+    circuit: &Circuit,
+    x: &[f64],
+    sources: SourceEval,
+    st: &mut RealStamper,
+) {
+    stamp_resistive_impl(circuit, x, sources, st, |_| {});
 }
 
 /// Dense complex MNA system for AC/noise analyses.
@@ -264,7 +328,11 @@ impl ComplexStamper {
     /// Matrix row/column of a node, or `None` for ground.
     #[inline]
     pub fn node_idx(&self, n: NodeId) -> Option<usize> {
-        if n == 0 { None } else { Some(n - 1) }
+        if n == 0 {
+            None
+        } else {
+            Some(n - 1)
+        }
     }
 
     /// Matrix row/column of a branch current.

@@ -52,8 +52,24 @@ pub enum Waveform {
 impl Waveform {
     /// Convenience constructor for [`Waveform::Pulse`].
     #[allow(clippy::too_many_arguments)]
-    pub fn pulse(v0: f64, v1: f64, delay: f64, rise: f64, fall: f64, width: f64, period: f64) -> Self {
-        Waveform::Pulse { v0, v1, delay, rise, fall, width, period }
+    pub fn pulse(
+        v0: f64,
+        v1: f64,
+        delay: f64,
+        rise: f64,
+        fall: f64,
+        width: f64,
+        period: f64,
+    ) -> Self {
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        }
     }
 
     /// Value at the start of time, used as the operating-point value.
@@ -70,7 +86,15 @@ impl Waveform {
     pub fn value(&self, t: f64) -> f64 {
         match self {
             Waveform::Dc(v) => *v,
-            Waveform::Pulse { v0, v1, delay, rise, fall, width, period } => {
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
                 if t < *delay {
                     return *v0;
                 }
@@ -91,7 +115,12 @@ impl Waveform {
                     *v0
                 }
             }
-            Waveform::Sin { offset, ampl, freq, delay } => {
+            Waveform::Sin {
+                offset,
+                ampl,
+                freq,
+                delay,
+            } => {
                 if t < *delay {
                     *offset
                 } else {
@@ -130,7 +159,14 @@ impl Waveform {
         let mut bp = Vec::new();
         match self {
             Waveform::Dc(_) | Waveform::Sin { .. } => {}
-            Waveform::Pulse { delay, rise, fall, width, period, .. } => {
+            Waveform::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
                 let rise = rise.max(1e-12);
                 let fall = fall.max(1e-12);
                 let mut t0 = *delay;
@@ -150,7 +186,12 @@ impl Waveform {
                 }
             }
             Waveform::Pwl(points) => {
-                bp.extend(points.iter().map(|p| p.0).filter(|&t| t > 0.0 && t < t_stop));
+                bp.extend(
+                    points
+                        .iter()
+                        .map(|p| p.0)
+                        .filter(|&t| t > 0.0 && t < t_stop),
+                );
             }
         }
         bp
@@ -191,7 +232,12 @@ mod tests {
 
     #[test]
     fn sin_waveform() {
-        let w = Waveform::Sin { offset: 1.0, ampl: 0.5, freq: 1.0, delay: 0.0 };
+        let w = Waveform::Sin {
+            offset: 1.0,
+            ampl: 0.5,
+            freq: 1.0,
+            delay: 0.0,
+        };
         assert!((w.value(0.0) - 1.0).abs() < 1e-12);
         assert!((w.value(0.25) - 1.5).abs() < 1e-12);
         assert!((w.value(0.75) - 0.5).abs() < 1e-12);
@@ -199,7 +245,12 @@ mod tests {
 
     #[test]
     fn sin_delay_holds_offset() {
-        let w = Waveform::Sin { offset: 0.9, ampl: 0.5, freq: 10.0, delay: 1.0 };
+        let w = Waveform::Sin {
+            offset: 0.9,
+            ampl: 0.5,
+            freq: 10.0,
+            delay: 1.0,
+        };
         assert_eq!(w.value(0.5), 0.9);
     }
 

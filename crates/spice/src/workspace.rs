@@ -1,0 +1,96 @@
+//! Reusable solver state for the Newton-Raphson engines.
+//!
+//! The DC and transient engines linearize and solve the same-sized MNA
+//! system every Newton iteration, every gmin/source-stepping retry, and
+//! every transient timestep. A [`NewtonWorkspace`] owns all of that state —
+//! the [`RealStamper`], the LU factors, and the solution scratch vector —
+//! so the hot loop performs **zero heap allocations** per iteration.
+//!
+//! One workspace per circuit topology; it is reused across solves and
+//! resizes itself automatically if handed a circuit with a different
+//! unknown count. For population-parallel optimization, give each worker
+//! thread its own workspace (see `opt::parallel`).
+
+use linalg::LuWorkspace;
+
+use crate::netlist::Circuit;
+use crate::stamp::RealStamper;
+
+/// Preallocated state for repeated Newton solves on one circuit topology.
+///
+/// # Example
+///
+/// ```
+/// use spice::{Circuit, NewtonWorkspace, SimOptions, Waveform, GND};
+///
+/// let mut c = Circuit::new();
+/// let a = c.node("a");
+/// c.add_vsource("V1", a, GND, Waveform::Dc(2.0)).unwrap();
+/// c.add_resistor("R1", a, GND, 1e3).unwrap();
+/// let mut ws = NewtonWorkspace::new(&c);
+/// // Repeated solves reuse the same buffers.
+/// for _ in 0..3 {
+///     let op = spice::op_with_workspace(&c, &SimOptions::default(), None, &mut ws).unwrap();
+///     assert!((op.voltage(a) - 2.0).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NewtonWorkspace {
+    /// The MNA system under assembly.
+    pub(crate) st: RealStamper,
+    /// LU factors of the linearized system.
+    pub(crate) lu: LuWorkspace,
+    /// Newton-step solution buffer.
+    pub(crate) x_new: Vec<f64>,
+    /// Unknown count the buffers are sized for.
+    n: usize,
+}
+
+impl NewtonWorkspace {
+    /// Creates a workspace sized for `circuit`.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.num_unknowns();
+        NewtonWorkspace {
+            st: RealStamper::new(circuit),
+            lu: LuWorkspace::new(n),
+            x_new: vec![0.0; n],
+            n,
+        }
+    }
+
+    /// Number of unknowns the workspace is currently sized for.
+    pub fn num_unknowns(&self) -> usize {
+        self.n
+    }
+
+    /// Re-targets the workspace at `circuit`, rebuilding buffers only when
+    /// the unknown count changed.
+    pub(crate) fn ensure(&mut self, circuit: &Circuit) {
+        let n = circuit.num_unknowns();
+        if n != self.n || self.st.num_nodes() != circuit.num_nodes() {
+            *self = NewtonWorkspace::new(circuit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GND;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn workspace_adapts_to_circuit_growth() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, GND, Waveform::Dc(1.0)).unwrap();
+        c.add_resistor("R1", a, GND, 1e3).unwrap();
+        let mut ws = NewtonWorkspace::new(&c);
+        assert_eq!(ws.num_unknowns(), c.num_unknowns());
+        let b = c.node("b");
+        c.add_resistor("R2", a, b, 1e3).unwrap();
+        c.add_resistor("R3", b, GND, 1e3).unwrap();
+        ws.ensure(&c);
+        assert_eq!(ws.num_unknowns(), c.num_unknowns());
+    }
+}

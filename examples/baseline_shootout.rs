@@ -38,7 +38,10 @@ impl SizingProblem for Bench {
 fn main() {
     let fom = Fom::uniform(0.3, 2);
     let budget = 250;
-    println!("{:<10} {:>8} {:>14} {:>10}", "method", "budget", "first feasible", "best FoM");
+    println!(
+        "{:<10} {:>8} {:>14} {:>10}",
+        "method", "budget", "first feasible", "best FoM"
+    );
     let methods: Vec<Box<dyn Optimizer>> = vec![
         Box::new(RandomSearch),
         Box::new(DifferentialEvolution::default()),
@@ -53,7 +56,9 @@ fn main() {
             "{:<10} {:>8} {:>14} {:>10.4}",
             m.name(),
             budget,
-            run.sims_to_feasible().map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            run.sims_to_feasible()
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
             run.history.best().map(|e| e.fom).unwrap_or(f64::NAN)
         );
     }

@@ -8,8 +8,10 @@ use dnn_opt::{DnnOpt, DnnOptConfig};
 use opt::{Fom, Optimizer, SizingProblem, StopPolicy};
 
 fn main() {
-    let budget: usize =
-        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(120);
+    let budget: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
     let ota = FoldedCascodeOta::new();
 
     // 1. Measure the shipped hand-tuned design.
@@ -33,10 +35,16 @@ fn main() {
     println!("\n== DNN-Opt sizing run (budget {budget}) ==");
     let fom = Fom::new(100.0, vec![0.25; ota.num_constraints()]);
     let run = DnnOpt::new(DnnOptConfig::default()).run(&ota, &fom, budget, StopPolicy::Exhaust, 1);
-    println!("best FoM        : {:.3}", run.history.best().map(|e| e.fom).unwrap_or(f64::NAN));
+    println!(
+        "best FoM        : {:.3}",
+        run.history.best().map(|e| e.fom).unwrap_or(f64::NAN)
+    );
     match run.history.best_feasible() {
         Some(e) => println!("feasible design : {:.3} mW", e.spec.objective * 1e3),
         None => println!("no feasible design inside this budget (paper needs ~132–205 sims)"),
     }
-    println!("model time      : {:.1?} / total {:.1?}", run.model_time, run.total_time);
+    println!(
+        "model time      : {:.1?} / total {:.1?}",
+        run.model_time, run.total_time
+    );
 }

@@ -9,8 +9,12 @@ use opt::{Fom, Optimizer, SizingProblem, StopPolicy};
 
 fn main() {
     let ctle = Ctle::new();
-    println!("CTLE: {} variables, {} constraints, ~{:.0}k devices (array-expanded)",
-        ctle.dim(), ctle.num_constraints(), ctle.device_count() / 1e3);
+    println!(
+        "CTLE: {} variables, {} constraints, ~{:.0}k devices (array-expanded)",
+        ctle.dim(),
+        ctle.num_constraints(),
+        ctle.device_count() / 1e3
+    );
 
     // Sensitivity analysis around the designer's starting point.
     let nominal = ctle.nominal();
@@ -22,8 +26,8 @@ fn main() {
     // Optimize only the critical subset.
     let reduced = ReducedProblem::new(&ctle, nominal, critical);
     let fom = Fom::new(100.0, vec![0.5; reduced.num_constraints()]);
-    let run = DnnOpt::new(DnnOptConfig::default())
-        .run(&reduced, &fom, 120, StopPolicy::FirstFeasible, 0);
+    let run =
+        DnnOpt::new(DnnOptConfig::default()).run(&reduced, &fom, 120, StopPolicy::FirstFeasible, 0);
     match run.sims_to_feasible() {
         Some(n) => println!("\nDNN-Opt met all 14 constraints after {n} simulations"),
         None => println!("\nno feasible design within 120 simulations"),

@@ -20,7 +20,10 @@ impl SizingProblem for ToyAmp {
         1
     }
     fn evaluate(&self, x: &[f64]) -> SpecResult {
-        SpecResult { objective: x[0] + x[1], constraints: vec![0.2 - x[0] * x[1]] }
+        SpecResult {
+            objective: x[0] + x[1],
+            constraints: vec![0.2 - x[0] * x[1]],
+        }
     }
     fn name(&self) -> &str {
         "toy-amp"
@@ -37,7 +40,16 @@ fn main() {
 
     let best = run.history.best_feasible().expect("feasible design found");
     println!("simulations used : {}", run.history.len());
-    println!("first feasible   : sim #{}", run.history.first_feasible().unwrap());
-    println!("best design      : x = [{:.4}, {:.4}]", best.x[0], best.x[1]);
-    println!("best objective   : {:.4} (optimum ≈ 0.894)", best.spec.objective);
+    println!(
+        "first feasible   : sim #{}",
+        run.history.first_feasible().unwrap()
+    );
+    println!(
+        "best design      : x = [{:.4}, {:.4}]",
+        best.x[0], best.x[1]
+    );
+    println!(
+        "best objective   : {:.4} (optimum ≈ 0.894)",
+        best.spec.objective
+    );
 }

@@ -20,7 +20,11 @@ fn ota_nominal_is_feasible_and_deterministic() {
     let ota = FoldedCascodeOta::new();
     let a = ota.evaluate(&ota.nominal());
     let b = ota.evaluate(&ota.nominal());
-    assert!(a.feasible(), "shipped OTA design must meet Eq. 9: {:?}", a.constraints);
+    assert!(
+        a.feasible(),
+        "shipped OTA design must meet Eq. 9: {:?}",
+        a.constraints
+    );
     assert_eq!(a, b, "evaluations must be deterministic");
 }
 
@@ -28,7 +32,11 @@ fn ota_nominal_is_feasible_and_deterministic() {
 fn latch_nominal_is_feasible() {
     let latch = StrongArmLatch::new();
     let spec = latch.evaluate(&latch.nominal());
-    assert!(spec.feasible(), "shipped latch design must meet Eq. 10: {:?}", spec.constraints);
+    assert!(
+        spec.feasible(),
+        "shipped latch design must meet Eq. 10: {:?}",
+        spec.constraints
+    );
 }
 
 #[test]
@@ -63,10 +71,18 @@ fn sensitivity_prunes_level_shifter_decaps() {
     // The rail decap geometry is near-inert by construction; it must be
     // pruned. The pull-downs are load-bearing; they must be kept.
     let kept: Vec<&str> = critical.iter().map(|&j| names[j].as_str()).collect();
-    assert!(!kept.contains(&"w_decl"), "decap width must be pruned, kept: {kept:?}");
-    assert!(!kept.contains(&"l_decl"), "decap length must be pruned, kept: {kept:?}");
-    assert!(kept.contains(&"w_pd1") || kept.contains(&"w_pd2"),
-        "pull-downs are critical, kept: {kept:?}");
+    assert!(
+        !kept.contains(&"w_decl"),
+        "decap width must be pruned, kept: {kept:?}"
+    );
+    assert!(
+        !kept.contains(&"l_decl"),
+        "decap length must be pruned, kept: {kept:?}"
+    );
+    assert!(
+        kept.contains(&"w_pd1") || kept.contains(&"w_pd2"),
+        "pull-downs are critical, kept: {kept:?}"
+    );
     assert!(critical.len() < ls.dim(), "pruning must remove something");
 }
 
@@ -81,7 +97,10 @@ fn reduced_problem_optimizes_inverter_chain() {
     let run = DnnOpt::new(quick_cfg()).run(&reduced, &fom, 25, StopPolicy::FirstFeasible, 0);
     // The nominal-centered reduced problem starts near feasibility, so a
     // tiny budget suffices.
-    assert!(run.sims_to_feasible().is_some(), "inverter chain should be easy");
+    assert!(
+        run.sims_to_feasible().is_some(),
+        "inverter chain should be easy"
+    );
 }
 
 #[test]

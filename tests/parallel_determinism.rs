@@ -1,0 +1,104 @@
+//! Parallel population evaluation must be a pure wall-clock optimization:
+//! for every optimizer that fans simulations out over worker threads, the
+//! recorded history — designs, spec vectors, FoMs, feasibility flags —
+//! must be bit-identical to a fully serial run.
+
+use dnn_opt::{DnnOpt, DnnOptConfig};
+use opt::{
+    parallel, DifferentialEvolution, Fom, Optimizer, RandomSearch, RunResult, SizingProblem,
+    SpecResult, StopPolicy,
+};
+
+/// The `examples/quickstart.rs` problem: minimize "power" x0+x1 subject to
+/// a "gain" constraint x0·x1 ≥ 0.2.
+struct ToyAmp;
+
+impl SizingProblem for ToyAmp {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.05; 2], vec![1.0; 2])
+    }
+    fn num_constraints(&self) -> usize {
+        1
+    }
+    fn evaluate(&self, x: &[f64]) -> SpecResult {
+        SpecResult {
+            objective: x[0] + x[1],
+            constraints: vec![0.2 - x[0] * x[1]],
+        }
+    }
+    fn name(&self) -> &str {
+        "toy-amp"
+    }
+}
+
+/// Exact (bitwise) history comparison.
+fn assert_identical(a: &RunResult, b: &RunResult, label: &str) {
+    assert_eq!(a.history.len(), b.history.len(), "{label}: history length");
+    assert_eq!(
+        a.history.first_feasible(),
+        b.history.first_feasible(),
+        "{label}: first feasible"
+    );
+    for (i, (ea, eb)) in a
+        .history
+        .entries()
+        .iter()
+        .zip(b.history.entries())
+        .enumerate()
+    {
+        assert_eq!(ea.x, eb.x, "{label}: design #{i}");
+        assert_eq!(ea.fom.to_bits(), eb.fom.to_bits(), "{label}: fom #{i}");
+        assert_eq!(ea.feasible, eb.feasible, "{label}: feasibility #{i}");
+        assert_eq!(
+            ea.spec.objective.to_bits(),
+            eb.spec.objective.to_bits(),
+            "{label}: f0 #{i}"
+        );
+        assert_eq!(
+            ea.spec.constraints, eb.spec.constraints,
+            "{label}: constraints #{i}"
+        );
+    }
+    assert_eq!(
+        a.history.best_trace(),
+        b.history.best_trace(),
+        "{label}: best trace"
+    );
+}
+
+/// One test covers all methods so the global thread-count override is
+/// never raced by a concurrently running test.
+#[test]
+fn serial_and_parallel_runs_are_bit_identical() {
+    let problem = ToyAmp;
+    let fom = Fom::uniform(1.0, 1);
+    let quick = DnnOptConfig {
+        critic_epochs: 60,
+        actor_epochs: 20,
+        critic_batch: 64,
+        hidden: 16,
+        ..Default::default()
+    };
+    let methods: Vec<(Box<dyn Optimizer>, usize)> = vec![
+        (Box::new(DifferentialEvolution::default()), 150),
+        (Box::new(RandomSearch), 150),
+        (Box::new(DnnOpt::new(quick)), 40),
+    ];
+    for (method, budget) in &methods {
+        for stop in [StopPolicy::Exhaust, StopPolicy::FirstFeasible] {
+            parallel::set_max_threads(1);
+            let serial = method.run(&problem, &fom, *budget, stop, 42);
+            parallel::set_max_threads(8);
+            let parallel_run = method.run(&problem, &fom, *budget, stop, 42);
+            parallel::set_max_threads(0);
+            assert_identical(
+                &serial,
+                &parallel_run,
+                &format!("{} ({stop:?})", method.name()),
+            );
+        }
+    }
+}

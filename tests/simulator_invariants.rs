@@ -72,7 +72,8 @@ fn kcl_holds_at_mosfet_op() {
     c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
     c.add_vsource("VG", g, GND, Waveform::Dc(0.8)).unwrap();
     c.add_resistor("RD", vdd, d, 10e3).unwrap();
-    c.add_mosfet("M1", d, g, GND, GND, &t.nmos, 10e-6, 0.5e-6, 1.0).unwrap();
+    c.add_mosfet("M1", d, g, GND, GND, &t.nmos, 10e-6, 0.5e-6, 1.0)
+        .unwrap();
     let op = spice::op(&c, &SimOptions::default()).unwrap();
     let i_r = (op.voltage(vdd) - op.voltage(d)) / 10e3;
     let i_m = op.mos_op("M1").unwrap().id;
