@@ -4,45 +4,13 @@
 //! motivated the zero-allocation refactor (`BENCH_baseline.json` records
 //! the reference numbers).
 
+use bench::{build_mos_ladder, build_rc_ladder};
 use circuits::{FoldedCascodeOta, StrongArmLatch};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use linalg::{Lu, LuWorkspace};
+use linalg::{CscMatrix, Lu, LuWorkspace, SparseLu};
 use opt::SizingProblem;
 use spice::stamp::{stamp_resistive_system, RealStamper, SourceEval};
-use spice::{Circuit, SimOptions, Waveform, GND};
-
-fn build_rc_ladder(n: usize) -> Circuit {
-    let mut c = Circuit::new();
-    let vin = c.node("in");
-    c.add_vsource_ac("V1", vin, GND, Waveform::Dc(1.0), 1.0)
-        .unwrap();
-    let mut prev = vin;
-    for i in 0..n {
-        let node = c.node(&format!("n{i}"));
-        c.add_resistor(&format!("R{i}"), prev, node, 1e3).unwrap();
-        c.add_capacitor(&format!("C{i}"), node, GND, 1e-12).unwrap();
-        prev = node;
-    }
-    c
-}
-
-/// A MOS-loaded ladder whose linearized MNA system is representative of
-/// the circuits crate's testbenches (~2·n unknowns, MOSFET stamps).
-fn build_mos_ladder(n: usize) -> Circuit {
-    let nmos = bench::bench_nmos();
-    let mut c = Circuit::new();
-    let vdd = c.node("vdd");
-    c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
-    let mut prev = vdd;
-    for i in 0..n {
-        let d = c.node(&format!("d{i}"));
-        c.add_resistor(&format!("R{i}"), prev, d, 5e3).unwrap();
-        c.add_mosfet(&format!("M{i}"), d, d, GND, GND, &nmos, 4e-6, 0.5e-6, 1.0)
-            .unwrap();
-        prev = d;
-    }
-    c
-}
+use spice::SimOptions;
 
 /// Verbatim copy of the seed's LU factor + solve (index-op elimination, a
 /// fresh matrix clone and solution vector per call). The live `Lu::factor`
@@ -124,16 +92,18 @@ mod seed_baseline {
 /// 60-stage RC interconnect ladder (n = 62) and the 30-stage MOS ladder
 /// (n = 32).
 fn bench_newton_kernel(c: &mut Criterion) {
-    for (label_seed, label_ws, ckt, x_guess) in [
+    for (label_seed, label_ws, label_sparse, ckt, x_guess) in [
         (
             "newton_dc_kernel_alloc_n62",
             "newton_dc_kernel_workspace_n62",
+            "newton_dc_kernel_sparse_n62",
             build_rc_ladder(60),
             0.0,
         ),
         (
             "newton_dc_kernel_alloc_n32",
             "newton_dc_kernel_workspace_n32",
+            "newton_dc_kernel_sparse_n32",
             build_mos_ladder(30),
             0.4,
         ),
@@ -145,15 +115,22 @@ fn bench_newton_kernel(c: &mut Criterion) {
         st.load_gmin(1e-12);
         stamp_resistive_system(&ckt, &x0, SourceEval::Dc { scale: 1.0 }, &mut st);
 
-        // The two kernels must agree before their times mean anything.
+        // All three kernels must agree before their times mean anything.
         {
             let expect = seed_baseline::factor(&st.a).solve(&st.z);
             let mut ws = LuWorkspace::new(n);
             Lu::factor_into(&st.a, &mut ws).unwrap();
             let mut x = Vec::new();
             ws.solve_into(&st.z, &mut x).unwrap();
-            for (a, b) in expect.iter().zip(&x) {
+            let csc = CscMatrix::from_dense(&st.a);
+            let mut slu = SparseLu::new();
+            slu.factor(&csc).unwrap();
+            slu.refactor_into(&csc).unwrap();
+            let mut xs = Vec::new();
+            slu.solve_into(&st.z, &mut xs).unwrap();
+            for ((a, b), s) in expect.iter().zip(&x).zip(&xs) {
                 assert!((a - b).abs() <= 1e-10 * a.abs().max(1.0), "kernel mismatch");
+                assert!((a - s).abs() <= 1e-10 * a.abs().max(1.0), "sparse mismatch");
             }
         }
 
@@ -170,6 +147,25 @@ fn bench_newton_kernel(c: &mut Criterion) {
             b.iter(|| {
                 Lu::factor_into(black_box(&st.a), &mut ws).unwrap();
                 ws.solve_into(&st.z, &mut x).unwrap();
+                black_box(x[0])
+            })
+        });
+
+        // Steady-state sparse Newton iteration: the pattern and pivot
+        // sequence are recorded (one `factor` in setup, as the engine does
+        // once per solve session); each iteration then pays only the
+        // scan-free numeric refactorization plus the triangular solves —
+        // the apples-to-apples comparison with the dense `_workspace_`
+        // kernel above, which also re-factors the same values per
+        // iteration.
+        c.bench_function(label_sparse, |b| {
+            let csc = CscMatrix::from_dense(&st.a);
+            let mut slu = SparseLu::new();
+            slu.factor(&csc).unwrap();
+            let mut x = Vec::new();
+            b.iter(|| {
+                slu.refactor_into(black_box(&csc)).unwrap();
+                slu.solve_into(&st.z, &mut x).unwrap();
                 black_box(x[0])
             })
         });

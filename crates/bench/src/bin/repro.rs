@@ -7,6 +7,8 @@
 //! repro latch           # Table IV + Figure 4 (writes results/fig4.csv)
 //! repro table5          # Table V   — industrial circuits, SA vs DNN-Opt
 //! repro ablation        # §II-B claim: pseudo-sample critic vs d-input net
+//! repro baseline [file] # re-time the Newton/evaluation kernels and merge
+//!                       # the rows into BENCH_baseline.json
 //! repro all             # everything
 //! ```
 //!
@@ -358,6 +360,14 @@ fn main() {
         "latch" | "table4" | "fig4" => run_latch(&scale),
         "table5" => run_table5(&scale),
         "ablation" => run_ablation(),
+        "baseline" => {
+            let path = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+            eprintln!("re-timing sparse/dense Newton kernels and full evaluations...");
+            bench::baseline::refresh(&path).expect("write baseline file");
+            println!("baseline rows merged into {path}");
+        }
         "all" => {
             print_bounds_table(
                 "Table I — folded-cascode OTA parameters",
@@ -373,7 +383,9 @@ fn main() {
             run_ablation();
         }
         other => {
-            eprintln!("unknown command {other}; use table1|table3|ota|latch|table5|ablation|all");
+            eprintln!(
+                "unknown command {other}; use table1|table3|ota|latch|table5|ablation|baseline|all"
+            );
             std::process::exit(2);
         }
     }

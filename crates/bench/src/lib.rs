@@ -12,6 +12,47 @@ use opt::{
     BoWei, DifferentialEvolution, Fom, Gaspad, Optimizer, RunResult, SizingProblem, StopPolicy,
 };
 
+/// The RC interconnect ladder of the Newton-kernel benchmarks (n = 62
+/// unknowns at 60 stages). One definition shared by
+/// `benches/spice_kernels.rs` and [`baseline::refresh`], so the recorded
+/// rows always measure the same circuit as `cargo bench`.
+pub fn build_rc_ladder(n: usize) -> spice::Circuit {
+    use spice::{Waveform, GND};
+    let mut c = spice::Circuit::new();
+    let vin = c.node("in");
+    c.add_vsource_ac("V1", vin, GND, Waveform::Dc(1.0), 1.0)
+        .unwrap();
+    let mut prev = vin;
+    for i in 0..n {
+        let node = c.node(&format!("n{i}"));
+        c.add_resistor(&format!("R{i}"), prev, node, 1e3).unwrap();
+        c.add_capacitor(&format!("C{i}"), node, GND, 1e-12).unwrap();
+        prev = node;
+    }
+    c
+}
+
+/// The MOS-loaded ladder of the Newton-kernel benchmarks (n = 32 unknowns
+/// at 30 stages): its linearized MNA system is representative of the
+/// circuits crate's testbenches (~2·n unknowns, MOSFET stamps). Shared by
+/// `benches/spice_kernels.rs` and [`baseline::refresh`].
+pub fn build_mos_ladder(n: usize) -> spice::Circuit {
+    use spice::{Waveform, GND};
+    let nmos = bench_nmos();
+    let mut c = spice::Circuit::new();
+    let vdd = c.node("vdd");
+    c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
+    let mut prev = vdd;
+    for i in 0..n {
+        let d = c.node(&format!("d{i}"));
+        c.add_resistor(&format!("R{i}"), prev, d, 5e3).unwrap();
+        c.add_mosfet(&format!("M{i}"), d, d, GND, GND, &nmos, 4e-6, 0.5e-6, 1.0)
+            .unwrap();
+        prev = d;
+    }
+    c
+}
+
 /// The generic 180nm-class NMOS used by the micro-benchmarks' hand-built
 /// ladder circuits (one definition so the benches cannot drift apart).
 pub fn bench_nmos() -> spice::MosModel {
@@ -177,6 +218,139 @@ pub fn building_block_suite(
 /// Formats a duration as fractional seconds.
 pub fn secs(d: Duration) -> String {
     format!("{:.1}", d.as_secs_f64())
+}
+
+/// Re-times the Newton-kernel and evaluation benchmarks affected by the
+/// sparse-MNA pipeline and merges the rows into a `BENCH_baseline.json`
+/// file (same one-JSON-object-per-row format the criterion shim records).
+/// Used by `repro baseline` so the checked-in baseline can be refreshed on
+/// the current host without running the full bench suite.
+pub mod baseline {
+    use crate::{build_mos_ladder, build_rc_ladder};
+    use criterion::{black_box, Criterion};
+    use linalg::{CscMatrix, Lu, LuWorkspace, SparseLu};
+    use opt::{parallel, Evaluator, Fom, SizingProblem};
+    use spice::stamp::{stamp_resistive_system, RealStamper, SourceEval};
+
+    /// Runs the affected kernels (identical bodies to the criterion
+    /// benches) with `CRITERION_JSON` pointed at `path`, appending one row
+    /// per kernel.
+    fn record_rows(path: &std::path::Path) {
+        std::env::set_var("CRITERION_JSON", path);
+        let mut c = Criterion::default().sample_size(10);
+        for (label_ws, label_sparse, ckt, x_guess) in [
+            (
+                "newton_dc_kernel_workspace_n62",
+                "newton_dc_kernel_sparse_n62",
+                build_rc_ladder(60),
+                0.0,
+            ),
+            (
+                "newton_dc_kernel_workspace_n32",
+                "newton_dc_kernel_sparse_n32",
+                build_mos_ladder(30),
+                0.4,
+            ),
+        ] {
+            let n = ckt.num_unknowns();
+            let mut st = RealStamper::new(&ckt);
+            let x0 = vec![x_guess; n];
+            st.clear();
+            st.load_gmin(1e-12);
+            stamp_resistive_system(&ckt, &x0, SourceEval::Dc { scale: 1.0 }, &mut st);
+            c.bench_function(label_ws, |b| {
+                let mut ws = LuWorkspace::new(n);
+                let mut x = vec![0.0; n];
+                b.iter(|| {
+                    Lu::factor_into(black_box(&st.a), &mut ws).unwrap();
+                    ws.solve_into(&st.z, &mut x).unwrap();
+                    black_box(x[0])
+                })
+            });
+            c.bench_function(label_sparse, |b| {
+                let csc = CscMatrix::from_dense(&st.a);
+                let mut slu = SparseLu::new();
+                slu.factor(&csc).unwrap();
+                let mut x = Vec::new();
+                b.iter(|| {
+                    slu.refactor_into(black_box(&csc)).unwrap();
+                    slu.solve_into(&st.z, &mut x).unwrap();
+                    black_box(x[0])
+                })
+            });
+        }
+
+        let ota = circuits::FoldedCascodeOta::new();
+        let x = ota.nominal();
+        c.bench_function("ota_full_evaluation", |b| b.iter(|| ota.evaluate(&x)));
+        let latch = circuits::StrongArmLatch::new();
+        let xl = latch.nominal();
+        c.bench_function("latch_full_evaluation", |b| b.iter(|| latch.evaluate(&xl)));
+
+        let ota_fom = Fom::uniform(1.0, ota.num_constraints());
+        let (lb, ub) = ota.bounds();
+        let nominal = ota.nominal();
+        let ota_pop: Vec<Vec<f64>> = (0..16)
+            .map(|i| {
+                let t = (i as f64 / 15.0 - 0.5) * 0.1;
+                nominal
+                    .iter()
+                    .zip(lb.iter().zip(&ub))
+                    .map(|(&v, (&l, &u))| (v + t * (u - l)).clamp(l, u))
+                    .collect()
+            })
+            .collect();
+        c.bench_function("population_eval_16_ota_serial", |b| {
+            parallel::set_max_threads(1);
+            b.iter(|| {
+                let mut ev = Evaluator::new(&ota, &ota_fom, ota_pop.len());
+                black_box(ev.evaluate_batch(&ota_pop).len())
+            });
+            parallel::set_max_threads(0);
+        });
+        c.bench_function("population_eval_16_ota_parallel", |b| {
+            parallel::set_max_threads(0);
+            b.iter(|| {
+                let mut ev = Evaluator::new(&ota, &ota_fom, ota_pop.len());
+                black_box(ev.evaluate_batch(&ota_pop).len())
+            })
+        });
+        std::env::remove_var("CRITERION_JSON");
+    }
+
+    /// Extracts the `"name"` field of a recorded JSON row.
+    fn row_name(line: &str) -> Option<&str> {
+        let start = line.find("\"name\":\"")? + 8;
+        let end = line[start..].find('"')? + start;
+        Some(&line[start..end])
+    }
+
+    /// Re-times the affected kernels and merges the rows into `path`:
+    /// existing rows with the same name are replaced in place, new rows
+    /// are appended, everything else is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn refresh(path: &str) -> std::io::Result<()> {
+        let tmp = std::env::temp_dir().join(format!("bench_rows_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&tmp);
+        record_rows(&tmp);
+        let fresh = std::fs::read_to_string(&tmp)?;
+        let _ = std::fs::remove_file(&tmp);
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let mut lines: Vec<String> = existing.lines().map(String::from).collect();
+        for new_row in fresh.lines() {
+            let Some(name) = row_name(new_row) else {
+                continue;
+            };
+            match lines.iter().position(|l| row_name(l) == Some(name)) {
+                Some(i) => lines[i] = new_row.to_string(),
+                None => lines.push(new_row.to_string()),
+            }
+        }
+        std::fs::write(path, lines.join("\n") + "\n")
+    }
 }
 
 /// Writes FoM-curve CSV: column 0 is the simulation index, then one column

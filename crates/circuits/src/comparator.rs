@@ -101,6 +101,11 @@ pub struct StrongArmLatch {
     /// Clock period \[s\] (clock rises at `period/4`, falls at
     /// `3·period/4`).
     period: f64,
+    /// Prebuilt testbench topology (node maps and device registry derived
+    /// once); per-candidate evaluation clones it and re-sizes in place.
+    template: Circuit,
+    /// Key node ids: `(outp, outn, xp, xn, di_p, di_n)`.
+    nodes: (usize, usize, usize, usize, usize, usize),
 }
 
 impl Default for StrongArmLatch {
@@ -116,13 +121,20 @@ impl StrongArmLatch {
             max_nr_iters: 200,
             ..Default::default()
         };
-        StrongArmLatch {
+        let mut latch = StrongArmLatch {
             tech: tech_180nm(),
             opts,
             vcm: 0.7,
             vin_diff: 10e-3,
             period: 40e-9,
-        }
+            template: Circuit::new(),
+            nodes: (0, 0, 0, 0, 0, 0),
+        };
+        let (ckt, outp, outn, xp, xn, di_p, di_n) =
+            latch.build_topology().expect("latch template must build");
+        latch.template = ckt;
+        latch.nodes = (outp, outn, xp, xn, di_p, di_n);
+        latch
     }
 
     /// A hand-tuned near-feasible design (the regression anchor).
@@ -148,14 +160,15 @@ impl StrongArmLatch {
         ]
     }
 
-    /// Builds the clocked testbench. Returns `(circuit, outp, outn, xp, xn,
-    /// di_p, di_n)` where `di_*` are the latch-internal output nodes and
-    /// `x*` the integration nodes.
+    /// Builds the testbench topology once, with the nominal sizing applied
+    /// (the sizing itself lives exclusively in [`StrongArmLatch::resize`]).
+    /// Returns `(circuit, outp, outn, xp, xn, di_p, di_n)` where `di_*`
+    /// are the latch-internal output nodes and `x*` the integration nodes.
     #[allow(clippy::type_complexity)]
-    fn build(
+    fn build_topology(
         &self,
-        p: &LatchParams,
     ) -> Result<(Circuit, usize, usize, usize, usize, usize, usize), SpiceError> {
+        let u = 1e-6;
         let t = &self.tech;
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
@@ -200,56 +213,80 @@ impl StrongArmLatch {
         let di_n = ckt.node("di_n");
 
         // Clocked tail.
-        ckt.add_mosfet("M_tail", tail, clk, GND, GND, &t.nmos, p.w[3], p.l[3], 1.0)?;
+        ckt.add_mosfet("M_tail", tail, clk, GND, GND, &t.nmos, u, u, 1.0)?;
         // Input pair: inp integrates onto xn-side? Keep the conventional
         // wiring: the device driven by the larger input discharges its
         // drain faster, so its latch output falls; with the input pair
         // drains crossed to x nodes named after their own side:
-        ckt.add_mosfet("M_inP", xp, inp, tail, GND, &t.nmos, p.w[0], p.l[0], 1.0)?;
-        ckt.add_mosfet("M_inN", xn, inn, tail, GND, &t.nmos, p.w[0], p.l[0], 1.0)?;
+        ckt.add_mosfet("M_inP", xp, inp, tail, GND, &t.nmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_inN", xn, inn, tail, GND, &t.nmos, u, u, 1.0)?;
         // Cross-coupled NMOS (sources on the integration nodes).
-        ckt.add_mosfet("M_ccnP", di_p, di_n, xp, GND, &t.nmos, p.w[1], p.l[1], 1.0)?;
-        ckt.add_mosfet("M_ccnN", di_n, di_p, xn, GND, &t.nmos, p.w[1], p.l[1], 1.0)?;
+        ckt.add_mosfet("M_ccnP", di_p, di_n, xp, GND, &t.nmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_ccnN", di_n, di_p, xn, GND, &t.nmos, u, u, 1.0)?;
         // Cross-coupled PMOS.
-        ckt.add_mosfet("M_ccpP", di_p, di_n, vdd, vdd, &t.pmos, p.w[2], p.l[2], 1.0)?;
-        ckt.add_mosfet("M_ccpN", di_n, di_p, vdd, vdd, &t.pmos, p.w[2], p.l[2], 1.0)?;
+        ckt.add_mosfet("M_ccpP", di_p, di_n, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_ccpN", di_n, di_p, vdd, vdd, &t.pmos, u, u, 1.0)?;
         // Precharge switches on both the latch outputs and the integration
         // nodes (gate = clk, on while clk is low).
-        ckt.add_mosfet("M_preP", di_p, clk, vdd, vdd, &t.pmos, p.w[4], p.l[4], 1.0)?;
-        ckt.add_mosfet("M_preN", di_n, clk, vdd, vdd, &t.pmos, p.w[4], p.l[4], 1.0)?;
-        ckt.add_mosfet("M_preXP", xp, clk, vdd, vdd, &t.pmos, p.w[4], p.l[4], 1.0)?;
-        ckt.add_mosfet("M_preXN", xn, clk, vdd, vdd, &t.pmos, p.w[4], p.l[4], 1.0)?;
+        ckt.add_mosfet("M_preP", di_p, clk, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_preN", di_n, clk, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_preXP", xp, clk, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_preXN", xn, clk, vdd, vdd, &t.pmos, u, u, 1.0)?;
 
         // Output buffer inverters with the CL loads.
         let outp = ckt.node("outp");
         let outn = ckt.node("outn");
-        ckt.add_mosfet("M_bnP", outp, di_n, GND, GND, &t.nmos, p.w[5], p.l[5], 1.0)?;
-        ckt.add_mosfet(
-            "M_bpP",
-            outp,
-            di_n,
-            vdd,
-            vdd,
-            &t.pmos,
-            2.5 * p.w[5],
-            p.l[5],
-            1.0,
-        )?;
-        ckt.add_mosfet("M_bnN", outn, di_p, GND, GND, &t.nmos, p.w[5], p.l[5], 1.0)?;
-        ckt.add_mosfet(
-            "M_bpN",
-            outn,
-            di_p,
-            vdd,
-            vdd,
-            &t.pmos,
-            2.5 * p.w[5],
-            p.l[5],
-            1.0,
-        )?;
-        ckt.add_capacitor("CL_P", outp, GND, p.cl())?;
-        ckt.add_capacitor("CL_N", outn, GND, p.cl())?;
+        ckt.add_mosfet("M_bnP", outp, di_n, GND, GND, &t.nmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_bpP", outp, di_n, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_bnN", outn, di_p, GND, GND, &t.nmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_bpN", outn, di_p, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_capacitor("CL_P", outp, GND, 1e-15)?;
+        ckt.add_capacitor("CL_N", outn, GND, 1e-15)?;
 
+        self.resize(&mut ckt, &LatchParams::decode(&self.nominal()))?;
+        Ok((ckt, outp, outn, xp, xn, di_p, di_n))
+    }
+
+    /// Writes every design-dependent device value for the decoded
+    /// parameters `p` — the single source of truth for the Table III
+    /// variable→device mapping.
+    fn resize(&self, ckt: &mut Circuit, p: &LatchParams) -> Result<(), SpiceError> {
+        ckt.set_mosfet_geometry("M_tail", p.w[3], p.l[3], 1.0)?;
+        for name in ["M_inP", "M_inN"] {
+            ckt.set_mosfet_geometry(name, p.w[0], p.l[0], 1.0)?;
+        }
+        for name in ["M_ccnP", "M_ccnN"] {
+            ckt.set_mosfet_geometry(name, p.w[1], p.l[1], 1.0)?;
+        }
+        for name in ["M_ccpP", "M_ccpN"] {
+            ckt.set_mosfet_geometry(name, p.w[2], p.l[2], 1.0)?;
+        }
+        for name in ["M_preP", "M_preN", "M_preXP", "M_preXN"] {
+            ckt.set_mosfet_geometry(name, p.w[4], p.l[4], 1.0)?;
+        }
+        for name in ["M_bnP", "M_bnN"] {
+            ckt.set_mosfet_geometry(name, p.w[5], p.l[5], 1.0)?;
+        }
+        for name in ["M_bpP", "M_bpN"] {
+            ckt.set_mosfet_geometry(name, 2.5 * p.w[5], p.l[5], 1.0)?;
+        }
+        ckt.set_capacitance("CL_P", p.cl())?;
+        ckt.set_capacitance("CL_N", p.cl())?;
+        Ok(())
+    }
+
+    /// Instantiates the candidate: clones the prebuilt template and
+    /// re-sizes devices in place (no netlist rebuild; the topology
+    /// fingerprint is unchanged so pooled solver state carries across
+    /// candidates).
+    #[allow(clippy::type_complexity)]
+    fn build(
+        &self,
+        p: &LatchParams,
+    ) -> Result<(Circuit, usize, usize, usize, usize, usize, usize), SpiceError> {
+        let mut ckt = self.template.clone();
+        self.resize(&mut ckt, p)?;
+        let (outp, outn, xp, xn, di_p, di_n) = self.nodes;
         Ok((ckt, outp, outn, xp, xn, di_p, di_n))
     }
 
@@ -397,7 +434,12 @@ impl SizingProblem for StrongArmLatch {
         let quarter = self.period / 4.0;
         let t_rise = quarter; // clock edge up
         let t_fall = 3.0 * quarter; // clock edge down
-        let Ok(tr) = spice::transient(&ckt, &self.opts, self.period, 50e-12) else {
+                                    // One pooled workspace for the whole evaluation: the transient
+                                    // reuses the recorded solver state of previous candidates.
+        let mut ws = spice::lease_workspace(&ckt);
+        let Ok(tr) =
+            spice::transient_with_workspace(&ckt, &self.opts, self.period, 50e-12, &mut ws)
+        else {
             return SpecResult::failed(m);
         };
 

@@ -15,7 +15,7 @@ use opt::{SizingProblem, SpecResult};
 use spice::{Circuit, SimOptions, SpiceError, Waveform, GND};
 
 use crate::measure;
-use crate::parasitics::{apply_parasitics, ParasiticConfig};
+use crate::parasitics::{apply_parasitics, update_parasitics, ParasiticConfig};
 use crate::tech::{tech_advanced, Technology};
 
 /// The CTLE sizing problem (12 variables — ~8 critical — and 14
@@ -29,6 +29,11 @@ pub struct Ctle {
     vcm: f64,
     /// Nyquist frequency of the target link \[Hz\].
     f_nyquist: f64,
+    /// Prebuilt testbench topology; per-candidate evaluation clones it and
+    /// re-sizes devices and parasitics in place.
+    template: Circuit,
+    /// Output node ids `(op, on)`.
+    outs: (usize, usize),
 }
 
 impl Default for Ctle {
@@ -40,13 +45,19 @@ impl Default for Ctle {
 impl Ctle {
     /// Creates the problem on the generic advanced-node technology.
     pub fn new() -> Self {
-        Ctle {
+        let mut ctle = Ctle {
             tech: tech_advanced(),
             opts: SimOptions::default(),
             parasitics: ParasiticConfig::default(),
             vcm: 0.55,
             f_nyquist: 4e9,
-        }
+            template: Circuit::new(),
+            outs: (0, 0),
+        };
+        let (ckt, op_id, on_id) = ctle.build_topology().expect("CTLE template must build");
+        ctle.template = ckt;
+        ctle.outs = (op_id, on_id);
+        ctle
     }
 
     /// A hand-tuned near-feasible design.
@@ -71,20 +82,14 @@ impl Ctle {
         ]
     }
 
-    #[allow(clippy::type_complexity)]
-    fn build(&self, x: &[f64]) -> Result<(Circuit, usize, usize), SpiceError> {
+    /// Builds the testbench topology once, with the nominal sizing applied
+    /// (the sizing itself lives exclusively in [`Ctle::resize`]).
+    fn build_topology(&self) -> Result<(Circuit, usize, usize), SpiceError> {
         let t = &self.tech;
         let l = t.l_min;
-        let (w_in, l_in, rs, cs, rl, m_sink, w_buf, c_par) = (
-            x[0],
-            x[1].max(l),
-            x[2],
-            x[3],
-            x[4],
-            x[5].round().max(1.0),
-            x[6],
-            x[7],
-        );
+        let u = 1e-6;
+        let (w_in, l_in, rs, cs, rl, m_sink, w_buf, c_par) =
+            (u, l, 100.0, 1e-15, 100.0, 1.0, u, 1e-15);
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         ckt.add_vsource("VDD", vdd, GND, Waveform::Dc(t.vdd))?;
@@ -93,8 +98,8 @@ impl Ctle {
         let inn = ckt.node("inn");
         ckt.add_vsource_ac("VIP", inp, GND, Waveform::Dc(self.vcm), 0.5)?;
         ckt.add_vsource_ac("VIN", inn, GND, Waveform::Dc(self.vcm), -0.5)?;
-        ckt.add_resistor("RT_P", inp, GND, x[11].max(1.0))?;
-        ckt.add_resistor("RT_N", inn, GND, x[11].max(1.0))?;
+        ckt.add_resistor("RT_P", inp, GND, 50.0)?;
+        ckt.add_resistor("RT_N", inn, GND, 50.0)?;
 
         // Bias for the sink and buffer mirrors.
         let vbn = ckt.node("vbn");
@@ -153,33 +158,63 @@ impl Ctle {
         ckt.add_capacitor("CL_N", on, GND, 30e-15)?;
 
         // Device-count emulation: rail decap arrays.
-        ckt.add_mosfet(
-            "M_decap1",
-            GND,
-            vdd,
-            GND,
-            GND,
-            &t.nmos,
-            x[8],
-            x[9].max(l),
-            85_500.0,
-        )?;
-        ckt.add_mosfet(
-            "M_decap2",
-            GND,
-            vdd,
-            GND,
-            GND,
-            &t.nmos,
-            x[8],
-            x[9].max(l),
-            85_500.0,
-        )?;
-        ckt.add_mosfet("M_dummy", dp, GND, GND, GND, &t.nmos, x[10], l, 1.0)?;
+        ckt.add_mosfet("M_decap1", GND, vdd, GND, GND, &t.nmos, u, l, 85_500.0)?;
+        ckt.add_mosfet("M_decap2", GND, vdd, GND, GND, &t.nmos, u, l, 85_500.0)?;
+        ckt.add_mosfet("M_dummy", dp, GND, GND, GND, &t.nmos, u, l, 1.0)?;
+        self.resize(&mut ckt, &self.nominal())?;
         apply_parasitics(&mut ckt, &self.parasitics)?;
         let op_id = ckt.find_node("op")?;
         let on_id = ckt.find_node("on")?;
         Ok((ckt, op_id, on_id))
+    }
+
+    /// Writes every design-dependent device value for the vector `x` —
+    /// the single source of truth for the variable→device mapping.
+    fn resize(&self, ckt: &mut Circuit, x: &[f64]) -> Result<(), SpiceError> {
+        let t = &self.tech;
+        let l = t.l_min;
+        let (w_in, l_in, rs, cs, rl, m_sink, w_buf, c_par) = (
+            x[0],
+            x[1].max(l),
+            x[2],
+            x[3],
+            x[4],
+            x[5].round().max(1.0),
+            x[6],
+            x[7],
+        );
+        ckt.set_mosfet_geometry("M_inP", w_in, l_in, 4.0)?;
+        ckt.set_mosfet_geometry("M_inN", w_in, l_in, 4.0)?;
+        ckt.set_resistance("RS", rs)?;
+        ckt.set_capacitance("CS", cs)?;
+        ckt.set_mosfet_geometry("M_snkP", 0.5e-6, 0.05e-6, m_sink)?;
+        ckt.set_mosfet_geometry("M_snkN", 0.5e-6, 0.05e-6, m_sink)?;
+        ckt.set_resistance("RL_P", rl)?;
+        ckt.set_resistance("RL_N", rl)?;
+        ckt.set_capacitance("CP_P", c_par)?;
+        ckt.set_capacitance("CP_N", c_par)?;
+        ckt.set_mosfet_geometry("M_bufP", w_buf, l, 2.0)?;
+        ckt.set_mosfet_geometry("M_bufN", w_buf, l, 2.0)?;
+        ckt.set_mosfet_geometry("M_bsnkP", 0.5e-6, 0.05e-6, m_sink / 2.0)?;
+        ckt.set_mosfet_geometry("M_bsnkN", 0.5e-6, 0.05e-6, m_sink / 2.0)?;
+        ckt.set_resistance("RT_P", x[11].max(1.0))?;
+        ckt.set_resistance("RT_N", x[11].max(1.0))?;
+        ckt.set_mosfet_geometry("M_decap1", x[8], x[9].max(l), 85_500.0)?;
+        ckt.set_mosfet_geometry("M_decap2", x[8], x[9].max(l), 85_500.0)?;
+        ckt.set_mosfet_geometry("M_dummy", x[10], l, 1.0)?;
+        Ok(())
+    }
+
+    /// Instantiates the candidate `x`: clones the prebuilt template and
+    /// re-sizes devices and parasitics in place (no netlist rebuild; the
+    /// topology fingerprint is unchanged so pooled solver state carries
+    /// across candidates).
+    #[allow(clippy::type_complexity)]
+    fn build(&self, x: &[f64]) -> Result<(Circuit, usize, usize), SpiceError> {
+        let mut ckt = self.template.clone();
+        self.resize(&mut ckt, x)?;
+        update_parasitics(&mut ckt, &self.parasitics)?;
+        Ok((ckt, self.outs.0, self.outs.1))
     }
 
     /// Expanded MOS count (array-aware), ~173k as in the paper's Table V.
@@ -257,7 +292,10 @@ impl SizingProblem for Ctle {
         let Ok((ckt, op_n, on_n)) = self.build(x) else {
             return SpecResult::failed(m);
         };
-        let Ok(dc) = spice::op(&ckt, &self.opts) else {
+        // One pooled workspace per evaluation; the DC solve reuses the
+        // recorded solver state of previous candidates.
+        let mut ws = spice::lease_workspace(&ckt);
+        let Ok(dc) = spice::op_with_workspace(&ckt, &self.opts, None, &mut ws) else {
             return SpecResult::failed(m);
         };
         let power = match dc.source_current(&ckt, "VDD") {

@@ -11,7 +11,7 @@ use opt::{SizingProblem, SpecResult};
 use spice::{Circuit, SimOptions, SpiceError, Waveform, GND};
 
 use crate::measure;
-use crate::parasitics::{apply_parasitics, ParasiticConfig};
+use crate::parasitics::{apply_parasitics, update_parasitics, ParasiticConfig};
 use crate::tech::{tech_advanced, Technology};
 
 /// The inverter-chain sizing problem (8 variables, 2 constraints).
@@ -37,6 +37,12 @@ pub struct InverterChain {
     delay_limit: f64,
     /// Energy-per-transition target \[J\].
     energy_limit: f64,
+    /// Prebuilt testbench topology: node maps, device registry and
+    /// parasitic capacitors are derived once here; per-candidate
+    /// evaluation clones it and re-sizes devices in place.
+    template: Circuit,
+    /// Key node ids of the template: `(input, final stage output)`.
+    io: (usize, usize),
 }
 
 impl Default for InverterChain {
@@ -48,14 +54,22 @@ impl Default for InverterChain {
 impl InverterChain {
     /// Creates the problem on the generic advanced-node technology.
     pub fn new() -> Self {
-        InverterChain {
+        let mut chain = InverterChain {
             tech: tech_advanced(),
             opts: SimOptions::default(),
             parasitics: ParasiticConfig::default(),
             c_load: 40e-15,
             delay_limit: 35e-12,
             energy_limit: 80e-15,
-        }
+            template: Circuit::new(),
+            io: (0, 0),
+        };
+        let (ckt, inp, out) = chain
+            .build_topology()
+            .expect("inverter-chain template must build");
+        chain.template = ckt;
+        chain.io = (inp, out);
+        chain
     }
 
     /// A near-feasible tapered chain.
@@ -74,7 +88,9 @@ impl InverterChain {
         ]
     }
 
-    fn build(&self, x: &[f64]) -> Result<(Circuit, usize, usize), SpiceError> {
+    /// Builds the testbench topology once, with the nominal sizing applied
+    /// (the sizing itself lives exclusively in [`InverterChain::resize`]).
+    fn build_topology(&self) -> Result<(Circuit, usize, usize), SpiceError> {
         let t = &self.tech;
         let l = t.l_min;
         let mut ckt = Circuit::new();
@@ -100,7 +116,7 @@ impl InverterChain {
                 GND,
                 GND,
                 &t.nmos,
-                x[stage],
+                1e-6,
                 l,
                 1.0,
             )?;
@@ -111,15 +127,38 @@ impl InverterChain {
                 vdd,
                 vdd,
                 &t.pmos,
-                x[4 + stage],
+                1e-6,
                 l,
                 1.0,
             )?;
             prev = out;
         }
         ckt.add_capacitor("CL", out, GND, self.c_load)?;
+        self.resize(&mut ckt, &self.nominal())?;
         apply_parasitics(&mut ckt, &self.parasitics)?;
         Ok((ckt, inp, out))
+    }
+
+    /// Writes every design-dependent device value for the vector `x` —
+    /// the single source of truth for the variable→device mapping.
+    fn resize(&self, ckt: &mut Circuit, x: &[f64]) -> Result<(), SpiceError> {
+        let l = self.tech.l_min;
+        for stage in 0..4 {
+            ckt.set_mosfet_geometry(&format!("MN{stage}"), x[stage], l, 1.0)?;
+            ckt.set_mosfet_geometry(&format!("MP{stage}"), x[4 + stage], l, 1.0)?;
+        }
+        Ok(())
+    }
+
+    /// Instantiates the candidate `x`: clones the prebuilt template and
+    /// re-sizes devices and parasitics in place (no netlist rebuild, no
+    /// node-map re-derivation — and an unchanged topology fingerprint, so
+    /// pooled solver state carries across candidates).
+    fn build(&self, x: &[f64]) -> Result<(Circuit, usize, usize), SpiceError> {
+        let mut ckt = self.template.clone();
+        self.resize(&mut ckt, x)?;
+        update_parasitics(&mut ckt, &self.parasitics)?;
+        Ok((ckt, self.io.0, self.io.1))
     }
 }
 
@@ -156,7 +195,11 @@ impl SizingProblem for InverterChain {
             return SpecResult::failed(m);
         };
         let t = &self.tech;
-        let Ok(tr) = spice::transient(&ckt, &self.opts, 1.0e-9, 2e-12) else {
+        // One pooled workspace for the whole evaluation: the transient
+        // reuses the recorded solver state of previous candidates.
+        let mut ws = spice::lease_workspace(&ckt);
+        let Ok(tr) = spice::transient_with_workspace(&ckt, &self.opts, 1.0e-9, 2e-12, &mut ws)
+        else {
             return SpecResult::failed(m);
         };
         // Second cycle: rising input edge at 550 ps, falling at 805 ps.

@@ -16,7 +16,7 @@ use opt::{SizingProblem, SpecResult};
 use spice::{Circuit, SimOptions, SpiceError, Waveform, GND};
 
 use crate::measure;
-use crate::parasitics::{apply_parasitics, ParasiticConfig};
+use crate::parasitics::{apply_parasitics, update_parasitics, ParasiticConfig};
 use crate::tech::{tech_advanced, Technology};
 
 /// The LDO sizing problem (10 variables — ~6 critical — and 9 constraints).
@@ -33,6 +33,16 @@ pub struct Ldo {
     i_load: (f64, f64),
     /// Output capacitor \[F\].
     c_out: f64,
+    /// Prebuilt closed-loop topology; per-candidate evaluation clones it
+    /// and re-sizes devices, load and parasitics in place.
+    template_closed: Circuit,
+    /// Prebuilt broken-loop topology (feedback input driven by `VFBDRV`).
+    template_open: Circuit,
+    /// Node ids `(vout, vfb)` in the closed-loop template.
+    nodes_closed: (usize, usize),
+    /// Node ids `(vout, vfb)` in the broken-loop template (the extra
+    /// `fb_drive` node shifts them).
+    nodes_open: (usize, usize),
 }
 
 impl Default for Ldo {
@@ -44,7 +54,7 @@ impl Default for Ldo {
 impl Ldo {
     /// Creates the problem on the generic advanced-node technology.
     pub fn new() -> Self {
-        Ldo {
+        let mut ldo = Ldo {
             tech: tech_advanced(),
             opts: SimOptions::default(),
             parasitics: ParasiticConfig::default(),
@@ -52,7 +62,22 @@ impl Ldo {
             vref: 0.275,
             i_load: (5e-3, 0.5e-3),
             c_out: 100e-12,
-        }
+            template_closed: Circuit::new(),
+            template_open: Circuit::new(),
+            nodes_closed: (0, 0),
+            nodes_open: (0, 0),
+        };
+        let (closed, vout, vfb) = ldo
+            .build_topology(false)
+            .expect("LDO closed-loop template must build");
+        let (open, vout_o, vfb_o) = ldo
+            .build_topology(true)
+            .expect("LDO broken-loop template must build");
+        ldo.template_closed = closed;
+        ldo.template_open = open;
+        ldo.nodes_closed = (vout, vfb);
+        ldo.nodes_open = (vout_o, vfb_o);
+        ldo
     }
 
     /// A hand-tuned near-feasible design.
@@ -75,26 +100,22 @@ impl Ldo {
         ]
     }
 
-    /// Builds the regulator. `fb_drive`: `None` = closed loop; `Some((dc,
-    /// ac))` = loop broken at the error-amp feedback input, driven by a
-    /// source at that bias.
-    fn build(
-        &self,
-        x: &[f64],
-        i_load: f64,
-        fb_drive: Option<(f64, f64)>,
-    ) -> Result<(Circuit, usize, usize), SpiceError> {
+    /// Builds the regulator topology once, with the nominal sizing applied
+    /// (the sizing itself lives exclusively in [`Ldo::resize`]).
+    /// `broken_loop`: the loop is cut at the error-amp feedback input,
+    /// which is instead driven by the `VFBDRV` source (re-biased per
+    /// candidate by [`Ldo::build`]).
+    fn build_topology(&self, broken_loop: bool) -> Result<(Circuit, usize, usize), SpiceError> {
         let t = &self.tech;
         let l = t.l_min;
-        let (w_ea, l_ea, w_mir, m_pass, cc, r1, w_tail) = (
-            x[0],
-            x[1].max(l),
-            x[2],
-            x[3].round().max(1.0),
-            x[4],
-            x[5],
-            x[6],
-        );
+        let u = 1e-6;
+        let i_load = self.i_load.0;
+        let fb_drive = if broken_loop {
+            Some((self.vref, 1.0))
+        } else {
+            None
+        };
+        let (w_ea, l_ea, w_mir, m_pass, cc, r1, w_tail) = (u, l, u, 1.0, 1e-12, 100e3, u);
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         ckt.add_vsource("VDD", vdd, GND, Waveform::Dc(t.vdd))?;
@@ -136,33 +157,65 @@ impl Ldo {
         ckt.add_resistor("R2", vfb_tap, GND, 100e3)?;
 
         // Arrayed decoupling (the device-count emulation) and a dummy.
-        ckt.add_mosfet(
-            "M_decap1",
-            GND,
-            vdd,
-            GND,
-            GND,
-            &t.nmos,
-            x[7],
-            x[8].max(l),
-            82_300.0,
-        )?;
-        ckt.add_mosfet(
-            "M_decap2",
-            GND,
-            vout,
-            GND,
-            GND,
-            &t.nmos,
-            x[7],
-            x[8].max(l),
-            82_300.0,
-        )?;
-        ckt.add_mosfet("M_dummy", vout, GND, GND, GND, &t.nmos, x[9], l, 1.0)?;
+        ckt.add_mosfet("M_decap1", GND, vdd, GND, GND, &t.nmos, u, l, 82_300.0)?;
+        ckt.add_mosfet("M_decap2", GND, vout, GND, GND, &t.nmos, u, l, 82_300.0)?;
+        ckt.add_mosfet("M_dummy", vout, GND, GND, GND, &t.nmos, u, l, 1.0)?;
+        self.resize(&mut ckt, &self.nominal())?;
         apply_parasitics(&mut ckt, &self.parasitics)?;
         let vout_id = ckt.find_node("vout")?;
         let vfb_id = ckt.find_node("vfb")?;
         Ok((ckt, vout_id, vfb_id))
+    }
+
+    /// Writes every design-dependent device value for the vector `x` —
+    /// the single source of truth for the variable→device mapping.
+    fn resize(&self, ckt: &mut Circuit, x: &[f64]) -> Result<(), SpiceError> {
+        let l = self.tech.l_min;
+        let (w_ea, l_ea, w_mir, m_pass, cc, r1, w_tail) = (
+            x[0],
+            x[1].max(l),
+            x[2],
+            x[3].round().max(1.0),
+            x[4],
+            x[5],
+            x[6],
+        );
+        ckt.set_mosfet_geometry("M_tail", w_tail, 0.1e-6, 2.0)?;
+        ckt.set_mosfet_geometry("M_eaA", w_ea, l_ea, 1.0)?;
+        ckt.set_mosfet_geometry("M_eaB", w_ea, l_ea, 1.0)?;
+        ckt.set_mosfet_geometry("M_mirD", w_mir, 0.1e-6, 1.0)?;
+        ckt.set_mosfet_geometry("M_mirO", w_mir, 0.1e-6, 1.0)?;
+        ckt.set_mosfet_geometry("M_pass", 0.3e-6, l, m_pass)?;
+        ckt.set_capacitance("CC", cc)?;
+        ckt.set_resistance("R1", r1)?;
+        ckt.set_mosfet_geometry("M_decap1", x[7], x[8].max(l), 82_300.0)?;
+        ckt.set_mosfet_geometry("M_decap2", x[7], x[8].max(l), 82_300.0)?;
+        ckt.set_mosfet_geometry("M_dummy", x[9], l, 1.0)?;
+        Ok(())
+    }
+
+    /// Instantiates a candidate: clones the matching prebuilt template and
+    /// re-sizes devices, load current, feedback drive and parasitics in
+    /// place (no netlist rebuild; the topology fingerprint is unchanged so
+    /// pooled solver state carries across candidates).
+    fn build(
+        &self,
+        x: &[f64],
+        i_load: f64,
+        fb_drive: Option<(f64, f64)>,
+    ) -> Result<(Circuit, usize, usize), SpiceError> {
+        let (mut ckt, nodes) = match fb_drive {
+            None => (self.template_closed.clone(), self.nodes_closed),
+            Some(_) => (self.template_open.clone(), self.nodes_open),
+        };
+        self.resize(&mut ckt, x)?;
+        ckt.set_source_dc("ILOAD", i_load)?;
+        if let Some((dc, ac)) = fb_drive {
+            ckt.set_source_dc("VFBDRV", dc)?;
+            ckt.set_ac_mag("VFBDRV", ac)?;
+        }
+        update_parasitics(&mut ckt, &self.parasitics)?;
+        Ok((ckt, nodes.0, nodes.1))
     }
 
     /// Expanded MOS count (array-aware), ~167k as in the paper's Table V.
@@ -237,13 +290,16 @@ impl SizingProblem for Ldo {
         let Ok((ckt_nom, vout, vfb)) = self.build(x, self.i_load.0, None) else {
             return SpecResult::failed(m);
         };
-        let Ok(op_nom) = spice::op(&ckt_nom, &self.opts) else {
+        // One pooled workspace per loop topology: both closed-loop solves
+        // (and later candidates) reuse the same recorded solver state.
+        let mut ws = spice::lease_workspace(&ckt_nom);
+        let Ok(op_nom) = spice::op_with_workspace(&ckt_nom, &self.opts, None, &mut ws) else {
             return SpecResult::failed(m);
         };
         let Ok((ckt_lt, vout_lt, _)) = self.build(x, self.i_load.1, None) else {
             return SpecResult::failed(m);
         };
-        let Ok(op_lt) = spice::op(&ckt_lt, &self.opts) else {
+        let Ok(op_lt) = spice::op_with_workspace(&ckt_lt, &self.opts, None, &mut ws) else {
             return SpecResult::failed(m);
         };
         let v_nom = op_nom.voltage(vout);
@@ -276,7 +332,8 @@ impl SizingProblem for Ldo {
         else {
             return SpecResult::failed(m);
         };
-        let Ok(op_ol) = spice::op(&ckt_ol, &self.opts) else {
+        let mut ws_ol = spice::lease_workspace(&ckt_ol);
+        let Ok(op_ol) = spice::op_with_workspace(&ckt_ol, &self.opts, None, &mut ws_ol) else {
             return SpecResult::failed(m);
         };
         let _ = vout_ol;

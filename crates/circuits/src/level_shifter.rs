@@ -17,7 +17,7 @@ use opt::{SizingProblem, SpecResult};
 use spice::{Circuit, SimOptions, SpiceError, Waveform, GND};
 
 use crate::measure;
-use crate::parasitics::{apply_parasitics, ParasiticConfig};
+use crate::parasitics::{apply_parasitics, update_parasitics, ParasiticConfig};
 use crate::tech::{tech_advanced, Technology};
 
 /// Supply corners: (VDDL, VDDH).
@@ -39,6 +39,12 @@ pub struct LevelShifter {
     parasitics: ParasiticConfig,
     /// Output load \[F\].
     c_load: f64,
+    /// Prebuilt testbench topology (identical at every supply corner);
+    /// per-candidate-per-corner evaluation clones it and re-targets
+    /// devices and sources in place.
+    template: Circuit,
+    /// Node ids `(in, out)`.
+    io: (usize, usize),
 }
 
 impl Default for LevelShifter {
@@ -56,12 +62,20 @@ impl LevelShifter {
             v_limit: 0.25,
             ..Default::default()
         };
-        LevelShifter {
+        let mut ls = LevelShifter {
             tech: tech_advanced(),
             opts,
             parasitics: ParasiticConfig::default(),
             c_load: 10e-15,
-        }
+            template: Circuit::new(),
+            io: (0, 0),
+        };
+        let (ckt, inp, out) = ls
+            .build_topology()
+            .expect("level-shifter template must build");
+        ls.template = ckt;
+        ls.io = (inp, out);
+        ls
     }
 
     /// A hand-tuned near-feasible design.
@@ -90,15 +104,16 @@ impl LevelShifter {
         ]
     }
 
-    fn build(
-        &self,
-        x: &[f64],
-        vddl_v: f64,
-        vddh_v: f64,
-    ) -> Result<(Circuit, usize, usize), SpiceError> {
+    /// Builds the testbench topology once at the center corner, with the
+    /// nominal sizing applied (the sizing lives exclusively in
+    /// [`LevelShifter::resize`]; corner retargeting in
+    /// [`LevelShifter::build`]).
+    fn build_topology(&self) -> Result<(Circuit, usize, usize), SpiceError> {
         let t = &self.tech;
         let l = t.l_min;
-        let l_pd = x[15].max(t.l_min);
+        let u = 1e-6;
+        let l_pd = l;
+        let (vddl_v, vddh_v) = (0.45, 0.75);
         let mut ckt = Circuit::new();
         let vddl = ckt.node("vddl");
         let vddh = ckt.node("vddh");
@@ -114,51 +129,77 @@ impl LevelShifter {
         )?;
         // Input inverter (VDDL domain) generates the complement.
         let inb = ckt.node("inb");
-        ckt.add_mosfet("M_invN", inb, inp, GND, GND, &t.nmos, x[0], l, 1.0)?;
-        ckt.add_mosfet("M_invP", inb, inp, vddl, vddl, &t.pmos, x[1], l, 1.0)?;
+        ckt.add_mosfet("M_invN", inb, inp, GND, GND, &t.nmos, u, l, 1.0)?;
+        ckt.add_mosfet("M_invP", inb, inp, vddl, vddl, &t.pmos, u, l, 1.0)?;
         // Cross-coupled core (VDDH domain): pull-downs driven by in/inb.
         let q = ckt.node("q");
         let qb = ckt.node("qb");
-        ckt.add_mosfet("M_pd1", qb, inp, GND, GND, &t.nmos, x[2], l_pd, 1.0)?;
-        ckt.add_mosfet("M_pd2", q, inb, GND, GND, &t.nmos, x[3], l_pd, 1.0)?;
-        ckt.add_mosfet("M_xp1", qb, q, vddh, vddh, &t.pmos, x[4], l, 1.0)?;
-        ckt.add_mosfet("M_xp2", q, qb, vddh, vddh, &t.pmos, x[5], l, 1.0)?;
+        ckt.add_mosfet("M_pd1", qb, inp, GND, GND, &t.nmos, u, l_pd, 1.0)?;
+        ckt.add_mosfet("M_pd2", q, inb, GND, GND, &t.nmos, u, l_pd, 1.0)?;
+        ckt.add_mosfet("M_xp1", qb, q, vddh, vddh, &t.pmos, u, l, 1.0)?;
+        ckt.add_mosfet("M_xp2", q, qb, vddh, vddh, &t.pmos, u, l, 1.0)?;
         // Two-stage output buffer from q (in-phase with the input).
         let b1 = ckt.node("b1");
         let out = ckt.node("out");
-        ckt.add_mosfet("M_b1n", b1, q, GND, GND, &t.nmos, x[6], l, 1.0)?;
-        ckt.add_mosfet("M_b1p", b1, q, vddh, vddh, &t.pmos, x[7], l, 1.0)?;
-        ckt.add_mosfet("M_b2n", out, b1, GND, GND, &t.nmos, x[8], l, 1.0)?;
-        ckt.add_mosfet("M_b2p", out, b1, vddh, vddh, &t.pmos, x[9], l, 1.0)?;
+        ckt.add_mosfet("M_b1n", b1, q, GND, GND, &t.nmos, u, l, 1.0)?;
+        ckt.add_mosfet("M_b1p", b1, q, vddh, vddh, &t.pmos, u, l, 1.0)?;
+        ckt.add_mosfet("M_b2n", out, b1, GND, GND, &t.nmos, u, l, 1.0)?;
+        ckt.add_mosfet("M_b2p", out, b1, vddh, vddh, &t.pmos, u, l, 1.0)?;
         ckt.add_capacitor("CL", out, GND, self.c_load)?;
         // Dummy load device (inert diode-off NMOS on the output).
-        ckt.add_mosfet("M_dummy", out, GND, GND, GND, &t.nmos, x[14], l, 1.0)?;
+        ckt.add_mosfet("M_dummy", out, GND, GND, GND, &t.nmos, u, l, 1.0)?;
         // Rail decap arrays: the "arrayed instances" that dominate the
         // expanded device count (~600 each).
-        ckt.add_mosfet(
-            "M_decL",
-            GND,
-            vddl,
-            GND,
-            GND,
-            &t.nmos,
-            x[10],
-            x[11].max(l),
-            595.0,
-        )?;
-        ckt.add_mosfet(
-            "M_decH",
-            GND,
-            vddh,
-            GND,
-            GND,
-            &t.nmos,
-            x[12],
-            x[13].max(l),
-            595.0,
-        )?;
+        ckt.add_mosfet("M_decL", GND, vddl, GND, GND, &t.nmos, u, l, 595.0)?;
+        ckt.add_mosfet("M_decH", GND, vddh, GND, GND, &t.nmos, u, l, 595.0)?;
+        self.resize(&mut ckt, &self.nominal())?;
         apply_parasitics(&mut ckt, &self.parasitics)?;
         Ok((ckt, inp, out))
+    }
+
+    /// Writes every design-dependent device value for the vector `x` —
+    /// the single source of truth for the variable→device mapping.
+    fn resize(&self, ckt: &mut Circuit, x: &[f64]) -> Result<(), SpiceError> {
+        let t = &self.tech;
+        let l = t.l_min;
+        let l_pd = x[15].max(t.l_min);
+        ckt.set_mosfet_geometry("M_invN", x[0], l, 1.0)?;
+        ckt.set_mosfet_geometry("M_invP", x[1], l, 1.0)?;
+        ckt.set_mosfet_geometry("M_pd1", x[2], l_pd, 1.0)?;
+        ckt.set_mosfet_geometry("M_pd2", x[3], l_pd, 1.0)?;
+        ckt.set_mosfet_geometry("M_xp1", x[4], l, 1.0)?;
+        ckt.set_mosfet_geometry("M_xp2", x[5], l, 1.0)?;
+        ckt.set_mosfet_geometry("M_b1n", x[6], l, 1.0)?;
+        ckt.set_mosfet_geometry("M_b1p", x[7], l, 1.0)?;
+        ckt.set_mosfet_geometry("M_b2n", x[8], l, 1.0)?;
+        ckt.set_mosfet_geometry("M_b2p", x[9], l, 1.0)?;
+        ckt.set_mosfet_geometry("M_decL", x[10], x[11].max(l), 595.0)?;
+        ckt.set_mosfet_geometry("M_decH", x[12], x[13].max(l), 595.0)?;
+        ckt.set_mosfet_geometry("M_dummy", x[14], l, 1.0)?;
+        Ok(())
+    }
+
+    /// Instantiates a candidate at a supply corner: clones the prebuilt
+    /// template, re-sizes devices and parasitics, and re-targets the
+    /// supply and input sources in place (no netlist rebuild; the topology
+    /// fingerprint is unchanged so pooled solver state carries across
+    /// candidates *and* corners).
+    fn build(
+        &self,
+        x: &[f64],
+        vddl_v: f64,
+        vddh_v: f64,
+    ) -> Result<(Circuit, usize, usize), SpiceError> {
+        let mut ckt = self.template.clone();
+        self.resize(&mut ckt, x)?;
+        ckt.set_source_dc("VDDL", vddl_v)?;
+        ckt.set_source_dc("VDDH", vddh_v)?;
+        ckt.set_source_wave(
+            "VIN",
+            Waveform::pulse(0.0, vddl_v, 100e-12, 10e-12, 10e-12, 500e-12, 1000e-12),
+        )?;
+        update_parasitics(&mut ckt, &self.parasitics)?;
+        Ok((ckt, self.io.0, self.io.1))
     }
 
     /// Expanded MOS count of the netlist (array-aware), ~1.2k as in the
@@ -216,11 +257,16 @@ impl SizingProblem for LevelShifter {
         let m = self.num_constraints();
         let mut constraints = Vec::with_capacity(m);
         let mut energy_total = 0.0;
+        // One pooled workspace for all six corners (identical topology):
+        // the recorded solver state carries across corners and candidates.
+        let mut ws = spice::lease_workspace(&self.template);
         for &(vddl_v, vddh_v) in &CORNERS {
             let Ok((ckt, inp, out)) = self.build(x, vddl_v, vddh_v) else {
                 return SpecResult::failed(m);
             };
-            let Ok(tr) = spice::transient(&ckt, &self.opts, 1.1e-9, 2.5e-12) else {
+            let Ok(tr) =
+                spice::transient_with_workspace(&ckt, &self.opts, 1.1e-9, 2.5e-12, &mut ws)
+            else {
                 return SpecResult::failed(m);
             };
             let w_in = tr.waveform(inp);

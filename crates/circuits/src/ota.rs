@@ -124,6 +124,17 @@ pub struct FoldedCascodeOta {
     vcm: f64,
     /// Bias reference current \[A\].
     iref: f64,
+    /// Prebuilt open-loop testbench topology; per-candidate evaluation
+    /// clones it and re-sizes every device in place (no netlist rebuild,
+    /// no node-map re-derivation — and an unchanged topology fingerprint,
+    /// so pooled solver state carries across candidates).
+    template_open: Circuit,
+    /// Output node ids `(out_p, out_n)` of the open-loop template.
+    open_outs: (usize, usize),
+    /// Prebuilt closed-loop (gain −1 step) testbench topology.
+    template_closed: Circuit,
+    /// Output node ids `(out_p, out_n)` of the closed-loop template.
+    closed_outs: (usize, usize),
 }
 
 impl Default for FoldedCascodeOta {
@@ -139,12 +150,27 @@ impl FoldedCascodeOta {
             max_nr_iters: 200,
             ..Default::default()
         };
-        FoldedCascodeOta {
+        let mut ota = FoldedCascodeOta {
             tech: tech_180nm(),
             opts,
             vcm: 0.9,
             iref: 10e-6,
-        }
+            template_open: Circuit::new(),
+            open_outs: (0, 0),
+            template_closed: Circuit::new(),
+            closed_outs: (0, 0),
+        };
+        let (open, op_, on_) = ota
+            .build_open_topology()
+            .expect("OTA open-loop template must build");
+        ota.template_open = open;
+        ota.open_outs = (op_, on_);
+        let (closed, cp, cn) = ota
+            .build_closed_topology()
+            .expect("OTA closed-loop template must build");
+        ota.template_closed = closed;
+        ota.closed_outs = (cp, cn);
+        ota
     }
 
     /// A hand-tuned design that meets (or closely approaches) every Eq. 9
@@ -180,13 +206,13 @@ impl FoldedCascodeOta {
         ]
     }
 
-    /// Builds the amplifier core into `ckt`. Returns the key node ids:
+    /// Builds the amplifier-core *topology* into `ckt` with placeholder
+    /// geometry — every design-dependent value is written exclusively by
+    /// [`FoldedCascodeOta::resize`]. Returns the key node ids:
     /// `(inp, inn, out_p, out_n)`.
-    fn build_core(
-        &self,
-        ckt: &mut Circuit,
-        p: &OtaParams,
-    ) -> Result<(usize, usize, usize, usize), SpiceError> {
+    fn build_core(&self, ckt: &mut Circuit) -> Result<(usize, usize, usize, usize), SpiceError> {
+        let u = 1e-6;
+        let f = 1e-15;
         let t = &self.tech;
         let vdd = ckt.node("vdd");
         ckt.add_vsource("VDD", vdd, GND, Waveform::Dc(t.vdd))?;
@@ -210,99 +236,56 @@ impl FoldedCascodeOta {
 
         // ---- Bias generator (fixed 10 µA reference branches).
         // vbp1: PMOS mirror gate.
-        ckt.add_mosfet("MB_p1", vbp1, vbp1, vdd, vdd, &t.pmos, p.w[3], p.l[3], 1.0)?;
+        ckt.add_mosfet("MB_p1", vbp1, vbp1, vdd, vdd, &t.pmos, u, u, 1.0)?;
         ckt.add_isource("IB1", vbp1, GND, Waveform::Dc(self.iref))?;
         // vbp2: two stacked PMOS diodes (cascode gate level).
         let midp = ckt.node("bias_midp");
-        ckt.add_mosfet("MB_p2a", midp, midp, vdd, vdd, &t.pmos, p.w[4], p.l[4], 2.0)?;
-        ckt.add_mosfet(
-            "MB_p2b", vbp2, vbp2, midp, vdd, &t.pmos, p.w[4], p.l[4], 2.0,
-        )?;
+        ckt.add_mosfet("MB_p2a", midp, midp, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("MB_p2b", vbp2, vbp2, midp, vdd, &t.pmos, u, u, 1.0)?;
         ckt.add_isource("IB2", vbp2, GND, Waveform::Dc(self.iref))?;
         // vbn2: two stacked NMOS diodes (vbn2 ≈ 2·vgs).
         let midn = ckt.node("bias_midn");
-        ckt.add_mosfet("MB_n2a", midn, midn, GND, GND, &t.nmos, p.w[1], p.l[1], 2.0)?;
-        ckt.add_mosfet(
-            "MB_n2b", vbn2, vbn2, midn, GND, &t.nmos, p.w[1], p.l[1], 2.0,
-        )?;
+        ckt.add_mosfet("MB_n2a", midn, midn, GND, GND, &t.nmos, u, u, 1.0)?;
+        ckt.add_mosfet("MB_n2b", vbn2, vbn2, midn, GND, &t.nmos, u, u, 1.0)?;
         ckt.add_isource("IB3", vdd, vbn2, Waveform::Dc(self.iref))?;
         // vbn: NMOS mirror gate for the CMFB tail.
-        ckt.add_mosfet("MB_n1", vbn, vbn, GND, GND, &t.nmos, p.w[1], p.l[1], 1.0)?;
+        ckt.add_mosfet("MB_n1", vbn, vbn, GND, GND, &t.nmos, u, u, 1.0)?;
         ckt.add_isource("IB4", vdd, vbn, Waveform::Dc(self.iref))?;
 
         // ---- Stage 1: PMOS-input folded cascode.
-        ckt.add_mosfet(
-            "M_tail",
-            tail,
-            vbp1,
-            vdd,
-            vdd,
-            &t.pmos,
-            p.w[0],
-            p.l[0],
-            2.0 * p.n1,
-        )?;
-        ckt.add_mosfet(
-            "M_inP", fold_l, inp, tail, vdd, &t.pmos, p.w[0], p.l[0], p.n1,
-        )?;
-        ckt.add_mosfet(
-            "M_inN", fold_r, inn, tail, vdd, &t.pmos, p.w[0], p.l[0], p.n1,
-        )?;
+        ckt.add_mosfet("M_tail", tail, vbp1, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_inP", fold_l, inp, tail, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_inN", fold_r, inn, tail, vdd, &t.pmos, u, u, 1.0)?;
         // Top PMOS current sources and cascodes.
-        ckt.add_mosfet(
-            "MP_srcL", srcp_l, vbp1, vdd, vdd, &t.pmos, p.w[3], p.l[3], p.n2,
-        )?;
-        ckt.add_mosfet(
-            "MP_srcR", srcp_r, vbp1, vdd, vdd, &t.pmos, p.w[3], p.l[3], p.n2,
-        )?;
-        ckt.add_mosfet(
-            "MP_casL", out1_l, vbp2, srcp_l, vdd, &t.pmos, p.w[4], p.l[4], p.n2,
-        )?;
-        ckt.add_mosfet(
-            "MP_casR", out1_r, vbp2, srcp_r, vdd, &t.pmos, p.w[4], p.l[4], p.n2,
-        )?;
+        ckt.add_mosfet("MP_srcL", srcp_l, vbp1, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("MP_srcR", srcp_r, vbp1, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("MP_casL", out1_l, vbp2, srcp_l, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("MP_casR", out1_r, vbp2, srcp_r, vdd, &t.pmos, u, u, 1.0)?;
         // Bottom NMOS cascodes and mirror-biased sinks (gate vbn_snk comes
         // from the replica + CMFB-injection branch below).
         let vbn_snk = ckt.node("vbn_snk");
-        ckt.add_mosfet(
-            "MN_casL", out1_l, vbn2, fold_l, GND, &t.nmos, p.w[1], p.l[1], p.n2,
-        )?;
-        ckt.add_mosfet(
-            "MN_casR", out1_r, vbn2, fold_r, GND, &t.nmos, p.w[1], p.l[1], p.n2,
-        )?;
-        let snk_m = p.n1 + p.n2;
-        ckt.add_mosfet(
-            "MN_snkL", fold_l, vbn_snk, GND, GND, &t.nmos, p.w[2], p.l[2], snk_m,
-        )?;
-        ckt.add_mosfet(
-            "MN_snkR", fold_r, vbn_snk, GND, GND, &t.nmos, p.w[2], p.l[2], snk_m,
-        )?;
+        ckt.add_mosfet("MN_casL", out1_l, vbn2, fold_l, GND, &t.nmos, u, u, 1.0)?;
+        ckt.add_mosfet("MN_casR", out1_r, vbn2, fold_r, GND, &t.nmos, u, u, 1.0)?;
+        ckt.add_mosfet("MN_snkL", fold_l, vbn_snk, GND, GND, &t.nmos, u, u, 1.0)?;
+        ckt.add_mosfet("MN_snkR", fold_r, vbn_snk, GND, GND, &t.nmos, u, u, 1.0)?;
 
         // ---- Stage 2 (inverting common source per side):
         // left first-stage output drives the *P* output.
-        ckt.add_mosfet(
-            "MN_drvL", out_p, out1_l, GND, GND, &t.nmos, p.w[5], p.l[5], p.n9,
-        )?;
-        ckt.add_mosfet(
-            "MN_drvR", out_n, out1_r, GND, GND, &t.nmos, p.w[5], p.l[5], p.n9,
-        )?;
-        ckt.add_mosfet(
-            "MP_ld2L", out_p, vbp1, vdd, vdd, &t.pmos, p.w[6], p.l[6], p.n8,
-        )?;
-        ckt.add_mosfet(
-            "MP_ld2R", out_n, vbp1, vdd, vdd, &t.pmos, p.w[6], p.l[6], p.n8,
-        )?;
+        ckt.add_mosfet("MN_drvL", out_p, out1_l, GND, GND, &t.nmos, u, u, 1.0)?;
+        ckt.add_mosfet("MN_drvR", out_n, out1_r, GND, GND, &t.nmos, u, u, 1.0)?;
+        ckt.add_mosfet("MP_ld2L", out_p, vbp1, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("MP_ld2R", out_n, vbp1, vdd, vdd, &t.pmos, u, u, 1.0)?;
         // Miller compensation with a fixed 2 kΩ nulling resistor (pushes
         // the right-half-plane zero into the left half plane for any
         // second-stage gm above ~0.5 mS) and output loads.
         let zc_l = ckt.node("zc_l");
         let zc_r = ckt.node("zc_r");
         ckt.add_resistor("RZ_L", out1_l, zc_l, 2e3)?;
-        ckt.add_capacitor("CC_L", zc_l, out_p, p.mcap)?;
+        ckt.add_capacitor("CC_L", zc_l, out_p, 100.0 * f)?;
         ckt.add_resistor("RZ_R", out1_r, zc_r, 2e3)?;
-        ckt.add_capacitor("CC_R", zc_r, out_n, p.mcap)?;
-        ckt.add_capacitor("CL_P", out_p, GND, p.cf)?;
-        ckt.add_capacitor("CL_N", out_n, GND, p.cf)?;
+        ckt.add_capacitor("CC_R", zc_r, out_n, 100.0 * f)?;
+        ckt.add_capacitor("CL_P", out_p, GND, 100.0 * f)?;
+        ckt.add_capacitor("CL_N", out_n, GND, 100.0 * f)?;
 
         // ---- Sink bias: replica mirror + current-injection CMFB.
         //
@@ -321,21 +304,9 @@ impl FoldedCascodeOta {
         // must stay below what the top sources can deliver, otherwise the
         // first stage latches with the folds on the ground rail. The CMFB
         // injection below makes up the input-pair share at balance.
-        ckt.add_mosfet(
-            "M_repSrc",
-            vbn_snk,
-            vbp1,
-            vdd,
-            vdd,
-            &t.pmos,
-            p.w[3],
-            p.l[3],
-            0.95 * p.n2,
-        )?;
+        ckt.add_mosfet("M_repSrc", vbn_snk, vbp1, vdd, vdd, &t.pmos, u, u, 1.0)?;
         // Sink-bias diode, same geometry and multiplier as each sink.
-        ckt.add_mosfet(
-            "M_snkDio", vbn_snk, vbn_snk, GND, GND, &t.nmos, p.w[2], p.l[2], snk_m,
-        )?;
+        ckt.add_mosfet("M_snkDio", vbn_snk, vbn_snk, GND, GND, &t.nmos, u, u, 1.0)?;
         // (b) CMFB error amp: NMOS pair comparing the sensed output CM with
         // VREF; the VREF-side current is mirrored into the diode branch, so
         // the correction is bounded by the CMFB tail current.
@@ -345,88 +316,94 @@ impl FoldedCascodeOta {
         ckt.add_vsource("VREF", vref, GND, Waveform::Dc(self.vcm))?;
         let cm_tail = ckt.node("cm_tail");
         let cm_d1 = ckt.node("cm_d1");
-        let cmfb_tail_m = 0.5 * snk_m;
-        ckt.add_mosfet(
-            "M_cmfbTail",
-            cm_tail,
-            vbn,
-            GND,
-            GND,
-            &t.nmos,
-            p.w[1],
-            p.l[1],
-            cmfb_tail_m,
-        )?;
+        ckt.add_mosfet("M_cmfbTail", cm_tail, vbn, GND, GND, &t.nmos, u, u, 1.0)?;
         // vsense down => more current in the VREF-side device? No: the
         // sense-side device steals tail current as vsense rises, so the
         // VREF-side current *falls* with rising output CM — injected into
         // the sink diode this lowers the sink current and lets the outputs
         // come back down through the two inverting stages.
-        ckt.add_mosfet(
-            "M_cmfbA", cm_d1, vref, cm_tail, GND, &t.nmos, p.w[1], p.l[1], 1.0,
-        )?;
+        ckt.add_mosfet("M_cmfbA", cm_d1, vref, cm_tail, GND, &t.nmos, u, u, 1.0)?;
         let cm_dump = ckt.node("cm_dump");
-        ckt.add_mosfet(
-            "M_cmfbB", cm_dump, vsense, cm_tail, GND, &t.nmos, p.w[1], p.l[1], 1.0,
-        )?;
+        ckt.add_mosfet("M_cmfbB", cm_dump, vsense, cm_tail, GND, &t.nmos, u, u, 1.0)?;
         // Dump side terminates in a diode so the device stays biased.
-        ckt.add_mosfet(
-            "M_cmfbDump",
-            cm_dump,
-            cm_dump,
-            vdd,
-            vdd,
-            &t.pmos,
-            p.w[3],
-            p.l[3],
-            1.0,
-        )?;
-        ckt.add_mosfet(
-            "M_cmfbMirD",
-            cm_d1,
-            cm_d1,
-            vdd,
-            vdd,
-            &t.pmos,
-            p.w[3],
-            p.l[3],
-            1.0,
-        )?;
-        ckt.add_mosfet(
-            "M_cmfbInj",
-            vbn_snk,
-            cm_d1,
-            vdd,
-            vdd,
-            &t.pmos,
-            p.w[3],
-            p.l[3],
-            1.0,
-        )?;
+        ckt.add_mosfet("M_cmfbDump", cm_dump, cm_dump, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_cmfbMirD", cm_d1, cm_d1, vdd, vdd, &t.pmos, u, u, 1.0)?;
+        ckt.add_mosfet("M_cmfbInj", vbn_snk, cm_d1, vdd, vdd, &t.pmos, u, u, 1.0)?;
         // Small stabilizing cap on the sink-bias node.
         ckt.add_capacitor("C_cmfb", vbn_snk, GND, 50e-15)?;
 
         Ok((inp, inn, out_p, out_n))
     }
 
-    /// Builds the open-loop testbench: inputs driven by DC sources at VCM
-    /// (AC magnitudes set later per excitation pattern).
-    fn build_open_loop(&self, p: &OtaParams) -> Result<(Circuit, usize, usize), SpiceError> {
+    /// Writes every Table I design-dependent device value for the decoded
+    /// parameters `p` — the single source of truth for the
+    /// variable→device mapping, shared by both testbench templates.
+    fn resize(&self, ckt: &mut Circuit, p: &OtaParams) -> Result<(), SpiceError> {
+        let snk_m = p.n1 + p.n2;
+        // Bias generator.
+        ckt.set_mosfet_geometry("MB_p1", p.w[3], p.l[3], 1.0)?;
+        ckt.set_mosfet_geometry("MB_p2a", p.w[4], p.l[4], 2.0)?;
+        ckt.set_mosfet_geometry("MB_p2b", p.w[4], p.l[4], 2.0)?;
+        ckt.set_mosfet_geometry("MB_n2a", p.w[1], p.l[1], 2.0)?;
+        ckt.set_mosfet_geometry("MB_n2b", p.w[1], p.l[1], 2.0)?;
+        ckt.set_mosfet_geometry("MB_n1", p.w[1], p.l[1], 1.0)?;
+        // Stage 1.
+        ckt.set_mosfet_geometry("M_tail", p.w[0], p.l[0], 2.0 * p.n1)?;
+        ckt.set_mosfet_geometry("M_inP", p.w[0], p.l[0], p.n1)?;
+        ckt.set_mosfet_geometry("M_inN", p.w[0], p.l[0], p.n1)?;
+        ckt.set_mosfet_geometry("MP_srcL", p.w[3], p.l[3], p.n2)?;
+        ckt.set_mosfet_geometry("MP_srcR", p.w[3], p.l[3], p.n2)?;
+        ckt.set_mosfet_geometry("MP_casL", p.w[4], p.l[4], p.n2)?;
+        ckt.set_mosfet_geometry("MP_casR", p.w[4], p.l[4], p.n2)?;
+        ckt.set_mosfet_geometry("MN_casL", p.w[1], p.l[1], p.n2)?;
+        ckt.set_mosfet_geometry("MN_casR", p.w[1], p.l[1], p.n2)?;
+        ckt.set_mosfet_geometry("MN_snkL", p.w[2], p.l[2], snk_m)?;
+        ckt.set_mosfet_geometry("MN_snkR", p.w[2], p.l[2], snk_m)?;
+        // Stage 2 and compensation.
+        ckt.set_mosfet_geometry("MN_drvL", p.w[5], p.l[5], p.n9)?;
+        ckt.set_mosfet_geometry("MN_drvR", p.w[5], p.l[5], p.n9)?;
+        ckt.set_mosfet_geometry("MP_ld2L", p.w[6], p.l[6], p.n8)?;
+        ckt.set_mosfet_geometry("MP_ld2R", p.w[6], p.l[6], p.n8)?;
+        ckt.set_capacitance("CC_L", p.mcap)?;
+        ckt.set_capacitance("CC_R", p.mcap)?;
+        ckt.set_capacitance("CL_P", p.cf)?;
+        ckt.set_capacitance("CL_N", p.cf)?;
+        // Sink-bias replica and CMFB.
+        ckt.set_mosfet_geometry("M_repSrc", p.w[3], p.l[3], 0.95 * p.n2)?;
+        ckt.set_mosfet_geometry("M_snkDio", p.w[2], p.l[2], snk_m)?;
+        ckt.set_mosfet_geometry("M_cmfbTail", p.w[1], p.l[1], 0.5 * snk_m)?;
+        ckt.set_mosfet_geometry("M_cmfbA", p.w[1], p.l[1], 1.0)?;
+        ckt.set_mosfet_geometry("M_cmfbB", p.w[1], p.l[1], 1.0)?;
+        ckt.set_mosfet_geometry("M_cmfbDump", p.w[3], p.l[3], 1.0)?;
+        ckt.set_mosfet_geometry("M_cmfbMirD", p.w[3], p.l[3], 1.0)?;
+        ckt.set_mosfet_geometry("M_cmfbInj", p.w[3], p.l[3], 1.0)?;
+        Ok(())
+    }
+
+    /// Builds the open-loop testbench topology (inputs driven by DC
+    /// sources at VCM; AC magnitudes set later per excitation pattern).
+    fn build_open_topology(&self) -> Result<(Circuit, usize, usize), SpiceError> {
         let mut ckt = Circuit::new();
-        let (inp, inn, out_p, out_n) = self.build_core(&mut ckt, p)?;
+        let (inp, inn, out_p, out_n) = self.build_core(&mut ckt)?;
         ckt.add_vsource("VIP", inp, GND, Waveform::Dc(self.vcm))?;
         ckt.add_vsource("VIN", inn, GND, Waveform::Dc(self.vcm))?;
+        self.resize(&mut ckt, &OtaParams::decode(&self.nominal()))?;
         Ok((ckt, out_p, out_n))
     }
 
-    /// Builds the closed-loop (resistive gain −1) step testbench.
-    fn build_closed_loop(
-        &self,
-        p: &OtaParams,
-        step: f64,
-    ) -> Result<(Circuit, usize, usize), SpiceError> {
+    /// Instantiates the open-loop testbench for a candidate: clones the
+    /// prebuilt template and re-sizes every device in place.
+    fn build_open_loop(&self, p: &OtaParams) -> Result<(Circuit, usize, usize), SpiceError> {
+        let mut ckt = self.template_open.clone();
+        self.resize(&mut ckt, p)?;
+        Ok((ckt, self.open_outs.0, self.open_outs.1))
+    }
+
+    /// Builds the closed-loop (resistive gain −1) step-testbench topology.
+    fn build_closed_topology(&self) -> Result<(Circuit, usize, usize), SpiceError> {
+        let step = 0.5;
         let mut ckt = Circuit::new();
-        let (inp, inn, out_p, out_n) = self.build_core(&mut ckt, p)?;
+        let (inp, inn, out_p, out_n) = self.build_core(&mut ckt)?;
         let vin_p = ckt.node("vin_p");
         let vin_n = ckt.node("vin_n");
         // Cross-coupled feedback: out_p -> inn, out_n -> inp. The network
@@ -465,7 +442,45 @@ impl FoldedCascodeOta {
                 f64::INFINITY,
             ),
         )?;
+        self.resize(&mut ckt, &OtaParams::decode(&self.nominal()))?;
         Ok((ckt, out_p, out_n))
+    }
+
+    /// Instantiates the closed-loop testbench for a candidate: clones the
+    /// prebuilt template, re-sizes every device and re-targets the step
+    /// sources in place.
+    fn build_closed_loop(
+        &self,
+        p: &OtaParams,
+        step: f64,
+    ) -> Result<(Circuit, usize, usize), SpiceError> {
+        let mut ckt = self.template_closed.clone();
+        self.resize(&mut ckt, p)?;
+        ckt.set_source_wave(
+            "VSP",
+            Waveform::pulse(
+                self.vcm,
+                self.vcm + step / 2.0,
+                100e-9,
+                1e-9,
+                1e-9,
+                1.0,
+                f64::INFINITY,
+            ),
+        )?;
+        ckt.set_source_wave(
+            "VSN",
+            Waveform::pulse(
+                self.vcm,
+                self.vcm - step / 2.0,
+                100e-9,
+                1e-9,
+                1e-9,
+                1.0,
+                f64::INFINITY,
+            ),
+        )?;
+        Ok((ckt, self.closed_outs.0, self.closed_outs.1))
     }
 
     /// Estimated differential output swing from operating-point headrooms.
@@ -554,7 +569,10 @@ impl SizingProblem for FoldedCascodeOta {
         let Ok((mut ol, out_p, out_n)) = self.build_open_loop(&p) else {
             return SpecResult::failed(m);
         };
-        let Ok(op) = spice::op(&ol, &self.opts) else {
+        // Pooled workspaces (one per testbench topology): every candidate
+        // reuses the recorded stamp→slot maps and factor storage.
+        let mut ws_ol = spice::lease_workspace(&ol);
+        let Ok(op) = spice::op_with_workspace(&ol, &self.opts, None, &mut ws_ol) else {
             return SpecResult::failed(m);
         };
 
@@ -615,7 +633,8 @@ impl SizingProblem for FoldedCascodeOta {
         let mut vnoise = f64::INFINITY;
         let (settle, static_err_pct) = match self.build_closed_loop(&p, step) {
             Ok((cl, cout_p, cout_n)) => {
-                if let Ok(op_cl) = spice::op(&cl, &self.opts) {
+                let mut ws_cl = spice::lease_workspace(&cl);
+                if let Ok(op_cl) = spice::op_with_workspace(&cl, &self.opts, None, &mut ws_cl) {
                     let noise_freqs = spice::log_freqs(1e3, 1e8, 4);
                     if let Ok(nres) =
                         spice::noise(&cl, &self.opts, &op_cl, cout_p, cout_n, &noise_freqs)
@@ -623,7 +642,7 @@ impl SizingProblem for FoldedCascodeOta {
                         vnoise = nres.total_rms();
                     }
                 }
-                match spice::transient(&cl, &self.opts, 400e-9, 0.5e-9) {
+                match spice::transient_with_workspace(&cl, &self.opts, 400e-9, 0.5e-9, &mut ws_cl) {
                     Ok(tr) => {
                         let wave: Vec<(f64, f64)> = tr
                             .times()

@@ -37,16 +37,10 @@ impl Default for ParasiticConfig {
     }
 }
 
-/// Estimates wiring parasitics for every non-ground node of `circuit` and
-/// inserts them as grounded capacitors named `CPAR_<node>`.
-///
-/// Returns the number of capacitors added.
-///
-/// # Errors
-///
-/// Propagates netlist errors (duplicate names if called twice on the same
-/// circuit).
-pub fn apply_parasitics(circuit: &mut Circuit, cfg: &ParasiticConfig) -> Result<usize, SpiceError> {
+/// Per-node parasitic estimate, skipping previously inserted `CPAR_*`
+/// capacitors so the estimate is identical whether the circuit is fresh or
+/// a reused template.
+fn node_caps(circuit: &Circuit, cfg: &ParasiticConfig) -> Vec<f64> {
     let n = circuit.num_nodes();
     let mut cap = vec![0.0_f64; n];
     for dev in circuit.devices() {
@@ -58,6 +52,7 @@ pub fn apply_parasitics(circuit: &mut Circuit, cfg: &ParasiticConfig) -> Result<
                     cap[t] += cfg.cap_per_terminal + cfg.cap_per_width * w * m;
                 }
             }
+            Device::Capacitor { name, .. } if name.starts_with("CPAR_") => {}
             Device::Resistor { a, b, .. } | Device::Capacitor { a, b, .. } => {
                 cap[*a] += cfg.cap_per_terminal;
                 cap[*b] += cfg.cap_per_terminal;
@@ -65,6 +60,20 @@ pub fn apply_parasitics(circuit: &mut Circuit, cfg: &ParasiticConfig) -> Result<
             _ => {}
         }
     }
+    cap
+}
+
+/// Estimates wiring parasitics for every non-ground node of `circuit` and
+/// inserts them as grounded capacitors named `CPAR_<node>`.
+///
+/// Returns the number of capacitors added.
+///
+/// # Errors
+///
+/// Propagates netlist errors (duplicate names if called twice on the same
+/// circuit).
+pub fn apply_parasitics(circuit: &mut Circuit, cfg: &ParasiticConfig) -> Result<usize, SpiceError> {
+    let cap = node_caps(circuit, cfg);
     let mut added = 0;
     for (node, c) in cap.iter().enumerate().skip(1) {
         if *c > 0.0 {
@@ -74,6 +83,34 @@ pub fn apply_parasitics(circuit: &mut Circuit, cfg: &ParasiticConfig) -> Result<
         }
     }
     Ok(added)
+}
+
+/// Recomputes the parasitic estimate after device geometry changed and
+/// writes the new values into the existing `CPAR_*` capacitors in place —
+/// the per-candidate companion of [`apply_parasitics`] for testbenches
+/// that clone a prebuilt template circuit instead of rebuilding the
+/// netlist. Which capacitors exist depends only on connectivity, so the
+/// set inserted at template-build time is always exactly the set updated
+/// here. Returns the number of capacitors updated.
+///
+/// # Errors
+///
+/// Propagates netlist errors ([`apply_parasitics`] was never run on this
+/// circuit).
+pub fn update_parasitics(
+    circuit: &mut Circuit,
+    cfg: &ParasiticConfig,
+) -> Result<usize, SpiceError> {
+    let cap = node_caps(circuit, cfg);
+    let mut updated = 0;
+    for (node, c) in cap.iter().enumerate().skip(1) {
+        if *c > 0.0 {
+            let name = format!("CPAR_{}", circuit.node_name(node));
+            circuit.set_capacitance(&name, *c)?;
+            updated += 1;
+        }
+    }
+    Ok(updated)
 }
 
 #[cfg(test)]
@@ -131,6 +168,33 @@ mod tests {
         let op = spice::op(&c, &SimOptions::default()).unwrap();
         let out = c.find_node("out").unwrap();
         assert!(op.voltage(out) > 0.7); // input low -> output high
+    }
+
+    #[test]
+    fn update_matches_fresh_application() {
+        // Updating a template's parasitics after resizing must produce the
+        // same circuit as applying parasitics to a freshly built circuit of
+        // that size.
+        let t = tech_advanced();
+        let cfg = ParasiticConfig::default();
+        let build = |w: f64| {
+            let mut c = small_inverter();
+            c.set_mosfet_geometry("MN", w, 0.02e-6, 1.0).unwrap();
+            c
+        };
+        let mut fresh = build(5e-6);
+        apply_parasitics(&mut fresh, &cfg).unwrap();
+        let mut template = build(1e-6);
+        apply_parasitics(&mut template, &cfg).unwrap();
+        let mut updated = template.clone();
+        updated
+            .set_mosfet_geometry("MN", 5e-6, 0.02e-6, 1.0)
+            .unwrap();
+        let n = update_parasitics(&mut updated, &cfg).unwrap();
+        assert!(n >= 3);
+        let caps = |c: &Circuit| -> Vec<(usize, usize, f64)> { c.capacitive_elements() };
+        assert_eq!(caps(&fresh), caps(&updated));
+        let _ = t;
     }
 
     #[test]

@@ -103,6 +103,48 @@ impl CholeskyWorkspace {
         Ok(())
     }
 
+    /// Solves `A·x = b`, validating the right-hand side first — the
+    /// allocating convenience over [`CholeskyWorkspace::solve_into`],
+    /// mirroring [`crate::Lu::try_solve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] if `b.len()` differs from the
+    /// factored dimension or no successful factorization is stored.
+    pub fn try_solve(&self, b: &[f64]) -> Result<Vec<f64>, FactorError> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column, validating the shape first,
+    /// mirroring [`crate::Lu::try_solve_matrix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] if `b.rows()` differs from the
+    /// factored dimension or no successful factorization is stored.
+    pub fn try_solve_matrix(&self, b: &Matrix) -> Result<Matrix, FactorError> {
+        if !self.factored || b.rows() != self.n {
+            return Err(FactorError::Shape {
+                rows: b.rows(),
+                cols: b.cols(),
+            });
+        }
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        let mut col = Vec::with_capacity(b.rows());
+        let mut x = Vec::new();
+        for j in 0..b.cols() {
+            col.clear();
+            col.extend((0..b.rows()).map(|i| b[(i, j)]));
+            self.solve_into(&col, &mut x)?;
+            for i in 0..b.rows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
     /// Log-determinant of `A`: `2·Σ log L[i,i]`.
     ///
     /// # Panics
@@ -215,10 +257,54 @@ impl Cholesky {
     ///
     /// # Panics
     ///
-    /// Panics if `b.len()` differs from the factored dimension.
+    /// Panics if `b.len()` differs from the factored dimension; use
+    /// [`Cholesky::try_solve`] for a checked variant.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let y = self.solve_lower(b);
         self.solve_upper(&y)
+    }
+
+    /// Solves `A·x = b`, validating the right-hand side first — the
+    /// checked variant of [`Cholesky::solve`], mirroring
+    /// [`crate::Lu::try_solve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] if `b.len()` differs from the
+    /// factored dimension.
+    pub fn try_solve(&self, b: &[f64]) -> Result<Vec<f64>, FactorError> {
+        if b.len() != self.dim() {
+            return Err(FactorError::Shape {
+                rows: b.len(),
+                cols: self.dim(),
+            });
+        }
+        Ok(self.solve(b))
+    }
+
+    /// Solves `A·X = B` column by column, validating the shape first,
+    /// mirroring [`crate::Lu::try_solve_matrix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] if `b.rows()` differs from the
+    /// factored dimension.
+    pub fn try_solve_matrix(&self, b: &Matrix) -> Result<Matrix, FactorError> {
+        if b.rows() != self.dim() {
+            return Err(FactorError::Shape {
+                rows: b.rows(),
+                cols: b.cols(),
+            });
+        }
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col: Vec<f64> = (0..b.rows()).map(|i| b[(i, j)]).collect();
+            let x = self.solve(&col);
+            for i in 0..b.rows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
     }
 
     /// Solves `L·y = b` (forward substitution).
@@ -361,6 +447,47 @@ mod tests {
         Cholesky::factor_into(&spd, &mut ws).unwrap();
         assert!(ws.solve_into(&[1.0, 1.0, 1.0], &mut Vec::new()).is_err());
         assert!(ws.solve_into(&[1.0, 1.0], &mut Vec::new()).is_ok());
+    }
+
+    #[test]
+    fn try_solve_reports_dimension_mismatch() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!(matches!(
+            ch.try_solve(&[1.0, 2.0, 3.0]),
+            Err(FactorError::Shape { .. })
+        ));
+        assert!(matches!(
+            ch.try_solve_matrix(&Matrix::zeros(3, 2)),
+            Err(FactorError::Shape { .. })
+        ));
+        assert_eq!(ch.try_solve(&[2.0, 1.0]).unwrap(), ch.solve(&[2.0, 1.0]));
+        let mut ws = CholeskyWorkspace::new(2);
+        // Workspace variants are checked even before a factorization exists.
+        assert!(ws.try_solve(&[1.0, 1.0]).is_err());
+        Cholesky::factor_into(&a, &mut ws).unwrap();
+        assert!(matches!(
+            ws.try_solve(&[1.0; 3]),
+            Err(FactorError::Shape { .. })
+        ));
+        assert_eq!(ws.try_solve(&[2.0, 1.0]).unwrap(), ch.solve(&[2.0, 1.0]));
+        assert!(matches!(
+            ws.try_solve_matrix(&Matrix::zeros(3, 3)),
+            Err(FactorError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn try_solve_matrix_inverts() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let inv = ch.try_solve_matrix(&Matrix::identity(2)).unwrap();
+        let prod = a.matmul(&inv);
+        assert!((&prod - &Matrix::identity(2)).max_abs() < 1e-12);
+        let mut ws = CholeskyWorkspace::new(2);
+        Cholesky::factor_into(&a, &mut ws).unwrap();
+        let inv_ws = ws.try_solve_matrix(&Matrix::identity(2)).unwrap();
+        assert_eq!(inv, inv_ws);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //!   used by the neural-network and Gaussian-process crates.
 //! - [`Lu`]: partially pivoted LU factorization for the real MNA systems of
 //!   the circuit simulator and as a general linear solver.
+//! - [`CscMatrix`] and [`SparseLu`]: KLU-style sparse LU with a recorded
+//!   elimination pattern — one symbolic analysis per topology, a scan-free
+//!   [`SparseLu::refactor_into`] per Newton iteration. The simulator
+//!   auto-selects this path for large, sparse MNA systems.
 //! - [`Cholesky`]: factorization of symmetric positive-definite matrices,
 //!   used by Gaussian-process regression (with log-determinants for the
 //!   marginal likelihood).
@@ -30,12 +34,14 @@ mod cholesky;
 mod complex;
 mod lu;
 mod matrix;
+mod sparse;
 pub mod vecops;
 
 pub use cholesky::{Cholesky, CholeskyWorkspace};
 pub use complex::{ComplexLu, C64};
 pub use lu::{Lu, LuWorkspace};
 pub use matrix::Matrix;
+pub use sparse::{CscMatrix, SparseLu};
 
 /// Error produced by factorizations when the input matrix is unusable.
 #[derive(Debug, Clone, PartialEq)]

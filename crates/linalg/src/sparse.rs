@@ -1,0 +1,794 @@
+//! KLU-style sparse LU for the circuit simulator's MNA systems.
+//!
+//! Modified-nodal-analysis matrices are ~95% structural zeros and, across a
+//! Newton solve, only their *values* change — the sparsity pattern is fixed
+//! by the circuit topology. This module exploits that split:
+//!
+//! - [`CscMatrix`] stores the system in compressed-sparse-column form.
+//!   [`CscMatrix::from_coordinates`] additionally returns a *slot map* so a
+//!   stamper that replays the same write sequence every assembly can write
+//!   each contribution straight into the value array (`values[slot] += g`)
+//!   with no index search at all.
+//! - [`SparseLu::factor`] runs a left-looking Gilbert–Peierls LU with
+//!   partial pivoting on top of a minimum-degree column preordering,
+//!   recording the full elimination pattern (reach sets, fill positions,
+//!   pivot sequence).
+//! - [`SparseLu::refactor_into`] replays that recording on new values:
+//!   no pivot search, no reachability DFS, no per-pivot column scans —
+//!   just gather/scatter over precomputed index lists. This is the
+//!   per-Newton-iteration kernel.
+//!
+//! The intended rhythm (mirrored by `spice::NewtonWorkspace`): analyze the
+//! pattern once per topology, `factor` once per solve to pin the pivot
+//! sequence to the current value range, then `refactor_into` every
+//! subsequent iteration.
+
+use crate::{FactorError, Matrix};
+
+/// Pivots smaller than this are treated as singular — the same absolute
+/// threshold the dense [`crate::Lu`] uses, so the two paths agree on what
+/// "singular" means.
+const PIVOT_EPS: f64 = 1e-300;
+
+/// A square sparse matrix in compressed-sparse-column (CSC) form.
+///
+/// The pattern (`col_ptr`/`row_idx`) is fixed at construction; only the
+/// value array changes between factorizations.
+#[derive(Debug, Clone)]
+pub struct CscMatrix {
+    n: usize,
+    /// Column start offsets, length `n + 1`.
+    col_ptr: Vec<usize>,
+    /// Row index of each stored entry, column-major, rows ascending.
+    row_idx: Vec<usize>,
+    /// Entry values, aligned with `row_idx`.
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds the pattern holding every coordinate in `coords` (duplicates
+    /// allowed — they share a slot) with all values zero. Returns the
+    /// matrix and a *slot map*: `slots[k]` is the index into
+    /// [`CscMatrix::values`] backing `coords[k]`, so a caller replaying the
+    /// same write sequence can assemble with `values[slots[k]] += v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn from_coordinates(n: usize, coords: &[(usize, usize)]) -> (Self, Vec<u32>) {
+        for &(r, c) in coords {
+            assert!(r < n && c < n, "coordinate ({r}, {c}) outside {n}x{n}");
+        }
+        // Unique (col, row) pairs in column-major order.
+        let mut entries: Vec<(usize, usize)> = coords.iter().map(|&(r, c)| (c, r)).collect();
+        entries.sort_unstable();
+        entries.dedup();
+        let mut col_ptr = vec![0usize; n + 1];
+        for &(c, _) in &entries {
+            col_ptr[c + 1] += 1;
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        let row_idx: Vec<usize> = entries.iter().map(|&(_, r)| r).collect();
+        let mat = CscMatrix {
+            n,
+            col_ptr,
+            row_idx,
+            values: vec![0.0; entries.len()],
+        };
+        let slots = coords
+            .iter()
+            .map(|&(r, c)| {
+                let found = entries
+                    .binary_search(&(c, r))
+                    .expect("coordinate present by construction");
+                u32::try_from(found).expect("slot index fits in u32")
+            })
+            .collect();
+        (mat, slots)
+    }
+
+    /// Builds a CSC matrix from the exact nonzero pattern (and values) of a
+    /// dense matrix. Test/bench helper.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-square input.
+    pub fn from_dense(a: &Matrix) -> Self {
+        assert_eq!(a.rows(), a.cols(), "CscMatrix requires a square matrix");
+        let n = a.rows();
+        let coords: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| a[(i, j)] != 0.0)
+            .collect();
+        let (mut m, slots) = CscMatrix::from_coordinates(n, &coords);
+        for (&(i, j), &s) in coords.iter().zip(&slots) {
+            m.values[s as usize] = a[(i, j)];
+        }
+        m
+    }
+
+    /// Dimension of the (square) matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Stored values (column-major, aligned with the pattern).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values, for slot-map assembly.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Swaps the value storage out (and back in), letting a stamper own the
+    /// array during assembly without copying. The replacement must have the
+    /// same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.nnz()`.
+    pub fn swap_values(&mut self, values: &mut Vec<f64>) {
+        assert_eq!(values.len(), self.nnz(), "value array length mismatch");
+        std::mem::swap(&mut self.values, values);
+    }
+
+    /// Zeroes every stored value, keeping the pattern.
+    pub fn set_zero(&mut self) {
+        self.values.fill(0.0);
+    }
+
+    /// Entries of one column as `(row, value)` pairs.
+    fn col(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.col_ptr[c]..self.col_ptr[c + 1];
+        self.row_idx[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&r, &v)| (r, v))
+    }
+
+    /// Densifies the matrix (test helper).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for c in 0..self.n {
+            for (r, v) in self.col(c) {
+                m[(r, c)] += v;
+            }
+        }
+        m
+    }
+}
+
+/// Deterministic minimum-degree ordering on the symmetrized pattern of `a`
+/// (ties broken toward the smallest index). This is the AMD-style
+/// fill-reducing preordering applied to columns before factorization; MNA
+/// patterns are near-symmetric, so ordering `A + Aᵀ` works well.
+fn min_degree_order(a: &CscMatrix) -> Vec<usize> {
+    let n = a.n;
+    // Symmetric adjacency, excluding the diagonal.
+    let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
+    for c in 0..n {
+        for (r, _) in a.col(c) {
+            if r != c {
+                adj[r].insert(c);
+                adj[c].insert(r);
+            }
+        }
+    }
+    let mut alive = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+    let mut scratch: Vec<usize> = Vec::new();
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&i| alive[i])
+            .min_by_key(|&i| (adj[i].len(), i))
+            .expect("an alive vertex remains");
+        order.push(v);
+        alive[v] = false;
+        scratch.clear();
+        scratch.extend(adj[v].iter().copied().filter(|&u| alive[u]));
+        // Eliminating v turns its neighborhood into a clique.
+        for (k, &u) in scratch.iter().enumerate() {
+            adj[u].remove(&v);
+            for &w in &scratch[k + 1..] {
+                adj[u].insert(w);
+                adj[w].insert(u);
+            }
+        }
+    }
+    order
+}
+
+/// Sparse LU factorization with a recorded elimination pattern.
+///
+/// `L` is unit lower triangular (unit diagonal implicit) and stored with
+/// *original* row indices; `U` is upper triangular and stored with
+/// *pivotal positions* (its rows were already pivotal when recorded). The
+/// reciprocal pivots live in `inv_diag`.
+///
+/// # Example
+///
+/// ```
+/// use linalg::{CscMatrix, SparseLu};
+///
+/// // [2 1; 1 3] with an off-diagonal pattern.
+/// let (mut a, slots) =
+///     CscMatrix::from_coordinates(2, &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+/// for (s, v) in slots.iter().zip([2.0, 1.0, 1.0, 3.0]) {
+///     a.values_mut()[*s as usize] += v;
+/// }
+/// let mut lu = SparseLu::new();
+/// lu.factor(&a).expect("non-singular");
+/// let mut x = Vec::new();
+/// lu.solve_into(&[3.0, 5.0], &mut x).unwrap();
+/// assert!((x[0] - 0.8).abs() < 1e-12 && (x[1] - 1.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseLu {
+    n: usize,
+    /// Fill-reducing column preorder: step `k` factors column `q[k]` of `A`.
+    q: Vec<usize>,
+    /// `p[k]` = original row pivotal at step `k`.
+    p: Vec<usize>,
+    /// Inverse row permutation: `pinv[orig_row]` = pivotal step, or
+    /// `usize::MAX` while unassigned during factorization.
+    pinv: Vec<usize>,
+    /// L pattern/values, column-major; rows are *original* indices,
+    /// strictly-below-diagonal entries only.
+    l_colptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    /// U pattern/values, column-major; rows are *pivotal positions* `< k`,
+    /// stored ascending so a refactor replay is a valid elimination order.
+    u_colptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    u_vals: Vec<f64>,
+    /// Reciprocal pivots.
+    inv_diag: Vec<f64>,
+    /// Dense accumulator indexed by original row.
+    work: Vec<f64>,
+    /// DFS visitation stamps (stamp = current step).
+    flag: Vec<usize>,
+    /// DFS stack of `(node, next-child offset)` frames.
+    dfs: Vec<(usize, usize)>,
+    /// Reach set of the current column, in DFS post-order.
+    pattern: Vec<usize>,
+    /// Scratch for sorting the pivotal part of a reach set.
+    upper: Vec<(usize, usize)>,
+    /// Column ordering computed for the current pattern.
+    analyzed: bool,
+    /// A successful numeric factorization is stored.
+    factored: bool,
+}
+
+impl SparseLu {
+    /// Creates an empty factorization object; all storage is grown on first
+    /// use and reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dimension of the (last) factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// True once a successful numeric factorization is stored.
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
+    /// Number of stored `L` plus `U` entries (diagonal included), i.e. the
+    /// fill the elimination produced.
+    pub fn factor_nnz(&self) -> usize {
+        self.l_rows.len() + self.u_rows.len() + self.n
+    }
+
+    /// Computes the fill-reducing column ordering for `a`'s pattern. Called
+    /// automatically by [`SparseLu::factor`] when needed; calling it again
+    /// re-analyzes (use after the pattern itself changed).
+    pub fn analyze(&mut self, a: &CscMatrix) {
+        self.q = min_degree_order(a);
+        self.n = a.n;
+        self.analyzed = true;
+        self.factored = false;
+    }
+
+    /// Full numeric factorization with partial pivoting, recording the
+    /// elimination pattern for subsequent [`SparseLu::refactor_into`]
+    /// calls. Deterministic: the pivot choice depends only on `a`'s values
+    /// (ties broken toward the smallest original row index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Singular`] when no acceptable pivot exists at
+    /// some step (structural or numerical singularity).
+    pub fn factor(&mut self, a: &CscMatrix) -> Result<(), FactorError> {
+        if !self.analyzed || self.n != a.n || self.q.len() != a.n {
+            self.analyze(a);
+        }
+        let n = a.n;
+        self.factored = false;
+        self.p.clear();
+        self.p.resize(n, 0);
+        self.pinv.clear();
+        self.pinv.resize(n, usize::MAX);
+        self.l_colptr.clear();
+        self.l_colptr.push(0);
+        self.l_rows.clear();
+        self.l_vals.clear();
+        self.u_colptr.clear();
+        self.u_colptr.push(0);
+        self.u_rows.clear();
+        self.u_vals.clear();
+        self.inv_diag.clear();
+        self.inv_diag.resize(n, 0.0);
+        self.work.clear();
+        self.work.resize(n, 0.0);
+        self.flag.clear();
+        self.flag.resize(n, usize::MAX);
+
+        for k in 0..n {
+            let col = self.q[k];
+            // --- Symbolic: reach of A(:, col) through the graph of L.
+            self.pattern.clear();
+            for t in a.col_ptr[col]..a.col_ptr[col + 1] {
+                let root = a.row_idx[t];
+                if self.flag[root] == k {
+                    continue;
+                }
+                // Iterative DFS; nodes are pushed to `pattern` post-order.
+                self.dfs.push((root, 0));
+                self.flag[root] = k;
+                while let Some(&mut (node, ref mut child)) = self.dfs.last_mut() {
+                    let step = self.pinv[node];
+                    let descend = if step != usize::MAX {
+                        let lo = self.l_colptr[step];
+                        let hi = self.l_colptr[step + 1];
+                        let mut next = None;
+                        while lo + *child < hi {
+                            let cand = self.l_rows[lo + *child];
+                            *child += 1;
+                            if self.flag[cand] != k {
+                                self.flag[cand] = k;
+                                next = Some(cand);
+                                break;
+                            }
+                        }
+                        next
+                    } else {
+                        None
+                    };
+                    match descend {
+                        Some(c) => self.dfs.push((c, 0)),
+                        None => {
+                            self.pattern.push(node);
+                            self.dfs.pop();
+                        }
+                    }
+                }
+            }
+            // --- Numeric: scatter A(:, col), then eliminate with every
+            // pivotal column in the reach, in ascending pivotal order (a
+            // valid topological order of the elimination DAG).
+            for t in a.col_ptr[col]..a.col_ptr[col + 1] {
+                self.work[a.row_idx[t]] += a.values[t];
+            }
+            self.upper.clear();
+            self.upper.extend(
+                self.pattern
+                    .iter()
+                    .filter(|&&i| self.pinv[i] != usize::MAX)
+                    .map(|&i| (self.pinv[i], i)),
+            );
+            self.upper.sort_unstable();
+            for &(step, orig) in &self.upper {
+                let ux = self.work[orig];
+                self.u_rows.push(step);
+                self.u_vals.push(ux);
+                if ux != 0.0 {
+                    for t in self.l_colptr[step]..self.l_colptr[step + 1] {
+                        self.work[self.l_rows[t]] -= ux * self.l_vals[t];
+                    }
+                }
+            }
+            self.u_colptr.push(self.u_rows.len());
+            // --- Pivot: largest |value| among non-pivotal reach entries,
+            // smallest original index on ties.
+            let mut piv = usize::MAX;
+            let mut piv_abs = -1.0;
+            for &i in &self.pattern {
+                if self.pinv[i] != usize::MAX {
+                    continue;
+                }
+                let v = self.work[i].abs();
+                if v > piv_abs || (v == piv_abs && i < piv) {
+                    piv_abs = v;
+                    piv = i;
+                }
+            }
+            if piv == usize::MAX || !(piv_abs > PIVOT_EPS) {
+                // Leave the accumulator clean for the next attempt.
+                for &i in &self.pattern {
+                    self.work[i] = 0.0;
+                }
+                return Err(FactorError::Singular { pivot: k });
+            }
+            let diag = self.work[piv];
+            let inv = 1.0 / diag;
+            self.inv_diag[k] = inv;
+            self.p[k] = piv;
+            self.pinv[piv] = k;
+            for &i in &self.pattern {
+                if i != piv && self.pinv[i] == usize::MAX {
+                    self.l_rows.push(i);
+                    self.l_vals.push(self.work[i] * inv);
+                }
+            }
+            self.l_colptr.push(self.l_rows.len());
+            for &i in &self.pattern {
+                self.work[i] = 0.0;
+            }
+        }
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Numeric refactorization on new values with the *same pattern*:
+    /// replays the recorded elimination — fixed pivot sequence, fixed fill
+    /// positions — with no pivot search and no reachability analysis. This
+    /// is the per-Newton-iteration hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] if no *completed* recorded
+    /// factorization exists (never factored, or the last [`SparseLu::
+    /// factor`] failed partway) or `a` has a different dimension, and
+    /// [`FactorError::Singular`] if a recorded pivot position collapses
+    /// numerically (callers typically recover with a fresh
+    /// [`SparseLu::factor`]). After an error the previous numeric factors
+    /// are invalid.
+    pub fn refactor_into(&mut self, a: &CscMatrix) -> Result<(), FactorError> {
+        // A *complete* recording is required: after a failed `factor` the
+        // column pointers stop at the singular step, so replaying them
+        // would walk off the recorded pattern.
+        if self.n != a.n || self.l_colptr.len() != a.n + 1 || self.u_colptr.len() != a.n + 1 {
+            return Err(FactorError::Shape {
+                rows: a.n,
+                cols: self.n,
+            });
+        }
+        self.factored = false;
+        let work = &mut self.work[..self.n];
+        for k in 0..self.n {
+            let col = self.q[k];
+            // The recorded pattern of this column is exactly
+            // {U rows, pivot, L rows}; clear those positions, scatter A.
+            for t in self.u_colptr[k]..self.u_colptr[k + 1] {
+                work[self.p[self.u_rows[t]]] = 0.0;
+            }
+            work[self.p[k]] = 0.0;
+            for t in self.l_colptr[k]..self.l_colptr[k + 1] {
+                work[self.l_rows[t]] = 0.0;
+            }
+            for t in a.col_ptr[col]..a.col_ptr[col + 1] {
+                work[a.row_idx[t]] += a.values[t];
+            }
+            for t in self.u_colptr[k]..self.u_colptr[k + 1] {
+                let step = self.u_rows[t];
+                let ux = work[self.p[step]];
+                self.u_vals[t] = ux;
+                if ux != 0.0 {
+                    for s in self.l_colptr[step]..self.l_colptr[step + 1] {
+                        work[self.l_rows[s]] -= ux * self.l_vals[s];
+                    }
+                }
+            }
+            let diag = work[self.p[k]];
+            if !(diag.abs() > PIVOT_EPS) {
+                return Err(FactorError::Singular { pivot: k });
+            }
+            let inv = 1.0 / diag;
+            self.inv_diag[k] = inv;
+            for t in self.l_colptr[k]..self.l_colptr[k + 1] {
+                self.l_vals[t] = work[self.l_rows[t]] * inv;
+            }
+        }
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Solves `A·x = b` with the stored factors, writing into `x` (resized,
+    /// reusing capacity). Allocation-free once buffers have capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] if no successful factorization is
+    /// stored or `b.len()` differs from the factored dimension.
+    pub fn solve_into(&mut self, b: &[f64], x: &mut Vec<f64>) -> Result<(), FactorError> {
+        let n = self.n;
+        if !self.factored || b.len() != n {
+            return Err(FactorError::Shape {
+                rows: b.len(),
+                cols: n,
+            });
+        }
+        let w = &mut self.work[..n];
+        w.copy_from_slice(b);
+        // Forward substitution with unit L: y[k] lives at w[p[k]].
+        for k in 0..n {
+            let yk = w[self.p[k]];
+            if yk != 0.0 {
+                for t in self.l_colptr[k]..self.l_colptr[k + 1] {
+                    w[self.l_rows[t]] -= self.l_vals[t] * yk;
+                }
+            }
+        }
+        // Back substitution with U (rows are pivotal positions).
+        for k in (0..n).rev() {
+            let v = w[self.p[k]] * self.inv_diag[k];
+            w[self.p[k]] = v;
+            if v != 0.0 {
+                for t in self.u_colptr[k]..self.u_colptr[k + 1] {
+                    w[self.p[self.u_rows[t]]] -= self.u_vals[t] * v;
+                }
+            }
+        }
+        // Undo the column permutation.
+        x.clear();
+        x.resize(n, 0.0);
+        for k in 0..n {
+            x[self.q[k]] = w[self.p[k]];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lu, LuWorkspace};
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.matvec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Deterministic pseudo-random tridiagonal-plus-arrow test matrix with
+    /// the flavor of an MNA system (strong diagonal, sparse off-diagonals).
+    fn mna_like(n: usize, salt: u64) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        let mut s = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1000) as f64 / 500.0 - 1.0
+        };
+        for i in 0..n {
+            m[(i, i)] = 3.0 + next().abs();
+            if i + 1 < n {
+                m[(i, i + 1)] = next();
+                m[(i + 1, i)] = next();
+            }
+            if i > 0 && i % 5 == 0 {
+                m[(0, i)] = next();
+                m[(i, 0)] = next();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn from_coordinates_builds_slot_map() {
+        let coords = [(0, 0), (1, 1), (0, 0), (2, 1), (1, 1)];
+        let (mut m, slots) = CscMatrix::from_coordinates(3, &coords);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(slots.len(), coords.len());
+        // Duplicate coordinates share a slot.
+        assert_eq!(slots[0], slots[2]);
+        assert_eq!(slots[1], slots[4]);
+        for &s in &slots {
+            m.values_mut()[s as usize] += 1.0;
+        }
+        let d = m.to_dense();
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(2, 1)], 1.0);
+    }
+
+    #[test]
+    fn factor_and_solve_matches_dense() {
+        for n in [1usize, 2, 5, 17, 40] {
+            let dense = mna_like(n, n as u64);
+            let a = CscMatrix::from_dense(&dense);
+            let mut lu = SparseLu::new();
+            lu.factor(&a).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin() + 1.0).collect();
+            let mut x = Vec::new();
+            lu.solve_into(&b, &mut x).unwrap();
+            assert!(residual(&dense, &x, &b) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn refactor_reuses_pattern_for_new_values() {
+        let n = 23;
+        let dense0 = mna_like(n, 7);
+        let a0 = CscMatrix::from_dense(&dense0);
+        let mut lu = SparseLu::new();
+        lu.factor(&a0).unwrap();
+        // Same pattern, shifted values.
+        let mut a1 = a0.clone();
+        for v in a1.values_mut() {
+            *v = *v * 1.5 + if *v != 0.0 { 0.25 } else { 0.0 };
+        }
+        let dense1 = a1.to_dense();
+        lu.refactor_into(&a1).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut x = Vec::new();
+        lu.solve_into(&b, &mut x).unwrap();
+        assert!(residual(&dense1, &x, &b) < 1e-9);
+        // And the refactor agrees with a fresh dense solve to tight tol.
+        let mut ws = LuWorkspace::new(n);
+        Lu::factor_into(&dense1, &mut ws).unwrap();
+        let mut x_dense = Vec::new();
+        ws.solve_into(&b, &mut x_dense).unwrap();
+        for (s, d) in x.iter().zip(&x_dense) {
+            assert!((s - d).abs() <= 1e-10 * d.abs().max(1.0), "{s} vs {d}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // MNA-style voltage-source block: zero on the branch diagonal.
+        let dense = Matrix::from_rows(&[&[1e-3, 1.0], &[1.0, 0.0]]);
+        let a = CscMatrix::from_dense(&dense);
+        let mut lu = SparseLu::new();
+        lu.factor(&a).unwrap();
+        let mut x = Vec::new();
+        lu.solve_into(&[0.0, 2.0], &mut x).unwrap();
+        assert!(residual(&dense, &x, &[0.0, 2.0]) < 1e-12);
+    }
+
+    #[test]
+    fn detects_structural_and_numerical_singularity() {
+        // Empty column.
+        let (a, _) = CscMatrix::from_coordinates(2, &[(0, 0), (1, 0)]);
+        let mut lu = SparseLu::new();
+        assert!(matches!(lu.factor(&a), Err(FactorError::Singular { .. })));
+        // Numerically dependent rows.
+        let dense = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let a = CscMatrix::from_dense(&dense);
+        assert!(matches!(lu.factor(&a), Err(FactorError::Singular { .. })));
+        // Refactor reports singularity when a pivot collapses to zero.
+        let good = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        let mut a = CscMatrix::from_dense(&good);
+        lu.factor(&a).unwrap();
+        a.set_zero();
+        assert!(matches!(
+            lu.refactor_into(&a),
+            Err(FactorError::Singular { .. })
+        ));
+        assert!(!lu.is_factored());
+        assert!(lu.solve_into(&[1.0, 1.0], &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn refactor_after_failed_factor_errors_instead_of_panicking() {
+        // factor() fails partway through a singular matrix; a subsequent
+        // refactor on the incomplete recording must report Shape, not
+        // panic, and a later successful factor restores the object.
+        let singular = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[2.0, 4.0, 0.0], &[0.0, 0.0, 1.0]]);
+        let a_bad = CscMatrix::from_dense(&singular);
+        let mut lu = SparseLu::new();
+        assert!(matches!(
+            lu.factor(&a_bad),
+            Err(FactorError::Singular { .. })
+        ));
+        assert!(matches!(
+            lu.refactor_into(&a_bad),
+            Err(FactorError::Shape { .. })
+        ));
+        let good = mna_like(3, 5);
+        let a_good = CscMatrix::from_dense(&good);
+        lu.factor(&a_good).unwrap();
+        lu.refactor_into(&a_good).unwrap();
+        let mut x = Vec::new();
+        lu.solve_into(&[1.0, 2.0, 3.0], &mut x).unwrap();
+        assert!(residual(&good, &x, &[1.0, 2.0, 3.0]) < 1e-9);
+    }
+
+    #[test]
+    fn solve_rejects_bad_shapes() {
+        let mut lu = SparseLu::new();
+        assert!(lu.solve_into(&[1.0], &mut Vec::new()).is_err());
+        let a = CscMatrix::from_dense(&Matrix::identity(3));
+        lu.factor(&a).unwrap();
+        assert!(lu.solve_into(&[1.0, 2.0], &mut Vec::new()).is_err());
+        assert!(lu.solve_into(&[1.0, 2.0, 3.0], &mut Vec::new()).is_ok());
+        // Refactor with a different dimension is a shape error.
+        let b = CscMatrix::from_dense(&Matrix::identity(2));
+        assert!(matches!(
+            lu.refactor_into(&b),
+            Err(FactorError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn min_degree_order_is_a_permutation() {
+        let dense = mna_like(31, 3);
+        let a = CscMatrix::from_dense(&dense);
+        let q = min_degree_order(&a);
+        let mut seen = [false; 31];
+        for &c in &q {
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ordering_reduces_fill_on_arrow_matrix() {
+        // Arrow pointing the wrong way: natural order fills completely,
+        // min-degree keeps it O(n).
+        let n = 30;
+        let mut dense = Matrix::zeros(n, n);
+        for i in 0..n {
+            dense[(i, i)] = 4.0;
+            if i > 0 {
+                dense[(0, i)] = 1.0;
+                dense[(i, 0)] = 1.0;
+            }
+        }
+        let a = CscMatrix::from_dense(&dense);
+        let mut lu = SparseLu::new();
+        lu.factor(&a).unwrap();
+        assert!(
+            lu.factor_nnz() <= a.nnz() + n,
+            "fill {} for nnz {}",
+            lu.factor_nnz(),
+            a.nnz()
+        );
+        let b = vec![1.0; n];
+        let mut x = Vec::new();
+        lu.solve_into(&b, &mut x).unwrap();
+        assert!(residual(&dense, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn factor_is_repeatable_and_reusable_across_sizes() {
+        let mut lu = SparseLu::new();
+        let mut x = Vec::new();
+        for n in [4usize, 12, 6] {
+            let dense = mna_like(n, 11);
+            let a = CscMatrix::from_dense(&dense);
+            lu.factor(&a).unwrap();
+            let b = vec![1.0; n];
+            lu.solve_into(&b, &mut x).unwrap();
+            assert!(residual(&dense, &x, &b) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn swap_values_roundtrip() {
+        let dense = mna_like(9, 2);
+        let mut a = CscMatrix::from_dense(&dense);
+        let mut stash = vec![0.0; a.nnz()];
+        a.swap_values(&mut stash);
+        assert!(a.values().iter().all(|&v| v == 0.0));
+        a.swap_values(&mut stash);
+        assert_eq!(a.to_dense(), dense);
+    }
+}

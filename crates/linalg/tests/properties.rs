@@ -1,6 +1,9 @@
 //! Property-based tests on the factorization kernels.
 
-use linalg::{Cholesky, CholeskyWorkspace, ComplexLu, Lu, LuWorkspace, Matrix, C64};
+use linalg::{
+    Cholesky, CholeskyWorkspace, ComplexLu, CscMatrix, FactorError, Lu, LuWorkspace, Matrix,
+    SparseLu, C64,
+};
 use proptest::prelude::*;
 
 /// Random diagonally dominant matrix (guaranteed non-singular).
@@ -11,6 +14,21 @@ fn dominant_matrix(n: usize, seed: &[f64]) -> Matrix {
             n as f64 + 1.0 + v.abs()
         } else {
             v
+        }
+    })
+}
+
+/// Random *sparse* diagonally dominant matrix: each off-diagonal entry
+/// exists only when the seed stream says so (~25% fill).
+fn sparse_dominant_matrix(n: usize, seed: &[f64]) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        let v = seed[(i * n + j) % seed.len()];
+        if i == j {
+            n as f64 + 1.0 + v.abs()
+        } else if ((v * 100.0).abs() as usize).is_multiple_of(4) {
+            v
+        } else {
+            0.0
         }
     })
 }
@@ -149,6 +167,113 @@ proptest! {
         let g = a.matmul(&a.transpose());
         let gt = g.transpose();
         prop_assert!((&g - &gt).max_abs() < 1e-12);
+    }
+
+    /// The sparse `refactor_into` path agrees with the dense
+    /// `Lu::factor_into` path within 1e-10 on random sparse systems — the
+    /// contract that lets the simulator auto-select between them.
+    #[test]
+    fn sparse_refactor_agrees_with_dense_factor_into(
+        n in 1usize..14,
+        seed in proptest::collection::vec(-1.0..1.0f64, 16..250),
+        shift in proptest::collection::vec(-0.4..0.4f64, 16..250),
+        rhs in proptest::collection::vec(-10.0..10.0f64, 14),
+    ) {
+        let dense0 = sparse_dominant_matrix(n, &seed);
+        let b = &rhs[..n];
+        let a0 = CscMatrix::from_dense(&dense0);
+        let mut slu = SparseLu::new();
+        slu.factor(&a0).unwrap();
+
+        // Perturb the values on the fixed pattern and refactor.
+        let mut a1 = a0.clone();
+        for (k, v) in a1.values_mut().iter_mut().enumerate() {
+            *v += shift[k % shift.len()] * 0.1;
+        }
+        let dense1 = a1.to_dense();
+        slu.refactor_into(&a1).unwrap();
+        let mut x_sparse = Vec::new();
+        slu.solve_into(b, &mut x_sparse).unwrap();
+
+        let mut ws = LuWorkspace::new(n);
+        Lu::factor_into(&dense1, &mut ws).unwrap();
+        let mut x_dense = Vec::new();
+        ws.solve_into(b, &mut x_dense).unwrap();
+        for (s, d) in x_sparse.iter().zip(&x_dense) {
+            prop_assert!((s - d).abs() <= 1e-10 * d.abs().max(1.0), "{} vs {}", s, d);
+        }
+    }
+
+    /// Singular-detection parity: when the dense path reports a singular
+    /// matrix, so does the sparse path (and vice versa on these inputs).
+    #[test]
+    fn sparse_and_dense_agree_on_singularity(
+        n in 2usize..10,
+        seed in proptest::collection::vec(-1.0..1.0f64, 16..200),
+        kill_row in 0usize..10,
+        kill in 0usize..2,
+    ) {
+        // Construct an exactly singular matrix by zeroing one row or one
+        // column of a sparse non-singular one: both kernels must flag it
+        // (a zero row/column survives elimination exactly, so this probes
+        // the pivot checks without floating-point cancellation luck).
+        let mut dense = sparse_dominant_matrix(n, &seed);
+        let dst = kill_row % n;
+        for j in 0..n {
+            if kill == 0 {
+                dense[(dst, j)] = 0.0;
+            } else {
+                dense[(j, dst)] = 0.0;
+            }
+        }
+        let mut ws = LuWorkspace::new(n);
+        let dense_result = Lu::factor_into(&dense, &mut ws);
+        let mut slu = SparseLu::new();
+        // from_dense drops exact zeros; a fully zeroed row is structural.
+        let sparse_result = slu.factor(&CscMatrix::from_dense(&dense));
+        prop_assert!(
+            matches!(dense_result, Err(FactorError::Singular { .. })),
+            "dense path must flag singular, got {:?}", dense_result
+        );
+        prop_assert!(
+            matches!(sparse_result, Err(FactorError::Singular { .. })),
+            "sparse path must flag singular, got {:?}", sparse_result
+        );
+        // And the same pipelines succeed on the unmodified matrix.
+        let healthy = sparse_dominant_matrix(n, &seed);
+        prop_assert!(Lu::factor_into(&healthy, &mut ws).is_ok());
+        prop_assert!(slu.factor(&CscMatrix::from_dense(&healthy)).is_ok());
+    }
+
+    /// Checked Cholesky solves match the panicking ones and reject bad
+    /// shapes (the `try_*` mirror of the LU API).
+    #[test]
+    fn cholesky_try_solve_matches_solve(
+        n in 1usize..9,
+        seed in proptest::collection::vec(-2.0..2.0f64, 16..150),
+        rhs in proptest::collection::vec(-5.0..5.0f64, 9),
+    ) {
+        let g = Matrix::from_fn(n, n, |i, j| seed[(i * n + j) % seed.len()]);
+        let mut a = g.transpose().matmul(&g);
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let b = &rhs[..n];
+        let ch = Cholesky::factor(&a).unwrap();
+        prop_assert_eq!(ch.try_solve(b).unwrap(), ch.solve(b));
+        let mut ws = CholeskyWorkspace::new(n);
+        Cholesky::factor_into(&a, &mut ws).unwrap();
+        let mut x_ws = Vec::new();
+        ws.solve_into(b, &mut x_ws).unwrap();
+        prop_assert_eq!(ws.try_solve(b).unwrap(), x_ws);
+        let bad = vec![0.0; n + 1];
+        prop_assert!(ch.try_solve(&bad).is_err());
+        prop_assert!(ws.try_solve(&bad).is_err());
+        let eye = Matrix::identity(n);
+        let inv = ch.try_solve_matrix(&eye).unwrap();
+        prop_assert!((&a.matmul(&inv) - &eye).max_abs() < 1e-7);
+        prop_assert!(ch.try_solve_matrix(&Matrix::zeros(n + 1, 1)).is_err());
+        prop_assert!(ws.try_solve_matrix(&Matrix::zeros(n + 1, 1)).is_err());
     }
 
     /// Complex LU solves diagonally dominant complex systems.

@@ -155,18 +155,26 @@ impl<'a> Evaluator<'a> {
         let take = xs.len().min(self.remaining());
         let batch = &xs[..take];
         let problem = self.problem;
-        // Per-call durations are timed inside the workers and summed, so
-        // `sim_time` keeps the same meaning as the serial `evaluate` path
-        // (total simulator time, not batch wall-clock) for any thread
-        // count.
-        let specs = crate::parallel::par_map(batch, |x| {
-            let t0 = Instant::now();
-            let spec = problem.evaluate(x);
-            (spec, t0.elapsed())
-        });
+        // Each worker thread keeps one context for its whole chunk: a
+        // simulator-time accumulator here, and — inside the testbenches —
+        // pool-leased solver workspaces that are thereby reused across the
+        // chunk's candidates. Durations are timed inside the workers and
+        // summed, so `sim_time` keeps the same meaning as the serial
+        // `evaluate` path (total simulator time, not batch wall-clock) for
+        // any thread count.
+        let (specs, worker_times) = crate::parallel::par_map_with(
+            batch,
+            || Duration::ZERO,
+            |spent, x| {
+                let t0 = Instant::now();
+                let spec = problem.evaluate(x);
+                *spent += t0.elapsed();
+                spec
+            },
+        );
+        self.sim_time += worker_times.iter().sum::<Duration>();
         let mut out = Vec::with_capacity(take);
-        for (x, (spec, dt)) in batch.iter().zip(specs) {
-            self.sim_time += dt;
+        for (x, spec) in batch.iter().zip(specs) {
             let fom = self.fom.value(&spec);
             let eval = Evaluation {
                 x: x.clone(),

@@ -17,6 +17,17 @@
 //! clamped by the `DNNOPT_THREADS` environment variable and overridable
 //! programmatically with [`set_max_threads`] (used by the determinism
 //! tests to compare serial and parallel runs).
+//!
+//! [`par_map_with`] additionally gives every worker thread a private
+//! context that lives for its whole chunk. [`crate::Evaluator::
+//! evaluate_batch`] uses it for per-worker timing accumulators, and the
+//! circuit testbenches compose with it transparently: each `evaluate`
+//! leases simulator workspaces from `spice`'s topology-keyed pool, so a
+//! worker evaluating a chunk of candidates reuses the same recorded
+//! solver state (stamp→slot maps, sparse patterns, factor storage) across
+//! all of them — per-thread while a batch is in flight, shared across
+//! batches afterwards — without ever affecting results (enforced by
+//! `tests/parallel_determinism.rs`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -72,30 +83,64 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    par_map_with(items, || (), |(), item| f(item)).0
+}
+
+/// Like [`par_map`], but with **worker-local state**: every worker thread
+/// builds one context via `init` and threads it through its whole chunk —
+/// the hook for expensive per-thread resources (scratch buffers, counters,
+/// leased simulator workspaces) that should be reused *across candidates*
+/// instead of being rebuilt per evaluation. Returns the in-order results
+/// plus every worker's final context (serial path: exactly one context).
+///
+/// Determinism contract: `f`'s *result* must not depend on the context's
+/// contents — contexts may only carry caches and accumulators — because
+/// which items share a context depends on the thread count.
+pub fn par_map_with<T, U, C, Init, F>(items: &[T], init: Init, f: F) -> (Vec<U>, Vec<C>)
+where
+    T: Sync,
+    U: Send,
+    C: Send,
+    Init: Fn() -> C + Sync,
+    F: Fn(&mut C, &T) -> U + Sync,
+{
     let threads = max_threads().min(items.len());
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        let mut ctx = init();
+        let out = items.iter().map(|item| f(&mut ctx, item)).collect();
+        return (out, vec![ctx]);
     }
     // Contiguous chunks, sized to cover all items with the first
     // `remainder` chunks one longer.
     let base = items.len() / threads;
     let remainder = items.len() % threads;
     let mut results: Vec<Vec<U>> = Vec::with_capacity(threads);
+    let mut contexts: Vec<C> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let f = &f;
+        let init = &init;
         let mut start = 0;
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let len = base + usize::from(t < remainder);
             let chunk = &items[start..start + len];
             start += len;
-            handles.push(scope.spawn(move || chunk.iter().map(f).collect::<Vec<U>>()));
+            handles.push(scope.spawn(move || {
+                let mut ctx = init();
+                let out = chunk
+                    .iter()
+                    .map(|item| f(&mut ctx, item))
+                    .collect::<Vec<U>>();
+                (out, ctx)
+            }));
         }
         for h in handles {
-            results.push(h.join().expect("population evaluation worker panicked"));
+            let (out, ctx) = h.join().expect("population evaluation worker panicked");
+            results.push(out);
+            contexts.push(ctx);
         }
     });
-    results.into_iter().flatten().collect()
+    (results.into_iter().flatten().collect(), contexts)
 }
 
 #[cfg(test)]
@@ -125,6 +170,30 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(&empty, |&x| x).is_empty());
         assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_with_reuses_one_context_per_worker() {
+        let items: Vec<u32> = (0..37).collect();
+        set_max_threads(4);
+        let (out, ctxs) = par_map_with(
+            &items,
+            || 0usize,
+            |count, &x| {
+                *count += 1;
+                x * 3
+            },
+        );
+        set_max_threads(0);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        // Every item was seen exactly once, spread over the workers.
+        assert_eq!(ctxs.iter().sum::<usize>(), items.len());
+        assert!(ctxs.len() <= 4 && !ctxs.is_empty());
+        // Serial path: a single context sees everything.
+        set_max_threads(1);
+        let (_, ctxs) = par_map_with(&items, || 0usize, |c, _| *c += 1);
+        set_max_threads(0);
+        assert_eq!(ctxs, vec![items.len()]);
     }
 
     #[test]

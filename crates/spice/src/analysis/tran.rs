@@ -12,8 +12,8 @@ use crate::analysis::dc;
 use crate::error::SpiceError;
 use crate::netlist::{Circuit, NodeId};
 use crate::options::SimOptions;
-use crate::stamp::{node_voltage, stamp_resistive_system, SourceEval};
-use crate::workspace::NewtonWorkspace;
+use crate::stamp::{node_voltage, stamp_resistive_system, Assemble, SourceEval, Stamp};
+use crate::workspace::{NewtonWorkspace, StampKind};
 
 /// Result of a transient run: node voltages (and source branch currents)
 /// over time.
@@ -165,6 +165,34 @@ struct CapState {
     i_prev: f64,
 }
 
+/// The transient assembly: gmin loading, the linearized resistive stamps
+/// at time `t`, and the trapezoidal companion of every capacitor.
+struct TranAssemble<'a> {
+    circuit: &'a Circuit,
+    caps: &'a [CapState],
+    gmin: f64,
+    /// Time of the step being solved \[s\].
+    t: f64,
+    /// Step size \[s\].
+    h: f64,
+}
+
+impl Assemble for TranAssemble<'_> {
+    fn assemble<S: Stamp>(&mut self, xk: &[f64], st: &mut S) {
+        st.load_gmin(self.gmin);
+        stamp_resistive_system(self.circuit, xk, SourceEval::Time { t: self.t }, st);
+        // Trapezoidal companion for each capacitor:
+        //   i_{n+1} = (2C/h)(v_{n+1} − v_n) − i_n
+        // = geq·v_{n+1} + i0 with geq = 2C/h, i0 = −geq·v_n − i_n.
+        for cap in self.caps {
+            let geq = 2.0 * cap.c / self.h;
+            let i0 = -geq * cap.v_prev - cap.i_prev;
+            st.conductance(cap.a, cap.b, geq);
+            st.current_source(cap.a, cap.b, i0);
+        }
+    }
+}
+
 /// NR solve of one timestep. `x` enters as the previous solution and leaves
 /// as the new one on success. All solver buffers come from `ws`, which is
 /// shared across every timestep (and step-halving retry) of the run.
@@ -177,20 +205,21 @@ fn solve_step(
     x: &mut Vec<f64>,
     ws: &mut NewtonWorkspace,
 ) -> bool {
-    let solved =
-        crate::analysis::dc::newton_loop(circuit, opts, opts.max_nr_iters, x, ws, |xk, st| {
-            st.load_gmin(opts.gmin);
-            stamp_resistive_system(circuit, xk, SourceEval::Time { t }, st);
-            // Trapezoidal companion for each capacitor:
-            //   i_{n+1} = (2C/h)(v_{n+1} − v_n) − i_n
-            // = geq·v_{n+1} + i0 with geq = 2C/h, i0 = −geq·v_n − i_n.
-            for cap in caps {
-                let geq = 2.0 * cap.c / h;
-                let i0 = -geq * cap.v_prev - cap.i_prev;
-                st.conductance(cap.a, cap.b, geq);
-                st.current_source(cap.a, cap.b, i0);
-            }
-        });
+    let solved = crate::analysis::dc::newton_loop(
+        circuit,
+        opts,
+        opts.max_nr_iters,
+        x,
+        ws,
+        StampKind::Tran,
+        TranAssemble {
+            circuit,
+            caps,
+            gmin: opts.gmin,
+            t,
+            h,
+        },
+    );
     match solved {
         Some((xn, _)) => {
             *x = xn;
@@ -215,17 +244,35 @@ pub fn transient(
     t_stop: f64,
     t_step: f64,
 ) -> Result<TranResult, SpiceError> {
+    // Lease from the process-wide pool so repeated runs on the same
+    // topology reuse the recorded stamp→slot maps and factor storage.
+    let mut ws = crate::workspace::lease_workspace(circuit);
+    transient_with_workspace(circuit, opts, t_stop, t_step, &mut ws)
+}
+
+/// Runs a transient analysis using caller-owned solver state (see
+/// [`transient`]). The workspace is shared by the initial operating point,
+/// every timestep, and every step-halving retry; reuse one workspace across
+/// runs of the same topology (optimizer candidates) for the full benefit of
+/// the recorded sparse patterns.
+///
+/// # Errors
+///
+/// Same failure modes as [`transient`].
+pub fn transient_with_workspace(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    t_stop: f64,
+    t_step: f64,
+    ws: &mut NewtonWorkspace,
+) -> Result<TranResult, SpiceError> {
     if !(t_stop > 0.0) || !(t_step > 0.0) || t_step > t_stop {
         return Err(SpiceError::BadAnalysis {
             reason: format!("invalid transient window: stop={t_stop}, step={t_step}"),
         });
     }
-    // One workspace for the whole run: the initial operating point and
-    // every timestep share the same stamper and LU storage.
-    let mut ws = NewtonWorkspace::new(circuit);
-
     // Initial condition.
-    let op0 = dc::op_with_workspace(circuit, opts, None, &mut ws)?;
+    let op0 = dc::op_with_workspace(circuit, opts, None, ws)?;
     let mut x = op0.raw().to_vec();
 
     // Collect waveform breakpoints, sorted and deduplicated.
@@ -280,7 +327,7 @@ pub fn transient(
         let mut x_try = x.clone();
         loop {
             let t_new = t + h_eff;
-            if solve_step(circuit, opts, &caps, t_new, h_eff, &mut x_try, &mut ws) {
+            if solve_step(circuit, opts, &caps, t_new, h_eff, &mut x_try, ws) {
                 break;
             }
             halvings += 1;
@@ -459,6 +506,53 @@ mod tests {
         let r = transient(&c, &SimOptions::default(), 10e-3, 50e-6).unwrap();
         let q = r.delivered_charge(&c, "V1", 0.0, 10e-3).unwrap();
         assert!((q - 1e-6).abs() < 0.02e-6, "charge {q}");
+    }
+
+    #[test]
+    fn sparse_kernel_matches_rc_physics_on_large_ladder() {
+        // A 30-stage RC ladder (32 unknowns) drives the transient engine
+        // down the sparse path; the far-end step response must still settle
+        // to the source value (conservation through all 30 sections).
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        c.add_vsource(
+            "V1",
+            vin,
+            GND,
+            Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, f64::INFINITY),
+        )
+        .unwrap();
+        let mut prev = vin;
+        for i in 0..30 {
+            let node = c.node(&format!("n{i}"));
+            c.add_resistor(&format!("R{i}"), prev, node, 10.0).unwrap();
+            c.add_capacitor(&format!("C{i}"), node, GND, 1e-12).unwrap();
+            prev = node;
+        }
+        let mut ws = crate::workspace::NewtonWorkspace::new(&c);
+        let r =
+            transient_with_workspace(&c, &SimOptions::default(), 50e-9, 100e-12, &mut ws).unwrap();
+        assert!(ws.uses_sparse(true), "ladder must select the sparse path");
+        // The line's slowest mode is ≈ R_tot·C_tot·(2/π)² ≈ 3.6 ns, so by
+        // 50 ns the end of the line has settled to the source value.
+        assert!(
+            (r.final_voltage(prev) - 1.0).abs() < 0.01,
+            "end of line at {}",
+            r.final_voltage(prev)
+        );
+        // Charge conservation: everything the source delivered now sits on
+        // the ladder capacitors (within integration tolerance).
+        let q_src = r.delivered_charge(&c, "V1", 0.0, 50e-9).unwrap();
+        let q_caps: f64 = (0..30)
+            .map(|i| 1e-12 * r.final_voltage(c.find_node(&format!("n{i}")).unwrap()))
+            .sum();
+        assert!(
+            (q_src - q_caps).abs() < 0.02 * q_caps.abs(),
+            "q_src={q_src} q_caps={q_caps}"
+        );
+        // The wavefront is ordered: upstream nodes lead downstream ones.
+        let mid = c.find_node("n15").unwrap();
+        assert!(r.sample(mid, 2e-9) >= r.sample(prev, 2e-9) - 1e-9);
     }
 
     #[test]

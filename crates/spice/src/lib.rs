@@ -47,10 +47,10 @@ mod workspace;
 pub use analysis::ac::{ac, log_freqs, AcSweep};
 pub use analysis::dc::{dc_sweep, op, op_with_guess, op_with_workspace, MosOp, OpPoint};
 pub use analysis::noise::{noise, NoiseResult};
-pub use analysis::tran::{transient, TranResult};
+pub use analysis::tran::{transient, transient_with_workspace, TranResult};
 pub use error::SpiceError;
 pub use mos::{MosModel, MosPolarity, MosRegion};
 pub use netlist::{Circuit, Device, NodeId, GND};
 pub use options::SimOptions;
 pub use waveform::Waveform;
-pub use workspace::NewtonWorkspace;
+pub use workspace::{lease_workspace, NewtonWorkspace, PooledWorkspace};

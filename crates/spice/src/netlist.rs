@@ -163,6 +163,9 @@ pub struct Circuit {
     devices: Vec<Device>,
     device_lookup: HashMap<String, usize>,
     nbranches: usize,
+    /// Incrementally maintained structural fingerprint (see
+    /// [`Circuit::topology_id`]).
+    topo_hash: u64,
 }
 
 impl Default for Circuit {
@@ -186,7 +189,27 @@ impl Circuit {
             devices: Vec::new(),
             device_lookup: HashMap::new(),
             nbranches: 0,
+            topo_hash: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
         }
+    }
+
+    /// Folds structural facts into the topology fingerprint (FNV-1a).
+    fn topo_mix(&mut self, vals: &[usize]) {
+        for &v in vals {
+            self.topo_hash = (self.topo_hash ^ v as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// A fingerprint of the circuit *structure*: device kinds, terminal
+    /// connectivity and branch assignments — everything that determines
+    /// which MNA matrix positions get stamped, and nothing that does not
+    /// (device values, waveforms, and geometry are excluded). Two circuits
+    /// with equal fingerprints assemble systems with identical sparsity
+    /// patterns and identical stamp-write sequences, so solver state keyed
+    /// on it (stamp→slot maps, pooled workspaces) transfers between them.
+    /// Maintained incrementally; reading it is O(1).
+    pub fn topology_id(&self) -> u64 {
+        self.topo_hash
     }
 
     /// Returns the node with the given name, creating it if needed.
@@ -197,6 +220,7 @@ impl Circuit {
         let id = self.node_names.len();
         self.node_names.push(name.to_string());
         self.node_lookup.insert(name.to_string(), id);
+        self.topo_mix(&[1, id]);
         id
     }
 
@@ -295,6 +319,7 @@ impl Circuit {
     ) -> Result<(), SpiceError> {
         Self::check_value(name, "resistance", r, true)?;
         self.register(name)?;
+        self.topo_mix(&[2, a, b]);
         self.devices.push(Device::Resistor {
             name: name.to_string(),
             a,
@@ -323,6 +348,7 @@ impl Circuit {
             });
         }
         self.register(name)?;
+        self.topo_mix(&[3, a, b]);
         self.devices.push(Device::Capacitor {
             name: name.to_string(),
             a,
@@ -364,6 +390,7 @@ impl Circuit {
         self.register(name)?;
         let branch = self.nbranches;
         self.nbranches += 1;
+        self.topo_mix(&[4, p, n, branch]);
         self.devices.push(Device::VSource {
             name: name.to_string(),
             p,
@@ -404,6 +431,7 @@ impl Circuit {
         ac_mag: f64,
     ) -> Result<(), SpiceError> {
         self.register(name)?;
+        self.topo_mix(&[5, p, n]);
         self.devices.push(Device::ISource {
             name: name.to_string(),
             p,
@@ -432,6 +460,7 @@ impl Circuit {
         self.register(name)?;
         let branch = self.nbranches;
         self.nbranches += 1;
+        self.topo_mix(&[6, p, n, cp, cn, branch]);
         self.devices.push(Device::Vcvs {
             name: name.to_string(),
             p,
@@ -460,6 +489,7 @@ impl Circuit {
     ) -> Result<(), SpiceError> {
         Self::check_value(name, "gm", gm, false)?;
         self.register(name)?;
+        self.topo_mix(&[7, p, n, cp, cn]);
         self.devices.push(Device::Vccs {
             name: name.to_string(),
             p,
@@ -493,6 +523,7 @@ impl Circuit {
         Self::check_value(name, "length", l, true)?;
         Self::check_value(name, "multiplier", m, true)?;
         self.register(name)?;
+        self.topo_mix(&[8, d, g, s, b]);
         let caps = mos_caps(model, w, l, m);
         self.devices.push(Device::Mosfet {
             name: name.to_string(),
@@ -534,6 +565,135 @@ impl Circuit {
                 name: name.to_string(),
             }),
         }
+    }
+
+    /// Looks up a device by name for in-place value updates.
+    fn device_mut(&mut self, name: &str) -> Result<&mut Device, SpiceError> {
+        let idx =
+            self.device_lookup
+                .get(name)
+                .copied()
+                .ok_or_else(|| SpiceError::UnknownDevice {
+                    name: name.to_string(),
+                })?;
+        Ok(&mut self.devices[idx])
+    }
+
+    /// Updates a MOSFET's drawn geometry and multiplier in place,
+    /// recomputing its precomputed terminal capacitances. Topology
+    /// (terminals, device order, [`Circuit::topology_id`]) is unchanged, so
+    /// solver state keyed on the topology stays valid — this is how sizing
+    /// testbenches re-parameterize a prebuilt template circuit per
+    /// candidate instead of rebuilding the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownDevice`] if `name` is not a MOSFET, or
+    /// [`SpiceError::BadValue`] for non-positive geometry.
+    pub fn set_mosfet_geometry(
+        &mut self,
+        name: &str,
+        w: f64,
+        l: f64,
+        m: f64,
+    ) -> Result<(), SpiceError> {
+        Self::check_value(name, "width", w, true)?;
+        Self::check_value(name, "length", l, true)?;
+        Self::check_value(name, "multiplier", m, true)?;
+        match self.device_mut(name)? {
+            Device::Mosfet {
+                model,
+                w: dw,
+                l: dl,
+                m: dm,
+                caps,
+                ..
+            } => {
+                *dw = w;
+                *dl = l;
+                *dm = m;
+                *caps = mos_caps(model, w, l, m);
+                Ok(())
+            }
+            _ => Err(SpiceError::UnknownDevice {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Updates a capacitor's value in place (see
+    /// [`Circuit::set_mosfet_geometry`] for the template-update pattern).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownDevice`] if `name` is not a capacitor,
+    /// or [`SpiceError::BadValue`] for a negative/non-finite value.
+    pub fn set_capacitance(&mut self, name: &str, c: f64) -> Result<(), SpiceError> {
+        if !c.is_finite() || c < 0.0 {
+            return Err(SpiceError::BadValue {
+                device: name.to_string(),
+                reason: format!("capacitance = {c}"),
+            });
+        }
+        match self.device_mut(name)? {
+            Device::Capacitor { c: dc, .. } => {
+                *dc = c;
+                Ok(())
+            }
+            _ => Err(SpiceError::UnknownDevice {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Updates a resistor's value in place (see
+    /// [`Circuit::set_mosfet_geometry`] for the template-update pattern).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownDevice`] if `name` is not a resistor,
+    /// or [`SpiceError::BadValue`] for a non-positive value.
+    pub fn set_resistance(&mut self, name: &str, r: f64) -> Result<(), SpiceError> {
+        Self::check_value(name, "resistance", r, true)?;
+        match self.device_mut(name)? {
+            Device::Resistor { g, .. } => {
+                *g = 1.0 / r;
+                Ok(())
+            }
+            _ => Err(SpiceError::UnknownDevice {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Replaces the waveform of an independent V/I source in place (see
+    /// [`Circuit::set_mosfet_geometry`] for the template-update pattern).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownDevice`] if `name` is not an
+    /// independent source.
+    pub fn set_source_wave(&mut self, name: &str, wave: Waveform) -> Result<(), SpiceError> {
+        match self.device_mut(name)? {
+            Device::VSource { wave: dw, .. } | Device::ISource { wave: dw, .. } => {
+                *dw = wave;
+                Ok(())
+            }
+            _ => Err(SpiceError::UnknownDevice {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Sets an independent source to a DC value (convenience over
+    /// [`Circuit::set_source_wave`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownDevice`] if `name` is not an
+    /// independent source.
+    pub fn set_source_dc(&mut self, name: &str, value: f64) -> Result<(), SpiceError> {
+        self.set_source_wave(name, Waveform::Dc(value))
     }
 
     /// Clears the AC magnitude of every independent source.
@@ -673,6 +833,79 @@ mod tests {
         let caps = c.capacitive_elements();
         assert_eq!(caps.len(), 6); // 1 explicit + 5 intrinsic
         assert!(caps.iter().all(|&(_, _, c)| c >= 0.0));
+    }
+
+    #[test]
+    fn topology_id_tracks_structure_not_values() {
+        let build = |r: f64, w: f64| {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let m = model();
+            c.add_vsource("V1", a, GND, Waveform::Dc(r)).unwrap();
+            c.add_resistor("R1", a, GND, r).unwrap();
+            c.add_mosfet("M1", a, a, GND, GND, &m, w, 1e-6, 1.0)
+                .unwrap();
+            c
+        };
+        let c1 = build(1e3, 1e-6);
+        let c2 = build(7e3, 9e-6);
+        assert_eq!(c1.topology_id(), c2.topology_id());
+        // In-place value updates keep the fingerprint.
+        let mut c3 = c1.clone();
+        c3.set_resistance("R1", 5e3).unwrap();
+        c3.set_mosfet_geometry("M1", 2e-6, 0.5e-6, 4.0).unwrap();
+        c3.set_source_dc("V1", 0.5).unwrap();
+        assert_eq!(c3.topology_id(), c1.topology_id());
+        // Different wiring changes it.
+        let mut c4 = build(1e3, 1e-6);
+        let b = c4.node("b");
+        c4.add_resistor("R2", b, GND, 1e3).unwrap();
+        assert_ne!(c4.topology_id(), c1.topology_id());
+    }
+
+    #[test]
+    fn setters_update_values_and_reject_mismatches() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let m = model();
+        c.add_resistor("R1", a, GND, 1e3).unwrap();
+        c.add_capacitor("C1", a, GND, 1e-12).unwrap();
+        c.add_mosfet("M1", a, a, GND, GND, &m, 1e-6, 1e-6, 1.0)
+            .unwrap();
+        c.add_vsource("V1", a, GND, Waveform::Dc(1.0)).unwrap();
+        c.set_resistance("R1", 2e3).unwrap();
+        c.set_capacitance("C1", 3e-12).unwrap();
+        c.set_mosfet_geometry("M1", 4e-6, 2e-6, 2.0).unwrap();
+        c.set_source_dc("V1", 2.5).unwrap();
+        match &c.devices()[0] {
+            Device::Resistor { g, .. } => assert!((g - 1.0 / 2e3).abs() < 1e-18),
+            _ => unreachable!(),
+        }
+        match &c.devices()[1] {
+            Device::Capacitor { c, .. } => assert_eq!(*c, 3e-12),
+            _ => unreachable!(),
+        }
+        match &c.devices()[2] {
+            Device::Mosfet { w, l, m, caps, .. } => {
+                assert_eq!((*w, *l, *m), (4e-6, 2e-6, 2.0));
+                // Capacitances were recomputed for the new geometry.
+                assert_eq!(caps.cgs, mos_caps(&model(), 4e-6, 2e-6, 2.0).cgs);
+            }
+            _ => unreachable!(),
+        }
+        match &c.devices()[3] {
+            Device::VSource { wave, .. } => assert_eq!(wave.dc_value(), 2.5),
+            _ => unreachable!(),
+        }
+        // Wrong kinds and unknown names are rejected.
+        assert!(c.set_resistance("C1", 1e3).is_err());
+        assert!(c.set_capacitance("R1", 1e-12).is_err());
+        assert!(c.set_mosfet_geometry("R1", 1e-6, 1e-6, 1.0).is_err());
+        assert!(c.set_source_dc("M1", 1.0).is_err());
+        assert!(c.set_resistance("missing", 1e3).is_err());
+        assert!(c.set_resistance("R1", -1.0).is_err());
+        assert!(c.set_capacitance("C1", f64::NAN).is_err());
+        assert!(c.set_mosfet_geometry("M1", 0.0, 1e-6, 1.0).is_err());
     }
 
     #[test]

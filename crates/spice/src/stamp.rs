@@ -18,6 +18,136 @@ use crate::mos::MosEval;
 use crate::netlist::{Circuit, Device, NodeId};
 use crate::waveform::Waveform;
 
+/// An MNA stamp sink: the destination of assembly writes.
+///
+/// The write *sequence* of an assembly pass is fixed by the circuit
+/// topology — every stamp method touches the same matrix positions in the
+/// same order regardless of device values — which is what makes replaying
+/// a recorded sequence sound. Three monomorphized implementations exist,
+/// so each assembly path compiles to straight-line code with no per-write
+/// dispatch:
+///
+/// - [`RealStamper`]: classic `a[(i, j)] += v` into the dense matrix;
+/// - [`RecordStamper`]: logs each `(row, col)` once to learn the sequence,
+///   which becomes a CSC pattern plus a stamp→slot map;
+/// - [`SlotStamper`]: replays through the slot map —
+///   `values[slots[cursor]] += v` — assembling straight into the CSC value
+///   array with no index search at all.
+pub trait Stamp {
+    /// Number of nodes including ground.
+    fn num_nodes(&self) -> usize;
+
+    /// One matrix write.
+    fn add_a(&mut self, i: usize, j: usize, v: f64);
+
+    /// One right-hand-side write.
+    fn add_z(&mut self, i: usize, v: f64);
+
+    /// Matrix row/column of a node, or `None` for ground.
+    #[inline]
+    fn node_idx(&self, n: NodeId) -> Option<usize> {
+        if n == 0 {
+            None
+        } else {
+            Some(n - 1)
+        }
+    }
+
+    /// Matrix row/column of a branch current.
+    #[inline]
+    fn branch_idx(&self, branch: usize) -> usize {
+        self.num_nodes() - 1 + branch
+    }
+
+    /// Stamps a conductance between two nodes.
+    fn conductance(&mut self, a: NodeId, b: NodeId, g: f64) {
+        let (ia, ib) = (self.node_idx(a), self.node_idx(b));
+        if let Some(i) = ia {
+            self.add_a(i, i, g);
+        }
+        if let Some(j) = ib {
+            self.add_a(j, j, g);
+        }
+        if let (Some(i), Some(j)) = (ia, ib) {
+            self.add_a(i, j, -g);
+            self.add_a(j, i, -g);
+        }
+    }
+
+    /// Stamps a fixed current `i` flowing from `p` through the device to
+    /// `n`.
+    fn current_source(&mut self, p: NodeId, n: NodeId, i: f64) {
+        if let Some(ip) = self.node_idx(p) {
+            self.add_z(ip, -i);
+        }
+        if let Some(inn) = self.node_idx(n) {
+            self.add_z(inn, i);
+        }
+    }
+
+    /// Stamps a VCCS: current `gm·v(cp,cn)` flowing `p → n`.
+    fn vccs(&mut self, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64) {
+        let (ip, inn) = (self.node_idx(p), self.node_idx(n));
+        let (icp, icn) = (self.node_idx(cp), self.node_idx(cn));
+        if let Some(i) = ip {
+            if let Some(j) = icp {
+                self.add_a(i, j, gm);
+            }
+            if let Some(j) = icn {
+                self.add_a(i, j, -gm);
+            }
+        }
+        if let Some(i) = inn {
+            if let Some(j) = icp {
+                self.add_a(i, j, -gm);
+            }
+            if let Some(j) = icn {
+                self.add_a(i, j, gm);
+            }
+        }
+    }
+
+    /// Stamps a voltage source of value `v` with the given branch.
+    fn vsource(&mut self, branch: usize, p: NodeId, n: NodeId, v: f64) {
+        let br = self.branch_idx(branch);
+        if let Some(i) = self.node_idx(p) {
+            self.add_a(i, br, 1.0);
+            self.add_a(br, i, 1.0);
+        }
+        if let Some(i) = self.node_idx(n) {
+            self.add_a(i, br, -1.0);
+            self.add_a(br, i, -1.0);
+        }
+        self.add_z(br, v);
+    }
+
+    /// Stamps a VCVS `v(p,n) = gain·v(cp,cn)` with the given branch.
+    fn vcvs(&mut self, branch: usize, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gain: f64) {
+        let br = self.branch_idx(branch);
+        if let Some(i) = self.node_idx(p) {
+            self.add_a(i, br, 1.0);
+            self.add_a(br, i, 1.0);
+        }
+        if let Some(i) = self.node_idx(n) {
+            self.add_a(i, br, -1.0);
+            self.add_a(br, i, -1.0);
+        }
+        if let Some(j) = self.node_idx(cp) {
+            self.add_a(br, j, -gain);
+        }
+        if let Some(j) = self.node_idx(cn) {
+            self.add_a(br, j, gain);
+        }
+    }
+
+    /// Adds `gmin` from every non-ground node to ground (diagonal loading).
+    fn load_gmin(&mut self, gmin: f64) {
+        for i in 0..(self.num_nodes() - 1) {
+            self.add_a(i, i, gmin);
+        }
+    }
+}
+
 /// Dense real MNA system `A·x = z` under assembly.
 #[derive(Debug, Clone)]
 pub struct RealStamper {
@@ -27,6 +157,23 @@ pub struct RealStamper {
     pub a: Matrix,
     /// Right-hand side.
     pub z: Vec<f64>,
+}
+
+impl Stamp for RealStamper {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    #[inline]
+    fn add_a(&mut self, i: usize, j: usize, v: f64) {
+        self.a[(i, j)] += v;
+    }
+
+    #[inline]
+    fn add_z(&mut self, i: usize, v: f64) {
+        self.z[i] += v;
+    }
 }
 
 impl RealStamper {
@@ -55,104 +202,146 @@ impl RealStamper {
     /// Matrix row/column of a node, or `None` for ground.
     #[inline]
     pub fn node_idx(&self, n: NodeId) -> Option<usize> {
-        if n == 0 {
-            None
-        } else {
-            Some(n - 1)
-        }
+        Stamp::node_idx(self, n)
     }
 
     /// Matrix row/column of a branch current.
     #[inline]
     pub fn branch_idx(&self, branch: usize) -> usize {
-        self.n_nodes - 1 + branch
+        Stamp::branch_idx(self, branch)
     }
 
     /// Stamps a conductance between two nodes.
     pub fn conductance(&mut self, a: NodeId, b: NodeId, g: f64) {
-        let (ia, ib) = (self.node_idx(a), self.node_idx(b));
-        if let Some(i) = ia {
-            self.a[(i, i)] += g;
-        }
-        if let Some(j) = ib {
-            self.a[(j, j)] += g;
-        }
-        if let (Some(i), Some(j)) = (ia, ib) {
-            self.a[(i, j)] -= g;
-            self.a[(j, i)] -= g;
-        }
+        Stamp::conductance(self, a, b, g);
     }
 
     /// Stamps a fixed current `i` flowing from `p` through the device to `n`.
     pub fn current_source(&mut self, p: NodeId, n: NodeId, i: f64) {
-        if let Some(ip) = self.node_idx(p) {
-            self.z[ip] -= i;
-        }
-        if let Some(inn) = self.node_idx(n) {
-            self.z[inn] += i;
-        }
+        Stamp::current_source(self, p, n, i);
     }
 
     /// Stamps a VCCS: current `gm·v(cp,cn)` flowing `p → n`.
     pub fn vccs(&mut self, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64) {
-        let (ip, inn) = (self.node_idx(p), self.node_idx(n));
-        let (icp, icn) = (self.node_idx(cp), self.node_idx(cn));
-        if let Some(i) = ip {
-            if let Some(j) = icp {
-                self.a[(i, j)] += gm;
-            }
-            if let Some(j) = icn {
-                self.a[(i, j)] -= gm;
-            }
-        }
-        if let Some(i) = inn {
-            if let Some(j) = icp {
-                self.a[(i, j)] -= gm;
-            }
-            if let Some(j) = icn {
-                self.a[(i, j)] += gm;
-            }
-        }
+        Stamp::vccs(self, p, n, cp, cn, gm);
     }
 
     /// Stamps a voltage source of value `v` with the given branch.
     pub fn vsource(&mut self, branch: usize, p: NodeId, n: NodeId, v: f64) {
-        let br = self.branch_idx(branch);
-        if let Some(i) = self.node_idx(p) {
-            self.a[(i, br)] += 1.0;
-            self.a[(br, i)] += 1.0;
-        }
-        if let Some(i) = self.node_idx(n) {
-            self.a[(i, br)] -= 1.0;
-            self.a[(br, i)] -= 1.0;
-        }
-        self.z[br] += v;
+        Stamp::vsource(self, branch, p, n, v);
     }
 
     /// Stamps a VCVS `v(p,n) = gain·v(cp,cn)` with the given branch.
     pub fn vcvs(&mut self, branch: usize, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gain: f64) {
-        let br = self.branch_idx(branch);
-        if let Some(i) = self.node_idx(p) {
-            self.a[(i, br)] += 1.0;
-            self.a[(br, i)] += 1.0;
-        }
-        if let Some(i) = self.node_idx(n) {
-            self.a[(i, br)] -= 1.0;
-            self.a[(br, i)] -= 1.0;
-        }
-        if let Some(j) = self.node_idx(cp) {
-            self.a[(br, j)] -= gain;
-        }
-        if let Some(j) = self.node_idx(cn) {
-            self.a[(br, j)] += gain;
-        }
+        Stamp::vcvs(self, branch, p, n, cp, cn, gain);
     }
 
     /// Adds `gmin` from every non-ground node to ground (diagonal loading).
     pub fn load_gmin(&mut self, gmin: f64) {
-        for i in 0..(self.n_nodes - 1) {
-            self.a[(i, i)] += gmin;
+        Stamp::load_gmin(self, gmin);
+    }
+}
+
+/// Write-sequence recorder: one assembly pass through this sink yields the
+/// ordered `(row, col)` coordinates of every matrix write, from which
+/// `linalg::CscMatrix::from_coordinates` builds the sparse pattern and the
+/// stamp→slot map.
+#[derive(Debug, Clone)]
+pub(crate) struct RecordStamper {
+    n_nodes: usize,
+    /// Ordered matrix-write coordinates.
+    pub(crate) writes: Vec<(usize, usize)>,
+}
+
+impl RecordStamper {
+    /// Creates a recorder for the circuit.
+    pub(crate) fn new(circuit: &Circuit) -> Self {
+        RecordStamper {
+            n_nodes: circuit.num_nodes(),
+            writes: Vec::new(),
         }
+    }
+}
+
+impl Stamp for RecordStamper {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    #[inline]
+    fn add_a(&mut self, i: usize, j: usize, v: f64) {
+        let _ = v;
+        self.writes.push((i, j));
+    }
+
+    #[inline]
+    fn add_z(&mut self, _i: usize, _v: f64) {}
+}
+
+/// Slot-map stamper: assembles directly into a CSC value array by
+/// replaying the recorded write sequence (`values[slots[cursor]] += v`).
+/// The borrowed buffers live in `NewtonWorkspace`'s sparse plan.
+#[derive(Debug)]
+pub(crate) struct SlotStamper<'a> {
+    n_nodes: usize,
+    /// Per-write CSC value index, in stamp order.
+    slots: &'a [u32],
+    /// CSC value array under assembly.
+    values: &'a mut [f64],
+    /// Right-hand side.
+    z: &'a mut [f64],
+    /// Index of the next write.
+    cursor: usize,
+}
+
+impl<'a> SlotStamper<'a> {
+    /// Creates a slot stamper over zeroed buffers.
+    pub(crate) fn new(
+        n_nodes: usize,
+        slots: &'a [u32],
+        values: &'a mut [f64],
+        z: &'a mut [f64],
+    ) -> Self {
+        values.fill(0.0);
+        z.fill(0.0);
+        SlotStamper {
+            n_nodes,
+            slots,
+            values,
+            z,
+            cursor: 0,
+        }
+    }
+
+    /// True if the assembly pass consumed the slot map exactly (a mismatch
+    /// in either direction means the write sequence drifted from the
+    /// recording and the caller must fall back to the dense kernel).
+    pub(crate) fn complete(&self) -> bool {
+        self.cursor == self.slots.len()
+    }
+}
+
+impl Stamp for SlotStamper<'_> {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    #[inline]
+    fn add_a(&mut self, _i: usize, _j: usize, v: f64) {
+        // A drifted sequence may emit *more* writes than were recorded;
+        // swallow the excess (the cursor overrun makes `complete()` report
+        // the drift) instead of indexing past the slot map.
+        if let Some(&slot) = self.slots.get(self.cursor) {
+            self.values[slot as usize] += v;
+        }
+        self.cursor += 1;
+    }
+
+    #[inline]
+    fn add_z(&mut self, i: usize, v: f64) {
+        self.z[i] += v;
     }
 }
 
@@ -191,14 +380,25 @@ pub fn node_voltage(x: &[f64], n: NodeId) -> f64 {
     }
 }
 
+/// One linearized-system assembly routine, generic over the stamp sink so
+/// each destination (dense matrix, write recorder, CSC slot map) gets its
+/// own monomorphized, dispatch-free copy. Implementors capture whatever
+/// state the assembly needs (circuit, gmin, source evaluation, transient
+/// companion models); the Newton engine calls [`Assemble::assemble`] once
+/// per iteration.
+pub(crate) trait Assemble {
+    /// Stamps the full linearized system at the unknown vector `x`.
+    fn assemble<S: Stamp>(&mut self, x: &[f64], st: &mut S);
+}
+
 /// Shared assembly walk: stamps every device and hands each device's
 /// MOSFET evaluation (or `None`) to `sink`, letting callers choose whether
 /// to collect them.
-fn stamp_resistive_impl(
+fn stamp_resistive_impl<S: Stamp>(
     circuit: &Circuit,
     x: &[f64],
     sources: SourceEval,
-    st: &mut RealStamper,
+    st: &mut S,
     mut sink: impl FnMut(Option<MosEval>),
 ) {
     for dev in circuit.devices() {
@@ -287,11 +487,11 @@ pub fn stamp_resistive(
 
 /// Allocation-free variant of [`stamp_resistive`] for the Newton hot loop,
 /// which only needs the assembled system, not the per-device evaluations.
-pub fn stamp_resistive_system(
+pub fn stamp_resistive_system<S: Stamp>(
     circuit: &Circuit,
     x: &[f64],
     sources: SourceEval,
-    st: &mut RealStamper,
+    st: &mut S,
 ) {
     stamp_resistive_impl(circuit, x, sources, st, |_| {});
 }

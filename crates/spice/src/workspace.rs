@@ -3,18 +3,124 @@
 //! The DC and transient engines linearize and solve the same-sized MNA
 //! system every Newton iteration, every gmin/source-stepping retry, and
 //! every transient timestep. A [`NewtonWorkspace`] owns all of that state —
-//! the [`RealStamper`], the LU factors, and the solution scratch vector —
-//! so the hot loop performs **zero heap allocations** per iteration.
+//! the [`RealStamper`], the dense LU factors, the sparse solver state, and
+//! the solution scratch vector — so the hot loop performs **zero heap
+//! allocations** per iteration.
 //!
-//! One workspace per circuit topology; it is reused across solves and
-//! resizes itself automatically if handed a circuit with a different
-//! unknown count. For population-parallel optimization, give each worker
-//! thread its own workspace (see `opt::parallel`).
+//! # Sparse pipeline
+//!
+//! MNA matrices are mostly structural zeros, and their sparsity *pattern*
+//! is fixed by the circuit topology: it is identical across Newton
+//! iterations, gmin/source-stepping retries, sweep points, transient
+//! timesteps, and even across candidates of the same sizing testbench. The
+//! workspace exploits this by keeping, per assembly kind (DC-resistive /
+//! transient), a cached [`SparsePlan`]:
+//!
+//! 1. one *recorded* assembly pass learns the stamp-write sequence;
+//! 2. the sequence becomes a CSC pattern plus a stamp→slot map
+//!    ([`linalg::CscMatrix::from_coordinates`]), so later assemblies write
+//!    straight into the CSC value array;
+//! 3. [`linalg::SparseLu`] runs one pivoting factorization per Newton
+//!    solve (first iteration) and a scan-free
+//!    [`linalg::SparseLu::refactor_into`] on every subsequent iteration.
+//!
+//! Whether a circuit uses the sparse or the dense kernel is decided
+//! automatically from its size and assembled density, with the dense
+//! kernel kept as the universal fallback. The plan cache is keyed by
+//! [`Circuit::topology_id`], so a pooled workspace handed a *different*
+//! same-sized topology rebuilds its plans instead of corrupting results.
+//!
+//! # Workspace pool
+//!
+//! For sizing loops, [`lease_workspace`] checks a workspace out of a
+//! process-wide pool keyed by topology fingerprint, so the recorded
+//! patterns and factor storage are reused across candidate evaluations —
+//! including across the worker threads of `opt`'s parallel population
+//! evaluation, where each worker leases its own workspace (bit-identical
+//! results are preserved: the pivot sequence is re-derived from each
+//! candidate's own first Newton iteration, never inherited from whichever
+//! candidate used the workspace before).
 
-use linalg::LuWorkspace;
+use std::sync::Mutex;
+
+use linalg::{CscMatrix, LuWorkspace, SparseLu};
 
 use crate::netlist::Circuit;
-use crate::stamp::RealStamper;
+use crate::stamp::{Assemble, RealStamper, RecordStamper, SlotStamper};
+
+/// Systems smaller than this always use the dense kernel (the sparse
+/// machinery's per-column bookkeeping only pays off once the O(n³) dense
+/// elimination dominates).
+const SPARSE_MIN_UNKNOWNS: usize = 24;
+
+/// Assembled densities above this fraction keep the dense kernel.
+const SPARSE_MAX_DENSITY: f64 = 0.40;
+
+/// Upper bound on pooled workspaces kept alive for reuse.
+const POOL_CAP: usize = 64;
+
+/// Which assembly closure a Newton solve runs. The transient system stamps
+/// capacitor companion models on top of the resistive stamps, so the two
+/// kinds have different write sequences and carry separate sparse plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StampKind {
+    /// Resistive (DC operating point / DC sweep) assembly.
+    Dc = 0,
+    /// Transient assembly (resistive + capacitor companions).
+    Tran = 1,
+}
+
+/// Which solver kernel a Newton solve should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SolveMode {
+    /// Dense `LuWorkspace` path.
+    Dense,
+    /// Sparse slot-map assembly + `SparseLu` path.
+    Sparse,
+}
+
+/// Outcome of one sparse assemble+factor step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SparseStep {
+    /// Factors are ready; solve with [`NewtonWorkspace::sparse_solve`].
+    Factored,
+    /// The system is numerically singular even after re-pivoting (the
+    /// caller falls back to the dense kernel, whose different elimination
+    /// order may still survive).
+    Singular,
+    /// The plan was invalidated (write-sequence drift); the caller should
+    /// fall back to the dense kernel for the rest of this solve.
+    Fallback,
+}
+
+/// A cached decision + state for one `(topology, kind)` pair.
+#[derive(Debug, Clone)]
+struct SparsePlan {
+    /// Topology fingerprint the plan was recorded for.
+    topo: u64,
+    /// Unknown count the plan was recorded for.
+    n: usize,
+    /// Sparse state, or `None` when the dense kernel was selected.
+    sparse: Option<SparseState>,
+}
+
+/// Recorded stamp→slot map plus the sparse factorization state.
+#[derive(Debug, Clone)]
+struct SparseState {
+    /// Per-write CSC value index, in stamp order.
+    slots: Vec<u32>,
+    /// The MNA system in CSC form (pattern fixed, values per assembly).
+    csc: CscMatrix,
+    /// Symbolic + numeric LU state.
+    lu: SparseLu,
+    /// Solve session of the last *pivoting* factorization. A new session
+    /// (new candidate/analysis handed to this workspace) forces one fresh
+    /// pivot selection so results never depend on which candidate used the
+    /// workspace before; within a session — across Newton iterations, gmin
+    /// and source-stepping retries, and transient timesteps — the pivot
+    /// sequence is reused by the scan-free refactorization.
+    pivot_session: u64,
+}
 
 /// Preallocated state for repeated Newton solves on one circuit topology.
 ///
@@ -38,12 +144,18 @@ use crate::stamp::RealStamper;
 pub struct NewtonWorkspace {
     /// The MNA system under assembly.
     pub(crate) st: RealStamper,
-    /// LU factors of the linearized system.
+    /// Dense LU factors of the linearized system.
     pub(crate) lu: LuWorkspace,
     /// Newton-step solution buffer.
     pub(crate) x_new: Vec<f64>,
     /// Unknown count the buffers are sized for.
     n: usize,
+    /// Topology fingerprint of the circuit last ensured.
+    topo: u64,
+    /// Monotonic solve-session id (see [`SparseState::pivot_session`]).
+    session: u64,
+    /// Cached sparse plans, indexed by [`StampKind`].
+    plans: [Option<SparsePlan>; 2],
 }
 
 impl NewtonWorkspace {
@@ -55,6 +167,9 @@ impl NewtonWorkspace {
             lu: LuWorkspace::new(n),
             x_new: vec![0.0; n],
             n,
+            topo: circuit.topology_id(),
+            session: 1,
+            plans: [None, None],
         }
     }
 
@@ -63,14 +178,222 @@ impl NewtonWorkspace {
         self.n
     }
 
+    /// Topology fingerprint of the circuit this workspace last targeted
+    /// (see [`Circuit::topology_id`]).
+    pub fn topology_id(&self) -> u64 {
+        self.topo
+    }
+
     /// Re-targets the workspace at `circuit`, rebuilding buffers only when
-    /// the unknown count changed.
+    /// the unknown count changed. Sparse plans are keyed by topology and
+    /// revalidated lazily, so they survive this when the topology matches.
     pub(crate) fn ensure(&mut self, circuit: &Circuit) {
         let n = circuit.num_unknowns();
         if n != self.n || self.st.num_nodes() != circuit.num_nodes() {
+            let plans = std::mem::take(&mut self.plans);
+            let session = self.session;
             *self = NewtonWorkspace::new(circuit);
+            // Keep the recorded plans: they are fingerprint-keyed, so a
+            // later solve on the old topology can still reuse them. The
+            // session counter survives so stale pivot sequences stay stale.
+            self.plans = plans;
+            self.session = session;
+        }
+        self.topo = circuit.topology_id();
+    }
+
+    /// Starts a new solve session: the next sparse factorization of each
+    /// pattern re-derives its pivot sequence from the incoming values.
+    /// Called by every public solve entry point (`op_with_workspace`,
+    /// `transient_with_workspace`), i.e. whenever the workspace may have
+    /// been handed a different candidate's circuit — the determinism
+    /// boundary for workspace pooling.
+    pub(crate) fn begin_session(&mut self) {
+        self.session = self.session.wrapping_add(1);
+    }
+
+    /// Decides (and caches) the solver kernel for `(circuit, kind)`. On a
+    /// cache miss this runs one *recorded* assembly pass (via `assemble` at
+    /// `x0`) to learn the write sequence, builds the CSC pattern and slot
+    /// map, and selects sparse vs dense by size and density.
+    pub(crate) fn prepare<A: Assemble>(
+        &mut self,
+        circuit: &Circuit,
+        kind: StampKind,
+        assemble: &mut A,
+        x0: &[f64],
+    ) -> SolveMode {
+        let topo = circuit.topology_id();
+        let n = circuit.num_unknowns();
+        if let Some(plan) = &self.plans[kind as usize] {
+            if plan.topo == topo && plan.n == n {
+                return if plan.sparse.is_some() {
+                    SolveMode::Sparse
+                } else {
+                    SolveMode::Dense
+                };
+            }
+        }
+        let sparse = if n < SPARSE_MIN_UNKNOWNS {
+            None
+        } else {
+            let mut rec = RecordStamper::new(circuit);
+            assemble.assemble(x0, &mut rec);
+            let (csc, slots) = CscMatrix::from_coordinates(n, &rec.writes);
+            let density = csc.nnz() as f64 / (n * n) as f64;
+            if density > SPARSE_MAX_DENSITY {
+                None
+            } else {
+                Some(SparseState {
+                    slots,
+                    csc,
+                    lu: SparseLu::new(),
+                    pivot_session: 0,
+                })
+            }
+        };
+        let mode = if sparse.is_some() {
+            SolveMode::Sparse
+        } else {
+            SolveMode::Dense
+        };
+        self.plans[kind as usize] = Some(SparsePlan { topo, n, sparse });
+        mode
+    }
+
+    /// One sparse Newton step: slot-map assembly at `x`, then numeric
+    /// factorization. The first factorization of a solve session is a full
+    /// pivoting one, so the pivot sequence depends only on the candidate
+    /// being solved (bit-identical results whether or not the workspace was
+    /// reused); every later iteration, retry, and timestep of the session
+    /// runs the scan-free refactorization, falling back to a pivoting
+    /// factor if a recorded pivot collapses numerically.
+    pub(crate) fn sparse_step<A: Assemble>(
+        &mut self,
+        kind: StampKind,
+        x: &[f64],
+        assemble: &mut A,
+    ) -> SparseStep {
+        let Some(plan) = self.plans[kind as usize].as_mut() else {
+            return SparseStep::Fallback;
+        };
+        let Some(state) = plan.sparse.as_mut() else {
+            return SparseStep::Fallback;
+        };
+        let complete = {
+            let mut st = SlotStamper::new(
+                self.st.num_nodes(),
+                &state.slots,
+                state.csc.values_mut(),
+                &mut self.st.z,
+            );
+            assemble.assemble(x, &mut st);
+            st.complete()
+        };
+        if !complete {
+            // The write sequence drifted from the recording (should not
+            // happen for a fingerprint-matched topology); drop the plan and
+            // let the caller run the dense kernel.
+            self.plans[kind as usize] = None;
+            return SparseStep::Fallback;
+        }
+        let fresh = state.pivot_session != self.session || !state.lu.is_factored();
+        let factored = if fresh {
+            state.lu.factor(&state.csc).is_ok()
+        } else {
+            state.lu.refactor_into(&state.csc).is_ok() || state.lu.factor(&state.csc).is_ok()
+        };
+        if factored {
+            state.pivot_session = self.session;
+            SparseStep::Factored
+        } else {
+            SparseStep::Singular
         }
     }
+
+    /// Solves the sparse-assembled system into the step buffer. Returns
+    /// `false` if no sparse factorization is available.
+    pub(crate) fn sparse_solve(&mut self, kind: StampKind) -> bool {
+        let Some(state) = self.plans[kind as usize]
+            .as_mut()
+            .and_then(|p| p.sparse.as_mut())
+        else {
+            return false;
+        };
+        state.lu.solve_into(&self.st.z, &mut self.x_new).is_ok()
+    }
+
+    /// True if the `(current topology, kind)` pair resolved to the sparse
+    /// kernel (diagnostics/tests).
+    pub fn uses_sparse(&self, kind_is_tran: bool) -> bool {
+        let idx = usize::from(kind_is_tran);
+        self.plans[idx]
+            .as_ref()
+            .is_some_and(|p| p.topo == self.topo && p.sparse.is_some())
+    }
+}
+
+/// Process-wide pool of workspaces, keyed by topology fingerprint.
+static POOL: Mutex<Vec<NewtonWorkspace>> = Mutex::new(Vec::new());
+
+/// A [`NewtonWorkspace`] checked out of the process-wide pool; returns to
+/// the pool on drop. Dereferences to the workspace.
+#[derive(Debug)]
+pub struct PooledWorkspace {
+    ws: Option<NewtonWorkspace>,
+}
+
+impl std::ops::Deref for PooledWorkspace {
+    type Target = NewtonWorkspace;
+    fn deref(&self) -> &NewtonWorkspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledWorkspace {
+    fn deref_mut(&mut self) -> &mut NewtonWorkspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            let mut pool = POOL
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // FIFO eviction: returning workspaces displace the oldest
+            // entries, so long-running processes that cycle through many
+            // topologies keep pooling the ones currently in use instead of
+            // pinning whichever came first.
+            if pool.len() >= POOL_CAP {
+                pool.remove(0);
+            }
+            pool.push(ws);
+        }
+    }
+}
+
+/// Checks a workspace out of the process-wide pool, preferring one whose
+/// recorded solver state (stamp→slot maps, factor storage) was built for
+/// the same circuit topology. Used by every analysis entry point that is
+/// not handed an explicit workspace, and by the sizing testbenches so
+/// population evaluation reuses simulator state across candidates — on one
+/// thread or many, without changing any result (see the module docs).
+pub fn lease_workspace(circuit: &Circuit) -> PooledWorkspace {
+    let topo = circuit.topology_id();
+    let n = circuit.num_unknowns();
+    let reused = {
+        let mut pool = POOL
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        pool.iter()
+            .position(|w| w.topo == topo && w.num_unknowns() == n)
+            .map(|i| pool.swap_remove(i))
+    };
+    let mut ws = reused.unwrap_or_else(|| NewtonWorkspace::new(circuit));
+    ws.ensure(circuit);
+    PooledWorkspace { ws: Some(ws) }
 }
 
 #[cfg(test)]
@@ -92,5 +415,33 @@ mod tests {
         c.add_resistor("R3", b, GND, 1e3).unwrap();
         ws.ensure(&c);
         assert_eq!(ws.num_unknowns(), c.num_unknowns());
+        assert_eq!(ws.topology_id(), c.topology_id());
+    }
+
+    #[test]
+    fn pool_reuses_matching_topology() {
+        let mut c = Circuit::new();
+        let a = c.node("pool_test_a");
+        c.add_vsource("V1", a, GND, Waveform::Dc(1.0)).unwrap();
+        c.add_resistor("R1", a, GND, 1e3).unwrap();
+        let first_ptr;
+        {
+            let ws = lease_workspace(&c);
+            first_ptr = &*ws as *const NewtonWorkspace as usize;
+            let _ = first_ptr;
+        } // returned to the pool
+        {
+            let ws2 = lease_workspace(&c);
+            assert_eq!(ws2.topology_id(), c.topology_id());
+            assert_eq!(ws2.num_unknowns(), c.num_unknowns());
+        }
+        // A different topology gets a correctly sized workspace too.
+        let mut c2 = Circuit::new();
+        let b = c2.node("pool_test_b");
+        c2.add_vsource("V1", b, GND, Waveform::Dc(1.0)).unwrap();
+        c2.add_resistor("R1", b, GND, 1e3).unwrap();
+        c2.add_capacitor("C1", b, GND, 1e-12).unwrap();
+        let ws3 = lease_workspace(&c2);
+        assert_eq!(ws3.topology_id(), c2.topology_id());
     }
 }

@@ -2,12 +2,21 @@
 //! for every optimizer that fans simulations out over worker threads, the
 //! recorded history — designs, spec vectors, FoMs, feasibility flags —
 //! must be bit-identical to a fully serial run.
+//!
+//! This includes the simulator's workspace pooling: circuit problems lease
+//! `NewtonWorkspace`s from `spice`'s topology-keyed pool, so which
+//! candidate inherits which workspace (and its recorded sparse patterns /
+//! factor storage) depends on thread count and scheduling. The
+//! [`SparseLadder`] problem exercises exactly that machinery — its MNA
+//! system is large enough for the sparse stamp→slot kernel — and its
+//! histories must still be bit-identical serial vs parallel.
 
 use dnn_opt::{DnnOpt, DnnOptConfig};
 use opt::{
     parallel, DifferentialEvolution, Fom, Optimizer, RandomSearch, RunResult, SizingProblem,
     SpecResult, StopPolicy,
 };
+use spice::{Circuit, SimOptions, Waveform, GND};
 
 /// The `examples/quickstart.rs` problem: minimize "power" x0+x1 subject to
 /// a "gain" constraint x0·x1 ≥ 0.2.
@@ -31,6 +40,86 @@ impl SizingProblem for ToyAmp {
     }
     fn name(&self) -> &str {
         "toy-amp"
+    }
+}
+
+/// A real-simulator problem: a 30-stage diode-connected-NMOS ladder whose
+/// MNA system (32 unknowns) runs the sparse stamp→slot pipeline through
+/// pool-leased workspaces — the machinery whose reuse across candidates
+/// must never leak between them.
+struct SparseLadder;
+
+impl SparseLadder {
+    fn build(x: &[f64]) -> Circuit {
+        let nmos = spice::MosModel {
+            polarity: spice::MosPolarity::Nmos,
+            vth0: 0.45,
+            kp: 300e-6,
+            clm: 0.02e-6,
+            gamma: 0.4,
+            phi: 0.8,
+            nsub: 1.4,
+            cox: 8.5e-3,
+            cov: 3e-10,
+            cj: 1e-3,
+            ldiff: 0.4e-6,
+            kf: 1e-26,
+            af: 1.0,
+            noise_gamma: 2.0 / 3.0,
+        };
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
+        let mut prev = vdd;
+        for i in 0..30 {
+            let d = c.node(&format!("d{i}"));
+            c.add_resistor(&format!("R{i}"), prev, d, 2e3 + 6e3 * x[1])
+                .unwrap();
+            c.add_mosfet(
+                &format!("M{i}"),
+                d,
+                d,
+                GND,
+                GND,
+                &nmos,
+                (1.0 + 9.0 * x[0]) * 1e-6,
+                0.5e-6,
+                1.0,
+            )
+            .unwrap();
+            prev = d;
+        }
+        c
+    }
+}
+
+impl SizingProblem for SparseLadder {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.0; 2], vec![1.0; 2])
+    }
+    fn num_constraints(&self) -> usize {
+        1
+    }
+    fn evaluate(&self, x: &[f64]) -> SpecResult {
+        let ckt = Self::build(x);
+        let mut ws = spice::lease_workspace(&ckt);
+        let Ok(op) = spice::op_with_workspace(&ckt, &SimOptions::default(), None, &mut ws) else {
+            return SpecResult::failed(1);
+        };
+        let mid = ckt.find_node("d14").unwrap();
+        let end = ckt.find_node("d29").unwrap();
+        // Raw solved voltages: any last-ulp difference between candidates
+        // sharing (or not sharing) a pooled workspace shows up here.
+        SpecResult {
+            objective: op.voltage(end),
+            constraints: vec![0.9 - op.voltage(mid)],
+        }
+    }
+    fn name(&self) -> &str {
+        "sparse-ladder"
     }
 }
 
@@ -101,4 +190,34 @@ fn serial_and_parallel_runs_are_bit_identical() {
             );
         }
     }
+
+    // The same guarantee through the full simulator stack with workspace
+    // pooling on: candidates lease pooled `NewtonWorkspace`s (recorded
+    // sparse patterns, reused factor storage), and which candidate gets
+    // which workspace depends on the thread count — the results must not.
+    let ladder = SparseLadder;
+    let fom = Fom::uniform(1.0, 1);
+    let sim_methods: Vec<(Box<dyn Optimizer>, usize)> = vec![
+        (Box::new(RandomSearch), 48),
+        (Box::new(DifferentialEvolution::default()), 60),
+    ];
+    for (method, budget) in &sim_methods {
+        parallel::set_max_threads(1);
+        let serial = method.run(&ladder, &fom, *budget, StopPolicy::Exhaust, 7);
+        parallel::set_max_threads(8);
+        let parallel_run = method.run(&ladder, &fom, *budget, StopPolicy::Exhaust, 7);
+        parallel::set_max_threads(0);
+        assert_identical(
+            &serial,
+            &parallel_run,
+            &format!("{} (spice pool)", method.name()),
+        );
+    }
+    // And the solver state the runs left behind really is the sparse
+    // pipeline: a pooled workspace for this topology selected it.
+    let ws = spice::lease_workspace(&SparseLadder::build(&[0.5, 0.5]));
+    assert!(
+        ws.uses_sparse(false),
+        "ladder evaluations must run the sparse kernel"
+    );
 }
