@@ -4,10 +4,13 @@
 //! motivated the zero-allocation refactor (`BENCH_baseline.json` records
 //! the reference numbers).
 
-use bench::{build_mos_ladder, build_rc_ladder};
+use bench::{assemble_linear_small_signal, build_mos_ladder, build_rc_ladder};
 use circuits::{FoldedCascodeOta, StrongArmLatch};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use linalg::{CscMatrix, Lu, LuWorkspace, SparseLu};
+use linalg::{
+    ComplexLu, ComplexLuWorkspace, CscComplexMatrix, CscMatrix, Lu, LuWorkspace, SparseComplexLu,
+    SparseLu, C64,
+};
 use opt::SizingProblem;
 use spice::stamp::{stamp_resistive_system, RealStamper, SourceEval};
 use spice::SimOptions;
@@ -209,6 +212,91 @@ fn bench_newton_kernel(c: &mut Criterion) {
     });
 }
 
+/// The AC-sweep kernel in isolation: factor + solve of the small-signal
+/// system `(G + jωC)·x = z` at all 26 points of a log sweep on the 60-stage
+/// RC interconnect ladder (n = 62), comparing the dense per-point path
+/// (workspace complex LU — already clone-free) with the sparse
+/// pattern-shared path the AC engine now auto-selects: one pivoting
+/// factorization at the first point of the sweep, then a scan-free
+/// refactorization per point (acceptance target: ≥3×). Assembly is
+/// excluded from both loops, exactly like the DC Newton kernels above.
+fn bench_ac_sweep_kernel(c: &mut Criterion) {
+    let ckt = build_rc_ladder(60);
+    let n = ckt.num_unknowns();
+    let opts = SimOptions::default();
+    let freqs = spice::log_freqs(1e3, 1e8, 5); // 26 points
+    assert!(freqs.len() >= 20, "sweep must cover ≥20 frequency points");
+    let systems: Vec<(Vec<Vec<C64>>, Vec<C64>)> = freqs
+        .iter()
+        .map(|&f| {
+            let st = assemble_linear_small_signal(&ckt, 2.0 * std::f64::consts::PI * f, opts.gmin);
+            (st.a, st.z)
+        })
+        .collect();
+    let cscs: Vec<CscComplexMatrix> = systems
+        .iter()
+        .map(|(a, _)| CscComplexMatrix::from_dense_rows(a))
+        .collect();
+
+    // All kernels (and the full engine) must agree before their times mean
+    // anything.
+    {
+        let op = spice::op(&ckt, &opts).unwrap();
+        let sweep = spice::ac(&ckt, &opts, &op, &freqs).unwrap();
+        let out = ckt.find_node("n59").unwrap();
+        let mut ws = ComplexLuWorkspace::new(n);
+        let mut slu = SparseComplexLu::new();
+        slu.factor(&cscs[0]).unwrap();
+        let (mut xd, mut xs) = (Vec::new(), Vec::new());
+        for (fi, ((a, z), csc)) in systems.iter().zip(&cscs).enumerate() {
+            ComplexLu::factor_into(a, &mut ws).unwrap();
+            ws.solve_into(z, &mut xd).unwrap();
+            slu.refactor_into(csc).unwrap();
+            slu.solve_into(z, &mut xs).unwrap();
+            for (d, s) in xd.iter().zip(&xs) {
+                assert!(
+                    (*d - *s).abs() <= 1e-10 * d.abs().max(1.0),
+                    "kernel mismatch"
+                );
+            }
+            let engine = sweep.voltage(fi, out);
+            let kernel = xd[out - 1];
+            assert!((engine - kernel).abs() <= 1e-10, "engine mismatch");
+        }
+    }
+
+    c.bench_function("ac_sweep_kernel_dense_n62", |b| {
+        let mut ws = ComplexLuWorkspace::new(n);
+        let mut x = Vec::new();
+        b.iter(|| {
+            for (a, z) in &systems {
+                ComplexLu::factor_into(black_box(a), &mut ws).unwrap();
+                ws.solve_into(z, &mut x).unwrap();
+            }
+            black_box(x[0])
+        })
+    });
+
+    c.bench_function("ac_sweep_kernel_sparse_n62", |b| {
+        let mut slu = SparseComplexLu::new();
+        slu.factor(&cscs[0]).unwrap();
+        let mut x = Vec::new();
+        b.iter(|| {
+            // Engine rhythm: the first point of each sweep re-derives the
+            // pivot sequence; every later point replays it scan-free.
+            for (i, (csc, (_, z))) in cscs.iter().zip(&systems).enumerate() {
+                if i == 0 {
+                    slu.factor(black_box(csc)).unwrap();
+                } else {
+                    slu.refactor_into(black_box(csc)).unwrap();
+                }
+                slu.solve_into(z, &mut x).unwrap();
+            }
+            black_box(x[0])
+        })
+    });
+}
+
 fn bench_spice(c: &mut Criterion) {
     let opts = SimOptions::default();
 
@@ -245,6 +333,6 @@ fn bench_spice(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_newton_kernel, bench_spice
+    targets = bench_newton_kernel, bench_ac_sweep_kernel, bench_spice
 }
 criterion_main!(benches);

@@ -53,6 +53,46 @@ pub fn build_mos_ladder(n: usize) -> spice::Circuit {
     c
 }
 
+/// Assembles the dense complex small-signal system `(G + jωC)·x = z` of a
+/// *linear* circuit (resistors, capacitors, independent sources) at angular
+/// frequency `omega` — the AC-sweep system of [`build_rc_ladder`]. Shared
+/// by `benches/spice_kernels.rs` and [`baseline::refresh`] so the AC kernel
+/// rows always measure the same assembly as `cargo bench`.
+///
+/// # Panics
+///
+/// Panics on device kinds the helper does not model (MOSFETs need an
+/// operating point; use the full `spice::ac` engine for those).
+pub fn assemble_linear_small_signal(
+    ckt: &spice::Circuit,
+    omega: f64,
+    gmin: f64,
+) -> spice::stamp::ComplexStamper {
+    use linalg::C64;
+    use spice::stamp::ComplexStamper;
+    use spice::Device;
+    let mut st = ComplexStamper::new(ckt);
+    st.load_gmin(gmin);
+    for dev in ckt.devices() {
+        match dev {
+            Device::Resistor { a, b, g, .. } => st.admittance(*a, *b, C64::real(*g)),
+            Device::Capacitor { a, b, c, .. } => st.admittance(*a, *b, C64::new(0.0, omega * c)),
+            Device::VSource {
+                p,
+                n,
+                ac_mag,
+                branch,
+                ..
+            } => st.vsource(*branch, *p, *n, C64::real(*ac_mag)),
+            Device::ISource { p, n, ac_mag, .. } => {
+                st.current_source(*p, *n, C64::real(*ac_mag));
+            }
+            _ => panic!("assemble_linear_small_signal supports linear devices only"),
+        }
+    }
+    st
+}
+
 /// The generic 180nm-class NMOS used by the micro-benchmarks' hand-built
 /// ladder circuits (one definition so the benches cannot drift apart).
 pub fn bench_nmos() -> spice::MosModel {
@@ -226,9 +266,12 @@ pub fn secs(d: Duration) -> String {
 /// Used by `repro baseline` so the checked-in baseline can be refreshed on
 /// the current host without running the full bench suite.
 pub mod baseline {
-    use crate::{build_mos_ladder, build_rc_ladder};
+    use crate::{assemble_linear_small_signal, build_mos_ladder, build_rc_ladder};
     use criterion::{black_box, Criterion};
-    use linalg::{CscMatrix, Lu, LuWorkspace, SparseLu};
+    use linalg::{
+        ComplexLu, ComplexLuWorkspace, CscComplexMatrix, CscMatrix, Lu, LuWorkspace,
+        SparseComplexLu, SparseLu, C64,
+    };
     use opt::{parallel, Evaluator, Fom, SizingProblem};
     use spice::stamp::{stamp_resistive_system, RealStamper, SourceEval};
 
@@ -275,6 +318,56 @@ pub mod baseline {
                 b.iter(|| {
                     slu.refactor_into(black_box(&csc)).unwrap();
                     slu.solve_into(&st.z, &mut x).unwrap();
+                    black_box(x[0])
+                })
+            });
+        }
+
+        // The AC-sweep kernels (identical bodies to
+        // `benches/spice_kernels.rs::bench_ac_sweep_kernel`): factor +
+        // solve at all 26 points of the n = 62 RC-ladder sweep, dense
+        // per-point vs sparse pattern-shared.
+        {
+            let ckt = build_rc_ladder(60);
+            let n = ckt.num_unknowns();
+            let freqs = spice::log_freqs(1e3, 1e8, 5);
+            let gmin = spice::SimOptions::default().gmin;
+            let systems: Vec<(Vec<Vec<C64>>, Vec<C64>)> = freqs
+                .iter()
+                .map(|&f| {
+                    let st =
+                        assemble_linear_small_signal(&ckt, 2.0 * std::f64::consts::PI * f, gmin);
+                    (st.a, st.z)
+                })
+                .collect();
+            let cscs: Vec<CscComplexMatrix> = systems
+                .iter()
+                .map(|(a, _)| CscComplexMatrix::from_dense_rows(a))
+                .collect();
+            c.bench_function("ac_sweep_kernel_dense_n62", |b| {
+                let mut ws = ComplexLuWorkspace::new(n);
+                let mut x = Vec::new();
+                b.iter(|| {
+                    for (a, z) in &systems {
+                        ComplexLu::factor_into(black_box(a), &mut ws).unwrap();
+                        ws.solve_into(z, &mut x).unwrap();
+                    }
+                    black_box(x[0])
+                })
+            });
+            c.bench_function("ac_sweep_kernel_sparse_n62", |b| {
+                let mut slu = SparseComplexLu::new();
+                slu.factor(&cscs[0]).unwrap();
+                let mut x = Vec::new();
+                b.iter(|| {
+                    for (i, (csc, (_, z))) in cscs.iter().zip(&systems).enumerate() {
+                        if i == 0 {
+                            slu.factor(black_box(csc)).unwrap();
+                        } else {
+                            slu.refactor_into(black_box(csc)).unwrap();
+                        }
+                        slu.solve_into(z, &mut x).unwrap();
+                    }
                     black_box(x[0])
                 })
             });

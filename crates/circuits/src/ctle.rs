@@ -310,7 +310,7 @@ impl SizingProblem for Ctle {
             .fold(f64::INFINITY, f64::min);
 
         let freqs = spice::log_freqs(1e7, 2e10, 8);
-        let Ok(ac) = spice::ac(&ckt, &self.opts, &dc, &freqs) else {
+        let Ok(ac) = spice::ac_with_workspace(&ckt, &self.opts, &dc, &freqs, &mut ws) else {
             return SpecResult::failed(m);
         };
         let mag = ac.diff_magnitude(op_n, on_n);

@@ -316,7 +316,10 @@ impl SizingProblem for Ldo {
         let mut ckt_ps = ckt_nom.clone();
         let _ = ckt_ps.set_ac_mag("VDD", 1.0);
         let freqs = spice::log_freqs(1e2, 1e9, 4);
-        let Ok(ac_ps) = spice::ac(&ckt_ps, &self.opts, &op_nom, &freqs) else {
+        // Re-sized AC magnitudes leave the topology fingerprint unchanged,
+        // so the sweep reuses `ws`'s recorded complex pattern.
+        let Ok(ac_ps) = spice::ac_with_workspace(&ckt_ps, &self.opts, &op_nom, &freqs, &mut ws)
+        else {
             return SpecResult::failed(m);
         };
         let psrr_10k = -measure::db(measure::sample_response(
@@ -338,7 +341,8 @@ impl SizingProblem for Ldo {
         };
         let _ = vout_ol;
         let lfreqs = spice::log_freqs(1e2, 1e9, 6);
-        let Ok(ac_l) = spice::ac(&ckt_ol, &self.opts, &op_ol, &lfreqs) else {
+        let Ok(ac_l) = spice::ac_with_workspace(&ckt_ol, &self.opts, &op_ol, &lfreqs, &mut ws_ol)
+        else {
             return SpecResult::failed(m);
         };
         // Loop transmission L = v(tap); negate for the standard phase
@@ -353,14 +357,16 @@ impl SizingProblem for Ldo {
         let gm_db = measure::gain_margin_db(&lfreqs, &lmag, &lphase);
         let gbw = measure::unity_gain_frequency(&lfreqs, &lmag);
 
-        // Output noise at vout, closed loop.
-        let noise_rms = spice::noise(
+        // Output noise at vout, closed loop (same topology as the PSRR
+        // sweep, so the adjoint reuses the recorded pattern in `ws`).
+        let noise_rms = spice::noise_with_workspace(
             &ckt_nom,
             &self.opts,
             &op_nom,
             vout,
             GND,
             &spice::log_freqs(1e1, 1e7, 3),
+            &mut ws,
         )
         .map(|n| n.total_rms())
         .unwrap_or(f64::INFINITY);

@@ -591,7 +591,7 @@ impl SizingProblem for FoldedCascodeOta {
         ol.clear_ac_mags();
         let _ = ol.set_ac_mag("VIP", 0.5);
         let _ = ol.set_ac_mag("VIN", -0.5);
-        let Ok(ac_dm) = spice::ac(&ol, &self.opts, &op, &freqs) else {
+        let Ok(ac_dm) = spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol) else {
             return SpecResult::failed(m);
         };
         let mag_dm = ac_dm.diff_magnitude(out_p, out_n);
@@ -604,7 +604,7 @@ impl SizingProblem for FoldedCascodeOta {
         ol.clear_ac_mags();
         let _ = ol.set_ac_mag("VIP", 1.0);
         let _ = ol.set_ac_mag("VIN", 1.0);
-        let Ok(ac_cm) = spice::ac(&ol, &self.opts, &op, &freqs) else {
+        let Ok(ac_cm) = spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol) else {
             return SpecResult::failed(m);
         };
         let a_cm = (ac_cm.voltage(0, out_p) + ac_cm.voltage(0, out_n)).abs() / 2.0;
@@ -613,7 +613,7 @@ impl SizingProblem for FoldedCascodeOta {
         // Supply gain (VDD ripple → CM out).
         ol.clear_ac_mags();
         let _ = ol.set_ac_mag("VDD", 1.0);
-        let Ok(ac_ps) = spice::ac(&ol, &self.opts, &op, &freqs) else {
+        let Ok(ac_ps) = spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol) else {
             return SpecResult::failed(m);
         };
         let a_ps = (ac_ps.voltage(0, out_p) + ac_ps.voltage(0, out_n)).abs() / 2.0;
@@ -636,9 +636,15 @@ impl SizingProblem for FoldedCascodeOta {
                 let mut ws_cl = spice::lease_workspace(&cl);
                 if let Ok(op_cl) = spice::op_with_workspace(&cl, &self.opts, None, &mut ws_cl) {
                     let noise_freqs = spice::log_freqs(1e3, 1e8, 4);
-                    if let Ok(nres) =
-                        spice::noise(&cl, &self.opts, &op_cl, cout_p, cout_n, &noise_freqs)
-                    {
+                    if let Ok(nres) = spice::noise_with_workspace(
+                        &cl,
+                        &self.opts,
+                        &op_cl,
+                        cout_p,
+                        cout_n,
+                        &noise_freqs,
+                        &mut ws_cl,
+                    ) {
                         vnoise = nres.total_rms();
                     }
                 }
@@ -745,34 +751,39 @@ impl FoldedCascodeOta {
     pub fn report(&self, x: &[f64]) -> Result<OtaReport, SpiceError> {
         let p = OtaParams::decode(x);
         let (mut ol, out_p, out_n) = self.build_open_loop(&p)?;
-        let op = spice::op(&ol, &self.opts)?;
+        // Same pooled-workspace rhythm as `evaluate`: all three AC sweeps
+        // share one leased frequency-domain workspace per topology.
+        let mut ws_ol = spice::lease_workspace(&ol);
+        let op = spice::op_with_workspace(&ol, &self.opts, None, &mut ws_ol)?;
         let i_vdd = -op.source_current(&ol, "VDD")?;
         let power = (i_vdd + 2.0 * self.iref) * self.tech.vdd;
         let freqs = spice::log_freqs(1e3, 1e9, 8);
         ol.clear_ac_mags();
         ol.set_ac_mag("VIP", 0.5)?;
         ol.set_ac_mag("VIN", -0.5)?;
-        let ac_dm = spice::ac(&ol, &self.opts, &op, &freqs)?;
+        let ac_dm = spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol)?;
         let mag = ac_dm.diff_magnitude(out_p, out_n);
         let ph = ac_dm.diff_phase_unwrapped(out_p, out_n);
         ol.clear_ac_mags();
         ol.set_ac_mag("VIP", 1.0)?;
         ol.set_ac_mag("VIN", 1.0)?;
-        let ac_cm = spice::ac(&ol, &self.opts, &op, &freqs)?;
+        let ac_cm = spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol)?;
         ol.clear_ac_mags();
         ol.set_ac_mag("VDD", 1.0)?;
-        let ac_ps = spice::ac(&ol, &self.opts, &op, &freqs)?;
+        let ac_ps = spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol)?;
         ol.clear_ac_mags();
         // Closed-loop output noise (the spec's configuration).
         let (cl, cout_p, cout_n) = self.build_closed_loop(&p, 0.5)?;
-        let op_cl = spice::op(&cl, &self.opts)?;
-        let nres = spice::noise(
+        let mut ws_cl = spice::lease_workspace(&cl);
+        let op_cl = spice::op_with_workspace(&cl, &self.opts, None, &mut ws_cl)?;
+        let nres = spice::noise_with_workspace(
             &cl,
             &self.opts,
             &op_cl,
             cout_p,
             cout_n,
             &spice::log_freqs(1e3, 1e8, 4),
+            &mut ws_cl,
         )?;
         let dc_gain_db = measure::db(mag[0]);
         let a_cm = (ac_cm.voltage(0, out_p) + ac_cm.voltage(0, out_n)).abs() / 2.0;

@@ -15,8 +15,13 @@
 //! - [`Cholesky`]: factorization of symmetric positive-definite matrices,
 //!   used by Gaussian-process regression (with log-determinants for the
 //!   marginal likelihood).
-//! - [`C64`] and [`ComplexLu`]: minimal complex arithmetic and a complex LU
-//!   solver for AC small-signal analysis.
+//! - [`C64`] and [`ComplexLu`] (with [`ComplexLuWorkspace`]): minimal
+//!   complex arithmetic and a dense complex LU solver for AC small-signal
+//!   analysis.
+//! - [`CscComplexMatrix`] and [`SparseComplexLu`]: the complex mirror of
+//!   the sparse pipeline for the frequency-domain MNA systems `G + jωC`,
+//!   with a transpose solve for the noise analysis' adjoint system. The
+//!   simulator auto-selects this path for large, sparse AC systems.
 //!
 //! # Example
 //!
@@ -35,13 +40,15 @@ mod complex;
 mod lu;
 mod matrix;
 mod sparse;
+mod sparse_complex;
 pub mod vecops;
 
 pub use cholesky::{Cholesky, CholeskyWorkspace};
-pub use complex::{ComplexLu, C64};
+pub use complex::{ComplexLu, ComplexLuWorkspace, C64};
 pub use lu::{Lu, LuWorkspace};
 pub use matrix::Matrix;
 pub use sparse::{CscMatrix, SparseLu};
+pub use sparse_complex::{CscComplexMatrix, SparseComplexLu};
 
 /// Error produced by factorizations when the input matrix is unusable.
 #[derive(Debug, Clone, PartialEq)]

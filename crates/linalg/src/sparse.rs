@@ -45,6 +45,46 @@ pub struct CscMatrix {
     values: Vec<f64>,
 }
 
+/// Builds the CSC pattern arrays holding every coordinate in `coords`
+/// (duplicates allowed — they share a slot). Returns `(col_ptr, row_idx,
+/// slots)` where `slots[k]` is the value-array index backing `coords[k]`.
+/// Shared by the real [`CscMatrix`] and the complex
+/// [`crate::CscComplexMatrix`], whose patterns are built the same way.
+///
+/// # Panics
+///
+/// Panics if any coordinate is out of range.
+pub(crate) fn pattern_from_coordinates(
+    n: usize,
+    coords: &[(usize, usize)],
+) -> (Vec<usize>, Vec<usize>, Vec<u32>) {
+    for &(r, c) in coords {
+        assert!(r < n && c < n, "coordinate ({r}, {c}) outside {n}x{n}");
+    }
+    // Unique (col, row) pairs in column-major order.
+    let mut entries: Vec<(usize, usize)> = coords.iter().map(|&(r, c)| (c, r)).collect();
+    entries.sort_unstable();
+    entries.dedup();
+    let mut col_ptr = vec![0usize; n + 1];
+    for &(c, _) in &entries {
+        col_ptr[c + 1] += 1;
+    }
+    for c in 0..n {
+        col_ptr[c + 1] += col_ptr[c];
+    }
+    let row_idx: Vec<usize> = entries.iter().map(|&(_, r)| r).collect();
+    let slots = coords
+        .iter()
+        .map(|&(r, c)| {
+            let found = entries
+                .binary_search(&(c, r))
+                .expect("coordinate present by construction");
+            u32::try_from(found).expect("slot index fits in u32")
+        })
+        .collect();
+    (col_ptr, row_idx, slots)
+}
+
 impl CscMatrix {
     /// Builds the pattern holding every coordinate in `coords` (duplicates
     /// allowed — they share a slot) with all values zero. Returns the
@@ -56,36 +96,14 @@ impl CscMatrix {
     ///
     /// Panics if any coordinate is out of range.
     pub fn from_coordinates(n: usize, coords: &[(usize, usize)]) -> (Self, Vec<u32>) {
-        for &(r, c) in coords {
-            assert!(r < n && c < n, "coordinate ({r}, {c}) outside {n}x{n}");
-        }
-        // Unique (col, row) pairs in column-major order.
-        let mut entries: Vec<(usize, usize)> = coords.iter().map(|&(r, c)| (c, r)).collect();
-        entries.sort_unstable();
-        entries.dedup();
-        let mut col_ptr = vec![0usize; n + 1];
-        for &(c, _) in &entries {
-            col_ptr[c + 1] += 1;
-        }
-        for c in 0..n {
-            col_ptr[c + 1] += col_ptr[c];
-        }
-        let row_idx: Vec<usize> = entries.iter().map(|&(_, r)| r).collect();
+        let (col_ptr, row_idx, slots) = pattern_from_coordinates(n, coords);
+        let nnz = row_idx.len();
         let mat = CscMatrix {
             n,
             col_ptr,
             row_idx,
-            values: vec![0.0; entries.len()],
+            values: vec![0.0; nnz],
         };
-        let slots = coords
-            .iter()
-            .map(|&(r, c)| {
-                let found = entries
-                    .binary_search(&(c, r))
-                    .expect("coordinate present by construction");
-                u32::try_from(found).expect("slot index fits in u32")
-            })
-            .collect();
         (mat, slots)
     }
 
@@ -167,16 +185,21 @@ impl CscMatrix {
     }
 }
 
-/// Deterministic minimum-degree ordering on the symmetrized pattern of `a`
-/// (ties broken toward the smallest index). This is the AMD-style
-/// fill-reducing preordering applied to columns before factorization; MNA
-/// patterns are near-symmetric, so ordering `A + Aᵀ` works well.
-fn min_degree_order(a: &CscMatrix) -> Vec<usize> {
-    let n = a.n;
+/// Deterministic minimum-degree ordering on the symmetrized pattern
+/// `(col_ptr, row_idx)` (ties broken toward the smallest index). This is
+/// the AMD-style fill-reducing preordering applied to columns before
+/// factorization; MNA patterns are near-symmetric, so ordering `A + Aᵀ`
+/// works well. Shared by the real and complex sparse LU (the ordering
+/// depends only on the pattern, never on values).
+pub(crate) fn min_degree_order_pattern(
+    n: usize,
+    col_ptr: &[usize],
+    row_idx: &[usize],
+) -> Vec<usize> {
     // Symmetric adjacency, excluding the diagonal.
     let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
     for c in 0..n {
-        for (r, _) in a.col(c) {
+        for &r in &row_idx[col_ptr[c]..col_ptr[c + 1]] {
             if r != c {
                 adj[r].insert(c);
                 adj[c].insert(r);
@@ -205,6 +228,11 @@ fn min_degree_order(a: &CscMatrix) -> Vec<usize> {
         }
     }
     order
+}
+
+/// [`min_degree_order_pattern`] applied to a real CSC matrix.
+fn min_degree_order(a: &CscMatrix) -> Vec<usize> {
+    min_degree_order_pattern(a.n, &a.col_ptr, &a.row_idx)
 }
 
 /// Sparse LU factorization with a recorded elimination pattern.

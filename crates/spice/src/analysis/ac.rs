@@ -5,14 +5,23 @@
 //! small-signal conductances (gm/gds/gmb of each MOSFET plus resistors and
 //! controlled sources), `C` the constant capacitances, and `b` the AC
 //! magnitudes of the independent sources.
+//!
+//! The sweep runs on the pooled frequency-domain workspace: the sparsity
+//! pattern of `G + jωC` is fixed by the topology (ω only scales values), so
+//! the pattern and stamp→slot map are recorded once, the first point runs a
+//! pivoting sparse factorization, and every further point pays slot-map
+//! assembly plus a scan-free refactorization. Small or dense systems fall
+//! back to the dense complex LU, which factors into a reusable workspace —
+//! no per-point matrix clone on either path.
 
-use linalg::{ComplexLu, C64};
+use linalg::C64;
 
 use crate::analysis::dc::OpPoint;
 use crate::error::SpiceError;
 use crate::netlist::{Circuit, Device, NodeId};
 use crate::options::SimOptions;
-use crate::stamp::ComplexStamper;
+use crate::stamp::{AssembleComplex, ComplexStamp};
+use crate::workspace::{lease_workspace, NewtonWorkspace};
 
 /// Result of an AC sweep: complex node voltages per frequency.
 #[derive(Debug, Clone)]
@@ -96,18 +105,45 @@ pub fn log_freqs(f_start: f64, f_stop: f64, points_per_decade: usize) -> Vec<f64
         .collect()
 }
 
+/// One small-signal assembly pass, generic over the complex stamp sink
+/// (dense rows, write recorder, or CSC slot map — each monomorphized).
+/// Captures the linearization point and ω; `zero_sources` quiesces the
+/// independent-source excitation (used by the noise adjoint solver, whose
+/// right-hand side is the output selector instead).
+pub(crate) struct SmallSignalAssembler<'a> {
+    pub(crate) circuit: &'a Circuit,
+    pub(crate) op: &'a OpPoint,
+    pub(crate) opts: &'a SimOptions,
+    pub(crate) omega: f64,
+    pub(crate) zero_sources: bool,
+}
+
+impl AssembleComplex for SmallSignalAssembler<'_> {
+    fn assemble<S: ComplexStamp>(&mut self, st: &mut S) {
+        assemble_small_signal(
+            self.circuit,
+            self.op,
+            self.opts,
+            self.omega,
+            self.zero_sources,
+            st,
+        );
+    }
+}
+
 /// Assembles the small-signal system at angular frequency `omega` with
 /// source excitation taken from the devices' `ac_mag` fields (or zeroed when
-/// `zero_sources` — used by the noise adjoint solver).
-pub(crate) fn assemble_small_signal(
+/// `zero_sources` — used by the noise adjoint solver). The sink must be
+/// zeroed by the caller; the write sequence is identical for every ω, which
+/// is what makes the recorded slot map valid across a sweep.
+pub(crate) fn assemble_small_signal<S: ComplexStamp>(
     circuit: &Circuit,
     op: &OpPoint,
     opts: &SimOptions,
     omega: f64,
     zero_sources: bool,
-    st: &mut ComplexStamper,
+    st: &mut S,
 ) {
-    st.clear();
     st.load_gmin(opts.gmin);
     for dev in circuit.devices() {
         match dev {
@@ -166,7 +202,8 @@ pub(crate) fn assemble_small_signal(
     }
 }
 
-/// Runs an AC sweep over the given frequency grid, linearized at `op`.
+/// Runs an AC sweep over the given frequency grid, linearized at `op`,
+/// using a workspace leased from the process-wide topology-keyed pool.
 ///
 /// Sources excite the circuit through their `ac_mag` values (set via
 /// [`Circuit::add_vsource_ac`] / [`Circuit::add_isource_ac`]).
@@ -182,20 +219,56 @@ pub fn ac(
     op: &OpPoint,
     freqs: &[f64],
 ) -> Result<AcSweep, SpiceError> {
+    let mut ws = lease_workspace(circuit);
+    ac_with_workspace(circuit, opts, op, freqs, &mut ws)
+}
+
+/// [`ac`] with an explicit workspace: the sweep reuses the workspace's
+/// recorded complex pattern, slot map, and factor storage, so repeated
+/// sweeps on one topology (a sizing loop's candidates, or the several AC
+/// excitations of one testbench) pay the symbolic analysis once.
+///
+/// Results are bit-identical whether the workspace is fresh or pooled: the
+/// sparse pivot sequence is re-derived from this sweep's own first
+/// frequency point, never inherited.
+///
+/// # Errors
+///
+/// Same failure modes as [`ac`].
+pub fn ac_with_workspace(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    op: &OpPoint,
+    freqs: &[f64],
+    ws: &mut NewtonWorkspace,
+) -> Result<AcSweep, SpiceError> {
     if freqs.is_empty() {
         return Err(SpiceError::BadAnalysis {
             reason: "empty frequency grid".to_string(),
         });
     }
+    ws.ensure(circuit);
+    ws.begin_session();
+    let session = ws.session();
     let n_nodes = circuit.num_nodes();
-    let mut st = ComplexStamper::new(circuit);
+    let ac_ws = ws.ac_mut(circuit);
     let mut v = Vec::with_capacity(freqs.len());
+    let mut x = Vec::new();
     for &f in freqs {
         let omega = 2.0 * std::f64::consts::PI * f;
-        assemble_small_signal(circuit, op, opts, omega, false, &mut st);
-        let lu = ComplexLu::factor(st.a.clone())
-            .map_err(|_| SpiceError::SingularMatrix { analysis: "ac" })?;
-        let x = lu.solve(&st.z);
+        let mut assembler = SmallSignalAssembler {
+            circuit,
+            op,
+            opts,
+            omega,
+            zero_sources: false,
+        };
+        let kernel = ac_ws
+            .factor_point(circuit, session, &mut assembler)
+            .map_err(|()| SpiceError::SingularMatrix { analysis: "ac" })?;
+        if !ac_ws.solve(kernel, &mut x) {
+            return Err(SpiceError::SingularMatrix { analysis: "ac" });
+        }
         let mut vf = vec![C64::ZERO; n_nodes];
         for (node, vn) in vf.iter_mut().enumerate().skip(1) {
             *vn = x[node - 1];

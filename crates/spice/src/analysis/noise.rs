@@ -7,16 +7,24 @@
 //! `|H|²·S_i` over all noise sources (resistor thermal, MOSFET channel
 //! thermal + flicker), and the integrated RMS noise is a trapezoidal
 //! integral of the PSD over the analysis band.
+//!
+//! The adjoint shares the AC sweep's machinery end to end: the matrix `A`
+//! is the same `G + jωC` the AC analysis assembles (source excitation only
+//! touches the right-hand side), so noise reuses the workspace's recorded
+//! pattern and slot map, factors the *forward* system once per point
+//! (pivoting at the first frequency, scan-free refactorization after), and
+//! solves the transpose on those same factors — no transposed matrix is
+//! ever built, on either the sparse or the dense path.
 
-use linalg::{ComplexLu, C64};
+use linalg::C64;
 
-use crate::analysis::ac::assemble_small_signal;
+use crate::analysis::ac::SmallSignalAssembler;
 use crate::analysis::dc::OpPoint;
 use crate::error::SpiceError;
 use crate::mos::{mos_noise_psd, BOLTZMANN};
 use crate::netlist::{Circuit, Device, NodeId};
 use crate::options::SimOptions;
-use crate::stamp::ComplexStamper;
+use crate::workspace::{lease_workspace, NewtonWorkspace};
 
 /// Result of a noise analysis.
 #[derive(Debug, Clone)]
@@ -62,35 +70,65 @@ pub fn noise(
     out_n: NodeId,
     freqs: &[f64],
 ) -> Result<NoiseResult, SpiceError> {
+    let mut ws = lease_workspace(circuit);
+    noise_with_workspace(circuit, opts, op, out_p, out_n, freqs, &mut ws)
+}
+
+/// [`noise`] with an explicit workspace: the adjoint sweep reuses the same
+/// recorded complex pattern, slot map, and factor storage as
+/// [`crate::analysis::ac::ac_with_workspace`] (the two analyses assemble
+/// the same matrix), so a testbench running both on one topology pays the
+/// symbolic analysis once.
+///
+/// # Errors
+///
+/// Same failure modes as [`noise`].
+pub fn noise_with_workspace(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    op: &OpPoint,
+    out_p: NodeId,
+    out_n: NodeId,
+    freqs: &[f64],
+    ws: &mut NewtonWorkspace,
+) -> Result<NoiseResult, SpiceError> {
     if freqs.is_empty() {
         return Err(SpiceError::BadAnalysis {
             reason: "empty frequency grid".to_string(),
         });
     }
     let n = circuit.num_unknowns();
-    let mut st = ComplexStamper::new(circuit);
+    ws.ensure(circuit);
+    ws.begin_session();
+    let session = ws.session();
+    let ac_ws = ws.ac_mut(circuit);
     let mut psd = Vec::with_capacity(freqs.len());
+    let mut e_out = vec![C64::ZERO; n];
+    if out_p != 0 {
+        e_out[out_p - 1] = C64::ONE;
+    }
+    if out_n != 0 {
+        e_out[out_n - 1] -= C64::ONE;
+    }
+    let mut y = Vec::new();
 
     for &f in freqs {
         let omega = 2.0 * std::f64::consts::PI * f;
-        assemble_small_signal(circuit, op, opts, omega, true, &mut st);
-        // Adjoint: solve Aᵀ y = e_out.
-        let mut at = vec![vec![C64::ZERO; n]; n];
-        for (i, row) in st.a.iter().enumerate() {
-            for (j, &v) in row.iter().enumerate() {
-                at[j][i] = v;
-            }
+        let mut assembler = SmallSignalAssembler {
+            circuit,
+            op,
+            opts,
+            omega,
+            zero_sources: true,
+        };
+        // Factor the forward system, then solve the adjoint Aᵀ y = e_out
+        // on the same factors.
+        let kernel = ac_ws
+            .factor_point(circuit, session, &mut assembler)
+            .map_err(|()| SpiceError::SingularMatrix { analysis: "noise" })?;
+        if !ac_ws.solve_transpose(kernel, &e_out, &mut y) {
+            return Err(SpiceError::SingularMatrix { analysis: "noise" });
         }
-        let lu =
-            ComplexLu::factor(at).map_err(|_| SpiceError::SingularMatrix { analysis: "noise" })?;
-        let mut e_out = vec![C64::ZERO; n];
-        if out_p != 0 {
-            e_out[out_p - 1] = C64::ONE;
-        }
-        if out_n != 0 {
-            e_out[out_n - 1] -= C64::ONE;
-        }
-        let y = lu.solve(&e_out);
         let transfer_sq = |a: NodeId, b: NodeId| -> f64 {
             let ya = if a == 0 { C64::ZERO } else { y[a - 1] };
             let yb = if b == 0 { C64::ZERO } else { y[b - 1] };

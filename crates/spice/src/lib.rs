@@ -7,7 +7,8 @@
 //!
 //! - [`op`] / [`dc_sweep`] — nonlinear DC solution by damped Newton-Raphson
 //!   with gmin stepping and source stepping fallbacks;
-//! - [`ac`] — complex small-signal frequency sweeps;
+//! - [`ac`] — complex small-signal frequency sweeps on the pattern-shared
+//!   sparse complex solver (dense fallback for small systems);
 //! - [`transient`] — trapezoidal time-domain integration with breakpoint
 //!   handling and adaptive step halving;
 //! - [`noise`] — adjoint-based output-noise analysis (thermal + flicker).
@@ -44,9 +45,9 @@ pub mod stamp;
 mod waveform;
 mod workspace;
 
-pub use analysis::ac::{ac, log_freqs, AcSweep};
+pub use analysis::ac::{ac, ac_with_workspace, log_freqs, AcSweep};
 pub use analysis::dc::{dc_sweep, op, op_with_guess, op_with_workspace, MosOp, OpPoint};
-pub use analysis::noise::{noise, NoiseResult};
+pub use analysis::noise::{noise, noise_with_workspace, NoiseResult};
 pub use analysis::tran::{transient, transient_with_workspace, TranResult};
 pub use error::SpiceError;
 pub use mos::{MosModel, MosPolarity, MosRegion};

@@ -496,6 +496,147 @@ pub fn stamp_resistive_system<S: Stamp>(
     stamp_resistive_impl(circuit, x, sources, st, |_| {});
 }
 
+/// A complex MNA stamp sink: the frequency-domain mirror of [`Stamp`].
+///
+/// The write *sequence* of a small-signal assembly pass is fixed by the
+/// circuit topology — ω enters the stamped *values* (`jωC` admittances)
+/// but never the touched positions or their order — which is what lets one
+/// recorded pass serve every frequency point of a sweep. Three
+/// monomorphized implementations exist:
+///
+/// - [`ComplexStamper`]: classic dense `a[i][j] += y` assembly (the
+///   universal fallback);
+/// - [`ComplexRecordStamper`]: logs each `(row, col)` once to learn the
+///   sequence, which becomes a CSC pattern plus a stamp→slot map;
+/// - [`ComplexSlotStamper`]: replays through the slot map —
+///   `values[slots[cursor]] += y` — assembling straight into the complex
+///   CSC value array with no index search at all.
+pub trait ComplexStamp {
+    /// Number of nodes including ground.
+    fn num_nodes(&self) -> usize;
+
+    /// One matrix write.
+    fn add_a(&mut self, i: usize, j: usize, v: C64);
+
+    /// One right-hand-side write.
+    fn add_z(&mut self, i: usize, v: C64);
+
+    /// Matrix row/column of a node, or `None` for ground.
+    #[inline]
+    fn node_idx(&self, n: NodeId) -> Option<usize> {
+        if n == 0 {
+            None
+        } else {
+            Some(n - 1)
+        }
+    }
+
+    /// Matrix row/column of a branch current.
+    #[inline]
+    fn branch_idx(&self, branch: usize) -> usize {
+        self.num_nodes() - 1 + branch
+    }
+
+    /// Stamps a complex admittance between two nodes.
+    fn admittance(&mut self, a: NodeId, b: NodeId, y: C64) {
+        let (ia, ib) = (self.node_idx(a), self.node_idx(b));
+        if let Some(i) = ia {
+            self.add_a(i, i, y);
+        }
+        if let Some(j) = ib {
+            self.add_a(j, j, y);
+        }
+        if let (Some(i), Some(j)) = (ia, ib) {
+            self.add_a(i, j, -y);
+            self.add_a(j, i, -y);
+        }
+    }
+
+    /// Stamps a real VCCS.
+    fn vccs(&mut self, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64) {
+        let g = C64::real(gm);
+        let (ip, inn) = (self.node_idx(p), self.node_idx(n));
+        let (icp, icn) = (self.node_idx(cp), self.node_idx(cn));
+        if let Some(i) = ip {
+            if let Some(j) = icp {
+                self.add_a(i, j, g);
+            }
+            if let Some(j) = icn {
+                self.add_a(i, j, -g);
+            }
+        }
+        if let Some(i) = inn {
+            if let Some(j) = icp {
+                self.add_a(i, j, -g);
+            }
+            if let Some(j) = icn {
+                self.add_a(i, j, g);
+            }
+        }
+    }
+
+    /// Stamps a voltage source with complex value `v`.
+    fn vsource(&mut self, branch: usize, p: NodeId, n: NodeId, v: C64) {
+        let br = self.branch_idx(branch);
+        if let Some(i) = self.node_idx(p) {
+            self.add_a(i, br, C64::ONE);
+            self.add_a(br, i, C64::ONE);
+        }
+        if let Some(i) = self.node_idx(n) {
+            self.add_a(i, br, -C64::ONE);
+            self.add_a(br, i, -C64::ONE);
+        }
+        self.add_z(br, v);
+    }
+
+    /// Stamps a VCVS.
+    fn vcvs(&mut self, branch: usize, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gain: f64) {
+        let br = self.branch_idx(branch);
+        if let Some(i) = self.node_idx(p) {
+            self.add_a(i, br, C64::ONE);
+            self.add_a(br, i, C64::ONE);
+        }
+        if let Some(i) = self.node_idx(n) {
+            self.add_a(i, br, -C64::ONE);
+            self.add_a(br, i, -C64::ONE);
+        }
+        if let Some(j) = self.node_idx(cp) {
+            self.add_a(br, j, -C64::real(gain));
+        }
+        if let Some(j) = self.node_idx(cn) {
+            self.add_a(br, j, C64::real(gain));
+        }
+    }
+
+    /// Stamps an AC current source `i` flowing `p → n`.
+    fn current_source(&mut self, p: NodeId, n: NodeId, i: C64) {
+        if let Some(ip) = self.node_idx(p) {
+            self.add_z(ip, -i);
+        }
+        if let Some(inn) = self.node_idx(n) {
+            self.add_z(inn, i);
+        }
+    }
+
+    /// Adds `gmin` diagonal loading on node rows.
+    fn load_gmin(&mut self, gmin: f64) {
+        for i in 0..(self.num_nodes() - 1) {
+            self.add_a(i, i, C64::real(gmin));
+        }
+    }
+}
+
+/// One small-signal assembly routine, generic over the complex stamp sink
+/// so each destination (dense rows, write recorder, CSC slot map) gets its
+/// own monomorphized, dispatch-free copy — the complex mirror of
+/// [`Assemble`]. Implementors capture the circuit, operating point, and ω;
+/// the AC/noise engines call [`AssembleComplex::assemble`] once per
+/// frequency point.
+pub(crate) trait AssembleComplex {
+    /// Stamps the full small-signal system.
+    fn assemble<S: ComplexStamp>(&mut self, st: &mut S);
+}
+
 /// Dense complex MNA system for AC/noise analyses.
 #[derive(Debug, Clone)]
 pub struct ComplexStamper {
@@ -504,6 +645,23 @@ pub struct ComplexStamper {
     pub a: Vec<Vec<C64>>,
     /// Right-hand side.
     pub z: Vec<C64>,
+}
+
+impl ComplexStamp for ComplexStamper {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    #[inline]
+    fn add_a(&mut self, i: usize, j: usize, v: C64) {
+        self.a[i][j] += v;
+    }
+
+    #[inline]
+    fn add_z(&mut self, i: usize, v: C64) {
+        self.z[i] += v;
+    }
 }
 
 impl ComplexStamper {
@@ -528,105 +686,148 @@ impl ComplexStamper {
     /// Matrix row/column of a node, or `None` for ground.
     #[inline]
     pub fn node_idx(&self, n: NodeId) -> Option<usize> {
-        if n == 0 {
-            None
-        } else {
-            Some(n - 1)
-        }
+        ComplexStamp::node_idx(self, n)
     }
 
     /// Matrix row/column of a branch current.
     #[inline]
     pub fn branch_idx(&self, branch: usize) -> usize {
-        self.n_nodes - 1 + branch
+        ComplexStamp::branch_idx(self, branch)
     }
 
     /// Stamps a complex admittance between two nodes.
     pub fn admittance(&mut self, a: NodeId, b: NodeId, y: C64) {
-        let (ia, ib) = (self.node_idx(a), self.node_idx(b));
-        if let Some(i) = ia {
-            self.a[i][i] += y;
-        }
-        if let Some(j) = ib {
-            self.a[j][j] += y;
-        }
-        if let (Some(i), Some(j)) = (ia, ib) {
-            self.a[i][j] -= y;
-            self.a[j][i] -= y;
-        }
+        ComplexStamp::admittance(self, a, b, y);
     }
 
     /// Stamps a real VCCS.
     pub fn vccs(&mut self, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64) {
-        let g = C64::real(gm);
-        let (ip, inn) = (self.node_idx(p), self.node_idx(n));
-        let (icp, icn) = (self.node_idx(cp), self.node_idx(cn));
-        if let Some(i) = ip {
-            if let Some(j) = icp {
-                self.a[i][j] += g;
-            }
-            if let Some(j) = icn {
-                self.a[i][j] -= g;
-            }
-        }
-        if let Some(i) = inn {
-            if let Some(j) = icp {
-                self.a[i][j] -= g;
-            }
-            if let Some(j) = icn {
-                self.a[i][j] += g;
-            }
-        }
+        ComplexStamp::vccs(self, p, n, cp, cn, gm);
     }
 
     /// Stamps a voltage source with complex value `v`.
     pub fn vsource(&mut self, branch: usize, p: NodeId, n: NodeId, v: C64) {
-        let br = self.branch_idx(branch);
-        if let Some(i) = self.node_idx(p) {
-            self.a[i][br] += C64::ONE;
-            self.a[br][i] += C64::ONE;
-        }
-        if let Some(i) = self.node_idx(n) {
-            self.a[i][br] -= C64::ONE;
-            self.a[br][i] -= C64::ONE;
-        }
-        self.z[br] += v;
+        ComplexStamp::vsource(self, branch, p, n, v);
     }
 
     /// Stamps a VCVS.
     pub fn vcvs(&mut self, branch: usize, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gain: f64) {
-        let br = self.branch_idx(branch);
-        if let Some(i) = self.node_idx(p) {
-            self.a[i][br] += C64::ONE;
-            self.a[br][i] += C64::ONE;
-        }
-        if let Some(i) = self.node_idx(n) {
-            self.a[i][br] -= C64::ONE;
-            self.a[br][i] -= C64::ONE;
-        }
-        if let Some(j) = self.node_idx(cp) {
-            self.a[br][j] -= C64::real(gain);
-        }
-        if let Some(j) = self.node_idx(cn) {
-            self.a[br][j] += C64::real(gain);
-        }
+        ComplexStamp::vcvs(self, branch, p, n, cp, cn, gain);
     }
 
     /// Stamps an AC current source `i` flowing `p → n`.
     pub fn current_source(&mut self, p: NodeId, n: NodeId, i: C64) {
-        if let Some(ip) = self.node_idx(p) {
-            self.z[ip] -= i;
-        }
-        if let Some(inn) = self.node_idx(n) {
-            self.z[inn] += i;
-        }
+        ComplexStamp::current_source(self, p, n, i);
     }
 
     /// Adds `gmin` diagonal loading on node rows.
     pub fn load_gmin(&mut self, gmin: f64) {
-        for i in 0..(self.n_nodes - 1) {
-            self.a[i][i] += C64::real(gmin);
+        ComplexStamp::load_gmin(self, gmin);
+    }
+}
+
+/// Complex write-sequence recorder: one small-signal assembly pass through
+/// this sink yields the ordered `(row, col)` coordinates of every matrix
+/// write, from which `linalg::CscComplexMatrix::from_coordinates` builds
+/// the sparse pattern and the stamp→slot map. The sequence is ω- and
+/// value-independent, so a single recording serves the whole sweep.
+#[derive(Debug, Clone)]
+pub(crate) struct ComplexRecordStamper {
+    n_nodes: usize,
+    /// Ordered matrix-write coordinates.
+    pub(crate) writes: Vec<(usize, usize)>,
+}
+
+impl ComplexRecordStamper {
+    /// Creates a recorder for the circuit.
+    pub(crate) fn new(circuit: &Circuit) -> Self {
+        ComplexRecordStamper {
+            n_nodes: circuit.num_nodes(),
+            writes: Vec::new(),
         }
+    }
+}
+
+impl ComplexStamp for ComplexRecordStamper {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    #[inline]
+    fn add_a(&mut self, i: usize, j: usize, v: C64) {
+        let _ = v;
+        self.writes.push((i, j));
+    }
+
+    #[inline]
+    fn add_z(&mut self, _i: usize, _v: C64) {}
+}
+
+/// Complex slot-map stamper: assembles directly into a complex CSC value
+/// array by replaying the recorded write sequence
+/// (`values[slots[cursor]] += y`). The borrowed buffers live in the AC
+/// workspace's sparse plan.
+#[derive(Debug)]
+pub(crate) struct ComplexSlotStamper<'a> {
+    n_nodes: usize,
+    /// Per-write CSC value index, in stamp order.
+    slots: &'a [u32],
+    /// Complex CSC value array under assembly.
+    values: &'a mut [C64],
+    /// Right-hand side.
+    z: &'a mut [C64],
+    /// Index of the next write.
+    cursor: usize,
+}
+
+impl<'a> ComplexSlotStamper<'a> {
+    /// Creates a slot stamper over zeroed buffers.
+    pub(crate) fn new(
+        n_nodes: usize,
+        slots: &'a [u32],
+        values: &'a mut [C64],
+        z: &'a mut [C64],
+    ) -> Self {
+        values.fill(C64::ZERO);
+        z.fill(C64::ZERO);
+        ComplexSlotStamper {
+            n_nodes,
+            slots,
+            values,
+            z,
+            cursor: 0,
+        }
+    }
+
+    /// True if the assembly pass consumed the slot map exactly (a mismatch
+    /// in either direction means the write sequence drifted from the
+    /// recording and the caller must fall back to the dense kernel).
+    pub(crate) fn complete(&self) -> bool {
+        self.cursor == self.slots.len()
+    }
+}
+
+impl ComplexStamp for ComplexSlotStamper<'_> {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    #[inline]
+    fn add_a(&mut self, _i: usize, _j: usize, v: C64) {
+        // A drifted sequence may emit *more* writes than were recorded;
+        // swallow the excess (the cursor overrun makes `complete()` report
+        // the drift) instead of indexing past the slot map.
+        if let Some(&slot) = self.slots.get(self.cursor) {
+            self.values[slot as usize] += v;
+        }
+        self.cursor += 1;
+    }
+
+    #[inline]
+    fn add_z(&mut self, i: usize, v: C64) {
+        self.z[i] += v;
     }
 }
 

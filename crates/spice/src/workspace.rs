@@ -43,10 +43,16 @@
 
 use std::sync::Mutex;
 
-use linalg::{CscMatrix, LuWorkspace, SparseLu};
+use linalg::{
+    ComplexLu, ComplexLuWorkspace, CscComplexMatrix, CscMatrix, LuWorkspace, SparseComplexLu,
+    SparseLu, C64,
+};
 
 use crate::netlist::Circuit;
-use crate::stamp::{Assemble, RealStamper, RecordStamper, SlotStamper};
+use crate::stamp::{
+    Assemble, AssembleComplex, ComplexRecordStamper, ComplexSlotStamper, ComplexStamper,
+    RealStamper, RecordStamper, SlotStamper,
+};
 
 /// Systems smaller than this always use the dense kernel (the sparse
 /// machinery's per-column bookkeeping only pays off once the O(n³) dense
@@ -93,6 +99,15 @@ pub(crate) enum SparseStep {
     Fallback,
 }
 
+/// Which solver kernel factored the current AC/noise frequency point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AcKernel {
+    /// Sparse complex slot-map assembly + `SparseComplexLu`.
+    Sparse,
+    /// Dense `ComplexStamper` + `ComplexLuWorkspace` fallback.
+    Dense,
+}
+
 /// A cached decision + state for one `(topology, kind)` pair.
 #[derive(Debug, Clone)]
 struct SparsePlan {
@@ -120,6 +135,232 @@ struct SparseState {
     /// and source-stepping retries, and transient timesteps — the pivot
     /// sequence is reused by the scan-free refactorization.
     pivot_session: u64,
+}
+
+/// A cached complex sparse plan for the AC/noise small-signal pattern.
+/// AC and noise assemble the *same* matrix (source `ac_mag` values only
+/// touch the right-hand side), so one plan serves both analyses.
+#[derive(Debug, Clone)]
+struct AcPlan {
+    /// Topology fingerprint the plan was recorded for.
+    topo: u64,
+    /// Unknown count the plan was recorded for.
+    n: usize,
+    /// Sparse state, or `None` when the dense kernel was selected.
+    sparse: Option<AcSparseState>,
+}
+
+/// Recorded complex stamp→slot map plus the sparse factorization state.
+#[derive(Debug, Clone)]
+struct AcSparseState {
+    /// Per-write CSC value index, in stamp order.
+    slots: Vec<u32>,
+    /// The small-signal system `G + jωC` in CSC form (pattern fixed,
+    /// values re-assembled per frequency point).
+    csc: CscComplexMatrix,
+    /// Symbolic + numeric complex LU state.
+    lu: SparseComplexLu,
+    /// Solve session of the last *pivoting* factorization — the same
+    /// determinism boundary as [`SparseState::pivot_session`]: each AC
+    /// sweep / noise analysis re-derives the pivot sequence from its own
+    /// first frequency point, never inheriting it from whichever sweep
+    /// used the pooled workspace before.
+    pivot_session: u64,
+}
+
+/// Preallocated state for the frequency-domain analyses (AC sweeps and the
+/// noise adjoint solver) on one circuit topology. Lives inside
+/// [`NewtonWorkspace`] (created on first AC/noise use), so the process-wide
+/// topology-keyed pool shares it across candidate evaluations exactly like
+/// the real-valued Newton state.
+///
+/// Per sweep the rhythm is: one recorded assembly pass learns the complex
+/// write sequence (cache hit for a pooled topology), the first frequency
+/// point runs a pivoting [`SparseComplexLu::factor`], and every subsequent
+/// point pays only slot-map assembly plus the scan-free
+/// [`SparseComplexLu::refactor_into`] — the pattern of `G + jωC` is fixed
+/// per topology, only the values change with ω. The dense
+/// [`ComplexLuWorkspace`] path remains the universal fallback (small or
+/// dense systems, write-sequence drift, sparse-singular points).
+#[derive(Debug, Clone)]
+pub(crate) struct AcWorkspace {
+    /// Dense fallback state, created on the first frequency point that
+    /// actually runs the dense kernel — sparse-selected topologies never
+    /// allocate the two O(n²) complex buffers.
+    dense: Option<Box<DenseAcState>>,
+    /// Right-hand side of the sparse slot-map assembly.
+    z: Vec<C64>,
+    /// Unknown count the buffers are sized for.
+    n: usize,
+    /// Cached sparse plan for the AC/noise pattern.
+    plan: Option<AcPlan>,
+}
+
+/// The dense fallback kernel's buffers: the system under assembly and the
+/// complex LU factor storage (no per-point matrix clone).
+#[derive(Debug, Clone)]
+struct DenseAcState {
+    st: ComplexStamper,
+    clu: ComplexLuWorkspace,
+}
+
+impl AcWorkspace {
+    /// Creates an AC workspace sized for `circuit`.
+    fn new(circuit: &Circuit) -> Self {
+        let n = circuit.num_unknowns();
+        AcWorkspace {
+            dense: None,
+            z: vec![C64::ZERO; n],
+            n,
+            plan: None,
+        }
+    }
+
+    /// Assembles the small-signal system for one frequency point (via
+    /// `assemble`) and factors it, picking the sparse kernel when the
+    /// cached plan selected it and falling back to the dense kernel
+    /// otherwise. The first point of a solve `session` runs a full
+    /// pivoting factorization; later points replay the recorded pivots
+    /// with [`SparseComplexLu::refactor_into`].
+    ///
+    /// On a plan miss (new topology for this workspace) one extra
+    /// *recorded* assembly pass learns the write sequence and builds the
+    /// CSC pattern + slot map; sparse vs dense is selected by size and
+    /// assembled density exactly like the Newton engine.
+    ///
+    /// Returns the kernel that factored the point, or `Err(())` when the
+    /// system is singular under both eliminations.
+    pub(crate) fn factor_point<A: AssembleComplex>(
+        &mut self,
+        circuit: &Circuit,
+        session: u64,
+        assemble: &mut A,
+    ) -> Result<AcKernel, ()> {
+        let topo = circuit.topology_id();
+        let n = circuit.num_unknowns();
+        let plan_stale = self
+            .plan
+            .as_ref()
+            .is_none_or(|p| p.topo != topo || p.n != n);
+        if plan_stale {
+            let sparse = if n < SPARSE_MIN_UNKNOWNS {
+                None
+            } else {
+                let mut rec = ComplexRecordStamper::new(circuit);
+                assemble.assemble(&mut rec);
+                let (csc, slots) = CscComplexMatrix::from_coordinates(n, &rec.writes);
+                let density = csc.nnz() as f64 / (n * n) as f64;
+                if density > SPARSE_MAX_DENSITY {
+                    None
+                } else {
+                    Some(AcSparseState {
+                        slots,
+                        csc,
+                        lu: SparseComplexLu::new(),
+                        pivot_session: 0,
+                    })
+                }
+            };
+            self.plan = Some(AcPlan { topo, n, sparse });
+        }
+        let plan = self.plan.as_mut().expect("plan ensured above");
+        if let Some(state) = plan.sparse.as_mut() {
+            let complete = {
+                let mut st = ComplexSlotStamper::new(
+                    circuit.num_nodes(),
+                    &state.slots,
+                    state.csc.values_mut(),
+                    &mut self.z,
+                );
+                assemble.assemble(&mut st);
+                st.complete()
+            };
+            if !complete {
+                // Write-sequence drift (should not happen for a
+                // fingerprint-matched topology): demote the plan to the
+                // dense kernel — the topology/n key stays cached, so later
+                // points and sweeps go straight to the dense path instead
+                // of re-recording every call.
+                plan.sparse = None;
+            } else {
+                let fresh = state.pivot_session != session || !state.lu.is_factored();
+                let factored = if fresh {
+                    state.lu.factor(&state.csc).is_ok()
+                } else {
+                    state.lu.refactor_into(&state.csc).is_ok()
+                        || state.lu.factor(&state.csc).is_ok()
+                };
+                if factored {
+                    state.pivot_session = session;
+                    return Ok(AcKernel::Sparse);
+                }
+                // Numerically singular under the sparse elimination order;
+                // the dense elimination below may still survive.
+            }
+        }
+        let dense = self.dense.get_or_insert_with(|| {
+            Box::new(DenseAcState {
+                st: ComplexStamper::new(circuit),
+                clu: ComplexLuWorkspace::new(n),
+            })
+        });
+        dense.st.clear();
+        assemble.assemble(&mut dense.st);
+        ComplexLu::factor_into(&dense.st.a, &mut dense.clu).map_err(|_| ())?;
+        Ok(AcKernel::Dense)
+    }
+
+    /// Solves the factored point's system `A·x = z` (right-hand side from
+    /// the same assembly pass) into `x`.
+    pub(crate) fn solve(&mut self, kernel: AcKernel, x: &mut Vec<C64>) -> bool {
+        match kernel {
+            AcKernel::Sparse => {
+                let Some(state) = self.plan.as_mut().and_then(|p| p.sparse.as_mut()) else {
+                    return false;
+                };
+                state.lu.solve_into(&self.z, x).is_ok()
+            }
+            AcKernel::Dense => {
+                let Some(d) = self.dense.as_mut() else {
+                    return false;
+                };
+                d.clu.solve_into(&d.st.z, x).is_ok()
+            }
+        }
+    }
+
+    /// Solves the factored point's *transposed* system `Aᵀ·y = e` into `y`
+    /// — the noise analysis' adjoint solve, sharing the forward
+    /// factorization.
+    pub(crate) fn solve_transpose(
+        &mut self,
+        kernel: AcKernel,
+        e: &[C64],
+        y: &mut Vec<C64>,
+    ) -> bool {
+        match kernel {
+            AcKernel::Sparse => {
+                let Some(state) = self.plan.as_mut().and_then(|p| p.sparse.as_mut()) else {
+                    return false;
+                };
+                state.lu.solve_transpose_into(e, y).is_ok()
+            }
+            AcKernel::Dense => {
+                let Some(d) = self.dense.as_mut() else {
+                    return false;
+                };
+                d.clu.solve_transpose_into(e, y).is_ok()
+            }
+        }
+    }
+
+    /// True if the cached plan for `topo` selected the sparse kernel
+    /// (diagnostics/tests).
+    fn uses_sparse(&self, topo: u64) -> bool {
+        self.plan
+            .as_ref()
+            .is_some_and(|p| p.topo == topo && p.sparse.is_some())
+    }
 }
 
 /// Preallocated state for repeated Newton solves on one circuit topology.
@@ -156,6 +397,9 @@ pub struct NewtonWorkspace {
     session: u64,
     /// Cached sparse plans, indexed by [`StampKind`].
     plans: [Option<SparsePlan>; 2],
+    /// Frequency-domain (AC/noise) state, created on first use so
+    /// DC/transient-only circuits never pay for the complex buffers.
+    ac: Option<Box<AcWorkspace>>,
 }
 
 impl NewtonWorkspace {
@@ -170,6 +414,7 @@ impl NewtonWorkspace {
             topo: circuit.topology_id(),
             session: 1,
             plans: [None, None],
+            ac: None,
         }
     }
 
@@ -205,11 +450,33 @@ impl NewtonWorkspace {
     /// Starts a new solve session: the next sparse factorization of each
     /// pattern re-derives its pivot sequence from the incoming values.
     /// Called by every public solve entry point (`op_with_workspace`,
-    /// `transient_with_workspace`), i.e. whenever the workspace may have
-    /// been handed a different candidate's circuit — the determinism
-    /// boundary for workspace pooling.
+    /// `transient_with_workspace`, `ac_with_workspace`,
+    /// `noise_with_workspace`), i.e. whenever the workspace may have been
+    /// handed a different candidate's circuit — the determinism boundary
+    /// for workspace pooling.
     pub(crate) fn begin_session(&mut self) {
         self.session = self.session.wrapping_add(1);
+    }
+
+    /// Current solve-session id (the pivot-reuse boundary).
+    pub(crate) fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The frequency-domain workspace, created (or re-sized) for `circuit`
+    /// on demand.
+    pub(crate) fn ac_mut(&mut self, circuit: &Circuit) -> &mut AcWorkspace {
+        let n = circuit.num_unknowns();
+        if self.ac.as_ref().is_none_or(|ac| ac.n != n) {
+            self.ac = Some(Box::new(AcWorkspace::new(circuit)));
+        }
+        self.ac.as_mut().expect("ac workspace ensured above")
+    }
+
+    /// True if the cached AC/noise plan for the current topology selected
+    /// the sparse complex kernel (diagnostics/tests).
+    pub fn uses_sparse_ac(&self) -> bool {
+        self.ac.as_ref().is_some_and(|ac| ac.uses_sparse(self.topo))
     }
 
     /// Decides (and caches) the solver kernel for `(circuit, kind)`. On a

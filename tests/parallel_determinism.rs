@@ -46,7 +46,10 @@ impl SizingProblem for ToyAmp {
 /// A real-simulator problem: a 30-stage diode-connected-NMOS ladder whose
 /// MNA system (32 unknowns) runs the sparse stamp→slot pipeline through
 /// pool-leased workspaces — the machinery whose reuse across candidates
-/// must never leak between them.
+/// must never leak between them. The evaluation also runs an AC sweep and
+/// a noise analysis through the same pooled workspace, so the complex
+/// pattern-shared kernel (slot-map assembly, per-sweep pivot re-derivation,
+/// adjoint transpose solves) is under the same bit-identity contract.
 struct SparseLadder;
 
 impl SparseLadder {
@@ -69,7 +72,10 @@ impl SparseLadder {
         };
         let mut c = Circuit::new();
         let vdd = c.node("vdd");
-        c.add_vsource("VDD", vdd, GND, Waveform::Dc(1.8)).unwrap();
+        // Unit AC magnitude on the supply: the AC sweep measures supply
+        // ripple transfer down the ladder.
+        c.add_vsource_ac("VDD", vdd, GND, Waveform::Dc(1.8), 1.0)
+            .unwrap();
         let mut prev = vdd;
         for i in 0..30 {
             let d = c.node(&format!("d{i}"));
@@ -111,10 +117,31 @@ impl SizingProblem for SparseLadder {
         };
         let mid = ckt.find_node("d14").unwrap();
         let end = ckt.find_node("d29").unwrap();
+        // AC + noise through the same pooled workspace: the sparse complex
+        // kernel's per-sweep pivot re-derivation and the adjoint transpose
+        // solve both feed raw solved values into the recorded history.
+        let freqs = [1e3, 1e6, 1e9];
+        let Ok(sweep) =
+            spice::ac_with_workspace(&ckt, &SimOptions::default(), &op, &freqs, &mut ws)
+        else {
+            return SpecResult::failed(1);
+        };
+        let ripple = sweep.voltage(2, end).abs();
+        let Ok(nres) = spice::noise_with_workspace(
+            &ckt,
+            &SimOptions::default(),
+            &op,
+            end,
+            GND,
+            &freqs,
+            &mut ws,
+        ) else {
+            return SpecResult::failed(1);
+        };
         // Raw solved voltages: any last-ulp difference between candidates
         // sharing (or not sharing) a pooled workspace shows up here.
         SpecResult {
-            objective: op.voltage(end),
+            objective: op.voltage(end) + ripple + 1e3 * nres.total_rms(),
             constraints: vec![0.9 - op.voltage(mid)],
         }
     }
@@ -214,10 +241,15 @@ fn serial_and_parallel_runs_are_bit_identical() {
         );
     }
     // And the solver state the runs left behind really is the sparse
-    // pipeline: a pooled workspace for this topology selected it.
+    // pipeline — for the DC Newton solves *and* the AC/noise sweeps: a
+    // pooled workspace for this topology selected both sparse kernels.
     let ws = spice::lease_workspace(&SparseLadder::build(&[0.5, 0.5]));
     assert!(
         ws.uses_sparse(false),
         "ladder evaluations must run the sparse kernel"
+    );
+    assert!(
+        ws.uses_sparse_ac(),
+        "ladder AC/noise sweeps must run the sparse complex kernel"
     );
 }
