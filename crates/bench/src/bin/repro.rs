@@ -7,8 +7,9 @@
 //! repro latch           # Table IV + Figure 4 (writes results/fig4.csv)
 //! repro table5          # Table V   — industrial circuits, SA vs DNN-Opt
 //! repro ablation        # §II-B claim: pseudo-sample critic vs d-input net
-//! repro baseline [file] # re-time the Newton/evaluation kernels and merge
-//!                       # the rows into BENCH_baseline.json
+//! repro baseline [file] # re-time the Newton/GEMM/training/evaluation
+//!                       # kernels and merge the rows into
+//!                       # BENCH_baseline.json
 //! repro all             # everything
 //! ```
 //!
@@ -364,7 +365,7 @@ fn main() {
             let path = std::env::args()
                 .nth(2)
                 .unwrap_or_else(|| "BENCH_baseline.json".to_string());
-            eprintln!("re-timing sparse/dense Newton kernels and full evaluations...");
+            eprintln!("re-timing Newton, GEMM, training and evaluation kernels...");
             bench::baseline::refresh(&path).expect("write baseline file");
             println!("baseline rows merged into {path}");
         }

@@ -260,11 +260,11 @@ pub fn secs(d: Duration) -> String {
     format!("{:.1}", d.as_secs_f64())
 }
 
-/// Re-times the Newton-kernel and evaluation benchmarks affected by the
-/// sparse-MNA pipeline and merges the rows into a `BENCH_baseline.json`
-/// file (same one-JSON-object-per-row format the criterion shim records).
-/// Used by `repro baseline` so the checked-in baseline can be refreshed on
-/// the current host without running the full bench suite.
+/// Re-times the Newton-kernel, GEMM-engine, training-loop and evaluation
+/// benchmarks and merges the rows into a `BENCH_baseline.json` file (same
+/// one-JSON-object-per-row format the criterion shim records). Used by
+/// `repro baseline` so the checked-in baseline can be refreshed on the
+/// current host without running the full bench suite.
 pub mod baseline {
     use crate::{assemble_linear_small_signal, build_mos_ladder, build_rc_ladder};
     use criterion::{black_box, Criterion};
@@ -369,6 +369,119 @@ pub mod baseline {
                         slu.solve_into(z, &mut x).unwrap();
                     }
                     black_box(x[0])
+                })
+            });
+        }
+
+        // The GEMM-engine kernels (identical bodies to
+        // `benches/gemm_kernels.rs`): naive reference vs cache-blocked
+        // register-tiled kernel on the critic's forward/weight-gradient
+        // shapes plus a panel-spanning square product.
+        {
+            use linalg::{gemm, gemm_naive, GemmOp, GemmWorkspace, Matrix};
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(42);
+            let shapes: [(&str, usize, usize, usize, GemmOp, GemmOp); 5] = [
+                ("10x48x20_nt", 10, 48, 20, GemmOp::NoTrans, GemmOp::Trans),
+                ("48x48x10_tn", 48, 48, 10, GemmOp::Trans, GemmOp::NoTrans),
+                ("128x48x40_nt", 128, 48, 40, GemmOp::NoTrans, GemmOp::Trans),
+                ("48x40x128_tn", 48, 40, 128, GemmOp::Trans, GemmOp::NoTrans),
+                (
+                    "160x160x160_nn",
+                    160,
+                    160,
+                    160,
+                    GemmOp::NoTrans,
+                    GemmOp::NoTrans,
+                ),
+            ];
+            for (label, m, n, k, op_a, op_b) in shapes {
+                let dims_a = match op_a {
+                    GemmOp::NoTrans => (m, k),
+                    GemmOp::Trans => (k, m),
+                };
+                let dims_b = match op_b {
+                    GemmOp::NoTrans => (k, n),
+                    GemmOp::Trans => (n, k),
+                };
+                let a = Matrix::from_fn(dims_a.0, dims_a.1, |_, _| rng.gen::<f64>() - 0.5);
+                let b = Matrix::from_fn(dims_b.0, dims_b.1, |_, _| rng.gen::<f64>() - 0.5);
+                c.bench_function(&format!("gemm_kernel_naive_{label}"), |bench| {
+                    let mut out = Matrix::default();
+                    bench.iter(|| {
+                        gemm_naive(op_a, op_b, 1.0, black_box(&a), black_box(&b), 0.0, &mut out);
+                        black_box(out.as_slice()[0])
+                    })
+                });
+                c.bench_function(&format!("gemm_kernel_blocked_{label}"), |bench| {
+                    let mut ws = GemmWorkspace::new();
+                    let mut out = Matrix::default();
+                    bench.iter(|| {
+                        gemm(
+                            op_a,
+                            op_b,
+                            1.0,
+                            black_box(&a),
+                            black_box(&b),
+                            0.0,
+                            &mut out,
+                            &mut ws,
+                        );
+                        black_box(out.as_slice()[0])
+                    })
+                });
+            }
+        }
+
+        // The training-loop kernels (identical bodies and seeds to
+        // `benches/model_kernels.rs`): one MSE gradient step and one full
+        // critic/actor training pass — the rows the GEMM engine targets.
+        {
+            use dnn_opt::{Actor, Critic, DnnOptConfig};
+            use linalg::Matrix;
+            use nn::{Activation, Adam, Mlp, TrainWorkspace};
+            use opt::Fom;
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+
+            let mut rng = StdRng::seed_from_u64(1);
+            let x = Matrix::from_fn(128, 40, |_, _| rng.gen::<f64>());
+            let y = Matrix::from_fn(128, 30, |_, _| rng.gen::<f64>());
+            c.bench_function("mlp_train_step_alloc_b128", |b| {
+                let mut net = Mlp::new(&[40, 48, 48, 30], Activation::Relu, &mut rng);
+                let mut adam = Adam::new(3e-3);
+                b.iter(|| nn::train_step_mse(&mut net, &mut adam, &x, &y))
+            });
+            c.bench_function("mlp_train_step_workspace_b128", |b| {
+                let mut net = Mlp::new(&[40, 48, 48, 30], Activation::Relu, &mut rng);
+                let mut adam = Adam::new(3e-3);
+                let mut ws = TrainWorkspace::new();
+                b.iter(|| nn::train_step_mse_ws(&mut net, &mut adam, &x, &y, &mut ws))
+            });
+
+            let mut rng = StdRng::seed_from_u64(0);
+            let xs: Vec<Vec<f64>> = (0..150)
+                .map(|_| (0..20).map(|_| rng.gen()).collect())
+                .collect();
+            let fs: Vec<Vec<f64>> = xs
+                .iter()
+                .map(|xv| {
+                    (0..30)
+                        .map(|j| xv.iter().map(|v| (v - 0.1 * j as f64).powi(2)).sum::<f64>())
+                        .collect()
+                })
+                .collect();
+            let cfg = DnnOptConfig::default();
+            c.bench_function("critic_train_n150_d20_m30", |b| {
+                b.iter(|| Critic::train(&cfg, &xs, &fs, &mut rng))
+            });
+            let critic = Critic::train(&cfg, &xs, &fs, &mut rng);
+            let fom = Fom::uniform(1.0, 29);
+            let elite: Vec<Vec<f64>> = xs[..10].to_vec();
+            c.bench_function("actor_train_elite10", |b| {
+                b.iter(|| {
+                    Actor::train(
+                        &cfg, &critic, &fom, &elite, &[0.0; 20], &[1.0; 20], &mut rng,
+                    )
                 })
             });
         }

@@ -74,20 +74,24 @@ impl Actor {
         let mut grad_dx = Matrix::default();
         let mut fom_grad = vec![0.0; critic.num_specs()];
 
+        // The x-half of the (x, Δx) critic batch never changes: write it
+        // once and overwrite only the Δx half per epoch.
+        xdx.reshape_zeroed(nb, 2 * d);
+        for i in 0..nb {
+            xdx.row_mut(i)[..d].copy_from_slice(x_mat.row(i));
+        }
+        grad_raw.reshape_zeroed(nb, critic.num_specs());
+        grad_dx.reshape_zeroed(nb, d);
         for _ in 0..cfg.actor_epochs {
             // Forward: actor proposes Δx; critic evaluates (x, Δx).
             net.forward_ws(&x_mat, &mut actor_ws);
             let dx = actor_ws.output();
-            xdx.reshape_zeroed(nb, 2 * d);
             for i in 0..nb {
-                let row = xdx.row_mut(i);
-                row[..d].copy_from_slice(x_mat.row(i));
-                row[d..].copy_from_slice(dx.row(i));
+                xdx.row_mut(i)[d..].copy_from_slice(dx.row(i));
             }
             critic.forward_scaled_ws(&xdx, &mut critic_ws, &mut raw);
 
             // dL/d(raw specs): FoM subgradient per row, averaged.
-            grad_raw.reshape_zeroed(nb, raw.cols());
             for i in 0..nb {
                 fom.value_and_grad_into(raw.row(i), &mut fom_grad);
                 for (g, &gj) in grad_raw.row_mut(i).iter_mut().zip(&fom_grad) {
@@ -97,7 +101,6 @@ impl Actor {
             // Back through the critic to its inputs; keep the Δx half.
             let grad_inputs =
                 critic.backward_to_inputs_ws(&mut critic_ws, &grad_raw, &mut grad_scaled);
-            grad_dx.reshape_zeroed(nb, d);
             for i in 0..nb {
                 grad_dx.row_mut(i).copy_from_slice(&grad_inputs.row(i)[d..]);
             }
@@ -116,10 +119,15 @@ impl Actor {
                     grow[j] += 2.0 * lam2 * (v_ub - v_lb) / nb as f64;
                 }
             }
-            // Backpropagate into the actor parameters only.
-            net.backward_ws(&mut actor_ws, &grad_dx);
+            // Backpropagate into the actor parameters only (the gradient
+            // with respect to the elite designs is never used, so the
+            // params-only pass skips the first layer's propagation GEMM).
+            net.backward_params_ws(&mut actor_ws, &grad_dx);
             adam.step(&mut net, actor_ws.gradients());
         }
+        // Training is done: pre-pack the actor's panels for the proposal
+        // batches of the optimizer loop.
+        net.freeze();
         Actor { net, dim: d }
     }
 

@@ -78,6 +78,10 @@ impl Critic {
             }
             nn::train_step_mse_ws(&mut net, &mut adam, &inp, &out, &mut ws);
         }
+        // The critic is frozen from here on (the actor trains *through*
+        // it): pre-pack its weight panels so every forward/backward of the
+        // actor loop skips the per-call GEMM packing.
+        net.freeze();
         Critic {
             net,
             y_scaler,
@@ -144,11 +148,14 @@ impl Critic {
         // raw = scaled·σ + µ  =>  ∂L/∂scaled = ∂L/∂raw · σ.
         grad_scaled.copy_from(grad_raw_out);
         let scales = self.y_scaler.scales();
-        let cols = grad_scaled.cols();
-        for (idx, g) in grad_scaled.as_mut_slice().iter_mut().enumerate() {
-            *g *= scales[idx % cols];
+        for i in 0..grad_scaled.rows() {
+            for (g, &s) in grad_scaled.row_mut(i).iter_mut().zip(scales) {
+                *g *= s;
+            }
         }
-        self.net.backward_ws(ws, grad_scaled);
+        // The critic is frozen here: only the gradient *through* it is
+        // needed, so the input-only pass skips every δᵀ·x parameter GEMM.
+        self.net.backward_input_ws(ws, grad_scaled);
         ws.input_gradient()
     }
 }

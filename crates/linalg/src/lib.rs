@@ -6,6 +6,10 @@
 //!
 //! - [`Matrix`]: a row-major dense matrix with the usual arithmetic,
 //!   used by the neural-network and Gaussian-process crates.
+//! - [`gemm`] / [`gemm_with`]: a cache-blocked, register-tiled GEMM engine
+//!   covering all `op(A)·op(B)` shapes with packed panels held in a
+//!   reusable [`GemmWorkspace`] and fused output epilogues — the training
+//!   kernel behind the DNN-Opt critic/actor networks.
 //! - [`Lu`]: partially pivoted LU factorization for the real MNA systems of
 //!   the circuit simulator and as a general linear solver.
 //! - [`CscMatrix`] and [`SparseLu`]: KLU-style sparse LU with a recorded
@@ -37,6 +41,7 @@
 
 mod cholesky;
 mod complex;
+mod gemm;
 mod lu;
 mod matrix;
 mod sparse;
@@ -45,6 +50,10 @@ pub mod vecops;
 
 pub use cholesky::{Cholesky, CholeskyWorkspace};
 pub use complex::{ComplexLu, ComplexLuWorkspace, C64};
+pub use gemm::{
+    gemm, gemm_naive, gemm_naive_with, gemm_prepacked_with, gemm_with, pack_b_into, Epilogue,
+    GemmOp, GemmWorkspace, NoEpilogue, PackedB, GEMM_NAIVE_CUTOFF,
+};
 pub use lu::{Lu, LuWorkspace};
 pub use matrix::Matrix;
 pub use sparse::{CscMatrix, SparseLu};

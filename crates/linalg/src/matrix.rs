@@ -137,10 +137,22 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    /// Copies column `j` into a new vector.
-    pub fn col(&self, j: usize) -> Vec<f64> {
+    /// Allocation-free strided view of column `j`: iterates the column's
+    /// entries top to bottom without copying. Hot paths that previously
+    /// materialized [`Matrix::col`]'s `Vec` should walk this instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col_iter(&self, j: usize) -> impl ExactSizeIterator<Item = f64> + '_ {
         assert!(j < self.cols, "column index out of bounds");
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        self.data.iter().skip(j).step_by(self.cols.max(1)).copied()
+    }
+
+    /// Copies column `j` into a new vector (see [`Matrix::col_iter`] for
+    /// the allocation-free variant).
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        self.col_iter(j).collect()
     }
 
     /// Returns the transpose.
@@ -186,6 +198,16 @@ impl Matrix {
         self.rows = rows;
         self.cols = cols;
         self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to `rows×cols` *without* clearing: existing entries keep
+    /// stale values (only a grown tail is zeroed). For kernels that
+    /// overwrite every element anyway — skips [`Matrix::reshape_zeroed`]'s
+    /// full memset on the hot path.
+    pub(crate) fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
         self.data.resize(rows * cols, 0.0);
     }
 
@@ -499,6 +521,26 @@ mod tests {
         assert_eq!(m[(1, 0)], 4.0);
         assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
         assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn col_iter_matches_col_and_is_exact_size() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        for j in 0..3 {
+            let it = m.col_iter(j);
+            assert_eq!(it.len(), 3);
+            assert_eq!(it.collect::<Vec<_>>(), m.col(j));
+        }
+        // Single-column matrix: stride equals the full row length.
+        let one = Matrix::from_rows(&[&[1.5], &[-2.5]]);
+        assert_eq!(one.col_iter(0).collect::<Vec<_>>(), vec![1.5, -2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of bounds")]
+    fn col_iter_rejects_out_of_range() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.col_iter(2);
     }
 
     #[test]

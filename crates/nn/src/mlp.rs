@@ -3,6 +3,8 @@
 use linalg::Matrix;
 use rand::Rng;
 
+use crate::workspace::TrainWorkspace;
+
 /// Hidden-layer activation function (the output layer is always linear).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
@@ -12,29 +14,51 @@ pub enum Activation {
     Tanh,
 }
 
-impl Activation {
-    pub(crate) fn apply(self, x: f64) -> f64 {
-        match self {
-            Activation::Relu => x.max(0.0),
-            Activation::Tanh => x.tanh(),
-        }
+/// Compile-time activation dispatch: the forward/backward kernels are
+/// monomorphized per variant, so the hidden-layer inner loops contain no
+/// per-element `match` on [`Activation`].
+pub(crate) trait ActFn {
+    /// The activation value `a = f(z)`.
+    fn apply(z: f64) -> f64;
+
+    /// The derivative `f'(z)` expressed through the activation *output*
+    /// `a = f(z)` (ReLU: `a > 0`; tanh: `1 − a²`), so the backward pass
+    /// needs no stored pre-activations.
+    fn deriv_from_output(a: f64) -> f64;
+}
+
+/// [`Activation::Relu`] as a zero-sized kernel parameter.
+pub(crate) struct ReluAct;
+
+impl ActFn for ReluAct {
+    #[inline(always)]
+    fn apply(z: f64) -> f64 {
+        z.max(0.0)
     }
 
-    /// Derivative expressed in terms of the pre-activation value.
-    pub(crate) fn derivative(self, x: f64) -> f64 {
-        match self {
-            Activation::Relu => {
-                if x > 0.0 {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
-            Activation::Tanh => {
-                let t = x.tanh();
-                1.0 - t * t
-            }
+    #[inline(always)]
+    fn deriv_from_output(a: f64) -> f64 {
+        // a = max(z, 0) is positive exactly when z is.
+        if a > 0.0 {
+            1.0
+        } else {
+            0.0
         }
+    }
+}
+
+/// [`Activation::Tanh`] as a zero-sized kernel parameter.
+pub(crate) struct TanhAct;
+
+impl ActFn for TanhAct {
+    #[inline(always)]
+    fn apply(z: f64) -> f64 {
+        z.tanh()
+    }
+
+    #[inline(always)]
+    fn deriv_from_output(a: f64) -> f64 {
+        1.0 - a * a
     }
 }
 
@@ -45,6 +69,16 @@ struct Dense {
     b: Vec<f64>,
 }
 
+/// Pre-packed GEMM panels of a frozen network's weights (see
+/// [`Mlp::freeze`]): per layer, `Wᵀ` packed for the forward `x·Wᵀ` and `W`
+/// packed for the backward `δ·W` propagation. `None` for layers too large
+/// for a single GEMM panel.
+#[derive(Debug, Clone, Default)]
+struct FrozenPacks {
+    fwd: Vec<Option<linalg::PackedB>>,
+    bwd: Vec<Option<linalg::PackedB>>,
+}
+
 /// Parameter gradients for a whole network, shaped like the network itself.
 #[derive(Debug, Clone, Default)]
 pub struct Gradients {
@@ -53,29 +87,42 @@ pub struct Gradients {
 }
 
 impl Gradients {
-    /// Sum of squared gradient entries (for monitoring/clipping).
-    pub fn norm_sq(&self) -> f64 {
-        let w: f64 = self
-            .dw
+    /// Every gradient buffer as one sequence of flat slices (weights first,
+    /// then biases) — the single-pass walk shared by [`Gradients::norm_sq`],
+    /// [`Gradients::scale`], and the Adam step's per-layer slice pairing.
+    fn flat_slices(&self) -> impl Iterator<Item = &[f64]> {
+        self.dw
             .iter()
-            .map(|m| m.as_slice().iter().map(|v| v * v).sum::<f64>())
-            .sum();
-        let b: f64 = self
-            .db
-            .iter()
-            .map(|v| v.iter().map(|x| x * x).sum::<f64>())
-            .sum();
-        w + b
+            .map(Matrix::as_slice)
+            .chain(self.db.iter().map(Vec::as_slice))
     }
 
-    /// Scales all gradients in place (gradient clipping).
-    pub fn scale(&mut self, s: f64) {
-        for m in &mut self.dw {
-            m.scale_inplace(s);
+    /// Mutable variant of [`Gradients::flat_slices`].
+    fn flat_slices_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        self.dw
+            .iter_mut()
+            .map(Matrix::as_mut_slice)
+            .chain(self.db.iter_mut().map(Vec::as_mut_slice))
+    }
+
+    /// Sum of squared gradient entries (for monitoring/clipping): one flat
+    /// pass over each buffer.
+    pub fn norm_sq(&self) -> f64 {
+        let mut s = 0.0;
+        for slice in self.flat_slices() {
+            for &v in slice {
+                s += v * v;
+            }
         }
-        for v in &mut self.db {
-            for x in v {
-                *x *= s;
+        s
+    }
+
+    /// Scales all gradients in place (gradient clipping): one flat pass
+    /// over each buffer.
+    pub fn scale(&mut self, s: f64) {
+        for slice in self.flat_slices_mut() {
+            for v in slice {
+                *v *= s;
             }
         }
     }
@@ -83,13 +130,15 @@ impl Gradients {
 
 /// Cached intermediate values of a forward pass, needed by
 /// [`Mlp::backward`].
+///
+/// Since the training kernels moved onto the fused GEMM engine, the cache
+/// is simply an owned [`TrainWorkspace`] holding the layer activations —
+/// both the allocating and the workspace APIs run the exact same kernels,
+/// so their results are bit-identical by construction.
 #[derive(Debug, Clone)]
 pub struct ForwardCache {
-    /// Layer inputs: `inputs[0]` is the batch, `inputs[k]` the activation
-    /// entering layer `k`.
-    inputs: Vec<Matrix>,
-    /// Pre-activation values per hidden layer.
-    zs: Vec<Matrix>,
+    /// The forward state (layer activations) of the pass.
+    ws: TrainWorkspace,
 }
 
 /// A fully connected network with a linear output layer.
@@ -99,6 +148,9 @@ pub struct ForwardCache {
 pub struct Mlp {
     layers: Vec<Dense>,
     hidden_act: Activation,
+    /// Pre-packed weight panels, present only between a [`Mlp::freeze`]
+    /// call and the next parameter mutation.
+    frozen: Option<FrozenPacks>,
 }
 
 impl Mlp {
@@ -125,7 +177,48 @@ impl Mlp {
                 b: vec![0.0; fan_out],
             });
         }
-        Mlp { layers, hidden_act }
+        Mlp {
+            layers,
+            hidden_act,
+            frozen: None,
+        }
+    }
+
+    /// Pre-packs every weight matrix into its GEMM panel layouts, so
+    /// subsequent forward/backward passes skip the per-call packing of the
+    /// right-hand operand. Call once the parameters are final (a trained
+    /// critic entering the actor loop, a trained actor proposing steps);
+    /// any later parameter mutation silently discards the packs. Products
+    /// with pre-packed weights are bit-identical to the blocked on-the-fly
+    /// path.
+    pub fn freeze(&mut self) {
+        let mut packs = FrozenPacks::default();
+        for layer in &self.layers {
+            // Forward: B = Wᵀ, effective (k = in, n = out).
+            packs
+                .fwd
+                .push(linalg::PackedB::try_pack(linalg::GemmOp::Trans, &layer.w));
+            // Backward propagation: B = W, effective (k = out, n = in).
+            packs
+                .bwd
+                .push(linalg::PackedB::try_pack(linalg::GemmOp::NoTrans, &layer.w));
+        }
+        self.frozen = Some(packs);
+    }
+
+    /// True if pre-packed weight panels are active (see [`Mlp::freeze`]).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
+    }
+
+    /// The pre-packed forward panel of layer `k`, when frozen and sized.
+    pub(crate) fn packed_fwd(&self, k: usize) -> Option<&linalg::PackedB> {
+        self.frozen.as_ref().and_then(|f| f.fwd[k].as_ref())
+    }
+
+    /// The pre-packed backward panel of layer `k`, when frozen and sized.
+    pub(crate) fn packed_bwd(&self, k: usize) -> Option<&linalg::PackedB> {
+        self.frozen.as_ref().and_then(|f| f.bwd[k].as_ref())
     }
 
     /// Input dimensionality.
@@ -151,19 +244,6 @@ impl Mlp {
             .sum()
     }
 
-    fn layer_forward(layer: &Dense, x: &Matrix) -> Matrix {
-        // y = x·Wᵀ + b without materializing the transpose.
-        let mut y = Matrix::zeros(0, 0);
-        x.matmul_nt_into(&layer.w, &mut y);
-        for i in 0..y.rows() {
-            let row = y.row_mut(i);
-            for (v, b) in row.iter_mut().zip(&layer.b) {
-                *v += b;
-            }
-        }
-        y
-    }
-
     /// Borrow of layer `k`'s weights and biases (for the workspace kernels).
     pub(crate) fn layer(&self, k: usize) -> (&Matrix, &[f64]) {
         let l = &self.layers[k];
@@ -171,8 +251,10 @@ impl Mlp {
     }
 
     /// Mutable borrow of layer `k`'s weights and biases (for in-place
-    /// optimizer updates).
+    /// optimizer updates). Discards any pre-packed panels: the parameters
+    /// are about to change.
     pub(crate) fn layer_params_mut(&mut self, k: usize) -> (&mut Matrix, &mut Vec<f64>) {
+        self.frozen = None;
         let l = &mut self.layers[k];
         (&mut l.w, &mut l.b)
     }
@@ -184,85 +266,40 @@ impl Mlp {
 
     /// Forward pass on a batch (rows are samples).
     ///
+    /// Runs the same fused GEMM kernels as [`Mlp::forward_ws`] on a
+    /// throwaway workspace, so both paths are bit-identical; use the
+    /// workspace variant in loops to avoid the per-call allocations.
+    ///
     /// # Panics
     ///
     /// Panics if `x.cols()` differs from the input dimensionality.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
-        let mut a = x.clone();
-        let last = self.layers.len() - 1;
-        for (k, layer) in self.layers.iter().enumerate() {
-            let z = Self::layer_forward(layer, &a);
-            a = if k < last {
-                z.map(|v| self.hidden_act.apply(v))
-            } else {
-                z
-            };
-        }
-        a
+        let mut ws = TrainWorkspace::new();
+        self.forward_ws(x, &mut ws).clone()
     }
 
     /// Forward pass that also returns the cache required by
     /// [`Mlp::backward`].
     pub fn forward_cached(&self, x: &Matrix) -> (Matrix, ForwardCache) {
-        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
-        let last = self.layers.len() - 1;
-        let mut inputs = Vec::with_capacity(self.layers.len());
-        let mut zs = Vec::with_capacity(last);
-        let mut a = x.clone();
-        for (k, layer) in self.layers.iter().enumerate() {
-            inputs.push(a.clone());
-            let z = Self::layer_forward(layer, &a);
-            if k < last {
-                zs.push(z.clone());
-                a = z.map(|v| self.hidden_act.apply(v));
-            } else {
-                a = z;
-            }
-        }
-        (a, ForwardCache { inputs, zs })
+        let mut ws = TrainWorkspace::new();
+        let y = self.forward_ws(x, &mut ws).clone();
+        (y, ForwardCache { ws })
     }
 
     /// Reverse-mode pass: given `∂L/∂output` for the batch, returns the
     /// parameter gradients and `∂L/∂input`.
     ///
+    /// Runs [`Mlp::backward_ws`] on a copy of the cached forward state, so
+    /// the allocating and workspace APIs yield bit-identical gradients.
+    ///
     /// # Panics
     ///
     /// Panics if the gradient shape does not match the cached batch.
     pub fn backward(&self, cache: &ForwardCache, grad_out: &Matrix) -> (Gradients, Matrix) {
-        let last = self.layers.len() - 1;
-        assert_eq!(
-            grad_out.cols(),
-            self.output_dim(),
-            "gradient width mismatch"
-        );
-        assert_eq!(
-            grad_out.rows(),
-            cache.inputs[0].rows(),
-            "gradient batch mismatch"
-        );
-
-        let mut dw = vec![Matrix::zeros(1, 1); self.layers.len()];
-        let mut db = vec![Vec::new(); self.layers.len()];
-        let mut delta = grad_out.clone(); // ∂L/∂z for the current layer
-
-        for k in (0..=last).rev() {
-            if k < last {
-                // Pass through the activation derivative.
-                let z = &cache.zs[k];
-                delta = Matrix::from_fn(delta.rows(), delta.cols(), |i, j| {
-                    delta[(i, j)] * self.hidden_act.derivative(z[(i, j)])
-                });
-            }
-            let x_in = &cache.inputs[k];
-            dw[k] = delta.transpose().matmul(x_in);
-            db[k] = (0..delta.cols())
-                .map(|j| (0..delta.rows()).map(|i| delta[(i, j)]).sum())
-                .collect();
-            // Propagate to the layer input.
-            delta = delta.matmul(&self.layers[k].w);
-        }
-        (Gradients { dw, db }, delta)
+        let mut ws = cache.ws.clone();
+        self.backward_ws(&mut ws, grad_out);
+        let dx = std::mem::take(&mut ws.delta);
+        (ws.grads, dx)
     }
 
     /// Gradient of the outputs with respect to the inputs only (parameters
@@ -275,6 +312,7 @@ impl Mlp {
     /// `s` the network initially outputs near-zero values — the DDPG trick
     /// for actor networks whose outputs are corrections.
     pub fn scale_output_layer(&mut self, s: f64) {
+        self.frozen = None;
         let last = self.layers.len() - 1;
         self.layers[last].w.scale_inplace(s);
         for b in &mut self.layers[last].b {

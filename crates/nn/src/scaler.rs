@@ -87,10 +87,10 @@ impl Scaler {
     pub fn transform_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(x.cols(), self.dim(), "column mismatch");
         out.copy_from(x);
-        let cols = self.dim();
-        for (idx, v) in out.as_mut_slice().iter_mut().enumerate() {
-            let j = idx % cols;
-            *v = (*v - self.mean[j]) / self.std[j];
+        for i in 0..out.rows() {
+            for ((v, &m), &s) in out.row_mut(i).iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
+            }
         }
     }
 
@@ -114,10 +114,10 @@ impl Scaler {
     pub fn inverse_transform_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(x.cols(), self.dim(), "column mismatch");
         out.copy_from(x);
-        let cols = self.dim();
-        for (idx, v) in out.as_mut_slice().iter_mut().enumerate() {
-            let j = idx % cols;
-            *v = *v * self.std[j] + self.mean[j];
+        for i in 0..out.rows() {
+            for ((v, &m), &s) in out.row_mut(i).iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = *v * s + m;
+            }
         }
     }
 

@@ -1,18 +1,29 @@
-//! Preallocated training state: forward caches, gradient buffers, and
-//! scratch matrices, reused across every epoch of a training loop.
+//! Preallocated training state: forward caches, gradient buffers, GEMM
+//! pack buffers, and scratch matrices, reused across every epoch of a
+//! training loop.
 //!
-//! The original training path allocated roughly a dozen matrices per
-//! gradient step (forward caches, activation-derivative products,
-//! transposes, Adam update matrices). A [`TrainWorkspace`] owns all of
-//! those buffers; with it, one full forward + backward + Adam step
-//! performs **zero heap allocations** once the buffers are warm. Combined
-//! with the `matmul_nt_into`/`matmul_tn_into` kernels of `linalg`, every
-//! pass is batched matrix-matrix work (GEMM-shaped), never per-sample
-//! vector churn.
+//! Every dense-layer product runs through `linalg`'s cache-blocked GEMM
+//! engine with a **fused epilogue**:
+//!
+//! - forward: `acts[k+1] = act(acts[k]·Wᵀ + b)` is one GEMM whose output
+//!   tiles receive the bias-add and activation in place — no pre-activation
+//!   matrix is materialized and no second pass touches the output;
+//! - backward: the delta propagation `δ_{k-1} = (δ_k·W) ⊙ act'(a)` fuses
+//!   the activation-derivative product into the propagation GEMM's output
+//!   tiles, with the derivative computed from the stored activation
+//!   *outputs* (ReLU: `a > 0`; tanh: `1 − a²`);
+//! - the `Activation` dispatch is monomorphized per variant, so the inner
+//!   loops contain no per-element `match`.
+//!
+//! A [`TrainWorkspace`] owns all buffers, including the
+//! [`linalg::GemmWorkspace`] pack panels, so one full forward + backward +
+//! Adam step performs **zero heap allocations** once the buffers are warm.
 
-use linalg::Matrix;
+use linalg::{
+    gemm, gemm_prepacked_with, gemm_with, Epilogue, GemmOp, GemmWorkspace, Matrix, PackedB,
+};
 
-use crate::mlp::{Gradients, Mlp};
+use crate::mlp::{ActFn, Activation, Gradients, Mlp, ReluAct, TanhAct};
 use crate::Adam;
 
 /// Reusable buffers for [`Mlp::forward_ws`] / [`Mlp::backward_ws`] and
@@ -41,10 +52,9 @@ use crate::Adam;
 #[derive(Debug, Clone, Default)]
 pub struct TrainWorkspace {
     /// `acts[k]` is the activation entering layer `k`; `acts[L]` is the
-    /// network output.
+    /// network output. (Pre-activations are never stored: the backward
+    /// pass derives `act'` from these outputs.)
     pub(crate) acts: Vec<Matrix>,
-    /// Pre-activation values per hidden layer.
-    pub(crate) zs: Vec<Matrix>,
     /// Current backpropagated `∂L/∂z`.
     pub(crate) delta: Matrix,
     /// Double buffer for propagating `delta` through a layer.
@@ -53,6 +63,8 @@ pub struct TrainWorkspace {
     pub(crate) grads: Gradients,
     /// Scratch for loss gradients (used by `train_step_mse_ws`).
     pub(crate) grad_out: Matrix,
+    /// GEMM pack panels shared by every layer's products.
+    pub(crate) gemm: GemmWorkspace,
 }
 
 impl TrainWorkspace {
@@ -66,8 +78,6 @@ impl TrainWorkspace {
     fn ensure(&mut self, net: &Mlp) {
         let layers = net.num_layers();
         self.acts.resize_with(layers + 1, || Matrix::zeros(0, 0));
-        self.zs
-            .resize_with(layers.saturating_sub(1), || Matrix::zeros(0, 0));
         self.grads.dw.resize_with(layers, || Matrix::zeros(0, 0));
         self.grads.db.resize_with(layers, Vec::new);
     }
@@ -101,20 +111,133 @@ impl TrainWorkspace {
     }
 }
 
-/// Adds the layer bias to every row of `y`.
-#[inline]
-fn add_bias(y: &mut Matrix, b: &[f64]) {
-    for i in 0..y.rows() {
-        for (v, bj) in y.row_mut(i).iter_mut().zip(b) {
-            *v += bj;
+/// Output-layer epilogue: adds the layer bias inside the GEMM output tile.
+struct BiasEpilogue<'a> {
+    bias: &'a [f64],
+}
+
+impl Epilogue for BiasEpilogue<'_> {
+    #[inline]
+    fn apply(&mut self, _row: usize, col0: usize, seg: &mut [f64]) {
+        let bias = &self.bias[col0..col0 + seg.len()];
+        for (v, &b) in seg.iter_mut().zip(bias) {
+            *v += b;
         }
+    }
+}
+
+/// Hidden-layer epilogue: bias-add and activation fused into the GEMM
+/// output tile, monomorphized over the activation.
+struct BiasActEpilogue<'a, A: ActFn> {
+    bias: &'a [f64],
+    _act: std::marker::PhantomData<A>,
+}
+
+impl<'a, A: ActFn> BiasActEpilogue<'a, A> {
+    fn new(bias: &'a [f64]) -> Self {
+        BiasActEpilogue {
+            bias,
+            _act: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<A: ActFn> Epilogue for BiasActEpilogue<'_, A> {
+    #[inline]
+    fn apply(&mut self, _row: usize, col0: usize, seg: &mut [f64]) {
+        let bias = &self.bias[col0..col0 + seg.len()];
+        for (v, &b) in seg.iter_mut().zip(bias) {
+            *v = A::apply(*v + b);
+        }
+    }
+}
+
+/// Backward-propagation epilogue: multiplies the freshly propagated delta
+/// tile by the activation derivative, read from the stored activation
+/// outputs of the same positions.
+struct ActPrimeEpilogue<'a, A: ActFn> {
+    act_out: &'a Matrix,
+    _act: std::marker::PhantomData<A>,
+}
+
+impl<'a, A: ActFn> ActPrimeEpilogue<'a, A> {
+    fn new(act_out: &'a Matrix) -> Self {
+        ActPrimeEpilogue {
+            act_out,
+            _act: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<A: ActFn> Epilogue for ActPrimeEpilogue<'_, A> {
+    #[inline]
+    fn apply(&mut self, row: usize, col0: usize, seg: &mut [f64]) {
+        let a = &self.act_out.row(row)[col0..col0 + seg.len()];
+        for (v, &av) in seg.iter_mut().zip(a) {
+            *v *= A::deriv_from_output(av);
+        }
+    }
+}
+
+/// One layer product `x_in · Wᵀ` with the given fused epilogue, through
+/// the pre-packed panel when the network is frozen.
+#[inline]
+fn layer_gemm<E: Epilogue>(
+    x_in: &Matrix,
+    w: &Matrix,
+    packed: Option<&PackedB>,
+    out: &mut Matrix,
+    gemm_ws: &mut GemmWorkspace,
+    epi: &mut E,
+) {
+    match packed {
+        Some(p) => gemm_prepacked_with(GemmOp::NoTrans, 1.0, x_in, p, 0.0, out, gemm_ws, epi),
+        None => gemm_with(
+            GemmOp::NoTrans,
+            GemmOp::Trans,
+            1.0,
+            x_in,
+            w,
+            0.0,
+            out,
+            gemm_ws,
+            epi,
+        ),
+    }
+}
+
+/// One delta propagation `δ · W` with the given fused epilogue, through
+/// the pre-packed panel when the network is frozen.
+#[inline]
+fn prop_gemm<E: Epilogue>(
+    delta: &Matrix,
+    w: &Matrix,
+    packed: Option<&PackedB>,
+    out: &mut Matrix,
+    gemm_ws: &mut GemmWorkspace,
+    epi: &mut E,
+) {
+    match packed {
+        Some(p) => gemm_prepacked_with(GemmOp::NoTrans, 1.0, delta, p, 0.0, out, gemm_ws, epi),
+        None => gemm_with(
+            GemmOp::NoTrans,
+            GemmOp::NoTrans,
+            1.0,
+            delta,
+            w,
+            0.0,
+            out,
+            gemm_ws,
+            epi,
+        ),
     }
 }
 
 impl Mlp {
     /// Forward pass on a batch using preallocated buffers; the output and
-    /// the cache needed by [`Mlp::backward_ws`] land in `ws`. Allocation
-    /// free once `ws` is warm.
+    /// the cache needed by [`Mlp::backward_ws`] land in `ws`. Each layer is
+    /// a single fused GEMM (`x·Wᵀ` with bias + activation applied in the
+    /// output tiles). Allocation free once `ws` is warm.
     ///
     /// # Panics
     ///
@@ -126,21 +249,39 @@ impl Mlp {
         ws.acts[0].copy_from(x);
         for k in 0..=last {
             let (w, b) = self.layer(k);
+            let packed = self.packed_fwd(k);
+            let (head, tail) = ws.acts.split_at_mut(k + 1);
+            let x_in = &head[k];
+            let out = &mut tail[0];
             if k < last {
-                // Hidden layer: keep z for the backward pass, write the
-                // activation into acts[k + 1].
-                let z = &mut ws.zs[k];
-                ws.acts[k].matmul_nt_into(w, z);
-                add_bias(z, b);
-                let out = &mut ws.acts[k + 1];
-                out.copy_from(z);
-                let act = self.activation();
-                out.map_inplace(|v| act.apply(v));
+                match self.activation() {
+                    Activation::Relu => layer_gemm(
+                        x_in,
+                        w,
+                        packed,
+                        out,
+                        &mut ws.gemm,
+                        &mut BiasActEpilogue::<ReluAct>::new(b),
+                    ),
+                    Activation::Tanh => layer_gemm(
+                        x_in,
+                        w,
+                        packed,
+                        out,
+                        &mut ws.gemm,
+                        &mut BiasActEpilogue::<TanhAct>::new(b),
+                    ),
+                }
             } else {
-                // Linear output layer straight into acts[last + 1].
-                let (head, tail) = ws.acts.split_at_mut(k + 1);
-                head[k].matmul_nt_into(w, &mut tail[0]);
-                add_bias(&mut tail[0], b);
+                // Linear output layer: bias-add only.
+                layer_gemm(
+                    x_in,
+                    w,
+                    packed,
+                    out,
+                    &mut ws.gemm,
+                    &mut BiasEpilogue { bias: b },
+                );
             }
         }
         ws.output()
@@ -148,13 +289,50 @@ impl Mlp {
 
     /// Reverse-mode pass over the state of the last [`Mlp::forward_ws`]
     /// call: fills `ws.gradients()` and `ws.input_gradient()` without
-    /// allocating. Performs the same operations in the same order as
-    /// [`Mlp::backward`].
+    /// allocating. The weight gradient (`δᵀ·x`) and delta propagation
+    /// (`δ·W`, with the activation derivative fused into the output tiles)
+    /// are each one GEMM per layer.
     ///
     /// # Panics
     ///
     /// Panics if the gradient shape does not match the cached batch.
     pub fn backward_ws(&self, ws: &mut TrainWorkspace, grad_out: &Matrix) {
+        self.backward_ws_impl(ws, grad_out, true, true);
+    }
+
+    /// [`Mlp::backward_ws`] without the final propagation into the input
+    /// batch: fills `ws.gradients()` only, skipping the first layer's
+    /// `δ·W` GEMM entirely. The parameter-training fast path (plain MSE
+    /// steps, actor updates) — `ws.input_gradient()` is *not* valid after
+    /// this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape does not match the cached batch.
+    pub fn backward_params_ws(&self, ws: &mut TrainWorkspace, grad_out: &Matrix) {
+        self.backward_ws_impl(ws, grad_out, true, false);
+    }
+
+    /// [`Mlp::backward_ws`] without the parameter gradients: propagates the
+    /// delta to `ws.input_gradient()` only, skipping every layer's `δᵀ·x`
+    /// GEMM and bias sum. The frozen-network path (gradients *through* the
+    /// DNN-Opt critic into the actor) — `ws.gradients()` is *not* valid
+    /// after this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape does not match the cached batch.
+    pub fn backward_input_ws(&self, ws: &mut TrainWorkspace, grad_out: &Matrix) {
+        self.backward_ws_impl(ws, grad_out, false, true);
+    }
+
+    fn backward_ws_impl(
+        &self,
+        ws: &mut TrainWorkspace,
+        grad_out: &Matrix,
+        param_grads: bool,
+        input_grad: bool,
+    ) {
         let last = self.num_layers() - 1;
         assert_eq!(
             grad_out.cols(),
@@ -168,28 +346,67 @@ impl Mlp {
         );
         ws.delta.copy_from(grad_out);
         for k in (0..=last).rev() {
-            if k < last {
-                // Pass through the activation derivative, elementwise.
-                let z = &ws.zs[k];
-                let act = self.activation();
-                let delta = &mut ws.delta;
-                for (d, &zv) in delta.as_mut_slice().iter_mut().zip(z.as_slice()) {
-                    *d *= act.derivative(zv);
+            if param_grads {
+                // dW[k] = δᵀ·x_in without materializing the transpose.
+                gemm(
+                    GemmOp::Trans,
+                    GemmOp::NoTrans,
+                    1.0,
+                    &ws.delta,
+                    &ws.acts[k],
+                    0.0,
+                    &mut ws.grads.dw[k],
+                    &mut ws.gemm,
+                );
+                // db[k] = column sums of δ, one row-major pass.
+                let db = &mut ws.grads.db[k];
+                db.clear();
+                db.resize(ws.delta.cols(), 0.0);
+                for i in 0..ws.delta.rows() {
+                    for (s, &d) in db.iter_mut().zip(ws.delta.row(i)) {
+                        *s += d;
+                    }
                 }
             }
-            let x_in = &ws.acts[k];
-            ws.delta.matmul_tn_into(x_in, &mut ws.grads.dw[k]);
-            let db = &mut ws.grads.db[k];
-            db.clear();
-            db.resize(ws.delta.cols(), 0.0);
-            for i in 0..ws.delta.rows() {
-                for (s, &d) in db.iter_mut().zip(ws.delta.row(i)) {
-                    *s += d;
-                }
-            }
-            // Propagate to the layer input.
+            // Propagate to the layer input. For k > 0 the destination is a
+            // hidden activation, so the propagation GEMM fuses the
+            // activation-derivative product (δ ⊙ act'(acts[k])) into its
+            // output tiles; for k == 0 it is the plain input gradient.
             let (w, _) = self.layer(k);
-            ws.delta.matmul_into(w, &mut ws.delta_tmp);
+            let packed = self.packed_bwd(k);
+            if k > 0 {
+                match self.activation() {
+                    Activation::Relu => prop_gemm(
+                        &ws.delta,
+                        w,
+                        packed,
+                        &mut ws.delta_tmp,
+                        &mut ws.gemm,
+                        &mut ActPrimeEpilogue::<ReluAct>::new(&ws.acts[k]),
+                    ),
+                    Activation::Tanh => prop_gemm(
+                        &ws.delta,
+                        w,
+                        packed,
+                        &mut ws.delta_tmp,
+                        &mut ws.gemm,
+                        &mut ActPrimeEpilogue::<TanhAct>::new(&ws.acts[k]),
+                    ),
+                }
+            } else if input_grad {
+                prop_gemm(
+                    &ws.delta,
+                    w,
+                    packed,
+                    &mut ws.delta_tmp,
+                    &mut ws.gemm,
+                    &mut linalg::NoEpilogue,
+                );
+            } else {
+                // Parameter-only pass: the input gradient is never used,
+                // so skip the first layer's propagation GEMM.
+                break;
+            }
             std::mem::swap(&mut ws.delta, &mut ws.delta_tmp);
         }
     }
@@ -209,19 +426,30 @@ pub fn train_step_mse_ws(
     let mut grad_out = std::mem::take(&mut ws.grad_out);
     net.forward_ws(x, ws);
     let pred = ws.output();
-    let loss = crate::mse(pred, y);
-    // grad = 2(pred − target)/n, written into the reusable buffer.
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (y.rows(), y.cols()),
+        "mse: shape mismatch"
+    );
+    // Loss and its gradient 2(pred − target)/n in one fused pass over the
+    // predictions, written into the reusable buffer. Identical summation
+    // order to `crate::mse`.
     let n = (pred.rows() * pred.cols()) as f64;
     grad_out.reshape_zeroed(pred.rows(), pred.cols());
+    let mut loss = 0.0;
     for ((g, &p), &t) in grad_out
         .as_mut_slice()
         .iter_mut()
         .zip(pred.as_slice())
         .zip(y.as_slice())
     {
-        *g = 2.0 * (p - t) / n;
+        let e = p - t;
+        loss += e * e;
+        *g = 2.0 * e / n;
     }
-    net.backward_ws(ws, &grad_out);
+    loss /= n;
+    // Plain training never reads the input gradient: parameter-only pass.
+    net.backward_params_ws(ws, &grad_out);
     ws.grad_out = grad_out;
     adam.step(net, &ws.grads);
     loss
@@ -285,5 +513,129 @@ mod tests {
             assert!((la - lb).abs() < 1e-12, "losses diverged: {la} vs {lb}");
         }
         assert_eq!(net_a.forward(&x), net_b.forward(&x));
+    }
+
+    /// Freezing pre-packs the weight panels; forward and backward through
+    /// the packed panels must match the on-the-fly blocked path bit for
+    /// bit, and any parameter mutation must silently discard the packs.
+    #[test]
+    fn frozen_packed_panels_match_on_the_fly_path() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut net = Mlp::new(&[9, 7, 3], Activation::Relu, &mut rng);
+        // Batch large enough that every layer product exceeds the naive
+        // cutoff, so the unfrozen path is blocked too (the packed path is
+        // always blocked; bit equality only holds kernel-to-kernel).
+        let x = Matrix::from_fn(256, 9, |i, j| ((i * 5 + j) as f64 * 0.07).cos());
+        let grad_out = Matrix::from_fn(256, 3, |i, j| (i as f64 * 0.01) - j as f64);
+        let mut ws_plain = TrainWorkspace::new();
+        net.forward_ws(&x, &mut ws_plain);
+        net.backward_ws(&mut ws_plain, &grad_out);
+        let plain_out = ws_plain.output().clone();
+
+        net.freeze();
+        assert!(net.is_frozen());
+        let mut ws_frozen = TrainWorkspace::new();
+        net.forward_ws(&x, &mut ws_frozen);
+        net.backward_ws(&mut ws_frozen, &grad_out);
+        assert_eq!(plain_out, *ws_frozen.output());
+        for k in 0..net.num_layers() {
+            assert_eq!(ws_plain.gradients().dw[k], ws_frozen.gradients().dw[k]);
+        }
+        assert_eq!(ws_plain.input_gradient(), ws_frozen.input_gradient());
+
+        // A parameter mutation thaws the network.
+        let mut adam = Adam::new(1e-3);
+        let y = Matrix::from_fn(256, 3, |i, _| (i as f64 * 0.02).sin());
+        train_step_mse_ws(&mut net, &mut adam, &x, &y, &mut ws_frozen);
+        assert!(!net.is_frozen());
+    }
+
+    /// The fused bias/activation epilogues must agree bit-for-bit with the
+    /// separate-pass formulation (plain GEMM, then explicit bias-add and
+    /// activation loops) — the epilogue only relocates the same arithmetic
+    /// into the output tiles.
+    #[test]
+    fn fused_epilogues_match_separate_passes() {
+        for act in [Activation::Tanh, Activation::Relu] {
+            let mut rng = StdRng::seed_from_u64(17);
+            // Batch large enough to push the layer GEMMs onto the blocked
+            // kernel (64·7·9 > cutoff).
+            let net = Mlp::new(&[9, 7, 2], act, &mut rng);
+            let x = Matrix::from_fn(64, 9, |i, j| ((i * 3 + j) as f64 * 0.11).sin());
+            let mut ws = TrainWorkspace::new();
+            net.forward_ws(&x, &mut ws);
+
+            // Separate-pass hidden layer: GEMM, then bias, then activation.
+            let (w0, b0) = net.layer(0);
+            let mut z = Matrix::default();
+            let mut gw = linalg::GemmWorkspace::new();
+            gemm(
+                GemmOp::NoTrans,
+                GemmOp::Trans,
+                1.0,
+                &x,
+                w0,
+                0.0,
+                &mut z,
+                &mut gw,
+            );
+            for i in 0..z.rows() {
+                for (v, &b) in z.row_mut(i).iter_mut().zip(b0) {
+                    *v += b;
+                }
+            }
+            z.map_inplace(|v| match act {
+                Activation::Relu => v.max(0.0),
+                Activation::Tanh => v.tanh(),
+            });
+            assert_eq!(z, ws.acts[1], "fused hidden layer diverged ({act:?})");
+
+            // Separate-pass backward: propagate then multiply by act'.
+            let grad_out = Matrix::from_fn(64, 2, |i, j| (i as f64 - 30.0) * (j as f64 + 0.5));
+            net.backward_ws(&mut ws, &grad_out);
+            let (w1, _) = net.layer(1);
+            let mut prop = Matrix::default();
+            gemm(
+                GemmOp::NoTrans,
+                GemmOp::NoTrans,
+                1.0,
+                &grad_out,
+                w1,
+                0.0,
+                &mut prop,
+                &mut gw,
+            );
+            let a1 = &ws.acts[1];
+            let expect_delta = Matrix::from_fn(prop.rows(), prop.cols(), |i, j| {
+                let d = match act {
+                    Activation::Relu => {
+                        if a1[(i, j)] > 0.0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    Activation::Tanh => 1.0 - a1[(i, j)] * a1[(i, j)],
+                };
+                prop[(i, j)] * d
+            });
+            // dW[0] = (δ ⊙ act')ᵀ · x — recompute from the separate-pass δ.
+            let mut expect_dw0 = Matrix::default();
+            gemm(
+                GemmOp::Trans,
+                GemmOp::NoTrans,
+                1.0,
+                &expect_delta,
+                &x,
+                0.0,
+                &mut expect_dw0,
+                &mut gw,
+            );
+            assert_eq!(
+                expect_dw0,
+                ws.gradients().dw[0],
+                "fused backward diverged ({act:?})"
+            );
+        }
     }
 }

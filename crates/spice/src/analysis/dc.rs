@@ -166,6 +166,11 @@ pub(crate) fn newton_loop<A: Assemble>(
     let mut prev_damp = 1.0_f64;
     ws.ensure(circuit);
     let mut mode = ws.prepare(circuit, kind, &mut assemble, x0);
+    // One Newton solve = one constant-segment preload: split sparse plans
+    // stamp the x-independent writes (linear devices, sources at this
+    // solve's time/scale, capacitor companions) once here-after, and
+    // replay only the MOS slots per iteration.
+    ws.begin_solve();
     for iter in 0..max_iters {
         let mut solved = false;
         if mode == SolveMode::Sparse {
@@ -254,6 +259,23 @@ impl Assemble for DcAssemble<'_> {
     fn assemble<S: Stamp>(&mut self, x: &[f64], st: &mut S) {
         st.load_gmin(self.gmin);
         stamp_resistive_system(self.circuit, x, SourceEval::Dc { scale: self.scale }, st);
+    }
+
+    fn supports_split(&self) -> bool {
+        true
+    }
+
+    fn assemble_constant<S: Stamp>(&mut self, st: &mut S) {
+        st.load_gmin(self.gmin);
+        crate::stamp::stamp_resistive_linear(
+            self.circuit,
+            SourceEval::Dc { scale: self.scale },
+            st,
+        );
+    }
+
+    fn assemble_varying<S: Stamp>(&mut self, x: &[f64], st: &mut S) {
+        crate::stamp::stamp_resistive_mos(self.circuit, x, st);
     }
 }
 

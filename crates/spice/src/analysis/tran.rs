@@ -177,19 +177,41 @@ struct TranAssemble<'a> {
     h: f64,
 }
 
-impl Assemble for TranAssemble<'_> {
-    fn assemble<S: Stamp>(&mut self, xk: &[f64], st: &mut S) {
-        st.load_gmin(self.gmin);
-        stamp_resistive_system(self.circuit, xk, SourceEval::Time { t: self.t }, st);
-        // Trapezoidal companion for each capacitor:
-        //   i_{n+1} = (2C/h)(v_{n+1} − v_n) − i_n
-        // = geq·v_{n+1} + i0 with geq = 2C/h, i0 = −geq·v_n − i_n.
+impl TranAssemble<'_> {
+    /// Trapezoidal companion for each capacitor:
+    ///   `i_{n+1} = (2C/h)(v_{n+1} − v_n) − i_n`
+    /// = `geq·v_{n+1} + i0` with `geq = 2C/h`, `i0 = −geq·v_n − i_n`.
+    /// The companion values depend on the timestep state (`h`, `v_prev`,
+    /// `i_prev`) but not on the Newton iterate — constant within a solve.
+    fn stamp_companions<S: Stamp>(&self, st: &mut S) {
         for cap in self.caps {
             let geq = 2.0 * cap.c / self.h;
             let i0 = -geq * cap.v_prev - cap.i_prev;
             st.conductance(cap.a, cap.b, geq);
             st.current_source(cap.a, cap.b, i0);
         }
+    }
+}
+
+impl Assemble for TranAssemble<'_> {
+    fn assemble<S: Stamp>(&mut self, xk: &[f64], st: &mut S) {
+        st.load_gmin(self.gmin);
+        stamp_resistive_system(self.circuit, xk, SourceEval::Time { t: self.t }, st);
+        self.stamp_companions(st);
+    }
+
+    fn supports_split(&self) -> bool {
+        true
+    }
+
+    fn assemble_constant<S: Stamp>(&mut self, st: &mut S) {
+        st.load_gmin(self.gmin);
+        crate::stamp::stamp_resistive_linear(self.circuit, SourceEval::Time { t: self.t }, st);
+        self.stamp_companions(st);
+    }
+
+    fn assemble_varying<S: Stamp>(&mut self, xk: &[f64], st: &mut S) {
+        crate::stamp::stamp_resistive_mos(self.circuit, xk, st);
     }
 }
 
@@ -553,6 +575,63 @@ mod tests {
         // The wavefront is ordered: upstream nodes lead downstream ones.
         let mid = c.find_node("n15").unwrap();
         assert!(r.sample(mid, 2e-9) >= r.sample(prev, 2e-9) - 1e-9);
+    }
+
+    /// A MOS-loaded ladder (sparse path, split assembly) must give the same
+    /// bits on a pooled re-run: the constant-slot preload is refreshed per
+    /// timestep and never leaks state between runs.
+    #[test]
+    fn split_transient_is_bit_reproducible_across_workspace_reuse() {
+        use crate::mos::{MosModel, MosPolarity};
+        let m = MosModel {
+            polarity: MosPolarity::Nmos,
+            vth0: 0.45,
+            kp: 300e-6,
+            clm: 0.02e-6,
+            gamma: 0.4,
+            phi: 0.8,
+            nsub: 1.4,
+            cox: 8.5e-3,
+            cov: 3e-10,
+            cj: 1e-3,
+            ldiff: 0.4e-6,
+            kf: 1e-26,
+            af: 1.0,
+            noise_gamma: 2.0 / 3.0,
+        };
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        c.add_vsource(
+            "VDD",
+            vdd,
+            GND,
+            Waveform::pulse(0.0, 1.8, 0.5e-9, 0.1e-9, 0.1e-9, 20e-9, f64::INFINITY),
+        )
+        .unwrap();
+        let mut prev = vdd;
+        for i in 0..24 {
+            let d = c.node(&format!("d{i}"));
+            c.add_resistor(&format!("R{i}"), prev, d, 5e3).unwrap();
+            c.add_mosfet(&format!("M{i}"), d, d, GND, GND, &m, 4e-6, 0.5e-6, 1.0)
+                .unwrap();
+            c.add_capacitor(&format!("C{i}"), d, GND, 2e-15).unwrap();
+            prev = d;
+        }
+        let mut ws = crate::workspace::NewtonWorkspace::new(&c);
+        let opts = SimOptions::default();
+        let r1 = transient_with_workspace(&c, &opts, 5e-9, 50e-12, &mut ws).unwrap();
+        assert!(ws.uses_sparse(true), "ladder must select the sparse path");
+        let r2 = transient_with_workspace(&c, &opts, 5e-9, 50e-12, &mut ws).unwrap();
+        assert_eq!(r1.len(), r2.len());
+        for i in 0..r1.len() {
+            for n in 0..c.num_nodes() {
+                assert_eq!(
+                    r1.voltage(i, n).to_bits(),
+                    r2.voltage(i, n).to_bits(),
+                    "step {i} node {n}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -305,6 +305,18 @@ impl<'a> SlotStamper<'a> {
     ) -> Self {
         values.fill(0.0);
         z.fill(0.0);
+        Self::resume(n_nodes, slots, values, z)
+    }
+
+    /// Creates a slot stamper that accumulates *on top of* the buffers'
+    /// current contents — the varying-segment replay of a split assembly,
+    /// where `values`/`z` were preloaded with the constant part.
+    pub(crate) fn resume(
+        n_nodes: usize,
+        slots: &'a [u32],
+        values: &'a mut [f64],
+        z: &'a mut [f64],
+    ) -> Self {
         SlotStamper {
             n_nodes,
             slots,
@@ -386,22 +398,107 @@ pub fn node_voltage(x: &[f64], n: NodeId) -> f64 {
 /// state the assembly needs (circuit, gmin, source evaluation, transient
 /// companion models); the Newton engine calls [`Assemble::assemble`] once
 /// per iteration.
+///
+/// # Constant/varying write split
+///
+/// Within one Newton solve only the MOS linearizations depend on the
+/// unknown vector `x`; every other stamp (gmin loading, linear devices,
+/// sources at the solve's time/scale, capacitor companion models) is
+/// constant across the solve's iterations. Implementors that advertise
+/// [`Assemble::supports_split`] expose the two segments separately so the
+/// sparse slot-map engine can assemble the constant part **once per
+/// solve** and replay only the varying slots per iteration:
+///
+/// - [`Assemble::assemble_constant`] stamps the x-independent writes;
+/// - [`Assemble::assemble_varying`] stamps the x-dependent writes.
+///
+/// The union of the two write sequences must cover exactly the positions
+/// [`Assemble::assemble`] touches, and both sequences must be
+/// value-independent (fixed by the topology), like the full sequence.
 pub(crate) trait Assemble {
     /// Stamps the full linearized system at the unknown vector `x`.
     fn assemble<S: Stamp>(&mut self, x: &[f64], st: &mut S);
+
+    /// True when the implementor distinguishes constant from x-dependent
+    /// writes (see the trait docs).
+    fn supports_split(&self) -> bool {
+        false
+    }
+
+    /// Stamps the x-independent writes. Only called when
+    /// [`Assemble::supports_split`] returns true.
+    fn assemble_constant<S: Stamp>(&mut self, st: &mut S) {
+        let _ = st;
+    }
+
+    /// Stamps the x-dependent writes. Only called when
+    /// [`Assemble::supports_split`] returns true.
+    fn assemble_varying<S: Stamp>(&mut self, x: &[f64], st: &mut S) {
+        self.assemble(x, st);
+    }
 }
 
-/// Shared assembly walk: stamps every device and hands each device's
-/// MOSFET evaluation (or `None`) to `sink`, letting callers choose whether
-/// to collect them.
+/// Which devices a resistive assembly walk stamps. The linear/MOS split is
+/// what lets the slot-map engine replay only the x-dependent writes per
+/// Newton iteration (see [`Assemble`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeviceFilter {
+    /// Every device (the classic full assembly).
+    All,
+    /// Linear (x-independent) devices only: resistors, sources, controlled
+    /// sources. Their stamps never read the unknown vector.
+    LinearOnly,
+    /// MOSFET linearizations only — the stamps that change with `x`.
+    MosOnly,
+}
+
+/// Shared assembly walk: stamps every device selected by `filter` and
+/// hands each stamped device's MOSFET evaluation (or `None`) to `sink`,
+/// letting callers choose whether to collect them.
 fn stamp_resistive_impl<S: Stamp>(
     circuit: &Circuit,
     x: &[f64],
     sources: SourceEval,
     st: &mut S,
+    filter: DeviceFilter,
     mut sink: impl FnMut(Option<MosEval>),
 ) {
     for dev in circuit.devices() {
+        if let Device::Mosfet {
+            d,
+            g,
+            s,
+            b,
+            model,
+            w,
+            l,
+            m,
+            ..
+        } = dev
+        {
+            if filter == DeviceFilter::LinearOnly {
+                continue;
+            }
+            let vd = node_voltage(x, *d);
+            let vg = node_voltage(x, *g);
+            let vs = node_voltage(x, *s);
+            let vb = node_voltage(x, *b);
+            let e = crate::mos::eval_mos(model, *w, *l, *m, vg - vs, vd - vs, vb - vs);
+            // Norton companion: i(v) ≈ ieq + gm·vgs + gds·vds + gmb·vbs.
+            let vgs = vg - vs;
+            let vds = vd - vs;
+            let vbs = vb - vs;
+            let ieq = e.id - e.gm * vgs - e.gds * vds - e.gmb * vbs;
+            st.vccs(*d, *s, *g, *s, e.gm);
+            st.conductance(*d, *s, e.gds);
+            st.vccs(*d, *s, *b, *s, e.gmb);
+            st.current_source(*d, *s, ieq);
+            sink(Some(e));
+            continue;
+        }
+        if filter == DeviceFilter::MosOnly {
+            continue;
+        }
         match dev {
             Device::Resistor { a, b, g, .. } => {
                 st.conductance(*a, *b, *g);
@@ -439,33 +536,7 @@ fn stamp_resistive_impl<S: Stamp>(
                 st.vccs(*p, *n, *cp, *cn, *gm);
                 sink(None);
             }
-            Device::Mosfet {
-                d,
-                g,
-                s,
-                b,
-                model,
-                w,
-                l,
-                m,
-                ..
-            } => {
-                let vd = node_voltage(x, *d);
-                let vg = node_voltage(x, *g);
-                let vs = node_voltage(x, *s);
-                let vb = node_voltage(x, *b);
-                let e = crate::mos::eval_mos(model, *w, *l, *m, vg - vs, vd - vs, vb - vs);
-                // Norton companion: i(v) ≈ ieq + gm·vgs + gds·vds + gmb·vbs.
-                let vgs = vg - vs;
-                let vds = vd - vs;
-                let vbs = vb - vs;
-                let ieq = e.id - e.gm * vgs - e.gds * vds - e.gmb * vbs;
-                st.vccs(*d, *s, *g, *s, e.gm);
-                st.conductance(*d, *s, e.gds);
-                st.vccs(*d, *s, *b, *s, e.gmb);
-                st.current_source(*d, *s, ieq);
-                sink(Some(e));
-            }
+            Device::Mosfet { .. } => unreachable!("handled above"),
         }
     }
 }
@@ -481,7 +552,9 @@ pub fn stamp_resistive(
     st: &mut RealStamper,
 ) -> Vec<Option<MosEval>> {
     let mut evals = Vec::with_capacity(circuit.devices().len());
-    stamp_resistive_impl(circuit, x, sources, st, |e| evals.push(e));
+    stamp_resistive_impl(circuit, x, sources, st, DeviceFilter::All, |e| {
+        evals.push(e)
+    });
     evals
 }
 
@@ -493,7 +566,26 @@ pub fn stamp_resistive_system<S: Stamp>(
     sources: SourceEval,
     st: &mut S,
 ) {
-    stamp_resistive_impl(circuit, x, sources, st, |_| {});
+    stamp_resistive_impl(circuit, x, sources, st, DeviceFilter::All, |_| {});
+}
+
+/// Stamps only the linear (x-independent) devices — the constant segment
+/// of a split assembly. Linear stamps never read the unknown vector.
+pub(crate) fn stamp_resistive_linear<S: Stamp>(circuit: &Circuit, sources: SourceEval, st: &mut S) {
+    stamp_resistive_impl(circuit, &[], sources, st, DeviceFilter::LinearOnly, |_| {});
+}
+
+/// Stamps only the MOSFET linearizations at `x` — the varying segment of a
+/// split assembly.
+pub(crate) fn stamp_resistive_mos<S: Stamp>(circuit: &Circuit, x: &[f64], st: &mut S) {
+    stamp_resistive_impl(
+        circuit,
+        x,
+        SourceEval::Dc { scale: 1.0 },
+        st,
+        DeviceFilter::MosOnly,
+        |_| {},
+    );
 }
 
 /// A complex MNA stamp sink: the frequency-domain mirror of [`Stamp`].
@@ -893,6 +985,49 @@ mod tests {
         stamp_resistive(&c, &[0.0, 0.0], SourceEval::Dc { scale: 1.0 }, &mut st);
         assert_eq!(st.z[0], -1e-3);
         assert_eq!(st.z[1], 1e-3);
+    }
+
+    #[test]
+    fn split_assembly_covers_the_full_system() {
+        // Mixed circuit: linear front-end plus MOS load. Constant + varying
+        // passes must reproduce the full assembly exactly (the MOS device
+        // is registered last, so the per-cell accumulation order of the
+        // split walk matches the full walk bit for bit).
+        use crate::mos::{MosModel, MosPolarity};
+        let m = MosModel {
+            polarity: MosPolarity::Nmos,
+            vth0: 0.45,
+            kp: 300e-6,
+            clm: 0.02e-6,
+            gamma: 0.4,
+            phi: 0.8,
+            nsub: 1.4,
+            cox: 8.5e-3,
+            cov: 3e-10,
+            cj: 1e-3,
+            ldiff: 0.4e-6,
+            kf: 1e-26,
+            af: 1.0,
+            noise_gamma: 2.0 / 3.0,
+        };
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        c.add_vsource("V1", vdd, GND, Waveform::Dc(1.8)).unwrap();
+        c.add_resistor("R1", vdd, d, 10e3).unwrap();
+        c.add_mosfet("M1", d, d, GND, GND, &m, 4e-6, 0.5e-6, 1.0)
+            .unwrap();
+        let x = vec![1.8, 0.6, 0.0];
+
+        let mut full = RealStamper::new(&c);
+        stamp_resistive_system(&c, &x, SourceEval::Dc { scale: 1.0 }, &mut full);
+
+        let mut split = RealStamper::new(&c);
+        stamp_resistive_linear(&c, SourceEval::Dc { scale: 1.0 }, &mut split);
+        stamp_resistive_mos(&c, &x, &mut split);
+
+        assert_eq!(full.a, split.a);
+        assert_eq!(full.z, split.z);
     }
 
     #[test]

@@ -122,8 +122,14 @@ struct SparsePlan {
 /// Recorded stamp→slot map plus the sparse factorization state.
 #[derive(Debug, Clone)]
 struct SparseState {
-    /// Per-write CSC value index, in stamp order.
-    slots: Vec<u32>,
+    /// Per-write CSC value index of the x-*varying* assembly segment, in
+    /// stamp order — the full write sequence when the assembly has no
+    /// constant/varying split.
+    var_slots: Vec<u32>,
+    /// Constant-segment preload (split assemblies only): the x-independent
+    /// writes are assembled once per Newton solve and copied in before
+    /// each iteration's varying replay.
+    preload: Option<PreloadState>,
     /// The MNA system in CSC form (pattern fixed, values per assembly).
     csc: CscMatrix,
     /// Symbolic + numeric LU state.
@@ -135,6 +141,23 @@ struct SparseState {
     /// and source-stepping retries, and transient timesteps — the pivot
     /// sequence is reused by the scan-free refactorization.
     pivot_session: u64,
+}
+
+/// The constant (x-independent) half of a split assembly: slot map,
+/// pre-assembled CSC values and right-hand side. Refreshed once per Newton
+/// solve — every transient timestep re-stamps its sources and capacitor
+/// companions here exactly once, and the per-iteration replay touches only
+/// the MOS slots on top of a copy of these buffers.
+#[derive(Debug, Clone)]
+struct PreloadState {
+    /// Per-write CSC value index of the constant segment, in stamp order.
+    const_slots: Vec<u32>,
+    /// CSC value array holding only the constant contributions.
+    values: Vec<f64>,
+    /// Right-hand side of the constant contributions.
+    z: Vec<f64>,
+    /// [`NewtonWorkspace::solve_id`] the buffers were assembled for.
+    solve_id: u64,
 }
 
 /// A cached complex sparse plan for the AC/noise small-signal pattern.
@@ -395,6 +418,11 @@ pub struct NewtonWorkspace {
     topo: u64,
     /// Monotonic solve-session id (see [`SparseState::pivot_session`]).
     session: u64,
+    /// Monotonic Newton-solve id: bumped once per `newton_loop` call (each
+    /// DC attempt, each gmin/source-stepping rung, each transient
+    /// timestep). The refresh boundary of [`PreloadState`] — the constant
+    /// assembly segment is valid for exactly one solve.
+    solve_id: u64,
     /// Cached sparse plans, indexed by [`StampKind`].
     plans: [Option<SparsePlan>; 2],
     /// Frequency-domain (AC/noise) state, created on first use so
@@ -413,6 +441,7 @@ impl NewtonWorkspace {
             n,
             topo: circuit.topology_id(),
             session: 1,
+            solve_id: 1,
             plans: [None, None],
             ac: None,
         }
@@ -437,12 +466,15 @@ impl NewtonWorkspace {
         if n != self.n || self.st.num_nodes() != circuit.num_nodes() {
             let plans = std::mem::take(&mut self.plans);
             let session = self.session;
+            let solve_id = self.solve_id;
             *self = NewtonWorkspace::new(circuit);
             // Keep the recorded plans: they are fingerprint-keyed, so a
             // later solve on the old topology can still reuse them. The
-            // session counter survives so stale pivot sequences stay stale.
+            // session and solve counters survive so stale pivot sequences
+            // and constant preloads stay stale.
             self.plans = plans;
             self.session = session;
+            self.solve_id = solve_id;
         }
         self.topo = circuit.topology_id();
     }
@@ -461,6 +493,16 @@ impl NewtonWorkspace {
     /// Current solve-session id (the pivot-reuse boundary).
     pub(crate) fn session(&self) -> u64 {
         self.session
+    }
+
+    /// Starts a new Newton solve: the next [`NewtonWorkspace::sparse_step`]
+    /// of a split plan re-assembles the constant segment before replaying
+    /// the varying slots. Called once per `newton_loop` invocation — the
+    /// constant part (sources at this solve's time/scale, capacitor
+    /// companions at this timestep's state) is fixed across the solve's
+    /// iterations but not beyond it.
+    pub(crate) fn begin_solve(&mut self) {
+        self.solve_id = self.solve_id.wrapping_add(1);
     }
 
     /// The frequency-domain workspace, created (or re-sized) for `circuit`
@@ -504,15 +546,40 @@ impl NewtonWorkspace {
         let sparse = if n < SPARSE_MIN_UNKNOWNS {
             None
         } else {
+            // Record the write sequence. Split-capable assemblies record
+            // the constant segment first, then the varying one, so the
+            // concatenated coordinates build one CSC pattern whose slot
+            // map splits cleanly at the segment boundary.
             let mut rec = RecordStamper::new(circuit);
-            assemble.assemble(x0, &mut rec);
+            let const_writes = if assemble.supports_split() {
+                assemble.assemble_constant(&mut rec);
+                let cl = rec.writes.len();
+                assemble.assemble_varying(x0, &mut rec);
+                Some(cl)
+            } else {
+                assemble.assemble(x0, &mut rec);
+                None
+            };
             let (csc, slots) = CscMatrix::from_coordinates(n, &rec.writes);
             let density = csc.nnz() as f64 / (n * n) as f64;
             if density > SPARSE_MAX_DENSITY {
                 None
             } else {
+                let (preload, var_slots) = match const_writes {
+                    Some(cl) => (
+                        Some(PreloadState {
+                            const_slots: slots[..cl].to_vec(),
+                            values: vec![0.0; csc.nnz()],
+                            z: vec![0.0; n],
+                            solve_id: 0,
+                        }),
+                        slots[cl..].to_vec(),
+                    ),
+                    None => (None, slots),
+                };
                 Some(SparseState {
-                    slots,
+                    var_slots,
+                    preload,
                     csc,
                     lu: SparseLu::new(),
                     pivot_session: 0,
@@ -535,6 +602,11 @@ impl NewtonWorkspace {
     /// reused); every later iteration, retry, and timestep of the session
     /// runs the scan-free refactorization, falling back to a pivoting
     /// factor if a recorded pivot collapses numerically.
+    ///
+    /// Split plans assemble only the x-*varying* (MOS) slots here: the
+    /// constant segment is assembled once per Newton solve (the first
+    /// iteration after [`NewtonWorkspace::begin_solve`]) and copied in
+    /// before each varying replay.
     pub(crate) fn sparse_step<A: Assemble>(
         &mut self,
         kind: StampKind,
@@ -547,10 +619,41 @@ impl NewtonWorkspace {
         let Some(state) = plan.sparse.as_mut() else {
             return SparseStep::Fallback;
         };
-        let complete = {
+        let complete = if let Some(pre) = state.preload.as_mut() {
+            if pre.solve_id != self.solve_id {
+                // New Newton solve (new timestep / gmin rung / source
+                // scale): re-stamp the constant segment once.
+                let ok = {
+                    let mut st = SlotStamper::new(
+                        self.st.num_nodes(),
+                        &pre.const_slots,
+                        &mut pre.values,
+                        &mut pre.z,
+                    );
+                    assemble.assemble_constant(&mut st);
+                    st.complete()
+                };
+                if !ok {
+                    self.plans[kind as usize] = None;
+                    return SparseStep::Fallback;
+                }
+                pre.solve_id = self.solve_id;
+            }
+            // Preload the constant part, then replay only the MOS slots.
+            state.csc.values_mut().copy_from_slice(&pre.values);
+            self.st.z.copy_from_slice(&pre.z);
+            let mut st = SlotStamper::resume(
+                self.st.num_nodes(),
+                &state.var_slots,
+                state.csc.values_mut(),
+                &mut self.st.z,
+            );
+            assemble.assemble_varying(x, &mut st);
+            st.complete()
+        } else {
             let mut st = SlotStamper::new(
                 self.st.num_nodes(),
-                &state.slots,
+                &state.var_slots,
                 state.csc.values_mut(),
                 &mut self.st.z,
             );
