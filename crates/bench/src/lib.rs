@@ -493,6 +493,28 @@ pub mod baseline {
         let xl = latch.nominal();
         c.bench_function("latch_full_evaluation", |b| b.iter(|| latch.evaluate(&xl)));
 
+        // The PVT corner-sweep rows (identical bodies to
+        // `benches/corner_eval.rs`): the same candidate through the
+        // nominal-only plane, the standard 5-corner sign-off plane, and
+        // the level shifter's six-supply-corner plane on the shared
+        // engine.
+        {
+            use circuits::tech::CornerSet;
+            c.bench_function("ota_corner_eval_1c", |b| {
+                b.iter(|| black_box(ota.evaluate(black_box(&x))).objective)
+            });
+            let ota5 = circuits::FoldedCascodeOta::with_corners(CornerSet::pvt5());
+            let x5 = ota5.nominal();
+            c.bench_function("ota_corner_eval_5c", |b| {
+                b.iter(|| black_box(ota5.evaluate(black_box(&x5))).objective)
+            });
+            let ls = circuits::LevelShifter::new();
+            let xls = SizingProblem::nominal(&ls);
+            c.bench_function("level_shifter_corner_eval_6c", |b| {
+                b.iter(|| black_box(ls.evaluate(black_box(&xls))).objective)
+            });
+        }
+
         let ota_fom = Fom::uniform(1.0, ota.num_constraints());
         let (lb, ub) = ota.bounds();
         let nominal = ota.nominal();

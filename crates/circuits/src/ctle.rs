@@ -16,7 +16,7 @@ use spice::{Circuit, SimOptions, SpiceError, Waveform, GND};
 
 use crate::measure;
 use crate::parasitics::{apply_parasitics, update_parasitics, ParasiticConfig};
-use crate::tech::{tech_advanced, Technology};
+use crate::tech::{tech_advanced, Corner, CornerSet, Technology};
 
 /// The CTLE sizing problem (12 variables — ~8 critical — and 14
 /// constraints).
@@ -25,7 +25,7 @@ pub struct Ctle {
     tech: Technology,
     opts: SimOptions,
     parasitics: ParasiticConfig,
-    /// Input common mode \[V\].
+    /// Input common mode \[V\] (tracks the corner supply).
     vcm: f64,
     /// Nyquist frequency of the target link \[Hz\].
     f_nyquist: f64,
@@ -34,6 +34,10 @@ pub struct Ctle {
     template: Circuit,
     /// Output node ids `(op, on)`.
     outs: (usize, usize),
+    /// The PVT scenario plane this instance evaluates across.
+    corners: CornerSet,
+    /// Evaluation planes for `corners[1..]` (plane 0 is this instance).
+    extra_planes: Vec<Ctle>,
 }
 
 impl Default for Ctle {
@@ -43,21 +47,57 @@ impl Default for Ctle {
 }
 
 impl Ctle {
-    /// Creates the problem on the generic advanced-node technology.
+    /// Creates the problem on the generic advanced-node technology at the
+    /// nominal corner only (the legacy single-scenario plane).
     pub fn new() -> Self {
+        Self::with_corners(CornerSet::nominal())
+    }
+
+    /// Creates the problem evaluating every candidate across a PVT corner
+    /// set (see [`crate::tech::CornerSet`]); corner 0 of every standard
+    /// set is nominal and bit-identical to [`Ctle::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty or the template fails to build.
+    pub fn with_corners(corners: CornerSet) -> Self {
+        let (mut base, extras) = corners.split_planes(Self::build_plane);
+        base.corners = corners;
+        base.extra_planes = extras;
+        base
+    }
+
+    /// Builds one single-corner evaluation plane.
+    fn build_plane(corner: &Corner) -> Ctle {
         let mut ctle = Ctle {
-            tech: tech_advanced(),
-            opts: SimOptions::default(),
+            tech: tech_advanced().at_corner(corner),
+            opts: corner.options(&SimOptions::default()),
             parasitics: ParasiticConfig::default(),
-            vcm: 0.55,
+            vcm: 0.55 * corner.vdd_scale,
             f_nyquist: 4e9,
             template: Circuit::new(),
             outs: (0, 0),
+            corners: CornerSet::single(*corner),
+            extra_planes: Vec::new(),
         };
         let (ckt, op_id, on_id) = ctle.build_topology().expect("CTLE template must build");
         ctle.template = ckt;
         ctle.outs = (op_id, on_id);
         ctle
+    }
+
+    /// The scenario plane this instance evaluates across.
+    pub fn corners(&self) -> &CornerSet {
+        &self.corners
+    }
+
+    /// The evaluation plane of corner `k` (0 = this instance).
+    fn plane(&self, k: usize) -> &Ctle {
+        if k == 0 {
+            self
+        } else {
+            &self.extra_planes[k - 1]
+        }
     }
 
     /// A hand-tuned near-feasible design.
@@ -287,8 +327,28 @@ impl SizingProblem for Ctle {
         self.nominal()
     }
 
+    fn num_corners(&self) -> usize {
+        self.corners.len()
+    }
+
+    fn corner_name(&self, k: usize) -> String {
+        self.corners.corners[k].label()
+    }
+
+    fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+        self.plane(k).evaluate_plane(x)
+    }
+
     fn evaluate(&self, x: &[f64]) -> SpecResult {
-        let m = self.num_constraints();
+        opt::evaluate_worst_case(self, x)
+    }
+}
+
+impl Ctle {
+    /// Runs the full measurement suite on this plane's corner — the
+    /// single-scenario evaluation every corner of the plane shares.
+    fn evaluate_plane(&self, x: &[f64]) -> SpecResult {
+        let m = SizingProblem::num_constraints(self);
         let Ok((ckt, op_n, on_n)) = self.build(x) else {
             return SpecResult::failed(m);
         };
@@ -399,6 +459,41 @@ mod tests {
             "peaking-max violated: {}",
             spec.constraints[3]
         );
+    }
+
+    #[test]
+    fn nominal_corner_is_bit_identical_to_legacy_path() {
+        let legacy = Ctle::new();
+        let cornered = Ctle::with_corners(CornerSet::pvt5());
+        let x = legacy.nominal();
+        let a = legacy.evaluate(&x);
+        let b = cornered.evaluate_corner(&x, 0);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        for (p, q) in a.constraints.iter().zip(&b.constraints) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn five_corner_plane_evaluates_everywhere() {
+        let ctle = Ctle::with_corners(CornerSet::pvt5());
+        assert_eq!(ctle.num_corners(), 5);
+        let x = ctle.nominal();
+        for k in 0..ctle.num_corners() {
+            let spec = ctle.evaluate_corner(&x, k);
+            assert_eq!(spec.constraints.len(), 14);
+            assert!(
+                !spec.is_failure(),
+                "corner {} must simulate",
+                ctle.corner_name(k)
+            );
+        }
+        let worst = ctle.evaluate(&x);
+        assert!(!worst.is_failure());
+        let nom = ctle.evaluate_corner(&x, 0);
+        for (w, n) in worst.constraints.iter().zip(&nom.constraints) {
+            assert!(w >= n, "worst case can only tighten: {w} < {n}");
+        }
     }
 
     #[test]

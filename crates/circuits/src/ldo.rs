@@ -17,7 +17,7 @@ use spice::{Circuit, SimOptions, SpiceError, Waveform, GND};
 
 use crate::measure;
 use crate::parasitics::{apply_parasitics, update_parasitics, ParasiticConfig};
-use crate::tech::{tech_advanced, Technology};
+use crate::tech::{tech_advanced, Corner, CornerSet, Technology};
 
 /// The LDO sizing problem (10 variables — ~6 critical — and 9 constraints).
 #[derive(Debug, Clone)]
@@ -25,7 +25,8 @@ pub struct Ldo {
     tech: Technology,
     opts: SimOptions,
     parasitics: ParasiticConfig,
-    /// Regulation target \[V\].
+    /// Regulation target \[V\] (bandgap-derived: does *not* track the
+    /// corner supply — exactly why low-supply corners stress the design).
     vout_target: f64,
     /// Reference voltage \[V\] (half of the target; divider ratio 2).
     vref: f64,
@@ -43,6 +44,10 @@ pub struct Ldo {
     /// Node ids `(vout, vfb)` in the broken-loop template (the extra
     /// `fb_drive` node shifts them).
     nodes_open: (usize, usize),
+    /// The PVT scenario plane this instance evaluates across.
+    corners: CornerSet,
+    /// Evaluation planes for `corners[1..]` (plane 0 is this instance).
+    extra_planes: Vec<Ldo>,
 }
 
 impl Default for Ldo {
@@ -52,11 +57,33 @@ impl Default for Ldo {
 }
 
 impl Ldo {
-    /// Creates the problem on the generic advanced-node technology.
+    /// Creates the problem on the generic advanced-node technology at the
+    /// nominal corner only (the legacy single-scenario plane).
     pub fn new() -> Self {
+        Self::with_corners(CornerSet::nominal())
+    }
+
+    /// Creates the problem evaluating every candidate across a PVT corner
+    /// set (see [`crate::tech::CornerSet`]). The regulation target and
+    /// reference stay absolute (bandgap-referenced) while the supply and
+    /// device cards derate per corner; corner 0 of every standard set is
+    /// nominal and bit-identical to [`Ldo::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty or a template fails to build.
+    pub fn with_corners(corners: CornerSet) -> Self {
+        let (mut base, extras) = corners.split_planes(Self::build_plane);
+        base.corners = corners;
+        base.extra_planes = extras;
+        base
+    }
+
+    /// Builds one single-corner evaluation plane.
+    fn build_plane(corner: &Corner) -> Ldo {
         let mut ldo = Ldo {
-            tech: tech_advanced(),
-            opts: SimOptions::default(),
+            tech: tech_advanced().at_corner(corner),
+            opts: corner.options(&SimOptions::default()),
             parasitics: ParasiticConfig::default(),
             vout_target: 0.55,
             vref: 0.275,
@@ -66,6 +93,8 @@ impl Ldo {
             template_open: Circuit::new(),
             nodes_closed: (0, 0),
             nodes_open: (0, 0),
+            corners: CornerSet::single(*corner),
+            extra_planes: Vec::new(),
         };
         let (closed, vout, vfb) = ldo
             .build_topology(false)
@@ -78,6 +107,20 @@ impl Ldo {
         ldo.nodes_closed = (vout, vfb);
         ldo.nodes_open = (vout_o, vfb_o);
         ldo
+    }
+
+    /// The scenario plane this instance evaluates across.
+    pub fn corners(&self) -> &CornerSet {
+        &self.corners
+    }
+
+    /// The evaluation plane of corner `k` (0 = this instance).
+    fn plane(&self, k: usize) -> &Ldo {
+        if k == 0 {
+            self
+        } else {
+            &self.extra_planes[k - 1]
+        }
     }
 
     /// A hand-tuned near-feasible design.
@@ -284,8 +327,28 @@ impl SizingProblem for Ldo {
         self.nominal()
     }
 
+    fn num_corners(&self) -> usize {
+        self.corners.len()
+    }
+
+    fn corner_name(&self, k: usize) -> String {
+        self.corners.corners[k].label()
+    }
+
+    fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+        self.plane(k).evaluate_plane(x)
+    }
+
     fn evaluate(&self, x: &[f64]) -> SpecResult {
-        let m = self.num_constraints();
+        opt::evaluate_worst_case(self, x)
+    }
+}
+
+impl Ldo {
+    /// Runs the full measurement suite on this plane's corner — the
+    /// single-scenario evaluation every corner of the plane shares.
+    fn evaluate_plane(&self, x: &[f64]) -> SpecResult {
+        let m = SizingProblem::num_constraints(self);
         // Closed-loop operating points at nominal and light load.
         let Ok((ckt_nom, vout, vfb)) = self.build(x, self.i_load.0, None) else {
             return SpecResult::failed(m);
@@ -442,6 +505,41 @@ mod tests {
             "load regulation violated: {}",
             spec.constraints[1]
         );
+    }
+
+    #[test]
+    fn nominal_corner_is_bit_identical_to_legacy_path() {
+        let legacy = Ldo::new();
+        let cornered = Ldo::with_corners(CornerSet::pvt5());
+        let x = legacy.nominal();
+        let a = legacy.evaluate(&x);
+        let b = cornered.evaluate_corner(&x, 0);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        for (p, q) in a.constraints.iter().zip(&b.constraints) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn five_corner_plane_evaluates_everywhere() {
+        let ldo = Ldo::with_corners(CornerSet::pvt5());
+        assert_eq!(ldo.num_corners(), 5);
+        let x = ldo.nominal();
+        for k in 0..ldo.num_corners() {
+            let spec = ldo.evaluate_corner(&x, k);
+            assert_eq!(spec.constraints.len(), 9);
+            assert!(
+                !spec.is_failure(),
+                "corner {} must simulate",
+                ldo.corner_name(k)
+            );
+        }
+        let worst = ldo.evaluate(&x);
+        assert!(!worst.is_failure());
+        let nom = ldo.evaluate_corner(&x, 0);
+        for (w, n) in worst.constraints.iter().zip(&nom.constraints) {
+            assert!(w >= n, "worst case can only tighten: {w} < {n}");
+        }
     }
 
     #[test]

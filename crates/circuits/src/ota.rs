@@ -30,7 +30,7 @@ use opt::{SizingProblem, SpecResult};
 use spice::{Circuit, OpPoint, SimOptions, SpiceError, Waveform, GND};
 
 use crate::measure;
-use crate::tech::{tech_180nm, Technology};
+use crate::tech::{tech_180nm, Corner, CornerSet, Technology};
 
 /// Decoded design parameters (Table I).
 #[derive(Debug, Clone, PartialEq)]
@@ -120,14 +120,14 @@ const SAT_DEVICES: [&str; 19] = [
 pub struct FoldedCascodeOta {
     tech: Technology,
     opts: SimOptions,
-    /// Input/output common-mode voltage \[V\].
+    /// Input/output common-mode voltage \[V\] (tracks the corner supply).
     vcm: f64,
     /// Bias reference current \[A\].
     iref: f64,
     /// Prebuilt open-loop testbench topology; per-candidate evaluation
     /// clones it and re-sizes every device in place (no netlist rebuild,
     /// no node-map re-derivation — and an unchanged topology fingerprint,
-    /// so pooled solver state carries across candidates).
+    /// so pooled solver state carries across candidates *and* corners).
     template_open: Circuit,
     /// Output node ids `(out_p, out_n)` of the open-loop template.
     open_outs: (usize, usize),
@@ -135,6 +135,12 @@ pub struct FoldedCascodeOta {
     template_closed: Circuit,
     /// Output node ids `(out_p, out_n)` of the closed-loop template.
     closed_outs: (usize, usize),
+    /// The PVT scenario plane this instance evaluates across.
+    corners: CornerSet,
+    /// Fully-built evaluation planes for `corners[1..]` (plane 0 is this
+    /// instance itself): derated technology, corner-temperature options,
+    /// corner-retargeted templates.
+    extra_planes: Vec<FoldedCascodeOta>,
 }
 
 impl Default for FoldedCascodeOta {
@@ -144,21 +150,61 @@ impl Default for FoldedCascodeOta {
 }
 
 impl FoldedCascodeOta {
-    /// Creates the problem on the generic 180nm-class technology.
+    /// Creates the problem on the generic 180nm-class technology at the
+    /// nominal corner only (the legacy single-scenario plane).
     pub fn new() -> Self {
-        let opts = SimOptions {
-            max_nr_iters: 200,
-            ..Default::default()
+        Self::with_corners(CornerSet::nominal())
+    }
+
+    /// Creates the problem evaluating every candidate across a PVT corner
+    /// set: one fully-built testbench plane per corner (derated model
+    /// cards via [`Technology::at_corner`], supply and common-mode scaled
+    /// by the corner, corner temperature in the simulator options).
+    /// [`SizingProblem::evaluate`] is then the worst case over the plane;
+    /// corner 0 of every standard set is nominal and bit-identical to
+    /// [`FoldedCascodeOta::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty or a template fails to build.
+    pub fn with_corners(corners: CornerSet) -> Self {
+        let (mut base, extras) = corners.split_planes(Self::build_plane);
+        base.corners = corners;
+        base.extra_planes = extras;
+        base
+    }
+
+    /// Builds one single-corner evaluation plane.
+    fn build_plane(corner: &Corner) -> FoldedCascodeOta {
+        // Non-nominal corners shift every bias point tens of millivolts
+        // and mobility by ±40%; the closed-loop testbench needs gentler
+        // Newton steps (and more of them) to settle there. The nominal
+        // plane keeps the legacy options so its results stay bit-identical
+        // to the pre-corner engine.
+        let base = if corner.is_nominal() {
+            SimOptions {
+                max_nr_iters: 200,
+                ..Default::default()
+            }
+        } else {
+            SimOptions {
+                max_nr_iters: 800,
+                v_limit: 0.35,
+                ..Default::default()
+            }
         };
+        let opts = corner.options(&base);
         let mut ota = FoldedCascodeOta {
-            tech: tech_180nm(),
+            tech: tech_180nm().at_corner(corner),
             opts,
-            vcm: 0.9,
+            vcm: 0.9 * corner.vdd_scale,
             iref: 10e-6,
             template_open: Circuit::new(),
             open_outs: (0, 0),
             template_closed: Circuit::new(),
             closed_outs: (0, 0),
+            corners: CornerSet::single(*corner),
+            extra_planes: Vec::new(),
         };
         let (open, op_, on_) = ota
             .build_open_topology()
@@ -171,6 +217,20 @@ impl FoldedCascodeOta {
         ota.template_closed = closed;
         ota.closed_outs = (cp, cn);
         ota
+    }
+
+    /// The scenario plane this instance evaluates across.
+    pub fn corners(&self) -> &CornerSet {
+        &self.corners
+    }
+
+    /// The evaluation plane of corner `k` (0 = this instance).
+    fn plane(&self, k: usize) -> &FoldedCascodeOta {
+        if k == 0 {
+            self
+        } else {
+            &self.extra_planes[k - 1]
+        }
     }
 
     /// A hand-tuned design that meets (or closely approaches) every Eq. 9
@@ -561,8 +621,28 @@ impl SizingProblem for FoldedCascodeOta {
         self.nominal()
     }
 
+    fn num_corners(&self) -> usize {
+        self.corners.len()
+    }
+
+    fn corner_name(&self, k: usize) -> String {
+        self.corners.corners[k].label()
+    }
+
+    fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+        self.plane(k).evaluate_plane(x)
+    }
+
     fn evaluate(&self, x: &[f64]) -> SpecResult {
-        let m = self.num_constraints();
+        opt::evaluate_worst_case(self, x)
+    }
+}
+
+impl FoldedCascodeOta {
+    /// Runs the full Eq. 9 measurement suite on this plane's corner — the
+    /// single-scenario evaluation every corner of the plane shares.
+    fn evaluate_plane(&self, x: &[f64]) -> SpecResult {
+        let m = SizingProblem::num_constraints(self);
         let p = OtaParams::decode(x);
 
         // --- Open-loop testbench: OP + three AC excitations + noise.
@@ -938,5 +1018,44 @@ mod tests {
         assert!(at_least(3.0, 5.0, 1.0) > 0.0); // violated
         assert!(at_most(3.0, 5.0, 1.0) < 0.0);
         assert!(at_most(7.0, 5.0, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn nominal_corner_is_bit_identical_to_legacy_path() {
+        let legacy = FoldedCascodeOta::new();
+        let cornered = FoldedCascodeOta::with_corners(CornerSet::pvt5());
+        let x = legacy.nominal();
+        let a = legacy.evaluate(&x);
+        let b = cornered.evaluate_corner(&x, 0);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.constraints.len(), b.constraints.len());
+        for (p, q) in a.constraints.iter().zip(&b.constraints) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn five_corner_plane_evaluates_everywhere() {
+        let ota = FoldedCascodeOta::with_corners(CornerSet::pvt5());
+        assert_eq!(ota.num_corners(), 5);
+        let x = ota.nominal();
+        for k in 0..ota.num_corners() {
+            let spec = ota.evaluate_corner(&x, k);
+            assert_eq!(spec.constraints.len(), 29);
+            assert!(
+                !spec.is_failure(),
+                "corner {} must simulate",
+                ota.corner_name(k)
+            );
+        }
+        // The sign-off view is the worst case over the plane: never better
+        // than the nominal corner on any spec.
+        let worst = ota.evaluate(&x);
+        let nom = ota.evaluate_corner(&x, 0);
+        assert!(!worst.is_failure());
+        assert!(worst.objective >= nom.objective);
+        for (w, n) in worst.constraints.iter().zip(&nom.constraints) {
+            assert!(w >= n, "worst case can only tighten: {w} < {n}");
+        }
     }
 }

@@ -1,0 +1,105 @@
+//! Property-based sanity checks on the PVT corner physics.
+//!
+//! Two invariants anchor the scenario plane to silicon reality:
+//!
+//! 1. **Corner ordering** — a slow-silicon/hot device can never out-drive
+//!    a fast-silicon/cold device of the same geometry at full gate drive:
+//!    the mobility derating (process `kp` scale × `(T_NOM/T)^1.5`)
+//!    dominates the threshold shift whenever the overdrive is healthy.
+//! 2. **Nominal identity** — the nominal corner is a bitwise no-op: model
+//!    cards, supplies and large-signal evaluations are exactly the legacy
+//!    nominal path (the circuit-level twins of this property live in each
+//!    testbench's `nominal_corner_is_bit_identical_to_legacy_path` test).
+
+use circuits::tech::{tech_180nm, tech_advanced, Corner, ProcessCorner, TEMP_COLD, TEMP_HOT};
+use proptest::prelude::*;
+use spice::mos::eval_mos;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SS silicon at the hot extreme never beats FF silicon at the cold
+    /// extreme on drive current, for any shared geometry, in either
+    /// technology and either polarity.
+    #[test]
+    fn slow_hot_never_outdrives_fast_cold(
+        w_um in 0.3f64..60.0,
+        l_scale in 1.0f64..20.0,
+        m in 1.0f64..16.0,
+        adv in 0usize..2,
+        pol in 0usize..2,
+    ) {
+        let (advanced, pmos) = (adv == 1, pol == 1);
+        let tech = if advanced { tech_advanced() } else { tech_180nm() };
+        let ss_hot = tech.at_corner(&Corner::new(ProcessCorner::SS, 1.0, TEMP_HOT));
+        let ff_cold = tech.at_corner(&Corner::new(ProcessCorner::FF, 1.0, TEMP_COLD));
+        let w = w_um * 1e-6;
+        let l = tech.l_min * l_scale;
+        // Full gate drive at the nominal supply, same bias for both.
+        let (vgs, vds) = if pmos { (-tech.vdd, -tech.vdd) } else { (tech.vdd, tech.vdd) };
+        let (card_slow, card_fast) = if pmos {
+            (&ss_hot.pmos, &ff_cold.pmos)
+        } else {
+            (&ss_hot.nmos, &ff_cold.nmos)
+        };
+        let id_slow = eval_mos(card_slow, w, l, m, vgs, vds, 0.0).id.abs();
+        let id_fast = eval_mos(card_fast, w, l, m, vgs, vds, 0.0).id.abs();
+        prop_assert!(
+            id_slow < id_fast,
+            "SS/hot {id_slow:e} must trail FF/cold {id_fast:e} (w={w:e} l={l:e} m={m})"
+        );
+    }
+
+    /// Evaluating a device on the nominal-corner technology is bit-identical
+    /// to the legacy (un-cornered) card at every bias point.
+    #[test]
+    fn nominal_corner_devices_are_bit_identical(
+        w_um in 0.3f64..60.0,
+        l_scale in 1.0f64..20.0,
+        vgs in -2.0f64..2.0,
+        vds in -2.0f64..2.0,
+        vbs in -0.5f64..0.0,
+        adv in 0usize..2,
+    ) {
+        let tech = if adv == 1 { tech_advanced() } else { tech_180nm() };
+        let nominal = tech.at_corner(&Corner::nominal());
+        let w = w_um * 1e-6;
+        let l = tech.l_min * l_scale;
+        for (legacy, corner) in [(&tech.nmos, &nominal.nmos), (&tech.pmos, &nominal.pmos)] {
+            let a = eval_mos(legacy, w, l, 1.0, vgs, vds, vbs);
+            let b = eval_mos(corner, w, l, 1.0, vgs, vds, vbs);
+            prop_assert_eq!(a.id.to_bits(), b.id.to_bits());
+            prop_assert_eq!(a.gm.to_bits(), b.gm.to_bits());
+            prop_assert_eq!(a.gds.to_bits(), b.gds.to_bits());
+            prop_assert_eq!(a.gmb.to_bits(), b.gmb.to_bits());
+            prop_assert_eq!(a.vth.to_bits(), b.vth.to_bits());
+        }
+        prop_assert_eq!(tech.vdd.to_bits(), nominal.vdd.to_bits());
+    }
+
+    /// Heating a card monotonically weakens its full-drive current (the
+    /// mobility exponent dominates at healthy overdrive), for any process
+    /// flavor.
+    #[test]
+    fn drive_current_falls_monotonically_with_temperature(
+        w_um in 0.3f64..60.0,
+        t_lo in 233.15f64..390.0,
+        dt in 5.0f64..80.0,
+        proc_idx in 0usize..5,
+    ) {
+        let procs = [
+            ProcessCorner::TT,
+            ProcessCorner::FF,
+            ProcessCorner::SS,
+            ProcessCorner::SF,
+            ProcessCorner::FS,
+        ];
+        let tech = tech_180nm();
+        let cool = tech.at_corner(&Corner::new(procs[proc_idx], 1.0, t_lo));
+        let warm = tech.at_corner(&Corner::new(procs[proc_idx], 1.0, t_lo + dt));
+        let w = w_um * 1e-6;
+        let id_cool = eval_mos(&cool.nmos, w, tech.l_min, 1.0, tech.vdd, tech.vdd, 0.0).id;
+        let id_warm = eval_mos(&warm.nmos, w, tech.l_min, 1.0, tech.vdd, tech.vdd, 0.0).id;
+        prop_assert!(id_warm < id_cool, "{id_warm} !< {id_cool} at {t_lo}+{dt}K");
+    }
+}

@@ -78,6 +78,18 @@ impl Optimizer for DnnOpt {
         let d = problem.dim();
         let mut ev = Evaluator::new(problem, fom, budget);
 
+        // Corner-resolved critic mode (opt-in): on a corner-indexed problem
+        // the surrogate trains on the per-corner spec vector — 1 + K·m
+        // wide — against the corner-tiled FoM, so it learns *which* corner
+        // pushes a candidate out of spec. History, elite selection and the
+        // simulated FoM stay on the worst-case aggregate either way.
+        let per_corner = cfg.corner_critic && problem.num_corners() > 1;
+        let surrogate_fom = if per_corner {
+            fom.tiled(problem.num_corners())
+        } else {
+            fom.clone()
+        };
+
         // Line 1: initial population, evaluated as one parallel batch.
         // Results are recorded in candidate order, so runs are identical
         // for any thread count. Under FirstFeasible the whole batch is
@@ -99,7 +111,16 @@ impl Optimizer for DnnOpt {
             // otherwise dominate the critic's target standardization and
             // flatten every real spec to numerical zero.
             let xs: Vec<Vec<f64>> = history.iter().map(|e| to_unit(&e.x, &lb, &ub)).collect();
-            let mut fs: Vec<Vec<f64>> = history.iter().map(|e| e.spec.as_vector()).collect();
+            let mut fs: Vec<Vec<f64>> = history
+                .iter()
+                .map(|e| {
+                    if per_corner {
+                        e.corner_vector()
+                    } else {
+                        e.spec.as_vector()
+                    }
+                })
+                .collect();
             let n_specs = fs[0].len();
             for c in 0..n_specs {
                 let col: Vec<f64> = fs.iter().map(|f| f[c]).collect();
@@ -117,7 +138,15 @@ impl Optimizer for DnnOpt {
             let elite_idx = elite_indices(&foms, cfg.n_elite);
             let elite: Vec<Vec<f64>> = elite_idx.iter().map(|&i| xs[i].clone()).collect();
             let (lb_rest, ub_rest) = restricted_bounds(&elite);
-            let actor = Actor::train(cfg, &critic, fom, &elite, &lb_rest, &ub_rest, &mut rng);
+            let actor = Actor::train(
+                cfg,
+                &critic,
+                &surrogate_fom,
+                &elite,
+                &lb_rest,
+                &ub_rest,
+                &mut rng,
+            );
             model_time += tm.elapsed();
 
             // Line 9 + Eq. 8: candidates from every elite design with
@@ -188,8 +217,8 @@ impl Optimizer for DnnOpt {
                 let ei = idx / variants;
                 let r = ei * (variants + 1) + (idx % variants);
                 let r0 = ei * (variants + 1) + variants;
-                let g_step = fom.value_of_vector(preds.row(r));
-                let g_base = fom.value_of_vector(preds.row(r0));
+                let g_step = surrogate_fom.value_of_vector(preds.row(r));
+                let g_base = surrogate_fom.value_of_vector(preds.row(r0));
                 // Improvement credit is capped: differencing two network
                 // outputs doubles their noise, and uncapped optimistic
                 // outliers would dominate the argmin (winner's curse).
@@ -360,6 +389,84 @@ mod tests {
         let a = opt.run(&p, &fom, 35, StopPolicy::Exhaust, 7);
         let b = opt.run(&p, &fom, 35, StopPolicy::Exhaust, 7);
         assert_eq!(a.history.best_trace(), b.history.best_trace());
+    }
+
+    /// A corner-indexed Sphere: corner `k` shifts the feasibility floor
+    /// up, so the worst case is governed by the last corner.
+    struct CorneredSphere {
+        d: usize,
+        k: usize,
+    }
+
+    impl SizingProblem for CorneredSphere {
+        fn dim(&self) -> usize {
+            self.d
+        }
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            (vec![0.0; self.d], vec![1.0; self.d])
+        }
+        fn num_constraints(&self) -> usize {
+            self.d
+        }
+        fn num_corners(&self) -> usize {
+            self.k
+        }
+        fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+            let shift = 0.05 * k as f64;
+            SpecResult {
+                objective: x.iter().map(|v| (v - 0.3).powi(2)).sum::<f64>() + shift,
+                constraints: x.iter().map(|v| 0.1 + shift - v).collect(),
+            }
+        }
+        fn evaluate(&self, x: &[f64]) -> SpecResult {
+            opt::evaluate_worst_case(self, x)
+        }
+    }
+
+    #[test]
+    fn corner_resolved_critic_optimizes_the_corner_plane() {
+        let p = CorneredSphere { d: 3, k: 3 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let cfg = DnnOptConfig {
+            corner_critic: true,
+            ..quick_cfg()
+        };
+        let run = DnnOpt::new(cfg).run(&p, &fom, 60, StopPolicy::Exhaust, 11);
+        assert_eq!(run.history.len(), 60);
+        // Every entry carries the per-corner records the wide critic
+        // trained on.
+        for e in run.history.entries() {
+            assert_eq!(e.corner_specs.len(), 3);
+            assert_eq!(e.corner_vector().len(), 1 + 3 * p.num_constraints());
+        }
+        // A feasible design satisfies the *tightest* corner.
+        let best = run.history.best_feasible().expect("feasible on the plane");
+        for v in &best.x {
+            assert!(*v >= 0.1 + 0.05 * 2.0 - 1e-9, "worst corner enforced: {v}");
+        }
+        // Determinism contract holds in the corner-resolved mode too.
+        let cfg2 = DnnOptConfig {
+            corner_critic: true,
+            ..quick_cfg()
+        };
+        let again = DnnOpt::new(cfg2).run(&p, &fom, 60, StopPolicy::Exhaust, 11);
+        assert_eq!(run.history.best_trace(), again.history.best_trace());
+    }
+
+    #[test]
+    fn aggregate_mode_still_runs_corner_problems() {
+        let p = CorneredSphere { d: 2, k: 2 };
+        let fom = Fom::uniform(1.0, p.num_constraints());
+        let run = DnnOpt::new(quick_cfg()).run(&p, &fom, 40, StopPolicy::Exhaust, 3);
+        assert_eq!(run.history.len(), 40);
+        // The aggregate critic sees the worst-case (1 + m) spec vector,
+        // but per-corner records are still attached to the history.
+        assert!(run
+            .history
+            .entries()
+            .iter()
+            .all(|e| e.corner_specs.len() == 2));
+        assert!(run.history.best_feasible().is_some());
     }
 
     #[test]

@@ -24,8 +24,20 @@ impl SensitivityReport {
     /// Runs the sweep around `x0` with per-variable perturbation
     /// `step` (fraction of each variable's range, e.g. 0.05).
     ///
-    /// Costs `2·d` simulations (central differences; the nominal itself is
-    /// not needed).
+    /// On a corner-indexed problem the sweep differentiates the
+    /// **corner-resolved** spec vector (`K·(1 + m)` rows: every corner's
+    /// objective and constraints, in corner order), never the worst-case
+    /// fold — the max over corners has zero derivative with respect to
+    /// any variable whose effect is confined to a non-dominant corner,
+    /// which would silently prune variables that matter only at one
+    /// corner. This keeps e.g. the level shifter's sweep at the paper's
+    /// full 60 specs (plus its six per-corner energy rows).
+    ///
+    /// Costs `2·d` full evaluations (central differences; the nominal
+    /// itself is not needed) — each a whole corner sweep on a corner
+    /// problem, exactly like `evaluate`. The perturbation points fan out
+    /// over worker threads (`opt::parallel`), with results consumed in
+    /// variable order so the matrix is thread-count independent.
     ///
     /// # Panics
     ///
@@ -39,7 +51,27 @@ impl SensitivityReport {
         );
         let (lb, ub) = problem.bounds();
         let m = problem.num_constraints();
-        let mut s = Matrix::zeros(m + 1, d);
+        let k = problem.num_corners();
+        // Corner-resolved spec vector: each corner's full
+        // `[f0, f1, …, fm]` in corner order, so *every* per-corner spec —
+        // objective included — votes on its own row.
+        let spec_vector = |x: &[f64]| -> Vec<f64> {
+            if k <= 1 {
+                return clip_spec(problem.evaluate(x));
+            }
+            let mut v = Vec::with_capacity(k * (1 + m));
+            for c in 0..k {
+                let spec = problem.evaluate_corner(x, c);
+                v.push(spec.objective);
+                v.extend_from_slice(&spec.constraints);
+            }
+            clip_values(v)
+        };
+        let rows = k * (1 + m);
+        // The 2·d perturbation points (and their corners) are independent
+        // simulations: evaluate them like a population batch.
+        let mut points = Vec::with_capacity(2 * d);
+        let mut dus = Vec::with_capacity(d);
         for j in 0..d {
             let range = (ub[j] - lb[j]).max(1e-300);
             let h = step * range;
@@ -47,12 +79,17 @@ impl SensitivityReport {
             xp[j] = (x0[j] + h).min(ub[j]);
             let mut xm = x0.to_vec();
             xm[j] = (x0[j] - h).max(lb[j]);
-            let du = (xp[j] - xm[j]) / range; // actual normalized step
-            let fp = clip_spec(problem.evaluate(&xp));
-            let fm = clip_spec(problem.evaluate(&xm));
-            for i in 0..=m {
+            dus.push((xp[j] - xm[j]) / range); // actual normalized step
+            points.push(xp);
+            points.push(xm);
+        }
+        let specs = opt::parallel::par_map(&points, |x| spec_vector(x));
+        let mut s = Matrix::zeros(rows, d);
+        for j in 0..d {
+            let (fp, fm) = (&specs[2 * j], &specs[2 * j + 1]);
+            for i in 0..rows {
                 let diff = (fp[i] - fm[i]).abs();
-                s[(i, j)] = if du > 0.0 { diff / du } else { 0.0 };
+                s[(i, j)] = if dus[j] > 0.0 { diff / dus[j] } else { 0.0 };
             }
         }
         SensitivityReport {
@@ -61,7 +98,10 @@ impl SensitivityReport {
         }
     }
 
-    /// The raw sensitivity matrix (rows: objective then constraints).
+    /// The raw sensitivity matrix. Single-corner problems: row 0 is the
+    /// objective, rows `1..=m` the constraints. Corner-indexed problems:
+    /// `K` blocks of `1 + m` rows (objective then constraints), one per
+    /// corner in corner order.
     pub fn matrix(&self) -> &Matrix {
         &self.s
     }
@@ -126,10 +166,14 @@ impl SensitivityReport {
 }
 
 fn clip_spec(spec: SpecResult) -> Vec<f64> {
-    spec.as_vector()
-        .iter()
-        .map(|v| v.clamp(-1e6, 1e6))
-        .collect()
+    clip_values(spec.as_vector())
+}
+
+fn clip_values(mut v: Vec<f64>) -> Vec<f64> {
+    for x in &mut v {
+        *x = x.clamp(-1e6, 1e6);
+    }
+    v
 }
 
 /// A pruned view of a large problem: only the `active` variables move; the
@@ -193,6 +237,18 @@ impl SizingProblem for ReducedProblem<'_> {
 
     fn num_constraints(&self) -> usize {
         self.inner.num_constraints()
+    }
+
+    fn num_corners(&self) -> usize {
+        self.inner.num_corners()
+    }
+
+    fn corner_name(&self, k: usize) -> String {
+        self.inner.corner_name(k)
+    }
+
+    fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+        self.inner.evaluate_corner(&self.expand(x), k)
     }
 
     fn evaluate(&self, x: &[f64]) -> SpecResult {
@@ -288,5 +344,112 @@ mod tests {
     fn bad_active_index_panics() {
         let p = PartiallyInert;
         let _ = ReducedProblem::new(&p, vec![0.5; 4], vec![7]);
+    }
+
+    /// Two-corner wrapper over [`PartiallyInert`]: corner 1 tightens the
+    /// constraint.
+    struct CorneredInert;
+
+    impl SizingProblem for CorneredInert {
+        fn dim(&self) -> usize {
+            4
+        }
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            (vec![0.0; 4], vec![1.0; 4])
+        }
+        fn num_constraints(&self) -> usize {
+            1
+        }
+        fn num_corners(&self) -> usize {
+            2
+        }
+        fn corner_name(&self, k: usize) -> String {
+            format!("c{k}")
+        }
+        fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+            SpecResult {
+                objective: 3.0 * x[0] + 0.5 * x[2],
+                constraints: vec![x[2] - 0.5 + 0.1 * k as f64],
+            }
+        }
+        fn evaluate(&self, x: &[f64]) -> SpecResult {
+            opt::evaluate_worst_case(self, x)
+        }
+    }
+
+    /// A variable whose effect is confined to a corner the worst-case
+    /// fold never selects: corner 0's constraint is a dominant constant,
+    /// so `evaluate` (the max) is flat in `x1` — only the corner-resolved
+    /// sweep can see it.
+    struct MaskedCornerVar;
+
+    impl SizingProblem for MaskedCornerVar {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            (vec![0.0; 2], vec![1.0; 2])
+        }
+        fn num_constraints(&self) -> usize {
+            1
+        }
+        fn num_corners(&self) -> usize {
+            2
+        }
+        fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+            if k == 0 {
+                // Dominant constant corner: the fold is flat in x.
+                SpecResult {
+                    objective: 10.0,
+                    constraints: vec![10.0],
+                }
+            } else {
+                // All sensitivity — objective included — lives in the
+                // non-dominant corner.
+                SpecResult {
+                    objective: 3.0 * x[0],
+                    constraints: vec![x[1] - 20.0],
+                }
+            }
+        }
+        fn evaluate(&self, x: &[f64]) -> SpecResult {
+            opt::evaluate_worst_case(self, x)
+        }
+    }
+
+    #[test]
+    fn sensitivity_sees_variables_masked_by_the_worst_case_fold() {
+        let p = MaskedCornerVar;
+        // Sanity: the folded view really is flat in both variables.
+        let a = p.evaluate(&[0.5, 0.2]);
+        let b = p.evaluate(&[0.1, 0.8]);
+        assert_eq!(a, b);
+        let rep = SensitivityReport::compute(&p, &[0.5, 0.5], 0.05);
+        // Corner-resolved matrix: 2 corners × (1 objective + 1
+        // constraint) rows.
+        assert_eq!(rep.matrix().rows(), 4);
+        let crit = rep.critical_variables(0.1);
+        assert!(
+            crit.contains(&1),
+            "x1 only moves a non-dominant corner's constraint but must not be pruned: {crit:?}"
+        );
+        assert!(
+            crit.contains(&0),
+            "x0 only moves a non-dominant corner's *objective* but must not be pruned: {crit:?}"
+        );
+    }
+
+    #[test]
+    fn reduced_problem_forwards_the_corner_plane() {
+        let p = CorneredInert;
+        let red = ReducedProblem::new(&p, vec![0.5; 4], vec![0, 2]);
+        assert_eq!(red.num_corners(), 2);
+        assert_eq!(red.corner_name(1), "c1");
+        let a = red.evaluate_corner(&[0.1, 0.9], 1);
+        let b = p.evaluate_corner(&red.expand(&[0.1, 0.9]), 1);
+        assert_eq!(a, b);
+        // The reduced sign-off view is still the worst case.
+        let m = red.evaluate(&[0.1, 0.9]);
+        assert_eq!(m.constraints[0], 0.9 - 0.5 + 0.1);
     }
 }

@@ -329,6 +329,7 @@ mod tests {
                 },
                 fom: (10 - i) as f64,
                 feasible: false,
+                corner_specs: Vec::new(),
             })
             .collect();
         let idx = training_window(&history, 3);

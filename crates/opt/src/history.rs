@@ -10,12 +10,55 @@ use crate::problem::{SizingProblem, SpecResult};
 pub struct Evaluation {
     /// The design point.
     pub x: Vec<f64>,
-    /// The raw simulation outcome.
+    /// The raw simulation outcome. For a corner-indexed problem this is
+    /// the worst-case merge over the corner plane
+    /// ([`SpecResult::worst_case`]).
     pub spec: SpecResult,
-    /// Figure of merit (Eq. 4) of this design.
+    /// Figure of merit (Eq. 4) of this design, on [`Evaluation::spec`].
     pub fom: f64,
-    /// Whether all constraints were met.
+    /// Whether all constraints were met (at every corner, for a corner
+    /// problem — the merge is pessimal).
     pub feasible: bool,
+    /// Per-corner metric vectors, in corner order — populated when the
+    /// evaluation ran through the corner grid
+    /// ([`Evaluator::evaluate_corners`]); empty on the legacy
+    /// single-corner path.
+    pub corner_specs: Vec<SpecResult>,
+}
+
+impl Evaluation {
+    /// The corner-resolved spec vector
+    /// `[f0_worst, c_0@corner0, …, c_{m−1}@corner0, c_0@corner1, …]` —
+    /// the widened critic input of the corner-resolved surrogate mode
+    /// (pairs with [`crate::Fom::tiled`]).
+    ///
+    /// A failed/non-finite corner contributes the [`SpecResult::failed`]
+    /// placeholder constraints instead of its raw values — the same
+    /// sanitization the worst-case merge applies to the aggregate — so a
+    /// single NaN corner cannot poison surrogate training targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evaluation carries no per-corner records.
+    pub fn corner_vector(&self) -> Vec<f64> {
+        assert!(
+            !self.corner_specs.is_empty(),
+            "evaluation has no per-corner records"
+        );
+        let m = self.corner_specs[0].constraints.len();
+        let mut v = Vec::with_capacity(1 + m * self.corner_specs.len());
+        v.push(self.spec.objective);
+        for cs in &self.corner_specs {
+            if cs.is_failure() {
+                // The same placeholder the aggregate fold produces, from
+                // the one source of truth.
+                v.extend(SpecResult::failed(m).constraints);
+            } else {
+                v.extend_from_slice(&cs.constraints);
+            }
+        }
+        v
+    }
 }
 
 /// Full history of a run: every evaluation in order, plus derived
@@ -120,26 +163,47 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Runs (and records) one expensive evaluation.
+    /// Runs (and records) one expensive evaluation. A candidate of a
+    /// corner-indexed problem transparently runs the whole corner grid
+    /// ([`Evaluator::evaluate_corners`]) — optimizers stay unchanged and
+    /// consume the aggregated worst-case result.
     ///
     /// # Panics
     ///
     /// Panics if the budget is already exhausted; optimizers must check
     /// [`Evaluator::exhausted`] first.
     pub fn evaluate(&mut self, x: &[f64]) -> Evaluation {
+        if self.problem.num_corners() > 1 {
+            return self.evaluate_corners(x);
+        }
         assert!(!self.exhausted(), "simulation budget exhausted");
         let t0 = Instant::now();
         let spec = self.problem.evaluate(x);
         self.sim_time += t0.elapsed();
-        let fom = self.fom.value(&spec);
-        let eval = Evaluation {
-            x: x.to_vec(),
-            feasible: spec.feasible(),
-            fom,
-            spec,
-        };
-        self.history.push(eval.clone());
-        eval
+        self.record(x.to_vec(), spec, Vec::new())
+    }
+
+    /// Expands one candidate into its corner grid, evaluates every corner,
+    /// and records the worst-case merge ([`SpecResult::worst_case`]) with
+    /// the per-corner metric vectors attached. One history entry (one unit
+    /// of budget) per *candidate*, regardless of corner count — the corner
+    /// plane multiplies simulator work, not the paper's "# of sims".
+    ///
+    /// Delegates to [`Evaluator::evaluate_corners_batch`] with a
+    /// single-candidate batch, so even one-candidate-per-iteration
+    /// optimizers (DNN-Opt's main loop, SA) fan the K corners out across
+    /// worker threads — bit-identical to the serial grid by the batch
+    /// path's ordering contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is already exhausted.
+    pub fn evaluate_corners(&mut self, x: &[f64]) -> Evaluation {
+        assert!(!self.exhausted(), "simulation budget exhausted");
+        let xs = [x.to_vec()];
+        self.evaluate_corners_batch(&xs)
+            .pop()
+            .expect("budget checked above")
     }
 
     /// Evaluates a whole candidate population, fanning the expensive
@@ -148,10 +212,17 @@ impl<'a> Evaluator<'a> {
     /// traces and first-feasible indices are bit-identical to evaluating
     /// the same candidates serially, regardless of thread count.
     ///
+    /// Corner-indexed problems route through
+    /// [`Evaluator::evaluate_corners_batch`], which parallelizes over the
+    /// flattened candidate×corner grid.
+    ///
     /// At most [`Evaluator::remaining`] candidates are evaluated; the rest
     /// are silently dropped, which keeps optimizers' budget accounting a
     /// non-event. Returns the recorded evaluations.
     pub fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
+        if self.problem.num_corners() > 1 {
+            return self.evaluate_corners_batch(xs);
+        }
         let take = xs.len().min(self.remaining());
         let batch = &xs[..take];
         let problem = self.problem;
@@ -175,17 +246,65 @@ impl<'a> Evaluator<'a> {
         self.sim_time += worker_times.iter().sum::<Duration>();
         let mut out = Vec::with_capacity(take);
         for (x, spec) in batch.iter().zip(specs) {
-            let fom = self.fom.value(&spec);
-            let eval = Evaluation {
-                x: x.clone(),
-                feasible: spec.feasible(),
-                fom,
-                spec,
-            };
-            self.history.push(eval.clone());
-            out.push(eval);
+            out.push(self.record(x.clone(), spec, Vec::new()));
         }
         out
+    }
+
+    /// The batch variant of [`Evaluator::evaluate_corners`]: flattens the
+    /// population into the **candidate×corner grid** and fans that grid
+    /// out over worker threads, so corner-level parallelism is available
+    /// even for a single-candidate-per-iteration optimizer. Per-corner
+    /// results are regrouped and merged in fixed corner order and recorded
+    /// in candidate order, so histories (including the attached per-corner
+    /// vectors) are bit-identical to the serial path for any thread count.
+    /// Workers reuse pool-leased per-topology solver workspaces across
+    /// their whole grid chunk, exactly like the candidate-level path.
+    pub fn evaluate_corners_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
+        let take = xs.len().min(self.remaining());
+        let batch = &xs[..take];
+        let problem = self.problem;
+        let k = problem.num_corners();
+        let grid: Vec<(usize, usize)> = (0..take)
+            .flat_map(|i| (0..k).map(move |c| (i, c)))
+            .collect();
+        let (specs, worker_times) = crate::parallel::par_map_with(
+            &grid,
+            || Duration::ZERO,
+            |spent, &(i, c)| {
+                let t0 = Instant::now();
+                let spec = problem.evaluate_corner(&batch[i], c);
+                *spent += t0.elapsed();
+                spec
+            },
+        );
+        self.sim_time += worker_times.iter().sum::<Duration>();
+        let mut out = Vec::with_capacity(take);
+        for (i, x) in batch.iter().enumerate() {
+            let corner_specs = specs[i * k..(i + 1) * k].to_vec();
+            let spec = SpecResult::worst_case(&corner_specs);
+            out.push(self.record(x.clone(), spec, corner_specs));
+        }
+        out
+    }
+
+    /// Scores, records and returns one finished evaluation.
+    fn record(
+        &mut self,
+        x: Vec<f64>,
+        spec: SpecResult,
+        corner_specs: Vec<SpecResult>,
+    ) -> Evaluation {
+        let fom = self.fom.value(&spec);
+        let eval = Evaluation {
+            x,
+            feasible: spec.feasible(),
+            fom,
+            spec,
+            corner_specs,
+        };
+        self.history.push(eval.clone());
+        eval
     }
 
     /// True when no budget remains.
@@ -282,6 +401,7 @@ mod tests {
             },
             fom,
             feasible,
+            corner_specs: Vec::new(),
         }
     }
 
@@ -346,6 +466,128 @@ mod tests {
         let mut ev = Evaluator::new(&p, &fom, 1);
         ev.evaluate(&[0.3]);
         ev.evaluate(&[0.4]);
+    }
+
+    /// A three-corner analytic problem: corner `k` tightens the constraint
+    /// by `0.1·k` and inflates the objective by `k`.
+    struct CorneredSphere;
+
+    impl SizingProblem for CorneredSphere {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            (vec![0.0; 2], vec![1.0; 2])
+        }
+        fn num_constraints(&self) -> usize {
+            1
+        }
+        fn num_corners(&self) -> usize {
+            3
+        }
+        fn corner_name(&self, k: usize) -> String {
+            format!("tightened-{k}")
+        }
+        fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+            SpecResult {
+                objective: x[0] + x[1] + k as f64,
+                constraints: vec![0.3 + 0.1 * k as f64 - x[0]],
+            }
+        }
+        fn evaluate(&self, x: &[f64]) -> SpecResult {
+            crate::problem::evaluate_worst_case(self, x)
+        }
+    }
+
+    #[test]
+    fn evaluator_expands_corner_problems_transparently() {
+        let p = CorneredSphere;
+        let fom = Fom::uniform(1.0, 1);
+        let mut ev = Evaluator::new(&p, &fom, 4);
+        // `evaluate` routes through the grid: worst case over 3 corners.
+        let e = ev.evaluate(&[0.6, 0.2]);
+        assert_eq!(e.corner_specs.len(), 3);
+        assert_eq!(e.spec.objective, 0.6 + 0.2 + 2.0); // worst corner
+        assert_eq!(e.spec.constraints, vec![0.5 - 0.6]); // tightest corner
+        assert!(e.feasible);
+        // One history entry per candidate, not per corner.
+        assert_eq!(ev.used(), 1);
+        // The corner-resolved vector: worst f0 then per-corner constraints.
+        let v = e.corner_vector();
+        assert_eq!(v.len(), 1 + 3);
+        assert_eq!(v[0], e.spec.objective);
+        assert_eq!(v[1], 0.3 - 0.6);
+        assert_eq!(v[3], 0.5 - 0.6);
+        // Feasible only when every corner passes.
+        let e2 = ev.evaluate(&[0.45, 0.0]);
+        assert!(!e2.feasible, "corner 2 requires x0 > 0.5");
+        // Batch path produces identical records.
+        let batch = ev.evaluate_batch(&[vec![0.6, 0.2], vec![0.45, 0.0]]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].spec, e.spec);
+        assert_eq!(batch[0].corner_specs.len(), 3);
+        for (a, b) in batch[0].corner_specs.iter().zip(&e.corner_specs) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(batch[1].feasible, e2.feasible);
+        assert_eq!(ev.used(), 4);
+        assert!(ev.exhausted());
+    }
+
+    #[test]
+    fn corner_grid_serial_matches_parallel() {
+        let p = CorneredSphere;
+        let fom = Fom::uniform(1.0, 1);
+        let xs: Vec<Vec<f64>> = (0..17)
+            .map(|i| vec![i as f64 / 16.0, 1.0 - i as f64 / 16.0])
+            .collect();
+        crate::parallel::set_max_threads(1);
+        let mut ev_s = Evaluator::new(&p, &fom, xs.len());
+        let serial = ev_s.evaluate_batch(&xs);
+        crate::parallel::set_max_threads(8);
+        let mut ev_p = Evaluator::new(&p, &fom, xs.len());
+        let par = ev_p.evaluate_batch(&xs);
+        crate::parallel::set_max_threads(0);
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.fom.to_bits(), b.fom.to_bits());
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.corner_specs, b.corner_specs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no per-corner records")]
+    fn corner_vector_requires_corner_records() {
+        let _ = eval(1.0, false).corner_vector();
+    }
+
+    #[test]
+    fn corner_vector_sanitizes_failed_corners() {
+        // A NaN corner must contribute the finite failed placeholder, not
+        // raw NaN — otherwise corner-critic training targets go NaN and
+        // every network weight follows.
+        let good = SpecResult {
+            objective: 1.0,
+            constraints: vec![-0.5, 0.25],
+        };
+        let nan = SpecResult {
+            objective: 1.0,
+            constraints: vec![f64::NAN, 0.0],
+        };
+        let e = Evaluation {
+            x: vec![0.0],
+            spec: SpecResult::worst_case(&[good.clone(), nan.clone()]),
+            fom: 0.0,
+            feasible: false,
+            corner_specs: vec![good, nan],
+        };
+        let v = e.corner_vector();
+        assert_eq!(v.len(), 1 + 2 * 2);
+        assert!(v.iter().all(|x| x.is_finite()), "no NaN may survive: {v:?}");
+        // The healthy corner's values pass through untouched; the failed
+        // corner is the placeholder.
+        assert_eq!(&v[1..3], &[-0.5, 0.25]);
+        assert_eq!(&v[3..5], &[1e12, 1e12]);
     }
 
     #[test]

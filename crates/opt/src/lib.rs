@@ -58,7 +58,9 @@ pub use de::DifferentialEvolution;
 pub use fom::Fom;
 pub use gaspad::Gaspad;
 pub use history::{Evaluation, Evaluator, History, RunResult, StopPolicy};
-pub use problem::{from_unit, robust_clip_bounds, to_unit, SizingProblem, SpecResult};
+pub use problem::{
+    evaluate_worst_case, from_unit, robust_clip_bounds, to_unit, SizingProblem, SpecResult,
+};
 pub use random::RandomSearch;
 pub use sa::SimulatedAnnealing;
 

@@ -57,6 +57,57 @@ impl SpecResult {
                 .iter()
                 .any(|c| !c.is_finite() || *c >= 1e12)
     }
+
+    /// Worst-case merge across a corner plane: the sign-off view of a
+    /// candidate is the element-wise **maximum** of its per-corner results
+    /// (objective and every constraint — all are minimize/`≤ 0` specs, so
+    /// max is pessimal). Any failed or non-finite corner dominates: the
+    /// merged result is then the [`SpecResult::failed`] placeholder, so a
+    /// candidate that does not even simulate at one corner can never look
+    /// feasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice or on constraint-count disagreement
+    /// between corners.
+    pub fn worst_case(results: &[SpecResult]) -> SpecResult {
+        let first = results
+            .first()
+            .expect("worst-case merge needs at least one corner");
+        let mut merged = first.clone();
+        for r in &results[1..] {
+            merged.merge_worst(r);
+        }
+        // A single non-finite/failed corner (including the first) poisons
+        // the whole candidate.
+        if merged.is_failure() || results.iter().any(SpecResult::is_failure) {
+            return SpecResult::failed(first.constraints.len());
+        }
+        merged
+    }
+
+    /// Folds `other` into `self`, keeping the element-wise worst (largest)
+    /// objective and constraints; NaN entries are treated as worst and
+    /// survive the fold (see [`SpecResult::worst_case`] for the
+    /// failure-dominates contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint counts disagree.
+    pub fn merge_worst(&mut self, other: &SpecResult) {
+        assert_eq!(
+            self.constraints.len(),
+            other.constraints.len(),
+            "corner constraint layouts must agree"
+        );
+        // `f64::max` drops NaN; an explicit NaN-keeping max makes a
+        // non-finite corner visible to `is_failure` instead of vanishing.
+        let worst = |a: f64, b: f64| if a.is_nan() || a > b { a } else { b };
+        self.objective = worst(other.objective, self.objective);
+        for (c, &o) in self.constraints.iter_mut().zip(&other.constraints) {
+            *c = worst(o, *c);
+        }
+    }
 }
 
 /// A constrained black-box sizing problem (paper Eq. 1):
@@ -83,9 +134,59 @@ pub trait SizingProblem: Sync {
 
     /// Runs the expensive evaluation.
     ///
+    /// For a corner-indexed problem ([`SizingProblem::num_corners`] > 1)
+    /// this is the **sign-off view**: the worst case over the whole corner
+    /// plane (see [`evaluate_worst_case`]) — one simulation per corner.
+    ///
     /// Implementations must return [`SpecResult::failed`] (rather than
     /// panicking) when the underlying simulation does not converge.
     fn evaluate(&self, x: &[f64]) -> SpecResult;
+
+    /// Number of scenario corners this problem evaluates each candidate
+    /// across. The default (1) is the legacy nominal-only plane; corner
+    /// problems override it, and [`crate::Evaluator`] then expands every
+    /// candidate into the candidate×corner grid.
+    ///
+    /// Contract: corner 0 is the reference (nominal) corner, and every
+    /// corner produces the same constraint layout
+    /// ([`SizingProblem::num_constraints`] entries).
+    fn num_corners(&self) -> usize {
+        1
+    }
+
+    /// Human-readable label of corner `k` (defaults to `"corner<k>"`).
+    fn corner_name(&self, k: usize) -> String {
+        format!("corner{k}")
+    }
+
+    /// Evaluates the candidate at one scenario corner. The default (valid
+    /// only for nominal-only problems) delegates to
+    /// [`SizingProblem::evaluate`]; corner problems override this with the
+    /// single-corner testbench and implement `evaluate` as the worst-case
+    /// fold.
+    ///
+    /// **Contract:** any problem whose `evaluate` calls
+    /// [`evaluate_worst_case`] must also implement this method — the
+    /// default delegates back to `evaluate`, and the pair would otherwise
+    /// recurse without bound.
+    ///
+    /// # Panics
+    ///
+    /// The default panics for `k > 0`, and for any problem declaring more
+    /// than one corner (fail-fast on the contract violation above instead
+    /// of recursing to a stack overflow).
+    fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+        assert_eq!(
+            self.num_corners(),
+            1,
+            "corner-indexed problems must implement evaluate_corner"
+        );
+        assert_eq!(
+            k, 0,
+            "problem declares one corner; evaluate_corner({k}) is out of range"
+        );
+        self.evaluate(x)
+    }
 
     /// Human-readable problem name.
     fn name(&self) -> &str {
@@ -103,6 +204,25 @@ pub trait SizingProblem: Sync {
         let (lb, ub) = self.bounds();
         lb.iter().zip(&ub).map(|(l, u)| 0.5 * (l + u)).collect()
     }
+}
+
+/// Evaluates a candidate across a problem's whole corner plane and folds
+/// the per-corner results with [`SpecResult::worst_case`] — the shared
+/// implementation corner problems use for [`SizingProblem::evaluate`]
+/// (a single-corner plane evaluates its one corner directly, so the
+/// nominal path is bit-identical to calling `evaluate_corner(x, 0)`).
+///
+/// **The problem must implement [`SizingProblem::evaluate_corner`]**: the
+/// trait's default delegates back to `evaluate`, so calling this helper
+/// from `evaluate` without overriding `evaluate_corner` recurses without
+/// bound.
+pub fn evaluate_worst_case<P: SizingProblem + ?Sized>(problem: &P, x: &[f64]) -> SpecResult {
+    let k = problem.num_corners();
+    if k <= 1 {
+        return problem.evaluate_corner(x, 0);
+    }
+    let specs: Vec<SpecResult> = (0..k).map(|c| problem.evaluate_corner(x, c)).collect();
+    SpecResult::worst_case(&specs)
 }
 
 /// Robust clipping bounds for surrogate-model targets: `(lo, hi)` such
@@ -275,6 +395,123 @@ mod tests {
             constraints: vec![0.0],
         };
         assert!(!ok.is_failure());
+    }
+
+    #[test]
+    fn worst_case_takes_elementwise_maximum() {
+        let a = SpecResult {
+            objective: 1.0,
+            constraints: vec![-0.5, 0.2, -1.0],
+        };
+        let b = SpecResult {
+            objective: 3.0,
+            constraints: vec![-0.7, 0.1, 0.4],
+        };
+        let m = SpecResult::worst_case(&[a.clone(), b.clone()]);
+        assert_eq!(m.objective, 3.0);
+        assert_eq!(m.constraints, vec![-0.5, 0.2, 0.4]);
+        // Order independent.
+        assert_eq!(m, SpecResult::worst_case(&[b, a]));
+    }
+
+    #[test]
+    fn worst_case_of_one_corner_is_the_identity() {
+        let a = SpecResult {
+            objective: 0.25,
+            constraints: vec![-0.125, 0.75],
+        };
+        let m = SpecResult::worst_case(std::slice::from_ref(&a));
+        assert_eq!(m.objective.to_bits(), a.objective.to_bits());
+        for (x, y) in m.constraints.iter().zip(&a.constraints) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn failed_corner_dominates_the_merge() {
+        let good = SpecResult {
+            objective: 0.1,
+            constraints: vec![-1.0, -1.0],
+        };
+        let m = SpecResult::worst_case(&[good.clone(), SpecResult::failed(2)]);
+        assert!(m.is_failure());
+        assert!(!m.feasible());
+        assert_eq!(m, SpecResult::failed(2));
+        // Position independent.
+        assert_eq!(
+            SpecResult::worst_case(&[SpecResult::failed(2), good.clone()]),
+            SpecResult::failed(2)
+        );
+    }
+
+    #[test]
+    fn nan_corner_dominates_the_merge() {
+        let good = SpecResult {
+            objective: 0.1,
+            constraints: vec![-1.0],
+        };
+        let nan_obj = SpecResult {
+            objective: f64::NAN,
+            constraints: vec![-1.0],
+        };
+        let nan_con = SpecResult {
+            objective: 0.0,
+            constraints: vec![f64::NAN],
+        };
+        for bad in [nan_obj, nan_con] {
+            let m = SpecResult::worst_case(&[good.clone(), bad.clone()]);
+            assert!(m.is_failure(), "NaN corner must poison the merge");
+            assert_eq!(m, SpecResult::failed(1));
+            let m = SpecResult::worst_case(&[bad, good.clone()]);
+            assert!(m.is_failure(), "NaN-first merge must poison too");
+        }
+    }
+
+    #[test]
+    fn worst_case_feasible_only_if_every_corner_is() {
+        let pass = SpecResult {
+            objective: 0.0,
+            constraints: vec![-0.1],
+        };
+        let fail = SpecResult {
+            objective: 0.0,
+            constraints: vec![0.1],
+        };
+        assert!(SpecResult::worst_case(&[pass.clone(), pass.clone()]).feasible());
+        assert!(!SpecResult::worst_case(&[pass, fail]).feasible());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one corner")]
+    fn worst_case_of_nothing_panics() {
+        let _ = SpecResult::worst_case(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "layouts must agree")]
+    fn worst_case_rejects_layout_mismatch() {
+        let a = SpecResult {
+            objective: 0.0,
+            constraints: vec![0.0],
+        };
+        let b = SpecResult {
+            objective: 0.0,
+            constraints: vec![0.0, 0.0],
+        };
+        let _ = SpecResult::worst_case(&[a, b]);
+    }
+
+    #[test]
+    fn default_corner_plane_is_nominal_only() {
+        let p = Sphere { d: 2 };
+        assert_eq!(p.num_corners(), 1);
+        assert_eq!(p.corner_name(0), "corner0");
+        let x = [0.4, 0.4];
+        let a = p.evaluate(&x);
+        let b = p.evaluate_corner(&x, 0);
+        let c = evaluate_worst_case(&p, &x);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
     #[test]

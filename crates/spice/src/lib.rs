@@ -50,7 +50,7 @@ pub use analysis::dc::{dc_sweep, op, op_with_guess, op_with_workspace, MosOp, Op
 pub use analysis::noise::{noise, noise_with_workspace, NoiseResult};
 pub use analysis::tran::{transient, transient_with_workspace, TranResult};
 pub use error::SpiceError;
-pub use mos::{MosModel, MosPolarity, MosRegion};
+pub use mos::{MosModel, MosPolarity, MosRegion, T_NOM};
 pub use netlist::{Circuit, Device, NodeId, GND};
 pub use options::SimOptions;
 pub use waveform::Waveform;

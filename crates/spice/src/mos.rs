@@ -80,7 +80,53 @@ impl MosModel {
     pub fn lambda(&self, l: f64) -> f64 {
         self.clm / l
     }
+
+    /// The model card re-evaluated at an ambient temperature `temp` \[K\] —
+    /// the standard SPICE temperature update, applied once per corner at
+    /// setup time rather than per device evaluation:
+    ///
+    /// - threshold magnitude drops linearly, `Vth(T) = Vth0 − TC·(T − T_NOM)`
+    ///   with [`VTH_TEMP_COEFF`] ≈ 0.8 mV/K;
+    /// - mobility (and with it `KP`) degrades as `(T_NOM/T)^1.5`
+    ///   ([`MOBILITY_TEMP_EXP`]).
+    ///
+    /// Together these reproduce the first-order silicon behaviour: hot
+    /// devices are weaker at full gate drive (mobility dominates) but leak
+    /// more near threshold (temperature inversion). At `temp == T_NOM` the
+    /// returned card is bit-identical to `self`, so a nominal corner is
+    /// exactly the legacy model.
+    ///
+    /// The thermal-noise temperature is *not* baked in here: the noise
+    /// analyses read it from `SimOptions::temp` at evaluation time (see
+    /// [`mos_noise_psd`]), so the same corner temperature must be written
+    /// there too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temp` is not a positive, finite Kelvin temperature.
+    pub fn at_temperature(&self, temp: f64) -> MosModel {
+        assert!(
+            temp.is_finite() && temp > 0.0,
+            "temperature must be positive Kelvin, got {temp}"
+        );
+        if temp == T_NOM {
+            return self.clone();
+        }
+        let mut card = self.clone();
+        card.vth0 = self.vth0 - VTH_TEMP_COEFF * (temp - T_NOM);
+        card.kp = self.kp * (T_NOM / temp).powf(MOBILITY_TEMP_EXP);
+        card
+    }
 }
+
+/// Nominal model-card temperature \[K\] — the temperature at which every
+/// [`MosModel`] card's parameters are specified.
+pub const T_NOM: f64 = 300.0;
+/// Threshold-voltage temperature coefficient \[V/K\]: `|Vth|` shrinks by
+/// ~0.8 mV per Kelvin of heating (typical bulk-CMOS magnitude).
+pub const VTH_TEMP_COEFF: f64 = 0.8e-3;
+/// Mobility power-law temperature exponent: `µ(T) ∝ T^−1.5`.
+pub const MOBILITY_TEMP_EXP: f64 = 1.5;
 
 /// Thermal voltage kT/q at 300 K.
 pub const VT_300K: f64 = 0.025852;
@@ -472,6 +518,41 @@ mod tests {
         let expect_thermal = 4.0 * BOLTZMANN * 300.0 * (2.0 / 3.0) * 1e-3;
         // At 1 THz the flicker term is negligible but nonzero.
         assert!((thermal_only - expect_thermal).abs() / expect_thermal < 1e-4);
+    }
+
+    #[test]
+    fn temperature_update_is_identity_at_t_nom() {
+        let m = nmos();
+        let at_nom = m.at_temperature(T_NOM);
+        assert_eq!(m.vth0.to_bits(), at_nom.vth0.to_bits());
+        assert_eq!(m.kp.to_bits(), at_nom.kp.to_bits());
+        assert_eq!(m, at_nom);
+    }
+
+    #[test]
+    fn hot_devices_are_weaker_at_full_drive_but_leak_more() {
+        let m = nmos();
+        let hot = m.at_temperature(398.15);
+        let cold = m.at_temperature(233.15);
+        // Threshold drops when hot, rises when cold.
+        assert!(hot.vth0 < m.vth0 && cold.vth0 > m.vth0);
+        // Mobility degrades when hot.
+        assert!(hot.kp < m.kp && cold.kp > m.kp);
+        // Full-gate-drive current: mobility wins, the hot device is weaker.
+        let id_hot = eval_mos(&hot, 10e-6, 1e-6, 1.0, 1.8, 1.8, 0.0).id;
+        let id_cold = eval_mos(&cold, 10e-6, 1e-6, 1.0, 1.8, 1.8, 0.0).id;
+        assert!(id_hot < id_cold, "{id_hot} vs {id_cold}");
+        // Subthreshold leakage: the lower hot threshold wins (temperature
+        // inversion).
+        let leak_hot = eval_mos(&hot, 10e-6, 1e-6, 1.0, 0.2, 1.0, 0.0).id;
+        let leak_cold = eval_mos(&cold, 10e-6, 1e-6, 1.0, 0.2, 1.0, 0.0).id;
+        assert!(leak_hot > leak_cold, "{leak_hot} vs {leak_cold}");
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn non_physical_temperature_rejected() {
+        let _ = nmos().at_temperature(-10.0);
     }
 
     #[test]

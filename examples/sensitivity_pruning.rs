@@ -10,9 +10,11 @@ use opt::SizingProblem;
 fn main() {
     let ls = LevelShifter::new();
     println!(
-        "level shifter: {} variables, {} specs over 6 supply corners",
+        "level shifter: {} variables, {} measurements × {} supply corners = {} specs",
         ls.dim(),
-        ls.num_constraints()
+        ls.num_constraints(),
+        ls.num_corners(),
+        ls.num_constraints() * ls.num_corners()
     );
     let report = SensitivityReport::compute(&ls, &ls.nominal(), 0.05);
     println!("\n{}", report.table());

@@ -54,6 +54,10 @@ struct SparseLadder;
 
 impl SparseLadder {
     fn build(x: &[f64]) -> Circuit {
+        Self::build_at(x, 1.8)
+    }
+
+    fn build_at(x: &[f64], vdd: f64) -> Circuit {
         let nmos = spice::MosModel {
             polarity: spice::MosPolarity::Nmos,
             vth0: 0.45,
@@ -71,12 +75,12 @@ impl SparseLadder {
             noise_gamma: 2.0 / 3.0,
         };
         let mut c = Circuit::new();
-        let vdd = c.node("vdd");
+        let vdd_node = c.node("vdd");
         // Unit AC magnitude on the supply: the AC sweep measures supply
         // ripple transfer down the ladder.
-        c.add_vsource_ac("VDD", vdd, GND, Waveform::Dc(1.8), 1.0)
+        c.add_vsource_ac("VDD", vdd_node, GND, Waveform::Dc(vdd), 1.0)
             .unwrap();
-        let mut prev = vdd;
+        let mut prev = vdd_node;
         for i in 0..30 {
             let d = c.node(&format!("d{i}"));
             c.add_resistor(&format!("R{i}"), prev, d, 2e3 + 6e3 * x[1])
@@ -99,18 +103,12 @@ impl SparseLadder {
     }
 }
 
-impl SizingProblem for SparseLadder {
-    fn dim(&self) -> usize {
-        2
-    }
-    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-        (vec![0.0; 2], vec![1.0; 2])
-    }
-    fn num_constraints(&self) -> usize {
-        1
-    }
-    fn evaluate(&self, x: &[f64]) -> SpecResult {
-        let ckt = Self::build(x);
+impl SparseLadder {
+    /// The full measurement suite (DC + AC + noise through one pooled
+    /// workspace) at a given supply — shared by the nominal problem and
+    /// the corner-indexed wrapper below.
+    fn evaluate_at(x: &[f64], vdd: f64) -> SpecResult {
+        let ckt = Self::build_at(x, vdd);
         let mut ws = spice::lease_workspace(&ckt);
         let Ok(op) = spice::op_with_workspace(&ckt, &SimOptions::default(), None, &mut ws) else {
             return SpecResult::failed(1);
@@ -145,8 +143,59 @@ impl SizingProblem for SparseLadder {
             constraints: vec![0.9 - op.voltage(mid)],
         }
     }
+}
+
+impl SizingProblem for SparseLadder {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.0; 2], vec![1.0; 2])
+    }
+    fn num_constraints(&self) -> usize {
+        1
+    }
+    fn evaluate(&self, x: &[f64]) -> SpecResult {
+        Self::evaluate_at(x, 1.8)
+    }
     fn name(&self) -> &str {
         "sparse-ladder"
+    }
+}
+
+/// The [`SparseLadder`] with a three-corner supply plane: every candidate
+/// expands into the candidate×corner grid inside
+/// `opt::Evaluator::evaluate_corners_batch`, each corner leasing pooled
+/// workspaces for the *same* topology — exactly the reuse pattern whose
+/// thread/corner assignment must never show up in the results.
+struct CorneredLadder;
+
+const LADDER_SUPPLIES: [f64; 3] = [1.62, 1.8, 1.98];
+
+impl SizingProblem for CorneredLadder {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.0; 2], vec![1.0; 2])
+    }
+    fn num_constraints(&self) -> usize {
+        1
+    }
+    fn num_corners(&self) -> usize {
+        LADDER_SUPPLIES.len()
+    }
+    fn corner_name(&self, k: usize) -> String {
+        format!("vdd{:.2}", LADDER_SUPPLIES[k])
+    }
+    fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+        SparseLadder::evaluate_at(x, LADDER_SUPPLIES[k])
+    }
+    fn evaluate(&self, x: &[f64]) -> SpecResult {
+        opt::evaluate_worst_case(self, x)
+    }
+    fn name(&self) -> &str {
+        "cornered-ladder"
     }
 }
 
@@ -177,6 +226,24 @@ fn assert_identical(a: &RunResult, b: &RunResult, label: &str) {
             ea.spec.constraints, eb.spec.constraints,
             "{label}: constraints #{i}"
         );
+        // Per-corner records (attached by the corner-grid engine) are
+        // under the same bitwise contract as the merged spec.
+        assert_eq!(
+            ea.corner_specs.len(),
+            eb.corner_specs.len(),
+            "{label}: corner count #{i}"
+        );
+        for (k, (ca, cb)) in ea.corner_specs.iter().zip(&eb.corner_specs).enumerate() {
+            assert_eq!(
+                ca.objective.to_bits(),
+                cb.objective.to_bits(),
+                "{label}: corner {k} f0 #{i}"
+            );
+            assert_eq!(
+                ca.constraints, cb.constraints,
+                "{label}: corner {k} constraints #{i}"
+            );
+        }
     }
     assert_eq!(
         a.history.best_trace(),
@@ -240,6 +307,49 @@ fn serial_and_parallel_runs_are_bit_identical() {
             &format!("{} (spice pool)", method.name()),
         );
     }
+    // The corner-grid engine under the same contract: candidates of a
+    // corner-indexed problem expand into the candidate×corner grid
+    // (`Evaluator::evaluate_corners_batch`), whose flattened work items
+    // are what the worker threads chunk — so both the candidate→thread
+    // *and* corner→thread assignments vary with thread count while the
+    // recorded histories (merged specs, FoMs, and the attached per-corner
+    // metric vectors) must stay bit-identical, with workspace pooling on.
+    let cornered = CorneredLadder;
+    let fom = Fom::uniform(1.0, 1);
+    let corner_methods: Vec<(Box<dyn Optimizer>, usize)> = vec![
+        (Box::new(RandomSearch), 24),
+        (Box::new(DifferentialEvolution::default()), 36),
+        (
+            Box::new(DnnOpt::new(DnnOptConfig {
+                corner_critic: true,
+                critic_epochs: 60,
+                actor_epochs: 20,
+                critic_batch: 64,
+                hidden: 16,
+                ..Default::default()
+            })),
+            26,
+        ),
+    ];
+    for (method, budget) in &corner_methods {
+        parallel::set_max_threads(1);
+        let serial = method.run(&cornered, &fom, *budget, StopPolicy::Exhaust, 7);
+        parallel::set_max_threads(8);
+        let parallel_run = method.run(&cornered, &fom, *budget, StopPolicy::Exhaust, 7);
+        parallel::set_max_threads(0);
+        // Every entry really ran the corner grid.
+        assert!(serial
+            .history
+            .entries()
+            .iter()
+            .all(|e| e.corner_specs.len() == 3));
+        assert_identical(
+            &serial,
+            &parallel_run,
+            &format!("{} (corner grid)", method.name()),
+        );
+    }
+
     // And the solver state the runs left behind really is the sparse
     // pipeline — for the DC Newton solves *and* the AC/noise sweeps: a
     // pooled workspace for this topology selected both sparse kernels.
