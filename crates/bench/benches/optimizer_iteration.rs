@@ -24,6 +24,7 @@ impl SizingProblem for Cheap {
     }
     fn evaluate(&self, x: &[f64]) -> SpecResult {
         SpecResult {
+            failure: None,
             objective: x.iter().map(|v| (v - 0.4).powi(2)).sum(),
             constraints: vec![0.2 - x[0], 0.2 - x[1], x.iter().sum::<f64>() - 8.0],
         }
@@ -62,6 +63,7 @@ impl SizingProblem for SpiceStage {
                 let m = op.mos_op("M1").unwrap();
                 // Minimize current, require 0.4 V of swing headroom.
                 SpecResult {
+                    failure: None,
                     objective: m.id * 1e3,
                     constraints: vec![0.4 - op.voltage(d)],
                 }

@@ -674,6 +674,7 @@ mod tests {
         }
         fn evaluate(&self, x: &[f64]) -> SpecResult {
             SpecResult {
+                failure: None,
                 objective: x[0],
                 constraints: vec![0.2 - x[1]],
             }

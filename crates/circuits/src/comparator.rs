@@ -426,9 +426,15 @@ impl SizingProblem for StrongArmLatch {
 
     fn evaluate(&self, x: &[f64]) -> SpecResult {
         let m = self.num_constraints();
+        // Single-corner problem: the fault-plane scope keys on the
+        // candidate alone (corner salt 0).
+        let _scope = spice::fault::candidate_scope(spice::fault::candidate_key(x, 0));
         let p = LatchParams::decode(x);
-        let Ok((ckt, outp, outn, xp, xn, di_p, di_n)) = self.build(&p) else {
-            return SpecResult::failed(m);
+        let (ckt, outp, outn, xp, xn, di_p, di_n) = match self.build(&p) {
+            Ok(v) => v,
+            Err(e) => {
+                return SpecResult::failed_with(m, crate::diag_from_spice(&e, "latch netlist"))
+            }
         };
         let t = &self.tech;
         let quarter = self.period / 4.0;
@@ -437,11 +443,16 @@ impl SizingProblem for StrongArmLatch {
                                     // One pooled workspace for the whole evaluation: the transient
                                     // reuses the recorded solver state of previous candidates.
         let mut ws = spice::lease_workspace(&ckt);
-        let Ok(tr) =
-            spice::transient_with_workspace(&ckt, &self.opts, self.period, 50e-12, &mut ws)
-        else {
-            return SpecResult::failed(m);
-        };
+        let tr =
+            match spice::transient_with_workspace(&ckt, &self.opts, self.period, 50e-12, &mut ws) {
+                Ok(tr) => tr,
+                Err(e) => {
+                    return SpecResult::failed_with(
+                        m,
+                        crate::diag_from_spice(&e, "latch transient"),
+                    )
+                }
+            };
 
         // Both buffer outputs start low (the latch precharges its internal
         // nodes high); after the clock edge exactly one of them rises.
@@ -500,7 +511,9 @@ impl SizingProblem for StrongArmLatch {
         // Power: supply energy over the full cycle divided by the period.
         let energy = match tr.delivered_charge(&ckt, "VDD", 0.0, self.period) {
             Ok(q) => q * t.vdd,
-            Err(_) => return SpecResult::failed(m),
+            Err(e) => {
+                return SpecResult::failed_with(m, crate::diag_from_spice(&e, "latch energy"))
+            }
         };
         let power = energy / self.period;
 
@@ -543,6 +556,7 @@ impl SizingProblem for StrongArmLatch {
         constraints.push(at_most(vout_n_resid, 0.35e-6, 3.5e-5));
 
         SpecResult {
+            failure: None,
             objective: power,
             constraints,
         }

@@ -336,6 +336,8 @@ impl SizingProblem for Ctle {
     }
 
     fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+        // Deterministic fault-plane scope, keyed by candidate bits × corner.
+        let _scope = spice::fault::candidate_scope(spice::fault::candidate_key(x, k as u64));
         self.plane(k).evaluate_plane(x)
     }
 
@@ -349,18 +351,22 @@ impl Ctle {
     /// single-scenario evaluation every corner of the plane shares.
     fn evaluate_plane(&self, x: &[f64]) -> SpecResult {
         let m = SizingProblem::num_constraints(self);
-        let Ok((ckt, op_n, on_n)) = self.build(x) else {
-            return SpecResult::failed(m);
+        let (ckt, op_n, on_n) = match self.build(x) {
+            Ok(v) => v,
+            Err(e) => {
+                return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ctle netlist"))
+            }
         };
         // One pooled workspace per evaluation; the DC solve reuses the
         // recorded solver state of previous candidates.
         let mut ws = spice::lease_workspace(&ckt);
-        let Ok(dc) = spice::op_with_workspace(&ckt, &self.opts, None, &mut ws) else {
-            return SpecResult::failed(m);
+        let dc = match spice::op_with_workspace(&ckt, &self.opts, None, &mut ws) {
+            Ok(dc) => dc,
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ctle op")),
         };
         let power = match dc.source_current(&ckt, "VDD") {
             Ok(i) => -i * self.tech.vdd,
-            Err(_) => return SpecResult::failed(m),
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ctle power")),
         };
         let out_cm = 0.5 * (dc.voltage(op_n) + dc.voltage(on_n));
         let offset = (dc.voltage(op_n) - dc.voltage(on_n)).abs();
@@ -370,8 +376,9 @@ impl Ctle {
             .fold(f64::INFINITY, f64::min);
 
         let freqs = spice::log_freqs(1e7, 2e10, 8);
-        let Ok(ac) = spice::ac_with_workspace(&ckt, &self.opts, &dc, &freqs, &mut ws) else {
-            return SpecResult::failed(m);
+        let ac = match spice::ac_with_workspace(&ckt, &self.opts, &dc, &freqs, &mut ws) {
+            Ok(ac) => ac,
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ctle ac")),
         };
         let mag = ac.diff_magnitude(op_n, on_n);
         let dc_gain_db = measure::db(mag[0]);
@@ -419,6 +426,7 @@ impl Ctle {
             (-6.0 - nyq_gain_db) / 6.0,
         ];
         SpecResult {
+            failure: None,
             objective: power,
             constraints,
         }

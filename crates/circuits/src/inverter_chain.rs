@@ -191,16 +191,30 @@ impl SizingProblem for InverterChain {
 
     fn evaluate(&self, x: &[f64]) -> SpecResult {
         let m = self.num_constraints();
-        let Ok((ckt, inp, out)) = self.build(x) else {
-            return SpecResult::failed(m);
+        // Single-corner problem: the fault-plane scope keys on the
+        // candidate alone (corner salt 0).
+        let _scope = spice::fault::candidate_scope(spice::fault::candidate_key(x, 0));
+        let (ckt, inp, out) = match self.build(x) {
+            Ok(v) => v,
+            Err(e) => {
+                return SpecResult::failed_with(
+                    m,
+                    crate::diag_from_spice(&e, "inverter-chain netlist"),
+                )
+            }
         };
         let t = &self.tech;
         // One pooled workspace for the whole evaluation: the transient
         // reuses the recorded solver state of previous candidates.
         let mut ws = spice::lease_workspace(&ckt);
-        let Ok(tr) = spice::transient_with_workspace(&ckt, &self.opts, 1.0e-9, 2e-12, &mut ws)
-        else {
-            return SpecResult::failed(m);
+        let tr = match spice::transient_with_workspace(&ckt, &self.opts, 1.0e-9, 2e-12, &mut ws) {
+            Ok(tr) => tr,
+            Err(e) => {
+                return SpecResult::failed_with(
+                    m,
+                    crate::diag_from_spice(&e, "inverter-chain transient"),
+                )
+            }
         };
         // Second cycle: rising input edge at 550 ps, falling at 805 ps.
         let w_in = tr.waveform(inp);
@@ -220,6 +234,7 @@ impl SizingProblem for InverterChain {
             }
             _ => {
                 return SpecResult {
+                    failure: None,
                     objective: 1.0,
                     constraints: vec![3.0; m],
                 }
@@ -228,7 +243,12 @@ impl SizingProblem for InverterChain {
         // Energy for one full cycle (two transitions), halved.
         let energy = match tr.delivered_charge(&ckt, "VDD", 500e-12, 1.0e-9) {
             Ok(q) => (q * t.vdd / 2.0).abs(),
-            Err(_) => return SpecResult::failed(m),
+            Err(e) => {
+                return SpecResult::failed_with(
+                    m,
+                    crate::diag_from_spice(&e, "inverter-chain energy"),
+                )
+            }
         };
 
         // Objective: delay-energy product pressure via energy (power at the
@@ -239,6 +259,7 @@ impl SizingProblem for InverterChain {
             (energy - self.energy_limit) / self.energy_limit,
         ];
         SpecResult {
+            failure: None,
             objective: energy * 1e12,
             constraints,
         }

@@ -336,6 +336,8 @@ impl SizingProblem for Ldo {
     }
 
     fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+        // Deterministic fault-plane scope, keyed by candidate bits × corner.
+        let _scope = spice::fault::candidate_scope(spice::fault::candidate_key(x, k as u64));
         self.plane(k).evaluate_plane(x)
     }
 
@@ -350,20 +352,31 @@ impl Ldo {
     fn evaluate_plane(&self, x: &[f64]) -> SpecResult {
         let m = SizingProblem::num_constraints(self);
         // Closed-loop operating points at nominal and light load.
-        let Ok((ckt_nom, vout, vfb)) = self.build(x, self.i_load.0, None) else {
-            return SpecResult::failed(m);
+        let (ckt_nom, vout, vfb) = match self.build(x, self.i_load.0, None) {
+            Ok(v) => v,
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ldo netlist")),
         };
         // One pooled workspace per loop topology: both closed-loop solves
         // (and later candidates) reuse the same recorded solver state.
         let mut ws = spice::lease_workspace(&ckt_nom);
-        let Ok(op_nom) = spice::op_with_workspace(&ckt_nom, &self.opts, None, &mut ws) else {
-            return SpecResult::failed(m);
+        let op_nom = match spice::op_with_workspace(&ckt_nom, &self.opts, None, &mut ws) {
+            Ok(op) => op,
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ldo op")),
         };
-        let Ok((ckt_lt, vout_lt, _)) = self.build(x, self.i_load.1, None) else {
-            return SpecResult::failed(m);
+        let (ckt_lt, vout_lt, _) = match self.build(x, self.i_load.1, None) {
+            Ok(v) => v,
+            Err(e) => {
+                return SpecResult::failed_with(
+                    m,
+                    crate::diag_from_spice(&e, "ldo light-load netlist"),
+                )
+            }
         };
-        let Ok(op_lt) = spice::op_with_workspace(&ckt_lt, &self.opts, None, &mut ws) else {
-            return SpecResult::failed(m);
+        let op_lt = match spice::op_with_workspace(&ckt_lt, &self.opts, None, &mut ws) {
+            Ok(op) => op,
+            Err(e) => {
+                return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ldo light-load op"))
+            }
         };
         let v_nom = op_nom.voltage(vout);
         let v_lt = op_lt.voltage(vout_lt);
@@ -372,7 +385,7 @@ impl Ldo {
         // Quiescent current: total supply current minus the load.
         let iq = match op_lt.source_current(&ckt_lt, "VDD") {
             Ok(i) => (-i - self.i_load.1).abs(),
-            Err(_) => return SpecResult::failed(m),
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ldo iq")),
         };
 
         // PSRR (closed loop) at nominal load.
@@ -381,9 +394,9 @@ impl Ldo {
         let freqs = spice::log_freqs(1e2, 1e9, 4);
         // Re-sized AC magnitudes leave the topology fingerprint unchanged,
         // so the sweep reuses `ws`'s recorded complex pattern.
-        let Ok(ac_ps) = spice::ac_with_workspace(&ckt_ps, &self.opts, &op_nom, &freqs, &mut ws)
-        else {
-            return SpecResult::failed(m);
+        let ac_ps = match spice::ac_with_workspace(&ckt_ps, &self.opts, &op_nom, &freqs, &mut ws) {
+            Ok(ac) => ac,
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ldo psrr ac")),
         };
         let psrr_10k = -measure::db(measure::sample_response(
             &freqs,
@@ -394,19 +407,28 @@ impl Ldo {
         // Loop gain: break the loop at the error-amp feedback input, hold
         // the bias, sweep.
         let vfb_dc = op_nom.voltage(vfb);
-        let Ok((ckt_ol, vout_ol, vfb_ol)) = self.build(x, self.i_load.0, Some((vfb_dc, 1.0)))
-        else {
-            return SpecResult::failed(m);
+        let (ckt_ol, vout_ol, vfb_ol) = match self.build(x, self.i_load.0, Some((vfb_dc, 1.0))) {
+            Ok(v) => v,
+            Err(e) => {
+                return SpecResult::failed_with(
+                    m,
+                    crate::diag_from_spice(&e, "ldo open-loop netlist"),
+                )
+            }
         };
         let mut ws_ol = spice::lease_workspace(&ckt_ol);
-        let Ok(op_ol) = spice::op_with_workspace(&ckt_ol, &self.opts, None, &mut ws_ol) else {
-            return SpecResult::failed(m);
+        let op_ol = match spice::op_with_workspace(&ckt_ol, &self.opts, None, &mut ws_ol) {
+            Ok(op) => op,
+            Err(e) => {
+                return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ldo open-loop op"))
+            }
         };
         let _ = vout_ol;
         let lfreqs = spice::log_freqs(1e2, 1e9, 6);
-        let Ok(ac_l) = spice::ac_with_workspace(&ckt_ol, &self.opts, &op_ol, &lfreqs, &mut ws_ol)
-        else {
-            return SpecResult::failed(m);
+        let ac_l = match spice::ac_with_workspace(&ckt_ol, &self.opts, &op_ol, &lfreqs, &mut ws_ol)
+        {
+            Ok(ac) => ac,
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ldo loop ac")),
         };
         // Loop transmission L = v(tap); negate for the standard phase
         // reference (negative feedback -> arg(-L) starts near 0).
@@ -465,6 +487,7 @@ impl Ldo {
             (noise_rms - 10e-3) / 10e-3,
         ];
         SpecResult {
+            failure: None,
             objective: iq,
             constraints,
         }

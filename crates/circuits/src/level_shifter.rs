@@ -276,15 +276,28 @@ impl SizingProblem for LevelShifter {
     fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
         let m = self.num_constraints();
         let (vddl_v, vddh_v) = SUPPLY_CORNERS[k];
+        // Deterministic fault-plane scope, keyed by candidate bits × corner.
+        let _scope = spice::fault::candidate_scope(spice::fault::candidate_key(x, k as u64));
         // Pooled workspace: identical topology at every corner, so the
         // recorded solver state carries across corners and candidates.
         let mut ws = spice::lease_workspace(&self.template);
-        let Ok((ckt, inp, out)) = self.build(x, vddl_v, vddh_v) else {
-            return SpecResult::failed(m);
+        let (ckt, inp, out) = match self.build(x, vddl_v, vddh_v) {
+            Ok(v) => v,
+            Err(e) => {
+                return SpecResult::failed_with(
+                    m,
+                    crate::diag_from_spice(&e, "level-shifter netlist"),
+                )
+            }
         };
-        let Ok(tr) = spice::transient_with_workspace(&ckt, &self.opts, 1.1e-9, 2.5e-12, &mut ws)
-        else {
-            return SpecResult::failed(m);
+        let tr = match spice::transient_with_workspace(&ckt, &self.opts, 1.1e-9, 2.5e-12, &mut ws) {
+            Ok(tr) => tr,
+            Err(e) => {
+                return SpecResult::failed_with(
+                    m,
+                    crate::diag_from_spice(&e, "level-shifter transient"),
+                )
+            }
         };
         let w_in = tr.waveform(inp);
         let w_out = tr.waveform(out);
@@ -303,6 +316,7 @@ impl SizingProblem for LevelShifter {
                 // heavily violated (no energy figure — the shifter never
                 // shifted).
                 return SpecResult {
+                    failure: None,
                     objective: 0.0,
                     constraints: vec![3.0; m],
                 };
@@ -367,6 +381,7 @@ impl SizingProblem for LevelShifter {
             (energy - 150e-15) / 150e-15,      // energy per cycle
         ];
         SpecResult {
+            failure: None,
             // Per-corner energy in pJ; the sign-off objective is the worst
             // corner's energy after the shared fold.
             objective: energy * 1e12,

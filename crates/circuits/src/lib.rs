@@ -24,3 +24,78 @@ pub use inverter_chain::InverterChain;
 pub use ldo::Ldo;
 pub use level_shifter::LevelShifter;
 pub use ota::{FoldedCascodeOta, OtaParams, OtaReport};
+
+/// Converts a simulator error into the optimizer's evaluation-level
+/// failure diagnosis: solver failures map one-to-one onto the taxonomy
+/// (kind, ladder stage, retry budget, injected flag); everything else
+/// (netlist construction, unknown devices, bad analysis windows) is a
+/// [`opt::FailureKind::Setup`] failure tagged with `analysis` — the
+/// testbench phase that was running when the error surfaced.
+pub fn diag_from_spice(e: &spice::SpiceError, analysis: &str) -> opt::FailureDiag {
+    match e.failure_diag() {
+        Some(d) => opt::FailureDiag {
+            kind: match d.kind {
+                spice::FailureKind::Singular => opt::FailureKind::Singular,
+                spice::FailureKind::NoConvergence => opt::FailureKind::NoConvergence,
+                spice::FailureKind::NanResidual => opt::FailureKind::NanResidual,
+                spice::FailureKind::StepUnderflow => opt::FailureKind::StepUnderflow,
+            },
+            analysis: format!("{analysis}: {}", d.analysis),
+            stage: match d.stage {
+                spice::LadderStage::PlainNr => opt::RecoveryStage::PlainNr,
+                spice::LadderStage::GminStepping => opt::RecoveryStage::GminStepping,
+                spice::LadderStage::SourceStepping => opt::RecoveryStage::SourceStepping,
+                spice::LadderStage::StepHalving => opt::RecoveryStage::StepHalving,
+                spice::LadderStage::SmallSignal => opt::RecoveryStage::SmallSignal,
+            },
+            iterations: d.iterations,
+            halvings: d.halvings,
+            injected: d.injected,
+        },
+        None => opt::FailureDiag::setup(format!("{analysis}: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod diag_tests {
+    use super::*;
+
+    #[test]
+    fn solver_errors_map_one_to_one() {
+        let e = spice::SpiceError::Solver(spice::FailureDiag {
+            kind: spice::FailureKind::NanResidual,
+            analysis: "dc operating point",
+            stage: spice::LadderStage::SourceStepping,
+            iterations: 77,
+            halvings: 0,
+            injected: true,
+        });
+        let d = diag_from_spice(&e, "ota dc");
+        assert_eq!(d.kind, opt::FailureKind::NanResidual);
+        assert_eq!(d.stage, opt::RecoveryStage::SourceStepping);
+        assert_eq!(d.iterations, 77);
+        assert!(d.injected);
+        assert!(d.analysis.contains("ota dc"));
+        assert!(d.analysis.contains("dc operating point"));
+    }
+
+    #[test]
+    fn non_solver_errors_become_setup_failures() {
+        let e = spice::SpiceError::BadValue {
+            device: "M1".into(),
+            reason: "negative width".into(),
+        };
+        let d = diag_from_spice(&e, "netlist build");
+        assert_eq!(d.kind, opt::FailureKind::Setup);
+        assert_eq!(d.stage, opt::RecoveryStage::None);
+        assert!(d.analysis.contains("M1"));
+    }
+
+    #[test]
+    fn ac_singularities_map_to_small_signal_stage() {
+        let e = spice::SpiceError::SingularMatrix { analysis: "ac" };
+        let d = diag_from_spice(&e, "open-loop ac");
+        assert_eq!(d.kind, opt::FailureKind::Singular);
+        assert_eq!(d.stage, opt::RecoveryStage::SmallSignal);
+    }
+}

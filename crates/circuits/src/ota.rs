@@ -630,6 +630,10 @@ impl SizingProblem for FoldedCascodeOta {
     }
 
     fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+        // Deterministic fault-plane scope: injection decisions are a pure
+        // function of (plan seed, candidate bits, corner index) — identical
+        // no matter which worker thread runs this corner.
+        let _scope = spice::fault::candidate_scope(spice::fault::candidate_key(x, k as u64));
         self.plane(k).evaluate_plane(x)
     }
 
@@ -646,20 +650,22 @@ impl FoldedCascodeOta {
         let p = OtaParams::decode(x);
 
         // --- Open-loop testbench: OP + three AC excitations + noise.
-        let Ok((mut ol, out_p, out_n)) = self.build_open_loop(&p) else {
-            return SpecResult::failed(m);
+        let (mut ol, out_p, out_n) = match self.build_open_loop(&p) {
+            Ok(v) => v,
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ota netlist")),
         };
         // Pooled workspaces (one per testbench topology): every candidate
         // reuses the recorded stamp→slot maps and factor storage.
         let mut ws_ol = spice::lease_workspace(&ol);
-        let Ok(op) = spice::op_with_workspace(&ol, &self.opts, None, &mut ws_ol) else {
-            return SpecResult::failed(m);
+        let op = match spice::op_with_workspace(&ol, &self.opts, None, &mut ws_ol) {
+            Ok(op) => op,
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ota op")),
         };
 
         // Power: total supply current × VDD (battery current is negative).
         let i_vdd = match op.source_current(&ol, "VDD") {
             Ok(i) => -i,
-            Err(_) => return SpecResult::failed(m),
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ota power")),
         };
         // Bias reference branches that terminate at ideal sources also draw
         // from VDD in a real implementation; IB1/IB2 sink to ground already
@@ -671,8 +677,9 @@ impl FoldedCascodeOta {
         ol.clear_ac_mags();
         let _ = ol.set_ac_mag("VIP", 0.5);
         let _ = ol.set_ac_mag("VIN", -0.5);
-        let Ok(ac_dm) = spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol) else {
-            return SpecResult::failed(m);
+        let ac_dm = match spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol) {
+            Ok(ac) => ac,
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ota diff ac")),
         };
         let mag_dm = ac_dm.diff_magnitude(out_p, out_n);
         let ph_dm = ac_dm.diff_phase_unwrapped(out_p, out_n);
@@ -684,8 +691,9 @@ impl FoldedCascodeOta {
         ol.clear_ac_mags();
         let _ = ol.set_ac_mag("VIP", 1.0);
         let _ = ol.set_ac_mag("VIN", 1.0);
-        let Ok(ac_cm) = spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol) else {
-            return SpecResult::failed(m);
+        let ac_cm = match spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol) {
+            Ok(ac) => ac,
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ota cm ac")),
         };
         let a_cm = (ac_cm.voltage(0, out_p) + ac_cm.voltage(0, out_n)).abs() / 2.0;
         let cmrr_db = dc_gain_db - measure::db(a_cm);
@@ -693,8 +701,9 @@ impl FoldedCascodeOta {
         // Supply gain (VDD ripple → CM out).
         ol.clear_ac_mags();
         let _ = ol.set_ac_mag("VDD", 1.0);
-        let Ok(ac_ps) = spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol) else {
-            return SpecResult::failed(m);
+        let ac_ps = match spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol) {
+            Ok(ac) => ac,
+            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ota psrr ac")),
         };
         let a_ps = (ac_ps.voltage(0, out_p) + ac_ps.voltage(0, out_n)).abs() / 2.0;
         let psrr_db = dc_gain_db - measure::db(a_ps);
@@ -790,6 +799,7 @@ impl FoldedCascodeOta {
         }
 
         SpecResult {
+            failure: None,
             objective: power,
             constraints,
         }

@@ -41,6 +41,13 @@ impl Critic {
     ) -> Self {
         assert!(!xs.is_empty(), "cannot train a critic without data");
         assert_eq!(xs.len(), fs.len(), "design/spec count mismatch");
+        // NaN quarantine tripwire: the optimizer maps failed-evaluation
+        // placeholders to the finite failure penalty before training, so a
+        // non-finite target here means a leak in that quarantine.
+        debug_assert!(
+            xs.iter().chain(fs).flatten().all(|v| v.is_finite()),
+            "non-finite value reached critic training data"
+        );
         let d = xs[0].len();
         let mo = fs[0].len();
         let n = xs.len();

@@ -35,7 +35,7 @@
 //!     fn bounds(&self) -> (Vec<f64>, Vec<f64>) { (vec![0.0; 3], vec![1.0; 3]) }
 //!     fn num_constraints(&self) -> usize { 1 }
 //!     fn evaluate(&self, x: &[f64]) -> SpecResult {
-//!         SpecResult {
+//!         SpecResult { failure: None,
 //!             objective: x.iter().map(|v| (v - 0.6) * (v - 0.6)).sum(),
 //!             constraints: vec![0.3 - x[0]],
 //!         }

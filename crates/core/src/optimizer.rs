@@ -33,7 +33,7 @@ use crate::elite::{elite_indices, restricted_bounds};
 ///     fn bounds(&self) -> (Vec<f64>, Vec<f64>) { (vec![0.0; 2], vec![1.0; 2]) }
 ///     fn num_constraints(&self) -> usize { 1 }
 ///     fn evaluate(&self, x: &[f64]) -> SpecResult {
-///         SpecResult {
+///         SpecResult { failure: None,
 ///             objective: (x[0] - 0.7).powi(2) + (x[1] - 0.2).powi(2),
 ///             constraints: vec![0.4 - x[0]],
 ///         }
@@ -121,6 +121,17 @@ impl Optimizer for DnnOpt {
                     }
                 })
                 .collect();
+            // NaN quarantine: a failed evaluation may leave NaN/∞ in a spec
+            // slot (e.g. a measurement on a truncated waveform). Map every
+            // non-finite target to the failure penalty before clipping so
+            // nothing non-finite can reach critic training or a GEMM.
+            for f in &mut fs {
+                for v in f.iter_mut() {
+                    if !v.is_finite() {
+                        *v = opt::FAILURE_PENALTY;
+                    }
+                }
+            }
             let n_specs = fs[0].len();
             for c in 0..n_specs {
                 let col: Vec<f64> = fs.iter().map(|f| f[c]).collect();
@@ -293,6 +304,7 @@ mod tests {
             let mut constraints: Vec<f64> = x.iter().map(|v| 0.1 - v).collect();
             constraints.push(x.iter().sum::<f64>() - 0.8 * self.d as f64);
             SpecResult {
+                failure: None,
                 objective,
                 constraints,
             }
@@ -317,6 +329,7 @@ mod tests {
         }
         fn evaluate(&self, x: &[f64]) -> SpecResult {
             SpecResult {
+                failure: None,
                 objective: x.iter().sum(),
                 constraints: x.iter().map(|v| (v - 0.7).abs() - 0.06).collect(),
             }
@@ -414,6 +427,7 @@ mod tests {
         fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
             let shift = 0.05 * k as f64;
             SpecResult {
+                failure: None,
                 objective: x.iter().map(|v| (v - 0.3).powi(2)).sum::<f64>() + shift,
                 constraints: x.iter().map(|v| 0.1 + shift - v).collect(),
             }
@@ -488,6 +502,7 @@ mod tests {
                     SpecResult::failed(1)
                 } else {
                     SpecResult {
+                        failure: None,
                         objective: (x[0] - 0.25).powi(2) + (x[1] - 0.5).powi(2),
                         constraints: vec![0.1 - x[1]],
                     }

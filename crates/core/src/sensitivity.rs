@@ -288,6 +288,7 @@ mod tests {
         }
         fn evaluate(&self, x: &[f64]) -> SpecResult {
             SpecResult {
+                failure: None,
                 objective: 3.0 * x[0] + 0.5 * x[2],
                 constraints: vec![x[2] - 0.5],
             }
@@ -368,6 +369,7 @@ mod tests {
         }
         fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
             SpecResult {
+                failure: None,
                 objective: 3.0 * x[0] + 0.5 * x[2],
                 constraints: vec![x[2] - 0.5 + 0.1 * k as f64],
             }
@@ -400,6 +402,7 @@ mod tests {
             if k == 0 {
                 // Dominant constant corner: the fold is flat in x.
                 SpecResult {
+                    failure: None,
                     objective: 10.0,
                     constraints: vec![10.0],
                 }
@@ -407,6 +410,7 @@ mod tests {
                 // All sensitivity — objective included — lives in the
                 // non-dominant corner.
                 SpecResult {
+                    failure: None,
                     objective: 3.0 * x[0],
                     constraints: vec![x[1] - 20.0],
                 }

@@ -167,6 +167,8 @@ pub fn gemm_with<E: Epilogue>(
     ws: &mut GemmWorkspace,
     epilogue: &mut E,
 ) {
+    debug_assert_finite_operand(a, "A");
+    debug_assert_finite_operand(b, "B");
     let (m, n, k) = checked_dims(op_a, op_b, a, b);
     prepare_output(beta, m, n, c);
     if m * n * k <= GEMM_NAIVE_CUTOFF {
@@ -377,6 +379,25 @@ impl PackedB {
     }
 }
 
+/// Debug-build quarantine tripwire: a NaN or ∞ entering a GEMM operand
+/// silently poisons every downstream weight, so in debug builds every
+/// entry point rejects non-finite operands outright. The failure-penalty
+/// mapping upstream (see `opt::FAILURE_PENALTY`) is supposed to make this
+/// unreachable; release builds pay nothing.
+#[inline]
+fn debug_assert_finite_operand(m: &Matrix, name: &str) {
+    if cfg!(debug_assertions) {
+        for i in 0..m.rows() {
+            for (j, v) in m.row(i).iter().enumerate() {
+                debug_assert!(
+                    v.is_finite(),
+                    "non-finite value {v} in GEMM operand {name} at ({i}, {j})"
+                );
+            }
+        }
+    }
+}
+
 /// Packs `op(B)` into `out` for reuse with [`gemm_prepacked_with`]. The
 /// layout is identical to the per-call packing of [`gemm`], so prepacked
 /// products are bit-identical to blocked on-the-fly ones.
@@ -386,6 +407,7 @@ impl PackedB {
 /// Panics if the effective dimensions exceed one panel (`k > KC` or
 /// `n > NC`) — multi-panel operands must use the on-the-fly path.
 pub fn pack_b_into(op_b: GemmOp, b: &Matrix, out: &mut PackedB) {
+    debug_assert_finite_operand(b, "packed B");
     let (k, n) = op_b.dims(b);
     assert!(
         k <= KC && n <= NC,
@@ -415,6 +437,7 @@ pub fn gemm_prepacked_with<E: Epilogue>(
     ws: &mut GemmWorkspace,
     epilogue: &mut E,
 ) {
+    debug_assert_finite_operand(a, "A");
     let (m, ka) = op_a.dims(a);
     let (k, n) = (b.k, b.n);
     assert_eq!(ka, k, "inner dimensions must agree");

@@ -324,6 +324,7 @@ mod tests {
             .map(|i| Evaluation {
                 x: vec![i as f64],
                 spec: crate::problem::SpecResult {
+                    failure: None,
                     objective: 0.0,
                     constraints: vec![],
                 },

@@ -33,7 +33,7 @@ use crate::Optimizer;
 /// #     fn bounds(&self) -> (Vec<f64>, Vec<f64>) { (vec![0.0; 2], vec![1.0; 2]) }
 /// #     fn num_constraints(&self) -> usize { 0 }
 /// #     fn evaluate(&self, x: &[f64]) -> SpecResult {
-/// #         SpecResult { objective: x.iter().map(|v| v * v).sum(), constraints: vec![] }
+/// #         SpecResult { failure: None, objective: x.iter().map(|v| v * v).sum(), constraints: vec![] }
 /// #     }
 /// # }
 /// let de = DifferentialEvolution::default();

@@ -1,0 +1,204 @@
+//! Evaluation-level failure taxonomy.
+//!
+//! The optimizer layer cannot depend on the simulator crate, so it carries
+//! its own [`FailureDiag`]: a superset of the solver taxonomy (testbenches
+//! convert the simulator's diagnosis one-to-one) extended with the failure
+//! modes that only exist at the evaluation boundary — setup errors that
+//! never reach a solver, and worker panics caught by the batch evaluator.
+//! Diagnoses ride inside [`crate::SpecResult`] so every algorithm
+//! (DNN-Opt, DE, BO) records them for free, and
+//! [`crate::History::robustness_report`] aggregates them into the
+//! batch-level [`RobustnessReport`].
+
+/// Why one candidate×corner evaluation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// A pivot collapsed during LU factorization.
+    Singular,
+    /// Newton-Raphson exhausted its iteration budget.
+    NoConvergence,
+    /// A solve produced a non-finite unknown vector.
+    NanResidual,
+    /// Transient step halving hit its limit without converging.
+    StepUnderflow,
+    /// The evaluation failed before (or outside) any nonlinear solve:
+    /// netlist construction, measurement extraction, bad analysis window.
+    Setup,
+    /// The testbench panicked; the batch evaluator caught it and mapped the
+    /// candidate to a failed outcome instead of killing the batch.
+    Panic,
+}
+
+impl FailureKind {
+    /// Short lower-case label (`singular`, `panic`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Singular => "singular",
+            FailureKind::NoConvergence => "no-convergence",
+            FailureKind::NanResidual => "nan-residual",
+            FailureKind::StepUnderflow => "step-underflow",
+            FailureKind::Setup => "setup",
+            FailureKind::Panic => "panic",
+        }
+    }
+
+    /// All kinds, in the order reports tabulate them.
+    pub const ALL: [FailureKind; 6] = [
+        FailureKind::Singular,
+        FailureKind::NoConvergence,
+        FailureKind::NanResidual,
+        FailureKind::StepUnderflow,
+        FailureKind::Setup,
+        FailureKind::Panic,
+    ];
+}
+
+/// The deepest solver recovery-ladder stage the failing evaluation reached
+/// (mirrors the simulator's ladder; `None` for failures that never entered
+/// a solver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryStage {
+    /// No recovery ladder applies (setup errors, panics).
+    None,
+    /// Plain damped Newton-Raphson.
+    PlainNr,
+    /// Gmin stepping continuation.
+    GminStepping,
+    /// Source stepping continuation.
+    SourceStepping,
+    /// Transient timestep halving.
+    StepHalving,
+    /// Direct small-signal solve (AC / noise) with no ladder.
+    SmallSignal,
+}
+
+impl RecoveryStage {
+    /// Short lower-case label (`plain-nr`, `none`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryStage::None => "none",
+            RecoveryStage::PlainNr => "plain-nr",
+            RecoveryStage::GminStepping => "gmin-stepping",
+            RecoveryStage::SourceStepping => "source-stepping",
+            RecoveryStage::StepHalving => "step-halving",
+            RecoveryStage::SmallSignal => "small-signal",
+        }
+    }
+
+    /// All stages, in the order reports tabulate them.
+    pub const ALL: [RecoveryStage; 6] = [
+        RecoveryStage::None,
+        RecoveryStage::PlainNr,
+        RecoveryStage::GminStepping,
+        RecoveryStage::SourceStepping,
+        RecoveryStage::StepHalving,
+        RecoveryStage::SmallSignal,
+    ];
+}
+
+/// Structured diagnosis of one failed evaluation, attached to the
+/// [`crate::SpecResult`] failure placeholder it explains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureDiag {
+    /// What killed the evaluation.
+    pub kind: FailureKind,
+    /// Which analysis or phase failed (`"dc operating point"`,
+    /// `"open-loop ac"`, `"panic: <message>"`, …).
+    pub analysis: String,
+    /// Deepest recovery-ladder stage reached before giving up.
+    pub stage: RecoveryStage,
+    /// Newton iterations spent across the whole recovery ladder.
+    pub iterations: usize,
+    /// Transient step halvings spent (zero outside transient).
+    pub halvings: usize,
+    /// True when the failure was forced by a deterministic fault plan
+    /// rather than arising from the numerics.
+    pub injected: bool,
+}
+
+impl FailureDiag {
+    /// Diagnosis for a failure that never reached a solver.
+    pub fn setup(analysis: impl Into<String>) -> Self {
+        FailureDiag {
+            kind: FailureKind::Setup,
+            analysis: analysis.into(),
+            stage: RecoveryStage::None,
+            iterations: 0,
+            halvings: 0,
+            injected: false,
+        }
+    }
+
+    /// Diagnosis for a caught worker panic.
+    pub fn panic(message: impl Into<String>) -> Self {
+        FailureDiag {
+            kind: FailureKind::Panic,
+            analysis: format!("panic: {}", message.into()),
+            stage: RecoveryStage::None,
+            iterations: 0,
+            halvings: 0,
+            injected: false,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} failed: {} at {} stage after {} NR iterations, {} halvings{}",
+            self.analysis,
+            self.kind.label(),
+            self.stage.label(),
+            self.iterations,
+            self.halvings,
+            if self.injected { " (injected)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_the_taxonomy() {
+        let s = FailureDiag::setup("netlist");
+        assert_eq!(s.kind, FailureKind::Setup);
+        assert_eq!(s.stage, RecoveryStage::None);
+        let p = FailureDiag::panic("index out of bounds");
+        assert_eq!(p.kind, FailureKind::Panic);
+        assert!(p.analysis.contains("index out of bounds"));
+    }
+
+    #[test]
+    fn display_carries_the_taxonomy() {
+        let d = FailureDiag {
+            kind: FailureKind::StepUnderflow,
+            analysis: "transient".into(),
+            stage: RecoveryStage::StepHalving,
+            iterations: 37,
+            halvings: 9,
+            injected: true,
+        };
+        let s = d.to_string();
+        assert!(s.contains("step-underflow"));
+        assert!(s.contains("step-halving"));
+        assert!(s.contains("37"));
+        assert!(s.contains("(injected)"));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        for (i, a) in FailureKind::ALL.iter().enumerate() {
+            for b in &FailureKind::ALL[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+        for (i, a) in RecoveryStage::ALL.iter().enumerate() {
+            for b in &RecoveryStage::ALL[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+}

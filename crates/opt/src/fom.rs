@@ -19,9 +19,9 @@ use crate::problem::SpecResult;
 /// use opt::{Fom, SpecResult};
 ///
 /// let fom = Fom::new(0.1, vec![1.0, 1.0]);
-/// let feasible = SpecResult { objective: 2.0, constraints: vec![-1.0, 0.0] };
+/// let feasible = SpecResult { failure: None, objective: 2.0, constraints: vec![-1.0, 0.0] };
 /// assert!((fom.value(&feasible) - 0.2).abs() < 1e-12);
-/// let violated = SpecResult { objective: 2.0, constraints: vec![50.0, 0.5] };
+/// let violated = SpecResult { failure: None, objective: 2.0, constraints: vec![50.0, 0.5] };
 /// assert!((fom.value(&violated) - (0.2 + 1.0 + 0.5)).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -159,6 +159,7 @@ mod tests {
 
     fn spec(obj: f64, cons: &[f64]) -> SpecResult {
         SpecResult {
+            failure: None,
             objective: obj,
             constraints: cons.to_vec(),
         }

@@ -2,6 +2,7 @@
 
 use std::time::{Duration, Instant};
 
+use crate::failure::{FailureDiag, FailureKind, RecoveryStage};
 use crate::fom::Fom;
 use crate::problem::{SizingProblem, SpecResult};
 
@@ -139,6 +140,123 @@ impl History {
             .filter(|e| e.feasible)
             .min_by(|a, b| a.spec.objective.partial_cmp(&b.spec.objective).unwrap())
     }
+
+    /// Aggregates every failure recorded in the history into a
+    /// [`RobustnessReport`]: counts by failure kind, a recovery-ladder
+    /// stage histogram, and the retry budget (Newton iterations, step
+    /// halvings) the failed solves burned. The per-candidate×corner unit
+    /// is each corner record for corner-plane evaluations and the
+    /// aggregate spec otherwise.
+    pub fn robustness_report(&self) -> RobustnessReport {
+        let mut report = RobustnessReport {
+            evaluations: self.entries.len(),
+            ..RobustnessReport::default()
+        };
+        for e in &self.entries {
+            if e.spec.is_failure() {
+                report.failed_evaluations += 1;
+            }
+            let units: &[SpecResult] = if e.corner_specs.is_empty() {
+                std::slice::from_ref(&e.spec)
+            } else {
+                &e.corner_specs
+            };
+            for spec in units.iter().filter(|s| s.is_failure()) {
+                report.failures += 1;
+                match spec.failure_diag() {
+                    None => report.untagged += 1,
+                    Some(diag) => {
+                        report.tally(diag);
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Batch-level failure statistics derived from a [`History`] by
+/// [`History::robustness_report`]. The counting unit is one
+/// candidate×corner evaluation (one corner record, or the aggregate spec
+/// for single-corner problems).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RobustnessReport {
+    /// History entries inspected (one per candidate).
+    pub evaluations: usize,
+    /// Candidates whose aggregate (worst-case) spec is a failure.
+    pub failed_evaluations: usize,
+    /// Candidate×corner failures, diagnosed or not.
+    pub failures: usize,
+    /// Failures that carried no structured diagnosis.
+    pub untagged: usize,
+    /// Failures forced by a deterministic fault plan.
+    pub injected: usize,
+    /// Diagnosed failures by kind, in [`FailureKind::ALL`] order.
+    pub by_kind: [usize; FailureKind::ALL.len()],
+    /// Diagnosed failures by deepest ladder stage reached, in
+    /// [`RecoveryStage::ALL`] order.
+    pub by_stage: [usize; RecoveryStage::ALL.len()],
+    /// Newton iterations burned across all diagnosed failures (the retry
+    /// budget the recovery ladders spent before giving up).
+    pub iterations_spent: usize,
+    /// Transient step halvings burned across all diagnosed failures.
+    pub halvings_spent: usize,
+}
+
+impl RobustnessReport {
+    fn tally(&mut self, diag: &FailureDiag) {
+        let k = FailureKind::ALL.iter().position(|&k| k == diag.kind);
+        self.by_kind[k.expect("every kind is in ALL")] += 1;
+        let s = RecoveryStage::ALL.iter().position(|&s| s == diag.stage);
+        self.by_stage[s.expect("every stage is in ALL")] += 1;
+        if diag.injected {
+            self.injected += 1;
+        }
+        self.iterations_spent += diag.iterations;
+        self.halvings_spent += diag.halvings;
+    }
+
+    /// Diagnosed failures of one kind.
+    pub fn kind_count(&self, kind: FailureKind) -> usize {
+        let i = FailureKind::ALL.iter().position(|&k| k == kind);
+        self.by_kind[i.expect("every kind is in ALL")]
+    }
+
+    /// Diagnosed failures whose deepest ladder stage was `stage`.
+    pub fn stage_count(&self, stage: RecoveryStage) -> usize {
+        let i = RecoveryStage::ALL.iter().position(|&s| s == stage);
+        self.by_stage[i.expect("every stage is in ALL")]
+    }
+}
+
+impl std::fmt::Display for RobustnessReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} failures in {} evaluations ({} candidates failed worst-case; {} injected, {} untagged)",
+            self.failures, self.evaluations, self.failed_evaluations, self.injected, self.untagged
+        )?;
+        for (kind, n) in FailureKind::ALL.iter().zip(self.by_kind) {
+            if n > 0 {
+                write!(f, "\n  kind {:>15}: {n}", kind.label())?;
+            }
+        }
+        for (stage, n) in RecoveryStage::ALL.iter().zip(self.by_stage) {
+            if n > 0 {
+                write!(f, "\n  stage {:>15}: {n}", stage.label())?;
+            }
+        }
+        write!(
+            f,
+            "\n  retry budget spent: {} NR iterations, {} halvings",
+            self.iterations_spent, self.halvings_spent
+        )
+    }
+}
+
+/// The failed outcome a caught testbench panic maps to.
+fn panic_spec(num_constraints: usize, message: String) -> SpecResult {
+    SpecResult::failed_with(num_constraints, FailureDiag::panic(message))
 }
 
 /// Budgeted, history-recording wrapper around a [`SizingProblem`]: the one
@@ -178,7 +296,14 @@ impl<'a> Evaluator<'a> {
         }
         assert!(!self.exhausted(), "simulation budget exhausted");
         let t0 = Instant::now();
-        let spec = self.problem.evaluate(x);
+        let problem = self.problem;
+        let spec = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| problem.evaluate(x)))
+            .unwrap_or_else(|payload| {
+                panic_spec(
+                    problem.num_constraints(),
+                    crate::parallel::panic_message(payload),
+                )
+            });
         self.sim_time += t0.elapsed();
         self.record(x.to_vec(), spec, Vec::new())
     }
@@ -233,7 +358,11 @@ impl<'a> Evaluator<'a> {
         // summed, so `sim_time` keeps the same meaning as the serial
         // `evaluate` path (total simulator time, not batch wall-clock) for
         // any thread count.
-        let (specs, worker_times) = crate::parallel::par_map_with(
+        // `try_par_map_with` catches per-candidate panics in both the
+        // serial and parallel paths, so a panicking testbench costs one
+        // diagnosed failed outcome instead of the whole batch — and the
+        // recorded history stays bit-identical for any thread count.
+        let (specs, worker_times) = crate::parallel::try_par_map_with(
             batch,
             || Duration::ZERO,
             |spent, x| {
@@ -244,8 +373,10 @@ impl<'a> Evaluator<'a> {
             },
         );
         self.sim_time += worker_times.iter().sum::<Duration>();
+        let m = problem.num_constraints();
         let mut out = Vec::with_capacity(take);
         for (x, spec) in batch.iter().zip(specs) {
+            let spec = spec.unwrap_or_else(|msg| panic_spec(m, msg));
             out.push(self.record(x.clone(), spec, Vec::new()));
         }
         out
@@ -268,7 +399,10 @@ impl<'a> Evaluator<'a> {
         let grid: Vec<(usize, usize)> = (0..take)
             .flat_map(|i| (0..k).map(move |c| (i, c)))
             .collect();
-        let (specs, worker_times) = crate::parallel::par_map_with(
+        // Per-grid-item panic isolation: one panicking corner evaluation
+        // becomes one diagnosed failed corner (which then dominates its
+        // candidate's worst-case merge), never a dead batch.
+        let (specs, worker_times) = crate::parallel::try_par_map_with(
             &grid,
             || Duration::ZERO,
             |spent, &(i, c)| {
@@ -279,6 +413,11 @@ impl<'a> Evaluator<'a> {
             },
         );
         self.sim_time += worker_times.iter().sum::<Duration>();
+        let m = problem.num_constraints();
+        let specs: Vec<SpecResult> = specs
+            .into_iter()
+            .map(|spec| spec.unwrap_or_else(|msg| panic_spec(m, msg)))
+            .collect();
         let mut out = Vec::with_capacity(take);
         for (i, x) in batch.iter().enumerate() {
             let corner_specs = specs[i * k..(i + 1) * k].to_vec();
@@ -396,6 +535,7 @@ mod tests {
         Evaluation {
             x: vec![0.0],
             spec: SpecResult {
+                failure: None,
                 objective: fom,
                 constraints: vec![],
             },
@@ -490,6 +630,7 @@ mod tests {
         }
         fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
             SpecResult {
+                failure: None,
                 objective: x[0] + x[1] + k as f64,
                 constraints: vec![0.3 + 0.1 * k as f64 - x[0]],
             }
@@ -567,10 +708,12 @@ mod tests {
         // raw NaN — otherwise corner-critic training targets go NaN and
         // every network weight follows.
         let good = SpecResult {
+            failure: None,
             objective: 1.0,
             constraints: vec![-0.5, 0.25],
         };
         let nan = SpecResult {
+            failure: None,
             objective: 1.0,
             constraints: vec![f64::NAN, 0.0],
         };
@@ -588,6 +731,130 @@ mod tests {
         // corner is the placeholder.
         assert_eq!(&v[1..3], &[-0.5, 0.25]);
         assert_eq!(&v[3..5], &[1e12, 1e12]);
+    }
+
+    /// Sphere that panics whenever the first coordinate is exactly 0.5.
+    struct PanickySphere;
+
+    impl SizingProblem for PanickySphere {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            (vec![0.0; 2], vec![1.0; 2])
+        }
+        fn num_constraints(&self) -> usize {
+            1
+        }
+        fn evaluate(&self, x: &[f64]) -> SpecResult {
+            assert!(x[0] != 0.5, "injected testbench panic");
+            SpecResult {
+                failure: None,
+                objective: x[0] + x[1],
+                constraints: vec![0.1 - x[0]],
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_maps_panics_to_diagnosed_failures() {
+        let p = PanickySphere;
+        let fom = Fom::uniform(1.0, 1);
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 8.0, 0.5]).collect();
+        // xs[4] = [0.5, 0.5] panics. Batch must survive in order, serial
+        // and parallel, with identical records.
+        let mut batches = Vec::new();
+        for threads in [1usize, 4] {
+            crate::parallel::set_max_threads(threads);
+            let mut ev = Evaluator::new(&p, &fom, xs.len());
+            let out = ev.evaluate_batch(&xs);
+            crate::parallel::set_max_threads(0);
+            assert_eq!(out.len(), xs.len());
+            for (i, e) in out.iter().enumerate() {
+                if i == 4 {
+                    assert!(e.spec.is_failure());
+                    let d = e.spec.failure_diag().expect("panic must be diagnosed");
+                    assert_eq!(d.kind, FailureKind::Panic);
+                    assert!(d.analysis.contains("injected testbench panic"));
+                } else {
+                    assert!(!e.spec.is_failure());
+                    assert_eq!(e.x, xs[i]);
+                }
+            }
+            batches.push(out);
+        }
+        for (a, b) in batches[0].iter().zip(&batches[1]) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.fom.to_bits(), b.fom.to_bits());
+        }
+        // The single-candidate path degrades identically.
+        let mut ev = Evaluator::new(&p, &fom, 1);
+        let e = ev.evaluate(&[0.5, 0.5]);
+        assert_eq!(e.spec.failure_diag().unwrap().kind, FailureKind::Panic);
+    }
+
+    #[test]
+    fn robustness_report_tallies_kinds_stages_and_budget() {
+        use crate::failure::FailureDiag;
+        let mut h = History::new();
+        h.push(eval(1.0, true)); // healthy
+                                 // A diagnosed solver failure.
+        let mut a = eval(2.0, false);
+        a.spec = SpecResult::failed_with(
+            1,
+            FailureDiag {
+                kind: FailureKind::Singular,
+                analysis: "dc operating point".into(),
+                stage: RecoveryStage::SourceStepping,
+                iterations: 40,
+                halvings: 0,
+                injected: true,
+            },
+        );
+        h.push(a);
+        // A corner-plane entry: one healthy corner, one step-underflow.
+        let good = SpecResult {
+            failure: None,
+            objective: 0.5,
+            constraints: vec![-0.1],
+        };
+        let bad = SpecResult::failed_with(
+            1,
+            FailureDiag {
+                kind: FailureKind::StepUnderflow,
+                analysis: "transient".into(),
+                stage: RecoveryStage::StepHalving,
+                iterations: 12,
+                halvings: 9,
+                injected: false,
+            },
+        );
+        let mut b = eval(3.0, false);
+        b.spec = SpecResult::worst_case(&[good.clone(), bad.clone()]);
+        b.corner_specs = vec![good, bad];
+        h.push(b);
+        // An untagged legacy failure.
+        let mut c = eval(4.0, false);
+        c.spec = SpecResult::failed(1);
+        h.push(c);
+
+        let r = h.robustness_report();
+        assert_eq!(r.evaluations, 4);
+        assert_eq!(r.failed_evaluations, 3);
+        assert_eq!(r.failures, 3); // 1 aggregate + 1 corner + 1 untagged
+        assert_eq!(r.untagged, 1);
+        assert_eq!(r.injected, 1);
+        assert_eq!(r.kind_count(FailureKind::Singular), 1);
+        assert_eq!(r.kind_count(FailureKind::StepUnderflow), 1);
+        assert_eq!(r.kind_count(FailureKind::Panic), 0);
+        assert_eq!(r.stage_count(RecoveryStage::SourceStepping), 1);
+        assert_eq!(r.stage_count(RecoveryStage::StepHalving), 1);
+        assert_eq!(r.iterations_spent, 52);
+        assert_eq!(r.halvings_spent, 9);
+        let text = r.to_string();
+        assert!(text.contains("singular"));
+        assert!(text.contains("step-halving"));
+        assert!(text.contains("52 NR iterations"));
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //!     fn bounds(&self) -> (Vec<f64>, Vec<f64>) { (vec![-1.0; 2], vec![1.0; 2]) }
 //!     fn num_constraints(&self) -> usize { 1 }
 //!     fn evaluate(&self, x: &[f64]) -> SpecResult {
-//!         SpecResult {
+//!         SpecResult { failure: None,
 //!             objective: x[0] * x[0] + x[1] * x[1],
 //!             constraints: vec![0.25 - x[0]], // require x0 >= 0.25
 //!         }
@@ -44,6 +44,7 @@
 
 mod bo_wei;
 mod de;
+mod failure;
 mod fom;
 mod gaspad;
 mod history;
@@ -55,11 +56,13 @@ pub mod sampling;
 
 pub use bo_wei::BoWei;
 pub use de::DifferentialEvolution;
+pub use failure::{FailureDiag, FailureKind, RecoveryStage};
 pub use fom::Fom;
 pub use gaspad::Gaspad;
-pub use history::{Evaluation, Evaluator, History, RunResult, StopPolicy};
+pub use history::{Evaluation, Evaluator, History, RobustnessReport, RunResult, StopPolicy};
 pub use problem::{
     evaluate_worst_case, from_unit, robust_clip_bounds, to_unit, SizingProblem, SpecResult,
+    FAILURE_PENALTY,
 };
 pub use random::RandomSearch;
 pub use sa::SimulatedAnnealing;

@@ -104,20 +104,70 @@ where
     Init: Fn() -> C + Sync,
     F: Fn(&mut C, &T) -> U + Sync,
 {
+    let (out, ctxs) = try_par_map_with(items, init, |ctx, item| f(ctx, item));
+    let unwrapped = out
+        .into_iter()
+        .map(|r| match r {
+            Ok(u) => u,
+            Err(msg) => panic!("population evaluation worker panicked: {msg}"),
+        })
+        .collect();
+    (unwrapped, ctxs)
+}
+
+/// Extracts a readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Panic-isolating [`par_map_with`]: each item is mapped inside
+/// `catch_unwind`, so one panicking candidate yields one `Err(message)`
+/// slot while the rest of the batch completes normally — in input order,
+/// bit-identical between the serial and parallel paths (both catch per
+/// item). The batch evaluator converts the `Err` slots into failed
+/// outcomes so a panicking testbench degrades to a diagnosed failure
+/// instead of killing the whole optimization.
+///
+/// A worker whose context is poisoned by the panic simply keeps going:
+/// contexts hold only caches/accumulators (see the determinism contract
+/// on [`par_map_with`]), and `f` is required to be unwind-safe in the
+/// sense that a panicking item leaves the context usable.
+pub fn try_par_map_with<T, U, C, Init, F>(
+    items: &[T],
+    init: Init,
+    f: F,
+) -> (Vec<Result<U, String>>, Vec<C>)
+where
+    T: Sync,
+    U: Send,
+    C: Send,
+    Init: Fn() -> C + Sync,
+    F: Fn(&mut C, &T) -> U + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let catch = |ctx: &mut C, item: &T| {
+        catch_unwind(AssertUnwindSafe(|| f(ctx, item))).map_err(panic_message)
+    };
     let threads = max_threads().min(items.len());
     if threads <= 1 {
         let mut ctx = init();
-        let out = items.iter().map(|item| f(&mut ctx, item)).collect();
+        let out = items.iter().map(|item| catch(&mut ctx, item)).collect();
         return (out, vec![ctx]);
     }
     // Contiguous chunks, sized to cover all items with the first
     // `remainder` chunks one longer.
     let base = items.len() / threads;
     let remainder = items.len() % threads;
-    let mut results: Vec<Vec<U>> = Vec::with_capacity(threads);
+    let mut results: Vec<Vec<Result<U, String>>> = Vec::with_capacity(threads);
     let mut contexts: Vec<C> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
-        let f = &f;
+        let catch = &catch;
         let init = &init;
         let mut start = 0;
         let mut handles = Vec::with_capacity(threads);
@@ -129,13 +179,15 @@ where
                 let mut ctx = init();
                 let out = chunk
                     .iter()
-                    .map(|item| f(&mut ctx, item))
-                    .collect::<Vec<U>>();
+                    .map(|item| catch(&mut ctx, item))
+                    .collect::<Vec<_>>();
                 (out, ctx)
             }));
         }
         for h in handles {
-            let (out, ctx) = h.join().expect("population evaluation worker panicked");
+            // Workers cannot panic (every item is caught); join failures
+            // would mean a bug in this module itself.
+            let (out, ctx) = h.join().expect("population evaluation worker died");
             results.push(out);
             contexts.push(ctx);
         }
@@ -194,6 +246,34 @@ mod tests {
         let (_, ctxs) = par_map_with(&items, || 0usize, |c, _| *c += 1);
         set_max_threads(0);
         assert_eq!(ctxs, vec![items.len()]);
+    }
+
+    #[test]
+    fn panicking_item_yields_err_and_intact_ordered_batch() {
+        let items: Vec<u32> = (0..23).collect();
+        for threads in [1usize, 4] {
+            set_max_threads(threads);
+            let (out, _) = try_par_map_with(
+                &items,
+                || (),
+                |(), &x| {
+                    if x == 7 {
+                        panic!("boom on {x}");
+                    }
+                    x * 2
+                },
+            );
+            set_max_threads(0);
+            assert_eq!(out.len(), items.len(), "threads={threads}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 7 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("boom on 7"), "got panic message {msg:?}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), items[i] * 2);
+                }
+            }
+        }
     }
 
     #[test]

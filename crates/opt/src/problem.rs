@@ -1,5 +1,12 @@
 //! The constrained sizing-problem abstraction (paper Eq. 1).
 
+use crate::failure::FailureDiag;
+
+/// Penalty magnitude a failed evaluation reports for the objective and
+/// every constraint. Finite by design: surrogate models can ingest the
+/// cliff (after robust clipping) where a NaN would poison training.
+pub const FAILURE_PENALTY: f64 = 1e12;
+
 /// Result of one expensive evaluation: the objective and the constraint
 /// values in `fi(x) ≤ 0` form (negative/zero = satisfied).
 #[derive(Debug, Clone, PartialEq)]
@@ -8,6 +15,10 @@ pub struct SpecResult {
     pub objective: f64,
     /// Constraint values `fi(x)`; feasible when all are `≤ 0`.
     pub constraints: Vec<f64>,
+    /// Structured diagnosis when this result is a failure placeholder;
+    /// `None` for successful evaluations (and for legacy failure paths that
+    /// carry no taxonomy). Boxed to keep the success hot path small.
+    pub failure: Option<Box<FailureDiag>>,
 }
 
 impl SpecResult {
@@ -34,6 +45,7 @@ impl SpecResult {
         SpecResult {
             objective: v[0],
             constraints: v[1..].to_vec(),
+            failure: None,
         }
     }
 
@@ -43,28 +55,44 @@ impl SpecResult {
     /// making failed regions strongly repellent.
     pub fn failed(num_constraints: usize) -> Self {
         SpecResult {
-            objective: 1e12,
-            constraints: vec![1e12; num_constraints],
+            objective: FAILURE_PENALTY,
+            constraints: vec![FAILURE_PENALTY; num_constraints],
+            failure: None,
         }
+    }
+
+    /// The failure placeholder of [`SpecResult::failed`] carrying a
+    /// structured diagnosis of *why* the evaluation failed.
+    pub fn failed_with(num_constraints: usize, diag: FailureDiag) -> Self {
+        SpecResult {
+            failure: Some(Box::new(diag)),
+            ..SpecResult::failed(num_constraints)
+        }
+    }
+
+    /// The structured failure diagnosis, if one was recorded.
+    pub fn failure_diag(&self) -> Option<&FailureDiag> {
+        self.failure.as_deref()
     }
 
     /// True if this is a failure placeholder (any non-finite or huge entry).
     pub fn is_failure(&self) -> bool {
         !self.objective.is_finite()
-            || self.objective >= 1e12
+            || self.objective >= FAILURE_PENALTY
             || self
                 .constraints
                 .iter()
-                .any(|c| !c.is_finite() || *c >= 1e12)
+                .any(|c| !c.is_finite() || *c >= FAILURE_PENALTY)
     }
 
     /// Worst-case merge across a corner plane: the sign-off view of a
     /// candidate is the element-wise **maximum** of its per-corner results
     /// (objective and every constraint — all are minimize/`≤ 0` specs, so
     /// max is pessimal). Any failed or non-finite corner dominates: the
-    /// merged result is then the [`SpecResult::failed`] placeholder, so a
-    /// candidate that does not even simulate at one corner can never look
-    /// feasible.
+    /// merged result is then the [`SpecResult::failed`] placeholder (with
+    /// the first failing corner's diagnosis attached, when it recorded
+    /// one), so a candidate that does not even simulate at one corner can
+    /// never look feasible.
     ///
     /// # Panics
     ///
@@ -79,9 +107,14 @@ impl SpecResult {
             merged.merge_worst(r);
         }
         // A single non-finite/failed corner (including the first) poisons
-        // the whole candidate.
+        // the whole candidate; the first failing corner classifies it.
         if merged.is_failure() || results.iter().any(SpecResult::is_failure) {
-            return SpecResult::failed(first.constraints.len());
+            let mut out = SpecResult::failed(first.constraints.len());
+            out.failure = results
+                .iter()
+                .find(|r| r.is_failure())
+                .and_then(|r| r.failure.clone());
+            return out;
         }
         merged
     }
@@ -89,7 +122,9 @@ impl SpecResult {
     /// Folds `other` into `self`, keeping the element-wise worst (largest)
     /// objective and constraints; NaN entries are treated as worst and
     /// survive the fold (see [`SpecResult::worst_case`] for the
-    /// failure-dominates contract).
+    /// failure-dominates contract). A failing `other` donates its failure
+    /// diagnosis when `self` has none (the first failing corner in a fold
+    /// keeps classifying the merged result).
     ///
     /// # Panics
     ///
@@ -106,6 +141,9 @@ impl SpecResult {
         self.objective = worst(other.objective, self.objective);
         for (c, &o) in self.constraints.iter_mut().zip(&other.constraints) {
             *c = worst(o, *c);
+        }
+        if self.failure.is_none() && other.is_failure() {
+            self.failure = other.failure.clone();
         }
     }
 }
@@ -311,6 +349,7 @@ pub(crate) mod test_problems {
             let mut constraints: Vec<f64> = x.iter().map(|v| 0.1 - v).collect();
             constraints.push(x.iter().sum::<f64>() - 0.8 * self.d as f64);
             SpecResult {
+                failure: None,
                 objective,
                 constraints,
             }
@@ -344,6 +383,7 @@ pub(crate) mod test_problems {
             let objective = x.iter().sum::<f64>();
             let constraints = x.iter().map(|v| (v - 0.7).abs() - 0.05).collect();
             SpecResult {
+                failure: None,
                 objective,
                 constraints,
             }
@@ -363,11 +403,13 @@ mod tests {
     #[test]
     fn feasibility_detection() {
         let ok = SpecResult {
+            failure: None,
             objective: 1.0,
             constraints: vec![-0.1, 0.0],
         };
         assert!(ok.feasible());
         let bad = SpecResult {
+            failure: None,
             objective: 1.0,
             constraints: vec![-0.1, 0.01],
         };
@@ -377,6 +419,7 @@ mod tests {
     #[test]
     fn vector_roundtrip() {
         let s = SpecResult {
+            failure: None,
             objective: 2.0,
             constraints: vec![1.0, -1.0],
         };
@@ -391,6 +434,7 @@ mod tests {
         assert!(!f.feasible());
         assert!(f.is_failure());
         let ok = SpecResult {
+            failure: None,
             objective: 1.0,
             constraints: vec![0.0],
         };
@@ -400,10 +444,12 @@ mod tests {
     #[test]
     fn worst_case_takes_elementwise_maximum() {
         let a = SpecResult {
+            failure: None,
             objective: 1.0,
             constraints: vec![-0.5, 0.2, -1.0],
         };
         let b = SpecResult {
+            failure: None,
             objective: 3.0,
             constraints: vec![-0.7, 0.1, 0.4],
         };
@@ -417,6 +463,7 @@ mod tests {
     #[test]
     fn worst_case_of_one_corner_is_the_identity() {
         let a = SpecResult {
+            failure: None,
             objective: 0.25,
             constraints: vec![-0.125, 0.75],
         };
@@ -430,6 +477,7 @@ mod tests {
     #[test]
     fn failed_corner_dominates_the_merge() {
         let good = SpecResult {
+            failure: None,
             objective: 0.1,
             constraints: vec![-1.0, -1.0],
         };
@@ -447,14 +495,17 @@ mod tests {
     #[test]
     fn nan_corner_dominates_the_merge() {
         let good = SpecResult {
+            failure: None,
             objective: 0.1,
             constraints: vec![-1.0],
         };
         let nan_obj = SpecResult {
+            failure: None,
             objective: f64::NAN,
             constraints: vec![-1.0],
         };
         let nan_con = SpecResult {
+            failure: None,
             objective: 0.0,
             constraints: vec![f64::NAN],
         };
@@ -467,13 +518,92 @@ mod tests {
         }
     }
 
+    fn diag(kind: crate::failure::FailureKind, injected: bool) -> crate::failure::FailureDiag {
+        use crate::failure::{FailureKind, RecoveryStage};
+        crate::failure::FailureDiag {
+            kind,
+            analysis: match kind {
+                FailureKind::StepUnderflow => "transient".into(),
+                _ => "dc operating point".into(),
+            },
+            stage: match kind {
+                FailureKind::StepUnderflow => RecoveryStage::StepHalving,
+                _ => RecoveryStage::SourceStepping,
+            },
+            iterations: 40,
+            halvings: usize::from(kind == FailureKind::StepUnderflow) * 9,
+            injected,
+        }
+    }
+
+    #[test]
+    fn worst_case_preserves_dominating_corner_diagnostics() {
+        use crate::failure::FailureKind;
+        let good = SpecResult {
+            failure: None,
+            objective: 0.1,
+            constraints: vec![-1.0],
+        };
+        let singular = SpecResult::failed_with(1, diag(FailureKind::Singular, false));
+        let underflow = SpecResult::failed_with(1, diag(FailureKind::StepUnderflow, true));
+        // The first failing corner classifies the merged placeholder, even
+        // with mixed failure kinds across the plane.
+        let m = SpecResult::worst_case(&[good.clone(), singular.clone(), underflow.clone()]);
+        assert!(m.is_failure());
+        assert_eq!(m.failure_diag().unwrap().kind, FailureKind::Singular);
+        let m = SpecResult::worst_case(&[underflow.clone(), good.clone(), singular.clone()]);
+        let d = m.failure_diag().unwrap();
+        assert_eq!(d.kind, FailureKind::StepUnderflow);
+        assert!(d.injected);
+        assert_eq!(d.halvings, 9);
+        // Values are still the canonical failed placeholder.
+        assert_eq!(m.objective, 1e12);
+        assert_eq!(m.constraints, vec![1e12]);
+        // A failing corner without a diagnosis still poisons — untagged.
+        let m = SpecResult::worst_case(&[good.clone(), SpecResult::failed(1)]);
+        assert!(m.is_failure());
+        assert!(m.failure_diag().is_none());
+    }
+
+    #[test]
+    fn merge_worst_adopts_the_first_failing_diag() {
+        use crate::failure::FailureKind;
+        let mut acc = SpecResult {
+            failure: None,
+            objective: 0.1,
+            constraints: vec![-1.0],
+        };
+        // Healthy fold: no diagnosis appears.
+        acc.merge_worst(&SpecResult {
+            failure: None,
+            objective: 0.2,
+            constraints: vec![-0.5],
+        });
+        assert!(acc.failure_diag().is_none());
+        // First failing corner donates its diagnosis...
+        acc.merge_worst(&SpecResult::failed_with(
+            1,
+            diag(FailureKind::NanResidual, false),
+        ));
+        assert_eq!(acc.failure_diag().unwrap().kind, FailureKind::NanResidual);
+        // ...and keeps it against later failures of a different kind.
+        acc.merge_worst(&SpecResult::failed_with(
+            1,
+            diag(FailureKind::Singular, true),
+        ));
+        assert_eq!(acc.failure_diag().unwrap().kind, FailureKind::NanResidual);
+        assert!(!acc.failure_diag().unwrap().injected);
+    }
+
     #[test]
     fn worst_case_feasible_only_if_every_corner_is() {
         let pass = SpecResult {
+            failure: None,
             objective: 0.0,
             constraints: vec![-0.1],
         };
         let fail = SpecResult {
+            failure: None,
             objective: 0.0,
             constraints: vec![0.1],
         };
@@ -491,10 +621,12 @@ mod tests {
     #[should_panic(expected = "layouts must agree")]
     fn worst_case_rejects_layout_mismatch() {
         let a = SpecResult {
+            failure: None,
             objective: 0.0,
             constraints: vec![0.0],
         };
         let b = SpecResult {
+            failure: None,
             objective: 0.0,
             constraints: vec![0.0, 0.0],
         };

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 
 use linalg::Lu;
 
+use crate::diag::{FailureDiag, FailureKind, LadderStage, NewtonFailure};
 use crate::error::SpiceError;
 use crate::mos::{MosEval, MosRegion};
 use crate::netlist::{Circuit, Device, NodeId};
@@ -155,7 +156,20 @@ pub(crate) fn newton_loop<A: Assemble>(
     ws: &mut NewtonWorkspace,
     kind: StampKind,
     mut assemble: A,
-) -> Option<(Vec<f64>, usize)> {
+) -> Result<(Vec<f64>, usize), NewtonFailure> {
+    // Deterministic fault hook: one relaxed atomic load when disabled; an
+    // active plan forces the planned failure at its chosen solve indices.
+    if let Some(fault) = crate::fault::next_solve_fault() {
+        return Err(NewtonFailure {
+            kind: fault.failure_kind(),
+            iterations: if fault == crate::fault::FaultKind::IterationExhaustion {
+                max_iters
+            } else {
+                0
+            },
+            injected: true,
+        });
+    }
     let trace = std::env::var_os("SPICE_DEBUG").is_some();
     let n = circuit.num_unknowns();
     let n_v = circuit.num_nodes() - 1;
@@ -171,6 +185,11 @@ pub(crate) fn newton_loop<A: Assemble>(
     // solve's time/scale, capacitor companions) once here-after, and
     // replay only the MOS slots per iteration.
     ws.begin_solve();
+    let fail = |kind: FailureKind, iterations: usize| NewtonFailure {
+        kind,
+        iterations,
+        injected: false,
+    };
     for iter in 0..max_iters {
         let mut solved = false;
         if mode == SolveMode::Sparse {
@@ -188,13 +207,20 @@ pub(crate) fn newton_loop<A: Assemble>(
             assemble.assemble(&x, &mut ws.st);
             // `factor_in_place` steals the stamped matrix's storage (an
             // O(1) buffer swap) — the next iteration's `clear` + `assemble`
-            // rebuild it from scratch anyway.
-            Lu::factor_in_place(&mut ws.st.a, &mut ws.lu).ok()?;
-            ws.lu.solve_into(&ws.st.z, &mut ws.x_new).ok()?;
+            // rebuild it from scratch anyway. A failed factor here is the
+            // real singular-matrix verdict: the dense kernel is the last
+            // fallback, so the cause must survive instead of collapsing
+            // into the same `None` a NaN residual produces.
+            if Lu::factor_in_place(&mut ws.st.a, &mut ws.lu).is_err() {
+                return Err(fail(FailureKind::Singular, iter));
+            }
+            if ws.lu.solve_into(&ws.st.z, &mut ws.x_new).is_err() {
+                return Err(fail(FailureKind::Singular, iter));
+            }
         }
         let x_new = &ws.x_new;
         if x_new.iter().any(|v| !v.is_finite()) {
-            return None;
+            return Err(fail(FailureKind::NanResidual, iter));
         }
         // Raw Newton step size on node voltages.
         let mut max_dv = 0.0_f64;
@@ -207,7 +233,7 @@ pub(crate) fn newton_loop<A: Assemble>(
         if max_dv < tol {
             if converged_once {
                 x[..n].copy_from_slice(&x_new[..n]);
-                return Some((x, iter + 1));
+                return Ok((x, iter + 1));
             }
             converged_once = true;
         } else {
@@ -244,7 +270,7 @@ pub(crate) fn newton_loop<A: Assemble>(
     if trace {
         eprintln!("nr FAILED after {max_iters} iters, last_dv={prev_dv:.3e}");
     }
-    None
+    Err(fail(FailureKind::NoConvergence, max_iters))
 }
 
 /// The DC-resistive assembly: gmin loading plus the linearized resistive
@@ -280,7 +306,7 @@ impl Assemble for DcAssemble<'_> {
 }
 
 /// Newton-Raphson solve at fixed source scale and gmin. Returns the unknown
-/// vector and iterations, or `None` when it fails to converge.
+/// vector and iterations, or the classified failure.
 fn nr_solve(
     circuit: &Circuit,
     opts: &SimOptions,
@@ -289,7 +315,7 @@ fn nr_solve(
     x0: &[f64],
     max_iters: usize,
     ws: &mut NewtonWorkspace,
-) -> Option<(Vec<f64>, usize)> {
+) -> Result<(Vec<f64>, usize), NewtonFailure> {
     newton_loop(
         circuit,
         opts,
@@ -418,9 +444,20 @@ pub fn op_with_workspace(
     ws.begin_session();
     let x0 = guess.map(<[f64]>::to_vec).unwrap_or_else(|| vec![0.0; n]);
 
+    // Recovery-ladder bookkeeping: total Newton iterations spent across
+    // every stage (successful continuation steps included — that is the
+    // retry budget this candidate burned), the deepest stage reached, and
+    // the classified failure of the last stage to die.
+    let mut spent = 0usize;
+    let mut injected = false;
+
     // 1. Plain NR.
-    if let Some((x, iters)) = nr_solve(circuit, opts, opts.gmin, 1.0, &x0, opts.max_nr_iters, ws) {
-        return Ok(build_op(circuit, x, iters));
+    match nr_solve(circuit, opts, opts.gmin, 1.0, &x0, opts.max_nr_iters, ws) {
+        Ok((x, iters)) => return Ok(build_op(circuit, x, iters)),
+        Err(e) => {
+            spent += e.iterations;
+            injected |= e.injected;
+        }
     }
 
     // 2. Gmin stepping: heavy loading pulls every node toward ground,
@@ -431,47 +468,53 @@ pub fn op_with_workspace(
     for exp in 2..=12 {
         let gmin = 10f64.powi(-exp);
         match nr_solve(circuit, opts, gmin, 1.0, &x, opts.max_nr_iters, ws) {
-            Some((xn, it)) => {
+            Ok((xn, it)) => {
                 x = xn;
                 total += it;
             }
-            None => {
+            Err(e) => {
+                total += e.iterations;
+                injected |= e.injected;
                 ok = false;
                 break;
             }
         }
     }
     if ok {
-        if let Some((xf, it)) = nr_solve(circuit, opts, opts.gmin, 1.0, &x, opts.max_nr_iters, ws) {
-            return Ok(build_op(circuit, xf, total + it));
+        match nr_solve(circuit, opts, opts.gmin, 1.0, &x, opts.max_nr_iters, ws) {
+            Ok((xf, it)) => return Ok(build_op(circuit, xf, total + it)),
+            Err(e) => {
+                total += e.iterations;
+                injected |= e.injected;
+            }
         }
     }
+    spent += total;
 
     // 3. Source stepping: ramp all independent sources from 10% to 100%.
+    // The last stage of the ladder: its failure classifies the whole solve.
     let mut x = vec![0.0; n];
     let mut total = 0;
-    let mut ok = true;
     for step in 1..=10 {
         let scale = step as f64 / 10.0;
         match nr_solve(circuit, opts, opts.gmin, scale, &x, opts.max_nr_iters, ws) {
-            Some((xn, it)) => {
+            Ok((xn, it)) => {
                 x = xn;
                 total += it;
             }
-            None => {
-                ok = false;
-                break;
+            Err(e) => {
+                return Err(SpiceError::Solver(FailureDiag {
+                    kind: e.kind,
+                    analysis: "dc operating point",
+                    stage: LadderStage::SourceStepping,
+                    iterations: spent + total + e.iterations,
+                    halvings: 0,
+                    injected: injected || e.injected,
+                }));
             }
         }
     }
-    if ok {
-        return Ok(build_op(circuit, x, total));
-    }
-
-    Err(SpiceError::NoConvergence {
-        analysis: "dc operating point",
-        iterations: opts.max_nr_iters,
-    })
+    Ok(build_op(circuit, x, total))
 }
 
 /// Sweeps the DC value of one voltage source, warm-starting each point from
@@ -566,6 +609,76 @@ mod tests {
         // Battery delivers 2V/4k = 0.5 mA; reported current is negative.
         let i = op.source_current(&c, "V1").unwrap();
         assert!((i + 0.5e-3).abs() < 1e-9);
+    }
+
+    fn divider() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, GND, Waveform::Dc(2.0)).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_resistor("R2", b, GND, 3e3).unwrap();
+        c
+    }
+
+    #[test]
+    fn injected_fault_on_every_solve_exhausts_the_ladder() {
+        use crate::fault::{self, FaultKind, FaultPlan, FaultSolves};
+        let _guard = fault::PLAN_LOCK.lock().unwrap();
+        let c = divider();
+        fault::install(Some(FaultPlan {
+            seed: 9,
+            rate: 1.0,
+            kind: FaultKind::SingularFactor,
+            solves: FaultSolves::All,
+        }));
+        let err = {
+            let _scope = fault::candidate_scope(fault::candidate_key(&[0.5], 0));
+            op(&c, &SimOptions::default()).unwrap_err()
+        };
+        fault::install(None);
+        let diag = err.failure_diag().expect("solver failure carries a diag");
+        assert_eq!(diag.kind, FailureKind::Singular);
+        assert_eq!(diag.stage, LadderStage::SourceStepping);
+        assert_eq!(diag.analysis, "dc operating point");
+        assert!(diag.injected, "diag must be marked injected: {diag}");
+    }
+
+    #[test]
+    fn injected_fault_on_first_solve_is_rescued_by_gmin_stepping() {
+        use crate::fault::{self, FaultKind, FaultPlan, FaultSolves};
+        let _guard = fault::PLAN_LOCK.lock().unwrap();
+        let c = divider();
+        fault::install(Some(FaultPlan {
+            seed: 9,
+            rate: 1.0,
+            kind: FaultKind::IterationExhaustion,
+            solves: FaultSolves::Index(0),
+        }));
+        let point = {
+            let _scope = fault::candidate_scope(fault::candidate_key(&[0.5], 0));
+            op(&c, &SimOptions::default()).unwrap()
+        };
+        fault::install(None);
+        // Plain NR was killed; the gmin ladder recovered the exact solution.
+        assert!((point.voltage(2) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fault_outside_candidate_scope_is_inert() {
+        use crate::fault::{self, FaultKind, FaultPlan, FaultSolves};
+        let _guard = fault::PLAN_LOCK.lock().unwrap();
+        let c = divider();
+        fault::install(Some(FaultPlan {
+            seed: 9,
+            rate: 1.0,
+            kind: FaultKind::SingularFactor,
+            solves: FaultSolves::All,
+        }));
+        // No candidate scope on this thread: the plan must not fire.
+        let point = op(&c, &SimOptions::default()).unwrap();
+        fault::install(None);
+        assert!((point.voltage(2) - 1.5).abs() < 1e-6);
     }
 
     #[test]

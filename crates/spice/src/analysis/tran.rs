@@ -9,6 +9,7 @@
 //! afterwards.
 
 use crate::analysis::dc;
+use crate::diag::{FailureDiag, LadderStage, NewtonFailure};
 use crate::error::SpiceError;
 use crate::netlist::{Circuit, NodeId};
 use crate::options::SimOptions;
@@ -226,8 +227,8 @@ fn solve_step(
     h: f64,
     x: &mut Vec<f64>,
     ws: &mut NewtonWorkspace,
-) -> bool {
-    let solved = crate::analysis::dc::newton_loop(
+) -> Result<(), NewtonFailure> {
+    let (xn, _) = crate::analysis::dc::newton_loop(
         circuit,
         opts,
         opts.max_nr_iters,
@@ -241,14 +242,9 @@ fn solve_step(
             t,
             h,
         },
-    );
-    match solved {
-        Some((xn, _)) => {
-            *x = xn;
-            true
-        }
-        None => false,
-    }
+    )?;
+    *x = xn;
+    Ok(())
 }
 
 /// Runs a transient analysis from `t = 0` to `t_stop` with base step
@@ -346,21 +342,33 @@ pub fn transient_with_workspace(
         }
 
         let mut halvings = 0;
+        let mut iters_spent = 0usize;
+        let mut injected = false;
         let mut x_try = x.clone();
         loop {
             let t_new = t + h_eff;
-            if solve_step(circuit, opts, &caps, t_new, h_eff, &mut x_try, ws) {
-                break;
+            match solve_step(circuit, opts, &caps, t_new, h_eff, &mut x_try, ws) {
+                Ok(()) => break,
+                Err(e) => {
+                    iters_spent += e.iterations;
+                    injected |= e.injected;
+                    halvings += 1;
+                    if halvings > opts.max_step_halvings {
+                        // The step underflowed: the halving ladder is
+                        // exhausted, whatever the inner Newton failures were.
+                        return Err(SpiceError::Solver(FailureDiag {
+                            kind: crate::diag::FailureKind::StepUnderflow,
+                            analysis: "transient",
+                            stage: LadderStage::StepHalving,
+                            iterations: iters_spent,
+                            halvings: halvings - 1,
+                            injected,
+                        }));
+                    }
+                    h_eff *= 0.5;
+                    x_try = x.clone();
+                }
             }
-            halvings += 1;
-            if halvings > opts.max_step_halvings {
-                return Err(SpiceError::NoConvergence {
-                    analysis: "transient",
-                    iterations: opts.max_nr_iters,
-                });
-            }
-            h_eff *= 0.5;
-            x_try = x.clone();
         }
 
         let t_new = t + h_eff;

@@ -1,0 +1,147 @@
+//! Structured failure diagnostics for the nonlinear solvers.
+//!
+//! Every analysis failure used to collapse into an opaque `None` deep in
+//! the Newton loop, erasing *why* the solve died (a singular factor looks
+//! identical to a NaN residual). [`FailureDiag`] preserves the taxonomy the
+//! robustness layer needs: the failure kind, which analysis produced it,
+//! how far down the recovery ladder the engine got, and how much retry
+//! budget (Newton iterations, transient step halvings) was burned before
+//! giving up. It travels out of the solvers inside
+//! [`crate::SpiceError::Solver`] so testbenches can propagate it to the
+//! optimizer instead of a bare failure placeholder.
+
+/// Why a nonlinear solve failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// A pivot collapsed during LU factorization (floating node, source
+    /// loop, or a numerically degenerate linearization).
+    Singular,
+    /// Newton-Raphson ran out of iterations without meeting tolerance.
+    NoConvergence,
+    /// The linear solve produced a non-finite unknown vector.
+    NanResidual,
+    /// Transient step halving hit `max_step_halvings` without converging.
+    StepUnderflow,
+}
+
+impl FailureKind {
+    /// Short lower-case label (`singular`, `no-convergence`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Singular => "singular",
+            FailureKind::NoConvergence => "no-convergence",
+            FailureKind::NanResidual => "nan-residual",
+            FailureKind::StepUnderflow => "step-underflow",
+        }
+    }
+}
+
+/// The deepest recovery-ladder stage a failed solve reached before the
+/// engine gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LadderStage {
+    /// Plain damped Newton-Raphson, no continuation.
+    PlainNr,
+    /// Gmin stepping (continuation in the diagonal loading conductance).
+    GminStepping,
+    /// Source stepping (continuation in the source scale factor).
+    SourceStepping,
+    /// Transient timestep halving.
+    StepHalving,
+    /// Direct linear solve with no Newton ladder (AC / noise analyses).
+    SmallSignal,
+}
+
+impl LadderStage {
+    /// Short lower-case label (`plain-nr`, `gmin-stepping`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            LadderStage::PlainNr => "plain-nr",
+            LadderStage::GminStepping => "gmin-stepping",
+            LadderStage::SourceStepping => "source-stepping",
+            LadderStage::StepHalving => "step-halving",
+            LadderStage::SmallSignal => "small-signal",
+        }
+    }
+}
+
+/// Structured diagnosis of one failed analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureDiag {
+    /// What ultimately killed the solve.
+    pub kind: FailureKind,
+    /// Which analysis failed (`"dc operating point"`, `"transient"`, …).
+    pub analysis: &'static str,
+    /// Deepest recovery-ladder stage reached.
+    pub stage: LadderStage,
+    /// Total Newton iterations spent across the whole ladder (including
+    /// successful continuation steps that preceded the fatal one).
+    pub iterations: usize,
+    /// Transient step halvings spent (zero outside transient analysis).
+    pub halvings: usize,
+    /// True when the failure was forced by the deterministic fault plan
+    /// ([`crate::fault`]) rather than arising from the numerics.
+    pub injected: bool,
+}
+
+impl std::fmt::Display for FailureDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} failed: {} at {} stage after {} NR iterations, {} halvings{}",
+            self.analysis,
+            self.kind.label(),
+            self.stage.label(),
+            self.iterations,
+            self.halvings,
+            if self.injected { " (injected)" } else { "" }
+        )
+    }
+}
+
+/// Failure of one `newton_loop` call: the kind plus how many iterations it
+/// burned. The callers (the DC ladder, the transient halving loop) fold
+/// these into a full [`FailureDiag`] with the stage they were driving.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NewtonFailure {
+    pub kind: FailureKind,
+    pub iterations: usize,
+    pub injected: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_taxonomy() {
+        let d = FailureDiag {
+            kind: FailureKind::Singular,
+            analysis: "dc operating point",
+            stage: LadderStage::SourceStepping,
+            iterations: 120,
+            halvings: 0,
+            injected: true,
+        };
+        let s = d.to_string();
+        assert!(s.contains("singular"));
+        assert!(s.contains("source-stepping"));
+        assert!(s.contains("120"));
+        assert!(s.contains("injected"));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds = [
+            FailureKind::Singular,
+            FailureKind::NoConvergence,
+            FailureKind::NanResidual,
+            FailureKind::StepUnderflow,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+}

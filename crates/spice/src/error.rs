@@ -1,8 +1,14 @@
 //! Simulator error type.
 
+use crate::diag::{FailureDiag, FailureKind, LadderStage};
+
 /// Error returned by netlist construction and analyses.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpiceError {
+    /// A nonlinear solve failed; the diagnosis carries the full taxonomy
+    /// (kind, recovery-ladder stage reached, retry budget spent). The DC
+    /// and transient engines report through this variant.
+    Solver(FailureDiag),
     /// The MNA matrix was singular — usually a floating node or a loop of
     /// voltage sources.
     SingularMatrix {
@@ -46,9 +52,42 @@ pub enum SpiceError {
     },
 }
 
+impl SpiceError {
+    /// The structured failure diagnosis of this error, synthesized for
+    /// variants that predate the taxonomy (AC/noise singularities, setup
+    /// errors map to `None`). Testbenches use this to propagate a uniform
+    /// [`FailureDiag`] regardless of which analysis failed.
+    pub fn failure_diag(&self) -> Option<FailureDiag> {
+        match self {
+            SpiceError::Solver(diag) => Some(diag.clone()),
+            SpiceError::SingularMatrix { analysis } => Some(FailureDiag {
+                kind: FailureKind::Singular,
+                analysis,
+                stage: LadderStage::SmallSignal,
+                iterations: 0,
+                halvings: 0,
+                injected: false,
+            }),
+            SpiceError::NoConvergence {
+                analysis,
+                iterations,
+            } => Some(FailureDiag {
+                kind: FailureKind::NoConvergence,
+                analysis,
+                stage: LadderStage::PlainNr,
+                iterations: *iterations,
+                halvings: 0,
+                injected: false,
+            }),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for SpiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SpiceError::Solver(diag) => write!(f, "{diag}"),
             SpiceError::SingularMatrix { analysis } => {
                 write!(
                     f,

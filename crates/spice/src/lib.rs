@@ -37,7 +37,9 @@
 //! ```
 
 pub mod analysis;
+pub mod diag;
 mod error;
+pub mod fault;
 pub mod mos;
 mod netlist;
 mod options;
@@ -49,6 +51,7 @@ pub use analysis::ac::{ac, ac_with_workspace, log_freqs, AcSweep};
 pub use analysis::dc::{dc_sweep, op, op_with_guess, op_with_workspace, MosOp, OpPoint};
 pub use analysis::noise::{noise, noise_with_workspace, NoiseResult};
 pub use analysis::tran::{transient, transient_with_workspace, TranResult};
+pub use diag::{FailureDiag, FailureKind, LadderStage};
 pub use error::SpiceError;
 pub use mos::{MosModel, MosPolarity, MosRegion, T_NOM};
 pub use netlist::{Circuit, Device, NodeId, GND};

@@ -26,6 +26,7 @@ impl SizingProblem for Bench {
             .map(|i| 4.0 * (x[i + 1] - x[i] * x[i]).powi(2) + (1.0 - x[i]).powi(2))
             .sum();
         SpecResult {
+            failure: None,
             objective: obj,
             constraints: vec![x.iter().sum::<f64>() - 4.5, 0.35 - x[0]],
         }

@@ -21,6 +21,7 @@ impl SizingProblem for ToyAmp {
     }
     fn evaluate(&self, x: &[f64]) -> SpecResult {
         SpecResult {
+            failure: None,
             objective: x[0] + x[1],
             constraints: vec![0.2 - x[0] * x[1]],
         }

@@ -14,7 +14,7 @@ proptest! {
     ) {
         let cons: Vec<f64> = slack.iter().map(|s| -s).collect();
         let fom = Fom::uniform(0.7, cons.len());
-        let spec = SpecResult { objective: obj, constraints: cons };
+        let spec = SpecResult { failure: None, objective: obj, constraints: cons };
         prop_assert!((fom.value(&spec) - 0.7 * obj).abs() < 1e-12);
     }
 
@@ -24,7 +24,7 @@ proptest! {
         viol in proptest::collection::vec(0.0..1e9f64, 1..8),
     ) {
         let fom = Fom::uniform(0.0, viol.len());
-        let spec = SpecResult { objective: 0.0, constraints: viol.clone() };
+        let spec = SpecResult { failure: None, objective: 0.0, constraints: viol.clone() };
         let g = fom.value(&spec);
         prop_assert!(g <= viol.len() as f64 + 1e-9);
         prop_assert!(g >= 0.0);
@@ -37,10 +37,10 @@ proptest! {
         bump in 0.0..3.0f64,
     ) {
         let fom = Fom::uniform(0.0, 3);
-        let s0 = SpecResult { objective: 0.0, constraints: base.clone() };
+        let s0 = SpecResult { failure: None, objective: 0.0, constraints: base.clone() };
         let mut worse = base.clone();
         worse[1] += bump;
-        let s1 = SpecResult { objective: 0.0, constraints: worse };
+        let s1 = SpecResult { failure: None, objective: 0.0, constraints: worse };
         prop_assert!(fom.value(&s1) >= fom.value(&s0) - 1e-12);
     }
 

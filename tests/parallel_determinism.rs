@@ -34,6 +34,7 @@ impl SizingProblem for ToyAmp {
     }
     fn evaluate(&self, x: &[f64]) -> SpecResult {
         SpecResult {
+            failure: None,
             objective: x[0] + x[1],
             constraints: vec![0.2 - x[0] * x[1]],
         }
@@ -139,6 +140,7 @@ impl SparseLadder {
         // Raw solved voltages: any last-ulp difference between candidates
         // sharing (or not sharing) a pooled workspace shows up here.
         SpecResult {
+            failure: None,
             objective: op.voltage(end) + ripple + 1e3 * nres.total_rms(),
             constraints: vec![0.9 - op.voltage(mid)],
         }
