@@ -395,6 +395,41 @@ pub mod baseline {
                     GemmOp::NoTrans,
                 ),
             ];
+            // The threaded-GEMM rows (identical bodies to
+            // `benches/parallel_scaling.rs`): one product past
+            // `GEMM_PARALLEL_MIN_WORK`, timed at fixed worker counts. On
+            // a single-core host the counts time the same arithmetic plus
+            // dispatch overhead; the per-row `host_cpus` field says which
+            // regime a recorded number is from.
+            {
+                let mut rng = StdRng::seed_from_u64(7);
+                let a = Matrix::from_fn(256, 256, |_, _| rng.gen::<f64>() - 0.5);
+                let b = Matrix::from_fn(256, 256, |_, _| rng.gen::<f64>() - 0.5);
+                for threads in [1usize, 2, 4, 8] {
+                    c.bench_function(
+                        &format!("gemm_parallel_256x256x256_nn_t{threads}"),
+                        |bench| {
+                            linalg::pool::set_max_threads(threads);
+                            let mut ws = GemmWorkspace::new();
+                            let mut out = Matrix::default();
+                            bench.iter(|| {
+                                gemm(
+                                    GemmOp::NoTrans,
+                                    GemmOp::NoTrans,
+                                    1.0,
+                                    black_box(&a),
+                                    black_box(&b),
+                                    0.0,
+                                    &mut out,
+                                    &mut ws,
+                                );
+                                black_box(out.as_slice()[0])
+                            });
+                            linalg::pool::set_max_threads(0);
+                        },
+                    );
+                }
+            }
             for (label, m, n, k, op_a, op_b) in shapes {
                 let dims_a = match op_a {
                     GemmOp::NoTrans => (m, k),
@@ -474,6 +509,15 @@ pub mod baseline {
             c.bench_function("critic_train_n150_d20_m30", |b| {
                 b.iter(|| Critic::train(&cfg, &xs, &fs, &mut rng))
             });
+            // The same training pass with the GEMM thread budget swept
+            // (identical bodies to `benches/parallel_scaling.rs`).
+            for threads in [2usize, 4, 8] {
+                c.bench_function(&format!("critic_train_n150_d20_m30_mt{threads}"), |b| {
+                    parallel::set_max_threads(threads);
+                    b.iter(|| Critic::train(&cfg, &xs, &fs, &mut rng));
+                    parallel::set_max_threads(0);
+                });
+            }
             let critic = Critic::train(&cfg, &xs, &fs, &mut rng);
             let fom = Fom::uniform(1.0, 29);
             let elite: Vec<Vec<f64>> = xs[..10].to_vec();
@@ -543,7 +587,33 @@ pub mod baseline {
                 black_box(ev.evaluate_batch(&ota_pop).len())
             })
         });
+        // Fixed worker counts through the candidate×corner×analysis grid
+        // (identical bodies to `benches/parallel_scaling.rs`).
+        for threads in [2usize, 4, 8] {
+            c.bench_function(&format!("population_eval_16_ota_t{threads}"), |b| {
+                parallel::set_max_threads(threads);
+                b.iter(|| {
+                    let mut ev = Evaluator::new(&ota, &ota_fom, ota_pop.len());
+                    black_box(ev.evaluate_batch(&ota_pop).len())
+                });
+                parallel::set_max_threads(0);
+            });
+        }
         std::env::remove_var("CRITERION_JSON");
+    }
+
+    /// Tags a freshly recorded row with the host's logical core count and
+    /// the effective thread setting (`DNNOPT_THREADS` or `auto`), so a
+    /// checked-in baseline says which parallelism regime produced it.
+    fn with_host_metadata(row: &str) -> String {
+        let Some(body) = row.strip_suffix('}') else {
+            return row.to_string();
+        };
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let threads = std::env::var("DNNOPT_THREADS").unwrap_or_else(|_| "auto".into());
+        format!("{body},\"host_cpus\":{cpus},\"threads\":\"{threads}\"}}")
     }
 
     /// Extracts the `"name"` field of a recorded JSON row.
@@ -572,9 +642,10 @@ pub mod baseline {
             let Some(name) = row_name(new_row) else {
                 continue;
             };
+            let tagged = with_host_metadata(new_row);
             match lines.iter().position(|l| row_name(l) == Some(name)) {
-                Some(i) => lines[i] = new_row.to_string(),
-                None => lines.push(new_row.to_string()),
+                Some(i) => lines[i] = tagged,
+                None => lines.push(tagged),
             }
         }
         std::fs::write(path, lines.join("\n") + "\n")

@@ -26,7 +26,7 @@
 //! integration, and a closed-loop (gain −1) step transient for settling
 //! time and static error.
 
-use opt::{SizingProblem, SpecResult};
+use opt::{AnalysisSpec, SizingProblem, SpecResult};
 use spice::{Circuit, OpPoint, SimOptions, SpiceError, Waveform, GND};
 
 use crate::measure;
@@ -632,9 +632,38 @@ impl SizingProblem for FoldedCascodeOta {
     fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
         // Deterministic fault-plane scope: injection decisions are a pure
         // function of (plan seed, candidate bits, corner index) — identical
-        // no matter which worker thread runs this corner.
+        // no matter which worker thread runs this corner. One scope spans
+        // both analyses, so direct corner evaluation keeps the legacy
+        // whole-corner solve numbering.
         let _scope = spice::fault::candidate_scope(spice::fault::candidate_key(x, k as u64));
         self.plane(k).evaluate_plane(x)
+    }
+
+    fn num_analyses(&self) -> usize {
+        2
+    }
+
+    fn analysis_name(&self, a: usize) -> String {
+        match a {
+            0 => "open-loop".to_string(),
+            1 => "closed-loop".to_string(),
+            _ => panic!("folded-cascode OTA has 2 analyses, got index {a}"),
+        }
+    }
+
+    fn evaluate_analysis(&self, x: &[f64], k: usize, a: usize) -> AnalysisSpec {
+        // Same fault key as `evaluate_corner`: decisions depend only on
+        // (plan seed, candidate bits, corner), so in `FaultSolves::All`
+        // mode the analysis grid and the monolithic corner path see
+        // identical injections. (Per-solve `Index` plans number solves
+        // within each analysis scope rather than across the whole corner.)
+        let _scope = spice::fault::candidate_scope(spice::fault::candidate_key(x, k as u64));
+        let plane = self.plane(k);
+        match a {
+            0 => plane.open_loop_analysis(x),
+            1 => plane.closed_loop_analysis(x),
+            _ => panic!("folded-cascode OTA has 2 analyses, got index {a}"),
+        }
     }
 
     fn evaluate(&self, x: &[f64]) -> SpecResult {
@@ -644,28 +673,47 @@ impl SizingProblem for FoldedCascodeOta {
 
 impl FoldedCascodeOta {
     /// Runs the full Eq. 9 measurement suite on this plane's corner — the
-    /// single-scenario evaluation every corner of the plane shares.
+    /// single-scenario evaluation every corner of the plane shares,
+    /// assembled from the two independent analysis units.
     fn evaluate_plane(&self, x: &[f64]) -> SpecResult {
         let m = SizingProblem::num_constraints(self);
-        let p = OtaParams::decode(x);
+        let ol = self.open_loop_analysis(x);
+        if ol.failed {
+            // A hard open-loop failure fails the whole corner before the
+            // closed-loop testbench runs — the pre-split short-circuit,
+            // preserved solve for solve.
+            return AnalysisSpec::assemble(m, &[ol]);
+        }
+        let cl = self.closed_loop_analysis(x);
+        AnalysisSpec::assemble(m, &[ol, cl])
+    }
 
-        // --- Open-loop testbench: OP + three AC excitations + noise.
+    /// Open-loop analysis unit: OP + three AC excitations. Owns the
+    /// objective (power) and constraints 1, 3–7, 10–29 (gain, CMRR,
+    /// saturation margins, PSRR, UGF, swing, phase margin). Simulator
+    /// errors here are hard failures that fail the whole corner.
+    fn open_loop_analysis(&self, x: &[f64]) -> AnalysisSpec {
+        let p = OtaParams::decode(x);
+        let hard = |e: &SpiceError, analysis: &str| {
+            AnalysisSpec::hard_failed(Some(crate::diag_from_spice(e, analysis)))
+        };
+
         let (mut ol, out_p, out_n) = match self.build_open_loop(&p) {
             Ok(v) => v,
-            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ota netlist")),
+            Err(e) => return hard(&e, "ota netlist"),
         };
         // Pooled workspaces (one per testbench topology): every candidate
         // reuses the recorded stamp→slot maps and factor storage.
         let mut ws_ol = spice::lease_workspace(&ol);
         let op = match spice::op_with_workspace(&ol, &self.opts, None, &mut ws_ol) {
             Ok(op) => op,
-            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ota op")),
+            Err(e) => return hard(&e, "ota op"),
         };
 
         // Power: total supply current × VDD (battery current is negative).
         let i_vdd = match op.source_current(&ol, "VDD") {
             Ok(i) => -i,
-            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ota power")),
+            Err(e) => return hard(&e, "ota power"),
         };
         // Bias reference branches that terminate at ideal sources also draw
         // from VDD in a real implementation; IB1/IB2 sink to ground already
@@ -679,7 +727,7 @@ impl FoldedCascodeOta {
         let _ = ol.set_ac_mag("VIN", -0.5);
         let ac_dm = match spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol) {
             Ok(ac) => ac,
-            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ota diff ac")),
+            Err(e) => return hard(&e, "ota diff ac"),
         };
         let mag_dm = ac_dm.diff_magnitude(out_p, out_n);
         let ph_dm = ac_dm.diff_phase_unwrapped(out_p, out_n);
@@ -693,7 +741,7 @@ impl FoldedCascodeOta {
         let _ = ol.set_ac_mag("VIN", 1.0);
         let ac_cm = match spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol) {
             Ok(ac) => ac,
-            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ota cm ac")),
+            Err(e) => return hard(&e, "ota cm ac"),
         };
         let a_cm = (ac_cm.voltage(0, out_p) + ac_cm.voltage(0, out_n)).abs() / 2.0;
         let cmrr_db = dc_gain_db - measure::db(a_cm);
@@ -703,7 +751,7 @@ impl FoldedCascodeOta {
         let _ = ol.set_ac_mag("VDD", 1.0);
         let ac_ps = match spice::ac_with_workspace(&ol, &self.opts, &op, &freqs, &mut ws_ol) {
             Ok(ac) => ac,
-            Err(e) => return SpecResult::failed_with(m, crate::diag_from_spice(&e, "ota psrr ac")),
+            Err(e) => return hard(&e, "ota psrr ac"),
         };
         let a_ps = (ac_ps.voltage(0, out_p) + ac_ps.voltage(0, out_n)).abs() / 2.0;
         let psrr_db = dc_gain_db - measure::db(a_ps);
@@ -716,8 +764,54 @@ impl FoldedCascodeOta {
         let min_margin = margins.iter().cloned().fold(f64::INFINITY, f64::min);
         let swing = self.output_swing(&op);
 
-        // --- Closed-loop testbench: output noise (in the configuration the
-        // amplifier is actually used in) and the step response.
+        // This unit's slice of the Eq. 9 constraint vector, by global index.
+        let mut constraints = Vec::with_capacity(7 + margins.len());
+        // 1. DC gain > 60 dB.
+        constraints.push((0, at_least(dc_gain_db, 60.0, 20.0)));
+        // 3. CMRR > 80 dB.
+        constraints.push((2, at_least(cmrr_db, 80.0, 40.0)));
+        // 4. Saturation margin > 50 mV (worst device).
+        constraints.push((3, at_least(min_margin, 0.05, 0.1)));
+        // 5. PSRR > 80 dB.
+        constraints.push((4, at_least(psrr_db, 80.0, 40.0)));
+        // 6. Unity-gain frequency > 30 MHz.
+        constraints.push((
+            5,
+            match ugf {
+                Some(f) => at_least(f, 30e6, 30e6),
+                None => 2.0,
+            },
+        ));
+        // 7. Output swing > 2.4 V (differential).
+        constraints.push((6, at_least(swing, 2.4, 1.0)));
+        // 10. Phase margin > 60°.
+        constraints.push((
+            9,
+            match pm {
+                Some(deg) => at_least(deg, 60.0, 30.0),
+                None => 2.0,
+            },
+        ));
+        // 11–29. Per-device saturation-region requirements (margin > 0).
+        for (i, margin) in margins.into_iter().enumerate() {
+            constraints.push((10 + i, at_most(-margin, 0.0, 0.1)));
+        }
+
+        AnalysisSpec {
+            objective: Some(power),
+            constraints,
+            failure: None,
+            failed: false,
+        }
+    }
+
+    /// Closed-loop analysis unit: output noise (in the configuration the
+    /// amplifier is actually used in) and the step response. Owns
+    /// constraints 2, 8, 9 (settling, noise, static error). Every
+    /// simulator error here degrades softly into strong constraint
+    /// violations — this unit never hard-fails the corner.
+    fn closed_loop_analysis(&self, x: &[f64]) -> AnalysisSpec {
+        let p = OtaParams::decode(x);
         let step = 0.5;
         let mut vnoise = f64::INFINITY;
         let (settle, static_err_pct) = match self.build_closed_loop(&p, step) {
@@ -762,46 +856,25 @@ impl FoldedCascodeOta {
             Err(_) => (None, 100.0),
         };
 
-        // --- Assemble Eq. 9 constraints.
-        let mut constraints = Vec::with_capacity(m);
-        // 1. DC gain > 60 dB.
-        constraints.push(at_least(dc_gain_db, 60.0, 20.0));
-        // 2. Settling time < 30 ns (missing settle = strong violation).
-        constraints.push(match settle {
-            Some(ts) => at_most(ts, 30e-9, 30e-9),
-            None => 3.0,
-        });
-        // 3. CMRR > 80 dB.
-        constraints.push(at_least(cmrr_db, 80.0, 40.0));
-        // 4. Saturation margin > 50 mV (worst device).
-        constraints.push(at_least(min_margin, 0.05, 0.1));
-        // 5. PSRR > 80 dB.
-        constraints.push(at_least(psrr_db, 80.0, 40.0));
-        // 6. Unity-gain frequency > 30 MHz.
-        constraints.push(match ugf {
-            Some(f) => at_least(f, 30e6, 30e6),
-            None => 2.0,
-        });
-        // 7. Output swing > 2.4 V (differential).
-        constraints.push(at_least(swing, 2.4, 1.0));
-        // 8. Output noise < 30 mV rms.
-        constraints.push(at_most(vnoise, 30e-3, 30e-3));
-        // 9. Static error < 0.1 %.
-        constraints.push(at_most(static_err_pct, 0.1, 0.2));
-        // 10. Phase margin > 60°.
-        constraints.push(match pm {
-            Some(deg) => at_least(deg, 60.0, 30.0),
-            None => 2.0,
-        });
-        // 11–29. Per-device saturation-region requirements (margin > 0).
-        for margin in margins {
-            constraints.push(at_most(-margin, 0.0, 0.1));
-        }
-
-        SpecResult {
+        AnalysisSpec {
+            objective: None,
+            constraints: vec![
+                // 2. Settling time < 30 ns (missing settle = strong
+                //    violation).
+                (
+                    1,
+                    match settle {
+                        Some(ts) => at_most(ts, 30e-9, 30e-9),
+                        None => 3.0,
+                    },
+                ),
+                // 8. Output noise < 30 mV rms.
+                (7, at_most(vnoise, 30e-3, 30e-3)),
+                // 9. Static error < 0.1 %.
+                (8, at_most(static_err_pct, 0.1, 0.2)),
+            ],
             failure: None,
-            objective: power,
-            constraints,
+            failed: false,
         }
     }
 }
@@ -1041,6 +1114,43 @@ mod tests {
         assert_eq!(a.constraints.len(), b.constraints.len());
         for (p, q) in a.constraints.iter().zip(&b.constraints) {
             assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn analysis_units_assemble_to_the_monolithic_corner() {
+        // The analysis-grid contract: evaluating the open-loop and
+        // closed-loop units independently and assembling their partials
+        // reproduces the whole-corner evaluation bit for bit, on every
+        // corner of the plane.
+        let ota = FoldedCascodeOta::with_corners(CornerSet::pvt5());
+        assert_eq!(SizingProblem::num_analyses(&ota), 2);
+        assert_eq!(SizingProblem::analysis_name(&ota, 0), "open-loop");
+        assert_eq!(SizingProblem::analysis_name(&ota, 1), "closed-loop");
+        let m = SizingProblem::num_constraints(&ota);
+        let x = ota.nominal();
+        for k in 0..SizingProblem::num_corners(&ota) {
+            let whole = ota.evaluate_corner(&x, k);
+            let units = [
+                ota.evaluate_analysis(&x, k, 0),
+                ota.evaluate_analysis(&x, k, 1),
+            ];
+            let assembled = AnalysisSpec::assemble(m, &units);
+            assert_eq!(
+                whole.objective.to_bits(),
+                assembled.objective.to_bits(),
+                "corner {k} objective"
+            );
+            assert_eq!(whole.constraints.len(), assembled.constraints.len());
+            for (i, (p, q)) in whole
+                .constraints
+                .iter()
+                .zip(&assembled.constraints)
+                .enumerate()
+            {
+                assert_eq!(p.to_bits(), q.to_bits(), "corner {k} constraint {i}");
+            }
+            assert_eq!(whole.failure, assembled.failure, "corner {k} diagnosis");
         }
     }
 

@@ -4,7 +4,7 @@ use std::time::{Duration, Instant};
 
 use crate::failure::{FailureDiag, FailureKind, RecoveryStage};
 use crate::fom::Fom;
-use crate::problem::{SizingProblem, SpecResult};
+use crate::problem::{AnalysisSpec, SizingProblem, SpecResult};
 
 /// One recorded evaluation.
 #[derive(Debug, Clone)]
@@ -291,7 +291,7 @@ impl<'a> Evaluator<'a> {
     /// Panics if the budget is already exhausted; optimizers must check
     /// [`Evaluator::exhausted`] first.
     pub fn evaluate(&mut self, x: &[f64]) -> Evaluation {
-        if self.problem.num_corners() > 1 {
+        if self.problem.num_corners() > 1 || self.problem.num_analyses() > 1 {
             return self.evaluate_corners(x);
         }
         assert!(!self.exhausted(), "simulation budget exhausted");
@@ -345,7 +345,7 @@ impl<'a> Evaluator<'a> {
     /// are silently dropped, which keeps optimizers' budget accounting a
     /// non-event. Returns the recorded evaluations.
     pub fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
-        if self.problem.num_corners() > 1 {
+        if self.problem.num_corners() > 1 || self.problem.num_analyses() > 1 {
             return self.evaluate_corners_batch(xs);
         }
         let take = xs.len().min(self.remaining());
@@ -383,19 +383,27 @@ impl<'a> Evaluator<'a> {
     }
 
     /// The batch variant of [`Evaluator::evaluate_corners`]: flattens the
-    /// population into the **candidate×corner grid** and fans that grid
-    /// out over worker threads, so corner-level parallelism is available
-    /// even for a single-candidate-per-iteration optimizer. Per-corner
-    /// results are regrouped and merged in fixed corner order and recorded
-    /// in candidate order, so histories (including the attached per-corner
+    /// population into the **candidate×corner grid** — or, when the
+    /// testbench exposes independent analyses
+    /// ([`SizingProblem::num_analyses`] > 1), the finer
+    /// **candidate×corner×analysis grid** — and fans that grid out over
+    /// worker threads, so sub-candidate parallelism is available even for
+    /// a single-candidate-per-iteration optimizer. Per-unit results are
+    /// regrouped in fixed (corner, analysis) order and recorded in
+    /// candidate order, so histories (including the attached per-corner
     /// vectors) are bit-identical to the serial path for any thread count.
     /// Workers reuse pool-leased per-topology solver workspaces across
-    /// their whole grid chunk, exactly like the candidate-level path.
+    /// their whole share of the grid, exactly like the candidate-level
+    /// path.
     pub fn evaluate_corners_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
         let take = xs.len().min(self.remaining());
         let batch = &xs[..take];
         let problem = self.problem;
         let k = problem.num_corners();
+        let na = problem.num_analyses();
+        if na > 1 {
+            return self.evaluate_units_batch(batch, k, na);
+        }
         let grid: Vec<(usize, usize)> = (0..take)
             .flat_map(|i| (0..k).map(move |c| (i, c)))
             .collect();
@@ -423,6 +431,64 @@ impl<'a> Evaluator<'a> {
             let corner_specs = specs[i * k..(i + 1) * k].to_vec();
             let spec = SpecResult::worst_case(&corner_specs);
             out.push(self.record(x.clone(), spec, corner_specs));
+        }
+        out
+    }
+
+    /// The hierarchical leg of [`Evaluator::evaluate_corners_batch`]: the
+    /// flattened candidate×corner×analysis unit grid, in `(i, c, a)`
+    /// lexicographic order, fanned out round-robin over the worker pool.
+    /// Units are reassembled per (candidate, corner) with
+    /// [`AnalysisSpec::assemble`] — bit-identical to the monolithic
+    /// `evaluate_corner` by the [`SizingProblem::num_analyses`] contract —
+    /// and then merged/recorded exactly like the coarser grid. A
+    /// single-corner problem records the assembled nominal result raw
+    /// (no worst-case fold, no per-corner vectors), preserving the legacy
+    /// history shape.
+    fn evaluate_units_batch(&mut self, batch: &[Vec<f64>], k: usize, na: usize) -> Vec<Evaluation> {
+        let problem = self.problem;
+        let grid: Vec<(usize, usize, usize)> = (0..batch.len())
+            .flat_map(|i| (0..k).flat_map(move |c| (0..na).map(move |a| (i, c, a))))
+            .collect();
+        // Per-unit panic isolation: one panicking analysis becomes one
+        // hard-failed unit (which then collapses its corner to a diagnosed
+        // failed placeholder), never a dead batch.
+        let (units, worker_times) = crate::parallel::try_par_map_with(
+            &grid,
+            || Duration::ZERO,
+            |spent, &(i, c, a)| {
+                let t0 = Instant::now();
+                let unit = problem.evaluate_analysis(&batch[i], c, a);
+                *spent += t0.elapsed();
+                unit
+            },
+        );
+        self.sim_time += worker_times.iter().sum::<Duration>();
+        let m = problem.num_constraints();
+        let units: Vec<AnalysisSpec> = units
+            .into_iter()
+            .map(|unit| {
+                unit.unwrap_or_else(|msg| AnalysisSpec::hard_failed(Some(FailureDiag::panic(msg))))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(batch.len());
+        for (i, x) in batch.iter().enumerate() {
+            let corner_specs: Vec<SpecResult> = (0..k)
+                .map(|c| {
+                    let base = (i * k + c) * na;
+                    AnalysisSpec::assemble(m, &units[base..base + na])
+                })
+                .collect();
+            if k <= 1 {
+                let spec = corner_specs
+                    .into_iter()
+                    .next()
+                    .expect("single-corner plane has corner 0");
+                out.push(self.record(x.clone(), spec, Vec::new()));
+            } else {
+                let spec = SpecResult::worst_case(&corner_specs);
+                out.push(self.record(x.clone(), spec, corner_specs));
+            }
         }
         out
     }
@@ -693,6 +759,167 @@ mod tests {
             assert_eq!(a.fom.to_bits(), b.fom.to_bits());
             assert_eq!(a.spec, b.spec);
             assert_eq!(a.corner_specs, b.corner_specs);
+        }
+    }
+
+    /// [`CorneredSphere`] split into two independent analyses per corner:
+    /// analysis 0 owns the objective, analysis 1 the constraint. The math
+    /// is identical, so histories must match the monolithic problem
+    /// bit-for-bit through the finer unit grid.
+    struct SplitCorneredSphere;
+
+    impl SizingProblem for SplitCorneredSphere {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            (vec![0.0; 2], vec![1.0; 2])
+        }
+        fn num_constraints(&self) -> usize {
+            1
+        }
+        fn num_corners(&self) -> usize {
+            3
+        }
+        fn num_analyses(&self) -> usize {
+            2
+        }
+        fn analysis_name(&self, a: usize) -> String {
+            ["objective", "constraint"][a].to_string()
+        }
+        fn evaluate_analysis(&self, x: &[f64], k: usize, a: usize) -> AnalysisSpec {
+            match a {
+                0 => AnalysisSpec {
+                    objective: Some(x[0] + x[1] + k as f64),
+                    ..AnalysisSpec::partial()
+                },
+                1 => AnalysisSpec {
+                    constraints: vec![(0, 0.3 + 0.1 * k as f64 - x[0])],
+                    ..AnalysisSpec::partial()
+                },
+                _ => panic!("analysis {a} out of range"),
+            }
+        }
+        fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+            AnalysisSpec::assemble(
+                1,
+                &[
+                    self.evaluate_analysis(x, k, 0),
+                    self.evaluate_analysis(x, k, 1),
+                ],
+            )
+        }
+        fn evaluate(&self, x: &[f64]) -> SpecResult {
+            crate::problem::evaluate_worst_case(self, x)
+        }
+    }
+
+    #[test]
+    fn analysis_grid_matches_monolithic_grid_at_any_thread_count() {
+        let fom = Fom::uniform(1.0, 1);
+        let xs: Vec<Vec<f64>> = (0..11)
+            .map(|i| vec![i as f64 / 10.0, 1.0 - i as f64 / 10.0])
+            .collect();
+        let mut ev_mono = Evaluator::new(&CorneredSphere, &fom, xs.len());
+        let reference = ev_mono.evaluate_batch(&xs);
+        let split = SplitCorneredSphere;
+        // 1, an even, and an odd thread count (odd catches remainder bugs
+        // in the round-robin reassembly).
+        for threads in [1usize, 2, 7] {
+            crate::parallel::set_max_threads(threads);
+            let mut ev = Evaluator::new(&split, &fom, xs.len());
+            let out = ev.evaluate_batch(&xs);
+            crate::parallel::set_max_threads(0);
+            assert_eq!(out.len(), reference.len(), "threads={threads}");
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.fom.to_bits(), b.fom.to_bits(), "threads={threads}");
+                assert_eq!(a.spec, b.spec, "threads={threads}");
+                assert_eq!(a.corner_specs, b.corner_specs, "threads={threads}");
+            }
+        }
+    }
+
+    /// Single-corner, two-analysis problem whose second analysis panics on
+    /// a marker candidate.
+    struct PanickyAnalysis;
+
+    impl SizingProblem for PanickyAnalysis {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            (vec![0.0], vec![1.0])
+        }
+        fn num_constraints(&self) -> usize {
+            2
+        }
+        fn num_analyses(&self) -> usize {
+            2
+        }
+        fn evaluate_analysis(&self, x: &[f64], _k: usize, a: usize) -> AnalysisSpec {
+            match a {
+                0 => AnalysisSpec {
+                    objective: Some(x[0]),
+                    constraints: vec![(0, -x[0])],
+                    ..AnalysisSpec::partial()
+                },
+                1 => {
+                    assert!(x[0] != 0.5, "injected analysis panic");
+                    AnalysisSpec {
+                        constraints: vec![(1, x[0] - 2.0)],
+                        ..AnalysisSpec::partial()
+                    }
+                }
+                _ => panic!("analysis {a} out of range"),
+            }
+        }
+        fn evaluate_corner(&self, x: &[f64], k: usize) -> SpecResult {
+            AnalysisSpec::assemble(
+                2,
+                &[
+                    self.evaluate_analysis(x, k, 0),
+                    self.evaluate_analysis(x, k, 1),
+                ],
+            )
+        }
+        fn evaluate(&self, x: &[f64]) -> SpecResult {
+            self.evaluate_corner(x, 0)
+        }
+    }
+
+    #[test]
+    fn single_corner_analysis_grid_keeps_legacy_history_shape() {
+        let p = PanickyAnalysis;
+        let fom = Fom::uniform(1.0, 2);
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 8.0]).collect();
+        // xs[4] = [0.5] panics in analysis 1. The batch must survive with
+        // the panicking candidate collapsed to a diagnosed failure, the
+        // rest intact, and — single corner — no per-corner records.
+        let mut batches = Vec::new();
+        for threads in [1usize, 3] {
+            crate::parallel::set_max_threads(threads);
+            let mut ev = Evaluator::new(&p, &fom, xs.len());
+            let out = ev.evaluate_batch(&xs);
+            crate::parallel::set_max_threads(0);
+            for (i, e) in out.iter().enumerate() {
+                assert!(e.corner_specs.is_empty(), "legacy single-corner shape");
+                if i == 4 {
+                    assert!(e.spec.is_failure());
+                    let d = e.spec.failure_diag().expect("panic is diagnosed");
+                    assert_eq!(d.kind, FailureKind::Panic);
+                } else {
+                    assert_eq!(e.spec, p.evaluate(&xs[i]), "candidate {i}");
+                }
+            }
+            batches.push(out);
+        }
+        // Bit-identical across thread counts (diagnoses included).
+        for (a, b) in batches[0].iter().zip(&batches[1]) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(
+                a.spec.failure_diag().map(|d| format!("{d:?}")),
+                b.spec.failure_diag().map(|d| format!("{d:?}"))
+            );
         }
     }
 

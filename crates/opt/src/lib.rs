@@ -61,8 +61,8 @@ pub use fom::Fom;
 pub use gaspad::Gaspad;
 pub use history::{Evaluation, Evaluator, History, RobustnessReport, RunResult, StopPolicy};
 pub use problem::{
-    evaluate_worst_case, from_unit, robust_clip_bounds, to_unit, SizingProblem, SpecResult,
-    FAILURE_PENALTY,
+    evaluate_worst_case, from_unit, robust_clip_bounds, to_unit, AnalysisSpec, SizingProblem,
+    SpecResult, FAILURE_PENALTY,
 };
 pub use random::RandomSearch;
 pub use sa::SimulatedAnnealing;

@@ -2,63 +2,49 @@
 //!
 //! Optimizers evaluate candidate populations through
 //! [`crate::Evaluator::evaluate_batch`], which fans the expensive
-//! simulations out over scoped worker threads via [`par_map`]. Parallelism
-//! changes **wall-clock time only**, never results:
+//! simulations out over the process-wide worker pool ([`linalg::pool`])
+//! via [`par_map`]. Parallelism changes **wall-clock time only**, never
+//! results:
 //!
 //! - candidates are generated *before* evaluation (with per-candidate
 //!   seeded RNGs where generation is stochastic, see [`candidate_seed`]),
-//! - each worker owns a contiguous chunk and returns results in order, so
-//!   the assembled output vector is independent of thread count and
-//!   scheduling,
+//! - work units are assigned to workers by a fixed round-robin rule
+//!   (worker `t` of `T` owns units `t, t + T, t + 2T, …` — a pure
+//!   function of unit index and thread count, with no queue and no
+//!   stealing) and results are reassembled in input order, so the output
+//!   vector is independent of thread count and scheduling,
 //! - evaluations are recorded into the history in the original candidate
 //!   order.
+//!
+//! Round-robin (rather than contiguous-chunk) assignment keeps workers
+//! balanced on hierarchical unit grids: a candidate's corner × analysis
+//! units land on different workers instead of one worker owning all the
+//! expensive units of one candidate.
 //!
 //! The worker count defaults to the machine's available parallelism,
 //! clamped by the `DNNOPT_THREADS` environment variable and overridable
 //! programmatically with [`set_max_threads`] (used by the determinism
-//! tests to compare serial and parallel runs).
+//! tests to compare serial and parallel runs). The cap is shared with the
+//! threaded GEMM path: while a fan-out from this module is in flight it
+//! holds a [`linalg::pool::grid_scope`] guard, so any GEMM issued from
+//! inside a worker runs serial instead of oversubscribing the host (the
+//! two-level thread budget — see [`linalg::pool`]).
 //!
 //! [`par_map_with`] additionally gives every worker thread a private
-//! context that lives for its whole chunk. [`crate::Evaluator::
-//! evaluate_batch`] uses it for per-worker timing accumulators, and the
-//! circuit testbenches compose with it transparently: each `evaluate`
-//! leases simulator workspaces from `spice`'s topology-keyed pool, so a
-//! worker evaluating a chunk of candidates reuses the same recorded
-//! solver state (stamp→slot maps, sparse patterns, factor storage) across
-//! all of them — per-thread while a batch is in flight, shared across
-//! batches afterwards — without ever affecting results (enforced by
-//! `tests/parallel_determinism.rs`).
+//! context that lives for its whole share of the batch.
+//! [`crate::Evaluator::evaluate_batch`] uses it for per-worker timing
+//! accumulators, and the circuit testbenches compose with it
+//! transparently: each `evaluate` leases simulator workspaces from
+//! `spice`'s topology-keyed pool, so a worker evaluating its share of
+//! candidates reuses the same recorded solver state (stamp→slot maps,
+//! sparse patterns, factor storage) across all of them — per-thread while
+//! a batch is in flight, shared across batches afterwards — without ever
+//! affecting results (enforced by `tests/parallel_determinism.rs`).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// 0 = "not set, use the environment/hardware default".
-static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
-
-/// Overrides the worker-thread cap for subsequent [`par_map`] calls.
-/// `1` forces fully serial evaluation; `0` restores the default.
-pub fn set_max_threads(n: usize) {
-    MAX_THREADS.store(n, Ordering::Relaxed);
-}
-
-/// The worker-thread cap currently in effect: [`set_max_threads`] if set,
-/// else `DNNOPT_THREADS`, else the machine's available parallelism.
-pub fn max_threads() -> usize {
-    let forced = MAX_THREADS.load(Ordering::Relaxed);
-    if forced > 0 {
-        return forced;
-    }
-    if let Some(n) = std::env::var("DNNOPT_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        if n > 0 {
-            return n;
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+// The budget lives in `linalg::pool` so the GEMM layer can see it too;
+// re-exported here because the optimizer-facing API has always been
+// `opt::parallel::{set_max_threads, max_threads}`.
+pub use linalg::pool::{max_threads, set_max_threads};
 
 /// Mixes a run seed, a round index, and a candidate index into an
 /// independent per-candidate RNG seed (SplitMix64 finalizer). Candidate
@@ -160,39 +146,47 @@ where
         let out = items.iter().map(|item| catch(&mut ctx, item)).collect();
         return (out, vec![ctx]);
     }
-    // Contiguous chunks, sized to cover all items with the first
-    // `remainder` chunks one longer.
-    let base = items.len() / threads;
-    let remainder = items.len() % threads;
-    let mut results: Vec<Vec<Result<U, String>>> = Vec::with_capacity(threads);
-    let mut contexts: Vec<C> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let catch = &catch;
-        let init = &init;
-        let mut start = 0;
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let len = base + usize::from(t < remainder);
-            let chunk = &items[start..start + len];
-            start += len;
-            handles.push(scope.spawn(move || {
-                let mut ctx = init();
-                let out = chunk
-                    .iter()
-                    .map(|item| catch(&mut ctx, item))
-                    .collect::<Vec<_>>();
-                (out, ctx)
-            }));
+    // Hold the grid half of the two-level thread budget for the duration
+    // of the fan-out: GEMMs issued from inside a worker run serial.
+    let _grid = linalg::pool::grid_scope();
+    // Worker `t` owns items `t, t + T, t + 2T, …` — the fixed round-robin
+    // assignment. Each slot deposits its in-order partial results plus its
+    // context; the mutexes are per-slot and uncontended (one writer each).
+    type SlotOut<U, C> = Option<(Vec<Result<U, String>>, C)>;
+    let slots: Vec<std::sync::Mutex<SlotOut<U, C>>> =
+        (0..threads).map(|_| std::sync::Mutex::new(None)).collect();
+    linalg::pool::run(threads, &|slot| {
+        let mut ctx = init();
+        let mut out = Vec::with_capacity(items.len().div_ceil(threads));
+        let mut i = slot;
+        while i < items.len() {
+            out.push(catch(&mut ctx, &items[i]));
+            i += threads;
         }
-        for h in handles {
-            // Workers cannot panic (every item is caught); join failures
-            // would mean a bug in this module itself.
-            let (out, ctx) = h.join().expect("population evaluation worker died");
-            results.push(out);
-            contexts.push(ctx);
-        }
+        *slots[slot].lock().unwrap() = Some((out, ctx));
     });
-    (results.into_iter().flatten().collect(), contexts)
+    let mut contexts = Vec::with_capacity(threads);
+    let mut per_slot = Vec::with_capacity(threads);
+    for cell in slots {
+        // Every slot ran exactly once (the pool's contract), and workers
+        // cannot panic out of the deposit (every item is caught).
+        let (out, ctx) = cell
+            .into_inner()
+            .unwrap()
+            .expect("pool slot never deposited its results");
+        per_slot.push(out.into_iter());
+        contexts.push(ctx);
+    }
+    // Inverse of the round-robin split: item `i` is the next undrained
+    // result of slot `i mod T`.
+    let results = (0..items.len())
+        .map(|i| {
+            per_slot[i % threads]
+                .next()
+                .expect("slot result count mismatch")
+        })
+        .collect();
+    (results, contexts)
 }
 
 #[cfg(test)]

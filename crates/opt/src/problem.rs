@@ -148,6 +148,111 @@ impl SpecResult {
     }
 }
 
+/// The partial result of one independent **analysis** of a testbench at
+/// one corner: the slice of the full [`SpecResult`] layout that this
+/// analysis owns. A testbench that runs several independent simulations
+/// per evaluation (e.g. an open-loop AC characterization and a
+/// closed-loop transient) can expose them as separate analyses
+/// ([`SizingProblem::num_analyses`]), letting [`crate::Evaluator`] fan a
+/// population out over the finer candidate × corner × analysis grid.
+///
+/// [`AnalysisSpec::assemble`] reassembles the per-analysis partials into
+/// the exact `SpecResult` the monolithic single-call path produces.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalysisSpec {
+    /// The objective value, if this analysis owns the objective.
+    pub objective: Option<f64>,
+    /// `(constraint index, value)` pairs this analysis owns.
+    pub constraints: Vec<(usize, f64)>,
+    /// Structured diagnosis attached to the assembled result (set together
+    /// with `failed` for hard failures; may also tag soft values).
+    pub failure: Option<Box<FailureDiag>>,
+    /// Hard failure: the assembled result for this (candidate, corner)
+    /// must be the canonical [`SpecResult::failed`] placeholder, exactly
+    /// as if the monolithic evaluation had short-circuited.
+    pub failed: bool,
+}
+
+impl AnalysisSpec {
+    /// An empty partial to be filled by the analysis.
+    pub fn partial() -> Self {
+        Self::default()
+    }
+
+    /// A hard-failed analysis carrying an optional diagnosis; assembly
+    /// collapses the whole corner to the failed placeholder.
+    pub fn hard_failed(diag: Option<FailureDiag>) -> Self {
+        AnalysisSpec {
+            failed: true,
+            failure: diag.map(Box::new),
+            ..Self::default()
+        }
+    }
+
+    /// Wraps a complete [`SpecResult`] as the single analysis owning the
+    /// full layout — the faithful default for monolithic testbenches
+    /// (`assemble` of this partial reproduces `spec` bit-for-bit,
+    /// including raw non-placeholder failure values).
+    pub fn from_full(spec: SpecResult) -> Self {
+        AnalysisSpec {
+            objective: Some(spec.objective),
+            constraints: spec.constraints.iter().copied().enumerate().collect(),
+            failure: spec.failure,
+            failed: false,
+        }
+    }
+
+    /// Reassembles per-analysis partials (in analysis order) into the full
+    /// [`SpecResult`] of one (candidate, corner) evaluation.
+    ///
+    /// If any analysis hard-failed, the result is the canonical
+    /// [`SpecResult::failed`] placeholder classified by the **first**
+    /// failed analysis' diagnosis — matching a monolithic testbench that
+    /// short-circuits on its first hard failure. Otherwise every partial
+    /// scatters into the layout, and the first attached diagnosis (in
+    /// analysis order) tags the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the objective and every constraint index in
+    /// `0..num_constraints` is covered exactly once across the units —
+    /// analyses must partition the spec layout.
+    pub fn assemble(num_constraints: usize, units: &[AnalysisSpec]) -> SpecResult {
+        if let Some(bad) = units.iter().find(|u| u.failed) {
+            let mut out = SpecResult::failed(num_constraints);
+            out.failure = bad.failure.clone();
+            return out;
+        }
+        let mut objective = None;
+        let mut constraints: Vec<Option<f64>> = vec![None; num_constraints];
+        let mut failure = None;
+        for u in units {
+            if let Some(o) = u.objective {
+                assert!(objective.is_none(), "objective assembled twice");
+                objective = Some(o);
+            }
+            for &(i, v) in &u.constraints {
+                assert!(
+                    constraints[i].replace(v).is_none(),
+                    "constraint {i} assembled twice"
+                );
+            }
+            if failure.is_none() {
+                failure = u.failure.clone();
+            }
+        }
+        SpecResult {
+            objective: objective.expect("no analysis owns the objective"),
+            constraints: constraints
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| v.unwrap_or_else(|| panic!("constraint {i} not covered")))
+                .collect(),
+            failure,
+        }
+    }
+}
+
 /// A constrained black-box sizing problem (paper Eq. 1):
 ///
 /// ```text
@@ -224,6 +329,49 @@ pub trait SizingProblem: Sync {
             "problem declares one corner; evaluate_corner({k}) is out of range"
         );
         self.evaluate(x)
+    }
+
+    /// Number of independent **analyses** one corner evaluation runs
+    /// (see [`AnalysisSpec`]). The default (1) is the monolithic path:
+    /// one simulation call produces the whole spec layout. Testbenches
+    /// whose per-corner work decomposes into independent simulations
+    /// override this, and [`crate::Evaluator`] then fans populations out
+    /// over the candidate × corner × analysis grid.
+    ///
+    /// Contract: the analyses partition the spec layout — the objective
+    /// and every constraint index is owned by exactly one analysis — and
+    /// `evaluate_corner` must equal
+    /// `AnalysisSpec::assemble(m, [evaluate_analysis(x, k, 0..)])`
+    /// bit-for-bit (the hierarchical scheduler relies on it).
+    fn num_analyses(&self) -> usize {
+        1
+    }
+
+    /// Human-readable label of analysis `a` (defaults to `"analysis<a>"`).
+    fn analysis_name(&self, a: usize) -> String {
+        format!("analysis{a}")
+    }
+
+    /// Runs one independent analysis of corner `k`. The default (valid
+    /// only for single-analysis problems) wraps the whole
+    /// [`SizingProblem::evaluate_corner`] result as the one analysis
+    /// owning the full layout.
+    ///
+    /// # Panics
+    ///
+    /// The default panics for `a > 0` and for any problem declaring more
+    /// than one analysis (such problems must implement this method).
+    fn evaluate_analysis(&self, x: &[f64], k: usize, a: usize) -> AnalysisSpec {
+        assert_eq!(
+            self.num_analyses(),
+            1,
+            "multi-analysis problems must implement evaluate_analysis"
+        );
+        assert_eq!(
+            a, 0,
+            "problem declares one analysis; evaluate_analysis({a}) is out of range"
+        );
+        AnalysisSpec::from_full(self.evaluate_corner(x, k))
     }
 
     /// Human-readable problem name.
@@ -663,6 +811,101 @@ mod tests {
     fn degenerate_bounds_do_not_divide_by_zero() {
         let u = to_unit(&[3.0], &[3.0], &[3.0]);
         assert_eq!(u, vec![0.5]);
+    }
+
+    #[test]
+    fn analysis_partials_assemble_to_the_monolithic_result() {
+        // Two analyses partition [f0, f1, f2, f3]: A owns f0 (objective),
+        // f1, f3; B owns f2.
+        let a = AnalysisSpec {
+            objective: Some(2.5),
+            constraints: vec![(0, -0.1), (2, 0.3)],
+            failure: None,
+            failed: false,
+        };
+        let b = AnalysisSpec {
+            objective: None,
+            constraints: vec![(1, -0.7)],
+            failure: None,
+            failed: false,
+        };
+        let out = AnalysisSpec::assemble(3, &[a, b]);
+        assert_eq!(out.objective, 2.5);
+        assert_eq!(out.constraints, vec![-0.1, -0.7, 0.3]);
+        assert!(out.failure_diag().is_none());
+    }
+
+    #[test]
+    fn from_full_assembly_is_bit_faithful_even_for_raw_failures() {
+        // A raw (non-placeholder) failure value must survive the partial
+        // round trip untouched — the k == 1 history path records it raw.
+        let raw = SpecResult {
+            failure: None,
+            objective: 1.0,
+            constraints: vec![f64::INFINITY, -0.2],
+        };
+        let out = AnalysisSpec::assemble(2, &[AnalysisSpec::from_full(raw.clone())]);
+        assert_eq!(out, raw);
+    }
+
+    #[test]
+    fn hard_failed_analysis_collapses_to_placeholder_with_first_diag() {
+        use crate::failure::FailureKind;
+        let good = AnalysisSpec {
+            objective: Some(0.1),
+            constraints: vec![(0, -1.0)],
+            failure: None,
+            failed: false,
+        };
+        let bad = AnalysisSpec::hard_failed(Some(diag(FailureKind::Singular, false)));
+        let worse = AnalysisSpec::hard_failed(Some(diag(FailureKind::StepUnderflow, true)));
+        let out = AnalysisSpec::assemble(2, &[good, bad, worse]);
+        assert_eq!(out, {
+            let mut expect = SpecResult::failed(2);
+            expect.failure = Some(Box::new(diag(FailureKind::Singular, false)));
+            expect
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "constraint 1 not covered")]
+    fn assemble_rejects_uncovered_constraints() {
+        let a = AnalysisSpec {
+            objective: Some(0.0),
+            constraints: vec![(0, 0.0)],
+            failure: None,
+            failed: false,
+        };
+        let _ = AnalysisSpec::assemble(2, &[a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assembled twice")]
+    fn assemble_rejects_double_coverage() {
+        let a = AnalysisSpec {
+            objective: Some(0.0),
+            constraints: vec![(0, 0.0)],
+            failure: None,
+            failed: false,
+        };
+        let b = AnalysisSpec {
+            objective: None,
+            constraints: vec![(0, 1.0)],
+            failure: None,
+            failed: false,
+        };
+        let _ = AnalysisSpec::assemble(1, &[a, b]);
+    }
+
+    #[test]
+    fn default_analysis_plane_is_monolithic() {
+        let p = Sphere { d: 2 };
+        assert_eq!(p.num_analyses(), 1);
+        assert_eq!(p.analysis_name(0), "analysis0");
+        let x = [0.4, 0.4];
+        let unit = p.evaluate_analysis(&x, 0, 0);
+        let assembled = AnalysisSpec::assemble(p.num_constraints(), &[unit]);
+        assert_eq!(assembled, p.evaluate(&x));
     }
 
     #[test]
