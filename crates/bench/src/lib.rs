@@ -533,6 +533,17 @@ pub mod baseline {
         let ota = circuits::FoldedCascodeOta::new();
         let x = ota.nominal();
         c.bench_function("ota_full_evaluation", |b| b.iter(|| ota.evaluate(&x)));
+        // The same evaluation with the telemetry plane hot (summary sink:
+        // spans and counters record, no event buffering). Compare against
+        // `ota_full_evaluation` — recorded with the plane compiled in but
+        // disabled — to price the enabled path; the disabled path costs
+        // one relaxed atomic load per instrumentation site.
+        c.bench_function("telemetry_enabled_overhead", |b| {
+            telemetry::install(Some(telemetry::SinkKind::Summary));
+            b.iter(|| ota.evaluate(&x));
+            telemetry::reset();
+            telemetry::install(None);
+        });
         let latch = circuits::StrongArmLatch::new();
         let xl = latch.nominal();
         c.bench_function("latch_full_evaluation", |b| b.iter(|| latch.evaluate(&xl)));

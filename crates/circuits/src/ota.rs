@@ -658,6 +658,7 @@ impl SizingProblem for FoldedCascodeOta {
         // identical injections. (Per-solve `Index` plans number solves
         // within each analysis scope rather than across the whole corner.)
         let _scope = spice::fault::candidate_scope(spice::fault::candidate_key(x, k as u64));
+        let _tb = telemetry::span_with(telemetry::SpanId::Testbench, a as u64);
         let plane = self.plane(k);
         match a {
             0 => plane.open_loop_analysis(x),

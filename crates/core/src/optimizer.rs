@@ -71,6 +71,7 @@ impl Optimizer for DnnOpt {
         seed: u64,
     ) -> RunResult {
         let t0 = Instant::now();
+        let _run = telemetry::span_with(telemetry::SpanId::Run, budget as u64);
         let mut model_time = Duration::ZERO;
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(seed ^ cfg.seed_offset);
@@ -104,6 +105,7 @@ impl Optimizer for DnnOpt {
 
         // Main loop (lines 2–16): one simulation per iteration.
         while !ev.exhausted() {
+            let _gen = telemetry::span_with(telemetry::SpanId::Generation, ev.used() as u64);
             let history = ev.history().entries();
             let n = history.len();
             // Unit-cube coordinates and robustly clipped spec vectors:
@@ -144,20 +146,26 @@ impl Optimizer for DnnOpt {
 
             // Lines 3–6: fresh networks, critic then actor.
             let tm = Instant::now();
-            let critic = Critic::train(cfg, &xs, &fs, &mut rng);
+            let critic = {
+                let _ct = telemetry::span(telemetry::SpanId::CriticTrain);
+                Critic::train(cfg, &xs, &fs, &mut rng)
+            };
             // Lines 7–8: elite population and its bounding box.
             let elite_idx = elite_indices(&foms, cfg.n_elite);
             let elite: Vec<Vec<f64>> = elite_idx.iter().map(|&i| xs[i].clone()).collect();
             let (lb_rest, ub_rest) = restricted_bounds(&elite);
-            let actor = Actor::train(
-                cfg,
-                &critic,
-                &surrogate_fom,
-                &elite,
-                &lb_rest,
-                &ub_rest,
-                &mut rng,
-            );
+            let actor = {
+                let _at = telemetry::span(telemetry::SpanId::ActorTrain);
+                Actor::train(
+                    cfg,
+                    &critic,
+                    &surrogate_fom,
+                    &elite,
+                    &lb_rest,
+                    &ub_rest,
+                    &mut rng,
+                )
+            };
             model_time += tm.elapsed();
 
             // Line 9 + Eq. 8: candidates from every elite design with
@@ -246,7 +254,7 @@ impl Optimizer for DnnOpt {
                 .map(|(j, &u)| lb[j] + u * (ub[j] - lb[j]))
                 .collect();
             let e = ev.evaluate(&cand);
-            if std::env::var_os("DNNOPT_TRACE").is_some() {
+            if std::env::var_os("DNNOPT_ITER_TRACE").is_some() {
                 let best_now = ev.history().best().map(|b| b.fom).unwrap_or(f64::NAN);
                 eprintln!(
                     "iter {:4} pred_g={:8.3} actual_g={:8.3} best={:8.3} failed={} sigma={:.3}",

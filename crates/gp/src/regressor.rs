@@ -60,6 +60,7 @@ impl GpRegressor {
     /// [`GpError::NotPositiveDefinite`] when the Gram matrix cannot be
     /// factored even after escalating jitter.
     pub fn fit(x: Matrix, y: Vec<f64>, kernel: RbfKernel, noise: f64) -> Result<Self, GpError> {
+        let _fit = telemetry::span_with(telemetry::SpanId::GpFit, x.rows() as u64);
         let n = x.rows();
         if n == 0 {
             return Err(GpError::Shape {

@@ -383,6 +383,20 @@ fn blocked_body<E: Epilogue>(
     let kernel = select_micro_kernel();
     let ccols = c.cols();
     let (threads, split_rows) = plan_threads(m, n, k);
+    // Telemetry (one gate check when off): flops and split width for every
+    // blocked product, a `gemm` span only at or above the parallel work
+    // cutoff so traced training loops don't drown in micro-product events.
+    let work = m.saturating_mul(n).saturating_mul(k);
+    let _span = if telemetry::enabled() {
+        telemetry::record(telemetry::Metric::GemmFlops, 2 * work as u64);
+        if threads > 1 {
+            telemetry::record(telemetry::Metric::GemmSplitWidth, threads as u64);
+        }
+        (work >= GEMM_PARALLEL_MIN_WORK)
+            .then(|| telemetry::span_with(telemetry::SpanId::Gemm, threads as u64))
+    } else {
+        None
+    };
     if threads <= 1 {
         // SAFETY: exclusive access to all of `C` through its own base
         // pointer; the region covers exactly the output.
@@ -674,6 +688,18 @@ pub fn gemm_prepacked_with<E: Epilogue>(
     let (threads, _) = plan_threads(m, n, k);
     // Row split only: prepacked products always share the one B panel.
     let threads = threads.min(m.div_ceil(MR));
+    // Same telemetry as the on-the-fly blocked path.
+    let work = m.saturating_mul(n).saturating_mul(k);
+    let _span = if telemetry::enabled() {
+        telemetry::record(telemetry::Metric::GemmFlops, 2 * work as u64);
+        if threads > 1 {
+            telemetry::record(telemetry::Metric::GemmSplitWidth, threads as u64);
+        }
+        (work >= GEMM_PARALLEL_MIN_WORK)
+            .then(|| telemetry::span_with(telemetry::SpanId::Gemm, threads as u64))
+    } else {
+        None
+    };
     if threads <= 1 {
         row_region(c.as_mut_slice().as_mut_ptr(), ws, 0..m);
     } else {

@@ -117,6 +117,10 @@ pub fn gemm_threads() -> usize {
 struct Job {
     task: &'static (dyn Fn(usize) + Sync),
     threads: usize,
+    /// Telemetry timestamp of the dispatch (0 when tracing is off):
+    /// workers subtract it from their pick-up time to histogram the
+    /// pool's dispatch latency.
+    posted_ns: u64,
 }
 
 struct PoolState {
@@ -158,6 +162,9 @@ fn pool() -> &'static Pool {
 
 fn worker_loop(id: usize) {
     IN_POOL.with(|c| c.set(true));
+    // Stable telemetry identity: this worker's counters land in shard
+    // `id` and its span events carry `tid = id` (the caller is slot 0).
+    telemetry::set_thread_slot(id);
     let pool = pool();
     let mut seen_epoch = 0u64;
     loop {
@@ -176,7 +183,10 @@ fn worker_loop(id: usize) {
         // real borrow alive until `remaining` hits zero — and that cannot
         // happen before this participant decrements it below.
         let task = job.task;
-        let result = catch_unwind(AssertUnwindSafe(|| task(id)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _busy = time_slot(job.posted_ns);
+            task(id)
+        }));
         let mut st = pool.state.lock().unwrap();
         if let Err(payload) = result {
             if st.panic.is_none() {
@@ -186,6 +196,46 @@ fn worker_loop(id: usize) {
         st.remaining -= 1;
         if st.remaining == 0 {
             pool.done.notify_all();
+        }
+    }
+}
+
+/// Telemetry guard around one slot's share of a dispatched job: records
+/// the dispatch latency on pick-up (workers only — the caller never
+/// waited) and the slot's busy time plus a `pool_job` span on drop. Costs
+/// one gate check when tracing is off.
+fn time_slot(posted_ns: u64) -> SlotTimer {
+    if !telemetry::enabled() {
+        return SlotTimer {
+            _span: None,
+            start_ns: 0,
+        };
+    }
+    let now = telemetry::clock_ns();
+    if posted_ns > 0 {
+        telemetry::record(
+            telemetry::Metric::PoolDispatchNs,
+            now.saturating_sub(posted_ns),
+        );
+    }
+    SlotTimer {
+        _span: Some(telemetry::span(telemetry::SpanId::PoolJob)),
+        start_ns: now,
+    }
+}
+
+struct SlotTimer {
+    _span: Option<telemetry::Span>,
+    start_ns: u64,
+}
+
+impl Drop for SlotTimer {
+    fn drop(&mut self) {
+        if self._span.is_some() {
+            telemetry::record(
+                telemetry::Metric::PoolBusyNs,
+                telemetry::clock_ns().saturating_sub(self.start_ns),
+            );
         }
     }
 }
@@ -243,6 +293,11 @@ pub fn run(threads: usize, task: &(dyn Fn(usize) + Sync)) {
     st.job = Some(Job {
         task: task_static,
         threads,
+        posted_ns: if telemetry::enabled() {
+            telemetry::clock_ns()
+        } else {
+            0
+        },
     });
     st.epoch += 1;
     st.remaining = threads - 1;
@@ -253,7 +308,10 @@ pub fn run(threads: usize, task: &(dyn Fn(usize) + Sync)) {
     // The caller is slot 0. Mark it in-pool so nested dispatches (e.g. a
     // GEMM inside a grid worker task) run inline.
     IN_POOL.with(|c| c.set(true));
-    let own = catch_unwind(AssertUnwindSafe(|| task(0)));
+    let own = catch_unwind(AssertUnwindSafe(|| {
+        let _busy = time_slot(0);
+        task(0)
+    }));
     IN_POOL.with(|c| c.set(false));
 
     let mut st = pool.state.lock().unwrap();

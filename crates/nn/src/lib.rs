@@ -77,6 +77,7 @@ pub fn mse_grad(pred: &Matrix, target: &Matrix) -> Matrix {
 /// One full-batch MSE gradient step: forward, backward, Adam update.
 /// Returns the pre-step loss.
 pub fn train_step_mse(net: &mut Mlp, adam: &mut Adam, x: &Matrix, y: &Matrix) -> f64 {
+    telemetry::record(telemetry::Metric::TrainSteps, 1);
     let (pred, cache) = net.forward_cached(x);
     let loss = mse(&pred, y);
     let grad_out = mse_grad(&pred, y);

@@ -192,6 +192,7 @@ impl Mlp {
     /// with pre-packed weights are bit-identical to the blocked on-the-fly
     /// path.
     pub fn freeze(&mut self) {
+        telemetry::record(telemetry::Metric::ModelFreezes, 1);
         let mut packs = FrozenPacks::default();
         for layer in &self.layers {
             // Forward: B = Wᵀ, effective (k = in, n = out).

@@ -423,6 +423,7 @@ pub fn train_step_mse_ws(
     y: &Matrix,
     ws: &mut TrainWorkspace,
 ) -> f64 {
+    telemetry::record(telemetry::Metric::TrainSteps, 1);
     let mut grad_out = std::mem::take(&mut ws.grad_out);
     net.forward_ws(x, ws);
     let pred = ws.output();

@@ -201,6 +201,10 @@ pub struct RobustnessReport {
     pub iterations_spent: usize,
     /// Transient step halvings burned across all diagnosed failures.
     pub halvings_spent: usize,
+    /// Diagnosed failures by analysis label, in first-seen order — the
+    /// per-unit attribution the analysis grid carries through assembly
+    /// (e.g. `"open-loop: dc operating point"`).
+    pub by_analysis: Vec<(String, usize)>,
 }
 
 impl RobustnessReport {
@@ -214,6 +218,22 @@ impl RobustnessReport {
         }
         self.iterations_spent += diag.iterations;
         self.halvings_spent += diag.halvings;
+        match self
+            .by_analysis
+            .iter_mut()
+            .find(|(name, _)| *name == diag.analysis)
+        {
+            Some((_, n)) => *n += 1,
+            None => self.by_analysis.push((diag.analysis.clone(), 1)),
+        }
+    }
+
+    /// Diagnosed failures attributed to one analysis label.
+    pub fn analysis_count(&self, analysis: &str) -> usize {
+        self.by_analysis
+            .iter()
+            .find(|(name, _)| name == analysis)
+            .map_or(0, |(_, n)| *n)
     }
 
     /// Diagnosed failures of one kind.
@@ -245,6 +265,9 @@ impl std::fmt::Display for RobustnessReport {
             if n > 0 {
                 write!(f, "\n  stage {:>15}: {n}", stage.label())?;
             }
+        }
+        for (analysis, n) in &self.by_analysis {
+            write!(f, "\n  analysis {analysis}: {n}")?;
         }
         write!(
             f,
@@ -297,13 +320,16 @@ impl<'a> Evaluator<'a> {
         assert!(!self.exhausted(), "simulation budget exhausted");
         let t0 = Instant::now();
         let problem = self.problem;
-        let spec = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| problem.evaluate(x)))
-            .unwrap_or_else(|payload| {
-                panic_spec(
-                    problem.num_constraints(),
-                    crate::parallel::panic_message(payload),
-                )
-            });
+        let spec = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _cand = telemetry::span(telemetry::SpanId::Candidate);
+            problem.evaluate(x)
+        }))
+        .unwrap_or_else(|payload| {
+            panic_spec(
+                problem.num_constraints(),
+                crate::parallel::panic_message(payload),
+            )
+        });
         self.sim_time += t0.elapsed();
         self.record(x.to_vec(), spec, Vec::new())
     }
@@ -351,6 +377,7 @@ impl<'a> Evaluator<'a> {
         let take = xs.len().min(self.remaining());
         let batch = &xs[..take];
         let problem = self.problem;
+        let _eb = telemetry::span_with(telemetry::SpanId::EvalBatch, take as u64);
         // Each worker thread keeps one context for its whole chunk: a
         // simulator-time accumulator here, and — inside the testbenches —
         // pool-leased solver workspaces that are thereby reused across the
@@ -366,6 +393,7 @@ impl<'a> Evaluator<'a> {
             batch,
             || Duration::ZERO,
             |spent, x| {
+                let _cand = telemetry::span(telemetry::SpanId::Candidate);
                 let t0 = Instant::now();
                 let spec = problem.evaluate(x);
                 *spent += t0.elapsed();
@@ -407,6 +435,7 @@ impl<'a> Evaluator<'a> {
         let grid: Vec<(usize, usize)> = (0..take)
             .flat_map(|i| (0..k).map(move |c| (i, c)))
             .collect();
+        let _eb = telemetry::span_with(telemetry::SpanId::EvalBatch, grid.len() as u64);
         // Per-grid-item panic isolation: one panicking corner evaluation
         // becomes one diagnosed failed corner (which then dominates its
         // candidate's worst-case merge), never a dead batch.
@@ -414,6 +443,8 @@ impl<'a> Evaluator<'a> {
             &grid,
             || Duration::ZERO,
             |spent, &(i, c)| {
+                let _cand = telemetry::span_with(telemetry::SpanId::Candidate, i as u64);
+                let _corner = telemetry::span_with(telemetry::SpanId::Corner, c as u64);
                 let t0 = Instant::now();
                 let spec = problem.evaluate_corner(&batch[i], c);
                 *spent += t0.elapsed();
@@ -450,6 +481,7 @@ impl<'a> Evaluator<'a> {
         let grid: Vec<(usize, usize, usize)> = (0..batch.len())
             .flat_map(|i| (0..k).flat_map(move |c| (0..na).map(move |a| (i, c, a))))
             .collect();
+        let _eb = telemetry::span_with(telemetry::SpanId::EvalBatch, grid.len() as u64);
         // Per-unit panic isolation: one panicking analysis becomes one
         // hard-failed unit (which then collapses its corner to a diagnosed
         // failed placeholder), never a dead batch.
@@ -457,6 +489,9 @@ impl<'a> Evaluator<'a> {
             &grid,
             || Duration::ZERO,
             |spent, &(i, c, a)| {
+                let _cand = telemetry::span_with(telemetry::SpanId::Candidate, i as u64);
+                let _corner = telemetry::span_with(telemetry::SpanId::Corner, c as u64);
+                let _an = telemetry::span_with(telemetry::SpanId::Analysis, a as u64);
                 let t0 = Instant::now();
                 let unit = problem.evaluate_analysis(&batch[i], c, a);
                 *spent += t0.elapsed();
@@ -467,8 +502,23 @@ impl<'a> Evaluator<'a> {
         let m = problem.num_constraints();
         let units: Vec<AnalysisSpec> = units
             .into_iter()
-            .map(|unit| {
-                unit.unwrap_or_else(|msg| AnalysisSpec::hard_failed(Some(FailureDiag::panic(msg))))
+            .zip(&grid)
+            .map(|(unit, &(_, _, a))| {
+                let mut unit = unit
+                    .unwrap_or_else(|msg| AnalysisSpec::hard_failed(Some(FailureDiag::panic(msg))));
+                // Attribute the diagnosis to the unit that produced it: the
+                // testbench-level diag only names the inner analysis kind
+                // ("dc operating point"), which is ambiguous once several
+                // independent units assemble into one corner record. Done
+                // identically on every path (serial or grid, any thread
+                // count), so histories stay bit-identical.
+                if let Some(diag) = unit.failure.as_deref_mut() {
+                    let label = problem.analysis_name(a);
+                    if !diag.analysis.starts_with(&label) {
+                        diag.analysis = format!("{label}: {}", diag.analysis);
+                    }
+                }
+                unit
             })
             .collect();
         let mut out = Vec::with_capacity(batch.len());
@@ -579,6 +629,44 @@ impl RunResult {
     /// appeared.
     pub fn sims_to_feasible(&self) -> Option<usize> {
         self.history.first_feasible()
+    }
+}
+
+/// End-of-run observability report: the history's robustness aggregate
+/// plus — when the telemetry plane is active (`DNNOPT_TRACE` set or a sink
+/// installed programmatically) — the drained telemetry summary with span
+/// timings and solver/pool metric histograms.
+///
+/// [`RunReport::collect`] drains the telemetry plane, so collect **once**,
+/// at the end of the run; a second collect returns empty aggregates. The
+/// drain also writes the configured JSONL/Chrome trace file, making this
+/// the natural last statement of an example or service run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Failure taxonomy aggregated from the run's history.
+    pub robustness: RobustnessReport,
+    /// Drained telemetry aggregates; `None` when the plane is disabled.
+    pub telemetry: Option<telemetry::Summary>,
+}
+
+impl RunReport {
+    /// Builds the report for a finished run and drains/writes the
+    /// telemetry plane's aggregates and event buffers.
+    pub fn collect(history: &History) -> Self {
+        RunReport {
+            robustness: history.robustness_report(),
+            telemetry: telemetry::finish(),
+        }
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "robustness: {}", self.robustness)?;
+        if let Some(t) = &self.telemetry {
+            write!(f, "\n{t}")?;
+        }
+        Ok(())
     }
 }
 

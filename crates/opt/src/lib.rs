@@ -59,7 +59,9 @@ pub use de::DifferentialEvolution;
 pub use failure::{FailureDiag, FailureKind, RecoveryStage};
 pub use fom::Fom;
 pub use gaspad::Gaspad;
-pub use history::{Evaluation, Evaluator, History, RobustnessReport, RunResult, StopPolicy};
+pub use history::{
+    Evaluation, Evaluator, History, RobustnessReport, RunReport, RunResult, StopPolicy,
+};
 pub use problem::{
     evaluate_worst_case, from_unit, robust_clip_bounds, to_unit, AnalysisSpec, SizingProblem,
     SpecResult, FAILURE_PENALTY,

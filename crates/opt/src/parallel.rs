@@ -156,6 +156,7 @@ where
     let slots: Vec<std::sync::Mutex<SlotOut<U, C>>> =
         (0..threads).map(|_| std::sync::Mutex::new(None)).collect();
     linalg::pool::run(threads, &|slot| {
+        let _gs = telemetry::span_with(telemetry::SpanId::GridSlot, slot as u64);
         let mut ctx = init();
         let mut out = Vec::with_capacity(items.len().div_ceil(threads));
         let mut i = slot;

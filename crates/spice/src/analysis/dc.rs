@@ -155,6 +155,34 @@ pub(crate) fn newton_loop<A: Assemble>(
     x0: &[f64],
     ws: &mut NewtonWorkspace,
     kind: StampKind,
+    assemble: A,
+) -> Result<(Vec<f64>, usize), NewtonFailure> {
+    if !telemetry::enabled() {
+        return newton_loop_inner(circuit, opts, max_iters, x0, ws, kind, assemble);
+    }
+    let _solve = telemetry::span(telemetry::SpanId::Solve);
+    let out = newton_loop_inner(circuit, opts, max_iters, x0, ws, kind, assemble);
+    let iters = match &out {
+        Ok((_, it)) => *it,
+        Err(e) => e.iterations,
+    };
+    telemetry::record(telemetry::Metric::NewtonIterations, iters as u64);
+    if let Err(e) = &out {
+        if e.injected {
+            telemetry::record(telemetry::Metric::FaultsInjected, 1);
+            telemetry::instant(telemetry::SpanId::Fault, e.kind as u64);
+        }
+    }
+    out
+}
+
+fn newton_loop_inner<A: Assemble>(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    max_iters: usize,
+    x0: &[f64],
+    ws: &mut NewtonWorkspace,
+    kind: StampKind,
     mut assemble: A,
 ) -> Result<(Vec<f64>, usize), NewtonFailure> {
     // Deterministic fault hook: one relaxed atomic load when disabled; an
@@ -203,8 +231,11 @@ pub(crate) fn newton_loop<A: Assemble>(
             }
         }
         if !solved {
-            ws.st.clear();
-            assemble.assemble(&x, &mut ws.st);
+            {
+                let _asm = telemetry::span(telemetry::SpanId::Assembly);
+                ws.st.clear();
+                assemble.assemble(&x, &mut ws.st);
+            }
             // `factor_in_place` steals the stamped matrix's storage (an
             // O(1) buffer swap) — the next iteration's `clear` + `assemble`
             // rebuild it from scratch anyway. A failed factor here is the
@@ -467,6 +498,7 @@ pub fn op_with_workspace(
     let mut total = 0;
     for exp in 2..=12 {
         let gmin = 10f64.powi(-exp);
+        telemetry::record(telemetry::Metric::GminSteps, 1);
         match nr_solve(circuit, opts, gmin, 1.0, &x, opts.max_nr_iters, ws) {
             Ok((xn, it)) => {
                 x = xn;
@@ -497,6 +529,7 @@ pub fn op_with_workspace(
     let mut total = 0;
     for step in 1..=10 {
         let scale = step as f64 / 10.0;
+        telemetry::record(telemetry::Metric::SourceSteps, 1);
         match nr_solve(circuit, opts, opts.gmin, scale, &x, opts.max_nr_iters, ws) {
             Ok((xn, it)) => {
                 x = xn;

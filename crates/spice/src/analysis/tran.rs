@@ -353,6 +353,7 @@ pub fn transient_with_workspace(
                     iters_spent += e.iterations;
                     injected |= e.injected;
                     halvings += 1;
+                    telemetry::record(telemetry::Metric::StepHalvings, 1);
                     if halvings > opts.max_step_halvings {
                         // The step underflowed: the halving ladder is
                         // exhausted, whatever the inner Newton failures were.

@@ -307,9 +307,19 @@ impl AcWorkspace {
                 plan.sparse = None;
             } else {
                 let fresh = state.pivot_session != session || !state.lu.is_factored();
+                telemetry::record(
+                    if fresh {
+                        telemetry::Metric::SparseFactors
+                    } else {
+                        telemetry::Metric::SparseRefactors
+                    },
+                    1,
+                );
                 let factored = if fresh {
+                    let _f = telemetry::span(telemetry::SpanId::Factor);
                     state.lu.factor(&state.csc).is_ok()
                 } else {
+                    let _f = telemetry::span(telemetry::SpanId::Refactor);
                     state.lu.refactor_into(&state.csc).is_ok()
                         || state.lu.factor(&state.csc).is_ok()
                 };
@@ -668,9 +678,19 @@ impl NewtonWorkspace {
             return SparseStep::Fallback;
         }
         let fresh = state.pivot_session != self.session || !state.lu.is_factored();
+        telemetry::record(
+            if fresh {
+                telemetry::Metric::SparseFactors
+            } else {
+                telemetry::Metric::SparseRefactors
+            },
+            1,
+        );
         let factored = if fresh {
+            let _f = telemetry::span(telemetry::SpanId::Factor);
             state.lu.factor(&state.csc).is_ok()
         } else {
+            let _f = telemetry::span(telemetry::SpanId::Refactor);
             state.lu.refactor_into(&state.csc).is_ok() || state.lu.factor(&state.csc).is_ok()
         };
         if factored {
@@ -761,6 +781,14 @@ pub fn lease_workspace(circuit: &Circuit) -> PooledWorkspace {
             .position(|w| w.topo == topo && w.num_unknowns() == n)
             .map(|i| pool.swap_remove(i))
     };
+    telemetry::record(
+        if reused.is_some() {
+            telemetry::Metric::WorkspaceHits
+        } else {
+            telemetry::Metric::WorkspaceMisses
+        },
+        1,
+    );
     let mut ws = reused.unwrap_or_else(|| NewtonWorkspace::new(circuit));
     ws.ensure(circuit);
     PooledWorkspace { ws: Some(ws) }

@@ -1,0 +1,171 @@
+//! Log2-bucket histograms: the aggregation primitive behind every metric.
+//!
+//! A histogram is a fixed array of power-of-two buckets plus exact
+//! count/sum totals. Bucket `0` holds the value `0`; bucket `b > 0` holds
+//! values in `[2^(b-1), 2^b)`; the last bucket additionally absorbs
+//! everything too large to index. Observation and merge are plain integer
+//! adds, so merging per-worker shards is associative and commutative —
+//! the property `tests/telemetry.rs` pins with proptest.
+
+/// Number of buckets: value `0`, then one bucket per power of two up to
+/// `2^31`, with the last bucket clamping everything larger. Nanosecond
+/// latencies up to ~2 s and every counter in the workspace land in range.
+pub const HIST_BUCKETS: usize = 33;
+
+/// The bucket index a value falls into.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of a bucket's value range.
+pub fn bucket_floor(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// A merged log2-bucket histogram with exact totals.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observations per bucket (see [`bucket_of`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total number of observations.
+    pub count: u64,
+    /// Exact sum of all observed values (wrapping on overflow).
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// The empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Adds another histogram's observations into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// True if nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower bound of the highest non-empty bucket (0 when empty) — a
+    /// cheap order-of-magnitude "max".
+    pub fn max_floor(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(bucket_floor)
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Histogram {{ count: {}, sum: {}, buckets: [",
+            self.count, self.sum
+        )?;
+        let mut first = true;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}+: {n}", bucket_floor(b))?;
+                first = false;
+            }
+        }
+        write!(f, "] }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        for b in 1..HIST_BUCKETS - 1 {
+            let lo = bucket_floor(b);
+            assert_eq!(bucket_of(lo), b, "floor of bucket {b}");
+            assert_eq!(bucket_of(2 * lo - 1), b, "ceiling of bucket {b}");
+            assert_eq!(bucket_of(2 * lo), b + 1, "first value past bucket {b}");
+        }
+    }
+
+    #[test]
+    fn observe_and_merge_agree_with_totals() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [0u64, 1, 1, 5, 1000, 123_456_789] {
+            a.observe(v);
+            all.observe(v);
+        }
+        for v in [2u64, 3, 65_536] {
+            b.observe(v);
+            all.observe(v);
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged, all);
+        assert_eq!(merged.count, 9);
+        assert_eq!(merged.sum, 1 + 1 + 5 + 1000 + 123_456_789 + 2 + 3 + 65_536);
+    }
+
+    #[test]
+    fn max_floor_names_the_top_bucket() {
+        let mut h = Histogram::new();
+        assert_eq!(h.max_floor(), 0);
+        h.observe(700);
+        assert_eq!(h.max_floor(), 512);
+    }
+}

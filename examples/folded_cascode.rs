@@ -5,7 +5,7 @@
 
 use circuits::FoldedCascodeOta;
 use dnn_opt::{DnnOpt, DnnOptConfig};
-use opt::{Fom, Optimizer, SizingProblem, StopPolicy};
+use opt::{Fom, Optimizer, RunReport, SizingProblem, StopPolicy};
 
 fn main() {
     let budget: usize = std::env::args()
@@ -47,4 +47,8 @@ fn main() {
         "model time      : {:.1?} / total {:.1?}",
         run.model_time, run.total_time
     );
+
+    // Robustness taxonomy plus — under `DNNOPT_TRACE` — span timings,
+    // solver/pool metric histograms, and the configured trace file.
+    println!("\n== run report ==\n{}", RunReport::collect(&run.history));
 }

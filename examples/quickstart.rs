@@ -3,7 +3,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use dnn_opt::{DnnOpt, DnnOptConfig};
-use opt::{Fom, Optimizer, SizingProblem, SpecResult, StopPolicy};
+use opt::{Fom, Optimizer, RunReport, SizingProblem, SpecResult, StopPolicy};
 
 /// A two-variable stand-in for a circuit: minimize "power" x0+x1 subject
 /// to a "gain" constraint x0·x1 ≥ 0.2.
@@ -53,4 +53,9 @@ fn main() {
         "best objective   : {:.4} (optimum ≈ 0.894)",
         best.spec.objective
     );
+
+    // End-of-run observability: failure taxonomy always; span timings and
+    // solver metrics too when `DNNOPT_TRACE` is set (and the drain writes
+    // any configured `jsonl:`/`chrome:` trace file).
+    println!("\n== run report ==\n{}", RunReport::collect(&run.history));
 }
