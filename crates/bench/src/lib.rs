@@ -32,6 +32,23 @@ pub fn build_rc_ladder(n: usize) -> spice::Circuit {
     c
 }
 
+/// The stamped DC system of the post-layout RC mesh
+/// ([`circuits::mesh::build_rc_grid`]) at `n` unknowns: the matrix the
+/// supernodal sparse engine is tuned on. One definition shared by
+/// `benches/sparse_scaling.rs` and [`baseline::refresh`], so the recorded
+/// scalar-vs-supernodal rows always measure the same system as
+/// `cargo bench`.
+pub fn mesh_dc_system(n: usize) -> (linalg::CscMatrix, Vec<f64>) {
+    use spice::stamp::{stamp_resistive_system, RealStamper, SourceEval};
+    let ckt = circuits::mesh::build_rc_grid(n);
+    let mut st = RealStamper::new(&ckt);
+    let x0 = vec![0.0; n];
+    st.clear();
+    st.load_gmin(1e-12);
+    stamp_resistive_system(&ckt, &x0, SourceEval::Dc { scale: 1.0 }, &mut st);
+    (linalg::CscMatrix::from_dense(&st.a), st.z)
+}
+
 /// The MOS-loaded ladder of the Newton-kernel benchmarks (n = 32 unknowns
 /// at 30 stages): its linearized MNA system is representative of the
 /// circuits crate's testbenches (~2·n unknowns, MOSFET stamps). Shared by
@@ -321,6 +338,27 @@ pub mod baseline {
                     black_box(x[0])
                 })
             });
+        }
+
+        // The post-layout sparse-engine rows (identical bodies to
+        // `benches/sparse_scaling.rs`): one scan-free numeric
+        // factorization of the parasitic RC-mesh system per iteration,
+        // scalar Gilbert–Peierls vs the supernodal blocked replay.
+        for n in [200usize, 500, 1000] {
+            let (csc, _z) = crate::mesh_dc_system(n);
+            for (suffix, mode) in [
+                ("scalar", linalg::SupernodalMode::ForceScalar),
+                ("supernodal", linalg::SupernodalMode::ForceBlocked),
+            ] {
+                c.bench_function(&format!("newton_dc_kernel_mesh_n{n}_{suffix}"), |b| {
+                    let mut slu = SparseLu::new();
+                    slu.set_supernodal_mode(mode);
+                    slu.factor(&csc).unwrap();
+                    b.iter(|| {
+                        slu.refactor_into(black_box(&csc)).unwrap();
+                    })
+                });
+            }
         }
 
         // The AC-sweep kernels (identical bodies to
@@ -817,5 +855,85 @@ mod tests {
         let s = Scale::from_env();
         assert!(s.repeats >= 1);
         assert!(s.budget >= 10);
+    }
+
+    /// Diagnostic (run with `--ignored --nocapture`): dense
+    /// `factor_into` vs sparse `refactor_into` across system size and
+    /// density — the measurements behind `SPARSE_MIN_UNKNOWNS` /
+    /// `SPARSE_MAX_DENSITY` in `spice::workspace`.
+    #[test]
+    #[ignore]
+    fn probe_dense_sparse_crossover() {
+        use linalg::{CscMatrix, Lu, LuWorkspace, Matrix, SparseLu};
+        // Density sweep at fixed n: banded dominant matrices of varying
+        // bandwidth; n sweep at mesh-like density.
+        for n in [12usize, 16, 24, 32, 48, 64] {
+            for band in [2usize, n / 4, n / 2, n] {
+                let dense = Matrix::from_fn(n, n, |i, j| {
+                    let d = i.abs_diff(j);
+                    if d == 0 {
+                        4.0 + (i as f64) * 0.01
+                    } else if d <= band {
+                        -1.0 / (1.0 + d as f64) * (1.0 + ((i * 7 + j) % 5) as f64 * 0.1)
+                    } else {
+                        0.0
+                    }
+                });
+                let csc = CscMatrix::from_dense(&dense);
+                let nnz = csc.values().len();
+                let density = nnz as f64 / (n * n) as f64;
+                let iters = 200_000 / n;
+                let mut ws = LuWorkspace::new(n);
+                Lu::factor_into(&dense, &mut ws).unwrap();
+                let t = std::time::Instant::now();
+                for _ in 0..iters {
+                    Lu::factor_into(&dense, &mut ws).unwrap();
+                }
+                let td = t.elapsed().as_secs_f64() / iters as f64;
+                let mut slu = SparseLu::new();
+                slu.factor(&csc).unwrap();
+                let t = std::time::Instant::now();
+                for _ in 0..iters {
+                    slu.refactor_into(&csc).unwrap();
+                }
+                let ts = t.elapsed().as_secs_f64() / iters as f64;
+                eprintln!(
+                    "n={n:3} density={density:.2} dense {:7.2}us sparse {:7.2}us ratio {:.2}",
+                    td * 1e6,
+                    ts * 1e6,
+                    td / ts
+                );
+            }
+        }
+    }
+
+    /// Diagnostic (run with `--ignored --nocapture`): scalar vs supernodal
+    /// refactor times on the generated parasitic meshes — the workload the
+    /// `sparse_scaling` bench records, without criterion overhead.
+    #[test]
+    #[ignore]
+    fn probe_mesh_refactor_paths() {
+        use linalg::{SparseLu, SupernodalMode};
+        for n in [200usize, 500, 1000] {
+            let (csc, _z) = mesh_dc_system(n);
+            let mut times = Vec::new();
+            for mode in [SupernodalMode::ForceScalar, SupernodalMode::ForceBlocked] {
+                let mut slu = SparseLu::new();
+                slu.set_supernodal_mode(mode);
+                slu.factor(&csc).unwrap();
+                let iters = 200_000 / n;
+                let t = std::time::Instant::now();
+                for _ in 0..iters {
+                    slu.refactor_into(&csc).unwrap();
+                }
+                times.push(t.elapsed().as_secs_f64() / iters as f64);
+            }
+            eprintln!(
+                "n={n}: scalar {:.1}us supernodal {:.1}us ratio {:.2}x",
+                times[0] * 1e6,
+                times[1] * 1e6,
+                times[0] / times[1]
+            );
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! workspace (including DNN-Opt) runs on them unchanged.
 
 pub mod measure;
+pub mod mesh;
 pub mod parasitics;
 pub mod tech;
 

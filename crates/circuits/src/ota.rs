@@ -30,6 +30,7 @@ use opt::{AnalysisSpec, SizingProblem, SpecResult};
 use spice::{Circuit, OpPoint, SimOptions, SpiceError, Waveform, GND};
 
 use crate::measure;
+use crate::mesh;
 use crate::tech::{tech_180nm, Corner, CornerSet, Technology};
 
 /// Decoded design parameters (Table I).
@@ -141,6 +142,10 @@ pub struct FoldedCascodeOta {
     /// instance itself): derated technology, corner-temperature options,
     /// corner-retargeted templates.
     extra_planes: Vec<FoldedCascodeOta>,
+    /// Distributed-parasitic configuration when this is a post-layout
+    /// plane: the templates carry per-node RC ladders and every resize
+    /// refreshes their capacitance shares.
+    post_layout: Option<mesh::PostLayoutConfig>,
 }
 
 impl Default for FoldedCascodeOta {
@@ -174,6 +179,49 @@ impl FoldedCascodeOta {
         base
     }
 
+    /// Creates the *post-layout* variant of the problem: both testbench
+    /// templates carry distributed parasitic RC ladders on every node (the
+    /// extraction-style mesh of [`crate::mesh`]), pushing the MNA systems
+    /// from n ≈ 60 pre-layout to several hundred unknowns — the regime the
+    /// supernodal sparse engine targets. Per-candidate resizes refresh the
+    /// ladder capacitance shares in place, so the topology fingerprint
+    /// (and thus the pooled solver state) is still shared across
+    /// candidates. Nominal corner only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a template fails to build or mesh.
+    pub fn post_layout() -> Self {
+        Self::with_post_layout(mesh::PostLayoutConfig::default())
+    }
+
+    /// [`FoldedCascodeOta::post_layout`] with an explicit mesh
+    /// configuration (segment count / segment resistance / estimator
+    /// coefficients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a template fails to build or mesh.
+    pub fn with_post_layout(cfg: mesh::PostLayoutConfig) -> Self {
+        let mut ota = Self::new();
+        mesh::apply_post_layout(&mut ota.template_open, &cfg)
+            .expect("open-loop template must mesh");
+        mesh::apply_post_layout(&mut ota.template_closed, &cfg)
+            .expect("closed-loop template must mesh");
+        ota.post_layout = Some(cfg);
+        // Re-run the nominal resize through the post-layout path so the
+        // templates' ladder shares start consistent with their geometry.
+        let p = OtaParams::decode(&ota.nominal());
+        let mut open = std::mem::replace(&mut ota.template_open, Circuit::new());
+        ota.resize(&mut open, &p).expect("meshed open-loop resize");
+        ota.template_open = open;
+        let mut closed = std::mem::replace(&mut ota.template_closed, Circuit::new());
+        ota.resize(&mut closed, &p)
+            .expect("meshed closed-loop resize");
+        ota.template_closed = closed;
+        ota
+    }
+
     /// Builds one single-corner evaluation plane.
     fn build_plane(corner: &Corner) -> FoldedCascodeOta {
         // Non-nominal corners shift every bias point tens of millivolts
@@ -205,6 +253,7 @@ impl FoldedCascodeOta {
             closed_outs: (0, 0),
             corners: CornerSet::single(*corner),
             extra_planes: Vec::new(),
+            post_layout: None,
         };
         let (open, op_, on_) = ota
             .build_open_topology()
@@ -437,6 +486,11 @@ impl FoldedCascodeOta {
         ckt.set_mosfet_geometry("M_cmfbDump", p.w[3], p.l[3], 1.0)?;
         ckt.set_mosfet_geometry("M_cmfbMirD", p.w[3], p.l[3], 1.0)?;
         ckt.set_mosfet_geometry("M_cmfbInj", p.w[3], p.l[3], 1.0)?;
+        // Post-layout planes: geometry changed, so the distributed ladder
+        // capacitance shares must follow (structure is size-independent).
+        if let Some(cfg) = &self.post_layout {
+            mesh::update_post_layout(ckt, cfg)?;
+        }
         Ok(())
     }
 
@@ -1153,6 +1207,31 @@ mod tests {
             }
             assert_eq!(whole.failure, assembled.failure, "corner {k} diagnosis");
         }
+    }
+
+    #[test]
+    fn post_layout_variant_scales_unknowns_and_simulates() {
+        let pre = FoldedCascodeOta::new();
+        let post = FoldedCascodeOta::post_layout();
+        let n_pre = pre.template_open.num_unknowns();
+        let n_post = post.template_open.num_unknowns();
+        assert!(
+            n_post >= 200 && n_post > 3 * n_pre,
+            "post-layout open-loop testbench must reach mesh scale: {n_pre} -> {n_post}"
+        );
+        // The meshed testbench still biases up, and a candidate resize
+        // (which refreshes the ladder shares in place) still simulates.
+        let x = post.nominal();
+        let p = OtaParams::decode(&x);
+        let (ol, _, _) = post.build_open_loop(&p).expect("meshed netlist");
+        let op = spice::op(&ol, &post.opts).expect("meshed op");
+        let out_p = ol.find_node("out_p").unwrap();
+        let v = op.voltage(out_p);
+        assert!(v > 0.2 && v < post.tech.vdd, "out_p bias {v}");
+        // Resizing a clone keeps the topology fingerprint (pooled solver
+        // state stays shared across candidates).
+        let (ol2, _, _) = post.build_open_loop(&p).expect("meshed netlist");
+        assert_eq!(ol.topology_id(), ol2.topology_id());
     }
 
     #[test]

@@ -38,9 +38,11 @@ impl Default for ParasiticConfig {
 }
 
 /// Per-node parasitic estimate, skipping previously inserted `CPAR_*`
-/// capacitors so the estimate is identical whether the circuit is fresh or
-/// a reused template.
-fn node_caps(circuit: &Circuit, cfg: &ParasiticConfig) -> Vec<f64> {
+/// capacitors and `RPAR_*` ladder resistors (see [`crate::mesh`]) so the
+/// estimate is identical whether the circuit is fresh or a reused — and
+/// possibly already-meshed — template. Shared with the distributed
+/// post-layout ladders, which split the same totals across RC segments.
+pub(crate) fn node_caps(circuit: &Circuit, cfg: &ParasiticConfig) -> Vec<f64> {
     let n = circuit.num_nodes();
     let mut cap = vec![0.0_f64; n];
     for dev in circuit.devices() {
@@ -53,6 +55,7 @@ fn node_caps(circuit: &Circuit, cfg: &ParasiticConfig) -> Vec<f64> {
                 }
             }
             Device::Capacitor { name, .. } if name.starts_with("CPAR_") => {}
+            Device::Resistor { name, .. } if name.starts_with("RPAR_") => {}
             Device::Resistor { a, b, .. } | Device::Capacitor { a, b, .. } => {
                 cap[*a] += cfg.cap_per_terminal;
                 cap[*b] += cfg.cap_per_terminal;

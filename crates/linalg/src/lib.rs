@@ -53,6 +53,7 @@ mod matrix;
 pub mod pool;
 mod sparse;
 mod sparse_complex;
+mod supernodal;
 pub mod vecops;
 
 pub use cholesky::{Cholesky, CholeskyWorkspace};
@@ -65,6 +66,7 @@ pub use lu::{Lu, LuWorkspace};
 pub use matrix::Matrix;
 pub use sparse::{CscMatrix, SparseLu};
 pub use sparse_complex::{CscComplexMatrix, SparseComplexLu};
+pub use supernodal::SupernodalMode;
 
 /// Error produced by factorizations when the input matrix is unusable.
 #[derive(Debug, Clone, PartialEq)]

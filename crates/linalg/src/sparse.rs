@@ -23,12 +23,13 @@
 //! sequence to the current value range, then `refactor_into` every
 //! subsequent iteration.
 
-use crate::{FactorError, Matrix};
+use crate::supernodal::Supernodal;
+use crate::{FactorError, Matrix, SupernodalMode};
 
 /// Pivots smaller than this are treated as singular — the same absolute
 /// threshold the dense [`crate::Lu`] uses, so the two paths agree on what
 /// "singular" means.
-const PIVOT_EPS: f64 = 1e-300;
+pub(crate) const PIVOT_EPS: f64 = 1e-300;
 
 /// A square sparse matrix in compressed-sparse-column (CSC) form.
 ///
@@ -38,11 +39,11 @@ const PIVOT_EPS: f64 = 1e-300;
 pub struct CscMatrix {
     n: usize,
     /// Column start offsets, length `n + 1`.
-    col_ptr: Vec<usize>,
+    pub(crate) col_ptr: Vec<usize>,
     /// Row index of each stored entry, column-major, rows ascending.
-    row_idx: Vec<usize>,
+    pub(crate) row_idx: Vec<usize>,
     /// Entry values, aligned with `row_idx`.
-    values: Vec<f64>,
+    pub(crate) values: Vec<f64>,
 }
 
 /// Builds the CSC pattern arrays holding every coordinate in `coords`
@@ -185,12 +186,30 @@ impl CscMatrix {
     }
 }
 
+/// Fill-explosion guard for [`min_degree_order_pattern`]: the clique
+/// simulation may insert at most `FILL_GUARD_EDGE_FACTOR · |E₀| +
+/// FILL_GUARD_NODE_FACTOR · n` new undirected edges before the ordering
+/// bails out to the natural order. Measured headroom: RC grids/ladders up
+/// to n = 2000 insert ≈ 2–4·|E₀| fill edges under min-degree (well-ordered
+/// meshes fill ~O(n log n)), so 16× edges + 64·n leaves ≥ 4× margin for
+/// every mesh workload while still catching the quadratic blowup a bad
+/// tie-break cascade produces (where the quotient-graph walk itself turns
+/// O(n³) and ordering costs more than the factorization it serves).
+const FILL_GUARD_EDGE_FACTOR: usize = 16;
+const FILL_GUARD_NODE_FACTOR: usize = 64;
+
 /// Deterministic minimum-degree ordering on the symmetrized pattern
 /// `(col_ptr, row_idx)` (ties broken toward the smallest index). This is
 /// the AMD-style fill-reducing preordering applied to columns before
 /// factorization; MNA patterns are near-symmetric, so ordering `A + Aᵀ`
 /// works well. Shared by the real and complex sparse LU (the ordering
 /// depends only on the pattern, never on values).
+///
+/// Guarded against fill explosion: when the elimination-clique simulation
+/// inserts more edges than the [`FILL_GUARD_EDGE_FACTOR`] budget allows,
+/// the pattern is densifying under min-degree anyway and the function
+/// returns the natural order `0..n` instead of silently spending quadratic
+/// time and memory on the quotient graph.
 pub(crate) fn min_degree_order_pattern(
     n: usize,
     col_ptr: &[usize],
@@ -198,14 +217,17 @@ pub(crate) fn min_degree_order_pattern(
 ) -> Vec<usize> {
     // Symmetric adjacency, excluding the diagonal.
     let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
+    let mut edges = 0usize;
     for c in 0..n {
         for &r in &row_idx[col_ptr[c]..col_ptr[c + 1]] {
-            if r != c {
-                adj[r].insert(c);
+            if r != c && adj[r].insert(c) {
                 adj[c].insert(r);
+                edges += 1;
             }
         }
     }
+    let fill_budget = FILL_GUARD_EDGE_FACTOR * edges + FILL_GUARD_NODE_FACTOR * n;
+    let mut fill = 0usize;
     let mut alive = vec![true; n];
     let mut order = Vec::with_capacity(n);
     let mut scratch: Vec<usize> = Vec::new();
@@ -222,12 +244,128 @@ pub(crate) fn min_degree_order_pattern(
         for (k, &u) in scratch.iter().enumerate() {
             adj[u].remove(&v);
             for &w in &scratch[k + 1..] {
-                adj[u].insert(w);
-                adj[w].insert(u);
+                if adj[u].insert(w) {
+                    adj[w].insert(u);
+                    fill += 1;
+                }
+            }
+        }
+        if fill > fill_budget {
+            let mut natural: Vec<usize> = (0..n).collect();
+            etree_postorder(n, col_ptr, row_idx, &mut natural);
+            return natural;
+        }
+    }
+    etree_postorder(n, col_ptr, row_idx, &mut order);
+    order
+}
+
+/// Replaces `order` by its elimination-tree postorder: computes the etree
+/// of the symmetrized pattern under `order` (Liu's algorithm with path
+/// compression), then renumbers each subtree contiguously, children in
+/// ascending order — fully deterministic. A postorder is fill-equivalent
+/// to the input order (same elimination tree, same fill), but numbers the
+/// columns of each fundamental supernode consecutively, which is what the
+/// supernodal detection in `supernodal.rs` needs to find dense panels: the
+/// raw min-degree order scatters structurally identical columns, leaving
+/// mostly singleton supernodes.
+fn etree_postorder(n: usize, col_ptr: &[usize], row_idx: &[usize], order: &mut [usize]) {
+    if n == 0 {
+        return;
+    }
+    let mut iperm = vec![0usize; n];
+    for (k, &v) in order.iter().enumerate() {
+        iperm[v] = k;
+    }
+    // Symmetrized adjacency in permuted coordinates (duplicate entries are
+    // harmless to the etree walk).
+    let mut aptr = vec![0usize; n + 1];
+    for c in 0..n {
+        for &r in &row_idx[col_ptr[c]..col_ptr[c + 1]] {
+            if r != c {
+                aptr[iperm[r] + 1] += 1;
+                aptr[iperm[c] + 1] += 1;
             }
         }
     }
-    order
+    for i in 0..n {
+        aptr[i + 1] += aptr[i];
+    }
+    let mut anb = vec![0usize; aptr[n]];
+    let mut pos = aptr.clone();
+    for c in 0..n {
+        for &r in &row_idx[col_ptr[c]..col_ptr[c + 1]] {
+            if r != c {
+                let (pc, pr) = (iperm[c], iperm[r]);
+                anb[pos[pc]] = pr;
+                pos[pc] += 1;
+                anb[pos[pr]] = pc;
+                pos[pr] += 1;
+            }
+        }
+    }
+    // Liu's elimination-tree algorithm with path compression.
+    let mut parent = vec![usize::MAX; n];
+    let mut ancestor = vec![usize::MAX; n];
+    for k in 0..n {
+        for t in aptr[k]..aptr[k + 1] {
+            let mut i = anb[t];
+            if i >= k {
+                continue;
+            }
+            while ancestor[i] != usize::MAX && ancestor[i] != k {
+                let next = ancestor[i];
+                ancestor[i] = k;
+                i = next;
+            }
+            if ancestor[i] == usize::MAX {
+                ancestor[i] = k;
+                parent[i] = k;
+            }
+        }
+    }
+    // Children lists (ascending because `i` ascends) + iterative DFS.
+    let mut cdeg = vec![0usize; n];
+    for i in 0..n {
+        if parent[i] != usize::MAX {
+            cdeg[parent[i]] += 1;
+        }
+    }
+    let mut cptr = vec![0usize; n + 1];
+    for i in 0..n {
+        cptr[i + 1] = cptr[i] + cdeg[i];
+    }
+    let mut child = vec![0usize; cptr[n]];
+    let mut cpos = cptr.clone();
+    for i in 0..n {
+        if parent[i] != usize::MAX {
+            child[cpos[parent[i]]] = i;
+            cpos[parent[i]] += 1;
+        }
+    }
+    let mut post = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if parent[root] != usize::MAX {
+            continue;
+        }
+        stack.push((root, 0));
+        while let Some(&mut (node, ref mut ci)) = stack.last_mut() {
+            if *ci < cdeg[node] {
+                let c = child[cptr[node] + *ci];
+                *ci += 1;
+                stack.push((c, 0));
+            } else {
+                post.push(node);
+                stack.pop();
+            }
+        }
+    }
+    debug_assert_eq!(post.len(), n);
+    let old: Vec<usize> = order.to_vec();
+    for (k, &pk) in post.iter().enumerate() {
+        order[k] = old[pk];
+    }
 }
 
 /// [`min_degree_order_pattern`] applied to a real CSC matrix.
@@ -261,28 +399,28 @@ fn min_degree_order(a: &CscMatrix) -> Vec<usize> {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SparseLu {
-    n: usize,
+    pub(crate) n: usize,
     /// Fill-reducing column preorder: step `k` factors column `q[k]` of `A`.
-    q: Vec<usize>,
+    pub(crate) q: Vec<usize>,
     /// `p[k]` = original row pivotal at step `k`.
-    p: Vec<usize>,
+    pub(crate) p: Vec<usize>,
     /// Inverse row permutation: `pinv[orig_row]` = pivotal step, or
     /// `usize::MAX` while unassigned during factorization.
-    pinv: Vec<usize>,
+    pub(crate) pinv: Vec<usize>,
     /// L pattern/values, column-major; rows are *original* indices,
     /// strictly-below-diagonal entries only.
-    l_colptr: Vec<usize>,
-    l_rows: Vec<usize>,
-    l_vals: Vec<f64>,
+    pub(crate) l_colptr: Vec<usize>,
+    pub(crate) l_rows: Vec<usize>,
+    pub(crate) l_vals: Vec<f64>,
     /// U pattern/values, column-major; rows are *pivotal positions* `< k`,
     /// stored ascending so a refactor replay is a valid elimination order.
-    u_colptr: Vec<usize>,
-    u_rows: Vec<usize>,
-    u_vals: Vec<f64>,
+    pub(crate) u_colptr: Vec<usize>,
+    pub(crate) u_rows: Vec<usize>,
+    pub(crate) u_vals: Vec<f64>,
     /// Reciprocal pivots.
-    inv_diag: Vec<f64>,
+    pub(crate) inv_diag: Vec<f64>,
     /// Dense accumulator indexed by original row.
-    work: Vec<f64>,
+    pub(crate) work: Vec<f64>,
     /// DFS visitation stamps (stamp = current step).
     flag: Vec<usize>,
     /// DFS stack of `(node, next-child offset)` frames.
@@ -294,7 +432,12 @@ pub struct SparseLu {
     /// Column ordering computed for the current pattern.
     analyzed: bool,
     /// A successful numeric factorization is stored.
-    factored: bool,
+    pub(crate) factored: bool,
+    /// Numeric-path selection policy (see [`SupernodalMode`]).
+    mode: SupernodalMode,
+    /// Blocked execution plan + scratch when the supernodal path is active
+    /// for the currently recorded pattern.
+    pub(crate) supernodal: Option<Box<Supernodal>>,
 }
 
 impl SparseLu {
@@ -318,6 +461,28 @@ impl SparseLu {
     /// fill the elimination produced.
     pub fn factor_nnz(&self) -> usize {
         self.l_rows.len() + self.u_rows.len() + self.n
+    }
+
+    /// Selects the numeric execution path for subsequent
+    /// [`SparseLu::factor`] calls (the plan is rebuilt at the next full
+    /// factorization; a stored blocked plan is dropped immediately).
+    pub fn set_supernodal_mode(&mut self, mode: SupernodalMode) {
+        self.mode = mode;
+        self.supernodal = None;
+    }
+
+    /// True when the supernodal (blocked) numeric path is active for the
+    /// currently recorded pattern — i.e. [`SparseLu::refactor_into`] will
+    /// replay through dense panels and GEMM instead of scalar column
+    /// updates.
+    pub fn supernodal_active(&self) -> bool {
+        self.supernodal.is_some()
+    }
+
+    /// Number of width-≥2 supernodes in the active blocked plan (0 when
+    /// the scalar path is active). Diagnostic for tests and benches.
+    pub fn wide_supernodes(&self) -> u64 {
+        self.supernodal.as_ref().map_or(0, |s| s.wide_supernodes)
     }
 
     /// Computes the fill-reducing column ordering for `a`'s pattern. Called
@@ -345,6 +510,9 @@ impl SparseLu {
         }
         let n = a.n;
         self.factored = false;
+        // The recording is being rebuilt; any blocked plan over the old
+        // pattern is stale.
+        self.supernodal = None;
         self.p.clear();
         self.p.resize(n, 0);
         self.pinv.clear();
@@ -467,6 +635,17 @@ impl SparseLu {
             }
         }
         self.factored = true;
+        // With the pivot sequence and pattern pinned, decide the numeric
+        // replay path. When the blocked path is selected, immediately
+        // re-run the blocked replay on the same values so the *stored*
+        // factors always come from blocked arithmetic — a later
+        // `refactor_into` with identical values is then bit-identical to
+        // this fresh factor.
+        if let Some(mut sn) = Supernodal::build(self, self.mode) {
+            let res = sn.refactor(self, a);
+            self.supernodal = Some(sn);
+            res?;
+        }
         Ok(())
     }
 
@@ -493,6 +672,12 @@ impl SparseLu {
                 rows: a.n,
                 cols: self.n,
             });
+        }
+        if self.supernodal.is_some() {
+            let mut sn = self.supernodal.take().expect("checked above");
+            let res = sn.refactor(self, a);
+            self.supernodal = Some(sn);
+            return res;
         }
         self.factored = false;
         let work = &mut self.work[..self.n];
@@ -807,6 +992,71 @@ mod tests {
             lu.solve_into(&b, &mut x).unwrap();
             assert!(residual(&dense, &x, &b) < 1e-9, "n = {n}");
         }
+    }
+
+    #[test]
+    fn forced_blocked_agrees_with_scalar_path() {
+        for n in [1usize, 2, 5, 17, 40, 71] {
+            let dense = mna_like(n, n as u64 + 100);
+            let a = CscMatrix::from_dense(&dense);
+            let mut scalar = SparseLu::new();
+            scalar.set_supernodal_mode(SupernodalMode::ForceScalar);
+            scalar.factor(&a).unwrap();
+            let mut blocked = SparseLu::new();
+            blocked.set_supernodal_mode(SupernodalMode::ForceBlocked);
+            blocked.factor(&a).unwrap();
+            assert!(blocked.supernodal_active(), "n = {n}");
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos() + 0.5).collect();
+            let (mut xs, mut xb) = (Vec::new(), Vec::new());
+            scalar.solve_into(&b, &mut xs).unwrap();
+            blocked.solve_into(&b, &mut xb).unwrap();
+            for (s, v) in xs.iter().zip(&xb) {
+                assert!(
+                    (s - v).abs() <= 1e-10 * s.abs().max(1.0),
+                    "n = {n}: {s} vs {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_blocked_refactor_is_bit_identical_to_fresh_factor() {
+        let n = 48;
+        let dense = mna_like(n, 9);
+        let a = CscMatrix::from_dense(&dense);
+        let mut lu = SparseLu::new();
+        lu.set_supernodal_mode(SupernodalMode::ForceBlocked);
+        lu.factor(&a).unwrap();
+        let (l0, u0, d0) = (lu.l_vals.clone(), lu.u_vals.clone(), lu.inv_diag.clone());
+        lu.refactor_into(&a).unwrap();
+        assert_eq!(lu.l_vals, l0);
+        assert_eq!(lu.u_vals, u0);
+        assert_eq!(lu.inv_diag, d0);
+        // New values through the same pattern still agree with dense.
+        let mut a1 = a.clone();
+        for v in a1.values_mut() {
+            *v *= 1.25;
+        }
+        lu.refactor_into(&a1).unwrap();
+        let b = vec![1.0; n];
+        let mut x = Vec::new();
+        lu.solve_into(&b, &mut x).unwrap();
+        assert!(residual(&a1.to_dense(), &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn blocked_refactor_reports_singular_pivot_collapse() {
+        let dense = mna_like(30, 4);
+        let mut a = CscMatrix::from_dense(&dense);
+        let mut lu = SparseLu::new();
+        lu.set_supernodal_mode(SupernodalMode::ForceBlocked);
+        lu.factor(&a).unwrap();
+        a.set_zero();
+        assert!(matches!(
+            lu.refactor_into(&a),
+            Err(FactorError::Singular { .. })
+        ));
+        assert!(!lu.is_factored());
     }
 
     #[test]

@@ -1,0 +1,1145 @@
+//! Supernodal (blocked) numeric execution for [`SparseLu`].
+//!
+//! The scalar Gilbert–Peierls replay in `sparse.rs` touches one column at a
+//! time through index lists — ideal for the very sparse leading region of
+//! an MNA factorization, hopeless for the dense trailing blocks that
+//! fill-in produces on post-layout parasitic meshes. This module detects
+//! *supernodes* — runs of consecutive pivotal columns whose below-diagonal
+//! structure is identical or nested — from the recorded symbolic pattern
+//! and replays the numeric factorization as a **hybrid**:
+//!
+//! - columns in narrow supernodes (width < [`PANEL_MIN_WIDTH`]) replay with
+//!   the exact scalar Gilbert–Peierls column kernel — recorded index lists,
+//!   no panel overhead. On extraction-style meshes two thirds of the
+//!   columns are such singletons, but they carry under 15% of the flops.
+//!   When a narrow supernode feeds a later panel, its just-computed L
+//!   values are mirrored into dense mini-blocks through a precomputed
+//!   scatter map so the panel can batch it like any other updater;
+//! - each wide supernode's columns are gathered into a dense working panel
+//!   (rows = the union of the supernode's U rows, its own pivotal block,
+//!   and its below-diagonal rows). *Every* earlier supernode with recorded
+//!   U entries in the panel then applies as one batch, in ascending
+//!   pivotal order: a unit-lower triangular solve (TRSM) against the
+//!   updater's diagonal block finalizes the panel's U rows, and a product
+//!   with the updater's sub-diagonal block retires the rows below — both
+//!   blocked through the [`crate::gemm`] micro-kernel the training engine
+//!   uses (serial inside grid workers per the two-level thread budget),
+//!   with a fused multiply-scatter fallback for small batches. Precomputed
+//!   per-pair row maps and reached-column lists keep the gathers direct
+//!   and skip columns whose contribution is exactly zero;
+//! - the panel itself is factored dense blocked right-looking
+//!   ([`PANEL_NB`]-column blocks retired against the trailing columns via
+//!   TRSM + one gemm product), then scattered back into the recorded
+//!   `l_vals`/`u_vals`/`inv_diag` arrays through a precomputed store map,
+//!   so [`SparseLu::solve_into`] and later scalar columns are unchanged.
+//!
+//! Supernodes may be *relaxed*: a column whose structure is nested (not
+//! identical) within its neighbor joins the panel, and the union positions
+//! it does not own hold exact `0.0`. Those relaxed zeros are harmless by
+//! construction — every product that could write a nonzero into a position
+//! outside the recorded Gilbert–Peierls pattern has at least one exactly-
+//! zero operand (otherwise the position would have filled in symbolically),
+//! so relaxed positions stay `0.0` bitwise and are never scattered back.
+//!
+//! Determinism: the plan is a pure function of the recorded pattern, the
+//! panel walk is sequential, and the only parallel kernel ([`crate::gemm`])
+//! is bit-identical to serial at any thread count — so the blocked replay
+//! satisfies the same serial ≡ parallel contract as the scalar one. To keep
+//! *fresh factor ≡ refactor* bit-identity on this path,
+//! [`SparseLu::factor`] re-runs the blocked replay on the same values
+//! immediately after the scalar pivoting pass pins the pattern: stored
+//! factors always come from blocked arithmetic whenever the blocked plan is
+//! active.
+
+use crate::sparse::{CscMatrix, SparseLu, PIVOT_EPS};
+use crate::{gemm, FactorError, GemmOp, GemmWorkspace, Matrix};
+
+/// Which numeric path [`SparseLu`] runs after the symbolic pattern is
+/// recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SupernodalMode {
+    /// Dispatch by measured symbolic statistics (the flop share carried by
+    /// wide-supernode columns) — the default.
+    #[default]
+    Auto,
+    /// Always replay with scalar Gilbert–Peierls column updates.
+    ForceScalar,
+    /// Always build and run the blocked panel replay (benchmark/test hook;
+    /// correct at any size, profitable only with real supernodes).
+    ForceBlocked,
+}
+
+/// Systems below this dimension never take the blocked path under
+/// [`SupernodalMode::Auto`]: panel gather/scatter overhead beats any GEMM
+/// win when the whole factor fits in a few cache lines.
+const SUPERNODAL_MIN_N: usize = 64;
+
+/// Auto dispatch requires at least this fraction (×1/256) of the scalar
+/// replay's flops to live in columns of wide supernodes — below it the
+/// pattern has no dense trailing structure and the scalar replay wins
+/// everywhere. 128/256 = 50%.
+const MIN_PANEL_FLOP_FRAC_256: u64 = 128;
+
+/// Panel width cap. Wider panels help GEMM but grow the relaxed-zero
+/// overhead; with the blocked panel factor 192 lets the dense trailing
+/// block of a post-layout mesh factorization form a handful of panels
+/// while the active column block stays in cache.
+const MAX_WIDTH: usize = 192;
+
+/// Supernodes at least this wide get dense panels; anything narrower
+/// replays with the scalar column kernel (and mirrors into dense
+/// mini-blocks when a panel consumes it). Below ~6 columns a panel is all
+/// gather/scatter overhead.
+const PANEL_MIN_WIDTH: usize = 6;
+
+/// Auto dispatch also requires the wide panels' dense L slots to stay
+/// within this factor of the recorded L entries they hold — beyond it the
+/// plan is relaxation padding, not dense structure.
+const MAX_PANEL_PAD_RATIO: u64 = 2;
+
+/// Column-block width of the dense blocked panel factorization and the
+/// blocked batch TRSM: blocks this wide are factored (or solved) with
+/// in-block rank-1 updates, then the rows below the block are retired via
+/// one gemm product.
+const PANEL_NB: usize = 32;
+
+/// Relaxed-supernode slack: a column may join a panel whose row union
+/// differs from the column's own below structure by at most this many rows
+/// on either side. Grows with the width already accumulated — a wide panel
+/// amortizes a few extra structural zeros over much more dense arithmetic,
+/// a pair of columns cannot.
+fn relax_rows(width: usize) -> usize {
+    4 + width / 3
+}
+
+/// The supernodal execution plan plus all numeric scratch. Built once per
+/// recorded pattern by [`Supernodal::build`]; [`Supernodal::refactor`]
+/// replays new values through it.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Supernodal {
+    /// Supernode boundaries over pivotal steps: supernode `s` covers
+    /// columns `sn_ptr[s]..sn_ptr[s + 1]`.
+    sn_ptr: Vec<u32>,
+    /// Pivotal step → owning supernode id.
+    col_sn: Vec<u32>,
+    /// Below-diagonal rows per supernode (pivotal, sorted, all ≥ the
+    /// supernode's end column), concatenated; offsets in `b_ptr`.
+    b_ptr: Vec<u32>,
+    b_rows: Vec<u32>,
+    /// Target-side U rows per *panel* supernode (pivotal, sorted, all < the
+    /// supernode's start column), concatenated; offsets in `u_ptr`. Narrow
+    /// supernodes have empty segments.
+    u_ptr: Vec<u32>,
+    u_rows: Vec<u32>,
+    /// Updater supernode ids per panel supernode (every width — narrow
+    /// updaters batch through their dense mini-blocks), ascending,
+    /// concatenated; offsets in `up_ptr`.
+    up_ptr: Vec<u32>,
+    up_ids: Vec<u32>,
+    /// Per (panel, wide-updater) pair, parallel to `up_ids`: the panel row
+    /// of each updater pivotal column (`width(us)` entries) followed by the
+    /// panel row of each updater below row (`|B(us)|` entries);
+    /// `u32::MAX` = outside the panel (the contribution is exactly zero).
+    /// Precomputing these at build time removes two dependent indirections
+    /// (`pos[p[..]]`) from every gather/scatter element of the hot batch
+    /// loop. Offsets in `pair_ptr`.
+    pair_ptr: Vec<u32>,
+    pair_idx: Vec<u32>,
+    /// Per (panel, wide-updater) pair, parallel to `up_ids`: the panel
+    /// columns whose recorded U lists intersect the updater's pivotal
+    /// range. Columns outside the list receive exactly-zero contributions
+    /// from the updater (the position would have filled in symbolically
+    /// otherwise), so the batch gathers, solves, multiplies, and scatters
+    /// only these. Offsets in `pc_ptr`.
+    pc_ptr: Vec<u32>,
+    pc_idx: Vec<u32>,
+    /// Per panel supernode: the panel row feeding every recorded
+    /// `u_vals`/`l_vals` slot of its columns, in scatter order (U range
+    /// then L range, column by column). Narrow supernodes have empty
+    /// segments. Offsets in `store_ptr`.
+    store_ptr: Vec<u32>,
+    store_idx: Vec<u32>,
+    /// Per *narrow* supernode that updates at least one panel: the
+    /// destination of each of its recorded L slots (column-major over the
+    /// supernode's columns, recorded order within a column) inside its
+    /// dense blocks — `< ws²` indexes `ldiag`, else `ldiag`-offset into
+    /// `lbelow`. Filled right after the scalar columns compute, so batches
+    /// can consume every updater through the same dense path. Offsets in
+    /// `nfill_ptr` (empty for panels and for narrow supernodes no panel
+    /// reads).
+    nfill_ptr: Vec<u32>,
+    nfill_idx: Vec<u32>,
+    /// Estimated dense-block flops per numeric replay (telemetry).
+    block_flops: u64,
+    /// Supernodes of width ≥ 2 (telemetry / dispatch statistics).
+    pub(crate) wide_supernodes: u64,
+    /// Largest panel area, for sizing the working buffer once.
+    max_panel: usize,
+
+    // ---- numeric scratch ----
+    /// Dense working panel, column-major (`nr` rows per column).
+    w: Vec<f64>,
+    /// Original row → panel row for the supernode being processed
+    /// (`u32::MAX` = absent).
+    pos: Vec<u32>,
+    /// Per-panel-supernode unit-lower diagonal block (w×w; diagonal 1,
+    /// upper 0). Empty for narrow supernodes.
+    ldiag: Vec<Matrix>,
+    /// Per-panel-supernode sub-diagonal block (|B|×w), scaled multipliers.
+    /// Empty for narrow supernodes.
+    lbelow: Vec<Matrix>,
+    /// Gathered U block of the updater being applied (w_s × w_target).
+    ub: Matrix,
+    /// GEMM result buffer (|B(updater)| × w_target).
+    y: Matrix,
+    /// One dense panel row, accumulated contiguously by the fused
+    /// small-product path before the strided subtract into the panel.
+    trow: Vec<f64>,
+    /// Packed `L21` block of the blocked panel factor (rows below the
+    /// current column block × block width).
+    lpk: Matrix,
+    /// Packed solved rows of the blocked batch TRSM (block width × target
+    /// columns).
+    bpk: Matrix,
+    gws: GemmWorkspace,
+}
+
+/// Batch products at or above this flop count go through the
+/// [`crate::gemm`] micro-kernel (packed, near-peak on the dense trailing
+/// blocks); smaller ones run a fused multiply-scatter loop that skips
+/// relaxed-zero multipliers and rows outside the panel — for the many
+/// small updates of a mesh factorization the packing and the discarded
+/// rows cost more than they save.
+const GEMM_MIN_FLOPS: usize = 1 << 14;
+
+impl Supernodal {
+    /// Detects supernodes on the recorded pattern of `lu`, computes the
+    /// dispatch statistics, and returns the blocked plan when selected
+    /// (`None` = scalar replay). Records the `SparseSupernodes` and
+    /// `SparseBlockedDispatch` telemetry rows either way.
+    pub(crate) fn build(lu: &SparseLu, mode: SupernodalMode) -> Option<Box<Supernodal>> {
+        let n = lu.n;
+        let skip_detection = matches!(mode, SupernodalMode::ForceScalar)
+            || (matches!(mode, SupernodalMode::Auto) && n < SUPERNODAL_MIN_N);
+        if skip_detection {
+            telemetry::record(telemetry::Metric::SparseBlockedDispatch, 0);
+            return None;
+        }
+        let mut sn = Box::new(Supernodal::detect(lu));
+        telemetry::record(telemetry::Metric::SparseSupernodes, sn.wide_supernodes);
+        let blocked = match mode {
+            SupernodalMode::ForceBlocked => true,
+            SupernodalMode::ForceScalar => false,
+            SupernodalMode::Auto => {
+                // Measured symbolic statistic: the share of the scalar
+                // replay's flops carried by wide-supernode columns — the
+                // work the panels can turn into dense arithmetic.
+                let (mut total, mut panel) = (0u64, 0u64);
+                for j in 0..n {
+                    let mut col = 0u64;
+                    for t in lu.u_colptr[j]..lu.u_colptr[j + 1] {
+                        let k = lu.u_rows[t];
+                        col += 1 + 2 * (lu.l_colptr[k + 1] - lu.l_colptr[k]) as u64;
+                    }
+                    total += col;
+                    if sn.width(sn.col_sn[j] as usize) >= PANEL_MIN_WIDTH {
+                        panel += col;
+                    }
+                }
+                // Relaxation-padding guard: the dense L slots the wide
+                // panels would allocate vs the recorded L entries they
+                // actually hold. Banded patterns chain into "wide"
+                // relaxed supernodes whose panels are mostly structural
+                // zeros — flop share alone would engage the blocked path
+                // there and lose to padding.
+                let (mut slots, mut ents) = (0u64, 0u64);
+                for s in 0..sn.num_supernodes() {
+                    let w = sn.width(s) as u64;
+                    if (w as usize) < PANEL_MIN_WIDTH {
+                        continue;
+                    }
+                    let blen = (sn.b_ptr[s + 1] - sn.b_ptr[s]) as u64;
+                    slots += w * (w - 1) / 2 + w * blen;
+                    let (s0, s1) = (sn.sn_ptr[s] as usize, sn.sn_ptr[s + 1] as usize);
+                    ents += (lu.l_colptr[s1] - lu.l_colptr[s0]) as u64;
+                }
+                panel * 256 >= total * MIN_PANEL_FLOP_FRAC_256
+                    && slots <= ents.saturating_mul(MAX_PANEL_PAD_RATIO)
+            }
+        };
+        telemetry::record(telemetry::Metric::SparseBlockedDispatch, u64::from(blocked));
+        if !blocked {
+            return None;
+        }
+        sn.finish_structures(lu);
+        Some(sn)
+    }
+
+    fn num_supernodes(&self) -> usize {
+        self.sn_ptr.len().saturating_sub(1)
+    }
+
+    fn width(&self, s: usize) -> usize {
+        (self.sn_ptr[s + 1] - self.sn_ptr[s]) as usize
+    }
+
+    /// Greedy left-to-right supernode partition: column `k` joins the
+    /// current panel when row `k` is in the panel's below structure and the
+    /// symmetric difference between the panel union and `k`'s own below
+    /// rows is within [`relax_rows`] on each side.
+    fn detect(lu: &SparseLu) -> Supernodal {
+        let n = lu.n;
+        let mut sn = Supernodal::default();
+        // Per-column below rows in pivotal coordinates, segment-sorted
+        // (the recorded `l_rows` are original indices in DFS order).
+        let mut bl_rows: Vec<u32> = lu.l_rows.iter().map(|&r| lu.pinv[r] as u32).collect();
+        for k in 0..n {
+            bl_rows[lu.l_colptr[k]..lu.l_colptr[k + 1]].sort_unstable();
+        }
+        sn.col_sn = vec![0; n];
+        sn.sn_ptr.push(0);
+        sn.b_ptr.push(0);
+        let mut cur: Vec<u32> = Vec::new(); // union of below rows, > last col
+        let mut tmp: Vec<u32> = Vec::new();
+        let mut wide = 0u64;
+        let close = |sn: &mut Supernodal, cur: &mut Vec<u32>, end: usize, wide: &mut u64| {
+            // Close the open supernode (columns sn_ptr.last()..end).
+            let start = *sn.sn_ptr.last().unwrap() as usize;
+            if end > start {
+                if end - start >= 2 {
+                    *wide += 1;
+                }
+                sn.sn_ptr.push(end as u32);
+                sn.b_rows.extend_from_slice(cur);
+                sn.b_ptr.push(sn.b_rows.len() as u32);
+            }
+        };
+        for k in 0..n {
+            let bk = &bl_rows[lu.l_colptr[k]..lu.l_colptr[k + 1]];
+            let start = *sn.sn_ptr.last().unwrap() as usize;
+            let width = k - start;
+            let mut merged = false;
+            if width > 0 && width < MAX_WIDTH {
+                // cur \ {k} merged with bk, counting the two-sided slack.
+                let k_in = cur.binary_search(&(k as u32)).is_ok();
+                if k_in {
+                    tmp.clear();
+                    let mut extra_prev = 0usize; // rows bk adds to the panel
+                    let mut extra_new = 0usize; // panel rows k doesn't own
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < cur.len() || j < bk.len() {
+                        let a = if i < cur.len() { cur[i] } else { u32::MAX };
+                        let b = if j < bk.len() { bk[j] } else { u32::MAX };
+                        if a == k as u32 {
+                            i += 1; // absorbed as the new diagonal row
+                        } else if a == b {
+                            tmp.push(a);
+                            i += 1;
+                            j += 1;
+                        } else if a < b {
+                            tmp.push(a);
+                            extra_new += 1;
+                            i += 1;
+                        } else {
+                            tmp.push(b);
+                            extra_prev += 1;
+                            j += 1;
+                        }
+                    }
+                    if extra_prev <= relax_rows(width) && extra_new <= relax_rows(width) {
+                        std::mem::swap(&mut cur, &mut tmp);
+                        merged = true;
+                    }
+                }
+            }
+            if !merged && k > start {
+                close(&mut sn, &mut cur, k, &mut wide);
+                cur.clear();
+                cur.extend_from_slice(bk);
+            } else if k == start {
+                cur.clear();
+                cur.extend_from_slice(bk);
+            }
+            let id = (sn.sn_ptr.len() - 1) as u32;
+            sn.col_sn[k] = id;
+        }
+        close(&mut sn, &mut cur, n, &mut wide);
+        sn.wide_supernodes = wide;
+        sn
+    }
+
+    /// Builds the target-side structures (U rows, wide-updater lists, panel
+    /// storage, flop estimate) once the partition is fixed and the blocked
+    /// path is selected. Narrow supernodes get empty segments — they never
+    /// form panels.
+    fn finish_structures(&mut self, lu: &SparseLu) {
+        let nsn = self.num_supernodes();
+        let n = lu.n;
+        self.u_ptr.push(0);
+        self.up_ptr.push(0);
+        self.pair_ptr.push(0);
+        self.pc_ptr.push(0);
+        self.store_ptr.push(0);
+        let mut mark = vec![u32::MAX; n];
+        // Pivotal step → panel row for the panel under construction
+        // (`u32::MAX` = not a panel row). Built and cleared per panel.
+        let mut pos_step = vec![u32::MAX; n];
+        let mut flops = 0u64;
+        for s in 0..nsn {
+            let (s0, s1) = (self.sn_ptr[s] as usize, self.sn_ptr[s + 1] as usize);
+            let w = s1 - s0;
+            if w < PANEL_MIN_WIDTH {
+                self.u_ptr.push(self.u_rows.len() as u32);
+                self.up_ptr.push(self.up_ids.len() as u32);
+                self.store_ptr.push(self.store_idx.len() as u32);
+                continue;
+            }
+            // Union of recorded U rows below s0, stamp-deduplicated.
+            let before = self.u_rows.len();
+            for k in s0..s1 {
+                for t in lu.u_colptr[k]..lu.u_colptr[k + 1] {
+                    let step = lu.u_rows[t];
+                    if step < s0 && mark[step] != s as u32 {
+                        mark[step] = s as u32;
+                        self.u_rows.push(step as u32);
+                    }
+                }
+            }
+            self.u_rows[before..].sort_unstable();
+            self.u_ptr.push(self.u_rows.len() as u32);
+            // Updater supernodes owning the U rows — every width; narrow
+            // ones batch through their dense mini-blocks (sorted rows give
+            // non-decreasing ids; dedup adjacent).
+            let mut last = u32::MAX;
+            for t in before..self.u_rows.len() {
+                let id = self.col_sn[self.u_rows[t] as usize];
+                if id != last {
+                    self.up_ids.push(id);
+                    last = id;
+                }
+            }
+            let up_before = *self.up_ptr.last().unwrap() as usize;
+            self.up_ptr.push(self.up_ids.len() as u32);
+            let ulen = self.u_rows.len() - before;
+            let blen = (self.b_ptr[s + 1] - self.b_ptr[s]) as usize;
+            let nr = ulen + w + blen;
+            self.max_panel = self.max_panel.max(nr * w);
+            // Panel row map in pivotal-step coordinates, used to freeze the
+            // batch and scatter index maps below.
+            for (i, &row) in self.u_rows[before..].iter().enumerate() {
+                pos_step[row as usize] = i as u32;
+            }
+            for k in s0..s1 {
+                pos_step[k] = (ulen + k - s0) as u32;
+            }
+            let (bb0, bb1) = (self.b_ptr[s] as usize, self.b_ptr[s + 1] as usize);
+            for (i, &row) in self.b_rows[bb0..bb1].iter().enumerate() {
+                pos_step[row as usize] = (ulen + w + i) as u32;
+            }
+            // Per-updater index maps + flop estimate: TRSM + GEMM per wide
+            // updater, plus the dense right-looking panel factor.
+            for t in up_before..self.up_ids.len() {
+                let us = self.up_ids[t] as usize;
+                let (t0, t1) = (self.sn_ptr[us] as usize, self.sn_ptr[us + 1] as usize);
+                let ws = t1 - t0;
+                for step in t0..t1 {
+                    self.pair_idx.push(pos_step[step]);
+                }
+                for &row in &self.b_rows[self.b_ptr[us] as usize..self.b_ptr[us + 1] as usize] {
+                    self.pair_idx.push(pos_step[row as usize]);
+                }
+                self.pair_ptr.push(self.pair_idx.len() as u32);
+                // Panel columns this updater actually reaches (recorded U
+                // entries are ascending per column, so one partition_point
+                // suffices).
+                for jj in 0..w {
+                    let useg = &lu.u_rows[lu.u_colptr[s0 + jj]..lu.u_colptr[s0 + jj + 1]];
+                    let at = useg.partition_point(|&step| step < t0);
+                    if at < useg.len() && useg[at] < t1 {
+                        self.pc_idx.push(jj as u32);
+                    }
+                }
+                let wc = self.pc_idx.len() - *self.pc_ptr.last().unwrap() as usize;
+                self.pc_ptr.push(self.pc_idx.len() as u32);
+                let bs = (self.b_ptr[us + 1] - self.b_ptr[us]) as usize;
+                flops += (ws * ws * wc + 2 * bs * ws * wc) as u64;
+            }
+            flops += (w * w * (blen + w)) as u64;
+            // Scatter-order map from panel rows into the recorded factor
+            // arrays.
+            for k in s0..s1 {
+                for t in lu.u_colptr[k]..lu.u_colptr[k + 1] {
+                    self.store_idx.push(pos_step[lu.u_rows[t]]);
+                }
+                for t in lu.l_colptr[k]..lu.l_colptr[k + 1] {
+                    self.store_idx.push(pos_step[lu.pinv[lu.l_rows[t]]]);
+                }
+            }
+            self.store_ptr.push(self.store_idx.len() as u32);
+            // Clear the step map for the next panel.
+            for &row in &self.u_rows[before..] {
+                pos_step[row as usize] = u32::MAX;
+            }
+            for k in s0..s1 {
+                pos_step[k] = u32::MAX;
+            }
+            for &row in &self.b_rows[bb0..bb1] {
+                pos_step[row as usize] = u32::MAX;
+            }
+        }
+        self.block_flops = flops;
+        // Dense value storage: every supernode some panel reads (and every
+        // panel) gets a unit-lower diagonal block (diagonal and upper part
+        // fixed once here) and a sub-diagonal panel.
+        let mut used = vec![false; nsn];
+        for &id in &self.up_ids {
+            used[id as usize] = true;
+        }
+        self.ldiag = (0..nsn)
+            .map(|s| {
+                let w = self.width(s);
+                if w < PANEL_MIN_WIDTH && !used[s] {
+                    return Matrix::zeros(0, 0);
+                }
+                Matrix::from_fn(w, w, |i, j| if i == j { 1.0 } else { 0.0 })
+            })
+            .collect();
+        self.lbelow = (0..nsn)
+            .map(|s| {
+                let w = self.width(s);
+                if w < PANEL_MIN_WIDTH && !used[s] {
+                    return Matrix::zeros(0, 0);
+                }
+                let blen = (self.b_ptr[s + 1] - self.b_ptr[s]) as usize;
+                Matrix::zeros(blen.max(1), w)
+            })
+            .collect();
+        // Narrow-supernode fill maps: recorded L slot → dense block slot.
+        self.nfill_ptr.push(0);
+        for s in 0..nsn {
+            let (s0, s1) = (self.sn_ptr[s] as usize, self.sn_ptr[s + 1] as usize);
+            let ws = s1 - s0;
+            if ws >= PANEL_MIN_WIDTH || !used[s] {
+                self.nfill_ptr.push(self.nfill_idx.len() as u32);
+                continue;
+            }
+            let brows = &self.b_rows[self.b_ptr[s] as usize..self.b_ptr[s + 1] as usize];
+            for k in s0..s1 {
+                let cc = k - s0;
+                for t in lu.l_colptr[k]..lu.l_colptr[k + 1] {
+                    let step = lu.pinv[lu.l_rows[t]];
+                    let dest = if step < s1 {
+                        (step - s0) * ws + cc
+                    } else {
+                        let bi = brows.partition_point(|&r| (r as usize) < step);
+                        debug_assert_eq!(brows[bi] as usize, step);
+                        ws * ws + bi * ws + cc
+                    };
+                    self.nfill_idx.push(dest as u32);
+                }
+            }
+            self.nfill_ptr.push(self.nfill_idx.len() as u32);
+        }
+        self.w = vec![0.0; self.max_panel];
+        self.pos = vec![u32::MAX; n];
+        self.trow = vec![0.0; MAX_WIDTH];
+    }
+
+    /// Hybrid numeric replay of new values through the blocked plan (see
+    /// the module docs for the shape).
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError::Singular`] when a recorded pivot position collapses
+    /// numerically (same contract as the scalar replay).
+    pub(crate) fn refactor(&mut self, lu: &mut SparseLu, a: &CscMatrix) -> Result<(), FactorError> {
+        lu.factored = false;
+        let nsn = self.num_supernodes();
+        for s in 0..nsn {
+            let (s0, s1) = (self.sn_ptr[s] as usize, self.sn_ptr[s + 1] as usize);
+            if s1 - s0 < PANEL_MIN_WIDTH {
+                for k in s0..s1 {
+                    Self::scalar_column(lu, a, k)?;
+                }
+                self.fill_narrow(lu, s);
+            } else {
+                self.panel(lu, a, s)?;
+            }
+        }
+        telemetry::record(telemetry::Metric::SparseBlockFlops, self.block_flops);
+        lu.factored = true;
+        Ok(())
+    }
+
+    /// One column of the scalar Gilbert–Peierls replay — identical
+    /// arithmetic, in the identical order, to [`SparseLu::refactor_into`]'s
+    /// loop body (bit-compatibility between the paths depends on it).
+    #[inline]
+    fn scalar_column(lu: &mut SparseLu, a: &CscMatrix, k: usize) -> Result<(), FactorError> {
+        let work = &mut lu.work[..lu.n];
+        let col = lu.q[k];
+        for t in lu.u_colptr[k]..lu.u_colptr[k + 1] {
+            work[lu.p[lu.u_rows[t]]] = 0.0;
+        }
+        work[lu.p[k]] = 0.0;
+        for t in lu.l_colptr[k]..lu.l_colptr[k + 1] {
+            work[lu.l_rows[t]] = 0.0;
+        }
+        for t in a.col_ptr[col]..a.col_ptr[col + 1] {
+            work[a.row_idx[t]] += a.values[t];
+        }
+        for t in lu.u_colptr[k]..lu.u_colptr[k + 1] {
+            let step = lu.u_rows[t];
+            let ux = work[lu.p[step]];
+            lu.u_vals[t] = ux;
+            if ux != 0.0 {
+                for s in lu.l_colptr[step]..lu.l_colptr[step + 1] {
+                    work[lu.l_rows[s]] -= ux * lu.l_vals[s];
+                }
+            }
+        }
+        let diag = work[lu.p[k]];
+        if !(diag.abs() > PIVOT_EPS) {
+            return Err(FactorError::Singular { pivot: k });
+        }
+        let inv = 1.0 / diag;
+        lu.inv_diag[k] = inv;
+        for t in lu.l_colptr[k]..lu.l_colptr[k + 1] {
+            lu.l_vals[t] = work[lu.l_rows[t]] * inv;
+        }
+        Ok(())
+    }
+
+    /// Processes one wide supernode through its dense panel.
+    fn panel(&mut self, lu: &mut SparseLu, a: &CscMatrix, s: usize) -> Result<(), FactorError> {
+        let (s0, s1) = (self.sn_ptr[s] as usize, self.sn_ptr[s + 1] as usize);
+        let w = s1 - s0;
+        let (ub0, ub1) = (self.u_ptr[s] as usize, self.u_ptr[s + 1] as usize);
+        let (bb0, bb1) = (self.b_ptr[s] as usize, self.b_ptr[s + 1] as usize);
+        let (ulen, blen) = (ub1 - ub0, bb1 - bb0);
+        let nr = ulen + w + blen;
+        // Panel row map (original row coordinates): U rows, the pivotal
+        // block, below rows.
+        for (i, &row) in self.u_rows[ub0..ub1].iter().enumerate() {
+            self.pos[lu.p[row as usize]] = i as u32;
+        }
+        for k in s0..s1 {
+            self.pos[lu.p[k]] = (ulen + k - s0) as u32;
+        }
+        for (i, &row) in self.b_rows[bb0..bb1].iter().enumerate() {
+            self.pos[lu.p[row as usize]] = (ulen + w + i) as u32;
+        }
+        {
+            let wbuf = &mut self.w[..nr * w];
+            wbuf.fill(0.0);
+            // Gather A's columns (every entry is inside the recorded reach,
+            // hence inside the panel).
+            for jj in 0..w {
+                let col = lu.q[s0 + jj];
+                let wcol = &mut wbuf[jj * nr..(jj + 1) * nr];
+                for t in a.col_ptr[col]..a.col_ptr[col + 1] {
+                    wcol[self.pos[a.row_idx[t]] as usize] += a.values[t];
+                }
+            }
+        }
+        // Apply every earlier supernode with recorded U entries in this
+        // panel, in ascending pivotal order, as a dense batch.
+        for t in self.up_ptr[s] as usize..self.up_ptr[s + 1] as usize {
+            let us = self.up_ids[t] as usize;
+            self.batch_wide(s, nr, us, t);
+        }
+        // Dense blocked right-looking factor of the panel's trapezoid:
+        // factor `PANEL_NB`-column blocks with rank-1 updates kept inside
+        // the block, then retire each block against the trailing columns
+        // as a unit-lower TRSM on their U rows plus one [`crate::gemm`]
+        // product on the rows below — the O(w²·nr) sweep of the plain
+        // right-looking loop becomes O(w²·nr/PANEL_NB) panel traffic.
+        let mut jb = 0;
+        while jb < w {
+            let nb = PANEL_NB.min(w - jb);
+            for jj in jb..jb + nb {
+                let wbuf = &mut self.w[..nr * w];
+                let dr = ulen + jj;
+                let diag = wbuf[jj * nr + dr];
+                if !(diag.abs() > PIVOT_EPS) {
+                    self.clear_pos(lu, s);
+                    return Err(FactorError::Singular { pivot: s0 + jj });
+                }
+                let inv = 1.0 / diag;
+                lu.inv_diag[s0 + jj] = inv;
+                for r in jj * nr + dr + 1..(jj + 1) * nr {
+                    wbuf[r] *= inv;
+                }
+                for cc in jj + 1..jb + nb {
+                    let (left, right) = wbuf.split_at_mut(cc * nr);
+                    let colj = &left[jj * nr..(jj + 1) * nr];
+                    let colc = &mut right[..nr];
+                    let u = colc[dr];
+                    if u != 0.0 {
+                        for r in dr + 1..nr {
+                            colc[r] -= u * colj[r];
+                        }
+                    }
+                }
+            }
+            let tc = jb + nb;
+            if tc >= w {
+                break;
+            }
+            let m = nr - (ulen + tc);
+            let tcols = w - tc;
+            if m > 0 && 2 * m * nb * tcols >= GEMM_MIN_FLOPS {
+                let wbuf = &mut self.w[..nr * w];
+                // TRSM only on the trailing columns' U rows; the rows
+                // below get the packed product.
+                for cc in tc..w {
+                    let (left, right) = wbuf.split_at_mut(cc * nr);
+                    let colc = &mut right[..nr];
+                    for jj in jb..jb + nb {
+                        let u = colc[ulen + jj];
+                        if u != 0.0 {
+                            let colj = &left[jj * nr..(jj + 1) * nr];
+                            for r in ulen + jj + 1..ulen + tc {
+                                colc[r] -= u * colj[r];
+                            }
+                        }
+                    }
+                }
+                self.lpk.reshape_zeroed(m, nb);
+                let lpk = self.lpk.as_mut_slice();
+                for bj in 0..nb {
+                    let colj = &wbuf[(jb + bj) * nr + ulen + tc..(jb + bj + 1) * nr];
+                    for (r, &v) in colj.iter().enumerate() {
+                        lpk[r * nb + bj] = v;
+                    }
+                }
+                self.ub.reshape_zeroed(nb, tcols);
+                let upk = self.ub.as_mut_slice();
+                for (ci, cc) in (tc..w).enumerate() {
+                    let colc = &wbuf[cc * nr + ulen + jb..];
+                    for bj in 0..nb {
+                        upk[bj * tcols + ci] = colc[bj];
+                    }
+                }
+                gemm(
+                    GemmOp::NoTrans,
+                    GemmOp::NoTrans,
+                    1.0,
+                    &self.lpk,
+                    &self.ub,
+                    0.0,
+                    &mut self.y,
+                    &mut self.gws,
+                );
+                let y = self.y.as_slice();
+                let wbuf = &mut self.w[..nr * w];
+                for (ci, cc) in (tc..w).enumerate() {
+                    let colc = &mut wbuf[cc * nr + ulen + tc..(cc + 1) * nr];
+                    for (r, v) in colc.iter_mut().enumerate() {
+                        *v -= y[r * tcols + ci];
+                    }
+                }
+            } else {
+                // Small trailer: one combined TRSM + update pass per
+                // column.
+                let wbuf = &mut self.w[..nr * w];
+                for cc in tc..w {
+                    let (left, right) = wbuf.split_at_mut(cc * nr);
+                    let colc = &mut right[..nr];
+                    for jj in jb..jb + nb {
+                        let u = colc[ulen + jj];
+                        if u != 0.0 {
+                            let colj = &left[jj * nr..(jj + 1) * nr];
+                            for r in ulen + jj + 1..nr {
+                                colc[r] -= u * colj[r];
+                            }
+                        }
+                    }
+                }
+            }
+            jb = tc;
+        }
+        let wbuf = &mut self.w[..nr * w];
+        // Store the supernode's blocks for later batch updates.
+        {
+            let ld = self.ldiag[s].as_mut_slice();
+            let lb = self.lbelow[s].as_mut_slice();
+            for cc in 0..w {
+                let wcol = &wbuf[cc * nr..(cc + 1) * nr];
+                for rr in cc + 1..w {
+                    ld[rr * w + cc] = wcol[ulen + rr];
+                }
+                for bi in 0..blen {
+                    lb[bi * w + cc] = wcol[ulen + w + bi];
+                }
+            }
+        }
+        // Scatter back into the recorded factor arrays (solve_into, later
+        // scalar columns, and later panel axpys all read this storage)
+        // through the precomputed scatter-order map.
+        let mut si = self.store_ptr[s] as usize;
+        for jj in 0..w {
+            let k = s0 + jj;
+            let wcol = &wbuf[jj * nr..(jj + 1) * nr];
+            for t in lu.u_colptr[k]..lu.u_colptr[k + 1] {
+                lu.u_vals[t] = wcol[self.store_idx[si] as usize];
+                si += 1;
+            }
+            for t in lu.l_colptr[k]..lu.l_colptr[k + 1] {
+                lu.l_vals[t] = wcol[self.store_idx[si] as usize];
+                si += 1;
+            }
+        }
+        self.clear_pos(lu, s);
+        Ok(())
+    }
+
+    /// Mirrors a just-computed narrow supernode's recorded L values into
+    /// its dense `ldiag`/`lbelow` blocks through the precomputed `nfill`
+    /// scatter map, so later panels can batch it like any wide updater.
+    fn fill_narrow(&mut self, lu: &SparseLu, s: usize) {
+        let (f0, f1) = (self.nfill_ptr[s] as usize, self.nfill_ptr[s + 1] as usize);
+        if f0 == f1 {
+            return;
+        }
+        let (s0, s1) = (self.sn_ptr[s] as usize, self.sn_ptr[s + 1] as usize);
+        let sq = (s1 - s0) * (s1 - s0);
+        let ld = self.ldiag[s].as_mut_slice();
+        let lb = self.lbelow[s].as_mut_slice();
+        let mut fi = f0;
+        for k in s0..s1 {
+            for t in lu.l_colptr[k]..lu.l_colptr[k + 1] {
+                let dest = self.nfill_idx[fi] as usize;
+                fi += 1;
+                if dest < sq {
+                    ld[dest] = lu.l_vals[t];
+                } else {
+                    lb[dest - sq] = lu.l_vals[t];
+                }
+            }
+        }
+    }
+
+    /// Applies updater supernode `us` to panel supernode `s` as a batch:
+    /// gather the U block, finalize it with a unit-lower TRSM against the
+    /// updater's diagonal block, write it back, then subtract the product
+    /// of the updater's sub-diagonal block with it. `pair` indexes the
+    /// precomputed gather/scatter maps in `pair_idx`. Large products go
+    /// through the [`crate::gemm`] micro-kernel; small ones run a fused
+    /// multiply-scatter that skips relaxed-zero multipliers and rows
+    /// outside the panel.
+    #[inline]
+    fn batch_wide(&mut self, s: usize, nr: usize, us: usize, pair: usize) {
+        let w = (self.sn_ptr[s + 1] - self.sn_ptr[s]) as usize;
+        let (t0, t1) = (self.sn_ptr[us] as usize, self.sn_ptr[us + 1] as usize);
+        let ws = t1 - t0;
+        let blen = (self.b_ptr[us + 1] - self.b_ptr[us]) as usize;
+        let pr = self.pair_ptr[pair] as usize;
+        let (ub_map, y_map) = self.pair_idx[pr..pr + ws + blen].split_at(ws);
+        // Compressed panel columns: only these receive nonzero
+        // contributions from this updater.
+        let cols = &self.pc_idx[self.pc_ptr[pair] as usize..self.pc_ptr[pair + 1] as usize];
+        let wc = cols.len();
+        let wbuf = &mut self.w[..nr * w];
+        if ws == 1 {
+            // Singleton updater: the panel already holds its finalized U
+            // row (no intra-supernode dependency), so skip the
+            // gather/TRSM round-trip and fuse the rank-1 update directly.
+            if blen == 0 {
+                return;
+            }
+            let pu = ub_map[0] as usize;
+            let lb = self.lbelow[us].as_slice();
+            let trow = &mut self.trow[..wc];
+            for (ci, v) in trow.iter_mut().enumerate() {
+                *v = wbuf[cols[ci] as usize * nr + pu];
+            }
+            for (bi, &p) in y_map.iter().enumerate() {
+                if p == u32::MAX {
+                    continue;
+                }
+                let l = lb[bi];
+                if l != 0.0 {
+                    for (ci, v) in trow.iter().enumerate() {
+                        wbuf[cols[ci] as usize * nr + p as usize] -= l * *v;
+                    }
+                }
+            }
+            return;
+        }
+        // Gather the U block (absent rows carry exact zeros).
+        self.ub.reshape_zeroed(ws, wc);
+        let ub = self.ub.as_mut_slice();
+        for (jj, &p) in ub_map.iter().enumerate() {
+            if p != u32::MAX {
+                for (ci, v) in ub[jj * wc..(jj + 1) * wc].iter_mut().enumerate() {
+                    *v = wbuf[cols[ci] as usize * nr + p as usize];
+                }
+            }
+        }
+        // TRSM with the updater's unit-lower diagonal block: finalizes
+        // U(updater columns, reached panel columns). Blocked like the
+        // panel factor — scalar solves on `PANEL_NB`-row diagonal blocks,
+        // the rows below each block retired through one [`crate::gemm`]
+        // product (the dominant cost once updaters grow past ~64 columns).
+        let ld = self.ldiag[us].as_slice();
+        let mut b0 = 0;
+        while b0 < ws {
+            let bn = PANEL_NB.min(ws - b0);
+            for jj in b0 + 1..b0 + bn {
+                for kk in b0..jj {
+                    let l = ld[jj * ws + kk];
+                    if l != 0.0 {
+                        for ci in 0..wc {
+                            let v = l * ub[kk * wc + ci];
+                            ub[jj * wc + ci] -= v;
+                        }
+                    }
+                }
+            }
+            let below = ws - (b0 + bn);
+            if below == 0 {
+                break;
+            }
+            if 2 * below * bn * wc >= GEMM_MIN_FLOPS {
+                self.lpk.reshape_zeroed(below, bn);
+                let lpk = self.lpk.as_mut_slice();
+                for (r, row) in (b0 + bn..ws).enumerate() {
+                    lpk[r * bn..(r + 1) * bn]
+                        .copy_from_slice(&ld[row * ws + b0..row * ws + b0 + bn]);
+                }
+                self.bpk.reshape_zeroed(bn, wc);
+                self.bpk
+                    .as_mut_slice()
+                    .copy_from_slice(&ub[b0 * wc..(b0 + bn) * wc]);
+                gemm(
+                    GemmOp::NoTrans,
+                    GemmOp::NoTrans,
+                    1.0,
+                    &self.lpk,
+                    &self.bpk,
+                    0.0,
+                    &mut self.y,
+                    &mut self.gws,
+                );
+                let y = self.y.as_slice();
+                for (v, yv) in ub[(b0 + bn) * wc..ws * wc].iter_mut().zip(y) {
+                    *v -= yv;
+                }
+            } else {
+                for jj in b0 + bn..ws {
+                    for kk in b0..b0 + bn {
+                        let l = ld[jj * ws + kk];
+                        if l != 0.0 {
+                            for ci in 0..wc {
+                                let v = l * ub[kk * wc + ci];
+                                ub[jj * wc + ci] -= v;
+                            }
+                        }
+                    }
+                }
+            }
+            b0 += bn;
+        }
+        // Write the finalized U rows back into the panel.
+        for (jj, &p) in ub_map.iter().enumerate() {
+            if p != u32::MAX {
+                for (ci, v) in ub[jj * wc..(jj + 1) * wc].iter().enumerate() {
+                    wbuf[cols[ci] as usize * nr + p as usize] = *v;
+                }
+            }
+        }
+        if blen == 0 {
+            return;
+        }
+        let lb = self.lbelow[us].as_slice();
+        if 2 * blen * ws * wc >= GEMM_MIN_FLOPS {
+            // Dense trailing blocks: the packed micro-kernel wins.
+            gemm(
+                GemmOp::NoTrans,
+                GemmOp::NoTrans,
+                1.0,
+                &self.lbelow[us],
+                &self.ub,
+                0.0,
+                &mut self.y,
+                &mut self.gws,
+            );
+            let y = self.y.as_slice();
+            for (bi, &p) in y_map.iter().enumerate() {
+                if p != u32::MAX {
+                    for (ci, yv) in y[bi * wc..(bi + 1) * wc].iter().enumerate() {
+                        wbuf[cols[ci] as usize * nr + p as usize] -= yv;
+                    }
+                }
+            }
+        } else {
+            // Fused small product: one accumulated panel row at a time,
+            // contiguous in the reached columns, skipping zero multipliers
+            // (relaxed padding) and rows outside the panel entirely.
+            let trow = &mut self.trow[..wc];
+            for (bi, &p) in y_map.iter().enumerate() {
+                if p == u32::MAX {
+                    continue;
+                }
+                trow.fill(0.0);
+                for kk in 0..ws {
+                    let l = lb[bi * ws + kk];
+                    if l != 0.0 {
+                        let urow = &ub[kk * wc..(kk + 1) * wc];
+                        for (ci, v) in trow.iter_mut().enumerate() {
+                            *v += l * urow[ci];
+                        }
+                    }
+                }
+                for (ci, v) in trow.iter().enumerate() {
+                    wbuf[cols[ci] as usize * nr + p as usize] -= *v;
+                }
+            }
+        }
+    }
+
+    /// Resets the row map entries of supernode `s`'s panel.
+    fn clear_pos(&mut self, lu: &SparseLu, s: usize) {
+        for &row in &self.u_rows[self.u_ptr[s] as usize..self.u_ptr[s + 1] as usize] {
+            self.pos[lu.p[row as usize]] = u32::MAX;
+        }
+        for k in self.sn_ptr[s] as usize..self.sn_ptr[s + 1] as usize {
+            self.pos[lu.p[k]] = u32::MAX;
+        }
+        for &row in &self.b_rows[self.b_ptr[s] as usize..self.b_ptr[s + 1] as usize] {
+            self.pos[lu.p[row as usize]] = u32::MAX;
+        }
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+
+    fn grid_matrix(rows: usize, cols: usize) -> CscMatrix {
+        let n = rows * cols;
+        let mut dense = Matrix::zeros(n, n);
+        for r in 0..rows {
+            for c in 0..cols {
+                let k = r * cols + c;
+                dense[(k, k)] = 4.0 + (k as f64) * 1e-3;
+                if c + 1 < cols {
+                    dense[(k, k + 1)] = -1.0 - (k as f64) * 1e-5;
+                    dense[(k + 1, k)] = -1.0 - (k as f64) * 1e-5;
+                }
+                if r + 1 < rows {
+                    dense[(k, k + cols)] = -1.0 - (k as f64) * 2e-5;
+                    dense[(k + cols, k)] = -1.0 - (k as f64) * 2e-5;
+                }
+                if c + 3 < cols {
+                    dense[(k, k + 3)] = -0.125 - (k as f64) * 1e-5;
+                    dense[(k + 3, k)] = -0.125 - (k as f64) * 1e-5;
+                    dense[(k, k)] += 0.125;
+                    dense[(k + 3, k + 3)] += 0.125;
+                }
+                if r + 3 < rows {
+                    dense[(k, k + 3 * cols)] = -0.125 - (k as f64) * 2e-5;
+                    dense[(k + 3 * cols, k)] = -0.125 - (k as f64) * 2e-5;
+                    dense[(k, k)] += 0.125;
+                    dense[(k + 3 * cols, k + 3 * cols)] += 0.125;
+                }
+                if c + 2 < cols {
+                    dense[(k, k + 2)] = -0.25 - (k as f64) * 1e-5;
+                    dense[(k + 2, k)] = -0.25 - (k as f64) * 1e-5;
+                    dense[(k, k)] += 0.25;
+                    dense[(k + 2, k + 2)] += 0.25;
+                }
+                if r + 2 < rows {
+                    dense[(k, k + 2 * cols)] = -0.25 - (k as f64) * 2e-5;
+                    dense[(k + 2 * cols, k)] = -0.25 - (k as f64) * 2e-5;
+                    dense[(k, k)] += 0.25;
+                    dense[(k + 2 * cols, k + 2 * cols)] += 0.25;
+                }
+                if r + 1 < rows && c + 1 < cols {
+                    dense[(k, k + cols + 1)] = -0.5 - (k as f64) * 1e-5;
+                    dense[(k + cols + 1, k)] = -0.5 - (k as f64) * 1e-5;
+                    dense[(k + 1, k + cols)] = -0.5 - (k as f64) * 2e-5;
+                    dense[(k + cols, k + 1)] = -0.5 - (k as f64) * 2e-5;
+                    dense[(k, k)] += 1.0;
+                    dense[(k + 1, k + 1)] += 1.0;
+                    dense[(k + cols, k + cols)] += 1.0;
+                    dense[(k + cols + 1, k + cols + 1)] += 1.0;
+                }
+            }
+        }
+        CscMatrix::from_dense(&dense)
+    }
+
+    /// Auto dispatch quality: engages on mesh patterns whose factors have
+    /// dense trailing structure, declines on banded patterns (whose
+    /// relaxed panels would be padding-dominated) and below
+    /// [`SUPERNODAL_MIN_N`].
+    #[test]
+    fn auto_dispatch_engages_on_meshes_not_bands() {
+        let mut lu = SparseLu::new();
+        lu.factor(&grid_matrix(23, 23)).unwrap();
+        assert!(lu.supernodal_active(), "mesh must dispatch blocked");
+
+        let n = 128;
+        let band = Matrix::from_fn(n, n, |i, j| {
+            let d = i.abs_diff(j);
+            if d == 0 {
+                4.0 + i as f64 * 0.01
+            } else if d <= 2 {
+                -1.0 - ((i * 7 + j) % 5) as f64 * 0.05
+            } else {
+                0.0
+            }
+        });
+        let mut lu = SparseLu::new();
+        lu.factor(&CscMatrix::from_dense(&band)).unwrap();
+        assert!(!lu.supernodal_active(), "banded patterns must stay scalar");
+
+        let mut lu = SparseLu::new();
+        lu.factor(&grid_matrix(7, 7)).unwrap();
+        assert!(
+            !lu.supernodal_active(),
+            "systems below SUPERNODAL_MIN_N must stay scalar"
+        );
+    }
+
+    /// Diagnostic (run with `--ignored --nocapture`): supernode width
+    /// histogram and the flop share carried by panel columns on grid
+    /// Laplacians — the statistics the Auto dispatch thresholds were tuned
+    /// against.
+    #[test]
+    #[ignore]
+    fn print_mesh_supernode_stats() {
+        for side in [15usize, 23, 32] {
+            let a = grid_matrix(side, side);
+            let n = side * side;
+            let mut lu = SparseLu::new();
+            lu.set_supernodal_mode(SupernodalMode::ForceBlocked);
+            lu.factor(&a).unwrap();
+            let sn = lu.supernodal.as_ref().unwrap();
+            let nsn = sn.num_supernodes();
+            let mut hist = std::collections::BTreeMap::new();
+            for s in 0..nsn {
+                *hist.entry(sn.width(s)).or_insert(0usize) += 1;
+            }
+            let (mut total, mut panel) = (0u64, 0u64);
+            for j in 0..n {
+                let mut col = 0u64;
+                for t in lu.u_colptr[j]..lu.u_colptr[j + 1] {
+                    let k = lu.u_rows[t];
+                    col += 1 + 2 * (lu.l_colptr[k + 1] - lu.l_colptr[k]) as u64;
+                }
+                total += col;
+                if sn.width(sn.col_sn[j] as usize) >= PANEL_MIN_WIDTH {
+                    panel += col;
+                }
+            }
+            eprintln!(
+                "n={n}: {nsn} supernodes ({} wide), panel-col flops {panel}/{total}, \
+                 plan_flops={}, widths {hist:?}",
+                sn.wide_supernodes, sn.block_flops
+            );
+        }
+    }
+}

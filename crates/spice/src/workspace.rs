@@ -56,11 +56,19 @@ use crate::stamp::{
 
 /// Systems smaller than this always use the dense kernel (the sparse
 /// machinery's per-column bookkeeping only pays off once the O(n³) dense
-/// elimination dominates).
+/// elimination dominates). Measured against the supernodal engine on
+/// banded dominant systems (`probe_dense_sparse_crossover` in the bench
+/// crate): below n ≈ 16–24 the two kernels are within noise of each
+/// other at MNA-like densities, so the simpler dense path keeps the
+/// small-circuit hot loop.
 const SPARSE_MIN_UNKNOWNS: usize = 24;
 
-/// Assembled densities above this fraction keep the dense kernel.
-const SPARSE_MAX_DENSITY: f64 = 0.40;
+/// Assembled densities above this fraction keep the dense kernel. The
+/// measured refactor-vs-`factor_into` crossover sits at ≈0.45 density
+/// for n = 16–64 (dense wins 1.1–3× above it, sparse wins up to 3.7×
+/// below it with the supernodal blocked replay on Auto dispatch); 0.45
+/// takes the sparse side of the band.
+const SPARSE_MAX_DENSITY: f64 = 0.45;
 
 /// Upper bound on pooled workspaces kept alive for reuse.
 const POOL_CAP: usize = 64;
@@ -720,6 +728,20 @@ impl NewtonWorkspace {
         self.plans[idx]
             .as_ref()
             .is_some_and(|p| p.topo == self.topo && p.sparse.is_some())
+    }
+
+    /// True if the `(current topology, kind)` pair's sparse kernel is
+    /// running the supernodal *blocked* numeric replay — post-layout-scale
+    /// systems whose recorded pattern formed dense panels under
+    /// [`linalg::SupernodalMode::Auto`] dispatch (diagnostics/tests).
+    pub fn uses_blocked_sparse(&self, kind_is_tran: bool) -> bool {
+        let idx = usize::from(kind_is_tran);
+        self.plans[idx].as_ref().is_some_and(|p| {
+            p.topo == self.topo
+                && p.sparse
+                    .as_ref()
+                    .is_some_and(|st| st.lu.supernodal_active())
+        })
     }
 }
 

@@ -218,10 +218,22 @@ pub enum Metric {
     TrainSteps,
     /// Network freeze transitions (critic handed to the actor).
     ModelFreezes,
+    /// Supernodes (width ≥ 2 dense column blocks) detected per sparse
+    /// symbolic plan.
+    SparseSupernodes,
+    /// Dense-block floating-point operations per supernodal (blocked)
+    /// numeric factorization — the work routed through TRSM/GEMM panels
+    /// instead of scalar column updates.
+    SparseBlockFlops,
+    /// Sparse numeric-path dispatch decisions: recorded once per symbolic
+    /// plan with `v = 1` when the supernodal (blocked) path was selected
+    /// and `v = 0` for scalar Gilbert–Peierls (count = decisions, sum =
+    /// blocked selections).
+    SparseBlockedDispatch,
 }
 
 /// Number of [`Metric`] variants.
-pub const NUM_METRICS: usize = 15;
+pub const NUM_METRICS: usize = 18;
 
 impl Metric {
     /// Every metric, in declaration order.
@@ -241,6 +253,9 @@ impl Metric {
         Metric::FaultsInjected,
         Metric::TrainSteps,
         Metric::ModelFreezes,
+        Metric::SparseSupernodes,
+        Metric::SparseBlockFlops,
+        Metric::SparseBlockedDispatch,
     ];
 
     /// Stable snake_case name (JSONL field, summary row).
@@ -261,6 +276,9 @@ impl Metric {
             Metric::FaultsInjected => "faults_injected",
             Metric::TrainSteps => "train_steps",
             Metric::ModelFreezes => "model_freezes",
+            Metric::SparseSupernodes => "sparse_supernodes",
+            Metric::SparseBlockFlops => "sparse_block_flops",
+            Metric::SparseBlockedDispatch => "sparse_blocked_dispatch",
         }
     }
 }

@@ -364,4 +364,35 @@ fn serial_and_parallel_runs_are_bit_identical() {
         ws.uses_sparse_ac(),
         "ladder AC/noise sweeps must run the sparse complex kernel"
     );
+
+    // Post-layout mesh topology through the supernodal blocked replay: the
+    // panel batches run the same threaded GEMM micro-kernel as training,
+    // so factor + refactor + solve must stay bit-identical at any thread
+    // count — with the blocked path demonstrably active.
+    let mesh_solution = |threads: usize| {
+        use spice::stamp::{stamp_resistive_system, RealStamper, SourceEval};
+        parallel::set_max_threads(threads);
+        let ckt = circuits::mesh::build_rc_grid(500);
+        let mut st = RealStamper::new(&ckt);
+        let x0 = vec![0.0; 500];
+        st.clear();
+        st.load_gmin(1e-12);
+        stamp_resistive_system(&ckt, &x0, SourceEval::Dc { scale: 1.0 }, &mut st);
+        let a = linalg::CscMatrix::from_dense(&st.a);
+        let mut slu = linalg::SparseLu::new();
+        slu.set_supernodal_mode(linalg::SupernodalMode::ForceBlocked);
+        slu.factor(&a).unwrap();
+        assert!(slu.supernodal_active(), "mesh must engage the blocked path");
+        assert!(slu.wide_supernodes() > 0, "mesh must form dense panels");
+        slu.refactor_into(&a).unwrap();
+        let mut x = Vec::new();
+        slu.solve_into(&st.z, &mut x).unwrap();
+        parallel::set_max_threads(0);
+        x.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+    };
+    assert_eq!(
+        mesh_solution(1),
+        mesh_solution(8),
+        "supernodal mesh factorization must be bit-identical serial vs parallel"
+    );
 }
