@@ -49,6 +49,25 @@ pub fn mesh_dc_system(n: usize) -> (linalg::CscMatrix, Vec<f64>) {
     (linalg::CscMatrix::from_dense(&st.a), st.z)
 }
 
+/// The assembled complex AC systems `(G + jωC)·x = z` of the post-layout
+/// RC mesh ([`circuits::mesh::build_rc_grid`]) at `n` unknowns, one per
+/// point of a one-point-per-decade 1 MHz–1 GHz sweep: the systems the
+/// complex supernodal replay is tuned on. One definition shared by
+/// `benches/sparse_scaling.rs` and [`baseline::refresh`], so the recorded
+/// scalar-vs-supernodal AC rows always measure the same sweep as
+/// `cargo bench`.
+pub fn mesh_ac_systems(n: usize) -> Vec<(linalg::CscComplexMatrix, Vec<linalg::C64>)> {
+    let ckt = circuits::mesh::build_rc_grid(n);
+    let gmin = spice::SimOptions::default().gmin;
+    spice::log_freqs(1e6, 1e9, 1)
+        .iter()
+        .map(|&f| {
+            let st = assemble_linear_small_signal(&ckt, 2.0 * std::f64::consts::PI * f, gmin);
+            (linalg::CscComplexMatrix::from_dense_rows(&st.a), st.z)
+        })
+        .collect()
+}
+
 /// The MOS-loaded ladder of the Newton-kernel benchmarks (n = 32 unknowns
 /// at 30 stages): its linearized MNA system is representative of the
 /// circuits crate's testbenches (~2·n unknowns, MOSFET stamps). Shared by
@@ -358,6 +377,54 @@ pub mod baseline {
                         slu.refactor_into(black_box(&csc)).unwrap();
                     })
                 });
+            }
+        }
+
+        // The complex AC-mesh rows (identical bodies to
+        // `benches/sparse_scaling.rs`): one scan-free numeric replay of
+        // every `G + jωC` point of the RC-mesh sweep per iteration,
+        // scalar complex Gilbert–Peierls vs the supernodal blocked
+        // replay (acceptance target: supernodal ≥1.8× at n ≥ 500).
+        for n in [200usize, 500, 1000] {
+            let systems = crate::mesh_ac_systems(n);
+            for (suffix, mode) in [
+                ("scalar", linalg::SupernodalMode::ForceScalar),
+                ("supernodal", linalg::SupernodalMode::ForceBlocked),
+            ] {
+                c.bench_function(&format!("ac_sweep_kernel_mesh_n{n}_{suffix}"), |b| {
+                    let mut slu = SparseComplexLu::new();
+                    slu.set_supernodal_mode(mode);
+                    slu.factor(&systems[0].0).unwrap();
+                    b.iter(|| {
+                        for (csc, _) in &systems {
+                            slu.refactor_into(black_box(csc)).unwrap();
+                        }
+                    })
+                });
+            }
+        }
+
+        // The etree-parallel replay rows (identical bodies to
+        // `benches/sparse_scaling.rs`): the n = 1000 mesh refactorization
+        // at fixed worker counts through the shared pool. Bit-identical
+        // results at every count; the per-row `host_cpus` field says
+        // whether a recorded number is from a real multi-core regime.
+        {
+            let (csc, _z) = crate::mesh_dc_system(1000);
+            for threads in [1usize, 2, 4, 8] {
+                c.bench_function(
+                    &format!("newton_dc_kernel_mesh_n1000_supernodal_t{threads}"),
+                    |b| {
+                        linalg::pool::set_max_threads(threads);
+                        let mut slu = SparseLu::new();
+                        slu.set_supernodal_mode(linalg::SupernodalMode::ForceBlocked);
+                        slu.factor(&csc).unwrap();
+                        b.iter(|| {
+                            slu.refactor_into(black_box(&csc)).unwrap();
+                        });
+                        linalg::pool::set_max_threads(0);
+                    },
+                );
             }
         }
 

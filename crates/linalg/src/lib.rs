@@ -21,7 +21,11 @@
 //! - [`CscMatrix`] and [`SparseLu`]: KLU-style sparse LU with a recorded
 //!   elimination pattern — one symbolic analysis per topology, a scan-free
 //!   [`SparseLu::refactor_into`] per Newton iteration. The simulator
-//!   auto-selects this path for large, sparse MNA systems.
+//!   auto-selects this path for large, sparse MNA systems. The whole
+//!   sparse pipeline is one generic implementation over [`Scalar`]
+//!   ([`CscT`]/[`SparseLuT`]), monomorphized for `f64` and [`C64`], and
+//!   includes a supernodal blocked replay with a deterministic
+//!   etree-parallel mode over the shared [`pool`].
 //! - [`Cholesky`]: factorization of symmetric positive-definite matrices,
 //!   used by Gaussian-process regression (with log-determinants for the
 //!   marginal likelihood).
@@ -51,6 +55,7 @@ mod gemm;
 mod lu;
 mod matrix;
 pub mod pool;
+mod scalar;
 mod sparse;
 mod sparse_complex;
 mod supernodal;
@@ -64,7 +69,8 @@ pub use gemm::{
 };
 pub use lu::{Lu, LuWorkspace};
 pub use matrix::Matrix;
-pub use sparse::{CscMatrix, SparseLu};
+pub use scalar::{C64Planes, ComplexGemmScratch, Scalar};
+pub use sparse::{CscMatrix, CscT, SparseLu, SparseLuT};
 pub use sparse_complex::{CscComplexMatrix, SparseComplexLu};
 pub use supernodal::SupernodalMode;
 

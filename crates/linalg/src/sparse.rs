@@ -4,53 +4,68 @@
 //! Newton solve, only their *values* change — the sparsity pattern is fixed
 //! by the circuit topology. This module exploits that split:
 //!
-//! - [`CscMatrix`] stores the system in compressed-sparse-column form.
-//!   [`CscMatrix::from_coordinates`] additionally returns a *slot map* so a
-//!   stamper that replays the same write sequence every assembly can write
-//!   each contribution straight into the value array (`values[slot] += g`)
-//!   with no index search at all.
-//! - [`SparseLu::factor`] runs a left-looking Gilbert–Peierls LU with
+//! - [`CscT`] stores the system in compressed-sparse-column form over any
+//!   [`Scalar`] element type ([`CscMatrix`] = real, [`crate::
+//!   CscComplexMatrix`] = complex). [`CscT::from_coordinates`] additionally
+//!   returns a *slot map* so a stamper that replays the same write sequence
+//!   every assembly can write each contribution straight into the value
+//!   array (`values[slot] += g`) with no index search at all.
+//! - [`SparseLuT::factor`] runs a left-looking Gilbert–Peierls LU with
 //!   partial pivoting on top of a minimum-degree column preordering,
 //!   recording the full elimination pattern (reach sets, fill positions,
 //!   pivot sequence).
-//! - [`SparseLu::refactor_into`] replays that recording on new values:
+//! - [`SparseLuT::refactor_into`] replays that recording on new values:
 //!   no pivot search, no reachability DFS, no per-pivot column scans —
 //!   just gather/scatter over precomputed index lists. This is the
-//!   per-Newton-iteration kernel.
+//!   per-Newton-iteration (and, for the complex instantiation, the
+//!   per-frequency-point) kernel.
+//! - [`SparseLuT::solve_transpose_into`] solves `Aᵀ·y = b` on the same
+//!   factors — the noise analysis' adjoint system shares one
+//!   factorization per frequency point with the forward AC solve.
+//!
+//! The whole numeric plane — scalar replay *and* the supernodal blocked
+//! replay in `supernodal.rs` — is generic over [`Scalar`], so the real and
+//! complex paths are one implementation and cannot drift.
 //!
 //! The intended rhythm (mirrored by `spice::NewtonWorkspace`): analyze the
 //! pattern once per topology, `factor` once per solve to pin the pivot
 //! sequence to the current value range, then `refactor_into` every
 //! subsequent iteration.
 
+use crate::scalar::Scalar;
 use crate::supernodal::Supernodal;
 use crate::{FactorError, Matrix, SupernodalMode};
 
 /// Pivots smaller than this are treated as singular — the same absolute
-/// threshold the dense [`crate::Lu`] uses, so the two paths agree on what
-/// "singular" means.
+/// threshold the dense [`crate::Lu`] and [`crate::ComplexLu`] use, so the
+/// paths agree on what "singular" means.
 pub(crate) const PIVOT_EPS: f64 = 1e-300;
 
-/// A square sparse matrix in compressed-sparse-column (CSC) form.
+/// A square sparse matrix in compressed-sparse-column (CSC) form, generic
+/// over the element type ([`CscMatrix`] for `f64`,
+/// [`crate::CscComplexMatrix`] for [`crate::C64`]).
 ///
 /// The pattern (`col_ptr`/`row_idx`) is fixed at construction; only the
 /// value array changes between factorizations.
 #[derive(Debug, Clone)]
-pub struct CscMatrix {
-    n: usize,
+pub struct CscT<T: Scalar> {
+    pub(crate) n: usize,
     /// Column start offsets, length `n + 1`.
     pub(crate) col_ptr: Vec<usize>,
     /// Row index of each stored entry, column-major, rows ascending.
     pub(crate) row_idx: Vec<usize>,
     /// Entry values, aligned with `row_idx`.
-    pub(crate) values: Vec<f64>,
+    pub(crate) values: Vec<T>,
 }
+
+/// Real CSC matrix (the DC/transient MNA system).
+pub type CscMatrix = CscT<f64>;
 
 /// Builds the CSC pattern arrays holding every coordinate in `coords`
 /// (duplicates allowed — they share a slot). Returns `(col_ptr, row_idx,
 /// slots)` where `slots[k]` is the value-array index backing `coords[k]`.
-/// Shared by the real [`CscMatrix`] and the complex
-/// [`crate::CscComplexMatrix`], whose patterns are built the same way.
+/// Shared by every [`CscT`] instantiation, so the real and complex
+/// patterns built from the same coordinates get identical slot maps.
 ///
 /// # Panics
 ///
@@ -86,11 +101,11 @@ pub(crate) fn pattern_from_coordinates(
     (col_ptr, row_idx, slots)
 }
 
-impl CscMatrix {
+impl<T: Scalar> CscT<T> {
     /// Builds the pattern holding every coordinate in `coords` (duplicates
     /// allowed — they share a slot) with all values zero. Returns the
     /// matrix and a *slot map*: `slots[k]` is the index into
-    /// [`CscMatrix::values`] backing `coords[k]`, so a caller replaying the
+    /// [`CscT::values`] backing `coords[k]`, so a caller replaying the
     /// same write sequence can assemble with `values[slots[k]] += v`.
     ///
     /// # Panics
@@ -99,15 +114,63 @@ impl CscMatrix {
     pub fn from_coordinates(n: usize, coords: &[(usize, usize)]) -> (Self, Vec<u32>) {
         let (col_ptr, row_idx, slots) = pattern_from_coordinates(n, coords);
         let nnz = row_idx.len();
-        let mat = CscMatrix {
+        let mat = CscT {
             n,
             col_ptr,
             row_idx,
-            values: vec![0.0; nnz],
+            values: vec![T::ZERO; nnz],
         };
         (mat, slots)
     }
 
+    /// Dimension of the (square) matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Stored values (column-major, aligned with the pattern).
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values, for slot-map assembly.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Swaps the value storage out (and back in), letting a stamper own the
+    /// array during assembly without copying. The replacement must have the
+    /// same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.nnz()`.
+    pub fn swap_values(&mut self, values: &mut Vec<T>) {
+        assert_eq!(values.len(), self.nnz(), "value array length mismatch");
+        std::mem::swap(&mut self.values, values);
+    }
+
+    /// Zeroes every stored value, keeping the pattern.
+    pub fn set_zero(&mut self) {
+        self.values.fill(T::ZERO);
+    }
+
+    /// Entries of one column as `(row, value)` pairs.
+    fn col(&self, c: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        let range = self.col_ptr[c]..self.col_ptr[c + 1];
+        self.row_idx[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&r, &v)| (r, v))
+    }
+}
+
+impl CscMatrix {
     /// Builds a CSC matrix from the exact nonzero pattern (and values) of a
     /// dense matrix. Test/bench helper.
     ///
@@ -126,52 +189,6 @@ impl CscMatrix {
             m.values[s as usize] = a[(i, j)];
         }
         m
-    }
-
-    /// Dimension of the (square) matrix.
-    pub fn n(&self) -> usize {
-        self.n
-    }
-
-    /// Number of stored entries.
-    pub fn nnz(&self) -> usize {
-        self.row_idx.len()
-    }
-
-    /// Stored values (column-major, aligned with the pattern).
-    pub fn values(&self) -> &[f64] {
-        &self.values
-    }
-
-    /// Mutable access to the stored values, for slot-map assembly.
-    pub fn values_mut(&mut self) -> &mut [f64] {
-        &mut self.values
-    }
-
-    /// Swaps the value storage out (and back in), letting a stamper own the
-    /// array during assembly without copying. The replacement must have the
-    /// same length.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `values.len() != self.nnz()`.
-    pub fn swap_values(&mut self, values: &mut Vec<f64>) {
-        assert_eq!(values.len(), self.nnz(), "value array length mismatch");
-        std::mem::swap(&mut self.values, values);
-    }
-
-    /// Zeroes every stored value, keeping the pattern.
-    pub fn set_zero(&mut self) {
-        self.values.fill(0.0);
-    }
-
-    /// Entries of one column as `(row, value)` pairs.
-    fn col(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
-        let range = self.col_ptr[c]..self.col_ptr[c + 1];
-        self.row_idx[range.clone()]
-            .iter()
-            .zip(&self.values[range])
-            .map(|(&r, &v)| (r, v))
     }
 
     /// Densifies the matrix (test helper).
@@ -209,7 +226,10 @@ const FILL_GUARD_NODE_FACTOR: usize = 64;
 /// inserts more edges than the [`FILL_GUARD_EDGE_FACTOR`] budget allows,
 /// the pattern is densifying under min-degree anyway and the function
 /// returns the natural order `0..n` instead of silently spending quadratic
-/// time and memory on the quotient graph.
+/// time and memory on the quotient graph. The bailout is observable: it
+/// records one [`telemetry::Metric::SparseFillGuardFallbacks`] count (the
+/// fallback trades factorization fill for ordering time, which is worth
+/// knowing about when a workload triggers it systematically).
 pub(crate) fn min_degree_order_pattern(
     n: usize,
     col_ptr: &[usize],
@@ -251,6 +271,7 @@ pub(crate) fn min_degree_order_pattern(
             }
         }
         if fill > fill_budget {
+            telemetry::record(telemetry::Metric::SparseFillGuardFallbacks, 1);
             let mut natural: Vec<usize> = (0..n).collect();
             etree_postorder(n, col_ptr, row_idx, &mut natural);
             return natural;
@@ -368,12 +389,15 @@ fn etree_postorder(n: usize, col_ptr: &[usize], row_idx: &[usize], order: &mut [
     }
 }
 
-/// [`min_degree_order_pattern`] applied to a real CSC matrix.
-fn min_degree_order(a: &CscMatrix) -> Vec<usize> {
+/// [`min_degree_order_pattern`] applied to a CSC matrix of any element
+/// type (the ordering reads only the pattern).
+fn min_degree_order<T: Scalar>(a: &CscT<T>) -> Vec<usize> {
     min_degree_order_pattern(a.n, &a.col_ptr, &a.row_idx)
 }
 
-/// Sparse LU factorization with a recorded elimination pattern.
+/// Sparse LU factorization with a recorded elimination pattern, generic
+/// over the element type ([`SparseLu`] for `f64`,
+/// [`crate::SparseComplexLu`] for [`crate::C64`]).
 ///
 /// `L` is unit lower triangular (unit diagonal implicit) and stored with
 /// *original* row indices; `U` is upper triangular and stored with
@@ -398,7 +422,7 @@ fn min_degree_order(a: &CscMatrix) -> Vec<usize> {
 /// assert!((x[0] - 0.8).abs() < 1e-12 && (x[1] - 1.4).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, Default)]
-pub struct SparseLu {
+pub struct SparseLuT<T: Scalar> {
     pub(crate) n: usize,
     /// Fill-reducing column preorder: step `k` factors column `q[k]` of `A`.
     pub(crate) q: Vec<usize>,
@@ -411,16 +435,16 @@ pub struct SparseLu {
     /// strictly-below-diagonal entries only.
     pub(crate) l_colptr: Vec<usize>,
     pub(crate) l_rows: Vec<usize>,
-    pub(crate) l_vals: Vec<f64>,
+    pub(crate) l_vals: Vec<T>,
     /// U pattern/values, column-major; rows are *pivotal positions* `< k`,
     /// stored ascending so a refactor replay is a valid elimination order.
     pub(crate) u_colptr: Vec<usize>,
     pub(crate) u_rows: Vec<usize>,
-    pub(crate) u_vals: Vec<f64>,
+    pub(crate) u_vals: Vec<T>,
     /// Reciprocal pivots.
-    pub(crate) inv_diag: Vec<f64>,
+    pub(crate) inv_diag: Vec<T>,
     /// Dense accumulator indexed by original row.
-    pub(crate) work: Vec<f64>,
+    pub(crate) work: Vec<T>,
     /// DFS visitation stamps (stamp = current step).
     flag: Vec<usize>,
     /// DFS stack of `(node, next-child offset)` frames.
@@ -437,10 +461,13 @@ pub struct SparseLu {
     mode: SupernodalMode,
     /// Blocked execution plan + scratch when the supernodal path is active
     /// for the currently recorded pattern.
-    pub(crate) supernodal: Option<Box<Supernodal>>,
+    pub(crate) supernodal: Option<Box<Supernodal<T>>>,
 }
 
-impl SparseLu {
+/// Real sparse LU (the per-Newton-iteration DC/transient kernel).
+pub type SparseLu = SparseLuT<f64>;
+
+impl<T: Scalar> SparseLuT<T> {
     /// Creates an empty factorization object; all storage is grown on first
     /// use and reused afterwards.
     pub fn new() -> Self {
@@ -464,7 +491,7 @@ impl SparseLu {
     }
 
     /// Selects the numeric execution path for subsequent
-    /// [`SparseLu::factor`] calls (the plan is rebuilt at the next full
+    /// [`SparseLuT::factor`] calls (the plan is rebuilt at the next full
     /// factorization; a stored blocked plan is dropped immediately).
     pub fn set_supernodal_mode(&mut self, mode: SupernodalMode) {
         self.mode = mode;
@@ -472,7 +499,7 @@ impl SparseLu {
     }
 
     /// True when the supernodal (blocked) numeric path is active for the
-    /// currently recorded pattern — i.e. [`SparseLu::refactor_into`] will
+    /// currently recorded pattern — i.e. [`SparseLuT::refactor_into`] will
     /// replay through dense panels and GEMM instead of scalar column
     /// updates.
     pub fn supernodal_active(&self) -> bool {
@@ -485,10 +512,18 @@ impl SparseLu {
         self.supernodal.as_ref().map_or(0, |s| s.wide_supernodes)
     }
 
+    /// Number of independent subtree tasks in the active blocked plan's
+    /// etree partition (0 when the scalar path is active). A plan with
+    /// ≥ 2 tasks replays them over the shared pool when the thread budget
+    /// allows. Diagnostic for tests and benches.
+    pub fn parallel_tasks(&self) -> usize {
+        self.supernodal.as_ref().map_or(0, |s| s.num_tasks())
+    }
+
     /// Computes the fill-reducing column ordering for `a`'s pattern. Called
-    /// automatically by [`SparseLu::factor`] when needed; calling it again
+    /// automatically by [`SparseLuT::factor`] when needed; calling it again
     /// re-analyzes (use after the pattern itself changed).
-    pub fn analyze(&mut self, a: &CscMatrix) {
+    pub fn analyze(&mut self, a: &CscT<T>) {
         self.q = min_degree_order(a);
         self.n = a.n;
         self.analyzed = true;
@@ -496,15 +531,16 @@ impl SparseLu {
     }
 
     /// Full numeric factorization with partial pivoting, recording the
-    /// elimination pattern for subsequent [`SparseLu::refactor_into`]
+    /// elimination pattern for subsequent [`SparseLuT::refactor_into`]
     /// calls. Deterministic: the pivot choice depends only on `a`'s values
-    /// (ties broken toward the smallest original row index).
+    /// (largest magnitude, ties broken toward the smallest original row
+    /// index).
     ///
     /// # Errors
     ///
     /// Returns [`FactorError::Singular`] when no acceptable pivot exists at
     /// some step (structural or numerical singularity).
-    pub fn factor(&mut self, a: &CscMatrix) -> Result<(), FactorError> {
+    pub fn factor(&mut self, a: &CscT<T>) -> Result<(), FactorError> {
         if !self.analyzed || self.n != a.n || self.q.len() != a.n {
             self.analyze(a);
         }
@@ -526,9 +562,9 @@ impl SparseLu {
         self.u_rows.clear();
         self.u_vals.clear();
         self.inv_diag.clear();
-        self.inv_diag.resize(n, 0.0);
+        self.inv_diag.resize(n, T::ZERO);
         self.work.clear();
-        self.work.resize(n, 0.0);
+        self.work.resize(n, T::ZERO);
         self.flag.clear();
         self.flag.resize(n, usize::MAX);
 
@@ -590,14 +626,14 @@ impl SparseLu {
                 let ux = self.work[orig];
                 self.u_rows.push(step);
                 self.u_vals.push(ux);
-                if ux != 0.0 {
+                if ux != T::ZERO {
                     for t in self.l_colptr[step]..self.l_colptr[step + 1] {
                         self.work[self.l_rows[t]] -= ux * self.l_vals[t];
                     }
                 }
             }
             self.u_colptr.push(self.u_rows.len());
-            // --- Pivot: largest |value| among non-pivotal reach entries,
+            // --- Pivot: largest magnitude among non-pivotal reach entries,
             // smallest original index on ties.
             let mut piv = usize::MAX;
             let mut piv_abs = -1.0;
@@ -605,7 +641,7 @@ impl SparseLu {
                 if self.pinv[i] != usize::MAX {
                     continue;
                 }
-                let v = self.work[i].abs();
+                let v = self.work[i].mag();
                 if v > piv_abs || (v == piv_abs && i < piv) {
                     piv_abs = v;
                     piv = i;
@@ -614,12 +650,11 @@ impl SparseLu {
             if piv == usize::MAX || !(piv_abs > PIVOT_EPS) {
                 // Leave the accumulator clean for the next attempt.
                 for &i in &self.pattern {
-                    self.work[i] = 0.0;
+                    self.work[i] = T::ZERO;
                 }
                 return Err(FactorError::Singular { pivot: k });
             }
-            let diag = self.work[piv];
-            let inv = 1.0 / diag;
+            let inv = self.work[piv].recip();
             self.inv_diag[k] = inv;
             self.p[k] = piv;
             self.pinv[piv] = k;
@@ -631,7 +666,7 @@ impl SparseLu {
             }
             self.l_colptr.push(self.l_rows.len());
             for &i in &self.pattern {
-                self.work[i] = 0.0;
+                self.work[i] = T::ZERO;
             }
         }
         self.factored = true;
@@ -652,18 +687,19 @@ impl SparseLu {
     /// Numeric refactorization on new values with the *same pattern*:
     /// replays the recorded elimination — fixed pivot sequence, fixed fill
     /// positions — with no pivot search and no reachability analysis. This
-    /// is the per-Newton-iteration hot path.
+    /// is the per-Newton-iteration (real) and per-frequency-point
+    /// (complex) hot path.
     ///
     /// # Errors
     ///
     /// Returns [`FactorError::Shape`] if no *completed* recorded
-    /// factorization exists (never factored, or the last [`SparseLu::
+    /// factorization exists (never factored, or the last [`SparseLuT::
     /// factor`] failed partway) or `a` has a different dimension, and
     /// [`FactorError::Singular`] if a recorded pivot position collapses
     /// numerically (callers typically recover with a fresh
-    /// [`SparseLu::factor`]). After an error the previous numeric factors
+    /// [`SparseLuT::factor`]). After an error the previous numeric factors
     /// are invalid.
-    pub fn refactor_into(&mut self, a: &CscMatrix) -> Result<(), FactorError> {
+    pub fn refactor_into(&mut self, a: &CscT<T>) -> Result<(), FactorError> {
         // A *complete* recording is required: after a failed `factor` the
         // column pointers stop at the singular step, so replaying them
         // would walk off the recorded pattern.
@@ -686,11 +722,11 @@ impl SparseLu {
             // The recorded pattern of this column is exactly
             // {U rows, pivot, L rows}; clear those positions, scatter A.
             for t in self.u_colptr[k]..self.u_colptr[k + 1] {
-                work[self.p[self.u_rows[t]]] = 0.0;
+                work[self.p[self.u_rows[t]]] = T::ZERO;
             }
-            work[self.p[k]] = 0.0;
+            work[self.p[k]] = T::ZERO;
             for t in self.l_colptr[k]..self.l_colptr[k + 1] {
-                work[self.l_rows[t]] = 0.0;
+                work[self.l_rows[t]] = T::ZERO;
             }
             for t in a.col_ptr[col]..a.col_ptr[col + 1] {
                 work[a.row_idx[t]] += a.values[t];
@@ -699,17 +735,17 @@ impl SparseLu {
                 let step = self.u_rows[t];
                 let ux = work[self.p[step]];
                 self.u_vals[t] = ux;
-                if ux != 0.0 {
+                if ux != T::ZERO {
                     for s in self.l_colptr[step]..self.l_colptr[step + 1] {
                         work[self.l_rows[s]] -= ux * self.l_vals[s];
                     }
                 }
             }
             let diag = work[self.p[k]];
-            if !(diag.abs() > PIVOT_EPS) {
+            if !(diag.mag() > PIVOT_EPS) {
                 return Err(FactorError::Singular { pivot: k });
             }
-            let inv = 1.0 / diag;
+            let inv = diag.recip();
             self.inv_diag[k] = inv;
             for t in self.l_colptr[k]..self.l_colptr[k + 1] {
                 self.l_vals[t] = work[self.l_rows[t]] * inv;
@@ -726,7 +762,7 @@ impl SparseLu {
     ///
     /// Returns [`FactorError::Shape`] if no successful factorization is
     /// stored or `b.len()` differs from the factored dimension.
-    pub fn solve_into(&mut self, b: &[f64], x: &mut Vec<f64>) -> Result<(), FactorError> {
+    pub fn solve_into(&mut self, b: &[T], x: &mut Vec<T>) -> Result<(), FactorError> {
         let n = self.n;
         if !self.factored || b.len() != n {
             return Err(FactorError::Shape {
@@ -739,7 +775,7 @@ impl SparseLu {
         // Forward substitution with unit L: y[k] lives at w[p[k]].
         for k in 0..n {
             let yk = w[self.p[k]];
-            if yk != 0.0 {
+            if yk != T::ZERO {
                 for t in self.l_colptr[k]..self.l_colptr[k + 1] {
                     w[self.l_rows[t]] -= self.l_vals[t] * yk;
                 }
@@ -749,7 +785,7 @@ impl SparseLu {
         for k in (0..n).rev() {
             let v = w[self.p[k]] * self.inv_diag[k];
             w[self.p[k]] = v;
-            if v != 0.0 {
+            if v != T::ZERO {
                 for t in self.u_colptr[k]..self.u_colptr[k + 1] {
                     w[self.p[self.u_rows[t]]] -= self.u_vals[t] * v;
                 }
@@ -757,10 +793,62 @@ impl SparseLu {
         }
         // Undo the column permutation.
         x.clear();
-        x.resize(n, 0.0);
+        x.resize(n, T::ZERO);
         for k in 0..n {
             x[self.q[k]] = w[self.p[k]];
         }
+        // Leave the accumulator clean for the next factor/refactor.
+        w.fill(T::ZERO);
+        Ok(())
+    }
+
+    /// Solves the *transposed* system `Aᵀ·y = b` with the stored factors —
+    /// the adjoint solve of the noise analysis. With `A⁻¹ = Q U⁻¹ L⁻¹ P`
+    /// (the permuted factorization recorded by [`SparseLuT::factor`]), the
+    /// transpose inverse is `Pᵀ L⁻ᵀ U⁻ᵀ Qᵀ`: a forward substitution with
+    /// `Uᵀ`, a back substitution with `Lᵀ`, both on the same factor
+    /// storage. No transposed matrix is ever built, and the factors may
+    /// come from either the scalar or the supernodal blocked replay (both
+    /// land in the same recorded arrays).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Shape`] if no successful factorization is
+    /// stored or `b.len()` differs from the factored dimension.
+    pub fn solve_transpose_into(&mut self, b: &[T], y: &mut Vec<T>) -> Result<(), FactorError> {
+        let n = self.n;
+        if !self.factored || b.len() != n {
+            return Err(FactorError::Shape {
+                rows: b.len(),
+                cols: n,
+            });
+        }
+        let w = &mut self.work[..n];
+        // Forward substitution with Uᵀ (lower triangular in pivotal
+        // coordinates): c[k] = (b[q[k]] − Σ U[j,k]·c[j]) / U[k,k].
+        for k in 0..n {
+            let mut s = b[self.q[k]];
+            for t in self.u_colptr[k]..self.u_colptr[k + 1] {
+                s -= self.u_vals[t] * w[self.u_rows[t]];
+            }
+            w[k] = s * self.inv_diag[k];
+        }
+        // Back substitution with Lᵀ (unit upper in pivotal coordinates):
+        // L's column k holds original rows i with pivotal step pinv[i] > k.
+        for k in (0..n).rev() {
+            let mut s = w[k];
+            for t in self.l_colptr[k]..self.l_colptr[k + 1] {
+                s -= self.l_vals[t] * w[self.pinv[self.l_rows[t]]];
+            }
+            w[k] = s;
+        }
+        // Undo the row permutation: y[p[k]] = w[k].
+        y.clear();
+        y.resize(n, T::ZERO);
+        for k in 0..n {
+            y[self.p[k]] = w[k];
+        }
+        w.fill(T::ZERO);
         Ok(())
     }
 }
@@ -864,6 +952,30 @@ mod tests {
     }
 
     #[test]
+    fn solve_transpose_matches_dense_transpose_solve() {
+        let n = 29;
+        let dense = mna_like(n, 13);
+        let a = CscMatrix::from_dense(&dense);
+        let mut lu = SparseLu::new();
+        lu.factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin() + 0.25).collect();
+        let mut y = Vec::new();
+        lu.solve_transpose_into(&b, &mut y).unwrap();
+        // Residual of the transposed system: (Aᵀ y)_i = Σ_j a[j][i]·y[j].
+        let r = (0..n)
+            .map(|i| {
+                let s: f64 = (0..n).map(|j| dense[(j, i)] * y[j]).sum();
+                (s - b[i]).abs()
+            })
+            .fold(0.0, f64::max);
+        assert!(r < 1e-9, "transpose residual {r}");
+        // A forward solve still works afterwards (shared accumulator).
+        let mut x = Vec::new();
+        lu.solve_into(&b, &mut x).unwrap();
+        assert!(residual(&dense, &x, &b) < 1e-9);
+    }
+
+    #[test]
     fn pivoting_handles_zero_diagonal() {
         // MNA-style voltage-source block: zero on the branch diagonal.
         let dense = Matrix::from_rows(&[&[1e-3, 1.0], &[1.0, 0.0]]);
@@ -927,6 +1039,7 @@ mod tests {
     fn solve_rejects_bad_shapes() {
         let mut lu = SparseLu::new();
         assert!(lu.solve_into(&[1.0], &mut Vec::new()).is_err());
+        assert!(lu.solve_transpose_into(&[1.0], &mut Vec::new()).is_err());
         let a = CscMatrix::from_dense(&Matrix::identity(3));
         lu.factor(&a).unwrap();
         assert!(lu.solve_into(&[1.0, 2.0], &mut Vec::new()).is_err());

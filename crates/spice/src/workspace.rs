@@ -45,7 +45,7 @@ use std::sync::Mutex;
 
 use linalg::{
     ComplexLu, ComplexLuWorkspace, CscComplexMatrix, CscMatrix, LuWorkspace, SparseComplexLu,
-    SparseLu, C64,
+    SparseLu, SupernodalMode, C64,
 };
 
 use crate::netlist::Circuit;
@@ -284,10 +284,14 @@ impl AcWorkspace {
                 if density > SPARSE_MAX_DENSITY {
                     None
                 } else {
+                    // `DNNOPT_SUPERNODAL` pins the numeric replay path
+                    // (CI determinism suites, experiments); default Auto.
+                    let mut lu = SparseComplexLu::new();
+                    lu.set_supernodal_mode(SupernodalMode::from_env());
                     Some(AcSparseState {
                         slots,
                         csc,
-                        lu: SparseComplexLu::new(),
+                        lu,
                         pivot_session: 0,
                     })
                 }
@@ -595,11 +599,15 @@ impl NewtonWorkspace {
                     ),
                     None => (None, slots),
                 };
+                // `DNNOPT_SUPERNODAL` pins the numeric replay path (CI
+                // determinism suites, experiments); default Auto.
+                let mut lu = SparseLu::new();
+                lu.set_supernodal_mode(SupernodalMode::from_env());
                 Some(SparseState {
                     var_slots,
                     preload,
                     csc,
-                    lu: SparseLu::new(),
+                    lu,
                     pivot_session: 0,
                 })
             }

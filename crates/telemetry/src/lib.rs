@@ -230,10 +230,19 @@ pub enum Metric {
     /// and `v = 0` for scalar Gilbert–Peierls (count = decisions, sum =
     /// blocked selections).
     SparseBlockedDispatch,
+    /// Fill-explosion-guard bailouts in the minimum-degree ordering: the
+    /// elimination-clique simulation exceeded its fill budget and the
+    /// ordering fell back to the natural order (trading factorization
+    /// fill for ordering time). Worth investigating when a workload
+    /// triggers it systematically.
+    SparseFillGuardFallbacks,
+    /// Supernodal numeric replays dispatched over the shared pool as
+    /// independent etree subtree tasks (`v` = worker count used).
+    SparseParallelReplays,
 }
 
 /// Number of [`Metric`] variants.
-pub const NUM_METRICS: usize = 18;
+pub const NUM_METRICS: usize = 20;
 
 impl Metric {
     /// Every metric, in declaration order.
@@ -256,6 +265,8 @@ impl Metric {
         Metric::SparseSupernodes,
         Metric::SparseBlockFlops,
         Metric::SparseBlockedDispatch,
+        Metric::SparseFillGuardFallbacks,
+        Metric::SparseParallelReplays,
     ];
 
     /// Stable snake_case name (JSONL field, summary row).
@@ -279,6 +290,8 @@ impl Metric {
             Metric::SparseSupernodes => "sparse_supernodes",
             Metric::SparseBlockFlops => "sparse_block_flops",
             Metric::SparseBlockedDispatch => "sparse_blocked_dispatch",
+            Metric::SparseFillGuardFallbacks => "sparse_fill_guard_fallbacks",
+            Metric::SparseParallelReplays => "sparse_parallel_replays",
         }
     }
 }

@@ -367,8 +367,10 @@ fn serial_and_parallel_runs_are_bit_identical() {
 
     // Post-layout mesh topology through the supernodal blocked replay: the
     // panel batches run the same threaded GEMM micro-kernel as training,
-    // so factor + refactor + solve must stay bit-identical at any thread
-    // count — with the blocked path demonstrably active.
+    // and the replay itself fans the elimination-tree task partition out
+    // over the shared pool at threads > 1 — so factor + refactor + solve
+    // must stay bit-identical at any thread count, with the blocked path
+    // and the etree partition demonstrably active.
     let mesh_solution = |threads: usize| {
         use spice::stamp::{stamp_resistive_system, RealStamper, SourceEval};
         parallel::set_max_threads(threads);
@@ -384,15 +386,22 @@ fn serial_and_parallel_runs_are_bit_identical() {
         slu.factor(&a).unwrap();
         assert!(slu.supernodal_active(), "mesh must engage the blocked path");
         assert!(slu.wide_supernodes() > 0, "mesh must form dense panels");
+        assert!(
+            slu.parallel_tasks() >= 2,
+            "mesh must partition into independent subtree tasks"
+        );
         slu.refactor_into(&a).unwrap();
         let mut x = Vec::new();
         slu.solve_into(&st.z, &mut x).unwrap();
         parallel::set_max_threads(0);
         x.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
     };
-    assert_eq!(
-        mesh_solution(1),
-        mesh_solution(8),
-        "supernodal mesh factorization must be bit-identical serial vs parallel"
-    );
+    let mesh_reference = mesh_solution(1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            mesh_solution(threads),
+            mesh_reference,
+            "supernodal mesh factorization must be bit-identical serial vs {threads}-thread"
+        );
+    }
 }

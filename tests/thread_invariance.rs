@@ -281,4 +281,58 @@ fn runs_are_bit_identical_at_every_thread_count() {
             "critic weights must be bit-identical at {threads} threads"
         );
     }
+
+    // --- The etree-parallel supernodal replay through the full AC + noise
+    // pipeline. The post-layout RC mesh engages the blocked complex replay
+    // (pinned via `DNNOPT_SUPERNODAL`, read when the pooled workspace
+    // first builds its solver plan), and the replay's elimination-tree
+    // task partition fans out over the shared pool at threads > 1 — the
+    // solved sweep voltages and the integrated output noise must stay
+    // bit-identical at 1 / 2 / 8 workers.
+    std::env::set_var("DNNOPT_SUPERNODAL", "force_blocked");
+    let mesh_ac_bits = |threads: usize| -> Vec<u64> {
+        parallel::set_max_threads(threads);
+        let ckt = circuits::mesh::build_rc_grid(500);
+        let mut ws = spice::lease_workspace(&ckt);
+        let op = spice::op_with_workspace(&ckt, &SimOptions::default(), None, &mut ws).unwrap();
+        let freqs = [1e6, 1e8, 1e9];
+        let sweep =
+            spice::ac_with_workspace(&ckt, &SimOptions::default(), &op, &freqs, &mut ws).unwrap();
+        assert!(
+            ws.uses_sparse_ac(),
+            "mesh AC must run the sparse complex kernel"
+        );
+        let mid = ckt.find_node("g250").unwrap();
+        let out = ckt.find_node("g498").unwrap();
+        let nres = spice::noise_with_workspace(
+            &ckt,
+            &SimOptions::default(),
+            &op,
+            out,
+            GND,
+            &freqs,
+            &mut ws,
+        )
+        .unwrap();
+        parallel::set_max_threads(0);
+        let mut bits = Vec::new();
+        for i in 0..freqs.len() {
+            for &node in &[mid, out] {
+                let v = sweep.voltage(i, node);
+                bits.push(v.re.to_bits());
+                bits.push(v.im.to_bits());
+            }
+        }
+        bits.push(nres.total_rms().to_bits());
+        bits
+    };
+    let mesh_reference = mesh_ac_bits(1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            mesh_ac_bits(threads),
+            mesh_reference,
+            "mesh AC + noise must be bit-identical at {threads} threads"
+        );
+    }
+    std::env::remove_var("DNNOPT_SUPERNODAL");
 }
